@@ -1,0 +1,18 @@
+//! `fft-apps` — application case studies built on the bandwidth-intensive
+//! 3-D FFT, reproducing the paper's §4.4 on-card-confinement argument:
+//!
+//! * [`convolution`] — FFT-based circular correlation with the receptor
+//!   spectrum resident on the card and an on-device argmax reduction,
+//! * [`docking`] — ZDock-style rigid-body docking on synthetic proteins
+//!   (rotation sweep over one resident receptor),
+//! * [`spectral`] — turbulence-style spectrum synthesis/analysis and a
+//!   spectral Poisson solver.
+
+#![warn(missing_docs)]
+
+pub mod convolution;
+pub mod docking;
+pub mod spectral;
+
+pub use convolution::GpuCorrelator;
+pub use docking::{cube_rotations, dock, Molecule};

@@ -1,0 +1,112 @@
+//! The paper's published numbers, transcribed for side-by-side comparison.
+//!
+//! Everything the evaluation section (§4) reports lives here as constants so
+//! the report harness can print *paper vs reproduced* for each cell and
+//! EXPERIMENTS.md can record deviations.
+
+/// Cards in Table 1 order: GT, GTS, GTX.
+pub const CARDS: [&str; 3] = ["8800 GT", "8800 GTS", "8800 GTX"];
+
+/// §2.1: single-stream copy bandwidth on the GTX, GB/s.
+pub const S21_ONE_STREAM_GBS: f64 = 71.7;
+/// §2.1: 256-stream copy bandwidth on the GTX, GB/s.
+pub const S21_256_STREAM_GBS: f64 = 30.7;
+
+/// Table 3 (8800 GT): achieved GB/s for (read pattern, write pattern),
+/// row-major A..D x A..D.
+pub const TABLE3_GT: [[f64; 4]; 4] = [
+    [47.4, 47.9, 46.8, 47.1],
+    [48.2, 48.3, 46.8, 47.1],
+    [47.3, 47.1, 34.4, 33.3],
+    [45.6, 45.2, 32.6, 27.8],
+];
+
+/// Table 4 (8800 GTX): same layout.
+pub const TABLE4_GTX: [[f64; 4]; 4] = [
+    [71.5, 71.5, 67.7, 66.8],
+    [71.3, 71.3, 67.6, 67.0],
+    [68.7, 68.5, 51.3, 50.4],
+    [67.5, 66.7, 50.0, 43.7],
+];
+
+/// Table 6: conventional six-step at 256³ — (fft-steps ms, fft GB/s,
+/// transpose-steps ms, transpose GB/s) per card.
+pub const TABLE6: [(f64, f64, f64, f64); 3] =
+    [(5.74, 46.7, 13.0, 20.7), (5.09, 52.7, 12.3, 21.8), (5.52, 48.5, 7.85, 34.2)];
+
+/// Table 7: bandwidth-intensive kernel at 256³ — (step1/3 ms, GB/s,
+/// step2/4 ms, GB/s, step5 ms, GB/s) per card.
+pub const TABLE7: [(f64, f64, f64, f64, f64, f64); 3] = [
+    (6.65, 40.4, 6.70, 40.0, 5.72, 47.0),
+    (6.09, 44.1, 6.23, 43.1, 5.17, 51.9),
+    (4.39, 61.2, 4.70, 57.1, 5.52, 48.6),
+];
+
+/// Table 8: 65536 x 256-point 1-D FFTs — (ours ms, ours GFLOPS, CUFFT1D ms,
+/// CUFFT1D GFLOPS) per card.
+pub const TABLE8: [(f64, f64, f64, f64); 3] =
+    [(5.72, 117.0, 13.7, 49.0), (5.17, 130.0, 11.4, 58.9), (5.52, 122.0, 13.2, 50.8)];
+
+/// Table 9 (GTS, 256³): X-axis variants — (first-kernel ms, second-kernel
+/// ms or 0 for the fused shared kernel, total-3D ms).
+pub const TABLE9: [(&str, f64, f64, f64); 3] = [
+    ("Shared memory", 5.17, 0.0, 29.9),
+    ("Texture memory", 5.11, 8.43, 38.3),
+    ("Not coalesced", 5.13, 14.3, 44.2),
+];
+
+/// Table 10: 256³ with transfers — (h2d ms, h2d GB/s, fft ms, fft GFLOPS,
+/// d2h ms, d2h GB/s, total ms, total GFLOPS) per card.
+pub const TABLE10: [(f64, f64, f64, f64, f64, f64, f64, f64); 3] = [
+    (25.9, 5.18, 32.3, 62.2, 26.1, 5.14, 84.3, 23.9),
+    (25.7, 5.21, 30.0, 67.1, 27.3, 4.91, 83.1, 24.2),
+    (47.6, 2.82, 23.8, 84.4, 40.1, 3.35, 112.0, 18.0),
+];
+
+/// Table 11: FFTW 3.2alpha2 at 256³ — (cpu name, ms, GFLOPS).
+pub const TABLE11: [(&str, f64, f64); 2] =
+    [("AMD Phenom 9500", 195.0, 10.3), ("Intel Core 2 Quad Q6700", 188.0, 10.7)];
+
+/// Table 12: 512³ out-of-core — (total s, GFLOPS) per card + FFTW row.
+pub const TABLE12: [(f64, f64); 3] = [(1.32, 13.7), (1.24, 14.6), (1.75, 10.3)];
+/// Table 12 FFTW row: (total s, GFLOPS).
+pub const TABLE12_FFTW: (f64, f64) = (1.93, 9.40);
+
+/// Table 13: whole-system power — (config, idle W, load W, GFLOPS,
+/// GFLOPS/W).
+pub const TABLE13: [(&str, f64, f64, f64, f64); 4] = [
+    ("RIVA128 (CPU FFT)", 126.0, 140.0, 10.3, 0.074),
+    ("8800 GT", 180.0, 215.0, 62.2, 0.289),
+    ("8800 GTS", 196.0, 238.0, 67.2, 0.282),
+    ("8800 GTX", 224.0, 290.0, 84.4, 0.291),
+];
+
+/// Figure 1 (256³ on-board GFLOPS): (ours, conventional, CUFFT3D) per card.
+/// "Ours" matches Table 10's on-device column; "conventional" is derived
+/// from Table 6's step sums (3 x fft + 3 x transpose); CUFFT3D is read off
+/// the bar chart (the paper quantifies it only as ">3x slower than ours").
+pub const FIGURE1: [(f64, f64, f64); 3] =
+    [(62.2, 35.8, 18.8), (67.1, 38.6, 20.3), (84.4, 50.2, 25.6)];
+
+/// Figure 2 (64³): approximate bar heights.
+pub const FIGURE2: [(f64, f64, f64); 3] = [(38.0, 20.0, 10.0), (42.0, 22.0, 12.0), (50.0, 27.0, 14.0)];
+
+/// Figure 3 (128³): approximate bar heights.
+pub const FIGURE3: [(f64, f64, f64); 3] = [(55.0, 26.0, 14.0), (58.0, 28.0, 17.0), (72.0, 36.0, 20.0)];
+
+/// §3.1: effective bandwidth of the 16-point kernel vs the rejected
+/// 256-point-per-thread kernel, GB/s.
+pub const S31_16PT_GBS: f64 = 38.0;
+/// §3.1: the 256-point-per-thread kernel's bandwidth bound.
+pub const S31_256PT_GBS: f64 = 10.0;
+
+/// §4.2: step-5 fraction of peak FLOPS ("only about 30%").
+pub const S42_STEP5_PEAK_FRACTION: f64 = 0.30;
+
+/// Relative deviation helper for the report columns.
+pub fn dev(ours: f64, paper: f64) -> f64 {
+    if paper == 0.0 {
+        return 0.0;
+    }
+    (ours - paper) / paper * 100.0
+}

@@ -1,0 +1,390 @@
+//! The paper's contribution: the bandwidth-intensive five-step 3-D FFT.
+//!
+//! §3.1: "we propose a fast 3-D FFT algorithm for CUDA that only conducts
+//! sequential memory access (thus avoiding stride accesses), while confining
+//! the shared memory usage to be within the allotted size." Five kernels:
+//!
+//! 1. 16-point FFTs — first half of the Z-axis transform (coarse, registers),
+//! 2. 16-point FFTs — second half for Z,
+//! 3. as step 1 for Y,
+//! 4. as step 2 for Y,
+//! 5. full-length FFTs along X (fine-grained, shared memory).
+//!
+//! Every strided pass reads pattern D and writes pattern A or B — never the
+//! catastrophic C/D x C/D combinations of Tables 3–4.
+
+use crate::kernel16::{coarse_resources, pass_config, run_strided_pass};
+use crate::kernel256::{batched_config, bind_twiddle_texture, run_batched_fft, FineFftPlan};
+use crate::report::RunReport;
+use fft_math::flops::nominal_flops_3d;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::timing::{estimate_pass, KernelTiming};
+use gpu_sim::DeviceSpec;
+use fft_math::layout::FiveStepPlanLayout;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{AllocError, BufferId, Gpu, TextureId};
+
+/// A planned five-step 3-D FFT bound to one device.
+///
+/// Planning binds the X-axis twiddle textures and precomputes the fine-grained
+/// stage/padding schedule; execution performs no host-side work beyond kernel
+/// launches.
+///
+/// ```
+/// use bifft::five_step::FiveStepFft;
+/// use fft_math::{Complex32, Direction};
+/// use gpu_sim::{DeviceSpec, Gpu};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+/// let plan = FiveStepFft::new(&mut gpu, 16, 16, 16);
+/// let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+///
+/// let mut volume = vec![Complex32::ZERO; plan.volume()];
+/// volume[0] = Complex32::ONE; // impulse
+/// plan.upload(&mut gpu, v, &volume);
+/// let report = plan.execute(&mut gpu, v, work, Direction::Forward);
+/// let spectrum = plan.download(&gpu, v);
+///
+/// assert!((spectrum[123] - Complex32::ONE).abs() < 1e-5);
+/// assert_eq!(report.steps.len(), 5);
+/// ```
+pub struct FiveStepFft {
+    layout: FiveStepPlanLayout,
+    fine: FineFftPlan,
+    tw_fwd: TextureId,
+    tw_inv: TextureId,
+}
+
+impl FiveStepFft {
+    /// Plans an `nx x ny x nz` transform with the default balanced splits.
+    pub fn new(gpu: &mut Gpu, nx: usize, ny: usize, nz: usize) -> Self {
+        Self::from_layout(gpu, FiveStepPlanLayout::new(nx, ny, nz))
+    }
+
+    /// Plans with an explicit layout (used for split-swapped inverse plans).
+    pub fn from_layout(gpu: &mut Gpu, layout: FiveStepPlanLayout) -> Self {
+        let fine = crate::wisdom::plan(layout.nx);
+        let tw_fwd = bind_twiddle_texture(gpu, layout.nx, Direction::Forward);
+        let tw_inv = bind_twiddle_texture(gpu, layout.nx, Direction::Inverse);
+        FiveStepFft { layout, fine, tw_fwd, tw_inv }
+    }
+
+    /// A plan that consumes this plan's *output* layout directly — chain a
+    /// forward and an inverse transform on the card with no relayout (the
+    /// on-card convolution pattern of §4.4).
+    pub fn inverse_chained(&self, gpu: &mut Gpu) -> Self {
+        let l = &self.layout;
+        let layout = FiveStepPlanLayout::with_splits(
+            l.nx,
+            l.ny,
+            l.nz,
+            (l.y_split.1, l.y_split.0),
+            (l.z_split.1, l.z_split.0),
+        );
+        Self::from_layout(gpu, layout)
+    }
+
+    /// The data layout (index mapping between natural voxels and the 5-D
+    /// device layout).
+    pub fn layout(&self) -> &FiveStepPlanLayout {
+        &self.layout
+    }
+
+    /// Total complex elements.
+    pub fn volume(&self) -> usize {
+        self.layout.volume()
+    }
+
+    /// Allocates the data and work buffers on the device.
+    pub fn alloc_buffers(&self, gpu: &mut Gpu) -> Result<(BufferId, BufferId), AllocError> {
+        let v = gpu.mem_mut().alloc(self.volume())?;
+        let work = gpu.mem_mut().alloc(self.volume())?;
+        Ok((v, work))
+    }
+
+    /// Packs a natural-order volume (`x` fastest, then `y`, then `z`) into
+    /// the 5-D input layout. This is host-side work, done once per upload.
+    pub fn pack_input(&self, host: &[Complex32]) -> Vec<Complex32> {
+        let l = &self.layout;
+        assert_eq!(host.len(), l.volume(), "volume mismatch");
+        let mut out = vec![Complex32::ZERO; host.len()];
+        let mut i = 0;
+        for z in 0..l.nz {
+            for y in 0..l.ny {
+                for x in 0..l.nx {
+                    out[l.input_index(x, y, z)] = host[i];
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Unpacks a downloaded 5-D *output*-layout buffer into natural order.
+    pub fn unpack_output(&self, packed: &[Complex32]) -> Vec<Complex32> {
+        let l = &self.layout;
+        assert_eq!(packed.len(), l.volume(), "volume mismatch");
+        let mut out = vec![Complex32::ZERO; packed.len()];
+        let mut i = 0;
+        for kz in 0..l.nz {
+            for ky in 0..l.ny {
+                for kx in 0..l.nx {
+                    out[i] = packed[l.output_index(kx, ky, kz)];
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes the five steps: `v` holds the input in the 5-D input layout
+    /// and receives the spectrum in the 5-D output layout; `work` is
+    /// scratch of the same size.
+    pub fn execute(&self, gpu: &mut Gpu, v: BufferId, work: BufferId, dir: Direction) -> RunReport {
+        let l = &self.layout;
+        let passes = l.strided_passes();
+        let names = ["step1_z16", "step2_z16", "step3_y16", "step4_y16"];
+        let mut steps = Vec::with_capacity(5);
+        let mut src = v;
+        let mut dst = work;
+        for (pass, name) in passes.iter().zip(names) {
+            steps.push(run_strided_pass(gpu, src, dst, pass, dir, name));
+            std::mem::swap(&mut src, &mut dst);
+        }
+        debug_assert_eq!(src, v, "an even number of ping-pong passes returns to v");
+
+        let tw = match dir {
+            Direction::Forward => self.tw_fwd,
+            Direction::Inverse => self.tw_inv,
+        };
+        let rows = l.ny * l.nz;
+        steps.push(run_batched_fft(gpu, &self.fine, v, v, rows, dir, tw, "step5_x"));
+
+        RunReport {
+            algorithm: "five-step",
+            dims: (l.nx, l.ny, l.nz),
+            nominal_flops: nominal_flops_3d(l.nx, l.ny, l.nz),
+            steps,
+        }
+    }
+
+    /// Analytic per-step timing estimate at any size, without functional
+    /// execution — the fast path the report harness uses to project
+    /// paper-scale (256³) numbers. Uses the *same* launch configurations as
+    /// the functional kernels, so the two paths agree exactly.
+    pub fn estimate(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize) -> Vec<(&'static str, KernelTiming)> {
+        let layout = FiveStepPlanLayout::new(nx, ny, nz);
+        let elems = layout.volume() as u64;
+        let names = ["step1_z16", "step2_z16", "step3_y16", "step4_y16"];
+        let mut out = Vec::with_capacity(5);
+        for (pass, name) in layout.strided_passes().iter().zip(names) {
+            let res = coarse_resources(pass.fft_len);
+            let occ = occupancy(&spec.arch, &res);
+            let grid = spec.sms * occ.blocks_per_sm;
+            let cfg = pass_config(pass, grid, name);
+            out.push((name, estimate_pass(spec, &cfg, &occ, elems)));
+        }
+        let fine = FineFftPlan::new(nx);
+        let occ = occupancy(&spec.arch, &fine.resources());
+        let grid = spec.sms * occ.blocks_per_sm;
+        let cfg = batched_config(&fine, ny * nz, grid, true, "step5_x");
+        out.push(("step5_x", estimate_pass(spec, &cfg, &occ, elems)));
+        out
+    }
+
+    /// Convenience: upload a natural-order host volume (packing included).
+    pub fn upload(&self, gpu: &mut Gpu, v: BufferId, host: &[Complex32]) {
+        let packed = self.pack_input(host);
+        gpu.mem_mut().upload(v, 0, &packed);
+    }
+
+    /// Convenience: download and unpack the spectrum to natural order.
+    pub fn download(&self, gpu: &Gpu, v: BufferId) -> Vec<Complex32> {
+        let mut packed = vec![Complex32::ZERO; self.volume()];
+        gpu.mem().download(v, 0, &mut packed);
+        self.unpack_output(&packed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::dft::dft3d_oracle;
+    use fft_math::error::{fft_tolerance, rel_l2_error, rel_l2_error_f32};
+    use gpu_sim::DeviceSpec;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_3d_oracle_16_cubed() {
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let plan = FiveStepFft::new(&mut gpu, 16, 16, 16);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let host = random_volume(plan.volume(), 1);
+        plan.upload(&mut gpu, v, &host);
+        let rep = plan.execute(&mut gpu, v, work, Direction::Forward);
+        rep.assert_clean();
+        let got = plan.download(&gpu, v);
+        let want = dft3d_oracle(&host, 16, 16, 16, Direction::Forward);
+        let err = rel_l2_error(&got, &want);
+        assert!(err < fft_tolerance(plan.volume()) * 10.0, "rel err {err}");
+    }
+
+    #[test]
+    fn matches_oracle_rectangular() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FiveStepFft::new(&mut gpu, 8, 16, 4);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let host = random_volume(plan.volume(), 2);
+        plan.upload(&mut gpu, v, &host);
+        plan.execute(&mut gpu, v, work, Direction::Forward);
+        let got = plan.download(&gpu, v);
+        let want = dft3d_oracle(&host, 8, 16, 4, Direction::Forward);
+        assert!(rel_l2_error(&got, &want) < 1e-4);
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_32() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+        let plan = FiveStepFft::new(&mut gpu, 32, 32, 32);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let host = random_volume(plan.volume(), 3);
+        plan.upload(&mut gpu, v, &host);
+        plan.execute(&mut gpu, v, work, Direction::Forward);
+
+        // Chain the inverse on the card: its input layout IS our output
+        // layout, so no repacking happens between the transforms.
+        let inv = plan.inverse_chained(&mut gpu);
+        inv.execute(&mut gpu, v, work, Direction::Inverse);
+
+        // inv's output layout is plan's input layout.
+        let mut packed = vec![Complex32::ZERO; plan.volume()];
+        gpu.mem().download(v, 0, &mut packed);
+        let n = plan.volume() as f32;
+        let l = plan.layout();
+        for z in (0..32).step_by(7) {
+            for y in (0..32).step_by(5) {
+                for x in 0..32 {
+                    let got = packed[l.input_index(x, y, z)].scale(1.0 / n);
+                    let want = host[x + 32 * (y + 32 * z)];
+                    assert!((got - want).abs() < 1e-4, "({x},{y},{z}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum_64() {
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let plan = FiveStepFft::new(&mut gpu, 64, 64, 64);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let mut host = vec![Complex32::ZERO; plan.volume()];
+        host[0] = Complex32::ONE;
+        plan.upload(&mut gpu, v, &host);
+        let rep = plan.execute(&mut gpu, v, work, Direction::Forward);
+        let got = plan.download(&gpu, v);
+        for (i, z) in got.iter().enumerate().step_by(997) {
+            assert!((*z - Complex32::ONE).abs() < 1e-4, "bin {i}: {z}");
+        }
+        // All five steps fully coalesced, no shared races.
+        rep.assert_clean();
+        for s in &rep.steps {
+            assert!(s.stats.coalesced_fraction() > 0.999, "{}: {:?}", s.name, s.stats);
+        }
+    }
+
+    #[test]
+    fn plane_wave_lands_in_single_bin() {
+        let (nx, ny, nz) = (16usize, 16, 16);
+        let (kx, ky, kz) = (3usize, 5, 9);
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FiveStepFft::new(&mut gpu, nx, ny, nz);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let mut host = Vec::with_capacity(plan.volume());
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let ph = 2.0 * std::f32::consts::PI
+                        * (kx as f32 * x as f32 / nx as f32
+                            + ky as f32 * y as f32 / ny as f32
+                            + kz as f32 * z as f32 / nz as f32);
+                    host.push(Complex32::cis(ph));
+                }
+            }
+        }
+        plan.upload(&mut gpu, v, &host);
+        plan.execute(&mut gpu, v, work, Direction::Forward);
+        let got = plan.download(&gpu, v);
+        let total = plan.volume() as f32;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let val = got[x + nx * (y + ny * z)];
+                    if (x, y, z) == (kx, ky, kz) {
+                        assert!((val.abs() - total).abs() < 0.1 * total, "peak wrong: {val}");
+                    } else {
+                        assert!(val.abs() < 0.01 * total, "leakage at ({x},{y},{z}): {val}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn five_steps_reported() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FiveStepFft::new(&mut gpu, 16, 16, 16);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let rep = plan.execute(&mut gpu, v, work, Direction::Forward);
+        assert_eq!(rep.steps.len(), 5);
+        assert_eq!(rep.steps[0].name, "step1_z16");
+        assert_eq!(rep.steps[4].name, "step5_x");
+        assert!(rep.total_time_s() > 0.0);
+        assert!(rep.gflops() > 0.0);
+        assert!(!rep.step_table().is_empty());
+    }
+
+    #[test]
+    fn pack_unpack_are_inverse_permutations() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FiveStepFft::new(&mut gpu, 8, 16, 4);
+        let host = random_volume(plan.volume(), 7);
+        let packed = plan.pack_input(&host);
+        // pack is a bijection: sum of elements preserved.
+        let s1: Complex32 = host.iter().copied().sum();
+        let s2: Complex32 = packed.iter().copied().sum();
+        assert!((s1 - s2).abs() < 1e-3);
+        // For equal splits, output layout == input layout, so unpack(pack)
+        // is identity.
+        let mut gpu2 = Gpu::new(DeviceSpec::gt8800());
+        let square = FiveStepFft::new(&mut gpu2, 8, 16, 16);
+        let host2 = random_volume(square.volume(), 8);
+        let roundtrip = square.unpack_output(&square.pack_input(&host2));
+        assert_eq!(roundtrip, host2);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let plan = FiveStepFft::new(&mut gpu, 16, 16, 16);
+        let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+        let a = random_volume(plan.volume(), 10);
+        let b = random_volume(plan.volume(), 11);
+        let run = |gpu: &mut Gpu, plan: &FiveStepFft, data: &[Complex32]| {
+            plan.upload(gpu, v, data);
+            plan.execute(gpu, v, work, Direction::Forward);
+            plan.download(gpu, v)
+        };
+        let fa = run(&mut gpu, &plan, &a);
+        let fb = run(&mut gpu, &plan, &b);
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fs = run(&mut gpu, &plan, &sum);
+        let combined: Vec<Complex32> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(rel_l2_error_f32(&fs, &combined) < 1e-4);
+    }
+}

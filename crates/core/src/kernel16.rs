@@ -1,0 +1,263 @@
+//! The coarse-grained strided-pass kernel (steps 1–4 of the paper).
+//!
+//! One simulated thread computes one complete small FFT (16 points for 256³)
+//! entirely in registers — no shared memory, no inter-thread communication
+//! (§3.2: "we employ coarse-grained parallelism, i.e., compute one 16-point
+//! FFT transform per thread"). Rows are assigned to threads cyclically with
+//! the X digit fastest, so every half-warp touches 16 consecutive complex
+//! elements at each strided offset: all global traffic coalesces, and the
+//! pass reads pattern D while writing pattern A or B (never C/D x C/D).
+//!
+//! The first-half passes additionally multiply by the inter-digit twiddle
+//! `W_axis^{k1·n2}` — the paper keeps these "in registers", which we model by
+//! capturing the host-side table in the kernel closure at zero memory cost.
+
+use fft_math::codelets::{codelet_flops, fft_small};
+use fft_math::flops::nominal_flops_1d;
+use fft_math::layout::StridedPass;
+use fft_math::twiddle::{Direction, InterTwiddle};
+use fft_math::Complex32;
+use gpu_sim::{BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig};
+
+/// Register demand of the coarse kernel for an `n`-point per-thread FFT.
+///
+/// Calibrated so that n = 16 gives the paper's 51–52 registers (data: 2n,
+/// twiddles/temporaries: ~n, addressing: 4).
+pub fn coarse_regs(n: usize) -> usize {
+    3 * n + 4
+}
+
+/// Launch resources for one strided pass.
+pub fn coarse_resources(fft_len: usize) -> KernelResources {
+    KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: coarse_regs(fft_len),
+        shared_bytes_per_block: 0,
+    }
+}
+
+/// Builds the launch configuration of one strided pass (shared between the
+/// functional path and the analytic estimator).
+pub fn pass_config(pass: &StridedPass, grid: usize, name: &'static str) -> LaunchConfig {
+    let n = pass.fft_len;
+    LaunchConfig {
+        name,
+        grid_blocks: grid,
+        resources: coarse_resources(n),
+        class: KernelClass::RegisterFft,
+        read_pattern: pass.read_pattern,
+        write_pattern: pass.write_pattern,
+        in_place: false,
+        nominal_flops: (pass.input.len() as u64 / n as u64) * nominal_flops_1d(n),
+        streams: n,
+    }
+}
+
+/// Executes one strided pass (`src` → `dst`) on the device.
+///
+/// `pass` carries the 5-D views, FFT length, and declared access patterns
+/// from [`fft_math::layout::FiveStepPlanLayout::strided_passes`]. The kernel
+/// is fully functional; the returned report carries measured coalescing and
+/// modelled timing.
+pub fn run_strided_pass(
+    gpu: &mut Gpu,
+    src: BufferId,
+    dst: BufferId,
+    pass: &StridedPass,
+    dir: Direction,
+    name: &'static str,
+) -> KernelReport {
+    let n = pass.fft_len;
+    assert!(n <= 16, "coarse kernel is register-resident: fft_len must be <= 16");
+    let in_view = pass.input;
+    let out_view = pass.output;
+    let rows = in_view.len() / n;
+
+    // Inter-digit twiddles for first halves: W_axis^{k1 * n2} where
+    // n2 is the input slot-3 digit (extent axis_len / fft_len).
+    let inter = pass
+        .first_half
+        .then(|| InterTwiddle::new(n, pass.axis_len / n, dir));
+
+    let res = coarse_resources(n);
+    let grid = gpu.fill_grid(&res);
+    let cfg = pass_config(pass, grid, name);
+
+    let total_threads = grid * res.threads_per_block;
+    let flops_per_row = codelet_flops(n) as u64;
+    gpu.launch(&cfg, |t| {
+        let mut buf = [Complex32::ZERO; 16];
+        let mut r = t.gid();
+        while r < rows {
+            // Row decomposition, X fastest so half-warps coalesce.
+            let x = r % in_view.nx;
+            let mut rest = r / in_view.nx;
+            let f1 = rest % in_view.extents[0];
+            rest /= in_view.extents[0];
+            let f2 = rest % in_view.extents[1];
+            rest /= in_view.extents[1];
+            let f3 = rest % in_view.extents[2];
+
+            // Gather the strided row (pattern D read).
+            for (j, v) in buf[..n].iter_mut().enumerate() {
+                *v = t.ld(src, in_view.index(x, [f1, f2, f3, j]));
+            }
+
+            // Register-resident small FFT.
+            fft_small(&mut buf[..n], dir);
+            t.flops(flops_per_row);
+
+            // Inter-digit twiddle (first halves only): n2 is the input
+            // slot-3 digit f3.
+            if let Some(tw) = &inter {
+                let mut extra = 0u64;
+                for (k1, v) in buf[..n].iter_mut().enumerate() {
+                    if k1 != 0 && f3 != 0 {
+                        *v *= tw.get(k1, f3);
+                        extra += 6;
+                    }
+                }
+                t.flops(extra);
+            }
+
+            // Scatter with the digit relabelling of the five-step plan:
+            // first halves push the new digit into slot 1, second halves
+            // into slot 2 (write patterns A and B respectively).
+            if pass.first_half {
+                for (k, v) in buf[..n].iter().enumerate() {
+                    t.st(dst, out_view.index(x, [k, f1, f2, f3]), *v);
+                }
+            } else {
+                for (k, v) in buf[..n].iter().enumerate() {
+                    t.st(dst, out_view.index(x, [f1, k, f2, f3]), *v);
+                }
+            }
+            r += total_threads;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::dft::dft_oracle;
+    use fft_math::layout::{AccessPattern, FiveStepPlanLayout};
+    use gpu_sim::DeviceSpec;
+
+    fn make_gpu() -> Gpu {
+        Gpu::new(DeviceSpec::gts8800())
+    }
+
+    /// Runs pass 1 of a small plan and checks each Z_hi-row against the
+    /// 1-D oracle with the inter-twiddle applied.
+    #[test]
+    fn pass1_computes_twiddled_row_ffts() {
+        let plan = FiveStepPlanLayout::new(16, 16, 16);
+        let pass = plan.strided_passes()[0];
+        let n = pass.fft_len; // 4 for 16 = 4x4
+        let vol = plan.volume();
+
+        let mut gpu = make_gpu();
+        let src = gpu.mem_mut().alloc(vol).unwrap();
+        let dst = gpu.mem_mut().alloc(vol).unwrap();
+        let host: Vec<Complex32> = (0..vol)
+            .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        gpu.mem_mut().upload(src, 0, &host);
+
+        run_strided_pass(&mut gpu, src, dst, &pass, Direction::Forward, "p1");
+
+        let in_view = pass.input;
+        let out_view = pass.output;
+        for f1 in 0..in_view.extents[0] {
+            for f2 in 0..in_view.extents[1] {
+                for f3 in 0..in_view.extents[2] {
+                    for x in [0usize, 7, 15] {
+                        let row: Vec<Complex32> = (0..n)
+                            .map(|j| host[in_view.index(x, [f1, f2, f3, j])])
+                            .collect();
+                        let want = dft_oracle(&row, Direction::Forward);
+                        for k1 in 0..n {
+                            let tw = fft_math::twiddle::twiddle(
+                                k1 * f3,
+                                pass.axis_len,
+                                Direction::Forward,
+                            );
+                            let expect = want[k1].narrow() * tw;
+                            let got =
+                                gpu.mem().read(dst, out_view.index(x, [k1, f1, f2, f3]));
+                            assert!(
+                                (got - expect).abs() < 1e-3,
+                                "row ({x},{f1},{f2},{f3}) bin {k1}: {got} vs {expect}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pass_traffic_is_fully_coalesced() {
+        let plan = FiveStepPlanLayout::new(64, 16, 16);
+        let pass = plan.strided_passes()[0];
+        let vol = plan.volume();
+        let mut gpu = make_gpu();
+        let src = gpu.mem_mut().alloc(vol).unwrap();
+        let dst = gpu.mem_mut().alloc(vol).unwrap();
+        let rep = run_strided_pass(&mut gpu, src, dst, &pass, Direction::Forward, "p1");
+        assert!(rep.stats.coalesced_fraction() > 0.999, "{:?}", rep.stats);
+        assert_eq!(rep.stats.loads, vol as u64);
+        assert_eq!(rep.stats.stores, vol as u64);
+        assert_eq!(rep.stats.shared_reads, 0, "coarse kernel must not touch shared memory");
+    }
+
+    #[test]
+    fn pass_patterns_are_d_in_a_or_b_out() {
+        let plan = FiveStepPlanLayout::new(16, 16, 16);
+        for (i, pass) in plan.strided_passes().iter().enumerate() {
+            assert_eq!(pass.read_pattern, AccessPattern::D);
+            let want = if i % 2 == 0 { AccessPattern::A } else { AccessPattern::B };
+            assert_eq!(pass.write_pattern, want);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_pass_pair_is_identity_on_z() {
+        // Running pass 1 forward then the matching inverse first-half on the
+        // *output* undoes the twiddled column FFTs (up to 1/len scaling).
+        use fft_math::layout::FiveStepPlanLayout;
+        let plan = FiveStepPlanLayout::new(16, 16, 16);
+        let passes = plan.strided_passes();
+        let vol = plan.volume();
+        let mut gpu = make_gpu();
+        let a = gpu.mem_mut().alloc(vol).unwrap();
+        let b = gpu.mem_mut().alloc(vol).unwrap();
+        let host: Vec<Complex32> =
+            (0..vol).map(|i| Complex32::new((i as f32).sin(), (i as f32).cos())).collect();
+        gpu.mem_mut().upload(a, 0, &host);
+        run_strided_pass(&mut gpu, a, b, &passes[0], Direction::Forward, "fwd");
+        // Invert: an inverse pass over the *output's* slot-1 digit with the
+        // same (input-view, output-view) roles swapped is pass 1 of the
+        // split-swapped plan run on different digits; the cheap check here
+        // is numerical: forward pass energy is conserved (unitary x len).
+        let out = gpu.mem().as_slice(b);
+        let e_in: f64 = host.iter().map(|z| z.norm_sqr() as f64).sum();
+        let e_out: f64 =
+            out.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / passes[0].fft_len as f64;
+        assert!((e_in - e_out).abs() < 1e-3 * e_in, "{e_in} vs {e_out}");
+    }
+
+    #[test]
+    fn paper_register_count() {
+        // §3.1: "kernels of 16-point FFT with 51 or 52 registers".
+        assert_eq!(coarse_regs(16), 52);
+    }
+
+    #[test]
+    fn occupancy_of_coarse_kernel_is_128_threads() {
+        let gpu = make_gpu();
+        let occ = gpu_sim::occupancy(&gpu.spec().arch, &coarse_resources(16));
+        assert_eq!(occ.threads_per_sm, 128);
+    }
+}

@@ -1,0 +1,553 @@
+//! The fine-grained batched row-FFT kernel (step 5 of the paper).
+//!
+//! One thread block computes one contiguous `n`-point row (the X axis) with
+//! `n/4` cooperating threads, each holding four complex values in registers
+//! (§3.2: "computing a 256-point FFT with 64 threads each thread uses only
+//! eight registers to store four complex numbers"). The transform runs as
+//! radix-4 Stockham stages (plus a final radix-2 for `n = 2·4^k`); between
+//! stages the values are redistributed through shared memory — "a 256-point
+//! FFT requires data exchange via shared memory at least three times" — with
+//! real parts exchanged first and imaginary parts second to halve the shared
+//! allocation (§3.2).
+//!
+//! Bank conflicts are eliminated by the paper's padding technique. Rather
+//! than hard-coding one pad, [`FineFftPlan::new`] *searches* per-exchange pad
+//! strides and per-stage lane assignments at plan time using the simulator's
+//! own conflict rule, and the tests assert the chosen configuration is
+//! conflict-free for every supported size. Twiddle factors are fetched from
+//! texture memory (§3.2's option 3, the paper's choice for this kernel).
+
+use fft_math::flops::nominal_flops_1d;
+use fft_math::layout::AccessPattern;
+use fft_math::twiddle::{Direction, TwiddleTable};
+use fft_math::Complex32;
+use gpu_sim::shared::bank_conflict_degree;
+use gpu_sim::{
+    BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig, TexAccess, TextureId,
+};
+
+/// One Stockham stage of the decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Stage {
+    /// Butterfly radix (4, with a possible final 2).
+    pub radix: usize,
+    /// Sub-transform count `len / radix`.
+    pub m: usize,
+    /// Output stride.
+    pub s: usize,
+    /// Lane assignment: `false` = p-major (`t = p*s + q`),
+    /// `true` = q-major (`t = q*m + p`).
+    pub q_major: bool,
+}
+
+impl Stage {
+    /// Butterfly coordinates handled by thread `t` for its `b`-th butterfly.
+    #[inline]
+    fn coords(&self, t: usize, b: usize, threads: usize) -> (usize, usize) {
+        let beta = t + b * threads;
+        if self.q_major {
+            // beta = q * m + p
+            (beta % self.m, beta / self.m)
+        } else {
+            // beta = p * s + q
+            (beta / self.s, beta % self.s)
+        }
+    }
+
+    /// Butterflies per thread (1 for radix-4 stages, 2 for the radix-2 tail
+    /// since it has twice as many butterflies as threads).
+    fn butterflies_per_thread(&self, threads: usize) -> usize {
+        (self.m * self.s).div_ceil(threads)
+    }
+}
+
+/// Skews a shared word index: `w + c * (w / g)` — inserting `c` pad words
+/// after every `g`-word group. `(0, 0)` means no padding. The classic
+/// "+1 word per 16" padding is `(16, 1)`; some exchanges need a wider skew
+/// (e.g. `(16, 4)`), which the plan-time search below discovers.
+#[inline]
+fn pad(w: usize, p: (usize, usize)) -> usize {
+    match w.checked_div(p.0) {
+        Some(groups) => w + p.1 * groups,
+        None => w,
+    }
+}
+
+/// Candidate `(group, pad)` skews the plan-time optimiser tries.
+const PAD_CANDIDATES: [(usize, usize); 11] = [
+    (0, 0),
+    (16, 1),
+    (16, 2),
+    (16, 4),
+    (16, 8),
+    (8, 1),
+    (8, 4),
+    (4, 1),
+    (4, 4),
+    (2, 1),
+    (32, 1),
+];
+
+/// A planned fine-grained FFT of fixed row length.
+#[derive(Clone, Debug)]
+pub struct FineFftPlan {
+    n: usize,
+    threads: usize,
+    stages: Vec<Stage>,
+    /// `(group, pad)` skew per exchange (between stage `e` and `e+1`).
+    pads: Vec<(usize, usize)>,
+    shared_words: usize,
+    /// Total conflict degree the chosen configuration incurs in the plan-time
+    /// model (0 for all paper sizes).
+    pub planned_conflicts: u64,
+}
+
+impl FineFftPlan {
+    /// Plans the stage decomposition and bank-conflict-free exchanges for
+    /// row length `n` (power of two, 4..=512).
+    ///
+    /// Below `n = 64` the cooperating block is narrower than a half-warp,
+    /// and some stages then genuinely violate alignment rule (c) — exactly
+    /// as on hardware. The paper's sizes (64–512) always use full
+    /// half-warps.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && (4..=512).contains(&n), "unsupported row length {n}");
+        let threads = n / 4;
+        // Radix sequence: 4s first, a single 2 if log2(n) is odd.
+        let mut radices = Vec::new();
+        let mut rem = n;
+        while rem.is_multiple_of(4) {
+            radices.push(4);
+            rem /= 4;
+        }
+        if rem == 2 {
+            radices.push(2);
+        }
+
+        // Best (assignments, pads) over the small search space.
+        type Candidate = (Vec<bool>, Vec<(usize, usize)>, u64);
+        let num_stages = radices.len();
+        let mut best: Option<Candidate> = None;
+        for mask in 0u32..(1 << num_stages) {
+            let assign: Vec<bool> = (0..num_stages).map(|i| mask >> i & 1 == 1).collect();
+            let stages = build_stages(n, &radices, &assign);
+            let mut pads: Vec<(usize, usize)> = Vec::with_capacity(num_stages - 1);
+            let mut total = 0u64;
+            for e in 0..num_stages - 1 {
+                let (p, c) = best_pad(&stages[e], &stages[e + 1], threads);
+                pads.push(p);
+                total += c;
+            }
+            if best.as_ref().is_none_or(|(_, _, t)| total < *t) {
+                best = Some((assign, pads, total));
+            }
+            if total == 0 {
+                break;
+            }
+        }
+        let (assign, pads, planned_conflicts) = best.expect("search space is non-empty");
+        let stages = build_stages(n, &radices, &assign);
+        let shared_words =
+            pads.iter().map(|&p| pad(n - 1, p) + 1).max().unwrap_or(n);
+        FineFftPlan { n, threads, stages, pads, shared_words, planned_conflicts }
+    }
+
+    /// Plans with a *forced* uniform pad skew on every exchange (bypassing
+    /// the conflict search) — the a2 ablation's "no padding" configuration
+    /// uses `(0, 0)` to measure what the paper's padding technique buys.
+    pub fn with_uniform_pad(n: usize, pad_skew: (usize, usize)) -> Self {
+        let base = Self::new(n);
+        let radices: Vec<usize> = base.stages.iter().map(|s| s.radix).collect();
+        let assign = vec![false; radices.len()];
+        let stages = build_stages(n, &radices, &assign);
+        let threads = n / 4;
+        let mut planned_conflicts = 0u64;
+        for e in 0..stages.len() - 1 {
+            planned_conflicts += exchange_conflicts(&stages[e], &stages[e + 1], threads, pad_skew);
+        }
+        let pads = vec![pad_skew; stages.len().saturating_sub(1)];
+        let shared_words = pads.iter().map(|&p| pad(n - 1, p) + 1).max().unwrap_or(n);
+        FineFftPlan { n, threads, stages, pads, shared_words, planned_conflicts }
+    }
+
+    /// Row length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true: plans have positive length.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cooperating threads per row (= per block).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Shared-memory words each block allocates.
+    pub fn shared_words(&self) -> usize {
+        self.shared_words
+    }
+
+    /// Stage sequence (for inspection/tests).
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Launch resources: `n/4` threads, 4 complex values + temporaries in
+    /// registers, the padded real-part staging array in shared memory.
+    pub fn resources(&self) -> KernelResources {
+        KernelResources {
+            threads_per_block: self.threads,
+            regs_per_thread: 16,
+            shared_bytes_per_block: self.shared_words * 4,
+        }
+    }
+}
+
+fn build_stages(n: usize, radices: &[usize], assign: &[bool]) -> Vec<Stage> {
+    let mut stages = Vec::with_capacity(radices.len());
+    let mut len = n;
+    let mut s = 1usize;
+    for (i, &r) in radices.iter().enumerate() {
+        let m = len / r;
+        stages.push(Stage { radix: r, m, s, q_major: assign[i] });
+        len = m;
+        s *= r;
+    }
+    stages
+}
+
+/// Word-index streams of an exchange: the write side of `wr` followed by the
+/// read side of `rd`, evaluated per half-warp per ordinal under pad `p`.
+fn exchange_conflicts(wr: &Stage, rd: &Stage, threads: usize, p: (usize, usize)) -> u64 {
+    let mut total = 0u64;
+    let hw = 16.min(threads);
+    for base in (0..threads).step_by(hw) {
+        // Write ordinals: butterfly b, output r.
+        for b in 0..wr.butterflies_per_thread(threads) {
+            for r in 0..wr.radix {
+                let words: Vec<usize> = (base..base + hw)
+                    .map(|t| {
+                        let (pp, q) = wr.coords(t, b, threads);
+                        pad(q + wr.s * (wr.radix * pp + r), p)
+                    })
+                    .collect();
+                total += (bank_conflict_degree(&words, 16) - 1) as u64;
+            }
+        }
+        // Read ordinals: butterfly b, input k.
+        for b in 0..rd.butterflies_per_thread(threads) {
+            for k in 0..rd.radix {
+                let words: Vec<usize> = (base..base + hw)
+                    .map(|t| {
+                        let (pp, q) = rd.coords(t, b, threads);
+                        pad(q + rd.s * (pp + k * rd.m), p)
+                    })
+                    .collect();
+                total += (bank_conflict_degree(&words, 16) - 1) as u64;
+            }
+        }
+    }
+    total
+}
+
+fn best_pad(wr: &Stage, rd: &Stage, threads: usize) -> ((usize, usize), u64) {
+    PAD_CANDIDATES
+        .iter()
+        .map(|&p| (p, exchange_conflicts(wr, rd, threads, p)))
+        .min_by_key(|&(_, c)| c)
+        .expect("candidates non-empty")
+}
+
+/// Binds the full-length twiddle table for `n` and `dir` as a cached texture
+/// (§3.2: "we selected texture memory for step 5").
+pub fn bind_twiddle_texture(gpu: &mut Gpu, n: usize, dir: Direction) -> TextureId {
+    let table = TwiddleTable::new(n, dir);
+    gpu.bind_texture(table.as_slice().to_vec(), TexAccess::Cached)
+}
+
+/// Builds the launch configuration of a batched fine-grained row-FFT pass
+/// (shared between the functional path and the analytic estimator).
+pub fn batched_config(
+    plan: &FineFftPlan,
+    rows: usize,
+    grid: usize,
+    in_place: bool,
+    name: &'static str,
+) -> LaunchConfig {
+    LaunchConfig {
+        name,
+        grid_blocks: grid,
+        resources: plan.resources(),
+        class: KernelClass::SharedFft,
+        read_pattern: AccessPattern::X,
+        write_pattern: AccessPattern::X,
+        in_place,
+        nominal_flops: rows as u64 * nominal_flops_1d(plan.n),
+        streams: 1,
+    }
+}
+
+/// Runs `rows` consecutive `n`-point FFTs: row `r` occupies elements
+/// `[r*n, (r+1)*n)` of `src` and lands in the same range of `dst` (which may
+/// equal `src` for the in-place step 5).
+///
+/// `tw` must be the texture bound by [`bind_twiddle_texture`] for the same
+/// `n` and direction.
+#[allow(clippy::too_many_arguments)]
+pub fn run_batched_fft(
+    gpu: &mut Gpu,
+    plan: &FineFftPlan,
+    src: BufferId,
+    dst: BufferId,
+    rows: usize,
+    dir: Direction,
+    tw: TextureId,
+    name: &'static str,
+) -> KernelReport {
+    let n = plan.n;
+    let threads = plan.threads;
+    let res = plan.resources();
+    let grid = gpu.fill_grid(&res).min(rows.max(1));
+    let cfg = batched_config(plan, rows, grid, src == dst, name);
+
+    let stages = plan.stages.clone();
+    let pads = plan.pads.clone();
+    let rot = match dir {
+        Direction::Forward => Complex32::mul_neg_i as fn(Complex32) -> Complex32,
+        Direction::Inverse => Complex32::mul_i,
+    };
+
+    gpu.launch_coop(&cfg, |blk| {
+        // Per-thread register state, persisted across phases by the block.
+        let mut vals = vec![[Complex32::ZERO; 4]; threads];
+        let mut next = vec![[Complex32::ZERO; 4]; threads];
+        let mut row = blk.block;
+        while row < rows {
+            let base = row * n;
+            for (si, st) in stages.iter().enumerate() {
+                let bpt = st.butterflies_per_thread(threads);
+                // --- gather stage inputs ---
+                if si == 0 {
+                    blk.threads(|t, ctx| {
+                        for b in 0..bpt {
+                            let (p, q) = st.coords(t, b, threads);
+                            for k in 0..st.radix {
+                                let idx = q + st.s * (p + k * st.m);
+                                vals[t][b * st.radix + k] = ctx.ld(src, base + idx);
+                            }
+                        }
+                    });
+                } else {
+                    // Exchange through shared memory: previous stage's
+                    // outputs were staged in `next`; move them via shared
+                    // with re/im split and the planned padding.
+                    let prev = &stages[si - 1];
+                    let p_pad = pads[si - 1];
+                    let pbpt = prev.butterflies_per_thread(threads);
+                    for im in [false, true] {
+                        blk.threads(|t, ctx| {
+                            for b in 0..pbpt {
+                                let (pp, q) = prev.coords(t, b, threads);
+                                for r in 0..prev.radix {
+                                    let w = q + prev.s * (prev.radix * pp + r);
+                                    let v = next[t][b * prev.radix + r];
+                                    ctx.sh_write(pad(w, p_pad), if im { v.im } else { v.re });
+                                }
+                            }
+                        });
+                        blk.sync();
+                        blk.threads(|t, ctx| {
+                            for b in 0..bpt {
+                                let (p, q) = st.coords(t, b, threads);
+                                for k in 0..st.radix {
+                                    let w = q + st.s * (p + k * st.m);
+                                    let x = ctx.sh_read(pad(w, p_pad));
+                                    let slot = &mut vals[t][b * st.radix + k];
+                                    if im {
+                                        slot.im = x;
+                                    } else {
+                                        slot.re = x;
+                                    }
+                                }
+                            }
+                        });
+                        blk.sync();
+                    }
+                }
+
+                // --- butterflies + twiddles ---
+                let last = si == stages.len() - 1;
+                let tw_step = n / (st.m * st.radix); // index scale into W_n
+                blk.threads(|t, ctx| {
+                    for b in 0..bpt {
+                        let (p, q) = st.coords(t, b, threads);
+                        let io = b * st.radix;
+                        let mut fl = 0u64;
+                        let out: [Complex32; 4] = if st.radix == 4 {
+                            let (a, bb, c, d) =
+                                (vals[t][io], vals[t][io + 1], vals[t][io + 2], vals[t][io + 3]);
+                            let t0 = a + c;
+                            let t1 = a - c;
+                            let t2 = bb + d;
+                            let t3 = rot(bb - d);
+                            let mut y = [t0 + t2, t1 + t3, t0 - t2, t1 - t3];
+                            fl += 16;
+                            if p != 0 {
+                                for (r, v) in y.iter_mut().enumerate().skip(1) {
+                                    *v *= ctx.tex1d(tw, (r * p * tw_step) % n);
+                                    fl += 6;
+                                }
+                            }
+                            y
+                        } else {
+                            let (a, bb) = (vals[t][io], vals[t][io + 1]);
+                            let mut y1 = a - bb;
+                            fl += 4;
+                            if p != 0 {
+                                y1 *= ctx.tex1d(tw, (p * tw_step) % n);
+                                fl += 6;
+                            }
+                            [a + bb, y1, Complex32::ZERO, Complex32::ZERO]
+                        };
+                        ctx.flops(fl);
+                        if last {
+                            for (r, v) in out.iter().enumerate().take(st.radix) {
+                                let idx = q + st.s * (st.radix * p + r);
+                                ctx.st(dst, base + idx, *v);
+                            }
+                        } else {
+                            next[t][io..io + st.radix].copy_from_slice(&out[..st.radix]);
+                        }
+                    }
+                });
+                if !last {
+                    blk.sync();
+                }
+
+            }
+            row += grid;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::error::rel_l2_error_f32;
+    use fft_math::fft1d::fft_pow2;
+    use gpu_sim::DeviceSpec;
+
+    fn signal(len: usize) -> Vec<Complex32> {
+        (0..len)
+            .map(|i| Complex32::new((0.13 * i as f32).sin(), (0.29 * i as f32).cos() - 0.4))
+            .collect()
+    }
+
+    fn run_case(n: usize, rows: usize, dir: Direction) -> (Vec<Complex32>, KernelReport) {
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let plan = FineFftPlan::new(n);
+        let host = signal(n * rows);
+        let src = gpu.mem_mut().alloc(n * rows).unwrap();
+        gpu.mem_mut().upload(src, 0, &host);
+        let tw = bind_twiddle_texture(&mut gpu, n, dir);
+        let rep = run_batched_fft(&mut gpu, &plan, src, src, rows, dir, tw, "fine");
+        let mut out = vec![Complex32::ZERO; n * rows];
+        gpu.mem_mut().download(src, 0, &mut out);
+        (out, rep)
+    }
+
+    #[test]
+    fn matches_stockham_for_all_paper_sizes() {
+        for n in [16usize, 32, 64, 128, 256, 512] {
+            let rows = 4;
+            let host = signal(n * rows);
+            let (got, _) = run_case(n, rows, Direction::Forward);
+            for r in 0..rows {
+                let mut want = host[r * n..(r + 1) * n].to_vec();
+                fft_pow2(&mut want, Direction::Forward);
+                let err = rel_l2_error_f32(&got[r * n..(r + 1) * n], &want);
+                assert!(err < 1e-5, "n={n} row {r}: rel err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let n = 256;
+        let rows = 2;
+        let host = signal(n * rows);
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FineFftPlan::new(n);
+        let src = gpu.mem_mut().alloc(n * rows).unwrap();
+        gpu.mem_mut().upload(src, 0, &host);
+        let twf = bind_twiddle_texture(&mut gpu, n, Direction::Forward);
+        let twi = bind_twiddle_texture(&mut gpu, n, Direction::Inverse);
+        run_batched_fft(&mut gpu, &plan, src, src, rows, Direction::Forward, twf, "f");
+        run_batched_fft(&mut gpu, &plan, src, src, rows, Direction::Inverse, twi, "i");
+        let mut out = vec![Complex32::ZERO; n * rows];
+        gpu.mem_mut().download(src, 0, &mut out);
+        for (o, h) in out.iter().zip(&host) {
+            assert!((o.scale(1.0 / n as f32) - *h).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn paper_decomposition_for_256() {
+        // 256 = 4^4: four stages, three shared exchanges (§3.2: "data
+        // exchange via shared memory at least three times"), 64 threads.
+        let plan = FineFftPlan::new(256);
+        assert_eq!(plan.stages().len(), 4);
+        assert_eq!(plan.threads(), 64);
+        assert!(plan.stages().iter().all(|s| s.radix == 4));
+    }
+
+    #[test]
+    fn planner_finds_conflict_free_padding() {
+        for n in [64usize, 128, 256, 512] {
+            let plan = FineFftPlan::new(n);
+            assert_eq!(plan.planned_conflicts, 0, "n={n}: planner left conflicts");
+        }
+    }
+
+    #[test]
+    fn measured_conflicts_are_zero_and_no_races() {
+        let (_, rep) = run_case(256, 4, Direction::Forward);
+        assert_eq!(rep.stats.shared_races, 0);
+        assert_eq!(rep.stats.shared_conflict_rate(), 0.0, "{:?}", rep.stats);
+        assert!(rep.stats.shared_reads > 0);
+    }
+
+    #[test]
+    fn global_traffic_coalesces_and_is_minimal() {
+        let (_, rep) = run_case(256, 8, Direction::Forward);
+        assert!(rep.stats.coalesced_fraction() > 0.999, "{:?}", rep.stats);
+        // Exactly one read and one write per element: the whole point of
+        // keeping the mid-stages in shared memory.
+        assert_eq!(rep.stats.loads, 256 * 8);
+        assert_eq!(rep.stats.stores, 256 * 8);
+    }
+
+    #[test]
+    fn twiddles_come_from_texture() {
+        let (_, rep) = run_case(256, 2, Direction::Forward);
+        assert!(rep.stats.tex_reads_cached > 0);
+        assert_eq!(rep.stats.tex_reads_strided, 0);
+    }
+
+    #[test]
+    fn shared_fits_within_sm() {
+        for n in [64usize, 128, 256, 512] {
+            let plan = FineFftPlan::new(n);
+            assert!(plan.resources().shared_bytes_per_block <= 16 * 1024, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported row length")]
+    fn rejects_1024() {
+        FineFftPlan::new(1024);
+    }
+}

@@ -1,0 +1,39 @@
+//! `bifft` — the bandwidth-intensive 3-D FFT of Nukada et al. (SC 2008),
+//! implemented as functional kernels on the simulated CUDA GPU of
+//! [`gpu_sim`], together with every baseline the paper evaluates against.
+//!
+//! * [`five_step`] — the paper's contribution: four coarse-grained 16-point
+//!   register passes (Z then Y) plus one fine-grained shared-memory pass (X),
+//!   touching device memory only with coalesced A/B/D-pattern streams.
+//! * [`six_step`] — the conventional transpose-based baseline.
+//! * [`cufft_like`] — a CUFFT-1.1-style baseline (two-pass 1-D kernels,
+//!   whole-transform-per-thread multirow Y/Z kernels).
+//! * [`noshared`] — the §4.3 shared-memory ablation (Table 9).
+//! * [`kernel16`] / [`kernel256`] — the two kernel families.
+//! * [`transpose`], [`elementwise`] — supporting device kernels.
+//! * [`report`] — per-run timing/bandwidth breakdowns.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cufft_like;
+pub mod elementwise;
+pub mod five_step;
+pub mod kernel16;
+pub mod kernel256;
+pub mod noshared;
+pub mod out_of_core;
+pub mod plan;
+pub mod report;
+pub mod six_step;
+pub mod transpose;
+pub mod wisdom;
+
+pub use batch::{Fft1dBatchGpu, Fft2dGpu};
+pub use cufft_like::CufftLikeFft;
+pub use five_step::FiveStepFft;
+pub use kernel256::FineFftPlan;
+pub use report::RunReport;
+pub use out_of_core::OutOfCoreFft;
+pub use plan::{Algorithm, Fft3d};
+pub use six_step::SixStepFft;

@@ -1,0 +1,215 @@
+//! §4.3 ablation: the X-axis transform *without* shared memory (Table 9).
+//!
+//! "Without shared memory, we are forced to use global memory for data
+//! exchange between threads. For this reason, we cannot use fine-grained
+//! parallelism, so the transforms for X axis are also divided into two steps
+//! of 16-point FFTs... the FFT algorithm fundamentally requires at least one
+//! data exchange between threads such that we must either utilize texture
+//! memory or non-coalesced memory access for the second step."
+//!
+//! The first pass reads and writes digit-interleaved layouts that coalesce
+//! on both sides; the second pass *cannot* coalesce its gathers (the digits
+//! have been consumed), so it either pays the 4x uncoalesced segment
+//! penalty or routes the gathers through the texture cache at roughly half
+//! the copy bandwidth. Both variants are functional and produce the same
+//! spectrum as the shared-memory kernel.
+
+use fft_math::codelets::{codelet_flops, fft_small};
+use fft_math::flops::nominal_flops_1d;
+use fft_math::layout::{split_radix, AccessPattern};
+use fft_math::twiddle::{Direction, InterTwiddle};
+use fft_math::Complex32;
+use gpu_sim::{
+    BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig, TexAccess,
+};
+
+/// How the second pass performs its inter-thread data exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XExchange {
+    /// Reads staged data through the texture cache (Table 9 row 2).
+    Texture,
+    /// Plain uncoalesced global loads (Table 9 row 3).
+    NonCoalesced,
+}
+
+/// Runs the no-shared-memory X-axis transform over `rows` contiguous
+/// `nx`-point rows: `v` → `work` (digit-interleaved) → `v` (natural order).
+///
+/// Returns the two kernel reports (first and second 16-point pass).
+pub fn run_x_axis_noshared(
+    gpu: &mut Gpu,
+    v: BufferId,
+    work: BufferId,
+    nx: usize,
+    rows: usize,
+    dir: Direction,
+    variant: XExchange,
+) -> Vec<KernelReport> {
+    let (a, b) = split_radix(nx);
+    let inter = InterTwiddle::new(b, a, dir);
+    let res = KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 3 * b.max(a) + 4,
+        shared_bytes_per_block: 0,
+    };
+    let grid = gpu.fill_grid(&res);
+    let total = grid * 64;
+
+    // ---- pass 1: FFTs over the high digit n1 (length b) at fixed n2 ----
+    // x = a*n1 + n2; output k1 stored back at the same interleaving
+    // (w = n2 + a*k1), so lanes (consecutive n2) coalesce on both sides.
+    let cfg1 = LaunchConfig {
+        name: "x_noshared_1",
+        grid_blocks: grid,
+        resources: res,
+        class: KernelClass::RegisterFft,
+        read_pattern: AccessPattern::A,
+        write_pattern: AccessPattern::A,
+        in_place: false,
+        nominal_flops: rows as u64 * nominal_flops_1d(nx) / 2,
+        streams: b,
+    };
+    let sub_rows = rows * a;
+    let flops1 = codelet_flops(b) as u64;
+    let inter1 = inter.clone();
+    let rep1 = gpu.launch(&cfg1, |t| {
+        let mut buf = [Complex32::ZERO; 16];
+        let mut r = t.gid();
+        while r < sub_rows {
+            let n2 = r % a;
+            let row = r / a;
+            let base = row * nx;
+            for (n1, slot) in buf[..b].iter_mut().enumerate() {
+                *slot = t.ld(v, base + a * n1 + n2);
+            }
+            fft_small(&mut buf[..b], dir);
+            t.flops(flops1);
+            for (k1, val) in buf[..b].iter().enumerate() {
+                let tw = inter1.get(k1, n2);
+                let out = if k1 == 0 || n2 == 0 { *val } else { *val * tw };
+                t.st(work, base + n2 + a * k1, out);
+            }
+            r += total;
+        }
+    });
+
+    // ---- pass 2: FFTs over the low digit n2 (length a) at fixed k1 ----
+    // Gathers w = n2 + a*k1 (lane stride a: uncoalescable); scatters the
+    // natural order x = k1 + b*k2 (lanes consecutive in k1: coalesced).
+    let tex = (variant == XExchange::Texture).then(|| {
+        let snapshot = gpu.mem().as_slice(work).to_vec();
+        gpu.bind_texture(snapshot, TexAccess::Strided)
+    });
+    let cfg2 = LaunchConfig {
+        name: match variant {
+            XExchange::Texture => "x_noshared_2_tex",
+            XExchange::NonCoalesced => "x_noshared_2_nc",
+        },
+        grid_blocks: grid,
+        resources: res,
+        class: KernelClass::RegisterFft,
+        read_pattern: AccessPattern::A,
+        write_pattern: AccessPattern::A,
+        in_place: false,
+        nominal_flops: rows as u64 * nominal_flops_1d(nx) / 2,
+        streams: a,
+    };
+    let sub_rows2 = rows * b;
+    let flops2 = codelet_flops(a) as u64;
+    let rep2 = gpu.launch(&cfg2, |t| {
+        let mut buf = [Complex32::ZERO; 16];
+        let mut r = t.gid();
+        while r < sub_rows2 {
+            let k1 = r % b;
+            let row = r / b;
+            let base = row * nx;
+            for (n2, slot) in buf[..a].iter_mut().enumerate() {
+                let idx = base + n2 + a * k1;
+                *slot = match tex {
+                    Some(texid) => t.tex1d(texid, idx),
+                    None => t.ld(work, idx),
+                };
+            }
+            fft_small(&mut buf[..a], dir);
+            t.flops(flops2);
+            for (k2, val) in buf[..a].iter().enumerate() {
+                t.st(v, base + k1 + b * k2, *val);
+            }
+            r += total;
+        }
+    });
+
+    vec![rep1, rep2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::error::rel_l2_error_f32;
+    use fft_math::fft1d::fft_pow2;
+    use gpu_sim::DeviceSpec;
+
+    fn signal(n: usize) -> Vec<Complex32> {
+        (0..n).map(|i| Complex32::new((0.21 * i as f32).sin(), (0.47 * i as f32).cos())).collect()
+    }
+
+    fn run(variant: XExchange, nx: usize, rows: usize) -> (Vec<Complex32>, Vec<KernelReport>) {
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let v = gpu.mem_mut().alloc(nx * rows).unwrap();
+        let work = gpu.mem_mut().alloc(nx * rows).unwrap();
+        let host = signal(nx * rows);
+        gpu.mem_mut().upload(v, 0, &host);
+        let reps = run_x_axis_noshared(&mut gpu, v, work, nx, rows, Direction::Forward, variant);
+        let mut out = vec![Complex32::ZERO; nx * rows];
+        gpu.mem_mut().download(v, 0, &mut out);
+        (out, reps)
+    }
+
+    #[test]
+    fn both_variants_compute_the_fft() {
+        for variant in [XExchange::Texture, XExchange::NonCoalesced] {
+            let (got, _) = run(variant, 256, 4);
+            let host = signal(256 * 4);
+            for r in 0..4 {
+                let mut want = host[r * 256..(r + 1) * 256].to_vec();
+                fft_pow2(&mut want, Direction::Forward);
+                let err = rel_l2_error_f32(&got[r * 256..(r + 1) * 256], &want);
+                assert!(err < 1e-5, "{variant:?} row {r}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn noncoalesced_variant_measures_uncoalesced_reads() {
+        let (_, reps) = run(XExchange::NonCoalesced, 256, 16);
+        assert!(reps[0].stats.coalesced_fraction() > 0.999, "{:?}", reps[0].stats);
+        assert!(reps[1].stats.load_coalesce_efficiency() < 0.3, "{:?}", reps[1].stats);
+        assert!(reps[1].stats.store_coalesce_efficiency() > 0.999);
+    }
+
+    #[test]
+    fn texture_variant_reads_through_texture() {
+        let (_, reps) = run(XExchange::Texture, 256, 16);
+        assert!(reps[1].stats.tex_reads_strided > 0);
+        assert_eq!(reps[1].stats.loads, 0, "second pass must not touch global reads");
+    }
+
+    #[test]
+    fn table9_ordering_shared_beats_texture_beats_noncoalesced() {
+        // Table 9 on the GTS: 5.17 (shared) < 5.11+8.43 (texture) <
+        // 5.13+14.3 (not coalesced). Compare the modelled *second* passes.
+        let (_, tex) = run(XExchange::Texture, 256, 16);
+        let (_, nc) = run(XExchange::NonCoalesced, 256, 16);
+        let t_tex: f64 = tex.iter().map(|r| r.timing.time_s).sum();
+        let t_nc: f64 = nc.iter().map(|r| r.timing.time_s).sum();
+        assert!(t_tex < t_nc, "texture {t_tex} must beat non-coalesced {t_nc}");
+        // Memory time (launch overhead excluded — the test volume is tiny):
+        // the uncoalesced exchange pays the ~2.5x segment penalty.
+        assert!(
+            nc[1].timing.mem_time_s > 2.0 * nc[0].timing.mem_time_s,
+            "the uncoalesced exchange dominates: {:?} vs {:?}",
+            nc[1].timing,
+            nc[0].timing
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! §3.3: FFTs larger than device memory, split over PCI-Express.
+//!
+//! "To compute an FFT which is larger than the capacity of the device
+//! memory, we divide the large FFT into multiple small FFTs. For example, a
+//! 3-D FFT of size 512³ ... is split into eight 3-D FFTs of size
+//! 512 x 512 x 64."
+//!
+//! The decomposition is a decimation-in-time split of the Z axis,
+//! `z = slabs·j + s`:
+//!
+//! * **Stage 1** (per slab `s`, the planes with `z ≡ s (mod slabs)`): upload,
+//!   3-D FFT of the slab (full X and Y transforms + the length-`nz/slabs`
+//!   half of Z), multiply by the inter-slab twiddle `W_nz^{s·k_j}`
+//!   (`MULTIPLY_TWIDDLE(I)`), download into the gathered plane order
+//!   `slabs·k_j + s`.
+//! * **Stage 2** (per group of `slabs` consecutive planes): upload, compute
+//!   the length-`slabs` FFTs across the planes (`FFT1X1X8`), download with
+//!   the final digit scatter `k = k_j + (nz/slabs)·k_s`.
+//!
+//! Every byte crosses PCIe twice, which is why Table 12's performance is
+//! transfer-dominated — and why §4.4 argues for keeping working sets on the
+//! card.
+
+use crate::elementwise::run_slab_twiddle;
+use crate::six_step::SixStepFft;
+use fft_math::codelets::{codelet_flops, fft_small};
+use fft_math::flops::{nominal_flops_1d, nominal_flops_3d};
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::pcie::{transfer_time, Dir as PcieDir, TransferReport};
+use gpu_sim::timing::KernelTiming;
+use gpu_sim::{DeviceSpec, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig};
+
+/// Timing summary of one out-of-core run, structured like Table 12's row.
+#[derive(Clone, Debug, Default)]
+pub struct OutOfCoreReport {
+    /// Stage-1 host-to-device transfer seconds (all slabs).
+    pub s1_h2d_s: f64,
+    /// Stage-1 on-device 3-D FFT seconds.
+    pub s1_fft_s: f64,
+    /// Stage-1 twiddle-multiply seconds.
+    pub s1_twiddle_s: f64,
+    /// Stage-1 device-to-host seconds.
+    pub s1_d2h_s: f64,
+    /// Stage-2 host-to-device seconds.
+    pub s2_h2d_s: f64,
+    /// Stage-2 cross-slab FFT seconds.
+    pub s2_fft_s: f64,
+    /// Stage-2 device-to-host seconds.
+    pub s2_d2h_s: f64,
+    /// Bytes shipped each way (total both stages).
+    pub bytes_transferred: u64,
+    /// Nominal FLOPs of the whole transform.
+    pub nominal_flops: u64,
+}
+
+impl OutOfCoreReport {
+    /// Total seconds.
+    pub fn total_s(&self) -> f64 {
+        self.s1_h2d_s
+            + self.s1_fft_s
+            + self.s1_twiddle_s
+            + self.s1_d2h_s
+            + self.s2_h2d_s
+            + self.s2_fft_s
+            + self.s2_d2h_s
+    }
+
+    /// Overall nominal GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        self.nominal_flops as f64 / self.total_s() / 1e9
+    }
+}
+
+/// An out-of-core 3-D FFT plan: Z decimated into `slabs` card-sized pieces.
+pub struct OutOfCoreFft {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    slabs: usize,
+}
+
+impl OutOfCoreFft {
+    /// Plans the decomposition. `slabs` must divide `nz`, the slab Z extent
+    /// must still be a power of two, and two slab buffers must fit on the
+    /// card.
+    pub fn new(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize, slabs: usize) -> Self {
+        assert!(slabs >= 2 && nz.is_multiple_of(slabs), "slabs must divide nz");
+        let slab_z = nz / slabs;
+        assert!(slab_z.is_power_of_two() && slabs.is_power_of_two());
+        assert!(slabs <= 16, "cross-slab FFT must fit a codelet");
+        let slab_bytes = (nx * ny * slab_z) as u64 * 8;
+        assert!(
+            2 * slab_bytes <= spec.memory_bytes,
+            "two {slab_bytes}-byte slab buffers must fit in device memory"
+        );
+        OutOfCoreFft { nx, ny, nz, slabs }
+    }
+
+    /// Z extent of one slab.
+    pub fn slab_z(&self) -> usize {
+        self.nz / self.slabs
+    }
+
+    /// Number of slabs.
+    pub fn slabs(&self) -> usize {
+        self.slabs
+    }
+
+    /// Full volume in elements.
+    pub fn volume(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Executes the transform on a natural-order host volume, in place.
+    ///
+    /// Device work runs functionally; the returned report carries the
+    /// modelled stage times (Table 12's columns).
+    pub fn execute(&self, gpu: &mut Gpu, host: &mut [Complex32], dir: Direction) -> OutOfCoreReport {
+        assert_eq!(host.len(), self.volume(), "volume mismatch");
+        let (nx, ny, nz, slabs) = (self.nx, self.ny, self.nz, self.slabs);
+        let slab_z = self.slab_z();
+        let plane = nx * ny;
+        let slab_elems = plane * slab_z;
+        let slab_bytes = slab_elems as u64 * 8;
+        let pcie = gpu.spec().pcie;
+
+        let mut rep = OutOfCoreReport {
+            nominal_flops: nominal_flops_3d(nx, ny, nz),
+            ..Default::default()
+        };
+        let mut work_host = vec![Complex32::ZERO; host.len()];
+        let mut slab_host = vec![Complex32::ZERO; slab_elems];
+
+        // On-device plan + buffers reused across slabs.
+        let slab_plan = SixStepFft::new(gpu, nx, ny, slab_z);
+        let (v, w) = slab_plan.alloc_buffers(gpu).expect("slab buffers must fit");
+
+        // ---- Stage 1 ----
+        for s in 0..slabs {
+            // Gather the decimated planes z = slabs*j + s.
+            for j in 0..slab_z {
+                let z = slabs * j + s;
+                slab_host[j * plane..(j + 1) * plane]
+                    .copy_from_slice(&host[z * plane..(z + 1) * plane]);
+            }
+            rep.s1_h2d_s += self.xfer(pcie, PcieDir::H2D, slab_bytes, slab_z).time_s;
+            gpu.mem_mut().upload(v, 0, &slab_host);
+
+            let run = slab_plan.execute(gpu, v, w, dir);
+            rep.s1_fft_s += run.total_time_s();
+
+            rep.s1_twiddle_s +=
+                run_slab_twiddle(gpu, v, plane, slab_z, nz, s, dir).timing.time_s;
+
+            gpu.mem_mut().download(v, 0, &mut slab_host);
+            rep.s1_d2h_s += self.xfer(pcie, PcieDir::D2H, slab_bytes, slab_z).time_s;
+            // Scatter: slab s's output plane k_j lands at slabs*k_j + s.
+            for kj in 0..slab_z {
+                let g = slabs * kj + s;
+                work_host[g * plane..(g + 1) * plane]
+                    .copy_from_slice(&slab_host[kj * plane..(kj + 1) * plane]);
+            }
+        }
+
+        // ---- Stage 2 ----
+        let group_elems = plane * slabs;
+        let group_bytes = group_elems as u64 * 8;
+        let g2 = gpu.mem_mut().alloc(group_elems).expect("group buffer fits");
+        for i in 0..slab_z {
+            let base = i * slabs;
+            rep.s2_h2d_s += self.xfer(pcie, PcieDir::H2D, group_bytes, slabs).time_s;
+            gpu.mem_mut()
+                .upload(g2, 0, &work_host[base * plane..(base + slabs) * plane]);
+
+            let krep = run_cross_plane_fft(gpu, g2, plane, slabs, dir);
+            rep.s2_fft_s += krep.timing.time_s;
+
+            let mut out = vec![Complex32::ZERO; group_elems];
+            gpu.mem_mut().download(g2, 0, &mut out);
+            rep.s2_d2h_s += self.xfer(pcie, PcieDir::D2H, group_bytes, slabs).time_s;
+            // Final scatter: bin k = k_j + slab_z*k_s → plane i + slab_z*ks.
+            for ks in 0..slabs {
+                let g = i + slab_z * ks;
+                host[g * plane..(g + 1) * plane]
+                    .copy_from_slice(&out[ks * plane..(ks + 1) * plane]);
+            }
+        }
+        gpu.mem_mut().free(g2);
+        gpu.mem_mut().free(v);
+        gpu.mem_mut().free(w);
+
+        rep.bytes_transferred = 4 * self.volume() as u64 * 8;
+        rep
+    }
+
+    fn xfer(&self, gen: gpu_sim::PcieGen, dir: PcieDir, bytes: u64, chunks: usize) -> TransferReport {
+        transfer_time(gen, dir, bytes, chunks)
+    }
+
+    /// Analytic estimate with **asynchronous transfer overlap** — the §4.4
+    /// extension ("the latest devices support asynchronous transfers, which
+    /// enable overlap between data transfer and computation").
+    ///
+    /// With double-buffered slabs, each stage becomes a three-deep pipeline
+    /// (upload | compute | download); its steady-state time is the maximum
+    /// of the three totals, plus one fill and one drain leg.
+    pub fn estimate_overlapped(&self, spec: &DeviceSpec) -> OutOfCoreReport {
+        let serial = self.estimate(spec);
+        let slabs = self.slabs as f64;
+        let groups = self.slab_z() as f64;
+
+        let s1_compute = serial.s1_fft_s + serial.s1_twiddle_s;
+        let s1 = (serial.s1_h2d_s.max(s1_compute).max(serial.s1_d2h_s))
+            + serial.s1_h2d_s / slabs
+            + serial.s1_d2h_s / slabs;
+        let s2 = (serial.s2_h2d_s.max(serial.s2_fft_s).max(serial.s2_d2h_s))
+            + serial.s2_h2d_s / groups
+            + serial.s2_d2h_s / groups;
+
+        // Attribute the pipelined time back to the dominant legs so the
+        // report columns stay meaningful: scale every leg by the stage's
+        // compression factor.
+        let f1 = s1 / (serial.s1_h2d_s + s1_compute + serial.s1_d2h_s);
+        let f2 = s2 / (serial.s2_h2d_s + serial.s2_fft_s + serial.s2_d2h_s);
+        OutOfCoreReport {
+            s1_h2d_s: serial.s1_h2d_s * f1,
+            s1_fft_s: serial.s1_fft_s * f1,
+            s1_twiddle_s: serial.s1_twiddle_s * f1,
+            s1_d2h_s: serial.s1_d2h_s * f1,
+            s2_h2d_s: serial.s2_h2d_s * f2,
+            s2_fft_s: serial.s2_fft_s * f2,
+            s2_d2h_s: serial.s2_d2h_s * f2,
+            ..serial
+        }
+    }
+
+    /// Analytic Table 12 estimate (no functional execution, any size).
+    pub fn estimate(&self, spec: &DeviceSpec) -> OutOfCoreReport {
+        let (nx, ny, nz, slabs) = (self.nx, self.ny, self.nz, self.slabs);
+        let slab_z = self.slab_z();
+        let plane = nx * ny;
+        let slab_bytes = (plane * slab_z) as u64 * 8;
+        let group_bytes = (plane * slabs) as u64 * 8;
+        let n_groups = slab_z;
+
+        let slab_fft: f64 = SixStepFft::estimate(spec, nx, ny, slab_z)
+            .iter()
+            .map(|(_, t)| t.time_s)
+            .sum();
+        let twiddle = {
+            // One read+write pass over the slab at streaming bandwidth.
+            let bw = gpu_sim::dram::copy_base_gbs(spec) * 1e9;
+            2.0 * slab_bytes as f64 / bw
+        };
+        let s2_fft = cross_plane_estimate(spec, plane, slabs).time_s * n_groups as f64;
+
+        OutOfCoreReport {
+            s1_h2d_s: slabs as f64 * transfer_time(spec.pcie, PcieDir::H2D, slab_bytes, slab_z).time_s,
+            s1_fft_s: slabs as f64 * slab_fft,
+            s1_twiddle_s: slabs as f64 * twiddle,
+            s1_d2h_s: slabs as f64 * transfer_time(spec.pcie, PcieDir::D2H, slab_bytes, slab_z).time_s,
+            s2_h2d_s: n_groups as f64
+                * transfer_time(spec.pcie, PcieDir::H2D, group_bytes, slabs).time_s,
+            s2_fft_s: s2_fft,
+            s2_d2h_s: n_groups as f64
+                * transfer_time(spec.pcie, PcieDir::D2H, group_bytes, slabs).time_s,
+            bytes_transferred: 4 * self.volume() as u64 * 8,
+            nominal_flops: nominal_flops_3d(nx, ny, nz),
+        }
+    }
+}
+
+fn cross_plane_cfg(plane: usize, slabs: usize, grid: usize) -> LaunchConfig {
+    LaunchConfig {
+        name: "fft_cross_plane",
+        grid_blocks: grid,
+        resources: KernelResources {
+            threads_per_block: 64,
+            regs_per_thread: 3 * slabs + 4,
+            shared_bytes_per_block: 0,
+        },
+        class: KernelClass::RegisterFft,
+        read_pattern: crate::cufft_like::classify_stride(plane * 8),
+        write_pattern: crate::cufft_like::classify_stride(plane * 8),
+        in_place: true,
+        nominal_flops: plane as u64 * nominal_flops_1d(slabs),
+        streams: slabs,
+    }
+}
+
+fn cross_plane_estimate(spec: &DeviceSpec, plane: usize, slabs: usize) -> KernelTiming {
+    let cfg = cross_plane_cfg(plane, slabs, 1);
+    let occ = gpu_sim::occupancy(&spec.arch, &cfg.resources);
+    gpu_sim::timing::estimate_pass(spec, &cfg, &occ, (plane * slabs) as u64)
+}
+
+/// The `FFT1X1X8` kernel: length-`slabs` FFTs across `slabs` consecutive
+/// planes, one transform per thread (coarse-grained, registers).
+fn run_cross_plane_fft(
+    gpu: &mut Gpu,
+    buf: gpu_sim::BufferId,
+    plane: usize,
+    slabs: usize,
+    dir: Direction,
+) -> KernelReport {
+    let grid = gpu.fill_grid(&cross_plane_cfg(plane, slabs, 1).resources);
+    let cfg = cross_plane_cfg(plane, slabs, grid);
+    let total = grid * 64;
+    let fl = codelet_flops(slabs) as u64;
+    gpu.launch(&cfg, |t| {
+        let mut buf16 = [Complex32::ZERO; 16];
+        let mut r = t.gid();
+        while r < plane {
+            for (j, v) in buf16[..slabs].iter_mut().enumerate() {
+                *v = t.ld(buf, r + j * plane);
+            }
+            fft_small(&mut buf16[..slabs], dir);
+            t.flops(fl);
+            for (j, v) in buf16[..slabs].iter().enumerate() {
+                t.st(buf, r + j * plane, *v);
+            }
+            r += total;
+        }
+    })
+}
+
+/// Converts an out-of-core report into a one-line summary.
+pub fn summarize(rep: &OutOfCoreReport, dims: (usize, usize, usize)) -> String {
+    format!(
+        "out-of-core {}x{}x{}: total {:.3} s ({:.1} GFLOPS) | stage1: h2d {:.3} fft {:.3} tw {:.3} d2h {:.3} | stage2: h2d {:.3} fft {:.3} d2h {:.3}",
+        dims.0, dims.1, dims.2,
+        rep.total_s(), rep.gflops(),
+        rep.s1_h2d_s, rep.s1_fft_s, rep.s1_twiddle_s, rep.s1_d2h_s,
+        rep.s2_h2d_s, rep.s2_fft_s, rep.s2_d2h_s,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::dft::dft3d_oracle;
+    use fft_math::error::rel_l2_error;
+    use gpu_sim::DeviceSpec;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    #[test]
+    fn out_of_core_matches_oracle() {
+        let (nx, ny, nz) = (16usize, 16, 32);
+        let spec = DeviceSpec::gts8800();
+        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2);
+        let mut gpu = Gpu::new(spec);
+        let mut rng = SmallRng::seed_from_u64(41);
+        let orig: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut host = orig.clone();
+        let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+        let want = dft3d_oracle(&orig, nx, ny, nz, Direction::Forward);
+        let err = rel_l2_error(&host, &want);
+        assert!(err < 1e-4, "rel err {err}");
+        assert!(rep.total_s() > 0.0);
+        assert!(rep.s1_h2d_s > 0.0 && rep.s2_d2h_s > 0.0);
+    }
+
+    #[test]
+    fn out_of_core_matches_in_core_at_larger_size() {
+        let (nx, ny, nz) = (16usize, 16, 64);
+        let spec = DeviceSpec::gt8800();
+        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4);
+        let mut gpu = Gpu::new(spec);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let orig: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut host = orig.clone();
+        plan.execute(&mut gpu, &mut host, Direction::Forward);
+
+        // Reference: the in-core six-step on a fresh device.
+        let mut gpu2 = Gpu::new(DeviceSpec::gtx8800());
+        let six = SixStepFft::new(&mut gpu2, nx, ny, nz);
+        let (v, w) = six.alloc_buffers(&mut gpu2).unwrap();
+        six.upload(&mut gpu2, v, &orig);
+        six.execute(&mut gpu2, v, w, Direction::Forward);
+        let want = six.download(&gpu2, v);
+        for (i, (g, wv)) in host.iter().zip(&want).enumerate() {
+            assert!((*g - *wv).abs() < 2e-2, "bin {i}: {g} vs {wv}");
+        }
+    }
+
+    #[test]
+    fn estimate_matches_table12_shape() {
+        // Table 12 on the GT: total 1.32 s, 13.7 GFLOPS, transfer-dominated.
+        let spec = DeviceSpec::gt8800();
+        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+        let est = plan.estimate(&spec);
+        let total = est.total_s();
+        assert!((total - 1.32).abs() / 1.32 < 0.25, "total {total}");
+        let transfers = est.s1_h2d_s + est.s1_d2h_s + est.s2_h2d_s + est.s2_d2h_s;
+        assert!(transfers > 0.5 * total, "must be transfer-dominated");
+        let g = est.gflops();
+        assert!((g - 13.7).abs() / 13.7 < 0.3, "gflops {g}");
+    }
+
+    #[test]
+    fn gtx_slower_than_gt_due_to_pcie(){
+        // Table 12: the GTX (PCIe 1.1) total 1.75 s vs GT 1.32 s.
+        let gt = DeviceSpec::gt8800();
+        let gtx = DeviceSpec::gtx8800();
+        let e_gt = OutOfCoreFft::new(&gt, 512, 512, 512, 8).estimate(&gt);
+        let e_gtx = OutOfCoreFft::new(&gtx, 512, 512, 512, 8).estimate(&gtx);
+        assert!(e_gtx.total_s() > 1.2 * e_gt.total_s());
+    }
+
+    #[test]
+    fn overlap_extension_beats_serial() {
+        // §4.4: async transfers should hide most of the PCIe time; the
+        // pipelined 512³ estimate must be substantially faster while staying
+        // bounded below by its longest leg.
+        for spec in DeviceSpec::all_cards() {
+            let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+            let serial = plan.estimate(&spec);
+            let overlap = plan.estimate_overlapped(&spec);
+            assert!(
+                overlap.total_s() < 0.75 * serial.total_s(),
+                "{}: {} vs {}",
+                spec.name,
+                overlap.total_s(),
+                serial.total_s()
+            );
+            let floor = (serial.s1_h2d_s.max(serial.s1_fft_s + serial.s1_twiddle_s))
+                .max(serial.s1_d2h_s);
+            assert!(overlap.total_s() > floor, "cannot beat the longest leg");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slabs must divide")]
+    fn bad_slab_count_rejected() {
+        let spec = DeviceSpec::gt8800();
+        OutOfCoreFft::new(&spec, 64, 64, 64, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! The unified planning facade: one natural-layout API over all three GPU
+//! algorithms.
+//!
+//! Downstream code (the applications, the examples) mostly wants "a 3-D FFT
+//! on this device" without caring which algorithm runs or how the data is
+//! laid out on the card. `Fft3d` provides that: natural x-fastest volumes
+//! in, natural spectra out, with the algorithm selectable (defaulting to the
+//! paper's five-step kernel) and the layout packing handled internally.
+
+use crate::cufft_like::CufftLikeFft;
+use crate::five_step::FiveStepFft;
+use crate::report::RunReport;
+use crate::six_step::SixStepFft;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{AllocError, BufferId, Gpu};
+
+/// Which 3-D FFT algorithm a plan uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The paper's bandwidth-intensive five-step kernel (the default).
+    #[default]
+    FiveStep,
+    /// The conventional six-step transpose baseline.
+    SixStep,
+    /// The CUFFT-1.1-style baseline.
+    CufftLike,
+}
+
+enum Inner {
+    Five(FiveStepFft),
+    Six(SixStepFft),
+    Cufft(CufftLikeFft),
+}
+
+/// A planned 3-D FFT with device buffers attached.
+pub struct Fft3d {
+    inner: Inner,
+    v: BufferId,
+    work: BufferId,
+    dims: (usize, usize, usize),
+}
+
+impl Fft3d {
+    /// Plans a transform with the chosen algorithm and allocates its device
+    /// buffers.
+    ///
+    /// # Errors
+    /// Returns the allocation error when the volume does not fit on the
+    /// card (at which point [`crate::out_of_core::OutOfCoreFft`] is the
+    /// tool).
+    pub fn new(
+        gpu: &mut Gpu,
+        algorithm: Algorithm,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Result<Self, AllocError> {
+        let (inner, v, work) = match algorithm {
+            Algorithm::FiveStep => {
+                let p = FiveStepFft::new(gpu, nx, ny, nz);
+                let (v, w) = p.alloc_buffers(gpu)?;
+                (Inner::Five(p), v, w)
+            }
+            Algorithm::SixStep => {
+                let p = SixStepFft::new(gpu, nx, ny, nz);
+                let (v, w) = p.alloc_buffers(gpu)?;
+                (Inner::Six(p), v, w)
+            }
+            Algorithm::CufftLike => {
+                let p = CufftLikeFft::new(gpu, nx, ny, nz);
+                let (v, w) = p.alloc_buffers(gpu)?;
+                (Inner::Cufft(p), v, w)
+            }
+        };
+        Ok(Fft3d { inner, v, work, dims: (nx, ny, nz) })
+    }
+
+    /// The algorithm behind this plan.
+    pub fn algorithm(&self) -> Algorithm {
+        match self.inner {
+            Inner::Five(_) => Algorithm::FiveStep,
+            Inner::Six(_) => Algorithm::SixStep,
+            Inner::Cufft(_) => Algorithm::CufftLike,
+        }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        self.dims
+    }
+
+    /// Volume in elements.
+    pub fn volume(&self) -> usize {
+        self.dims.0 * self.dims.1 * self.dims.2
+    }
+
+    /// Transforms a natural-order host volume, returning the natural-order
+    /// result and the per-kernel report. Inverse transforms are left
+    /// unnormalised (CUFFT/FFTW convention).
+    pub fn transform(
+        &self,
+        gpu: &mut Gpu,
+        host: &[Complex32],
+        dir: Direction,
+    ) -> (Vec<Complex32>, RunReport) {
+        assert_eq!(host.len(), self.volume(), "volume mismatch");
+        match &self.inner {
+            Inner::Five(p) => {
+                // upload packs the natural order into the 5-D input layout;
+                // download unpacks the 5-D output layout — both directions
+                // of the transform use the same digit bookkeeping.
+                p.upload(gpu, self.v, host);
+                let rep = p.execute(gpu, self.v, self.work, dir);
+                (p.download(gpu, self.v), rep)
+            }
+            Inner::Six(p) => {
+                p.upload(gpu, self.v, host);
+                let rep = p.execute(gpu, self.v, self.work, dir);
+                (p.download(gpu, self.v), rep)
+            }
+            Inner::Cufft(p) => {
+                gpu.mem_mut().upload(self.v, 0, host);
+                let rep = p.execute(gpu, self.v, self.work, dir);
+                let mut out = vec![Complex32::ZERO; self.volume()];
+                gpu.mem_mut().download(self.v, 0, &mut out);
+                (out, rep)
+            }
+        }
+    }
+
+    /// Frees the plan's device buffers.
+    pub fn release(self, gpu: &mut Gpu) {
+        gpu.mem_mut().free(self.v);
+        gpu.mem_mut().free(self.work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::error::rel_l2_error_f32;
+    use gpu_sim::DeviceSpec;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn volume(n: usize, seed: u64) -> Vec<Complex32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn all_algorithms_agree_through_the_facade() {
+        let n = 16usize;
+        let host = volume(n * n * n, 600);
+        let mut results = Vec::new();
+        for algo in [Algorithm::FiveStep, Algorithm::SixStep, Algorithm::CufftLike] {
+            let mut gpu = Gpu::new(DeviceSpec::gts8800());
+            let plan = Fft3d::new(&mut gpu, algo, n, n, n).unwrap();
+            assert_eq!(plan.algorithm(), algo);
+            let (out, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
+            assert!(rep.total_time_s() > 0.0);
+            plan.release(&mut gpu);
+            results.push(out);
+        }
+        for other in &results[1..] {
+            assert!(rel_l2_error_f32(other, &results[0]) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn default_algorithm_is_the_papers() {
+        assert_eq!(Algorithm::default(), Algorithm::FiveStep);
+    }
+
+    #[test]
+    fn release_returns_memory() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let before = gpu.mem().used_bytes();
+        let plan = Fft3d::new(&mut gpu, Algorithm::FiveStep, 16, 16, 16).unwrap();
+        assert!(gpu.mem().used_bytes() > before);
+        plan.release(&mut gpu);
+        assert_eq!(gpu.mem().used_bytes(), before);
+    }
+
+    #[test]
+    fn oversized_plan_reports_alloc_error() {
+        // A cut-down card (1 MiB) makes the capacity failure cheap to hit.
+        let mut spec = DeviceSpec::gts8800();
+        spec.memory_bytes = 1 << 20;
+        let mut gpu = Gpu::new(spec);
+        let r = Fft3d::new(&mut gpu, Algorithm::SixStep, 64, 64, 64);
+        assert!(r.is_err(), "two 2 MiB buffers cannot fit in 1 MiB");
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_through_facade() {
+        let n = 16usize;
+        let host = volume(n * n * n, 601);
+        let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+        let plan = Fft3d::new(&mut gpu, Algorithm::SixStep, n, n, n).unwrap();
+        let (spec, _) = plan.transform(&mut gpu, &host, Direction::Forward);
+        let (back, _) = plan.transform(&mut gpu, &spec, Direction::Inverse);
+        let s = 1.0 / plan.volume() as f32;
+        for (b, h) in back.iter().zip(&host) {
+            assert!((b.scale(s) - *h).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Structured per-run reporting: the data behind every table of §4.
+
+use fft_math::flops::{gbytes_per_sec, gflops};
+use gpu_sim::KernelReport;
+
+/// Result of a full multi-kernel transform on the device.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Algorithm label ("five-step", "six-step", "cufft-like", ...).
+    pub algorithm: &'static str,
+    /// Volume dimensions `(nx, ny, nz)`.
+    pub dims: (usize, usize, usize),
+    /// Nominal FLOPs of the whole transform (`5·V·log2` convention).
+    pub nominal_flops: u64,
+    /// Per-kernel reports in execution order.
+    pub steps: Vec<KernelReport>,
+}
+
+impl RunReport {
+    /// Total modelled device time, seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.steps.iter().map(|s| s.timing.time_s).sum()
+    }
+
+    /// Achieved GFLOPS at the paper's nominal-FLOP convention.
+    pub fn gflops(&self) -> f64 {
+        gflops(self.nominal_flops, self.total_time_s())
+    }
+
+    /// Sum of useful global bytes moved by all kernels.
+    pub fn total_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.stats.load_bytes() + s.stats.store_bytes()).sum()
+    }
+
+    /// Whole-run effective bandwidth, GB/s.
+    pub fn overall_gbs(&self) -> f64 {
+        gbytes_per_sec(self.total_bytes(), self.total_time_s())
+    }
+
+    /// Sum of the modelled times of steps whose kernel name contains `pat`.
+    pub fn time_of(&self, pat: &str) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.name.contains(pat))
+            .map(|s| s.timing.time_s)
+            .sum()
+    }
+
+    /// Human-readable per-step breakdown (the shape of Tables 6–7).
+    pub fn step_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} {}x{}x{}: {:.2} ms total, {:.1} GFLOPS\n",
+            self.algorithm,
+            self.dims.0,
+            self.dims.1,
+            self.dims.2,
+            self.total_time_s() * 1e3,
+            self.gflops()
+        ));
+        for s in &self.steps {
+            out.push_str(&format!(
+                "  {:<16} {:>8.2} ms  {:>6.1} GB/s  coalesced {:>5.1}%\n",
+                s.name,
+                s.timing.time_s * 1e3,
+                s.timing.achieved_gbs,
+                s.stats.coalesced_fraction() * 100.0
+            ));
+        }
+        out
+    }
+
+    /// Asserts the run hit no shared-memory races and stayed coalesced; used
+    /// by tests and debug harnesses.
+    pub fn assert_clean(&self) {
+        for s in &self.steps {
+            assert_eq!(s.stats.shared_races, 0, "step {} raced", s.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_of_filters_by_name() {
+        use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(1024).unwrap();
+        let run = |gpu: &mut Gpu, name: &'static str| {
+            let cfg = LaunchConfig::copy(name, 1, 64);
+            gpu.launch(&cfg, |t| {
+                let v = t.ld(buf, t.tid);
+                t.st(buf, (t.tid + 64) % 1024, v);
+            })
+        };
+        let steps = vec![run(&mut gpu, "fft_x"), run(&mut gpu, "transpose_a")];
+        let r = RunReport { algorithm: "t", dims: (8, 8, 16), nominal_flops: 10, steps };
+        assert!(r.time_of("fft_") > 0.0);
+        assert!(r.time_of("transpose") > 0.0);
+        assert_eq!(r.time_of("nothing"), 0.0);
+        assert!((r.time_of("fft_") + r.time_of("transpose") - r.total_time_s()).abs() < 1e-12);
+        assert!(r.overall_gbs() > 0.0);
+        assert_eq!(r.total_bytes(), 2 * 64 * 8 * 2);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport { algorithm: "none", dims: (1, 1, 1), nominal_flops: 0, steps: vec![] };
+        assert_eq!(r.total_time_s(), 0.0);
+        assert_eq!(r.total_bytes(), 0);
+        r.assert_clean();
+    }
+}

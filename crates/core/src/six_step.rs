@@ -1,0 +1,218 @@
+//! The conventional six-step 3-D FFT baseline (§3 of the paper).
+//!
+//! "Step 1. Compute 1-D FFTs for dimension X. Step 2. Transpose from (x,y,z)
+//! to (z,x,y). Step 3. Compute 1-D FFTs for dimension Z. Step 4. Transpose
+//! from (z,x,y) to (y,z,x). Step 5. Compute 1-D FFTs for dimension Y.
+//! Step 6. Transpose from (y,z,x) to (x,y,z)."
+//!
+//! The FFT steps reuse the fine-grained shared-memory kernel (they are
+//! contiguous batched transforms); the transposes use the tiled rotation
+//! kernel, whose bandwidth collapses to the N-stream copy rate — the
+//! paper's Table 6 shows exactly this, and it is why the five-step
+//! algorithm wins by ~2x despite doing slightly more arithmetic.
+
+use crate::kernel256::{batched_config, bind_twiddle_texture, run_batched_fft, FineFftPlan};
+use crate::report::RunReport;
+use crate::transpose::{run_rotate_zxy, transpose_config, transpose_resources};
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::timing::{estimate_pass, KernelTiming};
+use gpu_sim::DeviceSpec;
+use fft_math::flops::nominal_flops_3d;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{AllocError, BufferId, Gpu, TextureId};
+
+/// A planned six-step 3-D FFT. Operates on the natural row-major layout
+/// (`x` fastest) with no packing.
+pub struct SixStepFft {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    fine_x: FineFftPlan,
+    fine_y: FineFftPlan,
+    fine_z: FineFftPlan,
+    tw: [[TextureId; 3]; 2], // [dir][axis]
+}
+
+impl SixStepFft {
+    /// Plans an `nx x ny x nz` transform (dims: powers of two, 16..=512).
+    pub fn new(gpu: &mut Gpu, nx: usize, ny: usize, nz: usize) -> Self {
+        let fine_x = crate::wisdom::plan(nx);
+        let fine_y = crate::wisdom::plan(ny);
+        let fine_z = crate::wisdom::plan(nz);
+        let tw = [Direction::Forward, Direction::Inverse].map(|d| {
+            [nx, ny, nz].map(|n| bind_twiddle_texture(gpu, n, d))
+        });
+        SixStepFft { nx, ny, nz, fine_x, fine_y, fine_z, tw }
+    }
+
+    /// Total complex elements.
+    pub fn volume(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Allocates data + scratch buffers.
+    pub fn alloc_buffers(&self, gpu: &mut Gpu) -> Result<(BufferId, BufferId), AllocError> {
+        Ok((gpu.mem_mut().alloc(self.volume())?, gpu.mem_mut().alloc(self.volume())?))
+    }
+
+    /// Uploads a natural-order volume.
+    pub fn upload(&self, gpu: &mut Gpu, v: BufferId, host: &[Complex32]) {
+        gpu.mem_mut().upload(v, 0, host);
+    }
+
+    /// Downloads the natural-order spectrum.
+    pub fn download(&self, gpu: &Gpu, v: BufferId) -> Vec<Complex32> {
+        let mut out = vec![Complex32::ZERO; self.volume()];
+        gpu.mem().download(v, 0, &mut out);
+        out
+    }
+
+    /// Analytic per-step estimate (same configurations as the functional
+    /// kernels; no execution).
+    pub fn estimate(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize) -> Vec<(&'static str, KernelTiming)> {
+        let elems = (nx * ny * nz) as u64;
+        let mut out = Vec::with_capacity(6);
+        let fft = |n: usize, rows: usize, name: &'static str| {
+            let plan = FineFftPlan::new(n);
+            let occ = occupancy(&spec.arch, &plan.resources());
+            let grid = spec.sms * occ.blocks_per_sm;
+            let cfg = batched_config(&plan, rows, grid, false, name);
+            (name, estimate_pass(spec, &cfg, &occ, elems))
+        };
+        let tr = |streams: usize, name: &'static str| {
+            let occ = occupancy(&spec.arch, &transpose_resources());
+            let grid = spec.sms * occ.blocks_per_sm;
+            let cfg = transpose_config(streams, grid, name);
+            (name, estimate_pass(spec, &cfg, &occ, elems))
+        };
+        let vol = nx * ny * nz;
+        out.push(fft(nx, vol / nx, "fft_x"));
+        out.push(tr(nz.max(ny), "transpose_zxy"));
+        out.push(fft(nz, vol / nz, "fft_z"));
+        out.push(tr(ny.max(nx), "transpose_yzx"));
+        out.push(fft(ny, vol / ny, "fft_y"));
+        out.push(tr(nx.max(nz), "transpose_xyz"));
+        out
+    }
+
+    /// Executes all six steps; input and output live in `v` (natural order).
+    #[allow(clippy::vec_init_then_push)] // the pass sequence reads top to bottom
+    pub fn execute(&self, gpu: &mut Gpu, v: BufferId, work: BufferId, dir: Direction) -> RunReport {
+        let di = match dir {
+            Direction::Forward => 0,
+            Direction::Inverse => 1,
+        };
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let vol = self.volume();
+        let mut steps = Vec::with_capacity(6);
+
+        // 1: X-axis FFTs, (x,y,z) rows are contiguous.
+        steps.push(run_batched_fft(
+            gpu, &self.fine_x, v, work, vol / nx, dir, self.tw[di][0], "fft_x",
+        ));
+        // 2: (x,y,z) -> (z,x,y).
+        steps.push(run_rotate_zxy(gpu, work, v, nx, ny, nz, "transpose_zxy"));
+        // 3: Z-axis FFTs, now contiguous.
+        steps.push(run_batched_fft(
+            gpu, &self.fine_z, v, work, vol / nz, dir, self.tw[di][2], "fft_z",
+        ));
+        // 4: (z,x,y) -> (y,z,x).
+        steps.push(run_rotate_zxy(gpu, work, v, nz, nx, ny, "transpose_yzx"));
+        // 5: Y-axis FFTs.
+        steps.push(run_batched_fft(
+            gpu, &self.fine_y, v, work, vol / ny, dir, self.tw[di][1], "fft_y",
+        ));
+        // 6: (y,z,x) -> (x,y,z).
+        steps.push(run_rotate_zxy(gpu, work, v, ny, nz, nx, "transpose_xyz"));
+
+        RunReport {
+            algorithm: "six-step",
+            dims: (nx, ny, nz),
+            nominal_flops: nominal_flops_3d(nx, ny, nz),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::dft::dft3d_oracle;
+    use fft_math::error::rel_l2_error;
+    use gpu_sim::DeviceSpec;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_3d_oracle() {
+        let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+        let plan = SixStepFft::new(&mut gpu, 16, 16, 16);
+        let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+        let host = random_volume(plan.volume(), 21);
+        plan.upload(&mut gpu, v, &host);
+        let rep = plan.execute(&mut gpu, v, w, Direction::Forward);
+        rep.assert_clean();
+        let got = plan.download(&gpu, v);
+        let want = dft3d_oracle(&host, 16, 16, 16, Direction::Forward);
+        assert!(rel_l2_error(&got, &want) < 1e-4);
+    }
+
+    #[test]
+    fn agrees_with_five_step() {
+        use crate::five_step::FiveStepFft;
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let host = random_volume(32 * 32 * 32, 22);
+
+        let six = SixStepFft::new(&mut gpu, 32, 32, 32);
+        let (v6, w6) = six.alloc_buffers(&mut gpu).unwrap();
+        six.upload(&mut gpu, v6, &host);
+        six.execute(&mut gpu, v6, w6, Direction::Forward);
+        let a = six.download(&gpu, v6);
+
+        let mut gpu2 = Gpu::new(DeviceSpec::gts8800());
+        let five = FiveStepFft::new(&mut gpu2, 32, 32, 32);
+        let (v5, w5) = five.alloc_buffers(&mut gpu2).unwrap();
+        five.upload(&mut gpu2, v5, &host);
+        five.execute(&mut gpu2, v5, w5, Direction::Forward);
+        let b = five.download(&gpu2, v5);
+
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!((*x - *y).abs() < 2e-2, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = SixStepFft::new(&mut gpu, 16, 32, 16);
+        let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+        let host = random_volume(plan.volume(), 23);
+        plan.upload(&mut gpu, v, &host);
+        plan.execute(&mut gpu, v, w, Direction::Forward);
+        plan.execute(&mut gpu, v, w, Direction::Inverse);
+        let got = plan.download(&gpu, v);
+        let n = plan.volume() as f32;
+        for (g, h) in got.iter().zip(&host) {
+            assert!((g.scale(1.0 / n) - *h).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposes_dominate_time() {
+        // The architectural point of the paper: at 256³-class strides the
+        // six-step's transpose steps cost more than its FFT steps.
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = SixStepFft::new(&mut gpu, 64, 64, 64);
+        let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+        let rep = plan.execute(&mut gpu, v, w, Direction::Forward);
+        assert_eq!(rep.steps.len(), 6);
+        let fft_time = rep.time_of("fft_");
+        let tr_time = rep.time_of("transpose");
+        assert!(tr_time > fft_time, "transposes {tr_time} vs ffts {fft_time}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Tiled 3-D rotation (transpose) kernels for the conventional six-step
+//! algorithm.
+//!
+//! The six-step baseline rotates the volume `(x,y,z) → (z,x,y)` between its
+//! 1-D FFT phases. A naive per-element kernel would leave one side
+//! uncoalesced; the standard remedy — and what CUFFT-era transpose kernels
+//! did — is a 16 x 16 tile staged through shared memory with one pad word
+//! per row, so both the gather and the scatter are half-warp sequential.
+//! Even so, the scatter sprays 16-row tiles across the whole output volume:
+//! the DRAM model prices it as an N-stream copy, which is exactly how the
+//! paper describes the measured transpose bandwidth ("nearly equal to the
+//! bandwidth of copying 256 streams", §4.1 / Table 6).
+
+use fft_math::layout::AccessPattern;
+use fft_math::Complex32;
+use gpu_sim::{BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig};
+
+/// Tile edge (matches the half-warp, as real transpose kernels do).
+pub const TILE: usize = 16;
+
+/// Resources of the tiled transpose kernel.
+pub fn transpose_resources() -> KernelResources {
+    KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 12,
+        // Separate padded re and im regions (§3.2's trick): interleaving
+        // them would put lanes at stride 2 and cost a 2-way bank conflict.
+        shared_bytes_per_block: 2 * TILE * (TILE + 1) * 4,
+    }
+}
+
+/// Launch configuration of the tiled transpose (shared between the
+/// functional path and the analytic estimator).
+pub fn transpose_config(streams: usize, grid: usize, name: &'static str) -> LaunchConfig {
+    LaunchConfig {
+        name,
+        grid_blocks: grid,
+        resources: transpose_resources(),
+        class: KernelClass::StreamCopy,
+        read_pattern: AccessPattern::X,
+        write_pattern: AccessPattern::D,
+        in_place: false,
+        nominal_flops: 0,
+        streams,
+    }
+}
+
+/// Rotates `(x, y, z) → (z, x, y)`: `dst[z + nz*(x + nx*y)] = src[x + nx*(y + ny*z)]`.
+///
+/// Dimensions must be multiples of [`TILE`].
+pub fn run_rotate_zxy(
+    gpu: &mut Gpu,
+    src: BufferId,
+    dst: BufferId,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    name: &'static str,
+) -> KernelReport {
+    assert!(
+        nx.is_multiple_of(TILE) && nz.is_multiple_of(TILE),
+        "transpose dims must be multiples of the {TILE}-wide tile"
+    );
+    // 64 threads handle a 16x16 tile in four 16-lane sweeps; the tile lives
+    // in shared memory with a pad word per row to kill bank conflicts.
+    let res = transpose_resources();
+    let grid = gpu.fill_grid(&res);
+    let cfg = transpose_config(nz.max(ny), grid, name);
+
+    let tiles_x = nx / TILE;
+    let tiles_z = nz / TILE;
+    let tiles_total = tiles_x * tiles_z * ny;
+    let rows_per_thread_pass = TILE / (64 / TILE); // 4 rows per sweep of 64 threads
+
+    gpu.launch_coop(&cfg, |blk| {
+        let mut tile = blk.block;
+        while tile < tiles_total {
+            let tx = tile % tiles_x;
+            let rest = tile / tiles_x;
+            let tz = rest % tiles_z;
+            let y = rest / tiles_z;
+            let x0 = tx * TILE;
+            let z0 = tz * TILE;
+
+            // Gather: lane i reads x0+i (coalesced) for 4 z-rows per sweep.
+            blk.threads(|t, ctx| {
+                let i = t % TILE;
+                let j0 = (t / TILE) * rows_per_thread_pass;
+                for dj in 0..rows_per_thread_pass {
+                    let j = j0 + dj;
+                    let v = ctx.ld(src, (x0 + i) + nx * (y + ny * (z0 + j)));
+                    let w = j * (TILE + 1) + i;
+                    ctx.sh_write(w, v.re);
+                    ctx.sh_write(TILE * (TILE + 1) + w, v.im);
+                }
+            });
+            blk.sync();
+            // Scatter: lane i writes z0+i (coalesced) for 4 x-rows per sweep.
+            blk.threads(|t, ctx| {
+                let i = t % TILE;
+                let j0 = (t / TILE) * rows_per_thread_pass;
+                for dj in 0..rows_per_thread_pass {
+                    let j = j0 + dj; // x offset within tile
+                    let w = i * (TILE + 1) + j;
+                    let v =
+                        Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
+                    ctx.st(dst, (z0 + i) + nz * ((x0 + j) + nx * y), v);
+                }
+            });
+            blk.sync();
+            tile += blk.grid_dim;
+        }
+    })
+}
+
+/// Per-plane 2-D transpose of a batch of planes:
+/// `dst[y + ny*(x + nx*p)] = src[x + nx*(y + ny*p)]` for `p in 0..planes`.
+///
+/// Same 16x16 padded-tile structure as [`run_rotate_zxy`]; used by the 2-D
+/// plan API.
+pub fn run_transpose_2d(
+    gpu: &mut Gpu,
+    src: BufferId,
+    dst: BufferId,
+    nx: usize,
+    ny: usize,
+    planes: usize,
+    name: &'static str,
+) -> KernelReport {
+    assert!(
+        nx.is_multiple_of(TILE) && ny.is_multiple_of(TILE),
+        "transpose dims must be multiples of the {TILE}-wide tile"
+    );
+    let res = transpose_resources();
+    let grid = gpu.fill_grid(&res);
+    let cfg = transpose_config(ny.max(nx), grid, name);
+
+    let tiles_x = nx / TILE;
+    let tiles_y = ny / TILE;
+    let tiles_total = tiles_x * tiles_y * planes;
+    let rows_per_thread_pass = TILE / (64 / TILE);
+
+    gpu.launch_coop(&cfg, |blk| {
+        let mut tile = blk.block;
+        while tile < tiles_total {
+            let tx = tile % tiles_x;
+            let rest = tile / tiles_x;
+            let ty = rest % tiles_y;
+            let p = rest / tiles_y;
+            let x0 = tx * TILE;
+            let y0 = ty * TILE;
+            let in_base = nx * ny * p;
+            blk.threads(|t, ctx| {
+                let i = t % TILE;
+                let j0 = (t / TILE) * rows_per_thread_pass;
+                for dj in 0..rows_per_thread_pass {
+                    let j = j0 + dj;
+                    let v = ctx.ld(src, in_base + (x0 + i) + nx * (y0 + j));
+                    let w = j * (TILE + 1) + i;
+                    ctx.sh_write(w, v.re);
+                    ctx.sh_write(TILE * (TILE + 1) + w, v.im);
+                }
+            });
+            blk.sync();
+            blk.threads(|t, ctx| {
+                let i = t % TILE;
+                let j0 = (t / TILE) * rows_per_thread_pass;
+                for dj in 0..rows_per_thread_pass {
+                    let j = j0 + dj;
+                    let w = i * (TILE + 1) + j;
+                    let v =
+                        Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
+                    ctx.st(dst, in_base + (y0 + i) + ny * (x0 + j), v);
+                }
+            });
+            blk.sync();
+            tile += blk.grid_dim;
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::c32;
+    use gpu_sim::DeviceSpec;
+
+    #[test]
+    fn rotation_is_correct() {
+        let (nx, ny, nz) = (16usize, 4, 32);
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let src = g.mem_mut().alloc(nx * ny * nz).unwrap();
+        let dst = g.mem_mut().alloc(nx * ny * nz).unwrap();
+        let host: Vec<Complex32> =
+            (0..nx * ny * nz).map(|i| c32(i as f32, -(i as f32))).collect();
+        g.mem_mut().upload(src, 0, &host);
+        run_rotate_zxy(&mut g, src, dst, nx, ny, nz, "t");
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let want = host[x + nx * (y + ny * z)];
+                    let got = g.mem().read(dst, z + nz * (x + nx * y));
+                    assert_eq!(got, want, "({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_sides_coalesce_and_no_conflicts() {
+        let mut g = Gpu::new(DeviceSpec::gts8800());
+        let n = 16 * 16 * 16;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let rep = run_rotate_zxy(&mut g, src, dst, 16, 16, 16, "t");
+        assert!(rep.stats.coalesced_fraction() > 0.999, "{:?}", rep.stats);
+        assert_eq!(rep.stats.shared_races, 0);
+        assert_eq!(rep.stats.shared_conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn transpose_prices_as_stream_copy() {
+        // Table 6: the 256³ transpose runs at roughly the 256-stream copy
+        // rate (~20.7 GB/s on the GT).
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let n = 32 * 16 * 256;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let rep = run_rotate_zxy(&mut g, src, dst, 32, 16, 256, "t");
+        assert!(
+            (rep.timing.modeled_bandwidth_gbs - 20.5).abs() < 1.0,
+            "{:?}",
+            rep.timing
+        );
+    }
+
+    #[test]
+    fn transpose_2d_is_correct_per_plane() {
+        let (nx, ny, planes) = (16usize, 32, 3);
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let src = g.mem_mut().alloc(nx * ny * planes).unwrap();
+        let dst = g.mem_mut().alloc(nx * ny * planes).unwrap();
+        let host: Vec<Complex32> =
+            (0..nx * ny * planes).map(|i| c32(i as f32, 1.0)).collect();
+        g.mem_mut().upload(src, 0, &host);
+        let rep = run_transpose_2d(&mut g, src, dst, nx, ny, planes, "t2d");
+        assert!(rep.stats.coalesced_fraction() > 0.999);
+        assert_eq!(rep.stats.shared_races, 0);
+        for p in 0..planes {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let want = host[x + nx * (y + ny * p)];
+                    let got = g.mem().read(dst, y + ny * (x + nx * p));
+                    assert_eq!(got, want, "({x},{y},{p})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_rotation_is_identity() {
+        let (nx, ny, nz) = (16usize, 16, 16);
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let a = g.mem_mut().alloc(nx * ny * nz).unwrap();
+        let b = g.mem_mut().alloc(nx * ny * nz).unwrap();
+        let host: Vec<Complex32> = (0..nx * ny * nz).map(|i| c32(i as f32, 0.5)).collect();
+        g.mem_mut().upload(a, 0, &host);
+        run_rotate_zxy(&mut g, a, b, nx, ny, nz, "t1");
+        run_rotate_zxy(&mut g, b, a, nz, nx, ny, "t2");
+        run_rotate_zxy(&mut g, a, b, ny, nz, nx, "t3");
+        let mut out = vec![Complex32::ZERO; host.len()];
+        g.mem_mut().download(b, 0, &mut out);
+        assert_eq!(out, host);
+    }
+}

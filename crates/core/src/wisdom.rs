@@ -1,0 +1,75 @@
+//! Plan cache ("wisdom", in the FFTW sense).
+//!
+//! Planning the fine-grained kernel involves the bank-conflict search of
+//! [`crate::kernel256::FineFftPlan::new`]; applications that create many
+//! transforms of the same lengths (the docking rotation sweep, the out-of-
+//! core slab loop) shouldn't repeat it. This process-wide cache memoises
+//! plans by length, like FFTW's wisdom memoises its planner output.
+
+use crate::kernel256::FineFftPlan;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+static CACHE: Mutex<Option<HashMap<usize, Arc<FineFftPlan>>>> = Mutex::new(None);
+static HITS: Mutex<u64> = Mutex::new(0);
+static MISSES: Mutex<u64> = Mutex::new(0);
+
+/// Returns the cached plan for length `n`, planning it on first use.
+pub fn plan_arc(n: usize) -> Arc<FineFftPlan> {
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(p) = map.get(&n) {
+        *HITS.lock() += 1;
+        return Arc::clone(p);
+    }
+    *MISSES.lock() += 1;
+    let p = Arc::new(FineFftPlan::new(n));
+    map.insert(n, Arc::clone(&p));
+    p
+}
+
+/// Returns an owned cached plan (cheap clone of the memoised schedule).
+pub fn plan(n: usize) -> FineFftPlan {
+    plan_arc(n).as_ref().clone()
+}
+
+/// `(hits, misses)` since process start or the last [`clear`].
+pub fn stats() -> (u64, u64) {
+    (*HITS.lock(), *MISSES.lock())
+}
+
+/// Drops all memoised plans and resets the counters.
+pub fn clear() {
+    *CACHE.lock() = None;
+    *HITS.lock() = 0;
+    *MISSES.lock() = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_after_first_plan() {
+        // Serialise against other tests through the cache's own lock:
+        // clear, then measure a fresh length twice.
+        clear();
+        let (_, m0) = stats();
+        let a = plan_arc(512);
+        let b = plan_arc(512);
+        assert!(Arc::ptr_eq(&a, &b));
+        let (h1, m1) = stats();
+        assert_eq!(m1 - m0, 1);
+        assert!(h1 >= 1);
+    }
+
+    #[test]
+    fn cached_plan_equals_fresh_plan() {
+        let cached = plan(256);
+        let fresh = FineFftPlan::new(256);
+        assert_eq!(cached.stages(), fresh.stages());
+        assert_eq!(cached.shared_words(), fresh.shared_words());
+        assert_eq!(cached.planned_conflicts, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests on the FFT kernels and plans.
+
+use bifft::five_step::FiveStepFft;
+use bifft::kernel256::{bind_twiddle_texture, run_batched_fft, FineFftPlan};
+use bifft::plan::{Algorithm, Fft3d};
+use fft_math::error::rel_l2_error_f32;
+use fft_math::fft1d::fft_pow2;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{DeviceSpec, Gpu};
+use proptest::prelude::*;
+
+fn signal(len: usize, seed: u64) -> Vec<Complex32> {
+    (0..len)
+        .map(|i| {
+            let t = (i as f64 * 0.317 + seed as f64 * 0.011).sin();
+            Complex32::new(t as f32, ((i as f64 * 0.7).cos() * t) as f32)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// The fine-grained kernel plan is bank-conflict-free at every supported
+    /// half-warp-wide size, and the functional run confirms it.
+    #[test]
+    fn fine_plan_always_conflict_free(logn in 6u32..10) {
+        let n = 1usize << logn; // 64..512
+        let plan = FineFftPlan::new(n);
+        prop_assert_eq!(plan.planned_conflicts, 0);
+        prop_assert!(plan.resources().shared_bytes_per_block <= 16 * 1024);
+
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let rows = 4usize;
+        let buf = gpu.mem_mut().alloc(n * rows).unwrap();
+        gpu.mem_mut().upload(buf, 0, &signal(n * rows, logn as u64));
+        let tw = bind_twiddle_texture(&mut gpu, n, Direction::Forward);
+        let rep = run_batched_fft(&mut gpu, &plan, buf, buf, rows, Direction::Forward, tw, "p");
+        prop_assert_eq!(rep.stats.shared_races, 0);
+        prop_assert_eq!(rep.stats.shared_conflict_rate(), 0.0);
+        prop_assert!(rep.stats.coalesced_fraction() > 0.999);
+    }
+
+    /// The fine kernel matches the scalar Stockham at arbitrary row counts.
+    #[test]
+    fn fine_kernel_matches_reference(rows in 1usize..6, seed in any::<u32>()) {
+        let n = 128usize;
+        let host = signal(n * rows, seed as u64);
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let plan = FineFftPlan::new(n);
+        let buf = gpu.mem_mut().alloc(n * rows).unwrap();
+        gpu.mem_mut().upload(buf, 0, &host);
+        let tw = bind_twiddle_texture(&mut gpu, n, Direction::Forward);
+        run_batched_fft(&mut gpu, &plan, buf, buf, rows, Direction::Forward, tw, "p");
+        let mut out = vec![Complex32::ZERO; n * rows];
+        gpu.mem_mut().download(buf, 0, &mut out);
+        for r in 0..rows {
+            let mut want = host[r * n..(r + 1) * n].to_vec();
+            fft_pow2(&mut want, Direction::Forward);
+            prop_assert!(rel_l2_error_f32(&out[r * n..(r + 1) * n], &want) < 1e-5);
+        }
+    }
+
+    /// Five-step and six-step agree through the facade for random dims
+    /// (>= 16: the six-step transpose tiles are 16 wide).
+    #[test]
+    fn facade_algorithms_agree(
+        lx in 4u32..6,
+        ly in 4u32..6,
+        lz in 4u32..6,
+        seed in any::<u32>(),
+    ) {
+        let (nx, ny, nz) = (1usize << lx, 1usize << ly, 1usize << lz);
+        let host = signal(nx * ny * nz, seed as u64);
+        let mut out = Vec::new();
+        for algo in [Algorithm::FiveStep, Algorithm::SixStep] {
+            let mut gpu = Gpu::new(DeviceSpec::gts8800());
+            let plan = Fft3d::new(&mut gpu, algo, nx, ny, nz).unwrap();
+            let (r, _) = plan.transform(&mut gpu, &host, Direction::Forward);
+            out.push(r);
+        }
+        prop_assert!(rel_l2_error_f32(&out[1], &out[0]) < 1e-5);
+    }
+
+    /// Conjugation symmetry: for real input, F(-k) = conj(F(k)).
+    #[test]
+    fn hermitian_symmetry_for_real_input(seed in any::<u32>()) {
+        let n = 8usize;
+        let host: Vec<Complex32> = signal(n * n * n, seed as u64)
+            .into_iter()
+            .map(|z| Complex32::new(z.re, 0.0))
+            .collect();
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let five = FiveStepFft::new(&mut gpu, n, n, n);
+        let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+        five.upload(&mut gpu, v, &host);
+        five.execute(&mut gpu, v, w, Direction::Forward);
+        let f = five.download(&gpu, v);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let a = f[x + n * (y + n * z)];
+                    let b = f[(n - x) % n + n * ((n - y) % n + n * ((n - z) % n))];
+                    prop_assert!((a - b.conj()).abs() < 1e-3, "({x},{y},{z}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    /// The DC bin is the plain sum of the volume.
+    #[test]
+    fn dc_bin_is_the_sum(seed in any::<u32>()) {
+        let n = 8usize;
+        let host = signal(n * n * n, seed as u64);
+        let want: Complex32 = host.iter().copied().sum();
+        let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+        let five = FiveStepFft::new(&mut gpu, n, n, n);
+        let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+        five.upload(&mut gpu, v, &host);
+        five.execute(&mut gpu, v, w, Direction::Forward);
+        let f = five.download(&gpu, v);
+        prop_assert!((f[0] - want).abs() < 1e-3 * want.abs().max(1.0));
+    }
+}

@@ -1,0 +1,15 @@
+//! `cpu-fft` — the FFTW-like CPU baseline of the SC'08 reproduction.
+//!
+//! [`plan`] is a real, planned, multithreaded row–column 3-D FFT that runs on
+//! this machine; [`model`] is a roofline model of the paper's 2008 quad-core
+//! CPUs used to regenerate the CPU rows of Tables 11–13.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod plan;
+pub mod plan64;
+
+pub use model::{fftw_model_gflops, fftw_model_seconds, CpuSpec};
+pub use plan::CpuFft3d;
+pub use plan64::CpuFft3d64;

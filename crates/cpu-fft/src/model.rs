@@ -1,0 +1,133 @@
+//! Roofline model of the 2008 evaluation CPUs (Tables 5, 11, 12, 13).
+//!
+//! FFTW at 256³ on a 2008 quad-core is memory-bound: the paper measures
+//! 10.3 GFLOPS on a 70.4-GFLOPS-peak Phenom whose STREAM bandwidth is
+//! "less than 10 GByte/s" (§2). The model therefore prices each of the three
+//! axis passes by memory traffic — the contiguous X pass near STREAM speed,
+//! the strided Y and Z passes at a calibrated fraction of it — and takes the
+//! roofline max against an SSE compute bound.
+
+use fft_math::flops::nominal_flops_3d;
+
+/// Specification of a host CPU.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Core clock, GHz.
+    pub clock_ghz: f64,
+    /// Physical cores.
+    pub cores: usize,
+    /// Single-precision FLOPs per core per cycle (8 with 4-wide SSE MUL+ADD).
+    pub flops_per_cycle: f64,
+    /// Sustained STREAM bandwidth, GB/s.
+    pub stream_gbs: f64,
+}
+
+impl CpuSpec {
+    /// Peak single-precision GFLOPS.
+    pub fn peak_gflops(&self) -> f64 {
+        self.clock_ghz * self.cores as f64 * self.flops_per_cycle
+    }
+
+    /// The AMD Phenom 9500 of Table 5 (2.2 GHz quad: 70.4 GFLOPS peak, §2:
+    /// "memory bandwidth less than 10 GByte/s under the STREAM benchmark").
+    pub const fn phenom_9500() -> Self {
+        CpuSpec {
+            name: "AMD Phenom 9500",
+            clock_ghz: 2.2,
+            cores: 4,
+            flops_per_cycle: 8.0,
+            stream_gbs: 9.5,
+        }
+    }
+
+    /// The Intel Core 2 Quad Q6700 of Table 11 (2.66 GHz quad).
+    pub const fn core2_q6700() -> Self {
+        CpuSpec {
+            name: "Intel Core 2 Quad Q6700",
+            clock_ghz: 2.66,
+            cores: 4,
+            flops_per_cycle: 8.0,
+            stream_gbs: 9.8,
+        }
+    }
+}
+
+/// Fraction of STREAM bandwidth the contiguous X pass sustains.
+pub const STREAM_EFF_CONTIG: f64 = 0.85;
+
+/// Fraction of STREAM bandwidth a strided (Y/Z) pass sustains — the CPU
+/// analogue of the paper's pattern-C/D penalty, calibrated so the Phenom
+/// lands on Table 11's 10.3 GFLOPS.
+pub const STREAM_EFF_STRIDED: f64 = 0.33;
+
+/// FFTW's compute efficiency against SSE peak (scheduling, twiddle loads,
+/// non-fused operations).
+pub const FFTW_COMPUTE_EFF: f64 = 0.35;
+
+/// Modelled FFTW wall time for an `nx x ny x nz` single-precision c2c
+/// transform, seconds.
+pub fn fftw_model_seconds(spec: &CpuSpec, nx: usize, ny: usize, nz: usize) -> f64 {
+    let vol = (nx * ny * nz) as f64;
+    let pass_bytes = 2.0 * 8.0 * vol; // read + write once
+    let mem_x = pass_bytes / (spec.stream_gbs * STREAM_EFF_CONTIG * 1e9);
+    let mem_yz = 2.0 * pass_bytes / (spec.stream_gbs * STREAM_EFF_STRIDED * 1e9);
+    let mem = mem_x + mem_yz;
+    let compute =
+        nominal_flops_3d(nx, ny, nz) as f64 / (spec.peak_gflops() * FFTW_COMPUTE_EFF * 1e9);
+    mem.max(compute)
+}
+
+/// Modelled FFTW GFLOPS (nominal convention).
+pub fn fftw_model_gflops(spec: &CpuSpec, nx: usize, ny: usize, nz: usize) -> f64 {
+    nominal_flops_3d(nx, ny, nz) as f64 / fftw_model_seconds(spec, nx, ny, nz) / 1e9
+}
+
+/// Number of worker threads to use on the actual host machine.
+pub fn count_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phenom_peak_matches_section2() {
+        // §2: "the peak performance of the latest AMD Phenom 9500 Quad-Core
+        // processor is 70.4 GFLOPS in single precision".
+        assert!((CpuSpec::phenom_9500().peak_gflops() - 70.4).abs() < 0.1);
+    }
+
+    #[test]
+    fn table11_256_cubed() {
+        // Table 11: Phenom 195 ms / 10.3 GFLOPS; Core 2 188 ms / 10.7.
+        let p = fftw_model_seconds(&CpuSpec::phenom_9500(), 256, 256, 256);
+        assert!((p - 0.195).abs() / 0.195 < 0.10, "phenom {p}");
+        let c = fftw_model_seconds(&CpuSpec::core2_q6700(), 256, 256, 256);
+        assert!((c - 0.188).abs() / 0.188 < 0.10, "core2 {c}");
+        let g = fftw_model_gflops(&CpuSpec::phenom_9500(), 256, 256, 256);
+        assert!((g - 10.3).abs() < 1.1, "gflops {g}");
+    }
+
+    #[test]
+    fn table12_512_cubed() {
+        // Table 12: FFTW 1.93 s / 9.40 GFLOPS at 512³.
+        let p = fftw_model_seconds(&CpuSpec::phenom_9500(), 512, 512, 512);
+        assert!((p - 1.93).abs() / 1.93 < 0.20, "phenom {p}");
+    }
+
+    #[test]
+    fn memory_bound_at_large_sizes() {
+        let spec = CpuSpec::phenom_9500();
+        let compute = nominal_flops_3d(256, 256, 256) as f64
+            / (spec.peak_gflops() * FFTW_COMPUTE_EFF * 1e9);
+        assert!(fftw_model_seconds(&spec, 256, 256, 256) > compute);
+    }
+
+    #[test]
+    fn host_thread_count_positive() {
+        assert!(count_threads() >= 1);
+    }
+}

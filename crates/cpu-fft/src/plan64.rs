@@ -1,0 +1,176 @@
+//! Double-precision CPU 3-D FFT — the reference implementation for the
+//! §4.5 future-work extension.
+//!
+//! Same row–column structure as [`crate::plan`], over `Complex64`. This is
+//! what a double-precision GPU kernel would be validated against, and what
+//! the accuracy comparison of the extension report uses.
+
+use crate::model::count_threads;
+use fft_math::complex::Complex64;
+use fft_math::fft64::Fft1dPlan64;
+use fft_math::twiddle::Direction;
+
+/// A planned `nx x ny x nz` double-precision transform.
+pub struct CpuFft3d64 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: Fft1dPlan64,
+    plan_y: Fft1dPlan64,
+    plan_z: Fft1dPlan64,
+    threads: usize,
+}
+
+impl CpuFft3d64 {
+    /// Plans with host parallelism.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self::with_threads(nx, ny, nz, count_threads())
+    }
+
+    /// Plans with an explicit thread count.
+    pub fn with_threads(nx: usize, ny: usize, nz: usize, threads: usize) -> Self {
+        assert!(nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two());
+        CpuFft3d64 {
+            nx,
+            ny,
+            nz,
+            plan_x: Fft1dPlan64::new(nx),
+            plan_y: Fft1dPlan64::new(ny),
+            plan_z: Fft1dPlan64::new(nz),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Volume in elements.
+    pub fn volume(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Executes in place on a natural-order volume.
+    pub fn execute(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.volume(), "volume mismatch");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let plane = nx * ny;
+
+        self.parallel_chunks(data, plane, |chunk| {
+            let mut scratch = vec![Complex64::ZERO; nx];
+            for row in chunk.chunks_mut(nx) {
+                self.plan_x.execute(row, &mut scratch, dir);
+            }
+        });
+
+        self.parallel_chunks(data, plane, |chunk| {
+            let mut scratch = vec![Complex64::ZERO; ny];
+            let mut col = vec![Complex64::ZERO; ny];
+            for zplane in chunk.chunks_mut(plane) {
+                for x in 0..nx {
+                    for (y, c) in col.iter_mut().enumerate() {
+                        *c = zplane[x + nx * y];
+                    }
+                    self.plan_y.execute(&mut col, &mut scratch, dir);
+                    for (y, c) in col.iter().enumerate() {
+                        zplane[x + nx * y] = *c;
+                    }
+                }
+            }
+        });
+
+        // Z via rotate–transform–rotate.
+        let mut rotated = vec![Complex64::ZERO; data.len()];
+        for y in 0..ny {
+            for z in 0..nz {
+                let s = nx * (y + ny * z);
+                for x in 0..nx {
+                    rotated[z + nz * (x + nx * y)] = data[x + s];
+                }
+            }
+        }
+        self.parallel_chunks(&mut rotated, nz * nx, |chunk| {
+            let mut scratch = vec![Complex64::ZERO; nz];
+            for row in chunk.chunks_mut(nz) {
+                self.plan_z.execute(row, &mut scratch, dir);
+            }
+        });
+        for y in 0..ny {
+            for z in 0..nz {
+                let d = nx * (y + ny * z);
+                for x in 0..nx {
+                    data[x + d] = rotated[z + nz * (x + nx * y)];
+                }
+            }
+        }
+    }
+
+    fn parallel_chunks<F>(&self, data: &mut [Complex64], unit: usize, f: F)
+    where
+        F: Fn(&mut [Complex64]) + Sync,
+    {
+        let units = data.len() / unit;
+        let per_thread = units.div_ceil(self.threads).max(1) * unit;
+        if self.threads == 1 || units <= 1 {
+            f(data);
+            return;
+        }
+        crossbeam::scope(|s| {
+            for chunk in data.chunks_mut(per_thread) {
+                s.spawn(|_| f(chunk));
+            }
+        })
+        .expect("worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CpuFft3d;
+    use fft_math::complex::Complex32;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_volume(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_single_precision_plan() {
+        let n = 16usize;
+        let orig = random_volume(n * n * n, 77);
+        let mut d64 = orig.clone();
+        CpuFft3d64::with_threads(n, n, n, 2).execute(&mut d64, Direction::Forward);
+        let mut d32: Vec<Complex32> = orig.iter().map(|z| z.narrow()).collect();
+        CpuFft3d::with_threads(n, n, n, 2).execute(&mut d32, Direction::Forward);
+        for (a, b) in d64.iter().zip(&d32) {
+            assert!((a.narrow() - *b).abs() < 2e-2, "{a:?} vs {b}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_to_machine_precision() {
+        let n = 8usize;
+        let orig = random_volume(n * n * n, 78);
+        let plan = CpuFft3d64::with_threads(n, n, n, 1);
+        let mut data = orig.clone();
+        plan.execute(&mut data, Direction::Forward);
+        plan.execute(&mut data, Direction::Inverse);
+        let s = 1.0 / plan.volume() as f64;
+        for (d, o) in data.iter().zip(&orig) {
+            assert!((d.scale(s) - *o).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rectangular_dims() {
+        let plan = CpuFft3d64::with_threads(4, 8, 16, 3);
+        let orig = random_volume(plan.volume(), 79);
+        let mut data = orig.clone();
+        plan.execute(&mut data, Direction::Forward);
+        plan.execute(&mut data, Direction::Inverse);
+        let s = 1.0 / plan.volume() as f64;
+        for (d, o) in data.iter().zip(&orig) {
+            assert!((d.scale(s) - *o).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Single- and double-precision complex numbers.
+//!
+//! The paper's kernels are single precision (the only precision supported by
+//! G80/G92-class CUDA GPUs, see §4.5), so [`Complex32`] is the workhorse type.
+//! [`Complex64`] exists for the high-accuracy oracle used in tests.
+//!
+//! We implement complex arithmetic from scratch (no `num-complex`) so that the
+//! exact FLOP accounting of the simulator matches what the operations cost:
+//! a complex multiply is 4 real multiplies + 2 real adds (6 FLOPs), a complex
+//! add is 2 FLOPs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A single-precision complex number, laid out as `[re, im]` in memory.
+///
+/// `#[repr(C)]` guarantees the layout matches the interleaved complex format
+/// used by CUFFT/FFTW and by the simulated device buffers (two consecutive
+/// 32-bit words per element, which is exactly the 64-bit access unit the
+/// coalescing rules of the paper's §2.1 operate on).
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+/// A double-precision complex number used by the test oracle.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex32`].
+#[inline(always)]
+pub const fn c32(re: f32, im: f32) -> Complex32 {
+    Complex32 { re, im }
+}
+
+/// Shorthand constructor for [`Complex64`].
+#[inline(always)]
+pub const fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+macro_rules! impl_complex {
+    ($name:ident, $scalar:ty) => {
+        impl $name {
+            /// The additive identity.
+            pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+            /// The multiplicative identity.
+            pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+            /// The imaginary unit `i`.
+            pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+            /// Creates a complex number from real and imaginary parts.
+            #[inline(always)]
+            pub const fn new(re: $scalar, im: $scalar) -> Self {
+                Self { re, im }
+            }
+
+            /// `e^{i theta}` — a point on the unit circle.
+            #[inline]
+            pub fn cis(theta: $scalar) -> Self {
+                Self { re: theta.cos(), im: theta.sin() }
+            }
+
+            /// Complex conjugate.
+            #[inline(always)]
+            pub fn conj(self) -> Self {
+                Self { re: self.re, im: -self.im }
+            }
+
+            /// Squared modulus `re² + im²`.
+            #[inline(always)]
+            pub fn norm_sqr(self) -> $scalar {
+                self.re * self.re + self.im * self.im
+            }
+
+            /// Modulus `|z|`.
+            #[inline]
+            pub fn abs(self) -> $scalar {
+                self.norm_sqr().sqrt()
+            }
+
+            /// Argument (phase angle) in `(-pi, pi]`.
+            #[inline]
+            pub fn arg(self) -> $scalar {
+                self.im.atan2(self.re)
+            }
+
+            /// Multiplication by `i` (a quarter-turn), costing no multiplies.
+            ///
+            /// FFT codelets use this to avoid full complex multiplies at
+            /// trivial twiddles, which is why radix-4/8/16 codelets have lower
+            /// FLOP counts than repeated radix-2.
+            #[inline(always)]
+            pub fn mul_i(self) -> Self {
+                Self { re: -self.im, im: self.re }
+            }
+
+            /// Multiplication by `-i`.
+            #[inline(always)]
+            pub fn mul_neg_i(self) -> Self {
+                Self { re: self.im, im: -self.re }
+            }
+
+            /// Scales both parts by a real factor.
+            #[inline(always)]
+            pub fn scale(self, s: $scalar) -> Self {
+                Self { re: self.re * s, im: self.im * s }
+            }
+
+            /// Fused multiply-add `self * b + c`.
+            ///
+            /// Matches the FMA formulation the paper discusses in §4.2: the
+            /// G80 SPs reach peak throughput only when multiplies and adds
+            /// fuse; the simulator's instruction-mix model keys off this.
+            #[inline(always)]
+            pub fn mul_add(self, b: Self, c: Self) -> Self {
+                Self {
+                    re: self.re * b.re - self.im * b.im + c.re,
+                    im: self.re * b.im + self.im * b.re + c.im,
+                }
+            }
+
+            /// Reciprocal `1/z`.
+            #[inline]
+            pub fn recip(self) -> Self {
+                let d = self.norm_sqr();
+                Self { re: self.re / d, im: -self.im / d }
+            }
+
+            /// True when either component is NaN.
+            #[inline]
+            pub fn is_nan(self) -> bool {
+                self.re.is_nan() || self.im.is_nan()
+            }
+
+            /// True when both components are finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.re.is_finite() && self.im.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                Self { re: self.re + rhs.re, im: self.im + rhs.im }
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                Self { re: self.re - rhs.re, im: self.im - rhs.im }
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                Self {
+                    re: self.re * rhs.re - self.im * rhs.im,
+                    im: self.re * rhs.im + self.im * rhs.re,
+                }
+            }
+        }
+
+        impl Div for $name {
+            type Output = Self;
+            #[inline]
+            // Complex division *is* multiplication by the reciprocal.
+            #[allow(clippy::suspicious_arithmetic_impl)]
+            fn div(self, rhs: Self) -> Self {
+                self * rhs.recip()
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                Self { re: -self.re, im: -self.im }
+            }
+        }
+
+        impl Mul<$scalar> for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: $scalar) -> Self {
+                self.scale(rhs)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for $name {
+            #[inline(always)]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl From<$scalar> for $name {
+            #[inline(always)]
+            fn from(re: $scalar) -> Self {
+                Self { re, im: 0.0 }
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.im >= 0.0 {
+                    write!(f, "{}+{}i", self.re, self.im)
+                } else {
+                    write!(f, "{}{}i", self.re, self.im)
+                }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(self, f)
+            }
+        }
+    };
+}
+
+impl_complex!(Complex32, f32);
+impl_complex!(Complex64, f64);
+
+impl Complex32 {
+    /// Widens to double precision (used when feeding the test oracle).
+    #[inline]
+    pub fn widen(self) -> Complex64 {
+        Complex64 { re: self.re as f64, im: self.im as f64 }
+    }
+}
+
+impl Complex64 {
+    /// Narrows to single precision.
+    #[inline]
+    pub fn narrow(self) -> Complex32 {
+        Complex32 { re: self.re as f32, im: self.im as f32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = c32(1.5, -2.0);
+        let b = c32(-0.25, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = c32(3.0, 2.0);
+        let b = c32(1.0, 7.0);
+        // (3+2i)(1+7i) = 3 + 21i + 2i + 14i² = -11 + 23i
+        assert_eq!(a * b, c32(-11.0, 23.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex32::I * Complex32::I, -Complex32::ONE);
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let a = c32(2.5, -1.5);
+        assert_eq!(a.mul_i(), a * Complex32::I);
+        assert_eq!(a.mul_neg_i(), a * -Complex32::I);
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = c32(1.0, 2.0);
+        assert_eq!(a.conj(), c32(1.0, -2.0));
+        assert_eq!((a * a.conj()).re, a.norm_sqr());
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let z = Complex32::cis(2.0 * std::f32::consts::PI * k as f32 / 16.0);
+            assert!((z.abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c32(3.0, -4.0);
+        let b = c32(0.5, 2.0);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn recip_of_i_is_minus_i() {
+        assert!(close(Complex32::I.recip(), -Complex32::I));
+    }
+
+    #[test]
+    fn mul_add_fuses_correctly() {
+        let a = c32(1.0, 2.0);
+        let b = c32(3.0, -1.0);
+        let c = c32(-2.0, 0.5);
+        assert!(close(a.mul_add(b, c), a * b + c));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let v = [c32(1.0, 1.0), c32(2.0, -1.0), c32(-0.5, 0.25)];
+        let s: Complex32 = v.iter().copied().sum();
+        assert!(close(s, c32(2.5, 0.25)));
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        let a = c32(1.25, -7.5);
+        assert_eq!(a.widen().narrow(), a);
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        use std::f32::consts::FRAC_PI_2;
+        assert!((c32(0.0, 1.0).arg() - FRAC_PI_2).abs() < 1e-6);
+        assert!((c32(0.0, -1.0).arg() + FRAC_PI_2).abs() < 1e-6);
+        assert!(c32(1.0, 0.0).arg().abs() < 1e-6);
+    }
+}

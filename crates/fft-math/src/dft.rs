@@ -1,0 +1,161 @@
+//! O(N²) reference DFT — the correctness oracle.
+//!
+//! Every FFT implementation in this workspace (CPU paths, the simulated GPU
+//! kernels, the out-of-core decomposition) is tested against this direct
+//! evaluation of the DFT definition in double precision. It is deliberately
+//! simple and slow; it exists only to be obviously correct.
+
+use crate::complex::{Complex32, Complex64};
+use crate::twiddle::{twiddle_f64, Direction};
+
+/// Direct DFT of `input`, in double precision:
+/// `X[k] = sum_n x[n] * e^{sign * 2*pi*i*n*k/N}`.
+pub fn dft_oracle(input: &[Complex32], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, x) in input.iter().enumerate() {
+            acc += x.widen() * twiddle_f64(i * k, n, dir);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Direct 3-D DFT over a row-major `[nz][ny][nx]` volume (x fastest).
+///
+/// Cubic in total size — only usable for tiny grids (≤ 16³ in tests).
+pub fn dft3d_oracle(
+    input: &[Complex32],
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dir: Direction,
+) -> Vec<Complex64> {
+    assert_eq!(input.len(), nx * ny * nz, "volume size mismatch");
+    let wide: Vec<Complex64> = input.iter().map(|z| z.widen()).collect();
+
+    // Separable evaluation: 1-D oracle along each axis in turn. Still O(N^4)
+    // overall for an N³ volume but far cheaper than the naive sextuple loop,
+    // and exactly equivalent by linearity of the DFT.
+    let mut data = wide;
+    // X axis (contiguous rows).
+    for row in data.chunks_mut(nx) {
+        let t = dft1d_f64(row, dir);
+        row.copy_from_slice(&t);
+    }
+    // Y axis.
+    let mut scratch = vec![Complex64::ZERO; ny];
+    for z in 0..nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                scratch[y] = data[x + nx * (y + ny * z)];
+            }
+            let t = dft1d_f64(&scratch, dir);
+            for y in 0..ny {
+                data[x + nx * (y + ny * z)] = t[y];
+            }
+        }
+    }
+    // Z axis.
+    let mut scratch = vec![Complex64::ZERO; nz];
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                scratch[z] = data[x + nx * (y + ny * z)];
+            }
+            let t = dft1d_f64(&scratch, dir);
+            for z in 0..nz {
+                data[x + nx * (y + ny * z)] = t[z];
+            }
+        }
+    }
+    data
+}
+
+fn dft1d_f64(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            input
+                .iter()
+                .enumerate()
+                .map(|(i, x)| *x * twiddle_f64(i * k, n, dir))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c32;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex32::ZERO; 8];
+        x[0] = Complex32::ONE;
+        let y = dft_oracle(&x, Direction::Forward);
+        for z in y {
+            assert!((z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_linearity() {
+        let a: Vec<Complex32> = (0..8).map(|i| c32(i as f32, 0.0)).collect();
+        let b: Vec<Complex32> = (0..8).map(|i| c32(0.0, (i * i) as f32)).collect();
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = dft_oracle(&a, Direction::Forward);
+        let fb = dft_oracle(&b, Direction::Forward);
+        let fs = dft_oracle(&sum, Direction::Forward);
+        for k in 0..8 {
+            assert!((fs[k] - (fa[k] + fb[k])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_scales_by_n() {
+        let x: Vec<Complex32> = (0..12).map(|i| c32((i as f32).sin(), (i as f32).cos())).collect();
+        let fx = dft_oracle(&x, Direction::Forward);
+        let fx32: Vec<Complex32> = fx.iter().map(|z| z.narrow()).collect();
+        let back = dft_oracle(&fx32, Direction::Inverse);
+        for (b, orig) in back.iter().zip(&x) {
+            assert!((b.scale(1.0 / 12.0) - orig.widen()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dft3d_matches_axis_separability_on_plane_wave() {
+        // A pure 3-D plane wave concentrates in exactly one bin.
+        let (nx, ny, nz) = (4usize, 4, 4);
+        let (kx, ky, kz) = (1usize, 2, 3);
+        let mut v = vec![Complex32::ZERO; nx * ny * nz];
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (kx * x) as f64 / nx as f64
+                        + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
+                        + 2.0 * std::f64::consts::PI * (kz * z) as f64 / nz as f64;
+                    v[x + nx * (y + ny * z)] = Complex64::cis(phase).narrow();
+                }
+            }
+        }
+        let f = dft3d_oracle(&v, nx, ny, nz, Direction::Forward);
+        let total = (nx * ny * nz) as f64;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let got = f[x + nx * (y + ny * z)];
+                    if (x, y, z) == (kx, ky, kz) {
+                        assert!((got.abs() - total).abs() < 1e-4);
+                    } else {
+                        assert!(got.abs() < 1e-4, "leakage at ({x},{y},{z})");
+                    }
+                }
+            }
+        }
+    }
+}

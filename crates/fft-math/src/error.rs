@@ -1,0 +1,84 @@
+//! Error norms for validating transforms against the oracle.
+
+use crate::complex::{Complex32, Complex64};
+
+/// Relative L2 error of `got` against a double-precision reference:
+/// `||got - want||_2 / ||want||_2`.
+pub fn rel_l2_error(got: &[Complex32], want: &[Complex64]) -> f64 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (g, w) in got.iter().zip(want) {
+        let d = g.widen() - *w;
+        num += d.norm_sqr();
+        den += w.norm_sqr();
+    }
+    if den == 0.0 {
+        return num.sqrt();
+    }
+    (num / den).sqrt()
+}
+
+/// Maximum absolute (L∞) error.
+pub fn max_abs_error(got: &[Complex32], want: &[Complex64]) -> f64 {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (g.widen() - *w).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error between two single-precision buffers.
+pub fn rel_l2_error_f32(got: &[Complex32], want: &[Complex32]) -> f64 {
+    let wide: Vec<Complex64> = want.iter().map(|z| z.widen()).collect();
+    rel_l2_error(got, &wide)
+}
+
+/// The error tolerance appropriate for a single-precision FFT of `total`
+/// points: RMS rounding error grows like `sqrt(log2 N)` with epsilon ~1e-7.
+/// A generous constant keeps the bound meaningful but not flaky.
+pub fn fft_tolerance(total: usize) -> f64 {
+    let log = (total.max(2) as f64).log2();
+    5e-7 * log.sqrt() * 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c32, c64};
+
+    #[test]
+    fn zero_error_for_identical() {
+        let a = vec![c32(1.0, 2.0), c32(-3.0, 0.5)];
+        let w = vec![c64(1.0, 2.0), c64(-3.0, 0.5)];
+        assert_eq!(rel_l2_error(&a, &w), 0.0);
+        assert_eq!(max_abs_error(&a, &w), 0.0);
+    }
+
+    #[test]
+    fn known_error_value() {
+        let a = vec![c32(1.0, 0.0)];
+        let w = vec![c64(2.0, 0.0)];
+        assert!((rel_l2_error(&a, &w) - 0.5).abs() < 1e-12);
+        assert!((max_abs_error(&a, &w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference_returns_absolute() {
+        let a = vec![c32(3.0, 4.0)];
+        let w = vec![c64(0.0, 0.0)];
+        assert!((rel_l2_error(&a, &w) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerance_grows_slowly() {
+        assert!(fft_tolerance(1 << 24) < 1e-4);
+        assert!(fft_tolerance(1 << 24) > fft_tolerance(1 << 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        rel_l2_error(&[c32(0.0, 0.0)], &[]);
+    }
+}

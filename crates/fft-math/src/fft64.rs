@@ -1,0 +1,170 @@
+//! Double-precision 1-D FFT (the paper's §4.5 future work).
+//!
+//! "Since currently available CUDA GPUs support only single precision
+//! operations... GPUs with double precision support are starting to appear.
+//! We plan on implementing a double precision version." This module provides
+//! the `f64` transform the extension needs: the same radix-2 Stockham
+//! autosort as [`crate::fft1d`], over [`Complex64`].
+
+use crate::complex::Complex64;
+use crate::twiddle::{twiddle_f64, Direction};
+
+/// A planned double-precision 1-D FFT of power-of-two length.
+#[derive(Clone, Debug)]
+pub struct Fft1dPlan64 {
+    n: usize,
+    fwd: Box<[Complex64]>,
+    inv: Box<[Complex64]>,
+}
+
+impl Fft1dPlan64 {
+    /// Plans a transform of length `n` (power of two).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let table = |dir| (0..n).map(|k| twiddle_f64(k, n, dir)).collect();
+        Fft1dPlan64 { n, fwd: table(Direction::Forward), inv: table(Direction::Inverse) }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Executes in place; `scratch` must hold at least `n` elements.
+    pub fn execute(&self, data: &mut [Complex64], scratch: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        assert!(scratch.len() >= self.n, "scratch too small");
+        let table = match dir {
+            Direction::Forward => &self.fwd,
+            Direction::Inverse => &self.inv,
+        };
+        stockham_f64(data, &mut scratch[..self.n], table);
+    }
+}
+
+/// One-shot double-precision FFT.
+pub fn fft_pow2_f64(data: &mut [Complex64], dir: Direction) {
+    let n = data.len();
+    let plan = Fft1dPlan64::new(n);
+    let mut scratch = vec![Complex64::ZERO; n];
+    plan.execute(data, &mut scratch, dir);
+}
+
+fn stockham_f64(data: &mut [Complex64], scratch: &mut [Complex64], table: &[Complex64]) {
+    let n = data.len();
+    if n == 1 {
+        return;
+    }
+    let stages = n.trailing_zeros() as usize;
+    let mut len = n;
+    let mut stride = 1usize;
+    let mut in_data = true;
+    for _ in 0..stages {
+        let m = len / 2;
+        let step = n / len;
+        {
+            let (src, dst): (&[Complex64], &mut [Complex64]) =
+                if in_data { (&*data, &mut *scratch) } else { (&*scratch, &mut *data) };
+            for p in 0..m {
+                let w = table[(p * step) % n];
+                for q in 0..stride {
+                    let a = src[q + stride * p];
+                    let b = src[q + stride * (p + m)];
+                    dst[q + stride * 2 * p] = a + b;
+                    dst[q + stride * (2 * p + 1)] = (a - b) * w;
+                }
+            }
+        }
+        in_data = !in_data;
+        len = m;
+        stride *= 2;
+    }
+    if !in_data {
+        data.copy_from_slice(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, Complex32};
+    use crate::dft::dft_oracle;
+    use crate::fft1d::fft_pow2;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n).map(|i| c64((0.3 * i as f64).sin(), (0.7 * i as f64).cos())).collect()
+    }
+
+    #[test]
+    fn matches_oracle() {
+        for p in 0..=9 {
+            let n = 1usize << p;
+            let orig = signal(n);
+            let orig32: Vec<Complex32> = orig.iter().map(|z| z.narrow()).collect();
+            let mut data = orig.clone();
+            fft_pow2_f64(&mut data, Direction::Forward);
+            let want = dft_oracle(&orig32, Direction::Forward);
+            for (g, w) in data.iter().zip(&want) {
+                // f32 input quantisation bounds the comparison.
+                assert!((*g - *w).abs() < 1e-4 * (n as f64), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_is_more_accurate_than_single() {
+        let n = 1024usize;
+        let orig = signal(n);
+        // f64 path.
+        let mut d64 = orig.clone();
+        fft_pow2_f64(&mut d64, Direction::Forward);
+        fft_pow2_f64(&mut d64, Direction::Inverse);
+        let err64: f64 = d64
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a.scale(1.0 / n as f64) - *b).abs())
+            .fold(0.0, f64::max);
+        // f32 path on the same data.
+        let mut d32: Vec<Complex32> = orig.iter().map(|z| z.narrow()).collect();
+        fft_pow2(&mut d32, Direction::Forward);
+        fft_pow2(&mut d32, Direction::Inverse);
+        let err32: f64 = d32
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (a.widen().scale(1.0 / n as f64) - *b).abs())
+            .fold(0.0, f64::max);
+        assert!(err64 < err32 / 1e4, "f64 {err64:e} vs f32 {err32:e}");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 256;
+        let orig = signal(n);
+        let plan = Fft1dPlan64::new(n);
+        let mut scratch = vec![Complex64::ZERO; n];
+        let mut data = orig.clone();
+        plan.execute(&mut data, &mut scratch, Direction::Forward);
+        plan.execute(&mut data, &mut scratch, Direction::Inverse);
+        for (d, o) in data.iter().zip(&orig) {
+            assert!((d.scale(1.0 / n as f64) - *o).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn agrees_with_f32_path() {
+        let n = 128;
+        let orig = signal(n);
+        let mut d64 = orig.clone();
+        fft_pow2_f64(&mut d64, Direction::Forward);
+        let mut d32: Vec<Complex32> = orig.iter().map(|z| z.narrow()).collect();
+        fft_pow2(&mut d32, Direction::Forward);
+        for (a, b) in d64.iter().zip(&d32) {
+            assert!((a.narrow() - *b).abs() < 1e-3);
+        }
+    }
+}

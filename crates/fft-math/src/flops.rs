@@ -1,0 +1,100 @@
+//! FLOP-count conventions.
+//!
+//! The paper reports GFLOPS using the standard radix-2 nominal count
+//! (§4.1: "the number of floating-point operations of size N³ is assumed to
+//! be 15·N³·log2 N" — i.e. 5·N·log2 N per 1-D transform, three axes). Every
+//! GFLOPS figure in our tables uses the same convention so the numbers are
+//! directly comparable; the simulator's *compute-time* model instead uses the
+//! exact per-codelet counts from [`crate::codelets::codelet_flops`].
+
+/// Nominal FLOPs of one complex 1-D FFT of length `n`: `5 n log2 n`.
+pub fn nominal_flops_1d(n: usize) -> u64 {
+    5 * n as u64 * n.trailing_zeros() as u64
+}
+
+/// Nominal FLOPs of a batch of `count` 1-D FFTs.
+pub fn nominal_flops_batch(n: usize, count: usize) -> u64 {
+    nominal_flops_1d(n) * count as u64
+}
+
+/// Nominal FLOPs of an `nx x ny x nz` complex 3-D FFT:
+/// `5 * total * (log2 nx + log2 ny + log2 nz)`.
+///
+/// For a cube this reduces to the paper's `15 N³ log2 N`.
+pub fn nominal_flops_3d(nx: usize, ny: usize, nz: usize) -> u64 {
+    let total = (nx * ny * nz) as u64;
+    5 * total
+        * (nx.trailing_zeros() + ny.trailing_zeros() + nz.trailing_zeros()) as u64
+}
+
+/// GFLOPS given nominal FLOPs and elapsed seconds.
+pub fn gflops(flops: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    flops as f64 / seconds / 1e9
+}
+
+/// Bytes moved by one out-of-place pass over `elems` complex32 values
+/// (read + write), the denominator for per-step effective bandwidth.
+pub fn pass_bytes(elems: usize) -> u64 {
+    2 * 8 * elems as u64
+}
+
+/// GByte/s given bytes moved and elapsed seconds (decimal GB, as the paper).
+pub fn gbytes_per_sec(bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    bytes as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_convention_for_cube() {
+        // 15 N³ log2 N at N = 256: 15 * 2^24 * 8.
+        assert_eq!(nominal_flops_3d(256, 256, 256), 15 * (1u64 << 24) * 8 / 3 * 3);
+        assert_eq!(nominal_flops_3d(256, 256, 256), 5 * (1u64 << 24) * 24);
+    }
+
+    #[test]
+    fn one_d_convention() {
+        assert_eq!(nominal_flops_1d(256), 5 * 256 * 8);
+        assert_eq!(nominal_flops_batch(256, 65536), 5 * 256 * 8 * 65536);
+    }
+
+    #[test]
+    fn table8_flops_magnitude() {
+        // Paper Table 8: 65536 x 256-pt FFTs in 5.72 ms = 117 GFLOPS.
+        let f = nominal_flops_batch(256, 65536);
+        let g = gflops(f, 5.72e-3);
+        assert!((g - 117.0).abs() < 1.0, "got {g}");
+    }
+
+    #[test]
+    fn figure1_flops_magnitude() {
+        // Paper Table 10: 256³ in 23.8 ms on 8800 GTX = 84.4 GFLOPS.
+        let f = nominal_flops_3d(256, 256, 256);
+        let g = gflops(f, 23.8e-3);
+        assert!((g - 84.4).abs() < 0.5, "got {g}");
+    }
+
+    #[test]
+    fn bandwidth_helpers() {
+        // One pass over 256³ complex32 = 2 * 8 * 16.7M bytes.
+        let b = pass_bytes(1 << 24);
+        assert_eq!(b, 268_435_456);
+        // Table 7 GTX step 1: 4.39 ms at 61.2 GB/s.
+        let gbs = gbytes_per_sec(b, 4.39e-3);
+        assert!((gbs - 61.1).abs() < 0.5, "got {gbs}");
+    }
+
+    #[test]
+    fn degenerate_time_is_infinite_rate() {
+        assert!(gflops(100, 0.0).is_infinite());
+        assert!(gbytes_per_sec(100, -1.0).is_infinite());
+    }
+}

@@ -1,0 +1,472 @@
+//! The paper's five-dimensional data layout and its four access patterns.
+//!
+//! The bandwidth-intensive algorithm views an `nx x ny x nz` volume as the
+//! 5-D array `V(X, S1, S2, S3, S4)` (X fastest, Fortran order) where the Y and
+//! Z dimensions are each split into two digits: `Y = Ay*Y_hi + Y_lo`,
+//! `Z = Az*Z_hi + Z_lo`. For 256³ this is exactly the paper's
+//! `COMPLEX V(256,16,16,16,16)`.
+//!
+//! Table 2 of the paper defines four *access patterns*: a 16-point (generally
+//! `B`-point) FFT reads one element from each value of a single slot while the
+//! other slots are fixed — pattern A when the running slot is slot 1 (smallest
+//! stride), through pattern D when it is slot 4 (largest stride). Achieved
+//! DRAM bandwidth depends on which patterns the read and write sides use
+//! (Tables 3–4); the five-step pass ordering exists precisely to avoid the
+//! slow C/D x C/D combinations.
+
+use crate::twiddle::Direction;
+
+/// The four strided access patterns of Table 2 (plus the contiguous X pass).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessPattern {
+    /// Running index in slot 1: stride `nx` elements — `(256,*,16,16,16)`.
+    A,
+    /// Running index in slot 2: stride `nx*e1` — `(256,16,*,16,16)`.
+    B,
+    /// Running index in slot 3: stride `nx*e1*e2` — `(256,16,16,*,16)`.
+    C,
+    /// Running index in slot 4: stride `nx*e1*e2*e3` — `(256,16,16,16,*)`.
+    D,
+    /// Running index along X itself: fully contiguous (step 5).
+    X,
+}
+
+impl AccessPattern {
+    /// All four strided patterns, in Table 2 order.
+    pub const STRIDED: [AccessPattern; 4] =
+        [AccessPattern::A, AccessPattern::B, AccessPattern::C, AccessPattern::D];
+
+    /// Which 5-D slot (1–4) the pattern runs over; `None` for the X pass.
+    pub fn slot(self) -> Option<usize> {
+        match self {
+            AccessPattern::A => Some(1),
+            AccessPattern::B => Some(2),
+            AccessPattern::C => Some(3),
+            AccessPattern::D => Some(4),
+            AccessPattern::X => None,
+        }
+    }
+
+    /// Pattern for a given running slot.
+    pub fn from_slot(slot: usize) -> Self {
+        match slot {
+            1 => AccessPattern::A,
+            2 => AccessPattern::B,
+            3 => AccessPattern::C,
+            4 => AccessPattern::D,
+            s => panic!("slot must be 1..=4, got {s}"),
+        }
+    }
+
+    /// Table label ("A".."D", or "X").
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::A => "A",
+            AccessPattern::B => "B",
+            AccessPattern::C => "C",
+            AccessPattern::D => "D",
+            AccessPattern::X => "X",
+        }
+    }
+}
+
+/// Splits a power-of-two FFT length into the two codelet radices `(a, b)`
+/// with `n = a * b`, preferring balanced factors no larger than 16.
+///
+/// The first-half kernel transforms `b` points, the second half `a` points
+/// (256 → (16,16); 64 → (8,8); 128 → (8,16)). Lengths above 256 cannot be
+/// covered by two register-resident radix-≤16 passes and are rejected — the
+/// out-of-core path (§3.3) handles them instead.
+pub fn split_radix(n: usize) -> (usize, usize) {
+    assert!(n.is_power_of_two(), "length must be a power of two, got {n}");
+    assert!((4..=256).contains(&n), "two-step split supports 4..=256, got {n}");
+    let log = n.trailing_zeros();
+    let a = 1usize << (log / 2);
+    let b = n / a;
+    debug_assert!(a <= b && b <= 16);
+    (a, b)
+}
+
+/// The 5-D view `V(X, s1, s2, s3, s4)` over a flat complex buffer.
+///
+/// `extents` are the sizes of slots 1–4; they change from step to step as the
+/// algorithm relabels digits (see [`FiveStepPlanLayout`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct View5 {
+    /// Length of the contiguous X dimension.
+    pub nx: usize,
+    /// Extents of slots 1–4 (product must equal `ny * nz`).
+    pub extents: [usize; 4],
+}
+
+impl View5 {
+    /// Creates a view; total volume is `nx * e1 * e2 * e3 * e4`.
+    pub fn new(nx: usize, extents: [usize; 4]) -> Self {
+        assert!(nx > 0 && extents.iter().all(|&e| e > 0), "zero extent");
+        Self { nx, extents }
+    }
+
+    /// Total number of complex elements.
+    pub fn len(&self) -> usize {
+        self.nx * self.extents.iter().product::<usize>()
+    }
+
+    /// True for a degenerate empty view (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(x, s1, s2, s3, s4)`.
+    #[inline]
+    pub fn index(&self, x: usize, s: [usize; 4]) -> usize {
+        debug_assert!(x < self.nx);
+        debug_assert!(s.iter().zip(&self.extents).all(|(i, e)| i < e));
+        let [e1, e2, e3, _] = self.extents;
+        x + self.nx * (s[0] + e1 * (s[1] + e2 * (s[2] + e3 * s[3])))
+    }
+
+    /// Element stride of the given slot (distance between consecutive values
+    /// of that digit) — the stride of Table 2's patterns.
+    pub fn slot_stride(&self, slot: usize) -> usize {
+        assert!((1..=4).contains(&slot));
+        let mut stride = self.nx;
+        for s in 1..slot {
+            stride *= self.extents[s - 1];
+        }
+        stride
+    }
+
+    /// Element stride of an access pattern (`X` has stride 1).
+    pub fn pattern_stride(&self, p: AccessPattern) -> usize {
+        match p.slot() {
+            Some(s) => self.slot_stride(s),
+            None => 1,
+        }
+    }
+
+    /// Number of independent `(x, fixed-slots)` rows a pass over `slot` has.
+    pub fn rows_for_slot(&self, slot: usize) -> usize {
+        assert!((1..=4).contains(&slot));
+        self.nx * self.extents.iter().enumerate().filter(|&(i, _)| i != slot - 1).map(|(_, &e)| e).product::<usize>()
+    }
+}
+
+/// The per-step digit bookkeeping of the five-step algorithm.
+///
+/// Derived in DESIGN.md §3 from the paper's pseudo-code: every strided pass
+/// *reads* its FFT digit from slot 4 (pattern D) and *writes* its output
+/// digit to slot 1 (steps 1, 3 — pattern A) or slot 2 (steps 2, 4 — pattern
+/// B), relabelling the remaining digits. This struct records the slot extents
+/// before each step and the FFT length of the step.
+#[derive(Clone, Debug)]
+pub struct FiveStepPlanLayout {
+    /// X extent.
+    pub nx: usize,
+    /// Y extent and its `(a, b)` split (`Y = a*Y_hi + Y_lo`).
+    pub ny: usize,
+    /// Z extent and its split.
+    pub nz: usize,
+    /// `(Ay, By)` with `ny = Ay * By`.
+    pub y_split: (usize, usize),
+    /// `(Az, Bz)` with `nz = Az * Bz`.
+    pub z_split: (usize, usize),
+}
+
+/// Description of one of the four strided passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridedPass {
+    /// 1-based step number in the paper's numbering (1, 2, 3, 4).
+    pub step: usize,
+    /// View (slot extents) of the *input* array for this pass.
+    pub input: View5,
+    /// View of the *output* array after the relabelling.
+    pub output: View5,
+    /// Length of the small FFT each thread computes (B for first halves,
+    /// A for second halves).
+    pub fft_len: usize,
+    /// Full length of the axis being transformed (`ny` or `nz`).
+    pub axis_len: usize,
+    /// True for first halves (steps 1, 3), which apply the inter-pass
+    /// twiddle `W_axis^{k1 * n2}` after the small FFT.
+    pub first_half: bool,
+    /// Input access pattern (always D).
+    pub read_pattern: AccessPattern,
+    /// Output access pattern (A for steps 1/3, B for steps 2/4).
+    pub write_pattern: AccessPattern,
+}
+
+impl FiveStepPlanLayout {
+    /// Builds the layout plan for an `nx x ny x nz` volume.
+    ///
+    /// # Panics
+    /// Panics unless all dimensions are powers of two with `ny`, `nz` in
+    /// `4..=256` (the register-resident range) and `nx` in `4..=512`.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        let y_split = split_radix(ny);
+        let z_split = split_radix(nz);
+        Self::with_splits(nx, ny, nz, y_split, z_split)
+    }
+
+    /// Builds the layout with explicit digit splits.
+    ///
+    /// The main use is chaining transforms without host relayout: a forward
+    /// plan with splits `(a, b)` leaves its spectrum in exactly the *input*
+    /// layout of a plan with splits `(b, a)`, so an inverse plan built with
+    /// swapped splits consumes the forward output in place (used by the
+    /// on-card convolution of the docking application, §4.4).
+    pub fn with_splits(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        y_split: (usize, usize),
+        z_split: (usize, usize),
+    ) -> Self {
+        assert!(nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two());
+        assert!((4..=512).contains(&nx), "nx out of supported range");
+        assert_eq!(y_split.0 * y_split.1, ny, "y split must factor ny");
+        assert_eq!(z_split.0 * z_split.1, nz, "z split must factor nz");
+        assert!(y_split.0 <= 16 && y_split.1 <= 16, "y digits must be codelet-sized");
+        assert!(z_split.0 <= 16 && z_split.1 <= 16, "z digits must be codelet-sized");
+        Self { nx, ny, nz, y_split, z_split }
+    }
+
+    /// Total complex elements in the volume.
+    pub fn volume(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// The initial view: slots `(Y_lo, Y_hi, Z_lo, Z_hi)`.
+    pub fn input_view(&self) -> View5 {
+        let (ay, by) = self.y_split;
+        let (az, bz) = self.z_split;
+        View5::new(self.nx, [ay, by, az, bz])
+    }
+
+    /// The final view after step 4: slots `(K1y, K2y, K1z, K2z)`.
+    pub fn output_view(&self) -> View5 {
+        let (ay, by) = self.y_split;
+        let (az, bz) = self.z_split;
+        View5::new(self.nx, [by, ay, bz, az])
+    }
+
+    /// Linear index of input voxel `(x, y, z)` in the 5-D input layout.
+    #[inline]
+    pub fn input_index(&self, x: usize, y: usize, z: usize) -> usize {
+        let (ay, _) = self.y_split;
+        let (az, _) = self.z_split;
+        self.input_view().index(x, [y % ay, y / ay, z % az, z / az])
+    }
+
+    /// Linear index of spectrum bin `(kx, ky, kz)` in the 5-D output layout.
+    #[inline]
+    pub fn output_index(&self, kx: usize, ky: usize, kz: usize) -> usize {
+        let (_, by) = self.y_split;
+        let (_, bz) = self.z_split;
+        self.output_view().index(kx, [ky % by, ky / by, kz % bz, kz / bz])
+    }
+
+    /// The four strided passes (steps 1–4) with their views and patterns.
+    pub fn strided_passes(&self) -> [StridedPass; 4] {
+        let (ay, by) = self.y_split;
+        let (az, bz) = self.z_split;
+        let v0 = View5::new(self.nx, [ay, by, az, bz]); // (Y_lo, Y_hi, Z_lo, Z_hi)
+        let v1 = View5::new(self.nx, [bz, ay, by, az]); // (K1z, Y_lo, Y_hi, Z_lo)
+        let v2 = View5::new(self.nx, [bz, az, ay, by]); // (K1z, K2z, Y_lo, Y_hi)
+        let v3 = View5::new(self.nx, [by, bz, az, ay]); // (K1y, K1z, K2z, Y_lo)
+        let v4 = View5::new(self.nx, [by, ay, bz, az]); // (K1y, K2y, K1z, K2z)
+        [
+            StridedPass {
+                step: 1,
+                input: v0,
+                output: v1,
+                fft_len: bz,
+                axis_len: self.nz,
+                first_half: true,
+                read_pattern: AccessPattern::D,
+                write_pattern: AccessPattern::A,
+            },
+            StridedPass {
+                step: 2,
+                input: v1,
+                output: v2,
+                fft_len: az,
+                axis_len: self.nz,
+                first_half: false,
+                read_pattern: AccessPattern::D,
+                write_pattern: AccessPattern::B,
+            },
+            StridedPass {
+                step: 3,
+                input: v2,
+                output: v3,
+                fft_len: by,
+                axis_len: self.ny,
+                first_half: true,
+                read_pattern: AccessPattern::D,
+                write_pattern: AccessPattern::A,
+            },
+            StridedPass {
+                step: 4,
+                input: v3,
+                output: v4,
+                fft_len: ay,
+                axis_len: self.ny,
+                first_half: false,
+                read_pattern: AccessPattern::D,
+                write_pattern: AccessPattern::B,
+            },
+        ]
+    }
+}
+
+/// Scales a whole buffer by `1/N` after an inverse transform, matching the
+/// FFTW/CUFFT unnormalised convention used throughout.
+pub fn normalize_inverse(data: &mut [crate::complex::Complex32], dir: Direction, total: usize) {
+    if dir == Direction::Inverse {
+        let s = 1.0 / total as f32;
+        for z in data {
+            *z = z.scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_radix_known_sizes() {
+        assert_eq!(split_radix(256), (16, 16));
+        assert_eq!(split_radix(64), (8, 8));
+        assert_eq!(split_radix(128), (8, 16));
+        assert_eq!(split_radix(16), (4, 4));
+        assert_eq!(split_radix(4), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "two-step split")]
+    fn split_radix_rejects_512() {
+        split_radix(512);
+    }
+
+    #[test]
+    fn paper_table2_strides() {
+        // Table 2, for V(256,16,16,16,16).
+        let v = View5::new(256, [16, 16, 16, 16]);
+        assert_eq!(v.pattern_stride(AccessPattern::A), 256);
+        assert_eq!(v.pattern_stride(AccessPattern::B), 4096);
+        assert_eq!(v.pattern_stride(AccessPattern::C), 65536);
+        assert_eq!(v.pattern_stride(AccessPattern::D), 1_048_576);
+        assert_eq!(v.pattern_stride(AccessPattern::X), 1);
+        assert_eq!(v.len(), 256 * 256 * 256);
+    }
+
+    #[test]
+    fn view_index_is_bijective() {
+        let v = View5::new(4, [2, 3, 2, 2]);
+        let mut seen = vec![false; v.len()];
+        for s4 in 0..2 {
+            for s3 in 0..2 {
+                for s2 in 0..3 {
+                    for s1 in 0..2 {
+                        for x in 0..4 {
+                            let i = v.index(x, [s1, s2, s3, s4]);
+                            assert!(!seen[i], "collision at {i}");
+                            seen[i] = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn passes_read_d_write_a_or_b() {
+        let plan = FiveStepPlanLayout::new(256, 256, 256);
+        let passes = plan.strided_passes();
+        for p in &passes {
+            assert_eq!(p.read_pattern, AccessPattern::D, "step {}", p.step);
+        }
+        assert_eq!(passes[0].write_pattern, AccessPattern::A);
+        assert_eq!(passes[1].write_pattern, AccessPattern::B);
+        assert_eq!(passes[2].write_pattern, AccessPattern::A);
+        assert_eq!(passes[3].write_pattern, AccessPattern::B);
+    }
+
+    #[test]
+    fn pass_views_conserve_volume_and_chain() {
+        for (nx, ny, nz) in [(256, 256, 256), (64, 64, 64), (128, 128, 128), (64, 128, 256)] {
+            let plan = FiveStepPlanLayout::new(nx, ny, nz);
+            let passes = plan.strided_passes();
+            assert_eq!(passes[0].input, plan.input_view());
+            assert_eq!(passes[3].output, plan.output_view());
+            for w in passes.windows(2) {
+                assert_eq!(w[0].output, w[1].input, "views must chain");
+            }
+            for p in &passes {
+                assert_eq!(p.input.len(), plan.volume());
+                assert_eq!(p.output.len(), plan.volume());
+                // The FFT digit being consumed sits in slot 4 of the input.
+                assert_eq!(p.input.extents[3], p.fft_len);
+            }
+        }
+    }
+
+    #[test]
+    fn input_index_covers_volume() {
+        let plan = FiveStepPlanLayout::new(8, 16, 16);
+        let mut seen = vec![false; plan.volume()];
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..8 {
+                    let i = plan.input_index(x, y, z);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn output_index_covers_volume() {
+        let plan = FiveStepPlanLayout::new(8, 16, 64);
+        let mut seen = vec![false; plan.volume()];
+        for z in 0..64 {
+            for y in 0..16 {
+                for x in 0..8 {
+                    let i = plan.output_index(x, y, z);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn x_axis_is_contiguous_in_every_view() {
+        let plan = FiveStepPlanLayout::new(256, 256, 256);
+        for p in plan.strided_passes() {
+            assert_eq!(p.input.index(1, [0, 0, 0, 0]) - p.input.index(0, [0, 0, 0, 0]), 1);
+        }
+    }
+
+    #[test]
+    fn pattern_labels_roundtrip() {
+        for p in AccessPattern::STRIDED {
+            assert_eq!(AccessPattern::from_slot(p.slot().unwrap()), p);
+        }
+        assert_eq!(AccessPattern::A.label(), "A");
+        assert_eq!(AccessPattern::X.label(), "X");
+    }
+
+    #[test]
+    fn rows_for_slot_counts() {
+        let v = View5::new(256, [16, 16, 16, 16]);
+        // A pass over slot 4 has 256*16*16*16 rows of 16 points each.
+        assert_eq!(v.rows_for_slot(4), 256 * 16 * 16 * 16);
+        assert_eq!(v.rows_for_slot(4) * 16, v.len());
+    }
+}

@@ -1,0 +1,34 @@
+//! `fft-math` — the FFT mathematics substrate of the SC'08 reproduction.
+//!
+//! Everything the higher layers need to *compute* Fourier transforms lives
+//! here, implemented from scratch:
+//!
+//! * [`complex`] — single/double-precision complex arithmetic,
+//! * [`twiddle`] — twiddle-factor tables (full, inter-pass, out-of-core slab),
+//! * [`codelets`] — straight-line radix-2/4/8/16 kernels (the paper's
+//!   register-resident 16-point workhorse),
+//! * [`fft1d`] — Stockham autosort and the 256 = 16 x 16 two-step transform,
+//! * [`fft64`] — the double-precision path (§4.5 future work),
+//! * [`multirow`] — batched strided-row FFTs (the vector-machine formulation
+//!   the GPU algorithm inherits),
+//! * [`layout`] — the 5-D view `V(X,16,16,16,16)`, Table 2's access patterns
+//!   A–D, and the digit bookkeeping of the five-step algorithm,
+//! * [`dft`] — O(N²) reference oracle,
+//! * [`flops`] — the paper's `15·N³·log2 N` GFLOPS convention,
+//! * [`error`] — validation norms.
+
+#![warn(missing_docs)]
+
+pub mod codelets;
+pub mod complex;
+pub mod dft;
+pub mod error;
+pub mod fft1d;
+pub mod fft64;
+pub mod flops;
+pub mod layout;
+pub mod multirow;
+pub mod twiddle;
+
+pub use complex::{c32, c64, Complex32, Complex64};
+pub use twiddle::Direction;

@@ -1,0 +1,189 @@
+//! Multirow (vector) FFT: many independent 1-D FFTs over strided rows.
+//!
+//! §2.1 of the paper bases the GPU algorithm on the multirow FFT known from
+//! vector processors (Swarztrauber 1984; Korn & Lambiotte 1979): computing M
+//! independent N-point FFTs simultaneously vectorises trivially because the
+//! rows never interact. On the GPU, "one row per thread" is the coarse-grained
+//! parallelism of steps 1–4.
+//!
+//! This module is the CPU reference for that operation, with FFTW-style
+//! advanced layout parameters: each row `r` occupies elements
+//! `base + r*dist + j*stride` for `j in 0..n`.
+
+use crate::codelets::fft_small;
+use crate::complex::Complex32;
+use crate::fft1d::fft_pow2;
+use crate::twiddle::Direction;
+
+/// Layout of a batch of rows inside a flat buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowLayout {
+    /// Length of each row (power of two).
+    pub n: usize,
+    /// Number of rows in the batch.
+    pub rows: usize,
+    /// Element stride between consecutive samples within a row.
+    pub stride: usize,
+    /// Element distance between row starts.
+    pub dist: usize,
+}
+
+impl RowLayout {
+    /// Contiguous rows packed back to back (`stride = 1`, `dist = n`).
+    pub fn contiguous(n: usize, rows: usize) -> Self {
+        Self { n, rows, stride: 1, dist: n }
+    }
+
+    /// Interleaved rows (`stride = rows`, `dist = 1`): row `r` holds elements
+    /// `r, r+rows, r+2*rows, ...` — the "multiple streams" layout whose
+    /// bandwidth behaviour §2.1 measures.
+    pub fn interleaved(n: usize, rows: usize) -> Self {
+        Self { n, rows, stride: rows, dist: 1 }
+    }
+
+    /// Index of sample `j` of row `r`.
+    #[inline]
+    pub fn index(&self, r: usize, j: usize) -> usize {
+        r * self.dist + j * self.stride
+    }
+
+    /// Smallest buffer length that contains every sample.
+    pub fn required_len(&self) -> usize {
+        if self.n == 0 || self.rows == 0 {
+            return 0;
+        }
+        self.index(self.rows - 1, self.n - 1) + 1
+    }
+
+    /// True when two distinct (row, sample) pairs never alias.
+    ///
+    /// Only the two standard layouts are proven here; exotic layouts are
+    /// checked exhaustively (cheap for the sizes we use).
+    pub fn is_injective(&self) -> bool {
+        if self.stride == 0 || (self.dist == 0 && self.rows > 1) {
+            return false;
+        }
+        if self == &Self::contiguous(self.n, self.rows)
+            || self == &Self::interleaved(self.n, self.rows)
+        {
+            return true;
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.n * self.rows);
+        for r in 0..self.rows {
+            for j in 0..self.n {
+                if !seen.insert(self.index(r, j)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Transforms every row of the batch in place.
+///
+/// Rows are gathered into a local buffer (the "registers" of a simulated
+/// thread), transformed with the best available codelet, and scattered back.
+///
+/// # Panics
+/// Panics if the buffer is too small for the layout or rows alias.
+pub fn multirow_fft(data: &mut [Complex32], layout: RowLayout, dir: Direction) {
+    assert!(layout.n.is_power_of_two(), "row length must be a power of two");
+    assert!(data.len() >= layout.required_len(), "buffer too small for layout");
+    debug_assert!(layout.is_injective(), "row layout aliases");
+
+    let mut row = vec![Complex32::ZERO; layout.n];
+    for r in 0..layout.rows {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = data[layout.index(r, j)];
+        }
+        if layout.n <= 16 {
+            fft_small(&mut row, dir);
+        } else {
+            fft_pow2(&mut row, dir);
+        }
+        for (j, v) in row.iter().enumerate() {
+            data[layout.index(r, j)] = *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c32;
+    use crate::dft::dft_oracle;
+
+    fn fill(len: usize) -> Vec<Complex32> {
+        (0..len).map(|i| c32((i as f32 * 0.11).sin(), (i as f32 * 0.23).cos())).collect()
+    }
+
+    #[test]
+    fn contiguous_rows_match_oracle() {
+        let layout = RowLayout::contiguous(16, 8);
+        let mut data = fill(layout.required_len());
+        let orig = data.clone();
+        multirow_fft(&mut data, layout, Direction::Forward);
+        for r in 0..8 {
+            let row: Vec<_> = (0..16).map(|j| orig[layout.index(r, j)]).collect();
+            let want = dft_oracle(&row, Direction::Forward);
+            for j in 0..16 {
+                assert!((data[layout.index(r, j)] - want[j].narrow()).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_rows_match_contiguous() {
+        let n = 32;
+        let rows = 4;
+        let inter = RowLayout::interleaved(n, rows);
+        let mut data_i = fill(inter.required_len());
+        // Build the matching contiguous copy.
+        let cont = RowLayout::contiguous(n, rows);
+        let mut data_c = vec![Complex32::ZERO; cont.required_len()];
+        for r in 0..rows {
+            for j in 0..n {
+                data_c[cont.index(r, j)] = data_i[inter.index(r, j)];
+            }
+        }
+        multirow_fft(&mut data_i, inter, Direction::Forward);
+        multirow_fft(&mut data_c, cont, Direction::Forward);
+        for r in 0..rows {
+            for j in 0..n {
+                assert_eq!(data_i[inter.index(r, j)], data_c[cont.index(r, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_scaling() {
+        let layout = RowLayout::interleaved(16, 16);
+        let orig = fill(layout.required_len());
+        let mut data = orig.clone();
+        multirow_fft(&mut data, layout, Direction::Forward);
+        multirow_fft(&mut data, layout, Direction::Inverse);
+        for (d, o) in data.iter().zip(&orig) {
+            assert!((d.scale(1.0 / 16.0) - *o).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layout_injectivity() {
+        assert!(RowLayout::contiguous(8, 4).is_injective());
+        assert!(RowLayout::interleaved(8, 4).is_injective());
+        // dist 0 with several rows aliases everything.
+        assert!(!RowLayout { n: 8, rows: 2, stride: 1, dist: 0 }.is_injective());
+        // stride 0 collapses a row.
+        assert!(!RowLayout { n: 8, rows: 1, stride: 0, dist: 8 }.is_injective());
+        // dist smaller than the row footprint aliases.
+        assert!(!RowLayout { n: 8, rows: 2, stride: 1, dist: 4 }.is_injective());
+    }
+
+    #[test]
+    fn required_len() {
+        assert_eq!(RowLayout::contiguous(16, 8).required_len(), 128);
+        assert_eq!(RowLayout::interleaved(16, 8).required_len(), 128);
+        assert_eq!(RowLayout { n: 4, rows: 2, stride: 3, dist: 16 }.required_len(), 26);
+    }
+}

@@ -1,0 +1,248 @@
+//! Twiddle-factor tables.
+//!
+//! The DFT of length `N` uses the roots of unity `W_N^k = e^{-2·pi·i·k/N}`
+//! (forward transform; the inverse uses the conjugate). The paper's §3.2
+//! discusses four places to keep these on a CUDA GPU — registers, constant
+//! memory, texture memory, or recomputation — and selects texture memory for
+//! the fine-grained step 5 and registers for the coarse-grained 16-point
+//! steps. This module provides the host-side tables that get uploaded (or
+//! baked into "registers") in each of those options.
+//!
+//! Tables are generated in `f64` and rounded once, which keeps the
+//! single-precision table within 0.5 ulp of the true root — the same accuracy
+//! a `sincosf`-generated table has on real hardware.
+
+use crate::complex::{Complex32, Complex64};
+
+/// Transform direction. Determines the sign of the twiddle exponent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `e^{-2·pi·i·k/N}` — the engineering/FFTW forward convention.
+    Forward,
+    /// `e^{+2·pi·i·k/N}` — inverse (unnormalised: divide by `N` after).
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent: -1 forward, +1 inverse.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Inverse,
+            Direction::Inverse => Direction::Forward,
+        }
+    }
+}
+
+/// Computes a single twiddle factor `W_N^k` in double precision.
+#[inline]
+pub fn twiddle_f64(k: usize, n: usize, dir: Direction) -> Complex64 {
+    debug_assert!(n > 0);
+    // Reduce k mod n first: keeps the angle in [0, 2·pi) so large indices do
+    // not lose precision in the multiply below.
+    let k = k % n;
+    let theta = dir.sign() * 2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    Complex64::cis(theta)
+}
+
+/// Computes a single twiddle factor `W_N^k`, rounded to single precision.
+#[inline]
+pub fn twiddle(k: usize, n: usize, dir: Direction) -> Complex32 {
+    twiddle_f64(k, n, dir).narrow()
+}
+
+/// A precomputed table of the `N` twiddle factors `W_N^0 .. W_N^{N-1}`.
+///
+/// This is the layout uploaded to the simulated texture memory for step 5 of
+/// the paper's algorithm, and the layout `cpu-fft` indexes directly.
+#[derive(Clone, Debug)]
+pub struct TwiddleTable {
+    n: usize,
+    dir: Direction,
+    factors: Box<[Complex32]>,
+}
+
+impl TwiddleTable {
+    /// Builds the full table for transform length `n`.
+    pub fn new(n: usize, dir: Direction) -> Self {
+        assert!(n > 0, "twiddle table length must be positive");
+        let factors = (0..n).map(|k| twiddle(k, n, dir)).collect();
+        Self { n, dir, factors }
+    }
+
+    /// Transform length this table serves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate length-0 table (never constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Direction the table was built for.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.dir
+    }
+
+    /// `W_N^k`, reducing `k` modulo `N`.
+    #[inline]
+    pub fn get(&self, k: usize) -> Complex32 {
+        self.factors[k % self.n]
+    }
+
+    /// Raw slice access (what gets copied into the simulated texture).
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex32] {
+        &self.factors
+    }
+}
+
+/// Twiddles for the two-step Cooley–Tukey decomposition `N = N1 * N2`.
+///
+/// Between the two passes of sub-FFTs, element `(k1, n2)` must be scaled by
+/// `W_N^{k1 * n2}`. The paper's 256 = 16 x 16 split applies exactly this
+/// between `FFT256_1` and `FFT256_2`; the kernels keep the row of 16 factors
+/// they need in registers.
+#[derive(Clone, Debug)]
+pub struct InterTwiddle {
+    n1: usize,
+    n2: usize,
+    /// `factors[k1 * n2 + n2_idx] = W_{n1*n2}^{k1 * n2_idx}`
+    factors: Box<[Complex32]>,
+}
+
+impl InterTwiddle {
+    /// Builds the `n1 x n2` inter-pass twiddle matrix for `N = n1 * n2`.
+    pub fn new(n1: usize, n2: usize, dir: Direction) -> Self {
+        assert!(n1 > 0 && n2 > 0);
+        let n = n1 * n2;
+        let mut factors = Vec::with_capacity(n);
+        for k1 in 0..n1 {
+            for i2 in 0..n2 {
+                factors.push(twiddle(k1 * i2, n, dir));
+            }
+        }
+        Self { n1, n2, factors: factors.into_boxed_slice() }
+    }
+
+    /// `W_N^{k1 * i2}` for the (k1-th output of pass 1, i2-th input of pass 2).
+    #[inline]
+    pub fn get(&self, k1: usize, i2: usize) -> Complex32 {
+        debug_assert!(k1 < self.n1 && i2 < self.n2);
+        self.factors[k1 * self.n2 + i2]
+    }
+
+    /// First factor length.
+    #[inline]
+    pub fn n1(&self) -> usize {
+        self.n1
+    }
+
+    /// Second factor length.
+    #[inline]
+    pub fn n2(&self) -> usize {
+        self.n2
+    }
+}
+
+/// 3-D inter-slab twiddles for the out-of-core decomposition of §3.3.
+///
+/// Splitting a `Z`-dimension of length `z = z_dev * slabs` across `slabs`
+/// card-sized pieces turns the Z transform into (per-slab FFTs of length
+/// `z_dev`) x (twiddle multiply) x (length-`slabs` FFTs across slabs). The
+/// `MULTIPLY_TWIDDLE(I)` step of the paper's pseudo-code multiplies slab `I`'s
+/// plane `j` by `W_z^{I * j}`. This helper builds one slab's plane factors.
+pub fn slab_twiddles(z_total: usize, slab_index: usize, planes: usize, dir: Direction) -> Vec<Complex32> {
+    (0..planes).map(|j| twiddle(slab_index * j, z_total, dir)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_twiddle_unit_circle() {
+        let t = TwiddleTable::new(64, Direction::Forward);
+        for k in 0..64 {
+            assert!((t.get(k).abs() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // W_4^0 = 1, W_4^1 = -i, W_4^2 = -1, W_4^3 = i (forward convention)
+        let t = TwiddleTable::new(4, Direction::Forward);
+        let eps = 1e-7;
+        assert!((t.get(0) - Complex32::ONE).abs() < eps);
+        assert!((t.get(1) - -Complex32::I).abs() < eps);
+        assert!((t.get(2) - -Complex32::ONE).abs() < eps);
+        assert!((t.get(3) - Complex32::I).abs() < eps);
+    }
+
+    #[test]
+    fn inverse_is_conjugate_of_forward() {
+        let f = TwiddleTable::new(32, Direction::Forward);
+        let i = TwiddleTable::new(32, Direction::Inverse);
+        for k in 0..32 {
+            assert!((f.get(k).conj() - i.get(k)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn index_wraps_modulo_n() {
+        let t = TwiddleTable::new(16, Direction::Forward);
+        for k in 0..16 {
+            assert_eq!(t.get(k), t.get(k + 16));
+            assert_eq!(t.get(k), t.get(k + 160));
+        }
+    }
+
+    #[test]
+    fn group_property() {
+        // W_N^a * W_N^b == W_N^{a+b}
+        let n = 128;
+        for (a, b) in [(3, 7), (60, 90), (127, 1)] {
+            let lhs = twiddle_f64(a, n, Direction::Forward) * twiddle_f64(b, n, Direction::Forward);
+            let rhs = twiddle_f64(a + b, n, Direction::Forward);
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inter_twiddle_matches_direct() {
+        let it = InterTwiddle::new(16, 16, Direction::Forward);
+        for k1 in 0..16 {
+            for i2 in 0..16 {
+                let direct = twiddle(k1 * i2, 256, Direction::Forward);
+                assert_eq!(it.get(k1, i2), direct);
+            }
+        }
+    }
+
+    #[test]
+    fn slab_twiddles_first_slab_is_identity() {
+        let t = slab_twiddles(512, 0, 64, Direction::Forward);
+        for z in &t {
+            assert!((*z - Complex32::ONE).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn direction_flip_involutive() {
+        assert_eq!(Direction::Forward.flip().flip(), Direction::Forward);
+        assert_eq!(Direction::Forward.flip(), Direction::Inverse);
+    }
+}

@@ -1,0 +1,305 @@
+//! GDDR device-memory performance model.
+//!
+//! §2.1 of the paper: "modern GPUs employ GDDR memories which are optimized
+//! for successive memory access operations, incurring heavy relative
+//! penalties for non-successive accesses". The model here turns that
+//! observation into numbers with four multiplicative components, each
+//! calibrated against a measurement printed in the paper itself:
+//!
+//! 1. **Copy efficiency** — even a perfectly coalesced single-stream copy
+//!    reaches only a fraction of the pin-rate peak (refresh, command
+//!    overhead, read/write turnaround). Calibrated on the 8800 GTX:
+//!    71.7 GB/s achieved vs 86.4 GB/s peak → 0.830.
+//! 2. **Stream decay** — interleaving many concurrent streams spreads
+//!    accesses over DRAM rows and defeats the open-row amortisation.
+//!    The paper measured 71.7 GB/s at 1 stream falling to 30.7 GB/s at 256
+//!    streams; a logarithmic decay `1 / (1 + k·log2 S)` with `k = 0.1669`
+//!    fits both endpoints exactly.
+//! 3. **Pattern-pair factor** — a 16-point FFT pass reads 16 streams in one
+//!    of Table 2's patterns A–D and writes in another; Tables 3–4 measure
+//!    the achieved bandwidth for all 16 combinations on two cards. The
+//!    matrix below is those tables normalised by each card's copy base and
+//!    averaged. Its structure carries the paper's headline lesson: any
+//!    combination touching only A/B stays near copy speed, while C/D x C/D
+//!    collapses (down to ~0.60 for D x D).
+//! 4. **Thread saturation** — §3.1: "we require at least 128 threads for
+//!    each SM" to hide DRAM latency; a kernel whose register pressure limits
+//!    occupancy below that (the failed 256-point-per-thread variant ran only
+//!    8 threads/SM) starves the memory system. Modelled as
+//!    `min(1, (threads/128)^0.5)`: 8 threads → 0.25, reproducing the "<10
+//!    GB/s" the paper observed for the 256-point multirow kernel.
+
+use crate::spec::DeviceSpec;
+use fft_math::layout::AccessPattern;
+
+/// Fraction of theoretical pin-rate bandwidth a perfectly coalesced
+/// single-stream copy achieves (GTX: 71.7 / 86.4).
+pub const COPY_EFFICIENCY: f64 = 0.830;
+
+/// Coefficient of the logarithmic stream-count decay (fits 71.7 → 30.7 GB/s
+/// over 1 → 256 streams on the GTX).
+pub const STREAM_DECAY_COEF: f64 = 0.16694;
+
+/// Threads per SM needed to fully hide DRAM latency (§3.1).
+pub const SATURATION_THREADS: f64 = 128.0;
+
+/// Achieved-bandwidth derating of a *compute-carrying* FFT pass relative to
+/// the pure-copy microbenchmark of Tables 3–4 (address arithmetic, twiddle
+/// loads and FP work stealing issue slots). Calibrated on Table 7 vs Table 4:
+/// GTX step 1 achieves 61.2 GB/s where the D-in/A-out copy reaches 67.5.
+pub const FFT_KERNEL_INTERFERENCE: f64 = 0.90;
+
+/// In-place passes (read and write the same buffer) lose a little more to
+/// read/write turnaround; Table 6 vs 7 ("the former is out-of-place and the
+/// latter is in-place") shows ~1.5% on the GTS.
+pub const IN_PLACE_FACTOR: f64 = 0.985;
+
+/// Texture-cache fetch efficiency for strided reads relative to the copy
+/// base (Table 9: the texture-memory exchange step sustains about half the
+/// coalesced bandwidth).
+pub const TEXTURE_STRIDED_EFFICIENCY: f64 = 0.50;
+
+/// Copy-base bandwidth of a card in GB/s: peak x copy efficiency.
+/// (GT 47.8, GTS 51.5, GTX 71.7.)
+pub fn copy_base_gbs(spec: &DeviceSpec) -> f64 {
+    spec.peak_bandwidth_gbs() * COPY_EFFICIENCY
+}
+
+/// Bandwidth retained when `streams` concurrent sequential streams share the
+/// memory system (§2.1's 71.7 → 30.7 GB/s measurement).
+pub fn stream_decay(streams: usize) -> f64 {
+    let s = streams.max(1) as f64;
+    1.0 / (1.0 + STREAM_DECAY_COEF * s.log2())
+}
+
+/// Bandwidth retained at a given occupancy (resident threads per SM).
+pub fn thread_saturation(threads_per_sm: usize) -> f64 {
+    ((threads_per_sm as f64) / SATURATION_THREADS).sqrt().min(1.0)
+}
+
+/// Row index into the pattern matrix.
+fn class_index(p: AccessPattern) -> usize {
+    match p {
+        // The contiguous X pass behaves like pattern A/B (near-sequential).
+        AccessPattern::X | AccessPattern::A => 0,
+        AccessPattern::B => 1,
+        AccessPattern::C => 2,
+        AccessPattern::D => 3,
+    }
+}
+
+/// Normalised pattern-pair bandwidth factors (read pattern = row, write
+/// pattern = column), Tables 3–4 averaged across the two measured cards.
+const PATTERN_MATRIX: [[f64; 4]; 4] = [
+    // out:   A      B      C      D
+    /* A */ [0.995, 1.000, 0.960, 0.958],
+    /* B */ [1.000, 1.000, 0.960, 0.958],
+    /* C */ [0.975, 0.970, 0.718, 0.700],
+    /* D */ [0.948, 0.938, 0.690, 0.597],
+];
+
+/// Bandwidth factor for a (read, write) pattern pair.
+pub fn pattern_pair_factor(read: AccessPattern, write: AccessPattern) -> f64 {
+    PATTERN_MATRIX[class_index(read)][class_index(write)]
+}
+
+/// Fully composed effective bandwidth in GB/s for a kernel pass.
+///
+/// `coalesce_efficiency` is the useful-bytes / bus-bytes ratio from the
+/// coalescing analysis (1.0 for a fully coalesced kernel, 0.25 for scalar
+/// 8-byte accesses); it scales bandwidth directly because wasted segment
+/// bytes occupy the same bus.
+#[derive(Clone, Copy, Debug)]
+pub struct BandwidthQuery {
+    /// Read-side access pattern.
+    pub read_pattern: AccessPattern,
+    /// Write-side access pattern.
+    pub write_pattern: AccessPattern,
+    /// Resident threads per SM after occupancy limits.
+    pub threads_per_sm: usize,
+    /// Useful/bus byte ratio from coalescing (1.0 = perfect).
+    pub coalesce_efficiency: f64,
+    /// True when the pass reads and writes the same buffer.
+    pub in_place: bool,
+    /// True for compute-carrying kernels (FFT passes) as opposed to the pure
+    /// copy microbenchmarks of Tables 3–4.
+    pub carries_compute: bool,
+}
+
+impl BandwidthQuery {
+    /// A pure pattern-to-pattern copy (the Tables 3–4 microbenchmark shape).
+    pub fn pattern_copy(read: AccessPattern, write: AccessPattern) -> Self {
+        BandwidthQuery {
+            read_pattern: read,
+            write_pattern: write,
+            threads_per_sm: 128,
+            coalesce_efficiency: 1.0,
+            in_place: false,
+            carries_compute: false,
+        }
+    }
+}
+
+/// Effective bandwidth for the query on the given card, GB/s.
+pub fn effective_bandwidth_gbs(spec: &DeviceSpec, q: &BandwidthQuery) -> f64 {
+    let mut bw = copy_base_gbs(spec);
+    bw *= pattern_pair_factor(q.read_pattern, q.write_pattern);
+    bw *= thread_saturation(q.threads_per_sm);
+    bw *= q.coalesce_efficiency.clamp(0.0, 1.0);
+    if q.in_place {
+        bw *= IN_PLACE_FACTOR;
+    }
+    if q.carries_compute {
+        bw *= FFT_KERNEL_INTERFERENCE;
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_decay_matches_paper_endpoints() {
+        // §2.1: 71.7 GB/s for 1 stream, 30.7 for 256 on the GTX.
+        let gtx = DeviceSpec::gtx8800();
+        let one = copy_base_gbs(&gtx) * stream_decay(1);
+        let many = copy_base_gbs(&gtx) * stream_decay(256);
+        assert!((one - 71.7).abs() < 0.3, "got {one}");
+        assert!((many - 30.7).abs() < 0.5, "got {many}");
+    }
+
+    #[test]
+    fn stream_decay_is_monotone() {
+        let mut prev = stream_decay(1);
+        for p in 1..=10 {
+            let cur = stream_decay(1 << p);
+            assert!(cur < prev);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn table3_8800gt_reproduced() {
+        // Spot-check Table 3 (GB/s on the 8800 GT) within ~4%.
+        let gt = DeviceSpec::gt8800();
+        let cases = [
+            (AccessPattern::A, AccessPattern::A, 47.4),
+            (AccessPattern::B, AccessPattern::B, 48.3),
+            (AccessPattern::C, AccessPattern::C, 34.4),
+            (AccessPattern::D, AccessPattern::D, 27.8),
+            (AccessPattern::D, AccessPattern::A, 45.6),
+            (AccessPattern::A, AccessPattern::D, 47.1),
+            (AccessPattern::C, AccessPattern::D, 33.3),
+        ];
+        for (r, w, paper) in cases {
+            let q = BandwidthQuery::pattern_copy(r, w);
+            let got = effective_bandwidth_gbs(&gt, &q);
+            assert!(
+                (got - paper).abs() / paper < 0.045,
+                "{}x{}: got {got:.1}, paper {paper}",
+                r.label(),
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn table4_8800gtx_reproduced() {
+        let gtx = DeviceSpec::gtx8800();
+        let cases = [
+            (AccessPattern::A, AccessPattern::A, 71.5),
+            (AccessPattern::C, AccessPattern::C, 51.3),
+            (AccessPattern::D, AccessPattern::D, 43.7),
+            (AccessPattern::D, AccessPattern::A, 67.5),
+            (AccessPattern::B, AccessPattern::C, 68.5),
+        ];
+        for (r, w, paper) in cases {
+            let q = BandwidthQuery::pattern_copy(r, w);
+            let got = effective_bandwidth_gbs(&gtx, &q);
+            assert!(
+                (got - paper).abs() / paper < 0.045,
+                "{}x{}: got {got:.1}, paper {paper}",
+                r.label(),
+                w.label()
+            );
+        }
+    }
+
+    #[test]
+    fn avoiding_cd_combinations_wins() {
+        // The algorithmic claim behind the five-step ordering: D-in/A-out
+        // beats C-in/C-out and D-in/D-out by a wide margin.
+        let good = pattern_pair_factor(AccessPattern::D, AccessPattern::A);
+        let bad = pattern_pair_factor(AccessPattern::D, AccessPattern::D);
+        assert!(good > 1.5 * bad);
+    }
+
+    #[test]
+    fn low_occupancy_starves_bandwidth() {
+        // §3.1: 8 threads/SM (256-point-per-thread variant) → about a quarter
+        // of saturated bandwidth → "<10 GB/s" territory on the GT.
+        assert!((thread_saturation(8) - 0.25).abs() < 1e-12);
+        assert_eq!(thread_saturation(128), 1.0);
+        assert_eq!(thread_saturation(768), 1.0);
+
+        let gt = DeviceSpec::gt8800();
+        let q = BandwidthQuery {
+            read_pattern: AccessPattern::D,
+            write_pattern: AccessPattern::A,
+            threads_per_sm: 8,
+            coalesce_efficiency: 1.0,
+            in_place: false,
+            carries_compute: true,
+        };
+        let bw = effective_bandwidth_gbs(&gt, &q);
+        assert!(bw < 11.0, "got {bw}");
+    }
+
+    #[test]
+    fn sixteen_point_beats_256_point_per_thread() {
+        // §3.1: ">38 GB/s with 16-point FFT vs <10 GB/s for 256-point".
+        let gts = DeviceSpec::gts8800();
+        let coarse16 = BandwidthQuery {
+            read_pattern: AccessPattern::D,
+            write_pattern: AccessPattern::A,
+            threads_per_sm: 128,
+            coalesce_efficiency: 1.0,
+            in_place: false,
+            carries_compute: true,
+        };
+        let coarse256 = BandwidthQuery { threads_per_sm: 8, ..coarse16 };
+        let bw16 = effective_bandwidth_gbs(&gts, &coarse16);
+        let bw256 = effective_bandwidth_gbs(&gts, &coarse256);
+        assert!(bw16 > 38.0, "got {bw16}");
+        assert!(bw256 < 11.0, "got {bw256}");
+    }
+
+    #[test]
+    fn coalesce_efficiency_scales_linearly() {
+        let gt = DeviceSpec::gt8800();
+        let full = BandwidthQuery::pattern_copy(AccessPattern::A, AccessPattern::A);
+        let quarter = BandwidthQuery { coalesce_efficiency: 0.25, ..full };
+        let a = effective_bandwidth_gbs(&gt, &full);
+        let b = effective_bandwidth_gbs(&gt, &quarter);
+        assert!((b * 4.0 - a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_place_pays_turnaround() {
+        let gts = DeviceSpec::gts8800();
+        let out = BandwidthQuery::pattern_copy(AccessPattern::X, AccessPattern::X);
+        let inp = BandwidthQuery { in_place: true, ..out };
+        let a = effective_bandwidth_gbs(&gts, &out);
+        let b = effective_bandwidth_gbs(&gts, &inp);
+        assert!((b / a - IN_PLACE_FACTOR).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_pattern_behaves_like_a() {
+        assert_eq!(
+            pattern_pair_factor(AccessPattern::X, AccessPattern::X),
+            pattern_pair_factor(AccessPattern::A, AccessPattern::A)
+        );
+    }
+}

@@ -1,0 +1,867 @@
+//! Functional kernel executor with coalescing/conflict instrumentation.
+//!
+//! Kernels run *functionally*: a Rust closure executes once per simulated
+//! thread (or once per thread block for cooperative kernels) and really
+//! reads/writes the simulated device memory, so numerical results are exact
+//! and checkable. Performance is *modelled*: the executor counts every
+//! element moved, samples the first few thread blocks at full address
+//! fidelity to measure coalescing and bank behaviour with the real rules of
+//! [`crate::coalesce`] and [`crate::shared`], and hands the aggregate to the
+//! timing model.
+//!
+//! Half-warp grouping under sequential execution relies on the kernels being
+//! lane-uniform (every thread of a half-warp performs the same sequence of
+//! access *ordinals*), which holds for all SIMD-style FFT kernels here; the
+//! analysis asserts the weaker prefix property it needs.
+
+use crate::coalesce;
+use crate::constmem::{serialization_penalty, ConstantBank};
+use crate::memory::{BufferId, DeviceMemory, ELEM_BYTES};
+use crate::occupancy::{occupancy, KernelResources, Occupancy};
+use crate::shared::{bank_conflict_degree, SharedMem};
+use crate::spec::DeviceSpec;
+use crate::timing::{time_kernel, KernelClass, KernelTiming};
+use fft_math::layout::AccessPattern;
+use fft_math::Complex32;
+
+/// How many thread blocks are traced at full address fidelity.
+pub const DEFAULT_TRACE_BLOCKS: usize = 2;
+
+/// Handle to a bound texture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TextureId(usize);
+
+/// Handle to a bound constant-memory table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConstId(usize);
+
+/// How a texture is accessed, for the timing model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TexAccess {
+    /// Small, cache-resident table (twiddle factors): effectively free
+    /// bandwidth, served from the per-SM texture cache.
+    Cached,
+    /// Large strided working-set reads (the Table 9 texture-exchange
+    /// variant): roughly half the coalesced copy bandwidth.
+    Strided,
+}
+
+struct Texture {
+    data: Vec<Complex32>,
+    access: TexAccess,
+}
+
+/// Launch-time description of a kernel, consumed by the timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchConfig {
+    /// Kernel name for reports.
+    pub name: &'static str,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Per-block resource demands (drives occupancy).
+    pub resources: KernelResources,
+    /// Timing class (compute-efficiency family).
+    pub class: KernelClass,
+    /// Global-memory read pattern (Table 2 classification).
+    pub read_pattern: AccessPattern,
+    /// Global-memory write pattern.
+    pub write_pattern: AccessPattern,
+    /// Reads and writes hit the same buffer.
+    pub in_place: bool,
+    /// Nominal FLOPs (the `5 N log2 N` convention) this launch performs.
+    pub nominal_flops: u64,
+    /// Concurrent-stream count for `Transpose`-class kernels (drives the
+    /// §2.1 stream decay); ignored by other classes.
+    pub streams: usize,
+}
+
+impl LaunchConfig {
+    /// A sensible default: copy-class, contiguous, no flops.
+    pub fn copy(name: &'static str, grid_blocks: usize, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            name,
+            grid_blocks,
+            resources: KernelResources {
+                threads_per_block,
+                regs_per_thread: 16,
+                shared_bytes_per_block: 0,
+            },
+            class: KernelClass::Copy,
+            read_pattern: AccessPattern::X,
+            write_pattern: AccessPattern::X,
+            in_place: false,
+            nominal_flops: 0,
+            streams: 1,
+        }
+    }
+}
+
+/// Aggregate counters of one kernel launch.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Global loads (elements).
+    pub loads: u64,
+    /// Global stores (elements).
+    pub stores: u64,
+    /// Texture reads (elements).
+    pub tex_reads_cached: u64,
+    /// Texture reads through a strided (uncached-working-set) texture.
+    pub tex_reads_strided: u64,
+    /// Executed FLOPs charged by the kernel body.
+    pub flops: u64,
+    /// Shared-memory word reads.
+    pub shared_reads: u64,
+    /// Shared-memory word writes.
+    pub shared_writes: u64,
+    /// Synchronisation hazards detected in shared memory.
+    pub shared_races: u64,
+    /// Sampled useful bytes (loads).
+    pub sampled_load_useful: u64,
+    /// Sampled bus bytes (loads).
+    pub sampled_load_bus: u64,
+    /// Sampled useful bytes (stores).
+    pub sampled_store_useful: u64,
+    /// Sampled bus bytes (stores).
+    pub sampled_store_bus: u64,
+    /// Sampled half-warp load ops that coalesced.
+    pub sampled_load_coalesced: u64,
+    /// Sampled half-warp load ops total.
+    pub sampled_load_halfwarps: u64,
+    /// Sampled half-warp store ops that coalesced.
+    pub sampled_store_coalesced: u64,
+    /// Sampled half-warp store ops total.
+    pub sampled_store_halfwarps: u64,
+    /// Sampled shared-memory half-warp ops.
+    pub sampled_shared_halfwarps: u64,
+    /// Sampled extra serialisation cycles from bank conflicts.
+    pub sampled_shared_conflict_cycles: u64,
+    /// Constant-memory reads (elements).
+    pub const_reads: u64,
+    /// Sampled constant half-warp fetches.
+    pub sampled_const_halfwarps: u64,
+    /// Sampled extra serialisation cycles from divergent constant fetches
+    /// (§3.2: "the constant memory provides only a 32-bit data in each
+    /// cycle").
+    pub sampled_const_serial_cycles: u64,
+}
+
+impl KernelStats {
+    /// Bytes of useful global load traffic.
+    pub fn load_bytes(&self) -> u64 {
+        self.loads * ELEM_BYTES
+    }
+
+    /// Bytes of useful global store traffic.
+    pub fn store_bytes(&self) -> u64 {
+        self.stores * ELEM_BYTES
+    }
+
+    /// Useful/bus ratio measured on sampled loads (1.0 when nothing sampled).
+    pub fn load_coalesce_efficiency(&self) -> f64 {
+        if self.sampled_load_bus == 0 {
+            1.0
+        } else {
+            self.sampled_load_useful as f64 / self.sampled_load_bus as f64
+        }
+    }
+
+    /// Useful/bus ratio measured on sampled stores.
+    pub fn store_coalesce_efficiency(&self) -> f64 {
+        if self.sampled_store_bus == 0 {
+            1.0
+        } else {
+            self.sampled_store_useful as f64 / self.sampled_store_bus as f64
+        }
+    }
+
+    /// Traffic-weighted overall coalescing efficiency.
+    pub fn coalesce_efficiency(&self) -> f64 {
+        let bus = self.sampled_load_bus + self.sampled_store_bus;
+        if bus == 0 {
+            1.0
+        } else {
+            (self.sampled_load_useful + self.sampled_store_useful) as f64 / bus as f64
+        }
+    }
+
+    /// Fraction of sampled half-warp ops that coalesced.
+    pub fn coalesced_fraction(&self) -> f64 {
+        let total = self.sampled_load_halfwarps + self.sampled_store_halfwarps;
+        if total == 0 {
+            1.0
+        } else {
+            (self.sampled_load_coalesced + self.sampled_store_coalesced) as f64 / total as f64
+        }
+    }
+
+    /// Mean extra cycles per sampled shared half-warp op (0 = conflict-free).
+    pub fn shared_conflict_rate(&self) -> f64 {
+        if self.sampled_shared_halfwarps == 0 {
+            0.0
+        } else {
+            self.sampled_shared_conflict_cycles as f64 / self.sampled_shared_halfwarps as f64
+        }
+    }
+
+    /// Mean extra cycles per sampled constant-memory half-warp fetch.
+    pub fn const_serial_rate(&self) -> f64 {
+        if self.sampled_const_halfwarps == 0 {
+            0.0
+        } else {
+            self.sampled_const_serial_cycles as f64 / self.sampled_const_halfwarps as f64
+        }
+    }
+}
+
+/// Full result of one launch: counters, occupancy and modelled timing.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Aggregate counters.
+    pub stats: KernelStats,
+    /// Occupancy achieved.
+    pub occupancy: Occupancy,
+    /// Modelled timing.
+    pub timing: KernelTiming,
+}
+
+// ---------------------------------------------------------------------------
+// Trace machinery
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ThreadTrace {
+    loads: Vec<u64>,
+    stores: Vec<u64>,
+    shared: Vec<usize>,
+    consts: Vec<usize>,
+}
+
+struct BlockTrace {
+    threads: Vec<ThreadTrace>,
+}
+
+impl BlockTrace {
+    fn new(threads: usize) -> Self {
+        BlockTrace { threads: (0..threads).map(|_| ThreadTrace::default()).collect() }
+    }
+
+    /// Folds this block's trace into the aggregate stats using the real
+    /// coalescing and bank-conflict rules.
+    fn analyze(&self, half_warp: usize, banks: usize, stats: &mut KernelStats) {
+        for hw in self.threads.chunks(half_warp) {
+            analyze_stream(
+                hw,
+                |t| &t.loads,
+                |addrs, s: &mut KernelStats| {
+                    let r = coalesce::analyze(addrs, ELEM_BYTES as u32);
+                    s.sampled_load_useful += r.useful_bytes;
+                    s.sampled_load_bus += r.bus_bytes;
+                    s.sampled_load_halfwarps += 1;
+                    if r.coalesced {
+                        s.sampled_load_coalesced += 1;
+                    }
+                },
+                stats,
+            );
+            analyze_stream(
+                hw,
+                |t| &t.stores,
+                |addrs, s: &mut KernelStats| {
+                    let r = coalesce::analyze(addrs, ELEM_BYTES as u32);
+                    s.sampled_store_useful += r.useful_bytes;
+                    s.sampled_store_bus += r.bus_bytes;
+                    s.sampled_store_halfwarps += 1;
+                    if r.coalesced {
+                        s.sampled_store_coalesced += 1;
+                    }
+                },
+                stats,
+            );
+            // Shared-memory bank analysis (usize word indices).
+            let max_ord = hw.iter().map(|t| t.shared.len()).max().unwrap_or(0);
+            for o in 0..max_ord {
+                let words: Vec<usize> =
+                    hw.iter().map_while(|t| t.shared.get(o).copied()).collect();
+                debug_assert!(
+                    hw.iter().skip(words.len()).all(|t| t.shared.len() <= o),
+                    "non-prefix lane activity in shared trace"
+                );
+                stats.sampled_shared_halfwarps += 1;
+                stats.sampled_shared_conflict_cycles +=
+                    (bank_conflict_degree(&words, banks) - 1) as u64;
+            }
+            // Constant-memory broadcast analysis.
+            let max_ord = hw.iter().map(|t| t.consts.len()).max().unwrap_or(0);
+            for o in 0..max_ord {
+                let idx: Vec<usize> =
+                    hw.iter().map_while(|t| t.consts.get(o).copied()).collect();
+                stats.sampled_const_halfwarps += 1;
+                stats.sampled_const_serial_cycles += serialization_penalty(&idx) as u64;
+            }
+        }
+    }
+}
+
+fn analyze_stream(
+    hw: &[ThreadTrace],
+    select: impl Fn(&ThreadTrace) -> &Vec<u64>,
+    mut sink: impl FnMut(&[u64], &mut KernelStats),
+    stats: &mut KernelStats,
+) {
+    let max_ord = hw.iter().map(|t| select(t).len()).max().unwrap_or(0);
+    for o in 0..max_ord {
+        let addrs: Vec<u64> = hw.iter().map_while(|t| select(t).get(o).copied()).collect();
+        debug_assert!(
+            hw.iter().skip(addrs.len()).all(|t| select(t).len() <= o),
+            "non-prefix lane activity in global trace"
+        );
+        sink(&addrs, stats);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread / block contexts
+// ---------------------------------------------------------------------------
+
+/// Per-thread view handed to kernel bodies.
+pub struct ThreadCtx<'a> {
+    mem: &'a mut DeviceMemory,
+    textures: &'a [Texture],
+    constants: &'a mut [ConstantBank],
+    shared: Option<&'a mut SharedMem>,
+    stats: &'a mut KernelStats,
+    trace: Option<&'a mut ThreadTrace>,
+    /// Block index in the grid.
+    pub block: usize,
+    /// Thread index within the block.
+    pub tid: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Blocks in the grid.
+    pub grid_dim: usize,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Global thread id (`block * block_dim + tid`).
+    #[inline]
+    pub fn gid(&self) -> usize {
+        self.block * self.block_dim + self.tid
+    }
+
+    /// Total threads in the grid (the grid-stride step).
+    #[inline]
+    pub fn total_threads(&self) -> usize {
+        self.grid_dim * self.block_dim
+    }
+
+    /// Global-memory load of one complex element.
+    #[inline]
+    pub fn ld(&mut self, buf: BufferId, idx: usize) -> Complex32 {
+        self.stats.loads += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.loads.push(self.mem.addr(buf, idx));
+        }
+        self.mem.read(buf, idx)
+    }
+
+    /// Global-memory store of one complex element.
+    #[inline]
+    pub fn st(&mut self, buf: BufferId, idx: usize, v: Complex32) {
+        self.stats.stores += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.stores.push(self.mem.addr(buf, idx));
+        }
+        self.mem.write(buf, idx, v);
+    }
+
+    /// Texture fetch (read-only path, bypasses coalescing rules).
+    #[inline]
+    pub fn tex1d(&mut self, tex: TextureId, idx: usize) -> Complex32 {
+        let t = &self.textures[tex.0];
+        match t.access {
+            TexAccess::Cached => self.stats.tex_reads_cached += 1,
+            TexAccess::Strided => self.stats.tex_reads_strided += 1,
+        }
+        t.data[idx]
+    }
+
+    /// Constant-memory fetch (§3.2 option 2): broadcasts when the half-warp
+    /// agrees on the index, serialises otherwise.
+    #[inline]
+    pub fn const_ld(&mut self, bank: ConstId, idx: usize) -> Complex32 {
+        self.stats.const_reads += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.consts.push(idx);
+        }
+        self.constants[bank.0].read(idx)
+    }
+
+    /// Charges executed floating-point operations to the launch.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.stats.flops += n;
+    }
+
+    /// Shared-memory 32-bit read (cooperative kernels only).
+    #[inline]
+    pub fn sh_read(&mut self, word: usize) -> f32 {
+        let sh = self.shared.as_deref_mut().expect("kernel has no shared memory");
+        self.stats.shared_reads += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.shared.push(word);
+        }
+        sh.read(self.tid as u32, word)
+    }
+
+    /// Shared-memory 32-bit write (cooperative kernels only).
+    #[inline]
+    pub fn sh_write(&mut self, word: usize, v: f32) {
+        let sh = self.shared.as_deref_mut().expect("kernel has no shared memory");
+        self.stats.shared_writes += 1;
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.shared.push(word);
+        }
+        sh.write(self.tid as u32, word, v);
+    }
+}
+
+/// Per-block view for cooperative (shared-memory) kernels.
+pub struct BlockCtx<'a> {
+    mem: &'a mut DeviceMemory,
+    textures: &'a [Texture],
+    constants: &'a mut [ConstantBank],
+    shared: SharedMem,
+    stats: &'a mut KernelStats,
+    trace: Option<BlockTrace>,
+    /// Block index.
+    pub block: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Blocks in the grid.
+    pub grid_dim: usize,
+}
+
+impl<'a> BlockCtx<'a> {
+    /// Runs one execution phase: `f(tid, ctx)` for every thread of the block.
+    ///
+    /// Consecutive `threads` calls are separated by an implicit
+    /// `__syncthreads()` only if [`BlockCtx::sync`] is called between them —
+    /// omitting it lets the race detector fire, just like real hardware.
+    pub fn threads(&mut self, mut f: impl FnMut(usize, &mut ThreadCtx)) {
+        for tid in 0..self.block_dim {
+            let trace = self.trace.as_mut().map(|bt| &mut bt.threads[tid]);
+            let mut ctx = ThreadCtx {
+                mem: self.mem,
+                textures: self.textures,
+                constants: self.constants,
+                shared: Some(&mut self.shared),
+                stats: self.stats,
+                trace,
+                block: self.block,
+                tid,
+                block_dim: self.block_dim,
+                grid_dim: self.grid_dim,
+            };
+            f(tid, &mut ctx);
+        }
+    }
+
+    /// `__syncthreads()`.
+    pub fn sync(&mut self) {
+        self.shared.barrier();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The GPU
+// ---------------------------------------------------------------------------
+
+/// A simulated CUDA GPU: device memory + textures + the kernel executor.
+///
+/// ```
+/// use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+/// use fft_math::c32;
+///
+/// let mut gpu = Gpu::new(DeviceSpec::gts8800());
+/// let src = gpu.mem_mut().alloc(256).unwrap();
+/// let dst = gpu.mem_mut().alloc(256).unwrap();
+/// for i in 0..256 {
+///     gpu.mem_mut().write(src, i, c32(i as f32, 0.0));
+/// }
+///
+/// // A grid-stride copy kernel: 4 blocks of 64 threads.
+/// let cfg = LaunchConfig::copy("copy", 4, 64);
+/// let report = gpu.launch(&cfg, |t| {
+///     let v = t.ld(src, t.gid());
+///     t.st(dst, t.gid(), v);
+/// });
+///
+/// assert_eq!(gpu.mem().read(dst, 42), c32(42.0, 0.0));
+/// assert!(report.stats.coalesced_fraction() > 0.999); // and it coalesced
+/// ```
+pub struct Gpu {
+    spec: DeviceSpec,
+    mem: DeviceMemory,
+    textures: Vec<Texture>,
+    constants: Vec<ConstantBank>,
+    /// Blocks traced at full fidelity per launch.
+    pub trace_blocks: usize,
+}
+
+impl Gpu {
+    /// Brings up a device of the given specification.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let mem = DeviceMemory::new(spec.memory_bytes);
+        Gpu {
+            spec,
+            mem,
+            textures: Vec::new(),
+            constants: Vec::new(),
+            trace_blocks: DEFAULT_TRACE_BLOCKS,
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Device memory (allocation, upload/download data plane).
+    pub fn mem(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Mutable device memory.
+    pub fn mem_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.mem
+    }
+
+    /// Binds a read-only texture (e.g. a twiddle table).
+    pub fn bind_texture(&mut self, data: Vec<Complex32>, access: TexAccess) -> TextureId {
+        self.textures.push(Texture { data, access });
+        TextureId(self.textures.len() - 1)
+    }
+
+    /// Binds a constant-memory table (§3.2 twiddle option 2; 64 KB segment).
+    pub fn bind_constant(&mut self, data: Vec<Complex32>) -> ConstId {
+        self.constants.push(ConstantBank::new(data));
+        ConstId(self.constants.len() - 1)
+    }
+
+    /// Launches a coarse-grained kernel: `body` runs once per thread.
+    ///
+    /// The paper's steps 1–4 use this form — no shared memory, one small FFT
+    /// per thread, grid-stride work assignment.
+    pub fn launch(
+        &mut self,
+        cfg: &LaunchConfig,
+        mut body: impl FnMut(&mut ThreadCtx),
+    ) -> KernelReport {
+        let occ = occupancy(&self.spec.arch, &cfg.resources);
+        let mut stats = KernelStats::default();
+        let bd = cfg.resources.threads_per_block;
+        for block in 0..cfg.grid_blocks {
+            let mut trace =
+                (block < self.trace_blocks).then(|| BlockTrace::new(bd));
+            for tid in 0..bd {
+                let tt = trace.as_mut().map(|bt| &mut bt.threads[tid]);
+                let mut ctx = ThreadCtx {
+                    mem: &mut self.mem,
+                    textures: &self.textures,
+                    constants: &mut self.constants,
+                    shared: None,
+                    stats: &mut stats,
+                    trace: tt,
+                    block,
+                    tid,
+                    block_dim: bd,
+                    grid_dim: cfg.grid_blocks,
+                };
+                body(&mut ctx);
+            }
+            if let Some(bt) = trace {
+                bt.analyze(self.spec.arch.half_warp, self.spec.arch.shared_banks, &mut stats);
+            }
+        }
+        self.finish(cfg, occ, stats)
+    }
+
+    /// Launches a cooperative kernel: `body` runs once per *block* and drives
+    /// its threads in phases (the paper's fine-grained step 5).
+    pub fn launch_coop(
+        &mut self,
+        cfg: &LaunchConfig,
+        mut body: impl FnMut(&mut BlockCtx),
+    ) -> KernelReport {
+        let occ = occupancy(&self.spec.arch, &cfg.resources);
+        let mut stats = KernelStats::default();
+        let bd = cfg.resources.threads_per_block;
+        for block in 0..cfg.grid_blocks {
+            let mut bc = BlockCtx {
+                mem: &mut self.mem,
+                textures: &self.textures,
+                constants: &mut self.constants,
+                shared: SharedMem::new(
+                    cfg.resources.shared_bytes_per_block,
+                    self.spec.arch.shared_mem_per_sm,
+                    self.spec.arch.shared_banks,
+                ),
+                stats: &mut stats,
+                trace: (block < self.trace_blocks).then(|| BlockTrace::new(bd)),
+                block,
+                block_dim: bd,
+                grid_dim: cfg.grid_blocks,
+            };
+            body(&mut bc);
+            let races = bc.shared.race_count();
+            let trace = bc.trace.take();
+            drop(bc);
+            stats.shared_races += races;
+            if let Some(bt) = trace {
+                bt.analyze(self.spec.arch.half_warp, self.spec.arch.shared_banks, &mut stats);
+            }
+        }
+        self.finish(cfg, occ, stats)
+    }
+
+    fn finish(&self, cfg: &LaunchConfig, occ: Occupancy, stats: KernelStats) -> KernelReport {
+        let timing = time_kernel(&self.spec, cfg, &occ, &stats);
+        KernelReport { name: cfg.name, stats, occupancy: occ, timing }
+    }
+
+    /// A natural grid size: enough blocks to fill every SM at the kernel's
+    /// occupancy (the paper's Tables 3–4 use 42 = 14 SMs x 3 and 48 = 16 x 3).
+    pub fn fill_grid(&self, res: &KernelResources) -> usize {
+        let occ = occupancy(&self.spec.arch, res);
+        (self.spec.sms * occ.blocks_per_sm).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::c32;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::gt8800())
+    }
+
+    #[test]
+    fn functional_copy_kernel() {
+        let mut g = gpu();
+        let n = 4096;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        for i in 0..n {
+            g.mem_mut().write(src, i, c32(i as f32, -(i as f32)));
+        }
+        let cfg = LaunchConfig::copy("copy", 4, 64);
+        let total = 4 * 64;
+        let rep = g.launch(&cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(src, i);
+                t.st(dst, i, v);
+                i += total;
+            }
+        });
+        for i in 0..n {
+            assert_eq!(g.mem().read(dst, i), c32(i as f32, -(i as f32)));
+        }
+        assert_eq!(rep.stats.loads, n as u64);
+        assert_eq!(rep.stats.stores, n as u64);
+        // Grid-stride unit-stride copy coalesces perfectly.
+        assert!(rep.stats.coalesced_fraction() > 0.999, "{:?}", rep.stats);
+        assert_eq!(rep.stats.coalesce_efficiency(), 1.0);
+        assert!(rep.timing.time_s > 0.0);
+    }
+
+    #[test]
+    fn strided_kernel_detected_as_uncoalesced() {
+        let mut g = gpu();
+        let n = 4096;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("strided", 4, 64);
+        let total = 4 * 64usize;
+        // Thread t reads element (t * 16) mod n — stride 16 inside each
+        // half-warp, the classic uncoalesced pattern.
+        let rep = g.launch(&cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(src, (i * 16) % n);
+                t.st(dst, i, v);
+                i += total;
+            }
+        });
+        assert!(rep.stats.load_coalesce_efficiency() < 0.3, "{:?}", rep.stats);
+        assert!(rep.stats.store_coalesce_efficiency() > 0.99);
+    }
+
+    #[test]
+    fn coop_kernel_shared_exchange_with_sync_is_race_free() {
+        let mut g = gpu();
+        let n = 256;
+        let buf = g.mem_mut().alloc(n).unwrap();
+        for i in 0..n {
+            g.mem_mut().write(buf, i, c32(i as f32, 0.0));
+        }
+        let mut cfg = LaunchConfig::copy("reverse", 4, 64);
+        cfg.resources.shared_bytes_per_block = 64 * 4;
+        // Each block reverses its 64-element slice through shared memory.
+        let rep = g.launch_coop(&cfg, |blk| {
+            let base = blk.block * 64;
+            blk.threads(|tid, t| {
+                let v = t.ld(buf, base + tid);
+                t.sh_write(tid, v.re);
+            });
+            blk.sync();
+            blk.threads(|tid, t| {
+                let v = t.sh_read(63 - tid);
+                t.st(buf, base + tid, c32(v, 0.0));
+            });
+        });
+        assert_eq!(rep.stats.shared_races, 0);
+        for b in 0..4 {
+            for i in 0..64 {
+                assert_eq!(g.mem().read(buf, b * 64 + i).re, (b * 64 + 63 - i) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_sync_is_detected() {
+        let mut g = gpu();
+        let buf = g.mem_mut().alloc(64).unwrap();
+        let mut cfg = LaunchConfig::copy("racy", 1, 64);
+        cfg.resources.shared_bytes_per_block = 64 * 4;
+        let rep = g.launch_coop(&cfg, |blk| {
+            blk.threads(|tid, t| {
+                t.sh_write(tid, tid as f32);
+            });
+            // No blk.sync() here!
+            blk.threads(|tid, t| {
+                let v = t.sh_read(63 - tid);
+                t.st(buf, tid, c32(v, 0.0));
+            });
+        });
+        assert!(rep.stats.shared_races > 0);
+    }
+
+    #[test]
+    fn bank_conflicts_measured_and_padding_fixes_them() {
+        let mut g = gpu();
+        let run = |g: &mut Gpu, stride: usize| {
+            let mut cfg = LaunchConfig::copy("banks", 1, 16);
+            cfg.resources.shared_bytes_per_block = 16 * stride * 4;
+            let rep = g.launch_coop(&cfg, |blk| {
+                blk.threads(|tid, t| {
+                    t.sh_write(tid * stride, 1.0);
+                });
+            });
+            rep.stats.shared_conflict_rate()
+        };
+        assert_eq!(run(&mut g, 16), 15.0); // all lanes in bank 0
+        assert_eq!(run(&mut g, 17), 0.0); // padded: conflict-free
+    }
+
+    #[test]
+    fn texture_reads_counted_by_class() {
+        let mut g = gpu();
+        let tw: Vec<Complex32> = (0..256).map(|i| c32(i as f32, 0.0)).collect();
+        let cached = g.bind_texture(tw.clone(), TexAccess::Cached);
+        let strided = g.bind_texture(tw, TexAccess::Strided);
+        let dst = g.mem_mut().alloc(64).unwrap();
+        let cfg = LaunchConfig::copy("tex", 1, 64);
+        let rep = g.launch(&cfg, |t| {
+            let a = t.tex1d(cached, t.tid);
+            let b = t.tex1d(strided, t.tid * 4);
+            t.st(dst, t.tid, a + b);
+        });
+        assert_eq!(rep.stats.tex_reads_cached, 64);
+        assert_eq!(rep.stats.tex_reads_strided, 64);
+        assert_eq!(g.mem().read(dst, 3).re, 3.0 + 12.0);
+    }
+
+    #[test]
+    fn constant_memory_broadcast_vs_divergent() {
+        let mut g = gpu();
+        let table: Vec<Complex32> = (0..64).map(|i| c32(i as f32, 0.0)).collect();
+        let bank = g.bind_constant(table);
+        let dst = g.mem_mut().alloc(64).unwrap();
+        // Broadcast: every lane reads the same word per ordinal.
+        let cfg = LaunchConfig::copy("const_bcast", 1, 16);
+        let rep = g.launch(&cfg, |t| {
+            let v = t.const_ld(bank, 5);
+            t.st(dst, t.tid, v);
+        });
+        assert_eq!(rep.stats.const_reads, 16);
+        assert_eq!(rep.stats.const_serial_rate(), 0.0);
+        assert_eq!(g.mem().read(dst, 3), c32(5.0, 0.0));
+        // Divergent: every lane reads its own word — serialises (§3.2).
+        let rep = g.launch(&cfg, |t| {
+            let v = t.const_ld(bank, t.tid);
+            t.st(dst, t.tid, v);
+        });
+        assert!(rep.stats.const_serial_rate() >= 29.0, "{:?}", rep.stats);
+        assert!(rep.timing.conflict_time_s > 0.0);
+        assert_eq!(g.mem().read(dst, 3), c32(3.0, 0.0));
+    }
+
+    #[test]
+    fn fill_grid_matches_paper_block_counts() {
+        // Table 3's 42-block grid: 14 SMs x 3 blocks (64 threads, copy regs).
+        let g = Gpu::new(DeviceSpec::gt8800());
+        let res = KernelResources {
+            threads_per_block: 64,
+            regs_per_thread: 40,
+            shared_bytes_per_block: 0,
+        };
+        assert_eq!(g.fill_grid(&res), 42);
+        let g = Gpu::new(DeviceSpec::gtx8800());
+        assert_eq!(g.fill_grid(&res), 48);
+    }
+
+    #[test]
+    fn misaligned_halfwarp_detected() {
+        // Lanes sequential but the base lands mid-segment: rule (c) fails.
+        let mut g = gpu();
+        let n = 1024;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("misaligned", 2, 64);
+        let rep = g.launch(&cfg, |t| {
+            // Offset by 8 elements (64 bytes): sequential but not 128-aligned.
+            let i = (t.gid() + 8) % n;
+            let v = t.ld(src, i);
+            t.st(dst, t.gid(), v);
+        });
+        assert!(rep.stats.load_coalesce_efficiency() < 0.5, "{:?}", rep.stats);
+        assert!(rep.stats.store_coalesce_efficiency() > 0.99);
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let mut g = gpu();
+        g.trace_blocks = 0;
+        let src = g.mem_mut().alloc(64).unwrap();
+        let cfg = LaunchConfig::copy("untraced", 1, 64);
+        let rep = g.launch(&cfg, |t| {
+            let _ = t.ld(src, t.tid);
+        });
+        // No samples: efficiency defaults to the optimistic 1.0.
+        assert_eq!(rep.stats.sampled_load_halfwarps, 0);
+        assert_eq!(rep.stats.coalesce_efficiency(), 1.0);
+        assert_eq!(rep.stats.loads, 64);
+    }
+
+    #[test]
+    fn flops_charged() {
+        let mut g = gpu();
+        let cfg = LaunchConfig::copy("flops", 1, 32);
+        let rep = g.launch(&cfg, |t| t.flops(10));
+        assert_eq!(rep.stats.flops, 320);
+    }
+}

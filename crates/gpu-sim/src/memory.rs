@@ -1,0 +1,245 @@
+//! Simulated device (global) memory.
+//!
+//! Buffers live in a single virtual device address space so that the
+//! coalescing rules — which depend on *byte addresses* and their alignment —
+//! can be checked exactly as the hardware would. Allocations are 256-byte
+//! aligned, the strictest alignment rule (c) requires, matching `cudaMalloc`
+//! behaviour.
+//!
+//! All buffers hold interleaved single-precision complex values: the paper's
+//! kernels are exclusively complex-to-complex, and an 8-byte element is
+//! exactly the 64-bit coalescable word of rule (b).
+
+use fft_math::Complex32;
+
+/// Element size in bytes (interleaved complex32).
+pub const ELEM_BYTES: u64 = 8;
+
+/// Alignment of every allocation (rule (c)'s strictest boundary).
+pub const ALLOC_ALIGN: u64 = 256;
+
+/// Handle to a device buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+struct Buffer {
+    base: u64,
+    data: Vec<Complex32>,
+    live: bool,
+}
+
+/// The device memory arena.
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    next_base: u64,
+    buffers: Vec<Buffer>,
+}
+
+impl DeviceMemory {
+    /// Creates an arena of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        DeviceMemory { capacity, used: 0, next_base: ALLOC_ALIGN, buffers: Vec::new() }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Allocates a buffer of `len` complex elements.
+    ///
+    /// # Errors
+    /// Returns `Err` when the allocation would exceed device capacity — the
+    /// condition that forces the out-of-core path of §3.3.
+    pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocError> {
+        let bytes = len as u64 * ELEM_BYTES;
+        if self.used + bytes > self.capacity {
+            return Err(AllocError { requested: bytes, free: self.capacity - self.used });
+        }
+        let base = self.next_base;
+        self.next_base += bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        self.used += bytes;
+        self.buffers.push(Buffer { base, data: vec![Complex32::ZERO; len], live: true });
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Frees a buffer. The handle must not be reused.
+    pub fn free(&mut self, id: BufferId) {
+        let b = &mut self.buffers[id.0];
+        assert!(b.live, "double free of {id:?}");
+        b.live = false;
+        self.used -= b.data.len() as u64 * ELEM_BYTES;
+        b.data = Vec::new();
+    }
+
+    /// Length of a buffer in elements.
+    pub fn len(&self, id: BufferId) -> usize {
+        let b = &self.buffers[id.0];
+        assert!(b.live, "use after free of {id:?}");
+        b.data.len()
+    }
+
+    /// True when no buffer is currently live.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Device byte address of element `idx` of the buffer.
+    #[inline]
+    pub fn addr(&self, id: BufferId, idx: usize) -> u64 {
+        self.buffers[id.0].base + idx as u64 * ELEM_BYTES
+    }
+
+    /// Reads an element (functional path).
+    #[inline]
+    pub fn read(&self, id: BufferId, idx: usize) -> Complex32 {
+        self.buffers[id.0].data[idx]
+    }
+
+    /// Writes an element (functional path).
+    #[inline]
+    pub fn write(&mut self, id: BufferId, idx: usize, v: Complex32) {
+        self.buffers[id.0].data[idx] = v;
+    }
+
+    /// Host-side bulk copy into a buffer (the data plane of an H2D transfer).
+    pub fn upload(&mut self, id: BufferId, offset: usize, host: &[Complex32]) {
+        let b = &mut self.buffers[id.0];
+        assert!(b.live, "use after free");
+        b.data[offset..offset + host.len()].copy_from_slice(host);
+    }
+
+    /// Host-side bulk copy out of a buffer (D2H).
+    pub fn download(&self, id: BufferId, offset: usize, host: &mut [Complex32]) {
+        let b = &self.buffers[id.0];
+        assert!(b.live, "use after free");
+        host.copy_from_slice(&b.data[offset..offset + host.len()]);
+    }
+
+    /// Direct slice view for verification helpers (not a kernel path).
+    pub fn as_slice(&self, id: BufferId) -> &[Complex32] {
+        let b = &self.buffers[id.0];
+        assert!(b.live, "use after free");
+        &b.data
+    }
+
+    /// Direct mutable view for device-side initialisation helpers.
+    pub fn as_mut_slice(&mut self, id: BufferId) -> &mut [Complex32] {
+        let b = &mut self.buffers[id.0];
+        assert!(b.live, "use after free");
+        &mut b.data
+    }
+}
+
+/// Out-of-memory error carrying the sizes involved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes still free.
+    pub free: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device allocation of {} bytes exceeds free capacity of {} bytes",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::c32;
+
+    #[test]
+    fn alloc_and_rw() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let b = m.alloc(100).unwrap();
+        m.write(b, 42, c32(1.0, 2.0));
+        assert_eq!(m.read(b, 42), c32(1.0, 2.0));
+        assert_eq!(m.len(b), 100);
+    }
+
+    #[test]
+    fn alignment_of_bases() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let a = m.alloc(3).unwrap();
+        let b = m.alloc(5).unwrap();
+        assert_eq!(m.addr(a, 0) % ALLOC_ALIGN, 0);
+        assert_eq!(m.addr(b, 0) % ALLOC_ALIGN, 0);
+        assert_ne!(m.addr(a, 0), m.addr(b, 0));
+    }
+
+    #[test]
+    fn address_arithmetic() {
+        let mut m = DeviceMemory::new(1 << 20);
+        let b = m.alloc(10).unwrap();
+        assert_eq!(m.addr(b, 4) - m.addr(b, 0), 32);
+    }
+
+    #[test]
+    fn capacity_enforced_like_a_512mb_card() {
+        // 512 MB holds exactly four 256³ complex buffers (128 MiB each); the
+        // out-of-place transform's two fit comfortably (§1), a fifth fails.
+        let mut m = DeviceMemory::new(512 * 1024 * 1024);
+        let n = 1usize << 24;
+        for _ in 0..4 {
+            m.alloc(n).unwrap();
+        }
+        let err = m.alloc(n).unwrap_err();
+        assert_eq!(err.free, 0);
+        assert_eq!(err.requested, 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(64).unwrap();
+        assert_eq!(m.used_bytes(), 512);
+        m.free(a);
+        assert_eq!(m.used_bytes(), 0);
+        let _b = m.alloc(128).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(8).unwrap();
+        m.free(a);
+        m.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(8).unwrap();
+        m.free(a);
+        let _ = m.len(a);
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut m = DeviceMemory::new(4096);
+        let b = m.alloc(16).unwrap();
+        let host: Vec<Complex32> = (0..8).map(|i| c32(i as f32, -1.0)).collect();
+        m.upload(b, 4, &host);
+        let mut back = vec![Complex32::ZERO; 8];
+        m.download(b, 4, &mut back);
+        assert_eq!(host, back);
+        assert_eq!(m.read(b, 0), Complex32::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! PCI-Express transfer model.
+//!
+//! §4.4: "the PCI-Express interface is far slower than bandwidth of device
+//! memory... 8800 GTX, which achieves the best on-board performance, is now
+//! the slowest card, since it is a product of older generation supporting
+//! only PCI-Express 1.1."
+//!
+//! Achievable rates are calibrated on Table 10's measured transfers (pinned
+//! host memory): ~5.2 GB/s host-to-device on PCIe 2.0 x16 (8 GB/s raw) and
+//! ~2.8 GB/s on PCIe 1.1 x16 (4 GB/s raw); device-to-host runs slightly
+//! asymmetric on both. The per-transfer setup latency reproduces the small
+//! additional degradation Table 12 sees when 512³ slabs are shipped as 64
+//! separate planes.
+
+use crate::spec::PcieGen;
+
+/// Transfer direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Host to device (upload).
+    H2D,
+    /// Device to host (download).
+    D2H,
+}
+
+/// Setup latency per individual transfer (driver + DMA descriptor), seconds.
+pub const TRANSFER_LATENCY_S: f64 = 15e-6;
+
+/// Achievable bandwidth of the link in GB/s for large pinned transfers.
+pub fn link_bandwidth_gbs(gen: PcieGen, dir: Dir) -> f64 {
+    match (gen, dir) {
+        // Table 10: GT/GTS H2D 5.18–5.21, D2H 5.14/4.91.
+        (PcieGen::Gen2x16, Dir::H2D) => 5.20,
+        (PcieGen::Gen2x16, Dir::D2H) => 5.03,
+        // Table 10: GTX H2D 2.82, D2H 3.35.
+        (PcieGen::Gen1x16, Dir::H2D) => 2.82,
+        (PcieGen::Gen1x16, Dir::D2H) => 3.35,
+    }
+}
+
+/// Result of a modelled transfer.
+#[derive(Clone, Copy, Debug)]
+pub struct TransferReport {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Modelled elapsed seconds.
+    pub time_s: f64,
+    /// Achieved bandwidth GB/s.
+    pub achieved_gbs: f64,
+}
+
+/// Times a transfer of `bytes` split into `chunks` separate operations.
+pub fn transfer_time(gen: PcieGen, dir: Dir, bytes: u64, chunks: usize) -> TransferReport {
+    let chunks = chunks.max(1);
+    let bw = link_bandwidth_gbs(gen, dir);
+    let time_s = bytes as f64 / (bw * 1e9) + chunks as f64 * TRANSFER_LATENCY_S;
+    TransferReport { bytes, time_s, achieved_gbs: bytes as f64 / time_s / 1e9 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VOL_256: u64 = 8 * (1 << 24); // 256³ complex32 bytes = 134 MB
+
+    #[test]
+    fn table10_single_transfer_times() {
+        // Paper Table 10: H2D 25.9 / 25.7 / 47.6 ms, D2H 26.1 / 27.3 / 40.1.
+        let h2d2 = transfer_time(PcieGen::Gen2x16, Dir::H2D, VOL_256, 1);
+        assert!((h2d2.time_s * 1e3 - 25.8).abs() < 0.8, "{}", h2d2.time_s * 1e3);
+        let h2d1 = transfer_time(PcieGen::Gen1x16, Dir::H2D, VOL_256, 1);
+        assert!((h2d1.time_s * 1e3 - 47.6).abs() < 1.0, "{}", h2d1.time_s * 1e3);
+        let d2h1 = transfer_time(PcieGen::Gen1x16, Dir::D2H, VOL_256, 1);
+        assert!((d2h1.time_s * 1e3 - 40.1).abs() < 1.0, "{}", d2h1.time_s * 1e3);
+    }
+
+    #[test]
+    fn chunking_degrades_achieved_bandwidth() {
+        // Table 12 ships each 134 MB slab as 64 plane transfers and sees
+        // ~4.96 GB/s instead of 5.18.
+        let whole = transfer_time(PcieGen::Gen2x16, Dir::H2D, VOL_256, 1);
+        let planes = transfer_time(PcieGen::Gen2x16, Dir::H2D, VOL_256, 64);
+        assert!(planes.time_s > whole.time_s);
+        assert!(planes.achieved_gbs < whole.achieved_gbs);
+        assert!(planes.achieved_gbs > 4.8 && planes.achieved_gbs < 5.2);
+    }
+
+    #[test]
+    fn gen1_is_roughly_half_of_gen2() {
+        let g2 = link_bandwidth_gbs(PcieGen::Gen2x16, Dir::H2D);
+        let g1 = link_bandwidth_gbs(PcieGen::Gen1x16, Dir::H2D);
+        assert!(g1 < 0.62 * g2);
+    }
+
+    #[test]
+    fn gen1_is_asymmetric_like_table10() {
+        // Table 10's GTX rows: uploads slower than downloads on PCIe 1.1.
+        assert!(
+            link_bandwidth_gbs(PcieGen::Gen1x16, Dir::H2D)
+                < link_bandwidth_gbs(PcieGen::Gen1x16, Dir::D2H)
+        );
+    }
+
+    #[test]
+    fn zero_bytes_costs_only_latency() {
+        let r = transfer_time(PcieGen::Gen2x16, Dir::D2H, 0, 1);
+        assert_eq!(r.time_s, TRANSFER_LATENCY_S);
+    }
+}

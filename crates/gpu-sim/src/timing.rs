@@ -1,0 +1,385 @@
+//! Analytic kernel timing: a roofline over the measured memory model.
+//!
+//! §3 of the paper: "CUDA kernels including FFT usually consist of two phases
+//! for latency hiding of memory access — copies between the device memory and
+//! shared memory, and computation using the data on shared memory". With
+//! enough resident threads the two overlap, so kernel time is the *maximum*
+//! of the memory time and the compute time (a roofline), plus serialisation
+//! penalties that overlap with neither (shared-memory bank conflicts) and the
+//! fixed launch cost.
+//!
+//! Compute efficiencies are nominal-FLOP based and calibrated once each
+//! against a measurement in the paper:
+//!
+//! * `SharedFft` = 0.35 — §4.2: "the measured GFLOPS in step 5 is only about
+//!   30% of its peak floating-point performance" (117–130 GFLOPS on 336–416
+//!   GFLOPS cards; shared-memory traffic and unfused MUL/ADD pairs consume
+//!   issue slots). 0.35 of the marketing peak reproduces Table 8's 5.72 /
+//!   5.17 / 5.52 ms on GT / GTS / GTX simultaneously.
+//! * `RegisterFft` = 0.50 — steps 1–4 run straight-line register codelets
+//!   with a denser FMA mix; they are so memory-bound the value barely
+//!   matters, it only guards against absurd configurations.
+//! * `LegacyFft` = 0.155 — models CUFFT 1.1's radix kernels (register
+//!   spills, no codelet fusion): two such passes reproduce Table 8's
+//!   CUFFT1D column, including the inversion where the GTX (more bandwidth,
+//!   slower SPs) loses to the GTS.
+
+use crate::dram::{
+    copy_base_gbs, effective_bandwidth_gbs, stream_decay, thread_saturation,
+    BandwidthQuery, TEXTURE_STRIDED_EFFICIENCY,
+};
+use crate::exec::{KernelStats, LaunchConfig};
+use crate::memory::ELEM_BYTES;
+use crate::occupancy::Occupancy;
+use crate::spec::DeviceSpec;
+
+/// Fixed cost of one kernel launch (driver + front-end), seconds.
+pub const KERNEL_LAUNCH_OVERHEAD_S: f64 = 10e-6;
+
+/// Timing family of a kernel (selects the compute-efficiency constant and
+/// the bandwidth composition rule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelClass {
+    /// Pure data movement (Tables 3–4 microbenchmarks, transfers).
+    Copy,
+    /// N-concurrent-stream copy/scatter (§2.1 microbenchmark; the explicit
+    /// transposes of the six-step algorithm behave like its 256-stream case —
+    /// §4.1: "nearly equal to the bandwidth of copying 256 streams").
+    StreamCopy,
+    /// Coarse-grained register-resident FFT (steps 1–4).
+    RegisterFft,
+    /// Fine-grained shared-memory FFT (step 5 / batched 1-D).
+    SharedFft,
+    /// CUFFT-1.1-style legacy FFT kernel.
+    LegacyFft,
+}
+
+impl KernelClass {
+    /// Nominal-FLOP compute efficiency relative to the marketing peak.
+    pub fn compute_efficiency(self) -> Option<f64> {
+        match self {
+            KernelClass::Copy | KernelClass::StreamCopy => None,
+            KernelClass::RegisterFft => Some(0.50),
+            KernelClass::SharedFft => Some(0.35),
+            KernelClass::LegacyFft => Some(0.155),
+        }
+    }
+
+    /// Whether in-flight arithmetic degrades achieved DRAM bandwidth (only
+    /// matters for kernels that are memory-bound *and* occupancy-tight; the
+    /// fine-grained kernels run 512 threads/SM and hide it).
+    fn carries_compute(self) -> bool {
+        matches!(self, KernelClass::RegisterFft | KernelClass::LegacyFft)
+    }
+}
+
+/// Modelled timing of one kernel launch.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelTiming {
+    /// Total modelled wall time, seconds.
+    pub time_s: f64,
+    /// Global + texture memory component.
+    pub mem_time_s: f64,
+    /// Arithmetic component.
+    pub compute_time_s: f64,
+    /// Shared-memory bank-conflict serialisation (additive).
+    pub conflict_time_s: f64,
+    /// The device-memory bandwidth the model applied, GB/s.
+    pub modeled_bandwidth_gbs: f64,
+    /// Achieved bandwidth: useful global bytes / total time, GB/s (what the
+    /// paper's per-step tables report).
+    pub achieved_gbs: f64,
+    /// Achieved nominal GFLOPS (0 when the launch carries no nominal work).
+    pub achieved_gflops: f64,
+}
+
+/// Times a finished launch from its aggregate statistics.
+pub fn time_kernel(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    occ: &Occupancy,
+    stats: &KernelStats,
+) -> KernelTiming {
+    let useful_bytes = stats.load_bytes() + stats.store_bytes();
+
+    // --- global memory ---
+    let bw_gbs = match cfg.class {
+        KernelClass::StreamCopy => {
+            copy_base_gbs(spec)
+                * stream_decay(cfg.streams.max(1))
+                * thread_saturation(occ.threads_per_sm)
+                * stats.coalesce_efficiency()
+        }
+        _ => {
+            let q = BandwidthQuery {
+                read_pattern: cfg.read_pattern,
+                write_pattern: cfg.write_pattern,
+                threads_per_sm: occ.threads_per_sm,
+                coalesce_efficiency: stats.coalesce_efficiency(),
+                in_place: cfg.in_place,
+                carries_compute: cfg.class.carries_compute(),
+            };
+            effective_bandwidth_gbs(spec, &q)
+        }
+    };
+    let mut mem_time = if useful_bytes == 0 { 0.0 } else { useful_bytes as f64 / (bw_gbs * 1e9) };
+
+    // --- texture traffic ---
+    // Cached tables (twiddles) live in the per-SM texture cache: free.
+    // Strided working-set fetches stream from DRAM at the derated rate.
+    let strided_tex_bytes = stats.tex_reads_strided * ELEM_BYTES;
+    if strided_tex_bytes > 0 {
+        mem_time += strided_tex_bytes as f64
+            / (copy_base_gbs(spec) * TEXTURE_STRIDED_EFFICIENCY * 1e9);
+    }
+
+    // --- compute ---
+    let compute_time = match cfg.class.compute_efficiency() {
+        Some(eff) if cfg.nominal_flops > 0 => {
+            cfg.nominal_flops as f64 / (spec.peak_gflops() * 1e9 * eff)
+        }
+        _ => 0.0,
+    };
+
+    // --- bank conflicts + divergent constant fetches (serialise, overlap
+    // with nothing) ---
+    let total_shared_hw_ops =
+        (stats.shared_reads + stats.shared_writes) / spec.arch.half_warp as u64;
+    let mut extra_cycles = stats.shared_conflict_rate() * total_shared_hw_ops as f64;
+    let total_const_hw_ops = stats.const_reads / spec.arch.half_warp as u64;
+    extra_cycles += stats.const_serial_rate() * total_const_hw_ops as f64;
+    let conflict_time = extra_cycles / (spec.sms as f64 * spec.sp_clock_ghz * 1e9);
+
+    let time_s = mem_time.max(compute_time) + conflict_time + KERNEL_LAUNCH_OVERHEAD_S;
+    KernelTiming {
+        time_s,
+        mem_time_s: mem_time,
+        compute_time_s: compute_time,
+        conflict_time_s: conflict_time,
+        modeled_bandwidth_gbs: bw_gbs,
+        achieved_gbs: useful_bytes as f64 / time_s / 1e9,
+        achieved_gflops: if cfg.nominal_flops == 0 {
+            0.0
+        } else {
+            cfg.nominal_flops as f64 / time_s / 1e9
+        },
+    }
+}
+
+/// A purely analytic (no functional execution) estimate of a pass: feeds the
+/// fast paper-scale projections in the report harness. `elems` is the number
+/// of complex elements read *and* written once each.
+pub fn estimate_pass(
+    spec: &DeviceSpec,
+    cfg: &LaunchConfig,
+    occ: &Occupancy,
+    elems: u64,
+) -> KernelTiming {
+    let stats = KernelStats { loads: elems, stores: elems, ..Default::default() };
+    time_kernel(spec, cfg, occ, &stats)
+}
+
+/// Convenience check used by ablation reports: would this class/config be
+/// memory- or compute-bound?
+pub fn is_memory_bound(t: &KernelTiming) -> bool {
+    t.mem_time_s >= t.compute_time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{occupancy, KernelResources};
+    use fft_math::flops::nominal_flops_batch;
+    use fft_math::layout::AccessPattern;
+
+    fn cfg_step5(spec: &DeviceSpec, in_place: bool) -> (LaunchConfig, Occupancy) {
+        let res = KernelResources::fine_256pt();
+        let cfg = LaunchConfig {
+            name: "fft256_x",
+            grid_blocks: 64,
+            resources: res,
+            class: KernelClass::SharedFft,
+            read_pattern: AccessPattern::X,
+            write_pattern: AccessPattern::X,
+            in_place,
+            nominal_flops: nominal_flops_batch(256, 65536),
+            streams: 1,
+        };
+        let occ = occupancy(&spec.arch, &res);
+        (cfg, occ)
+    }
+
+    /// Builds stats for a pass that touches `n` elements each way.
+    fn pass_stats(n: u64) -> KernelStats {
+        KernelStats { loads: n, stores: n, ..Default::default() }
+    }
+
+    #[test]
+    fn table8_step5_times_reproduced() {
+        // Paper Table 8: ours = 5.72 / 5.17 / 5.52 ms on GT / GTS / GTX.
+        let paper = [(DeviceSpec::gt8800(), 5.72), (DeviceSpec::gts8800(), 5.17), (DeviceSpec::gtx8800(), 5.52)];
+        for (spec, want_ms) in paper {
+            // Table 8 is the out-of-place batched form; Table 7's step 5 is
+            // in-place. Use in-place=true to match Table 7 and out-of-place
+            // for Table 8; both must land within 5%.
+            let (cfg, occ) = cfg_step5(&spec, true);
+            let t = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+            let got_ms = t.time_s * 1e3;
+            assert!(
+                (got_ms - want_ms).abs() / want_ms < 0.05,
+                "{}: got {got_ms:.2} ms, paper {want_ms}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn table7_step1_times_reproduced() {
+        // Paper Table 7 steps 1/3: 6.65 / 6.09 / 4.39 ms at 40.4 / 44.1 /
+        // 61.2 GB/s.
+        let paper = [
+            (DeviceSpec::gt8800(), 6.65, 40.4),
+            (DeviceSpec::gts8800(), 6.09, 44.1),
+            (DeviceSpec::gtx8800(), 4.39, 61.2),
+        ];
+        for (spec, want_ms, want_gbs) in paper {
+            let res = KernelResources::coarse_16pt();
+            let cfg = LaunchConfig {
+                name: "step1",
+                grid_blocks: 28,
+                resources: res,
+                class: KernelClass::RegisterFft,
+                read_pattern: AccessPattern::D,
+                write_pattern: AccessPattern::A,
+                in_place: false,
+                nominal_flops: 5 * (1 << 24) * 8 / 2,
+                streams: 16,
+            };
+            let occ = occupancy(&spec.arch, &res);
+            let t = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+            let got_ms = t.time_s * 1e3;
+            assert!(
+                (got_ms - want_ms).abs() / want_ms < 0.05,
+                "{}: got {got_ms:.2} ms, paper {want_ms}",
+                spec.name
+            );
+            assert!(
+                (t.achieved_gbs - want_gbs).abs() / want_gbs < 0.05,
+                "{}: got {:.1} GB/s, paper {want_gbs}",
+                spec.name,
+                t.achieved_gbs
+            );
+        }
+    }
+
+    #[test]
+    fn table6_transpose_times_reproduced() {
+        // Paper Table 6 steps 2/4/6: 13.0 / 12.3 / 7.85 ms (GT / GTS / GTX).
+        // The transpose behaves like a 256-stream copy; the model lands
+        // within ~12% (the paper itself calls the match approximate).
+        let paper =
+            [(DeviceSpec::gt8800(), 13.0), (DeviceSpec::gts8800(), 12.3), (DeviceSpec::gtx8800(), 7.85)];
+        for (spec, want_ms) in paper {
+            let res = KernelResources {
+                threads_per_block: 64,
+                regs_per_thread: 16,
+                shared_bytes_per_block: 2 * 1024,
+            };
+            let cfg = LaunchConfig {
+                name: "transpose",
+                grid_blocks: 64,
+                resources: res,
+                class: KernelClass::StreamCopy,
+                read_pattern: AccessPattern::X,
+                write_pattern: AccessPattern::D,
+                in_place: false,
+                nominal_flops: 0,
+                streams: 256,
+            };
+            let occ = occupancy(&spec.arch, &res);
+            let t = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+            let got_ms = t.time_s * 1e3;
+            assert!(
+                (got_ms - want_ms).abs() / want_ms < 0.13,
+                "{}: got {got_ms:.2} ms, paper {want_ms}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn cufft1d_model_inverts_gts_gtx_order() {
+        // Table 8 CUFFT1D: 13.7 / 11.4 / 13.2 ms — the GTX *loses* to the
+        // GTS because the legacy kernels are compute-bound.
+        let mut times = Vec::new();
+        for spec in DeviceSpec::all_cards() {
+            let res = KernelResources {
+                threads_per_block: 64,
+                regs_per_thread: 32,
+                shared_bytes_per_block: 4 * 1024,
+            };
+            let cfg = LaunchConfig {
+                name: "cufft1d_pass",
+                grid_blocks: 64,
+                resources: res,
+                class: KernelClass::LegacyFft,
+                read_pattern: AccessPattern::X,
+                write_pattern: AccessPattern::X,
+                in_place: false,
+                nominal_flops: nominal_flops_batch(256, 65536) / 2,
+                streams: 1,
+            };
+            let occ = occupancy(&spec.arch, &res);
+            let t = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+            times.push(2.0 * t.time_s * 1e3); // two passes
+        }
+        let (gt, gts, gtx) = (times[0], times[1], times[2]);
+        assert!((gt - 13.7).abs() / 13.7 < 0.08, "GT {gt:.1}");
+        assert!((gts - 11.4).abs() / 11.4 < 0.10, "GTS {gts:.1}");
+        assert!((gtx - 13.2).abs() / 13.2 < 0.08, "GTX {gtx:.1}");
+        assert!(gtx > gts, "legacy kernels must be compute-bound on the GTX");
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let spec = DeviceSpec::gt8800();
+        let (cfg, occ) = cfg_step5(&spec, false);
+        let t = time_kernel(&spec, &cfg, &occ, &KernelStats::default());
+        assert!(t.time_s >= KERNEL_LAUNCH_OVERHEAD_S);
+    }
+
+    #[test]
+    fn estimate_matches_time_kernel() {
+        let spec = DeviceSpec::gtx8800();
+        let (cfg, occ) = cfg_step5(&spec, true);
+        let a = estimate_pass(&spec, &cfg, &occ, 1 << 24);
+        let b = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+        assert_eq!(a.time_s, b.time_s);
+    }
+
+    #[test]
+    fn memory_bound_classifier() {
+        let spec = DeviceSpec::gtx8800();
+        let (cfg, occ) = cfg_step5(&spec, true);
+        let t = time_kernel(&spec, &cfg, &occ, &pass_stats(1 << 24));
+        // Step 5 on the GTX is compute-bound (§4.1: "indicating shortage of
+        // SPs").
+        assert!(!is_memory_bound(&t));
+        let gt = DeviceSpec::gt8800();
+        let res = KernelResources::coarse_16pt();
+        let cfg = LaunchConfig {
+            name: "step1",
+            grid_blocks: 28,
+            resources: res,
+            class: KernelClass::RegisterFft,
+            read_pattern: AccessPattern::D,
+            write_pattern: AccessPattern::A,
+            in_place: false,
+            nominal_flops: 5 * (1 << 24) * 4,
+            streams: 16,
+        };
+        let occ = occupancy(&gt.arch, &res);
+        let t = time_kernel(&gt, &cfg, &occ, &pass_stats(1 << 24));
+        assert!(is_memory_bound(&t));
+    }
+}

@@ -1,0 +1,99 @@
+//! A guided tour of the simulated CUDA device: the architectural mechanisms
+//! (§2–§2.1 of the paper) that force the five-step algorithm's design.
+//!
+//! ```text
+//! cargo run --release --example device_tour
+//! ```
+
+use fft_math::layout::{AccessPattern, View5};
+use gpu_sim::bandwidth::run_stream_copy;
+use gpu_sim::coalesce;
+use gpu_sim::dram::{self, BandwidthQuery};
+use gpu_sim::occupancy::{occupancy, KernelResources};
+use nukada_fft_repro::prelude::*;
+
+fn main() {
+    println!("== Tour of the simulated G80/G92 CUDA device ==\n");
+
+    // --- Table 1: the three evaluation cards ---
+    println!("the cards (Table 1):");
+    for card in DeviceSpec::all_cards() {
+        println!(
+            "  {:<9} {} x {} SPs @ {:.3} GHz = {:>3.0} GFLOPS | {:>5.1} GB/s | {:?}",
+            card.name,
+            card.sms,
+            card.sps_per_sm,
+            card.sp_clock_ghz,
+            card.peak_gflops(),
+            card.peak_bandwidth_gbs(),
+            card.pcie,
+        );
+    }
+
+    // --- coalescing rules (§2.1) ---
+    println!("\ncoalescing rules (half-warp of 16 threads, 8-byte complex words):");
+    let seq: Vec<u64> = (0..16).map(|k| 1024 + k * 8).collect();
+    println!("  sequential+aligned: {:?}", coalesce::analyze(&seq, 8));
+    let strided: Vec<u64> = (0..16).map(|k| 1024 + k * 2048).collect();
+    let r = coalesce::analyze(&strided, 8);
+    println!(
+        "  stride-2KB        : {} transactions, {:.0}% bus efficiency",
+        r.transactions,
+        r.efficiency() * 100.0
+    );
+
+    // --- stream-count decay (§2.1) ---
+    println!("\nstream-count bandwidth decay on the GTX (paper: 71.7 -> 30.7 GB/s):");
+    let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+    let n = 1 << 16;
+    let src = gpu.mem_mut().alloc(n).unwrap();
+    let dst = gpu.mem_mut().alloc(n).unwrap();
+    for streams in [1usize, 4, 16, 64, 256] {
+        let rep = run_stream_copy(&mut gpu, src, dst, n, streams);
+        println!("  {streams:>3} streams: {:>5.1} GB/s", rep.timing.modeled_bandwidth_gbs);
+    }
+
+    // --- pattern pairs (Tables 3-4) ---
+    println!("\npattern-pair bandwidth on the GT (Table 3's corners):");
+    let gt = DeviceSpec::gt8800();
+    for (r, w) in [
+        (AccessPattern::A, AccessPattern::A),
+        (AccessPattern::D, AccessPattern::A),
+        (AccessPattern::D, AccessPattern::D),
+    ] {
+        let bw = dram::effective_bandwidth_gbs(&gt, &BandwidthQuery::pattern_copy(r, w));
+        println!("  {} x {}: {:>5.1} GB/s", r.label(), w.label(), bw);
+    }
+    let v = View5::new(256, [16, 16, 16, 16]);
+    println!(
+        "  (pattern D = stride {} elements in V(256,16,16,16,16))",
+        v.pattern_stride(AccessPattern::D)
+    );
+
+    // --- occupancy (§3.1) ---
+    println!("\noccupancy: why 16 points per thread and not 256:");
+    for (what, res) in [
+        ("16-pt kernel (52 regs)", KernelResources::coarse_16pt()),
+        ("256-pt kernel (1024 regs)", KernelResources::coarse_256pt()),
+        ("fine-grained step 5", KernelResources::fine_256pt()),
+    ] {
+        let occ = occupancy(&gt.arch, &res);
+        println!(
+            "  {:<26} -> {:>3} threads/SM (limited by {:?})",
+            what, occ.threads_per_sm, occ.limit
+        );
+    }
+
+    // --- what it adds up to ---
+    println!("\nthe bottom line at 256³ (modelled):");
+    for spec in DeviceSpec::all_cards() {
+        let est = bifft::five_step::FiveStepFft::estimate(&spec, 256, 256, 256);
+        let t: f64 = est.iter().map(|(_, k)| k.time_s).sum();
+        println!(
+            "  {:<9} five-step total {:>5.2} ms = {:>5.1} GFLOPS",
+            spec.name,
+            t * 1e3,
+            fft_math::flops::nominal_flops_3d(256, 256, 256) as f64 / t / 1e9
+        );
+    }
+}

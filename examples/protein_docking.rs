@@ -1,0 +1,55 @@
+//! ZDock-style protein–protein docking on the simulated GPU (§4.4).
+//!
+//! Generates a synthetic receptor and ligand, sweeps the 24 cube rotations,
+//! correlates every rotation against the *resident* receptor spectrum, and
+//! reduces to the best pose on the card — demonstrating the on-card
+//! confinement that §4.4 credits with eliminating the PCIe bottleneck.
+//!
+//! ```text
+//! cargo run --release --example protein_docking
+//! ```
+
+use fft_apps::docking::{cube_rotations, dock, Molecule};
+use nukada_fft_repro::prelude::*;
+
+fn main() {
+    let dims = (32usize, 32, 32);
+    println!("== FFT-based rigid docking on a simulated 8800 GTS ==\n");
+
+    // Synthetic structures (the paper used PDB complexes; see DESIGN.md §2
+    // for the substitution argument).
+    let receptor = Molecule::synthetic_globule(40, 6.0, 2024);
+    let ligand = Molecule::synthetic_globule(10, 2.5, 4048);
+    println!(
+        "receptor: {} pseudo-atoms | ligand: {} pseudo-atoms | grid {}x{}x{}",
+        receptor.atoms.len(),
+        ligand.atoms.len(),
+        dims.0,
+        dims.1,
+        dims.2
+    );
+
+    let rotations = cube_rotations();
+    println!("rotation sweep: {} orientations\n", rotations.len());
+
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let result = dock(&mut gpu, &receptor, &ligand, dims, &rotations);
+
+    println!("best pose:");
+    println!("  rotation index : {}", result.rotation);
+    println!(
+        "  translation    : ({}, {}, {}) voxels",
+        result.translation.0, result.translation.1, result.translation.2
+    );
+    println!("  shape score    : {:.1}", result.score);
+    println!("\nmodelled device time for the whole sweep: {:.2} ms", result.device_s * 1e3);
+    println!(
+        "host<->device traffic: {:.1} MB on-card vs {:.1} MB for an offload-per-FFT design ({:.0}x saved)",
+        result.bytes_on_card as f64 / 1e6,
+        result.bytes_offload as f64 / 1e6,
+        result.bytes_offload as f64 / result.bytes_on_card as f64
+    );
+
+    assert!(result.score > 0.0, "a contact-positive pose must exist");
+    assert!(result.bytes_offload > result.bytes_on_card);
+}

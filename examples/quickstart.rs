@@ -1,0 +1,69 @@
+//! Quickstart: plan and run the bandwidth-intensive 3-D FFT on a simulated
+//! GeForce 8800 GTS, verify it against the CPU reference, and print the
+//! per-step breakdown the paper's Table 7 reports.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nukada_fft_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 64usize;
+    println!("== Bandwidth-intensive 3-D FFT quickstart ({n}³) ==\n");
+
+    // 1. Bring up the simulated device.
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    println!(
+        "device: {} — {} SPs at {} GHz, {:.1} GB/s peak memory bandwidth\n",
+        gpu.spec().name,
+        gpu.spec().total_sps(),
+        gpu.spec().sp_clock_ghz,
+        gpu.spec().peak_bandwidth_gbs()
+    );
+
+    // 2. Plan the transform and allocate device buffers.
+    let plan = FiveStepFft::new(&mut gpu, n, n, n);
+    let (v, work) = plan.alloc_buffers(&mut gpu).expect("volume fits on the card");
+
+    // 3. Make a random complex volume and upload it (the plan packs the
+    //    natural x-fastest layout into the paper's 5-D device layout).
+    let mut rng = SmallRng::seed_from_u64(7);
+    let volume: Vec<Complex32> = (0..plan.volume())
+        .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    plan.upload(&mut gpu, v, &volume);
+
+    // 4. Execute the five steps and fetch the spectrum.
+    let report = plan.execute(&mut gpu, v, work, Direction::Forward);
+    let spectrum = plan.download(&gpu, v);
+
+    // 5. Verify against the CPU reference transform.
+    let mut reference = volume.clone();
+    CpuFft3d::new(n, n, n).execute(&mut reference, Direction::Forward);
+    let err = fft_math::error::rel_l2_error_f32(&spectrum, &reference);
+    println!("numerical check vs CPU FFT: relative L2 error = {err:.2e}");
+    assert!(err < 1e-5, "GPU transform must match the CPU reference");
+
+    // 6. The per-step breakdown (Table 7's shape).
+    println!("\n{}", report.step_table());
+    println!(
+        "whole transform: {:.3} ms modelled on-device = {:.1} GFLOPS (paper convention)",
+        report.total_time_s() * 1e3,
+        report.gflops()
+    );
+
+    // 7. Round-trip: inverse transform chained on the card.
+    let inverse = plan.inverse_chained(&mut gpu);
+    inverse.execute(&mut gpu, v, work, Direction::Inverse);
+    let mut back = vec![Complex32::ZERO; plan.volume()];
+    gpu.mem().download(v, 0, &mut back);
+    let l = plan.layout();
+    let scale = 1.0 / plan.volume() as f32;
+    let sample = l.input_index(5, 6, 7);
+    let orig = volume[5 + n * (6 + n * 7)];
+    assert!((back[sample].scale(scale) - orig).abs() < 1e-4);
+    println!("\nforward → inverse round trip on the card: OK");
+}

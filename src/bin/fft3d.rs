@@ -1,0 +1,238 @@
+//! `fft3d` — command-line 3-D FFT on the simulated GPU.
+//!
+//! ```text
+//! fft3d --dims 64x64x64 [--algo five-step|six-step|cufft-like]
+//!       [--device gt|gts|gtx|c1060] [--inverse]
+//!       [--input volume.bin] [--output spectrum.bin] [--verify]
+//! ```
+//!
+//! Volumes are raw little-endian interleaved `f32` complex values, x fastest
+//! (`2*nx*ny*nz` floats). Without `--input`, a random volume is generated.
+//! `--verify` cross-checks the result against the CPU transform.
+
+use nukada_fft_repro::prelude::*;
+use bifft::plan::{Algorithm, Fft3d};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+struct Args {
+    dims: (usize, usize, usize),
+    algo: Algorithm,
+    device: DeviceSpec,
+    dir: Direction,
+    input: Option<String>,
+    output: Option<String>,
+    verify: bool,
+}
+
+fn parse_dims(s: &str) -> Result<(usize, usize, usize), String> {
+    let parts: Vec<&str> = s.split(['x', 'X', ',']).collect();
+    let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.trim().parse()).collect();
+    match nums.map_err(|e| format!("bad dims '{s}': {e}"))?.as_slice() {
+        [n] => Ok((*n, *n, *n)),
+        [a, b, c] => Ok((*a, *b, *c)),
+        _ => Err(format!("dims must be N or NXxNYxNZ, got '{s}'")),
+    }
+}
+
+fn parse_device(s: &str) -> Result<DeviceSpec, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "gt" | "8800gt" => Ok(DeviceSpec::gt8800()),
+        "gts" | "8800gts" => Ok(DeviceSpec::gts8800()),
+        "gtx" | "8800gtx" => Ok(DeviceSpec::gtx8800()),
+        "c1060" | "tesla" => Ok(DeviceSpec::tesla_c1060()),
+        other => Err(format!("unknown device '{other}' (gt|gts|gtx|c1060)")),
+    }
+}
+
+fn parse_algo(s: &str) -> Result<Algorithm, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "five-step" | "five" | "bandwidth-intensive" => Ok(Algorithm::FiveStep),
+        "six-step" | "six" | "conventional" => Ok(Algorithm::SixStep),
+        "cufft-like" | "cufft" => Ok(Algorithm::CufftLike),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        dims: (64, 64, 64),
+        algo: Algorithm::FiveStep,
+        device: DeviceSpec::gts8800(),
+        dir: Direction::Forward,
+        input: None,
+        output: None,
+        verify: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut next = |what: &str| {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--dims" => args.dims = parse_dims(&next("--dims")?)?,
+            "--algo" => args.algo = parse_algo(&next("--algo")?)?,
+            "--device" => args.device = parse_device(&next("--device")?)?,
+            "--inverse" => args.dir = Direction::Inverse,
+            "--input" => args.input = Some(next("--input")?),
+            "--output" => args.output = Some(next("--output")?),
+            "--verify" => args.verify = true,
+            "--help" | "-h" => return Err("usage: see module docs (fft3d --dims NxNxN ...)".into()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn read_volume(path: &str, len: usize) -> Result<Vec<Complex32>, String> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    if bytes.len() != len * 8 {
+        return Err(format!(
+            "{path}: expected {} bytes ({} complex f32), found {}",
+            len * 8,
+            len,
+            bytes.len()
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| {
+            c32(
+                f32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                f32::from_le_bytes([c[4], c[5], c[6], c[7]]),
+            )
+        })
+        .collect())
+}
+
+fn write_volume(path: &str, data: &[Complex32]) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(data.len() * 8);
+    for z in data {
+        bytes.extend_from_slice(&z.re.to_le_bytes());
+        bytes.extend_from_slice(&z.im.to_le_bytes());
+    }
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(&bytes))
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fft3d: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (nx, ny, nz) = args.dims;
+    let vol = nx * ny * nz;
+
+    let host = match &args.input {
+        Some(path) => match read_volume(path, vol) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("fft3d: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            use rand::{rngs::SmallRng, Rng, SeedableRng};
+            let mut rng = SmallRng::seed_from_u64(0xF47);
+            (0..vol).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        }
+    };
+
+    let mut gpu = Gpu::new(args.device);
+    eprintln!(
+        "fft3d: {}x{}x{} {:?} on simulated {} ({:?})",
+        nx, ny, nz, args.algo, gpu.spec().name, args.dir
+    );
+    let plan = match Fft3d::new(&mut gpu, args.algo, nx, ny, nz) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fft3d: volume does not fit on the card ({e}); use the out-of-core API");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (out, report) = plan.transform(&mut gpu, &host, args.dir);
+    eprintln!("{}", report.step_table());
+
+    if args.verify {
+        let mut want = host.clone();
+        CpuFft3d::new(nx, ny, nz).execute(&mut want, args.dir);
+        let err = fft_math::error::rel_l2_error_f32(&out, &want);
+        eprintln!("fft3d: verify vs CPU: rel L2 error {err:.2e}");
+        if err > 1e-4 {
+            eprintln!("fft3d: VERIFICATION FAILED");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &args.output {
+        if let Err(e) = write_volume(path, &out) {
+            eprintln!("fft3d: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fft3d: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_parse() {
+        assert_eq!(parse_dims("64").unwrap(), (64, 64, 64));
+        assert_eq!(parse_dims("16x32x64").unwrap(), (16, 32, 64));
+        assert_eq!(parse_dims("16,32,64").unwrap(), (16, 32, 64));
+        assert!(parse_dims("16x32").is_err());
+        assert!(parse_dims("abc").is_err());
+    }
+
+    #[test]
+    fn device_parse() {
+        assert_eq!(parse_device("gtx").unwrap().name, "8800 GTX");
+        assert_eq!(parse_device("C1060").unwrap().name, "Tesla C1060");
+        assert!(parse_device("rtx4090").is_err());
+    }
+
+    #[test]
+    fn algo_parse() {
+        assert_eq!(parse_algo("five-step").unwrap(), Algorithm::FiveStep);
+        assert_eq!(parse_algo("conventional").unwrap(), Algorithm::SixStep);
+        assert!(parse_algo("vkfft").is_err());
+    }
+
+    #[test]
+    fn args_parse_roundtrip() {
+        let argv: Vec<String> =
+            ["--dims", "32", "--algo", "six", "--device", "gt", "--inverse", "--verify"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let a = parse_args(&argv).unwrap();
+        assert_eq!(a.dims, (32, 32, 32));
+        assert_eq!(a.algo, Algorithm::SixStep);
+        assert_eq!(a.device.name, "8800 GT");
+        assert_eq!(a.dir, Direction::Inverse);
+        assert!(a.verify);
+    }
+
+    #[test]
+    fn volume_io_roundtrip() {
+        let dir = std::env::temp_dir().join("fft3d_io_test.bin");
+        let path = dir.to_str().unwrap();
+        let data = vec![c32(1.5, -2.5), c32(0.0, 3.25)];
+        write_volume(path, &data).unwrap();
+        let back = read_volume(path, 2).unwrap();
+        assert_eq!(back, data);
+        assert!(read_volume(path, 3).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

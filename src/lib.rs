@@ -1,0 +1,65 @@
+//! # nukada-fft-repro
+//!
+//! A from-scratch Rust reproduction of **Nukada, Ogata, Endo, Matsuoka:
+//! "Bandwidth Intensive 3-D FFT kernel for GPUs using CUDA" (SC 2008)** —
+//! the five-step, coalescing-first 3-D FFT that beat CUFFT 1.1 by 3x on
+//! GeForce 8800-class hardware.
+//!
+//! No 2008 GPU is available, so the hardware is substituted by a functional
+//! and analytic simulator of the G80/G92 CUDA architecture ([`gpu_sim`]);
+//! kernels really execute (numerics are exact and tested against oracles)
+//! while elapsed time comes from a memory-system model calibrated against
+//! the paper's own microbenchmarks. See `DESIGN.md` for the substitution
+//! argument and `EXPERIMENTS.md` for per-table results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nukada_fft_repro::prelude::*;
+//!
+//! // Bring up a simulated GeForce 8800 GTS and plan a 64³ transform.
+//! let mut gpu = Gpu::new(DeviceSpec::gts8800());
+//! let plan = FiveStepFft::new(&mut gpu, 64, 64, 64);
+//! let (v, work) = plan.alloc_buffers(&mut gpu).unwrap();
+//!
+//! // Transform an impulse: the spectrum must be flat.
+//! let mut volume = vec![Complex32::ZERO; plan.volume()];
+//! volume[0] = Complex32::ONE;
+//! plan.upload(&mut gpu, v, &volume);
+//! let report = plan.execute(&mut gpu, v, work, Direction::Forward);
+//! let spectrum = plan.download(&gpu, v);
+//!
+//! assert!((spectrum[12345] - Complex32::ONE).abs() < 1e-4);
+//! assert_eq!(report.steps.len(), 5);
+//! println!("{}", report.step_table());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`fft_math`] | complex arithmetic, codelets, twiddles, 1-D FFTs, the 5-D layout |
+//! | [`gpu_sim`] | the simulated CUDA GPU: coalescing, shared-memory banks, occupancy, DRAM/PCIe/power models |
+//! | [`bifft`] | the five-step algorithm + six-step / CUFFT-like / no-shared baselines, out-of-core |
+//! | [`cpu_fft`] | the FFTW-like CPU baseline and 2008-CPU roofline model |
+//! | [`fft_apps`] | protein docking, spectral analysis, on-card convolution |
+//! | `fft-bench` | regenerates every table and figure (`cargo run --release -p fft-bench --bin report`) |
+
+pub use bifft;
+pub use cpu_fft;
+pub use fft_apps;
+pub use fft_math;
+pub use gpu_sim;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use bifft::five_step::FiveStepFft;
+    pub use bifft::out_of_core::OutOfCoreFft;
+    pub use bifft::six_step::SixStepFft;
+    pub use bifft::RunReport;
+    pub use cpu_fft::CpuFft3d;
+    pub use fft_apps::convolution::GpuCorrelator;
+    pub use fft_math::twiddle::Direction;
+    pub use fft_math::{c32, Complex32};
+    pub use gpu_sim::{DeviceSpec, Gpu};
+}

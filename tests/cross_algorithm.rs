@@ -1,0 +1,123 @@
+//! Cross-crate integration: every 3-D FFT implementation in the workspace —
+//! five-step GPU, six-step GPU, CUFFT-like GPU, out-of-core GPU, and the CPU
+//! baseline — must compute the same transform.
+
+use nukada_fft_repro::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+fn max_abs_diff(a: &[Complex32], b: &[Complex32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f32::max)
+}
+
+#[test]
+fn all_five_implementations_agree_at_32_cubed() {
+    let n = 32usize;
+    let host = random_volume(n * n * n, 1001);
+    let scale = (n * n * n) as f32;
+
+    // CPU reference.
+    let mut cpu = host.clone();
+    CpuFft3d::new(n, n, n).execute(&mut cpu, Direction::Forward);
+
+    // Five-step.
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let five = FiveStepFft::new(&mut gpu, n, n, n);
+    let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+    five.upload(&mut gpu, v, &host);
+    five.execute(&mut gpu, v, w, Direction::Forward);
+    let r5 = five.download(&gpu, v);
+
+    // Six-step.
+    let mut gpu = Gpu::new(DeviceSpec::gt8800());
+    let six = SixStepFft::new(&mut gpu, n, n, n);
+    let (v, w) = six.alloc_buffers(&mut gpu).unwrap();
+    six.upload(&mut gpu, v, &host);
+    six.execute(&mut gpu, v, w, Direction::Forward);
+    let r6 = six.download(&gpu, v);
+
+    // CUFFT-like.
+    let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+    let cf = bifft::CufftLikeFft::new(&mut gpu, n, n, n);
+    let (v, w) = cf.alloc_buffers(&mut gpu).unwrap();
+    gpu.mem_mut().upload(v, 0, &host);
+    cf.execute(&mut gpu, v, w, Direction::Forward);
+    let mut rc = vec![Complex32::ZERO; n * n * n];
+    gpu.mem_mut().download(v, 0, &mut rc);
+
+    // Out-of-core (2 slabs).
+    let spec = DeviceSpec::gt8800();
+    let ooc = OutOfCoreFft::new(&spec, n, n, n, 2);
+    let mut gpu = Gpu::new(spec);
+    let mut ro = host.clone();
+    ooc.execute(&mut gpu, &mut ro, Direction::Forward);
+
+    // All against the CPU reference, tolerance scaled by volume RMS.
+    let tol = 2e-3 * scale.sqrt() / 32.0;
+    for (name, result) in [("five-step", &r5), ("six-step", &r6), ("cufft-like", &rc), ("out-of-core", &ro)] {
+        let d = max_abs_diff(result, &cpu);
+        assert!(d < tol, "{name} deviates from the CPU FFT by {d} (tol {tol})");
+    }
+}
+
+#[test]
+fn rectangular_volumes_agree() {
+    let (nx, ny, nz) = (16usize, 32, 64);
+    let host = random_volume(nx * ny * nz, 1002);
+
+    let mut cpu = host.clone();
+    CpuFft3d::new(nx, ny, nz).execute(&mut cpu, Direction::Forward);
+
+    let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+    let five = FiveStepFft::new(&mut gpu, nx, ny, nz);
+    let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+    five.upload(&mut gpu, v, &host);
+    five.execute(&mut gpu, v, w, Direction::Forward);
+    let r5 = five.download(&gpu, v);
+
+    assert!(max_abs_diff(&r5, &cpu) < 0.05, "rectangular five-step deviates");
+}
+
+#[test]
+fn inverse_composes_across_implementations() {
+    // Forward on the GPU (five-step), inverse on the CPU: must return the
+    // original (the strongest cross-implementation convention check).
+    let n = 16usize;
+    let host = random_volume(n * n * n, 1003);
+
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let five = FiveStepFft::new(&mut gpu, n, n, n);
+    let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+    five.upload(&mut gpu, v, &host);
+    five.execute(&mut gpu, v, w, Direction::Forward);
+    let mut spectrum = five.download(&gpu, v);
+
+    CpuFft3d::new(n, n, n).execute(&mut spectrum, Direction::Inverse);
+    let s = 1.0 / (n * n * n) as f32;
+    for (got, want) in spectrum.iter().zip(&host) {
+        assert!((got.scale(s) - *want).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn gpu_algorithms_preserve_energy() {
+    // Parseval across the device path: energy in == energy out / N.
+    let n = 32usize;
+    let host = random_volume(n * n * n, 1004);
+    let e_in: f64 = host.iter().map(|z| z.norm_sqr() as f64).sum();
+
+    let mut gpu = Gpu::new(DeviceSpec::gt8800());
+    let five = FiveStepFft::new(&mut gpu, n, n, n);
+    let (v, w) = five.alloc_buffers(&mut gpu).unwrap();
+    five.upload(&mut gpu, v, &host);
+    five.execute(&mut gpu, v, w, Direction::Forward);
+    let spec = five.download(&gpu, v);
+    let e_out: f64 =
+        spec.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / (n * n * n) as f64;
+    assert!((e_in - e_out).abs() < 1e-3 * e_in, "{e_in} vs {e_out}");
+}

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) on the core invariants, spanning crates.
+
+use nukada_fft_repro::prelude::*;
+use proptest::prelude::*;
+
+fn arb_complex() -> impl Strategy<Value = Complex32> {
+    (-1.0f32..1.0, -1.0f32..1.0).prop_map(|(re, im)| c32(re, im))
+}
+
+fn arb_volume(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec(arb_complex(), len)
+}
+
+/// Small power-of-two dims (kept tiny: each case runs a full simulated GPU
+/// transform).
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    let d = prop_oneof![Just(4usize), Just(8), Just(16)];
+    (d.clone(), d.clone(), d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Forward → inverse on the simulated GPU returns the input (scaled).
+    #[test]
+    fn gpu_roundtrip_recovers_input(
+        (nx, ny, nz) in arb_dims(),
+        seed in any::<u64>(),
+    ) {
+        let vol = nx * ny * nz;
+        let host: Vec<Complex32> = (0..vol)
+            .map(|i| {
+                let t = (i as f32 + seed as f32 % 97.0) * 0.37;
+                c32(t.sin(), (t * 1.7).cos())
+            })
+            .collect();
+
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let plan = FiveStepFft::new(&mut gpu, nx, ny, nz);
+        let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+        plan.upload(&mut gpu, v, &host);
+        plan.execute(&mut gpu, v, w, Direction::Forward);
+        let inv = plan.inverse_chained(&mut gpu);
+        inv.execute(&mut gpu, v, w, Direction::Inverse);
+
+        let mut packed = vec![Complex32::ZERO; vol];
+        gpu.mem().download(v, 0, &mut packed);
+        let l = plan.layout();
+        let s = 1.0 / vol as f32;
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let got = packed[l.input_index(x, y, z)].scale(s);
+                    let want = host[x + nx * (y + ny * z)];
+                    prop_assert!((got - want).abs() < 1e-4,
+                        "({x},{y},{z}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    /// The GPU transform is linear: F(a·x + y) = a·F(x) + F(y).
+    #[test]
+    fn gpu_transform_is_linear(
+        a in arb_volume(512),
+        b in arb_volume(512),
+        scale in -2.0f32..2.0,
+    ) {
+        let n = 8usize;
+        let run = |data: &[Complex32]| {
+            let mut gpu = Gpu::new(DeviceSpec::gt8800());
+            let plan = FiveStepFft::new(&mut gpu, n, n, n);
+            let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+            plan.upload(&mut gpu, v, data);
+            plan.execute(&mut gpu, v, w, Direction::Forward);
+            plan.download(&gpu, v)
+        };
+        let combo: Vec<Complex32> =
+            a.iter().zip(&b).map(|(x, y)| x.scale(scale) + *y).collect();
+        let fa = run(&a);
+        let fb = run(&b);
+        let fc = run(&combo);
+        for ((za, zb), zc) in fa.iter().zip(&fb).zip(&fc) {
+            let want = za.scale(scale) + *zb;
+            prop_assert!((*zc - want).abs() < 1e-2, "{zc} vs {want}");
+        }
+    }
+
+    /// CPU and GPU agree on arbitrary data.
+    #[test]
+    fn cpu_gpu_agree(data in arb_volume(4096)) {
+        let n = 16usize;
+        let mut cpu = data.clone();
+        CpuFft3d::new(n, n, n).execute(&mut cpu, Direction::Forward);
+
+        let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+        let plan = FiveStepFft::new(&mut gpu, n, n, n);
+        let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+        plan.upload(&mut gpu, v, &data);
+        plan.execute(&mut gpu, v, w, Direction::Forward);
+        let gpu_out = plan.download(&gpu, v);
+
+        let err = fft_math::error::rel_l2_error_f32(&gpu_out, &cpu);
+        prop_assert!(err < 1e-5, "rel err {err}");
+    }
+
+    /// A circular shift of the input only changes spectrum phases, never
+    /// magnitudes (the shift theorem).
+    #[test]
+    fn shift_theorem_on_gpu(data in arb_volume(512), sx in 0usize..8, sy in 0usize..8) {
+        let n = 8usize;
+        let mut shifted = vec![Complex32::ZERO; data.len()];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    shifted[(x + sx) % n + n * (((y + sy) % n) + n * z)] =
+                        data[x + n * (y + n * z)];
+                }
+            }
+        }
+        let run = |d: &[Complex32]| {
+            let mut gpu = Gpu::new(DeviceSpec::gts8800());
+            let plan = FiveStepFft::new(&mut gpu, n, n, n);
+            let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+            plan.upload(&mut gpu, v, d);
+            plan.execute(&mut gpu, v, w, Direction::Forward);
+            plan.download(&gpu, v)
+        };
+        let f0 = run(&data);
+        let f1 = run(&shifted);
+        for (a, b) in f0.iter().zip(&f1) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-3 + 1e-3 * a.abs(),
+                "|{a}| vs |{b}|");
+        }
+    }
+}
