@@ -45,10 +45,27 @@ impl GpuCorrelator {
         let fwd = FiveStepFft::new(gpu, nx, ny, nz);
         let inv = fwd.inverse_chained(gpu);
         let n = fwd.volume();
-        let buf_a = gpu.mem_mut().alloc(n).expect("device too small for volume A");
-        let buf_b = gpu.mem_mut().alloc(n).expect("device too small for volume B");
-        let work = gpu.mem_mut().alloc(n).expect("device too small for scratch");
-        GpuCorrelator { fwd, inv, buf_a, buf_b, work, dims: (nx, ny, nz), a_loaded: false }
+        let buf_a = gpu
+            .mem_mut()
+            .alloc(n)
+            .expect("device too small for volume A");
+        let buf_b = gpu
+            .mem_mut()
+            .alloc(n)
+            .expect("device too small for volume B");
+        let work = gpu
+            .mem_mut()
+            .alloc(n)
+            .expect("device too small for scratch");
+        GpuCorrelator {
+            fwd,
+            inv,
+            buf_a,
+            buf_b,
+            work,
+            dims: (nx, ny, nz),
+            a_loaded: false,
+        }
     }
 
     /// Grid dimensions.
@@ -68,7 +85,9 @@ impl GpuCorrelator {
         let mut rep = ConvReport::default();
         self.fwd.upload(gpu, self.buf_a, a);
         rep.h2d_bytes += (a.len() * 8) as u64;
-        let run = self.fwd.execute(gpu, self.buf_a, self.work, Direction::Forward);
+        let run = self
+            .fwd
+            .execute(gpu, self.buf_a, self.work, Direction::Forward);
         rep.device_s += run.total_time_s();
         self.a_loaded = true;
         rep
@@ -152,13 +171,25 @@ impl GpuCorrelator {
         let mut rep = ConvReport::default();
         self.fwd.upload(gpu, self.buf_b, b);
         rep.h2d_bytes += (b.len() * 8) as u64;
-        let run = self.fwd.execute(gpu, self.buf_b, self.work, Direction::Forward);
+        let run = self
+            .fwd
+            .execute(gpu, self.buf_b, self.work, Direction::Forward);
         rep.device_s += run.total_time_s();
         // Spectrum product with 1/N scaling folded in (unnormalised inverse).
         let scale = 1.0 / self.volume() as f32;
-        let k = run_pointwise_mul(gpu, self.buf_a, self.buf_b, self.buf_b, self.volume(), scale, true);
+        let k = run_pointwise_mul(
+            gpu,
+            self.buf_a,
+            self.buf_b,
+            self.buf_b,
+            self.volume(),
+            scale,
+            true,
+        );
         rep.device_s += k.timing.time_s;
-        let run = self.inv.execute(gpu, self.buf_b, self.work, Direction::Inverse);
+        let run = self
+            .inv
+            .execute(gpu, self.buf_b, self.work, Direction::Inverse);
         rep.device_s += run.total_time_s();
         rep
     }
@@ -204,10 +235,12 @@ mod tests {
     fn correlation_matches_reference() {
         let (nx, ny, nz) = (8usize, 8, 8);
         let mut rng = SmallRng::seed_from_u64(61);
-        let a: Vec<Complex32> =
-            (0..nx * ny * nz).map(|_| c32(rng.gen_range(-1.0..1.0), 0.0)).collect();
-        let b: Vec<Complex32> =
-            (0..nx * ny * nz).map(|_| c32(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let a: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let b: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
 
         let mut gpu = Gpu::new(DeviceSpec::gts8800());
         let mut corr = GpuCorrelator::new(&mut gpu, nx, ny, nz);
@@ -225,8 +258,9 @@ mod tests {
         // land exactly there.
         let (nx, ny, nz) = (16usize, 16, 16);
         let mut rng = SmallRng::seed_from_u64(62);
-        let b: Vec<Complex32> =
-            (0..nx * ny * nz).map(|_| c32(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let b: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
         let (sx, sy, sz) = (3usize, 2, 5);
         let mut a = vec![Complex32::ZERO; b.len()];
         for z in 0..nz {

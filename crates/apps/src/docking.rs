@@ -58,7 +58,9 @@ impl Molecule {
                     rng.gen_range(-1.0f32..1.0),
                     rng.gen_range(-1.0f32..1.0),
                 ];
-                let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2]).sqrt().max(1e-3);
+                let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
+                    .sqrt()
+                    .max(1e-3);
                 let r = spread * rng.gen_range(0.0f32..1.0).cbrt();
                 Atom {
                     pos: [dir[0] / norm * r, dir[1] / norm * r, dir[2] / norm * r],
@@ -94,7 +96,10 @@ impl Molecule {
         let atoms = self
             .atoms
             .iter()
-            .map(|a| Atom { pos: [a.pos[0] + d[0], a.pos[1] + d[1], a.pos[2] + d[2]], radius: a.radius })
+            .map(|a| Atom {
+                pos: [a.pos[0] + d[0], a.pos[1] + d[1], a.pos[2] + d[2]],
+                radius: a.radius,
+            })
             .collect();
         Molecule { atoms }
     }
@@ -103,8 +108,14 @@ impl Molecule {
 /// The 24 proper rotations of the cube (the classic coarse rotation sweep).
 pub fn cube_rotations() -> Vec<[[f32; 3]; 3]> {
     let mut out = Vec::with_capacity(24);
-    let axes: [[i32; 3]; 6] =
-        [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]];
+    let axes: [[i32; 3]; 6] = [
+        [1, 0, 0],
+        [-1, 0, 0],
+        [0, 1, 0],
+        [0, -1, 0],
+        [0, 0, 1],
+        [0, 0, -1],
+    ];
     for f in axes {
         for u in axes {
             // u must be orthogonal to f.
@@ -151,7 +162,11 @@ pub fn voxelize_receptor(mol: &Molecule, dims: (usize, usize, usize)) -> Vec<Com
                     (x, y, (z + nz - 1) % nz),
                 ];
                 let core = nb.iter().all(|&(a, b, c)| occ[a + nx * (b + ny * c)]);
-                out[i] = if core { c32(CORE_PENALTY, 0.0) } else { c32(1.0, 0.0) };
+                out[i] = if core {
+                    c32(CORE_PENALTY, 0.0)
+                } else {
+                    c32(1.0, 0.0)
+                };
             }
         }
     }
@@ -161,7 +176,9 @@ pub fn voxelize_receptor(mol: &Molecule, dims: (usize, usize, usize)) -> Vec<Com
 /// Voxelised ligand: occupied voxels +1.
 pub fn voxelize_ligand(mol: &Molecule, dims: (usize, usize, usize)) -> Vec<Complex32> {
     let occ = occupancy_grid(mol, dims);
-    occ.into_iter().map(|o| if o { c32(1.0, 0.0) } else { Complex32::ZERO }).collect()
+    occ.into_iter()
+        .map(|o| if o { c32(1.0, 0.0) } else { Complex32::ZERO })
+        .collect()
 }
 
 /// Boolean occupancy on a grid whose origin sits at the volume centre.
@@ -277,7 +294,12 @@ mod tests {
 
     #[test]
     fn translation_and_rotation_compose() {
-        let m = Molecule { atoms: vec![Atom { pos: [1.0, 0.0, 0.0], radius: 1.0 }] };
+        let m = Molecule {
+            atoms: vec![Atom {
+                pos: [1.0, 0.0, 0.0],
+                radius: 1.0,
+            }],
+        };
         let t = m.translated([0.0, 2.0, -1.0]);
         assert_eq!(t.atoms[0].pos, [1.0, 2.0, -1.0]);
         // Rotate 90° about z: x -> y.
@@ -289,7 +311,12 @@ mod tests {
 
     #[test]
     fn voxelizer_marks_atom_interiors() {
-        let mol = Molecule { atoms: vec![Atom { pos: [0.0, 0.0, 0.0], radius: 2.0 }] };
+        let mol = Molecule {
+            atoms: vec![Atom {
+                pos: [0.0, 0.0, 0.0],
+                radius: 2.0,
+            }],
+        };
         let grid = voxelize_ligand(&mol, (16, 16, 16));
         // Centre voxel occupied (grid centre is at (8,8,8)).
         assert!(grid[8 + 16 * (8 + 16 * 8)].re > 0.0);
@@ -299,7 +326,12 @@ mod tests {
 
     #[test]
     fn receptor_has_surface_and_core() {
-        let mol = Molecule { atoms: vec![Atom { pos: [0.0, 0.0, 0.0], radius: 4.0 }] };
+        let mol = Molecule {
+            atoms: vec![Atom {
+                pos: [0.0, 0.0, 0.0],
+                radius: 4.0,
+            }],
+        };
         let grid = voxelize_receptor(&mol, (16, 16, 16));
         let vals: Vec<f32> = grid.iter().map(|z| z.re).collect();
         assert!(vals.contains(&1.0), "needs surface voxels");

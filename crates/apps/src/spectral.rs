@@ -128,7 +128,11 @@ pub fn poisson_solve(
                 let k2 = (wavenumber(x, nx).pow(2)
                     + wavenumber(y, ny).pow(2)
                     + wavenumber(z, nz).pow(2)) as f32;
-                spec[i] = if k2 == 0.0 { Complex32::ZERO } else { spec[i].scale(-1.0 / k2) };
+                spec[i] = if k2 == 0.0 {
+                    Complex32::ZERO
+                } else {
+                    spec[i].scale(-1.0 / k2)
+                };
             }
         }
     }

@@ -25,8 +25,9 @@ pub fn padding_ablation(rows: usize) -> String {
     let run = |plan: &FineFftPlan| -> KernelReport {
         let mut gpu = Gpu::new(DeviceSpec::gts8800());
         let buf = gpu.mem_mut().alloc(256 * rows).unwrap();
-        let host: Vec<Complex32> =
-            (0..256 * rows).map(|i| Complex32::new(i as f32 * 1e-3, 0.0)).collect();
+        let host: Vec<Complex32> = (0..256 * rows)
+            .map(|i| Complex32::new(i as f32 * 1e-3, 0.0))
+            .collect();
         gpu.mem_mut().upload(buf, 0, &host);
         let tw = bind_twiddle_texture(&mut gpu, 256, Direction::Forward);
         run_batched_fft(&mut gpu, plan, buf, buf, rows, Direction::Forward, tw, "a2")
@@ -125,7 +126,11 @@ pub fn pattern_order_ablation() -> String {
          (the five-step relayout exists precisely to avoid D x D)\n",
     );
     for spec in DeviceSpec::all_cards() {
-        let res = KernelResources { threads_per_block: 64, regs_per_thread: 52, shared_bytes_per_block: 0 };
+        let res = KernelResources {
+            threads_per_block: 64,
+            regs_per_thread: 52,
+            shared_bytes_per_block: 0,
+        };
         let occ = occupancy(&spec.arch, &res);
         let bw = |r, w| {
             effective_bandwidth_gbs(

@@ -1,0 +1,74 @@
+//! `profile` — nvprof-style traced runs of the simulated FFTs.
+//!
+//! ```text
+//! cargo run --release -p fft-bench --bin profile -- \
+//!     --algo five-step --n 256 --card gts --trace t.json --metrics m.json
+//! cargo run --release -p fft-bench --bin profile -- --diff a.json b.json
+//! ```
+//!
+//! `--trace` writes Chrome trace-event JSON (open in `chrome://tracing` or
+//! Perfetto); `--metrics` writes the flat counters file `--diff` consumes.
+//! Without either flag the flamegraph-style step table prints to stdout.
+
+use bifft::plan::Algorithm;
+use fft_bench::profile::{card, diff_metrics, parse_metrics, run_profile};
+use gpu_sim::DeviceSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--trace PATH] [--metrics PATH]"
+        );
+        eprintln!("       profile --diff A.json B.json");
+        std::process::exit(2);
+    }
+
+    let mut algo = Algorithm::FiveStep;
+    let mut n = 64usize;
+    let mut spec = DeviceSpec::gts8800();
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algo" => {
+                let name = it.next().expect("--algo NAME");
+                algo = name.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--n" => {
+                n = it.next().expect("--n N").parse().expect("cube size");
+            }
+            "--card" => {
+                let name = it.next().expect("--card NAME");
+                spec = card(name).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--trace" => trace_path = Some(it.next().expect("--trace PATH").clone()),
+            "--metrics" => metrics_path = Some(it.next().expect("--metrics PATH").clone()),
+            "--diff" => {
+                let a_path = it.next().expect("--diff A.json B.json");
+                let b_path = it.next().expect("--diff A.json B.json");
+                let read = |p: &str| {
+                    let text = std::fs::read_to_string(p)
+                        .unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
+                    parse_metrics(&text).unwrap_or_else(|e| panic!("{p}: {e}"))
+                };
+                print!("{}", diff_metrics(&read(a_path), &read(b_path)));
+                return;
+            }
+            other => panic!("unknown argument {other}; see the doc comment"),
+        }
+    }
+
+    let (rep, trace) = run_profile(spec, algo, n);
+    if let Some(p) = &trace_path {
+        std::fs::write(p, trace.chrome_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("trace: {p} ({} events)", trace.len());
+    }
+    if let Some(p) = &metrics_path {
+        std::fs::write(p, rep.metrics_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("metrics: {p}");
+    }
+    print!("{}", rep.step_table());
+}

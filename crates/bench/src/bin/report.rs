@@ -7,6 +7,7 @@
 //! cargo run --release -p fft-bench --bin report -- --figure 1
 //! cargo run --release -p fft-bench --bin report -- --ablations
 //! cargo run --release -p fft-bench --bin report -- --crosscheck 64
+//! cargo run --release -p fft-bench --bin report -- --trace out.json
 //! ```
 
 use fft_bench::{ablations, extensions, tables, validate};
@@ -47,7 +48,11 @@ fn main() {
                 print!("{out}");
             }
             "--figure" => {
-                let n: usize = it.next().expect("--figure N").parse().expect("figure number");
+                let n: usize = it
+                    .next()
+                    .expect("--figure N")
+                    .parse()
+                    .expect("figure number");
                 assert!((1..=3).contains(&n), "the paper has figures 1..=3");
                 print!("{}", tables::figure(n));
             }
@@ -65,6 +70,19 @@ fn main() {
             "--crosscheck" => {
                 let n: usize = it.next().expect("--crosscheck N").parse().expect("size");
                 print!("{}", validate::crosscheck_report(n));
+            }
+            "--trace" => {
+                // A traced 64³ five-step run, exported for chrome://tracing.
+                let path = it.next().expect("--trace PATH");
+                let (rep, trace) = fft_bench::profile::run_profile(
+                    gpu_sim::DeviceSpec::gts8800(),
+                    bifft::plan::Algorithm::FiveStep,
+                    64,
+                );
+                std::fs::write(path, trace.chrome_json())
+                    .unwrap_or_else(|e| panic!("write {path}: {e}"));
+                print!("{}", rep.step_table());
+                eprintln!("trace written to {path}");
             }
             other => panic!("unknown argument {other}; see the doc comment"),
         }

@@ -54,7 +54,12 @@ fn step_series() {
     for n in SIZES {
         for spec in cards() {
             for (name, t) in FiveStepFft::estimate(&spec, n, n, n) {
-                println!("{n},{},{name},{:.4},{:.2}", spec.name, t.time_s * 1e3, t.achieved_gbs);
+                println!(
+                    "{n},{},{name},{:.4},{:.2}",
+                    spec.name,
+                    t.time_s * 1e3,
+                    t.achieved_gbs
+                );
             }
         }
     }

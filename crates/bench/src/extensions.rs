@@ -60,8 +60,18 @@ pub fn dp_report() -> String {
         tesla.dp_gflops(),
         tesla.peak_bandwidth_gbs()
     );
-    let _ = writeln!(s, "  single precision: {:>6.2} ms = {:>6.1} GFLOPS", sp * 1e3, gf(sp));
-    let _ = writeln!(s, "  double precision: {:>6.2} ms = {:>6.1} GFLOPS", dp * 1e3, gf(dp));
+    let _ = writeln!(
+        s,
+        "  single precision: {:>6.2} ms = {:>6.1} GFLOPS",
+        sp * 1e3,
+        gf(sp)
+    );
+    let _ = writeln!(
+        s,
+        "  double precision: {:>6.2} ms = {:>6.1} GFLOPS",
+        dp * 1e3,
+        gf(dp)
+    );
     let _ = writeln!(
         s,
         "  DP/SP slowdown {:.2}x — the memory-bound passes pay exactly 2x (bytes), while\n  step 5 becomes DP-compute-bound; the algorithm's bandwidth-first design carries over.",
@@ -90,16 +100,16 @@ pub fn overlap_report() -> String {
             serial.total_s() / overlap.total_s(),
         );
     }
-    s.push_str("  (the paper's serial numbers are Table 12; overlap hides most of the PCIe cost)\n");
+    s.push_str(
+        "  (the paper's serial numbers are Table 12; overlap hides most of the PCIe cost)\n",
+    );
     s
 }
 
 /// A modern-card what-if: the five-step algorithm projected onto the C1060's
 /// bandwidth, showing the design scales with the memory system.
 pub fn scaling_report() -> String {
-    let mut s = String::from(
-        "extension: five-step 256³ projected across memory systems (SP)\n",
-    );
+    let mut s = String::from("extension: five-step 256³ projected across memory systems (SP)\n");
     let mut cards = DeviceSpec::all_cards().to_vec();
     cards.push(DeviceSpec::tesla_c1060());
     for spec in cards {
@@ -121,7 +131,12 @@ pub fn scaling_report() -> String {
 
 /// All extension sections.
 pub fn full_extensions() -> String {
-    format!("{}\n{}\n{}", dp_report(), overlap_report(), scaling_report())
+    format!(
+        "{}\n{}\n{}",
+        dp_report(),
+        overlap_report(),
+        scaling_report()
+    )
 }
 
 #[cfg(test)]
@@ -143,8 +158,10 @@ mod tests {
             .map(|(_, t)| t.time_s)
             .sum();
         for spec in DeviceSpec::all_cards() {
-            let t: f64 =
-                FiveStepFft::estimate(&spec, 256, 256, 256).iter().map(|(_, k)| k.time_s).sum();
+            let t: f64 = FiveStepFft::estimate(&spec, 256, 256, 256)
+                .iter()
+                .map(|(_, k)| k.time_s)
+                .sum();
             assert!(tesla < t, "{} must lose to the C1060", spec.name);
         }
     }

@@ -9,14 +9,18 @@
 //!   ablations.
 //! * [`extensions`] — the §4.4/§4.5 future-work items (double precision on
 //!   GT200, async transfer overlap), carried out.
+//! * [`profile`] — the sim-prof driver behind the `profile` binary: traced
+//!   runs, Chrome-trace/metrics export, metrics-file diffing.
 //!
 //! Run `cargo run --release -p fft-bench --bin report` for the full output,
-//! or `cargo bench` for the Criterion benchmarks.
+//! `cargo run --release -p fft-bench --bin profile -- --algo five-step --n 64`
+//! for a traced run, or `cargo bench` for the Criterion benchmarks.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
 pub mod extensions;
 pub mod paper;
+pub mod profile;
 pub mod tables;
 pub mod validate;

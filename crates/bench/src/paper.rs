@@ -31,8 +31,11 @@ pub const TABLE4_GTX: [[f64; 4]; 4] = [
 
 /// Table 6: conventional six-step at 256³ — (fft-steps ms, fft GB/s,
 /// transpose-steps ms, transpose GB/s) per card.
-pub const TABLE6: [(f64, f64, f64, f64); 3] =
-    [(5.74, 46.7, 13.0, 20.7), (5.09, 52.7, 12.3, 21.8), (5.52, 48.5, 7.85, 34.2)];
+pub const TABLE6: [(f64, f64, f64, f64); 3] = [
+    (5.74, 46.7, 13.0, 20.7),
+    (5.09, 52.7, 12.3, 21.8),
+    (5.52, 48.5, 7.85, 34.2),
+];
 
 /// Table 7: bandwidth-intensive kernel at 256³ — (step1/3 ms, GB/s,
 /// step2/4 ms, GB/s, step5 ms, GB/s) per card.
@@ -44,8 +47,11 @@ pub const TABLE7: [(f64, f64, f64, f64, f64, f64); 3] = [
 
 /// Table 8: 65536 x 256-point 1-D FFTs — (ours ms, ours GFLOPS, CUFFT1D ms,
 /// CUFFT1D GFLOPS) per card.
-pub const TABLE8: [(f64, f64, f64, f64); 3] =
-    [(5.72, 117.0, 13.7, 49.0), (5.17, 130.0, 11.4, 58.9), (5.52, 122.0, 13.2, 50.8)];
+pub const TABLE8: [(f64, f64, f64, f64); 3] = [
+    (5.72, 117.0, 13.7, 49.0),
+    (5.17, 130.0, 11.4, 58.9),
+    (5.52, 122.0, 13.2, 50.8),
+];
 
 /// Table 9 (GTS, 256³): X-axis variants — (first-kernel ms, second-kernel
 /// ms or 0 for the fused shared kernel, total-3D ms).
@@ -64,8 +70,10 @@ pub const TABLE10: [(f64, f64, f64, f64, f64, f64, f64, f64); 3] = [
 ];
 
 /// Table 11: FFTW 3.2alpha2 at 256³ — (cpu name, ms, GFLOPS).
-pub const TABLE11: [(&str, f64, f64); 2] =
-    [("AMD Phenom 9500", 195.0, 10.3), ("Intel Core 2 Quad Q6700", 188.0, 10.7)];
+pub const TABLE11: [(&str, f64, f64); 2] = [
+    ("AMD Phenom 9500", 195.0, 10.3),
+    ("Intel Core 2 Quad Q6700", 188.0, 10.7),
+];
 
 /// Table 12: 512³ out-of-core — (total s, GFLOPS) per card + FFTW row.
 pub const TABLE12: [(f64, f64); 3] = [(1.32, 13.7), (1.24, 14.6), (1.75, 10.3)];
@@ -89,10 +97,12 @@ pub const FIGURE1: [(f64, f64, f64); 3] =
     [(62.2, 35.8, 18.8), (67.1, 38.6, 20.3), (84.4, 50.2, 25.6)];
 
 /// Figure 2 (64³): approximate bar heights.
-pub const FIGURE2: [(f64, f64, f64); 3] = [(38.0, 20.0, 10.0), (42.0, 22.0, 12.0), (50.0, 27.0, 14.0)];
+pub const FIGURE2: [(f64, f64, f64); 3] =
+    [(38.0, 20.0, 10.0), (42.0, 22.0, 12.0), (50.0, 27.0, 14.0)];
 
 /// Figure 3 (128³): approximate bar heights.
-pub const FIGURE3: [(f64, f64, f64); 3] = [(55.0, 26.0, 14.0), (58.0, 28.0, 17.0), (72.0, 36.0, 20.0)];
+pub const FIGURE3: [(f64, f64, f64); 3] =
+    [(55.0, 26.0, 14.0), (58.0, 28.0, 17.0), (72.0, 36.0, 20.0)];
 
 /// §3.1: effective bandwidth of the 16-point kernel vs the rejected
 /// 256-point-per-thread kernel, GB/s.

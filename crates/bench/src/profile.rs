@@ -1,0 +1,177 @@
+//! The sim-prof driver: runs one algorithm under the recorder and exports
+//! the artefacts the `profile` binary writes — a Chrome trace-event JSON for
+//! `chrome://tracing`/Perfetto and a flat `metrics.json` — plus a
+//! dependency-free scanner over our own metrics format so two runs can be
+//! diffed from their files alone.
+
+use bifft::plan::{Algorithm, Fft3d};
+use bifft::RunReport;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{DeviceSpec, Gpu, Trace};
+
+/// Resolves a CLI card name to a device spec (`gt`, `gts`, `gtx`).
+pub fn card(name: &str) -> Result<DeviceSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "gt" | "8800gt" => Ok(DeviceSpec::gt8800()),
+        "gts" | "8800gts" => Ok(DeviceSpec::gts8800()),
+        "gtx" | "8800gtx" => Ok(DeviceSpec::gtx8800()),
+        other => Err(format!("unknown card '{other}' (expected gt, gts or gtx)")),
+    }
+}
+
+/// Deterministic test volume (no RNG, so traces are byte-reproducible).
+fn signal(len: usize) -> Vec<Complex32> {
+    (0..len)
+        .map(|i| Complex32::new((i as f32 * 0.173).sin(), (i as f32 * 0.311).cos()))
+        .collect()
+}
+
+/// Runs a traced forward `n`³ transform of `algo` on a fresh device.
+///
+/// Returns the run report (with the trace attached) and the trace itself.
+pub fn run_profile(spec: DeviceSpec, algo: Algorithm, n: usize) -> (RunReport, Trace) {
+    let mut gpu = Gpu::new(spec);
+    let rec = gpu.install_recorder();
+    let plan = Fft3d::new(&mut gpu, algo, n, n, n)
+        .unwrap_or_else(|e| panic!("{n}^3 volume does not fit on the card: {e}"));
+    let host = signal(n * n * n);
+    let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
+    plan.release(&mut gpu);
+    let trace = rec.borrow_mut().take_trace();
+    (rep.with_trace(trace.clone()), trace)
+}
+
+/// The fields [`diff_metrics`] compares, scanned back out of a
+/// `metrics.json` file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsFile {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Run total, seconds.
+    pub total_time_s: f64,
+    /// Per step: `(name, time_s, coalesced_fraction)`.
+    pub steps: Vec<(String, f64, f64)>,
+}
+
+/// Extracts the raw text of `"key": <value>` from `text`, starting at
+/// `from`; returns the value and the index just past it.
+fn field<'t>(text: &'t str, key: &str, from: usize) -> Option<(&'t str, usize)> {
+    let needle = format!("\"{key}\": ");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let end = text[at..]
+        .find(|c: char| c == ',' || c == '}' || c == '\n')
+        .map(|e| at + e)?;
+    Some((text[at..end].trim().trim_matches('"'), end))
+}
+
+/// Scans a `metrics.json` produced by [`RunReport::metrics_json`].
+///
+/// This is a scanner over our own fixed output shape, not a general JSON
+/// parser — it exists so `profile --diff` needs no external crates.
+pub fn parse_metrics(text: &str) -> Result<MetricsFile, String> {
+    let (algorithm, _) =
+        field(text, "algorithm", 0).ok_or_else(|| "missing algorithm".to_string())?;
+    let (total, _) =
+        field(text, "total_time_s", 0).ok_or_else(|| "missing total_time_s".to_string())?;
+    let total_time_s: f64 = total
+        .parse()
+        .map_err(|e| format!("bad total_time_s: {e}"))?;
+    let mut steps = Vec::new();
+    let mut cursor = text
+        .find("\"steps\"")
+        .ok_or_else(|| "missing steps".to_string())?;
+    while let Some((name, after_name)) = field(text, "name", cursor) {
+        let (t, after_t) =
+            field(text, "time_s", after_name).ok_or_else(|| format!("step {name}: no time_s"))?;
+        let (cf, after_cf) = field(text, "coalesced_fraction", after_t)
+            .ok_or_else(|| format!("step {name}: no coalesced_fraction"))?;
+        steps.push((
+            name.to_string(),
+            t.parse().map_err(|e| format!("step {name}: {e}"))?,
+            cf.parse().map_err(|e| format!("step {name}: {e}"))?,
+        ));
+        cursor = after_cf;
+    }
+    Ok(MetricsFile {
+        algorithm: algorithm.to_string(),
+        total_time_s,
+        steps,
+    })
+}
+
+/// Renders a per-step comparison of two scanned metrics files (per-step
+/// Δtime and Δcoalesced, paired by position).
+pub fn diff_metrics(a: &MetricsFile, b: &MetricsFile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} vs {}: {:+.3} ms total ({:.3} -> {:.3} ms)\n",
+        a.algorithm,
+        b.algorithm,
+        (b.total_time_s - a.total_time_s) * 1e3,
+        a.total_time_s * 1e3,
+        b.total_time_s * 1e3
+    ));
+    let n = a.steps.len().max(b.steps.len());
+    for i in 0..n {
+        let blank = (String::new(), 0.0, 0.0);
+        let (an, at, ac) = a.steps.get(i).unwrap_or(&blank);
+        let (bn, bt, bc) = b.steps.get(i).unwrap_or(&blank);
+        let name = if an.is_empty() { bn } else { an };
+        out.push_str(&format!(
+            "  {:<18} {:+9.3} ms  coalesced {:+6.1} pp\n",
+            name,
+            (bt - at) * 1e3,
+            (bc - ac) * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_run_exports_consistent_artifacts() {
+        let (rep, trace) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16);
+        assert_eq!(trace.kernel_count(), rep.steps.len());
+        assert_eq!(trace.kernel_time_s(), rep.total_time_s());
+        assert!(rep.trace.is_some());
+        let json = trace.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("step5_x"));
+    }
+
+    #[test]
+    fn metrics_roundtrip_through_the_scanner() {
+        let (rep, _) = run_profile(DeviceSpec::gt8800(), Algorithm::SixStep, 16);
+        let parsed = parse_metrics(&rep.metrics_json()).unwrap();
+        assert_eq!(parsed.algorithm, "six-step");
+        assert_eq!(
+            parsed.total_time_s,
+            rep.total_time_s(),
+            "exact f64 roundtrip"
+        );
+        assert_eq!(parsed.steps.len(), rep.steps.len());
+        for (p, s) in parsed.steps.iter().zip(&rep.steps) {
+            assert_eq!(p.0, s.name);
+            assert_eq!(p.1, s.timing.time_s);
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_files_is_all_zeros() {
+        let (rep, _) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16);
+        let m = parse_metrics(&rep.metrics_json()).unwrap();
+        let text = diff_metrics(&m, &m);
+        assert!(text.contains("+0.000 ms total"));
+        assert!(text.contains("step1_z16"));
+    }
+
+    #[test]
+    fn card_names_resolve() {
+        assert_eq!(card("gts").unwrap().name, DeviceSpec::gts8800().name);
+        assert!(card("titan").is_err());
+    }
+}

@@ -23,7 +23,10 @@ use gpu_sim::{occupancy, KernelResources, KernelStats, LaunchConfig};
 use std::fmt::Write as _;
 
 fn cmp(ours: f64, paper_val: f64) -> String {
-    format!("{ours:>8.2} (paper {paper_val:>7.2}, {:+5.1}%)", paper::dev(ours, paper_val))
+    format!(
+        "{ours:>8.2} (paper {paper_val:>7.2}, {:+5.1}%)",
+        paper::dev(ours, paper_val)
+    )
 }
 
 /// Sum of estimated step times, seconds.
@@ -103,7 +106,11 @@ pub fn table2() -> String {
 pub fn table3_4(card_idx: usize) -> String {
     let (spec, paper_m, label) = match card_idx {
         0 => (DeviceSpec::gt8800(), &paper::TABLE3_GT, "Table 3 (8800 GT)"),
-        _ => (DeviceSpec::gtx8800(), &paper::TABLE4_GTX, "Table 4 (8800 GTX)"),
+        _ => (
+            DeviceSpec::gtx8800(),
+            &paper::TABLE4_GTX,
+            "Table 4 (8800 GTX)",
+        ),
     };
     let mut s = format!("{label}: GB/s per (input pattern x output pattern)\n in\\out      A            B            C            D\n");
     for (i, rp) in AccessPattern::STRIDED.iter().enumerate() {
@@ -142,9 +149,15 @@ pub fn table6(n: usize) -> String {
             s,
             "{:<9} fft-steps {} ms at {} GB/s | transposes {} ms at {} GB/s",
             spec.name,
-            cmp(fft.time_s * 1e3, if n == 256 { p_fft_ms } else { fft.time_s * 1e3 }),
+            cmp(
+                fft.time_s * 1e3,
+                if n == 256 { p_fft_ms } else { fft.time_s * 1e3 }
+            ),
             cmp(pass_gb(fft), if n == 256 { p_fft_gb } else { pass_gb(fft) }),
-            cmp(tr.time_s * 1e3, if n == 256 { p_tr_ms } else { tr.time_s * 1e3 }),
+            cmp(
+                tr.time_s * 1e3,
+                if n == 256 { p_tr_ms } else { tr.time_s * 1e3 }
+            ),
             cmp(pass_gb(tr), if n == 256 { p_tr_gb } else { pass_gb(tr) }),
         );
     }
@@ -194,7 +207,13 @@ pub fn table8() -> String {
         // Ours: one out-of-place fine-grained batched pass.
         let plan = bifft::FineFftPlan::new(256);
         let occ = occupancy(&spec.arch, &plan.resources());
-        let cfg = bifft::kernel256::batched_config(&plan, rows, spec.sms * occ.blocks_per_sm, false, "t8");
+        let cfg = bifft::kernel256::batched_config(
+            &plan,
+            rows,
+            spec.sms * occ.blocks_per_sm,
+            false,
+            "t8",
+        );
         let ours = gpu_sim::timing::estimate_pass(spec, &cfg, &occ, (rows * 256) as u64);
         // CUFFT1D: two legacy passes.
         let cu: f64 = CufftLikeFft::estimate(spec, 256, 256, 256)
@@ -231,7 +250,11 @@ pub fn table9() -> String {
     let shared_x = FiveStepFft::estimate(&spec, n, n, n)[4].1.time_s;
 
     // Both no-shared variants share the same coalesced first pass.
-    let res = KernelResources { threads_per_block: 64, regs_per_thread: 52, shared_bytes_per_block: 0 };
+    let res = KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 52,
+        shared_bytes_per_block: 0,
+    };
     let occ = occupancy(&spec.arch, &res);
     let mk_cfg = |name: &'static str| LaunchConfig {
         name,
@@ -246,7 +269,11 @@ pub fn table9() -> String {
     };
     let pass1 = gpu_sim::timing::estimate_pass(&spec, &mk_cfg("x1"), &occ, vol).time_s;
     // Texture second pass: strided texture reads + coalesced writes.
-    let tex_stats = KernelStats { stores: vol, tex_reads_strided: vol, ..Default::default() };
+    let tex_stats = KernelStats {
+        stores: vol,
+        tex_reads_strided: vol,
+        ..Default::default()
+    };
     let pass2_tex = time_kernel(&spec, &mk_cfg("x2t"), &occ, &tex_stats).time_s;
     // Non-coalesced second pass: 25%-efficient reads, coalesced writes.
     let nc_stats = KernelStats {
@@ -269,7 +296,13 @@ pub fn table9() -> String {
     for ((name, a, b, tot), (pname, pa, pb, ptot)) in rows.iter().zip(paper::TABLE9.iter()) {
         debug_assert_eq!(name, pname);
         if *b == 0.0 {
-            let _ = writeln!(s, "{:<15} X {} | total {}", name, cmp(a * 1e3, *pa), cmp(tot * 1e3, *ptot));
+            let _ = writeln!(
+                s,
+                "{:<15} X {} | total {}",
+                name,
+                cmp(a * 1e3, *pa),
+                cmp(tot * 1e3, *ptot)
+            );
         } else {
             let _ = writeln!(
                 s,
@@ -316,8 +349,9 @@ pub fn table10() -> String {
 /// Table 11 — FFTW at 256³ on the 2008 CPUs (roofline model).
 pub fn table11() -> String {
     let mut s = String::from("Table 11: FFTW 3.2alpha2 at 256³ (single precision, 4 cores)\n");
-    for (spec, (pname, p_ms, p_gf)) in
-        [CpuSpec::phenom_9500(), CpuSpec::core2_q6700()].iter().zip(paper::TABLE11.iter())
+    for (spec, (pname, p_ms, p_gf)) in [CpuSpec::phenom_9500(), CpuSpec::core2_q6700()]
+        .iter()
+        .zip(paper::TABLE11.iter())
     {
         debug_assert_eq!(spec.name, *pname);
         let t = fftw_model_seconds(spec, 256, 256, 256);
@@ -361,7 +395,10 @@ pub fn table12() -> String {
         "{:<9} total {} s = {} GFLOPS",
         "FFTW",
         cmp(f, paper::TABLE12_FFTW.0),
-        cmp(fftw_model_gflops(&CpuSpec::phenom_9500(), 512, 512, 512), paper::TABLE12_FFTW.1),
+        cmp(
+            fftw_model_gflops(&CpuSpec::phenom_9500(), 512, 512, 512),
+            paper::TABLE12_FFTW.1
+        ),
     );
     s
 }
@@ -440,8 +477,17 @@ pub fn section31_occupancy() -> String {
         "§3.1 ablation: registers/thread -> occupancy -> effective bandwidth (8800 GTS, D-in/A-out pass)\n\
          points/thread  regs  threads/SM  GB/s\n",
     );
-    for (pts, regs, tpb) in [(16usize, 52usize, 64usize), (32, 100, 32), (64, 260, 16), (256, 1024, 8)] {
-        let res = KernelResources { threads_per_block: tpb, regs_per_thread: regs, shared_bytes_per_block: 0 };
+    for (pts, regs, tpb) in [
+        (16usize, 52usize, 64usize),
+        (32, 100, 32),
+        (64, 260, 16),
+        (256, 1024, 8),
+    ] {
+        let res = KernelResources {
+            threads_per_block: tpb,
+            regs_per_thread: regs,
+            shared_bytes_per_block: 0,
+        };
         let occ = occupancy(&gts.arch, &res);
         let q = BandwidthQuery {
             read_pattern: AccessPattern::D,
@@ -452,7 +498,11 @@ pub fn section31_occupancy() -> String {
             carries_compute: true,
         };
         let bw = dram::effective_bandwidth_gbs(&gts, &q);
-        let _ = writeln!(s, "{:>13} {:>5} {:>11} {:>5.1}", pts, regs, occ.threads_per_sm, bw);
+        let _ = writeln!(
+            s,
+            "{:>13} {:>5} {:>11} {:>5.1}",
+            pts, regs, occ.threads_per_sm, bw
+        );
     }
     let _ = writeln!(
         s,
@@ -533,10 +583,18 @@ mod tests {
             let five = est_gflops(&FiveStepFft::estimate(&spec, 256, 256, 256), 256);
             let six = est_gflops(&SixStepFft::estimate(&spec, 256, 256, 256), 256);
             let cufft = est_gflops(&CufftLikeFft::estimate(&spec, 256, 256, 256), 256);
-            assert!(five > 1.7 * six, "{}: five {five:.1} vs six {six:.1}", spec.name);
+            assert!(
+                five > 1.7 * six,
+                "{}: five {five:.1} vs six {six:.1}",
+                spec.name
+            );
             // Paper: "more than three times faster than any existing FFT
             // implementations on GPUs including CUFFT".
-            assert!(five > 2.8 * cufft, "{}: five {five:.1} vs cufft {cufft:.1}", spec.name);
+            assert!(
+                five > 2.8 * cufft,
+                "{}: five {five:.1} vs cufft {cufft:.1}",
+                spec.name
+            );
         }
     }
 
@@ -569,7 +627,10 @@ mod tests {
                     + transfer_time(spec.pcie, Dir::D2H, bytes, 1).time_s,
             );
         }
-        assert!(on_board[2] < on_board[0] && on_board[2] < on_board[1], "GTX fastest on-board");
+        assert!(
+            on_board[2] < on_board[0] && on_board[2] < on_board[1],
+            "GTX fastest on-board"
+        );
         assert!(
             end_to_end[2] > end_to_end[0] && end_to_end[2] > end_to_end[1],
             "GTX slowest with transfers"
@@ -595,8 +656,16 @@ mod tests {
             }
             let est6 = SixStepFft::estimate(spec, 256, 256, 256);
             let p6 = paper::TABLE6[i];
-            assert!((est6[0].1.time_s * 1e3 - p6.0).abs() / p6.0 < 0.07, "{} fft", spec.name);
-            assert!((est6[1].1.time_s * 1e3 - p6.2).abs() / p6.2 < 0.15, "{} transpose", spec.name);
+            assert!(
+                (est6[0].1.time_s * 1e3 - p6.0).abs() / p6.0 < 0.07,
+                "{} fft",
+                spec.name
+            );
+            assert!(
+                (est6[1].1.time_s * 1e3 - p6.2).abs() / p6.2 < 0.15,
+                "{} transpose",
+                spec.name
+            );
         }
     }
 }

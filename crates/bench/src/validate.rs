@@ -69,15 +69,28 @@ pub fn functional_crosscheck(n: usize) -> CrossCheck {
         timing_gap = timing_gap.max(gap);
     }
 
-    CrossCheck { n, five_step_err, six_step_err, timing_gap }
+    CrossCheck {
+        n,
+        five_step_err,
+        six_step_err,
+        timing_gap,
+    }
 }
 
 /// Human-readable cross-check section for the report.
 pub fn crosscheck_report(n: usize) -> String {
     let c = functional_crosscheck(n);
     let mut s = format!("Functional cross-check at {n}³ (8800 GTS, real kernel execution):\n");
-    let _ = writeln!(s, "  five-step vs CPU FFT: rel L2 error {:.2e}", c.five_step_err);
-    let _ = writeln!(s, "  six-step  vs CPU FFT: rel L2 error {:.2e}", c.six_step_err);
+    let _ = writeln!(
+        s,
+        "  five-step vs CPU FFT: rel L2 error {:.2e}",
+        c.five_step_err
+    );
+    let _ = writeln!(
+        s,
+        "  six-step  vs CPU FFT: rel L2 error {:.2e}",
+        c.six_step_err
+    );
     let _ = writeln!(
         s,
         "  functional vs analytic step times: max deviation {:.2}%",

@@ -10,7 +10,11 @@ use fft_math::twiddle::{slab_twiddles, Direction};
 use gpu_sim::{BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig};
 
 fn elementwise_resources() -> KernelResources {
-    KernelResources { threads_per_block: 64, regs_per_thread: 16, shared_bytes_per_block: 0 }
+    KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 16,
+        shared_bytes_per_block: 0,
+    }
 }
 
 fn elementwise_cfg(name: &'static str, grid: usize, in_place: bool, flops: u64) -> LaunchConfig {

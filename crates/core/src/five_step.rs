@@ -17,12 +17,12 @@ use crate::kernel16::{coarse_resources, pass_config, run_strided_pass};
 use crate::kernel256::{batched_config, bind_twiddle_texture, run_batched_fft, FineFftPlan};
 use crate::report::RunReport;
 use fft_math::flops::nominal_flops_3d;
-use gpu_sim::occupancy::occupancy;
-use gpu_sim::timing::{estimate_pass, KernelTiming};
-use gpu_sim::DeviceSpec;
 use fft_math::layout::FiveStepPlanLayout;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::timing::{estimate_pass, KernelTiming};
+use gpu_sim::DeviceSpec;
 use gpu_sim::{AllocError, BufferId, Gpu, TextureId};
 
 /// A planned five-step 3-D FFT bound to one device.
@@ -67,7 +67,12 @@ impl FiveStepFft {
         let fine = crate::wisdom::plan(layout.nx);
         let tw_fwd = bind_twiddle_texture(gpu, layout.nx, Direction::Forward);
         let tw_inv = bind_twiddle_texture(gpu, layout.nx, Direction::Inverse);
-        FiveStepFft { layout, fine, tw_fwd, tw_inv }
+        FiveStepFft {
+            layout,
+            fine,
+            tw_fwd,
+            tw_inv,
+        }
     }
 
     /// A plan that consumes this plan's *output* layout directly — chain a
@@ -145,11 +150,15 @@ impl FiveStepFft {
         let l = &self.layout;
         let passes = l.strided_passes();
         let names = ["step1_z16", "step2_z16", "step3_y16", "step4_y16"];
+        let spans = ["z_fft_pass1", "z_fft_pass2", "y_fft_pass1", "y_fft_pass2"];
+        gpu.span_begin("five_step");
         let mut steps = Vec::with_capacity(5);
         let mut src = v;
         let mut dst = work;
-        for (pass, name) in passes.iter().zip(names) {
+        for ((pass, name), span) in passes.iter().zip(names).zip(spans) {
+            gpu.span_begin(span);
             steps.push(run_strided_pass(gpu, src, dst, pass, dir, name));
+            gpu.span_end(span);
             std::mem::swap(&mut src, &mut dst);
         }
         debug_assert_eq!(src, v, "an even number of ping-pong passes returns to v");
@@ -159,13 +168,19 @@ impl FiveStepFft {
             Direction::Inverse => self.tw_inv,
         };
         let rows = l.ny * l.nz;
-        steps.push(run_batched_fft(gpu, &self.fine, v, v, rows, dir, tw, "step5_x"));
+        gpu.span_begin("x_fft_shared");
+        steps.push(run_batched_fft(
+            gpu, &self.fine, v, v, rows, dir, tw, "step5_x",
+        ));
+        gpu.span_end("x_fft_shared");
+        gpu.span_end("five_step");
 
         RunReport {
             algorithm: "five-step",
             dims: (l.nx, l.ny, l.nz),
             nominal_flops: nominal_flops_3d(l.nx, l.ny, l.nz),
             steps,
+            trace: None,
         }
     }
 
@@ -173,7 +188,12 @@ impl FiveStepFft {
     /// execution — the fast path the report harness uses to project
     /// paper-scale (256³) numbers. Uses the *same* launch configurations as
     /// the functional kernels, so the two paths agree exactly.
-    pub fn estimate(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize) -> Vec<(&'static str, KernelTiming)> {
+    pub fn estimate(
+        spec: &DeviceSpec,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Vec<(&'static str, KernelTiming)> {
         let layout = FiveStepPlanLayout::new(nx, ny, nz);
         let elems = layout.volume() as u64;
         let names = ["step1_z16", "step2_z16", "step3_y16", "step4_y16"];
@@ -217,7 +237,9 @@ mod tests {
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]
@@ -228,7 +250,9 @@ mod tests {
         let host = random_volume(plan.volume(), 1);
         plan.upload(&mut gpu, v, &host);
         let rep = plan.execute(&mut gpu, v, work, Direction::Forward);
-        rep.assert_clean();
+        // 16-wide rows span a quarter of a half-warp's coalescing window, so
+        // step 5 cannot fully coalesce below n = 64; race-freedom still holds.
+        rep.assert_clean_with_floor(0.2);
         let got = plan.download(&gpu, v);
         let want = dft3d_oracle(&host, 16, 16, 16, Direction::Forward);
         let err = rel_l2_error(&got, &want);
@@ -294,7 +318,12 @@ mod tests {
         // All five steps fully coalesced, no shared races.
         rep.assert_clean();
         for s in &rep.steps {
-            assert!(s.stats.coalesced_fraction() > 0.999, "{}: {:?}", s.name, s.stats);
+            assert!(
+                s.stats.coalesced_fraction() > 0.999,
+                "{}: {:?}",
+                s.name,
+                s.stats
+            );
         }
     }
 
@@ -309,7 +338,8 @@ mod tests {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let ph = 2.0 * std::f32::consts::PI
+                    let ph = 2.0
+                        * std::f32::consts::PI
                         * (kx as f32 * x as f32 / nx as f32
                             + ky as f32 * y as f32 / ny as f32
                             + kz as f32 * z as f32 / nz as f32);

@@ -68,7 +68,10 @@ pub fn run_strided_pass(
     name: &'static str,
 ) -> KernelReport {
     let n = pass.fft_len;
-    assert!(n <= 16, "coarse kernel is register-resident: fft_len must be <= 16");
+    assert!(
+        n <= 16,
+        "coarse kernel is register-resident: fft_len must be <= 16"
+    );
     let in_view = pass.input;
     let out_view = pass.output;
     let rows = in_view.len() / n;
@@ -184,8 +187,7 @@ mod tests {
                                 Direction::Forward,
                             );
                             let expect = want[k1].narrow() * tw;
-                            let got =
-                                gpu.mem().read(dst, out_view.index(x, [k1, f1, f2, f3]));
+                            let got = gpu.mem().read(dst, out_view.index(x, [k1, f1, f2, f3]));
                             assert!(
                                 (got - expect).abs() < 1e-3,
                                 "row ({x},{f1},{f2},{f3}) bin {k1}: {got} vs {expect}"
@@ -209,7 +211,10 @@ mod tests {
         assert!(rep.stats.coalesced_fraction() > 0.999, "{:?}", rep.stats);
         assert_eq!(rep.stats.loads, vol as u64);
         assert_eq!(rep.stats.stores, vol as u64);
-        assert_eq!(rep.stats.shared_reads, 0, "coarse kernel must not touch shared memory");
+        assert_eq!(
+            rep.stats.shared_reads, 0,
+            "coarse kernel must not touch shared memory"
+        );
     }
 
     #[test]
@@ -217,7 +222,11 @@ mod tests {
         let plan = FiveStepPlanLayout::new(16, 16, 16);
         for (i, pass) in plan.strided_passes().iter().enumerate() {
             assert_eq!(pass.read_pattern, AccessPattern::D);
-            let want = if i % 2 == 0 { AccessPattern::A } else { AccessPattern::B };
+            let want = if i % 2 == 0 {
+                AccessPattern::A
+            } else {
+                AccessPattern::B
+            };
             assert_eq!(pass.write_pattern, want);
         }
     }
@@ -233,8 +242,9 @@ mod tests {
         let mut gpu = make_gpu();
         let a = gpu.mem_mut().alloc(vol).unwrap();
         let b = gpu.mem_mut().alloc(vol).unwrap();
-        let host: Vec<Complex32> =
-            (0..vol).map(|i| Complex32::new((i as f32).sin(), (i as f32).cos())).collect();
+        let host: Vec<Complex32> = (0..vol)
+            .map(|i| Complex32::new((i as f32).sin(), (i as f32).cos()))
+            .collect();
         gpu.mem_mut().upload(a, 0, &host);
         run_strided_pass(&mut gpu, a, b, &passes[0], Direction::Forward, "fwd");
         // Invert: an inverse pass over the *output's* slot-1 digit with the

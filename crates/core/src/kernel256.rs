@@ -111,7 +111,10 @@ impl FineFftPlan {
     /// as on hardware. The paper's sizes (64–512) always use full
     /// half-warps.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && (4..=512).contains(&n), "unsupported row length {n}");
+        assert!(
+            n.is_power_of_two() && (4..=512).contains(&n),
+            "unsupported row length {n}"
+        );
         let threads = n / 4;
         // Radix sequence: 4s first, a single 2 if log2(n) is odd.
         let mut radices = Vec::new();
@@ -147,9 +150,15 @@ impl FineFftPlan {
         }
         let (assign, pads, planned_conflicts) = best.expect("search space is non-empty");
         let stages = build_stages(n, &radices, &assign);
-        let shared_words =
-            pads.iter().map(|&p| pad(n - 1, p) + 1).max().unwrap_or(n);
-        FineFftPlan { n, threads, stages, pads, shared_words, planned_conflicts }
+        let shared_words = pads.iter().map(|&p| pad(n - 1, p) + 1).max().unwrap_or(n);
+        FineFftPlan {
+            n,
+            threads,
+            stages,
+            pads,
+            shared_words,
+            planned_conflicts,
+        }
     }
 
     /// Plans with a *forced* uniform pad skew on every exchange (bypassing
@@ -167,7 +176,14 @@ impl FineFftPlan {
         }
         let pads = vec![pad_skew; stages.len().saturating_sub(1)];
         let shared_words = pads.iter().map(|&p| pad(n - 1, p) + 1).max().unwrap_or(n);
-        FineFftPlan { n, threads, stages, pads, shared_words, planned_conflicts }
+        FineFftPlan {
+            n,
+            threads,
+            stages,
+            pads,
+            shared_words,
+            planned_conflicts,
+        }
     }
 
     /// Row length.
@@ -212,7 +228,12 @@ fn build_stages(n: usize, radices: &[usize], assign: &[bool]) -> Vec<Stage> {
     let mut s = 1usize;
     for (i, &r) in radices.iter().enumerate() {
         let m = len / r;
-        stages.push(Stage { radix: r, m, s, q_major: assign[i] });
+        stages.push(Stage {
+            radix: r,
+            m,
+            s,
+            q_major: assign[i],
+        });
         len = m;
         s *= r;
     }
@@ -387,8 +408,12 @@ pub fn run_batched_fft(
                         let io = b * st.radix;
                         let mut fl = 0u64;
                         let out: [Complex32; 4] = if st.radix == 4 {
-                            let (a, bb, c, d) =
-                                (vals[t][io], vals[t][io + 1], vals[t][io + 2], vals[t][io + 3]);
+                            let (a, bb, c, d) = (
+                                vals[t][io],
+                                vals[t][io + 1],
+                                vals[t][io + 2],
+                                vals[t][io + 3],
+                            );
                             let t0 = a + c;
                             let t1 = a - c;
                             let t2 = bb + d;
@@ -426,7 +451,6 @@ pub fn run_batched_fft(
                 if !last {
                     blk.sync();
                 }
-
             }
             row += grid;
         }
@@ -485,8 +509,26 @@ mod tests {
         gpu.mem_mut().upload(src, 0, &host);
         let twf = bind_twiddle_texture(&mut gpu, n, Direction::Forward);
         let twi = bind_twiddle_texture(&mut gpu, n, Direction::Inverse);
-        run_batched_fft(&mut gpu, &plan, src, src, rows, Direction::Forward, twf, "f");
-        run_batched_fft(&mut gpu, &plan, src, src, rows, Direction::Inverse, twi, "i");
+        run_batched_fft(
+            &mut gpu,
+            &plan,
+            src,
+            src,
+            rows,
+            Direction::Forward,
+            twf,
+            "f",
+        );
+        run_batched_fft(
+            &mut gpu,
+            &plan,
+            src,
+            src,
+            rows,
+            Direction::Inverse,
+            twi,
+            "i",
+        );
         let mut out = vec![Complex32::ZERO; n * rows];
         gpu.mem_mut().download(src, 0, &mut out);
         for (o, h) in out.iter().zip(&host) {
@@ -541,7 +583,10 @@ mod tests {
     fn shared_fits_within_sm() {
         for n in [64usize, 128, 256, 512] {
             let plan = FineFftPlan::new(n);
-            assert!(plan.resources().shared_bytes_per_block <= 16 * 1024, "n={n}");
+            assert!(
+                plan.resources().shared_bytes_per_block <= 16 * 1024,
+                "n={n}"
+            );
         }
     }
 

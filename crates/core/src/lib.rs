@@ -33,7 +33,7 @@ pub use batch::{Fft1dBatchGpu, Fft2dGpu};
 pub use cufft_like::CufftLikeFft;
 pub use five_step::FiveStepFft;
 pub use kernel256::FineFftPlan;
-pub use report::RunReport;
 pub use out_of_core::OutOfCoreFft;
 pub use plan::{Algorithm, Fft3d};
+pub use report::{ReportDiff, RunReport, StepDiff};
 pub use six_step::SixStepFft;

@@ -19,9 +19,7 @@ use fft_math::flops::nominal_flops_1d;
 use fft_math::layout::{split_radix, AccessPattern};
 use fft_math::twiddle::{Direction, InterTwiddle};
 use fft_math::Complex32;
-use gpu_sim::{
-    BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig, TexAccess,
-};
+use gpu_sim::{BufferId, Gpu, KernelClass, KernelReport, KernelResources, LaunchConfig, TexAccess};
 
 /// How the second pass performs its inter-thread data exchange.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,7 +148,9 @@ mod tests {
     use gpu_sim::DeviceSpec;
 
     fn signal(n: usize) -> Vec<Complex32> {
-        (0..n).map(|i| Complex32::new((0.21 * i as f32).sin(), (0.47 * i as f32).cos())).collect()
+        (0..n)
+            .map(|i| Complex32::new((0.21 * i as f32).sin(), (0.47 * i as f32).cos()))
+            .collect()
     }
 
     fn run(variant: XExchange, nx: usize, rows: usize) -> (Vec<Complex32>, Vec<KernelReport>) {
@@ -182,8 +182,16 @@ mod tests {
     #[test]
     fn noncoalesced_variant_measures_uncoalesced_reads() {
         let (_, reps) = run(XExchange::NonCoalesced, 256, 16);
-        assert!(reps[0].stats.coalesced_fraction() > 0.999, "{:?}", reps[0].stats);
-        assert!(reps[1].stats.load_coalesce_efficiency() < 0.3, "{:?}", reps[1].stats);
+        assert!(
+            reps[0].stats.coalesced_fraction() > 0.999,
+            "{:?}",
+            reps[0].stats
+        );
+        assert!(
+            reps[1].stats.load_coalesce_efficiency() < 0.3,
+            "{:?}",
+            reps[1].stats
+        );
         assert!(reps[1].stats.store_coalesce_efficiency() > 0.999);
     }
 
@@ -191,7 +199,10 @@ mod tests {
     fn texture_variant_reads_through_texture() {
         let (_, reps) = run(XExchange::Texture, 256, 16);
         assert!(reps[1].stats.tex_reads_strided > 0);
-        assert_eq!(reps[1].stats.loads, 0, "second pass must not touch global reads");
+        assert_eq!(
+            reps[1].stats.loads, 0,
+            "second pass must not touch global reads"
+        );
     }
 
     #[test]
@@ -202,7 +213,10 @@ mod tests {
         let (_, nc) = run(XExchange::NonCoalesced, 256, 16);
         let t_tex: f64 = tex.iter().map(|r| r.timing.time_s).sum();
         let t_nc: f64 = nc.iter().map(|r| r.timing.time_s).sum();
-        assert!(t_tex < t_nc, "texture {t_tex} must beat non-coalesced {t_nc}");
+        assert!(
+            t_tex < t_nc,
+            "texture {t_tex} must beat non-coalesced {t_nc}"
+        );
         // Memory time (launch overhead excluded — the test volume is tiny):
         // the uncoalesced exchange pays the ~2.5x segment penalty.
         assert!(

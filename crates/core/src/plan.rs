@@ -27,6 +27,35 @@ pub enum Algorithm {
     CufftLike,
 }
 
+impl Algorithm {
+    /// The label used in reports and accepted by the CLI (`"five-step"`,
+    /// `"six-step"`, `"cufft-like"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::FiveStep => "five-step",
+            Algorithm::SixStep => "six-step",
+            Algorithm::CufftLike => "cufft-like",
+        }
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    /// Parses a CLI-style algorithm name; hyphens/underscores are
+    /// interchangeable and `"cufft"` abbreviates `"cufft-like"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "five-step" | "fivestep" | "5-step" | "five" => Ok(Algorithm::FiveStep),
+            "six-step" | "sixstep" | "6-step" | "six" => Ok(Algorithm::SixStep),
+            "cufft-like" | "cufftlike" | "cufft" => Ok(Algorithm::CufftLike),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected five-step, six-step or cufft-like)"
+            )),
+        }
+    }
+}
+
 enum Inner {
     Five(FiveStepFft),
     Six(SixStepFft),
@@ -73,7 +102,12 @@ impl Fft3d {
                 (Inner::Cufft(p), v, w)
             }
         };
-        Ok(Fft3d { inner, v, work, dims: (nx, ny, nz) })
+        Ok(Fft3d {
+            inner,
+            v,
+            work,
+            dims: (nx, ny, nz),
+        })
     }
 
     /// The algorithm behind this plan.
@@ -145,7 +179,9 @@ mod tests {
 
     fn volume(n: usize, seed: u64) -> Vec<Complex32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]
@@ -153,7 +189,11 @@ mod tests {
         let n = 16usize;
         let host = volume(n * n * n, 600);
         let mut results = Vec::new();
-        for algo in [Algorithm::FiveStep, Algorithm::SixStep, Algorithm::CufftLike] {
+        for algo in [
+            Algorithm::FiveStep,
+            Algorithm::SixStep,
+            Algorithm::CufftLike,
+        ] {
             let mut gpu = Gpu::new(DeviceSpec::gts8800());
             let plan = Fft3d::new(&mut gpu, algo, n, n, n).unwrap();
             assert_eq!(plan.algorithm(), algo);
@@ -170,6 +210,23 @@ mod tests {
     #[test]
     fn default_algorithm_is_the_papers() {
         assert_eq!(Algorithm::default(), Algorithm::FiveStep);
+    }
+
+    #[test]
+    fn algorithm_names_parse_back() {
+        for algo in [
+            Algorithm::FiveStep,
+            Algorithm::SixStep,
+            Algorithm::CufftLike,
+        ] {
+            assert_eq!(algo.name().parse::<Algorithm>().unwrap(), algo);
+        }
+        assert_eq!(
+            "five_step".parse::<Algorithm>().unwrap(),
+            Algorithm::FiveStep
+        );
+        assert_eq!("CUFFT".parse::<Algorithm>().unwrap(), Algorithm::CufftLike);
+        assert!("seven-step".parse::<Algorithm>().is_err());
     }
 
     #[test]

@@ -1,7 +1,29 @@
 //! Structured per-run reporting: the data behind every table of §4.
+//!
+//! # Byte-accounting conventions (§4)
+//!
+//! The paper quotes "effective bandwidth" as *useful* global-memory traffic
+//! over elapsed time, so this module keeps three separate tallies:
+//!
+//! * [`RunReport::total_bytes`] — useful **global** load + store bytes only
+//!   (each element 8 bytes), the numerator of every GB/s figure in Tables
+//!   6–9. Texture and constant traffic is excluded, exactly as the paper's
+//!   `2·V·8` per-pass convention implies.
+//! * [`RunReport::tex_bytes`] — texture-path bytes (twiddle tables of §3.2),
+//!   reported separately because they hit the texture cache, not the DRAM
+//!   figure the paper calibrates.
+//! * Bus bytes including coalescing waste live in the per-kernel sampled
+//!   counters (`stats.sampled_*_bus`) and drive the timing model only.
 
 use fft_math::flops::{gbytes_per_sec, gflops};
-use gpu_sim::KernelReport;
+use gpu_sim::memory::ELEM_BYTES;
+use gpu_sim::{KernelReport, Trace};
+
+/// Minimum fraction of sampled half-warp ops that must coalesce for
+/// [`RunReport::assert_clean`] to pass. The paper's kernels are designed to
+/// be *fully* coalesced; the floor is fractionally under 1.0 only to admit
+/// boundary half-warps of partial blocks.
+pub const DEFAULT_COALESCED_FLOOR: f64 = 0.999;
 
 /// Result of a full multi-kernel transform on the device.
 #[derive(Clone, Debug)]
@@ -14,9 +36,18 @@ pub struct RunReport {
     pub nominal_flops: u64,
     /// Per-kernel reports in execution order.
     pub steps: Vec<KernelReport>,
+    /// Profiling trace of the run, when one was recorded (see
+    /// [`gpu_sim::Gpu::install_recorder`]).
+    pub trace: Option<Trace>,
 }
 
 impl RunReport {
+    /// Attaches a recorded trace to the report.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// Total modelled device time, seconds.
     pub fn total_time_s(&self) -> f64 {
         self.steps.iter().map(|s| s.timing.time_s).sum()
@@ -27,9 +58,24 @@ impl RunReport {
         gflops(self.nominal_flops, self.total_time_s())
     }
 
-    /// Sum of useful global bytes moved by all kernels.
+    /// Sum of useful global bytes moved by all kernels (loads + stores of
+    /// 8-byte elements; texture/constant traffic excluded — see the module
+    /// docs for the full convention).
     pub fn total_bytes(&self) -> u64 {
-        self.steps.iter().map(|s| s.stats.load_bytes() + s.stats.store_bytes()).sum()
+        self.steps
+            .iter()
+            .map(|s| s.stats.load_bytes() + s.stats.store_bytes())
+            .sum()
+    }
+
+    /// Sum of texture-path bytes read by all kernels (cached + strided
+    /// twiddle fetches). Kept out of [`RunReport::total_bytes`] so GB/s
+    /// figures match the paper's global-memory-only convention.
+    pub fn tex_bytes(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| (s.stats.tex_reads_cached + s.stats.tex_reads_strided) * ELEM_BYTES)
+            .sum()
     }
 
     /// Whole-run effective bandwidth, GB/s.
@@ -38,6 +84,10 @@ impl RunReport {
     }
 
     /// Sum of the modelled times of steps whose kernel name contains `pat`.
+    ///
+    /// Substring semantics: `time_of("fft_x")` also matches a kernel named
+    /// `fft_x2`. Use [`RunReport::time_of_exact`] or
+    /// [`RunReport::time_of_prefix`] when names overlap.
     pub fn time_of(&self, pat: &str) -> f64 {
         self.steps
             .iter()
@@ -46,22 +96,58 @@ impl RunReport {
             .sum()
     }
 
-    /// Human-readable per-step breakdown (the shape of Tables 6–7).
+    /// Sum of the modelled times of steps whose kernel name equals `name`.
+    pub fn time_of_exact(&self, name: &str) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.timing.time_s)
+            .sum()
+    }
+
+    /// Sum of the modelled times of steps whose kernel name starts with
+    /// `prefix`.
+    pub fn time_of_prefix(&self, prefix: &str) -> f64 {
+        self.steps
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.timing.time_s)
+            .sum()
+    }
+
+    /// Human-readable per-step breakdown (the shape of Tables 6–7), rendered
+    /// flamegraph-style: each step carries a bar proportional to its share of
+    /// the total modelled time.
     pub fn step_table(&self) -> String {
+        const BAR: usize = 24;
+        let total = self.total_time_s();
         let mut out = String::new();
         out.push_str(&format!(
-            "{} {}x{}x{}: {:.2} ms total, {:.1} GFLOPS\n",
+            "{} {}x{}x{}: {:.2} ms total, {:.1} GFLOPS, {:.1} GB/s\n",
             self.algorithm,
             self.dims.0,
             self.dims.1,
             self.dims.2,
-            self.total_time_s() * 1e3,
-            self.gflops()
+            total * 1e3,
+            self.gflops(),
+            self.overall_gbs()
         ));
         for s in &self.steps {
+            let share = if total > 0.0 {
+                s.timing.time_s / total
+            } else {
+                0.0
+            };
+            let filled = (share * BAR as f64).round() as usize;
+            let mut bar = String::with_capacity(BAR);
+            for i in 0..BAR {
+                bar.push(if i < filled { '#' } else { '.' });
+            }
             out.push_str(&format!(
-                "  {:<16} {:>8.2} ms  {:>6.1} GB/s  coalesced {:>5.1}%\n",
+                "  {:<16} [{}] {:>5.1}%  {:>8.3} ms  {:>6.1} GB/s  coalesced {:>5.1}%\n",
                 s.name,
+                bar,
+                share * 100.0,
                 s.timing.time_s * 1e3,
                 s.timing.achieved_gbs,
                 s.stats.coalesced_fraction() * 100.0
@@ -70,33 +156,191 @@ impl RunReport {
         out
     }
 
-    /// Asserts the run hit no shared-memory races and stayed coalesced; used
-    /// by tests and debug harnesses.
-    pub fn assert_clean(&self) {
+    /// Asserts the run hit no shared-memory races and that every step's
+    /// sampled half-warp ops coalesced at least the given fraction.
+    ///
+    /// # Panics
+    /// Panics naming the first offending step.
+    pub fn assert_clean_with_floor(&self, coalesced_floor: f64) {
         for s in &self.steps {
             assert_eq!(s.stats.shared_races, 0, "step {} raced", s.name);
+            let f = s.stats.coalesced_fraction();
+            assert!(
+                f >= coalesced_floor,
+                "step {} only {:.1}% coalesced (floor {:.1}%)",
+                s.name,
+                f * 100.0,
+                coalesced_floor * 100.0
+            );
         }
+    }
+
+    /// Asserts the run hit no shared-memory races and stayed coalesced (at
+    /// the [`DEFAULT_COALESCED_FLOOR`]); used by tests and debug harnesses.
+    pub fn assert_clean(&self) {
+        self.assert_clean_with_floor(DEFAULT_COALESCED_FLOOR);
+    }
+
+    /// Compares this run against another (typically the same plan after a
+    /// change), pairing steps by position.
+    pub fn diff<'a>(&'a self, other: &'a RunReport) -> ReportDiff<'a> {
+        let n = self.steps.len().max(other.steps.len());
+        let mut steps = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = self.steps.get(i);
+            let b = other.steps.get(i);
+            steps.push(StepDiff {
+                name: a.or(b).map(|s| s.name).unwrap_or("?"),
+                time_a_s: a.map(|s| s.timing.time_s).unwrap_or(0.0),
+                time_b_s: b.map(|s| s.timing.time_s).unwrap_or(0.0),
+                coalesced_a: a.map(|s| s.stats.coalesced_fraction()).unwrap_or(0.0),
+                coalesced_b: b.map(|s| s.stats.coalesced_fraction()).unwrap_or(0.0),
+            });
+        }
+        ReportDiff {
+            a: self,
+            b: other,
+            steps,
+        }
+    }
+
+    /// Flat JSON metrics dump: run totals plus per-step counters. Numbers are
+    /// written in shortest-round-trip form, so parsing `total_time_s` back
+    /// recovers [`RunReport::total_time_s`] exactly.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"algorithm\": \"{}\",\n", self.algorithm));
+        out.push_str(&format!(
+            "  \"dims\": [{},{},{}],\n",
+            self.dims.0, self.dims.1, self.dims.2
+        ));
+        out.push_str(&format!("  \"nominal_flops\": {},\n", self.nominal_flops));
+        out.push_str(&format!("  \"total_time_s\": {},\n", self.total_time_s()));
+        out.push_str(&format!("  \"gflops\": {},\n", self.gflops()));
+        out.push_str(&format!("  \"total_bytes\": {},\n", self.total_bytes()));
+        out.push_str(&format!("  \"tex_bytes\": {},\n", self.tex_bytes()));
+        out.push_str(&format!("  \"overall_gbs\": {},\n", self.overall_gbs()));
+        out.push_str("  \"steps\": [\n");
+        let n = self.steps.len();
+        for (i, s) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"time_s\": {}, \"mem_time_s\": {}, \"compute_time_s\": {}, \"achieved_gbs\": {}, \"achieved_gflops\": {}, \"loads\": {}, \"stores\": {}, \"coalesced_fraction\": {}, \"shared_races\": {}}}{}\n",
+                s.name,
+                s.timing.time_s,
+                s.timing.mem_time_s,
+                s.timing.compute_time_s,
+                s.timing.achieved_gbs,
+                s.timing.achieved_gflops,
+                s.stats.loads,
+                s.stats.stores,
+                s.stats.coalesced_fraction(),
+                s.stats.shared_races,
+                if i + 1 < n { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Pairwise comparison of two runs (see [`RunReport::diff`]).
+#[derive(Clone, Debug)]
+pub struct ReportDiff<'a> {
+    /// Baseline run.
+    pub a: &'a RunReport,
+    /// Candidate run.
+    pub b: &'a RunReport,
+    /// Per-step comparisons, paired by position.
+    pub steps: Vec<StepDiff>,
+}
+
+impl ReportDiff<'_> {
+    /// Candidate total minus baseline total, seconds (negative = faster).
+    pub fn total_delta_s(&self) -> f64 {
+        self.b.total_time_s() - self.a.total_time_s()
+    }
+}
+
+impl std::fmt::Display for ReportDiff<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} vs {}: {:+.3} ms total ({:.2} -> {:.2} ms)",
+            self.a.algorithm,
+            self.b.algorithm,
+            self.total_delta_s() * 1e3,
+            self.a.total_time_s() * 1e3,
+            self.b.total_time_s() * 1e3
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:<16} {:+9.3} ms  coalesced {:+6.1} pp",
+                s.name,
+                s.delta_s() * 1e3,
+                s.coalesced_delta() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One step's before/after comparison inside a [`ReportDiff`].
+#[derive(Clone, Copy, Debug)]
+pub struct StepDiff {
+    /// Step (kernel) name.
+    pub name: &'static str,
+    /// Baseline modelled time, seconds.
+    pub time_a_s: f64,
+    /// Candidate modelled time, seconds.
+    pub time_b_s: f64,
+    /// Baseline coalesced fraction.
+    pub coalesced_a: f64,
+    /// Candidate coalesced fraction.
+    pub coalesced_b: f64,
+}
+
+impl StepDiff {
+    /// Candidate minus baseline time, seconds.
+    pub fn delta_s(&self) -> f64 {
+        self.time_b_s - self.time_a_s
+    }
+
+    /// Candidate minus baseline coalesced fraction.
+    pub fn coalesced_delta(&self) -> f64 {
+        self.coalesced_b - self.coalesced_a
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
+
+    fn run(gpu: &mut Gpu, buf: gpu_sim::BufferId, name: &'static str) -> KernelReport {
+        let cfg = LaunchConfig::copy(name, 1, 64);
+        gpu.launch(&cfg, |t| {
+            let v = t.ld(buf, t.tid);
+            t.st(buf, (t.tid + 64) % 1024, v);
+        })
+    }
 
     #[test]
     fn time_of_filters_by_name() {
-        use gpu_sim::{DeviceSpec, Gpu, LaunchConfig};
         let mut gpu = Gpu::new(DeviceSpec::gt8800());
         let buf = gpu.mem_mut().alloc(1024).unwrap();
-        let run = |gpu: &mut Gpu, name: &'static str| {
-            let cfg = LaunchConfig::copy(name, 1, 64);
-            gpu.launch(&cfg, |t| {
-                let v = t.ld(buf, t.tid);
-                t.st(buf, (t.tid + 64) % 1024, v);
-            })
+        let steps = vec![
+            run(&mut gpu, buf, "fft_x"),
+            run(&mut gpu, buf, "transpose_a"),
+        ];
+        let r = RunReport {
+            algorithm: "t",
+            dims: (8, 8, 16),
+            nominal_flops: 10,
+            steps,
+            trace: None,
         };
-        let steps = vec![run(&mut gpu, "fft_x"), run(&mut gpu, "transpose_a")];
-        let r = RunReport { algorithm: "t", dims: (8, 8, 16), nominal_flops: 10, steps };
         assert!(r.time_of("fft_") > 0.0);
         assert!(r.time_of("transpose") > 0.0);
         assert_eq!(r.time_of("nothing"), 0.0);
@@ -106,10 +350,150 @@ mod tests {
     }
 
     #[test]
+    fn exact_and_prefix_variants_disambiguate_overlapping_names() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(1024).unwrap();
+        let steps = vec![run(&mut gpu, buf, "fft_x"), run(&mut gpu, buf, "fft_x2")];
+        let r = RunReport {
+            algorithm: "t",
+            dims: (8, 8, 16),
+            nominal_flops: 10,
+            steps,
+            trace: None,
+        };
+        // Substring matching conflates fft_x with fft_x2...
+        assert!((r.time_of("fft_x") - r.total_time_s()).abs() < 1e-15);
+        // ...exact matching does not.
+        let exact = r.time_of_exact("fft_x");
+        assert!(exact > 0.0 && exact < r.total_time_s());
+        assert_eq!(
+            r.time_of_exact("fft_x") + r.time_of_exact("fft_x2"),
+            r.total_time_s()
+        );
+        // Prefix matching covers the family.
+        assert_eq!(r.time_of_prefix("fft_"), r.total_time_s());
+        assert_eq!(r.time_of_prefix("fft_x2"), r.time_of_exact("fft_x2"));
+        assert_eq!(r.time_of_exact("fft"), 0.0);
+    }
+
+    #[test]
+    fn assert_clean_enforces_the_coalescing_floor() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(4096).unwrap();
+        // Strided loads: thoroughly uncoalesced.
+        let cfg = LaunchConfig::copy("strided", 4, 64);
+        let rep = gpu.launch(&cfg, |t| {
+            let v = t.ld(buf, (t.gid() * 17) % 4096);
+            t.st(buf, t.gid(), v);
+        });
+        assert!(rep.stats.coalesced_fraction() < 0.9);
+        let r = RunReport {
+            algorithm: "t",
+            dims: (16, 16, 16),
+            nominal_flops: 0,
+            steps: vec![rep],
+            trace: None,
+        };
+        // Races are zero, so the old check would have passed; the floor
+        // actually catches the uncoalesced step.
+        let caught = std::panic::catch_unwind(|| r.assert_clean());
+        assert!(caught.is_err(), "uncoalesced run must fail assert_clean");
+        r.assert_clean_with_floor(0.0); // explicit floor opt-out still works
+    }
+
+    #[test]
+    fn diff_pairs_steps_and_signs_deltas() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(1024).unwrap();
+        let a = RunReport {
+            algorithm: "base",
+            dims: (8, 8, 8),
+            nominal_flops: 0,
+            steps: vec![run(&mut gpu, buf, "fft_x")],
+            trace: None,
+        };
+        let big = gpu.mem_mut().alloc(65536).unwrap();
+        let cfg = LaunchConfig::copy("fft_x", 64, 64);
+        let slow = gpu.launch(&cfg, |t| {
+            let v = t.ld(big, t.gid());
+            t.st(big, t.gid(), v);
+        });
+        let b = RunReport {
+            algorithm: "cand",
+            dims: (8, 8, 8),
+            nominal_flops: 0,
+            steps: vec![slow],
+            trace: None,
+        };
+        let d = a.diff(&b);
+        assert_eq!(d.steps.len(), 1);
+        assert!(d.total_delta_s() > 0.0, "bigger kernel must be slower");
+        assert!((d.steps[0].delta_s() - d.total_delta_s()).abs() < 1e-15);
+        let text = d.to_string();
+        assert!(text.contains("base vs cand"));
+        assert!(text.contains("fft_x"));
+        // Reverse diff flips the sign.
+        assert_eq!(b.diff(&a).total_delta_s(), -d.total_delta_s());
+    }
+
+    #[test]
+    fn metrics_json_roundtrips_total_time_exactly() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(1024).unwrap();
+        let r = RunReport {
+            algorithm: "t",
+            dims: (8, 8, 16),
+            nominal_flops: 10,
+            steps: vec![
+                run(&mut gpu, buf, "fft_x"),
+                run(&mut gpu, buf, "transpose_a"),
+            ],
+            trace: None,
+        };
+        let json = r.metrics_json();
+        let needle = "\"total_time_s\": ";
+        let at = json.find(needle).unwrap() + needle.len();
+        let end = json[at..].find(',').unwrap();
+        let parsed: f64 = json[at..at + end].parse().unwrap();
+        assert_eq!(
+            parsed,
+            r.total_time_s(),
+            "shortest-roundtrip f64 must reparse exactly"
+        );
+        assert!(json.contains("\"name\": \"fft_x\""));
+        assert!(json.contains("\"name\": \"transpose_a\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn step_table_shows_share_bars() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let buf = gpu.mem_mut().alloc(1024).unwrap();
+        let r = RunReport {
+            algorithm: "t",
+            dims: (8, 8, 16),
+            nominal_flops: 10,
+            steps: vec![run(&mut gpu, buf, "fft_x")],
+            trace: None,
+        };
+        let table = r.step_table();
+        assert!(table.contains("fft_x"));
+        assert!(table.contains('#'), "single step should fill its bar");
+        assert!(table.contains("100.0%"));
+    }
+
+    #[test]
     fn empty_report_is_zero() {
-        let r = RunReport { algorithm: "none", dims: (1, 1, 1), nominal_flops: 0, steps: vec![] };
+        let r = RunReport {
+            algorithm: "none",
+            dims: (1, 1, 1),
+            nominal_flops: 0,
+            steps: vec![],
+            trace: None,
+        };
         assert_eq!(r.total_time_s(), 0.0);
         assert_eq!(r.total_bytes(), 0);
+        assert_eq!(r.tex_bytes(), 0);
         r.assert_clean();
     }
 }

@@ -14,12 +14,12 @@
 use crate::kernel256::{batched_config, bind_twiddle_texture, run_batched_fft, FineFftPlan};
 use crate::report::RunReport;
 use crate::transpose::{run_rotate_zxy, transpose_config, transpose_resources};
-use gpu_sim::occupancy::occupancy;
-use gpu_sim::timing::{estimate_pass, KernelTiming};
-use gpu_sim::DeviceSpec;
 use fft_math::flops::nominal_flops_3d;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::timing::{estimate_pass, KernelTiming};
+use gpu_sim::DeviceSpec;
 use gpu_sim::{AllocError, BufferId, Gpu, TextureId};
 
 /// A planned six-step 3-D FFT. Operates on the natural row-major layout
@@ -40,10 +40,17 @@ impl SixStepFft {
         let fine_x = crate::wisdom::plan(nx);
         let fine_y = crate::wisdom::plan(ny);
         let fine_z = crate::wisdom::plan(nz);
-        let tw = [Direction::Forward, Direction::Inverse].map(|d| {
-            [nx, ny, nz].map(|n| bind_twiddle_texture(gpu, n, d))
-        });
-        SixStepFft { nx, ny, nz, fine_x, fine_y, fine_z, tw }
+        let tw = [Direction::Forward, Direction::Inverse]
+            .map(|d| [nx, ny, nz].map(|n| bind_twiddle_texture(gpu, n, d)));
+        SixStepFft {
+            nx,
+            ny,
+            nz,
+            fine_x,
+            fine_y,
+            fine_z,
+            tw,
+        }
     }
 
     /// Total complex elements.
@@ -53,7 +60,10 @@ impl SixStepFft {
 
     /// Allocates data + scratch buffers.
     pub fn alloc_buffers(&self, gpu: &mut Gpu) -> Result<(BufferId, BufferId), AllocError> {
-        Ok((gpu.mem_mut().alloc(self.volume())?, gpu.mem_mut().alloc(self.volume())?))
+        Ok((
+            gpu.mem_mut().alloc(self.volume())?,
+            gpu.mem_mut().alloc(self.volume())?,
+        ))
     }
 
     /// Uploads a natural-order volume.
@@ -70,7 +80,12 @@ impl SixStepFft {
 
     /// Analytic per-step estimate (same configurations as the functional
     /// kernels; no execution).
-    pub fn estimate(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize) -> Vec<(&'static str, KernelTiming)> {
+    pub fn estimate(
+        spec: &DeviceSpec,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Vec<(&'static str, KernelTiming)> {
         let elems = (nx * ny * nz) as u64;
         let mut out = Vec::with_capacity(6);
         let fft = |n: usize, rows: usize, name: &'static str| {
@@ -106,31 +121,67 @@ impl SixStepFft {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let vol = self.volume();
         let mut steps = Vec::with_capacity(6);
+        gpu.span_begin("six_step");
 
         // 1: X-axis FFTs, (x,y,z) rows are contiguous.
+        gpu.span_begin("x_fft");
         steps.push(run_batched_fft(
-            gpu, &self.fine_x, v, work, vol / nx, dir, self.tw[di][0], "fft_x",
+            gpu,
+            &self.fine_x,
+            v,
+            work,
+            vol / nx,
+            dir,
+            self.tw[di][0],
+            "fft_x",
         ));
+        gpu.span_end("x_fft");
         // 2: (x,y,z) -> (z,x,y).
+        gpu.span_begin("transpose_a");
         steps.push(run_rotate_zxy(gpu, work, v, nx, ny, nz, "transpose_zxy"));
+        gpu.span_end("transpose_a");
         // 3: Z-axis FFTs, now contiguous.
+        gpu.span_begin("z_fft");
         steps.push(run_batched_fft(
-            gpu, &self.fine_z, v, work, vol / nz, dir, self.tw[di][2], "fft_z",
+            gpu,
+            &self.fine_z,
+            v,
+            work,
+            vol / nz,
+            dir,
+            self.tw[di][2],
+            "fft_z",
         ));
+        gpu.span_end("z_fft");
         // 4: (z,x,y) -> (y,z,x).
+        gpu.span_begin("transpose_b");
         steps.push(run_rotate_zxy(gpu, work, v, nz, nx, ny, "transpose_yzx"));
+        gpu.span_end("transpose_b");
         // 5: Y-axis FFTs.
+        gpu.span_begin("y_fft");
         steps.push(run_batched_fft(
-            gpu, &self.fine_y, v, work, vol / ny, dir, self.tw[di][1], "fft_y",
+            gpu,
+            &self.fine_y,
+            v,
+            work,
+            vol / ny,
+            dir,
+            self.tw[di][1],
+            "fft_y",
         ));
+        gpu.span_end("y_fft");
         // 6: (y,z,x) -> (x,y,z).
+        gpu.span_begin("transpose_c");
         steps.push(run_rotate_zxy(gpu, work, v, ny, nz, nx, "transpose_xyz"));
+        gpu.span_end("transpose_c");
+        gpu.span_end("six_step");
 
         RunReport {
             algorithm: "six-step",
             dims: (nx, ny, nz),
             nominal_flops: nominal_flops_3d(nx, ny, nz),
             steps,
+            trace: None,
         }
     }
 }
@@ -145,7 +196,9 @@ mod tests {
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]
@@ -156,7 +209,8 @@ mod tests {
         let host = random_volume(plan.volume(), 21);
         plan.upload(&mut gpu, v, &host);
         let rep = plan.execute(&mut gpu, v, w, Direction::Forward);
-        rep.assert_clean();
+        // 16-wide rows cannot fully coalesce (see the five-step 16³ test).
+        rep.assert_clean_with_floor(0.2);
         let got = plan.download(&gpu, v);
         let want = dft3d_oracle(&host, 16, 16, 16, Direction::Forward);
         assert!(rel_l2_error(&got, &want) < 1e-4);
@@ -213,6 +267,9 @@ mod tests {
         assert_eq!(rep.steps.len(), 6);
         let fft_time = rep.time_of("fft_");
         let tr_time = rep.time_of("transpose");
-        assert!(tr_time > fft_time, "transposes {tr_time} vs ffts {fft_time}");
+        assert!(
+            tr_time > fft_time,
+            "transposes {tr_time} vs ffts {fft_time}"
+        );
     }
 }

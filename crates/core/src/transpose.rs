@@ -102,8 +102,7 @@ pub fn run_rotate_zxy(
                 for dj in 0..rows_per_thread_pass {
                     let j = j0 + dj; // x offset within tile
                     let w = i * (TILE + 1) + j;
-                    let v =
-                        Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
+                    let v = Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
                     ctx.st(dst, (z0 + i) + nz * ((x0 + j) + nx * y), v);
                 }
             });
@@ -168,8 +167,7 @@ pub fn run_transpose_2d(
                 for dj in 0..rows_per_thread_pass {
                     let j = j0 + dj;
                     let w = i * (TILE + 1) + j;
-                    let v =
-                        Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
+                    let v = Complex32::new(ctx.sh_read(w), ctx.sh_read(TILE * (TILE + 1) + w));
                     ctx.st(dst, in_base + (y0 + i) + ny * (x0 + j), v);
                 }
             });
@@ -191,8 +189,9 @@ mod tests {
         let mut g = Gpu::new(DeviceSpec::gt8800());
         let src = g.mem_mut().alloc(nx * ny * nz).unwrap();
         let dst = g.mem_mut().alloc(nx * ny * nz).unwrap();
-        let host: Vec<Complex32> =
-            (0..nx * ny * nz).map(|i| c32(i as f32, -(i as f32))).collect();
+        let host: Vec<Complex32> = (0..nx * ny * nz)
+            .map(|i| c32(i as f32, -(i as f32)))
+            .collect();
         g.mem_mut().upload(src, 0, &host);
         run_rotate_zxy(&mut g, src, dst, nx, ny, nz, "t");
         for z in 0..nz {
@@ -240,8 +239,7 @@ mod tests {
         let mut g = Gpu::new(DeviceSpec::gt8800());
         let src = g.mem_mut().alloc(nx * ny * planes).unwrap();
         let dst = g.mem_mut().alloc(nx * ny * planes).unwrap();
-        let host: Vec<Complex32> =
-            (0..nx * ny * planes).map(|i| c32(i as f32, 1.0)).collect();
+        let host: Vec<Complex32> = (0..nx * ny * planes).map(|i| c32(i as f32, 1.0)).collect();
         g.mem_mut().upload(src, 0, &host);
         let rep = run_transpose_2d(&mut g, src, dst, nx, ny, planes, "t2d");
         assert!(rep.stats.coalesced_fraction() > 0.999);

@@ -108,6 +108,43 @@ proptest! {
         }
     }
 
+    /// A recorded trace is a faithful account of the run: the kernel slices
+    /// sum to the report's total exactly, and every span closes after it
+    /// opens with the top-level span covering the whole run.
+    #[test]
+    fn trace_accounts_for_all_modelled_time(
+        lx in 4u32..6,
+        ly in 4u32..6,
+        lz in 4u32..6,
+        algo_ix in 0usize..3,
+    ) {
+        let (nx, ny, nz) = (1usize << lx, 1usize << ly, 1usize << lz);
+        let algo = [Algorithm::FiveStep, Algorithm::SixStep, Algorithm::CufftLike][algo_ix];
+        let host = signal(nx * ny * nz, (lx + 8 * ly + 64 * lz) as u64);
+        let mut gpu = Gpu::new(DeviceSpec::gts8800());
+        let rec = gpu.install_recorder();
+        let plan = Fft3d::new(&mut gpu, algo, nx, ny, nz).unwrap();
+        let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
+        let trace = rec.borrow_mut().take_trace();
+
+        prop_assert_eq!(trace.kernel_count(), rep.steps.len());
+        prop_assert_eq!(trace.kernel_time_s(), rep.total_time_s());
+
+        let spans = trace.spans();
+        prop_assert!(!spans.is_empty());
+        let total = rep.total_time_s();
+        for s in &spans {
+            prop_assert!(s.end_s >= s.start_s, "span {} runs backwards", s.name);
+        }
+        // The outermost span covers the whole run to within float
+        // reassociation noise.
+        let outer = spans.iter().find(|s| s.depth == 0).unwrap();
+        prop_assert!(
+            (outer.duration_s() - total).abs() <= 1e-9 * total.max(1.0),
+            "outer span {} vs total {}", outer.duration_s(), total
+        );
+    }
+
     /// The DC bin is the plain sum of the volume.
     #[test]
     fn dc_bin_is_the_sum(seed in any::<u32>()) {

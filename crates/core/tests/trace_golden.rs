@@ -1,0 +1,156 @@
+//! Golden-file and consistency tests for the sim-prof tracing layer: the
+//! Chrome-trace export must be byte-stable run to run, and every exported
+//! number must agree with the `RunReport` it came from.
+
+use bifft::five_step::FiveStepFft;
+use bifft::out_of_core::OutOfCoreFft;
+use bifft::RunReport;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{DeviceSpec, Gpu, Trace, TraceEvent};
+
+fn traced_five_step_16() -> (RunReport, Trace) {
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let rec = gpu.install_recorder();
+    let plan = FiveStepFft::new(&mut gpu, 16, 16, 16);
+    let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
+    let host: Vec<Complex32> = (0..plan.volume())
+        .map(|i| Complex32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        .collect();
+    plan.upload(&mut gpu, v, &host);
+    let rep = plan.execute(&mut gpu, v, w, Direction::Forward);
+    let trace = rec.borrow_mut().take_trace();
+    (rep, trace)
+}
+
+#[test]
+fn chrome_json_is_byte_stable_across_runs() {
+    let (_, a) = traced_five_step_16();
+    let (_, b) = traced_five_step_16();
+    assert_eq!(
+        a.chrome_json(),
+        b.chrome_json(),
+        "same run must export identical bytes"
+    );
+}
+
+#[test]
+fn chrome_json_has_the_expected_structure() {
+    let (rep, trace) = traced_five_step_16();
+    let json = trace.chrome_json();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    // One X slice per kernel, named as the report names them.
+    for s in &rep.steps {
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", s.name)),
+            "missing kernel slice {}",
+            s.name
+        );
+    }
+    // Plan spans appear as B/E pairs.
+    for span in ["five_step", "z_fft_pass1", "x_fft_shared"] {
+        assert!(json.contains(&format!(
+            "\"ph\":\"B\",\"pid\":0,\"tid\":0,\"name\":\"{span}\""
+        )));
+    }
+    // Allocations surface as device_mem counter samples.
+    assert!(json.contains("\"device_mem\""));
+    // Kernel slices carry the coalescing histogram.
+    assert!(json.contains("tx_hist_32_64_128_256"));
+}
+
+#[test]
+fn trace_kernel_time_matches_report_exactly() {
+    let (rep, trace) = traced_five_step_16();
+    assert_eq!(trace.kernel_count(), rep.steps.len());
+    // Bit-for-bit: both sum timing.time_s in the same step order.
+    assert_eq!(trace.kernel_time_s(), rep.total_time_s());
+}
+
+#[test]
+fn metrics_json_total_matches_report_within_1e9() {
+    let (rep, _) = traced_five_step_16();
+    let json = rep.metrics_json();
+    let needle = "\"total_time_s\": ";
+    let at = json.find(needle).expect("total_time_s present") + needle.len();
+    let end = json[at..].find(',').unwrap();
+    let parsed: f64 = json[at..at + end].parse().unwrap();
+    assert!(
+        (parsed - rep.total_time_s()).abs() <= 1e-9 * rep.total_time_s().max(1.0),
+        "metrics.json total {parsed} vs report {}",
+        rep.total_time_s()
+    );
+}
+
+#[test]
+fn report_diff_smoke() {
+    let (a, _) = traced_five_step_16();
+    let (b, _) = traced_five_step_16();
+    let d = a.diff(&b);
+    assert_eq!(d.total_delta_s(), 0.0, "identical runs must diff to zero");
+    assert!(d.steps.iter().all(|s| s.delta_s() == 0.0));
+    assert!(d.to_string().contains("step5_x"));
+}
+
+#[test]
+fn out_of_core_trace_shows_pcie_overlap() {
+    let (nx, ny, nz) = (16usize, 16, 32);
+    let spec = DeviceSpec::gts8800();
+    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2);
+    let mut gpu = Gpu::new(spec);
+    let rec = gpu.install_recorder();
+    let mut host: Vec<Complex32> = (0..nx * ny * nz)
+        .map(|i| Complex32::new((i as f32 * 0.171).sin(), (i as f32 * 0.071).cos()))
+        .collect();
+    plan.execute(&mut gpu, &mut host, Direction::Forward);
+    let trace = rec.borrow_mut().take_trace();
+
+    // Both stages' transfers are labelled in the PCIe track.
+    let labels: Vec<(String, bool, f64, f64)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Pcie {
+                label,
+                overlapped,
+                start_s,
+                end_s,
+                ..
+            } => Some((label.clone(), *overlapped, *start_s, *end_s)),
+            _ => None,
+        })
+        .collect();
+    assert!(labels.iter().any(|(l, ..)| l == "pcie_h2d_slab0"));
+    assert!(labels.iter().any(|(l, ..)| l == "pcie_d2h_slab1"));
+    assert!(labels.iter().any(|(l, ..)| l.starts_with("pcie_h2d_group")));
+    // The prefetched uploads are asynchronous...
+    let async_uploads: Vec<_> = labels
+        .iter()
+        .filter(|(l, o, ..)| l.starts_with("pcie_h2d_slab") && *o)
+        .collect();
+    assert_eq!(
+        async_uploads.len(),
+        2,
+        "both slab uploads prefetched: {labels:?}"
+    );
+    // ...and the second one's link window genuinely overlaps kernel work:
+    // some kernel interval intersects the transfer's [start, end).
+    let (_, _, up_start, up_end) = labels.iter().find(|(l, ..)| l == "pcie_h2d_slab1").unwrap();
+    let overlapping_kernel = trace.events.iter().any(|e| match e {
+        TraceEvent::KernelEnd { t_s, timing, .. } => {
+            let begin = t_s - timing.time_s;
+            begin < *up_end && *t_s > *up_start
+        }
+        _ => false,
+    });
+    assert!(
+        overlapping_kernel,
+        "async H2D window [{up_start}, {up_end}) must overlap kernel work"
+    );
+    // Spans mark both stages.
+    let spans = trace.spans();
+    assert!(spans.iter().any(|s| s.name == "stage1_slab0"));
+    assert!(spans.iter().any(|s| s.name == "out_of_core_stage2"));
+}

@@ -86,7 +86,9 @@ pub fn fftw_model_gflops(spec: &CpuSpec, nx: usize, ny: usize, nz: usize) -> f64
 
 /// Number of worker threads to use on the actual host machine.
 pub fn count_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -121,8 +123,8 @@ mod tests {
     #[test]
     fn memory_bound_at_large_sizes() {
         let spec = CpuSpec::phenom_9500();
-        let compute = nominal_flops_3d(256, 256, 256) as f64
-            / (spec.peak_gflops() * FFTW_COMPUTE_EFF * 1e9);
+        let compute =
+            nominal_flops_3d(256, 256, 256) as f64 / (spec.peak_gflops() * FFTW_COMPUTE_EFF * 1e9);
         assert!(fftw_model_seconds(&spec, 256, 256, 256) > compute);
     }
 

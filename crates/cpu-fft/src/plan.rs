@@ -172,7 +172,9 @@ mod tests {
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..n).map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     #[test]
@@ -235,8 +237,7 @@ mod tests {
         let mut data = orig.clone();
         plan.execute(&mut data, Direction::Forward);
         let t: f64 = orig.iter().map(|z| z.norm_sqr() as f64).sum();
-        let f: f64 =
-            data.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / plan.volume() as f64;
+        let f: f64 = data.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / plan.volume() as f64;
         assert!((t - f).abs() < 1e-3 * t);
     }
 }

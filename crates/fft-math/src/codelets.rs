@@ -214,8 +214,9 @@ mod tests {
     #[test]
     fn inverse_undoes_forward() {
         for n in [2usize, 4, 8, 16] {
-            let orig: Vec<Complex32> =
-                (0..n).map(|i| Complex32::new(i as f32, -(i as f32) * 0.5)).collect();
+            let orig: Vec<Complex32> = (0..n)
+                .map(|i| Complex32::new(i as f32, -(i as f32) * 0.5))
+                .collect();
             let mut data = orig.clone();
             fft_small(&mut data, Direction::Forward);
             fft_small(&mut data, Direction::Inverse);
@@ -255,9 +256,7 @@ mod tests {
         let n = 16;
         let k0 = 5;
         let mut data: Vec<Complex32> = (0..n)
-            .map(|i| {
-                Complex32::cis(2.0 * std::f32::consts::PI * (k0 * i) as f32 / n as f32)
-            })
+            .map(|i| Complex32::cis(2.0 * std::f32::consts::PI * (k0 * i) as f32 / n as f32))
             .collect();
         fft_small(&mut data, Direction::Forward);
         for (k, z) in data.iter().enumerate() {
@@ -275,7 +274,11 @@ mod tests {
         // Naive radix-2: N/2*log2(N) butterflies, each 10 flops.
         for n in [2usize, 4, 8, 16] {
             let naive = n / 2 * (n.trailing_zeros() as usize) * 10;
-            assert!(codelet_flops(n) <= naive, "size {n}: {} > {naive}", codelet_flops(n));
+            assert!(
+                codelet_flops(n) <= naive,
+                "size {n}: {} > {naive}",
+                codelet_flops(n)
+            );
         }
         assert!(has_codelet(16));
         assert!(!has_codelet(32));

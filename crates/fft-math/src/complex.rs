@@ -69,13 +69,19 @@ macro_rules! impl_complex {
             /// `e^{i theta}` — a point on the unit circle.
             #[inline]
             pub fn cis(theta: $scalar) -> Self {
-                Self { re: theta.cos(), im: theta.sin() }
+                Self {
+                    re: theta.cos(),
+                    im: theta.sin(),
+                }
             }
 
             /// Complex conjugate.
             #[inline(always)]
             pub fn conj(self) -> Self {
-                Self { re: self.re, im: -self.im }
+                Self {
+                    re: self.re,
+                    im: -self.im,
+                }
             }
 
             /// Squared modulus `re² + im²`.
@@ -103,19 +109,28 @@ macro_rules! impl_complex {
             /// FLOP counts than repeated radix-2.
             #[inline(always)]
             pub fn mul_i(self) -> Self {
-                Self { re: -self.im, im: self.re }
+                Self {
+                    re: -self.im,
+                    im: self.re,
+                }
             }
 
             /// Multiplication by `-i`.
             #[inline(always)]
             pub fn mul_neg_i(self) -> Self {
-                Self { re: self.im, im: -self.re }
+                Self {
+                    re: self.im,
+                    im: -self.re,
+                }
             }
 
             /// Scales both parts by a real factor.
             #[inline(always)]
             pub fn scale(self, s: $scalar) -> Self {
-                Self { re: self.re * s, im: self.im * s }
+                Self {
+                    re: self.re * s,
+                    im: self.im * s,
+                }
             }
 
             /// Fused multiply-add `self * b + c`.
@@ -135,7 +150,10 @@ macro_rules! impl_complex {
             #[inline]
             pub fn recip(self) -> Self {
                 let d = self.norm_sqr();
-                Self { re: self.re / d, im: -self.im / d }
+                Self {
+                    re: self.re / d,
+                    im: -self.im / d,
+                }
             }
 
             /// True when either component is NaN.
@@ -155,7 +173,10 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline(always)]
             fn add(self, rhs: Self) -> Self {
-                Self { re: self.re + rhs.re, im: self.im + rhs.im }
+                Self {
+                    re: self.re + rhs.re,
+                    im: self.im + rhs.im,
+                }
             }
         }
 
@@ -163,7 +184,10 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline(always)]
             fn sub(self, rhs: Self) -> Self {
-                Self { re: self.re - rhs.re, im: self.im - rhs.im }
+                Self {
+                    re: self.re - rhs.re,
+                    im: self.im - rhs.im,
+                }
             }
         }
 
@@ -192,7 +216,10 @@ macro_rules! impl_complex {
             type Output = Self;
             #[inline(always)]
             fn neg(self) -> Self {
-                Self { re: -self.re, im: -self.im }
+                Self {
+                    re: -self.re,
+                    im: -self.im,
+                }
             }
         }
 
@@ -263,7 +290,10 @@ impl Complex32 {
     /// Widens to double precision (used when feeding the test oracle).
     #[inline]
     pub fn widen(self) -> Complex64 {
-        Complex64 { re: self.re as f64, im: self.im as f64 }
+        Complex64 {
+            re: self.re as f64,
+            im: self.im as f64,
+        }
     }
 }
 
@@ -271,7 +301,10 @@ impl Complex64 {
     /// Narrows to single precision.
     #[inline]
     pub fn narrow(self) -> Complex32 {
-        Complex32 { re: self.re as f32, im: self.im as f32 }
+        Complex32 {
+            re: self.re as f32,
+            im: self.im as f32,
+        }
     }
 }
 

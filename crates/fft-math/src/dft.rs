@@ -117,7 +117,9 @@ mod tests {
 
     #[test]
     fn forward_then_inverse_scales_by_n() {
-        let x: Vec<Complex32> = (0..12).map(|i| c32((i as f32).sin(), (i as f32).cos())).collect();
+        let x: Vec<Complex32> = (0..12)
+            .map(|i| c32((i as f32).sin(), (i as f32).cos()))
+            .collect();
         let fx = dft_oracle(&x, Direction::Forward);
         let fx32: Vec<Complex32> = fx.iter().map(|z| z.narrow()).collect();
         let back = dft_oracle(&fx32, Direction::Inverse);
@@ -135,8 +137,7 @@ mod tests {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * x) as f64 / nx as f64
+                    let phase = 2.0 * std::f64::consts::PI * (kx * x) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * z) as f64 / nz as f64;
                     v[x + nx * (y + ny * z)] = Complex64::cis(phase).narrow();

@@ -33,7 +33,10 @@ impl Fft1dPlan {
     /// Panics unless `n` is a power of two (the paper restricts all dimensions
     /// to powers of two; see §1).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         Self {
             n,
             fwd: TwiddleTable::new(n, Direction::Forward),
@@ -81,7 +84,10 @@ impl Fft1dPlan {
 /// ```
 pub fn fft_pow2(data: &mut [Complex32], dir: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 16 {
         fft_small(data, dir);
         return;
@@ -96,7 +102,11 @@ pub fn fft_pow2(data: &mut [Complex32], dir: Direction) {
 /// `table` must hold the `n` twiddles for the desired direction; stage-`L`
 /// twiddles are read at stride `n / L` so a single length-`n` table serves
 /// every stage.
-pub fn stockham_with_table(data: &mut [Complex32], scratch: &mut [Complex32], table: &TwiddleTable) {
+pub fn stockham_with_table(
+    data: &mut [Complex32],
+    scratch: &mut [Complex32],
+    table: &TwiddleTable,
+) {
     let n = data.len();
     debug_assert!(n.is_power_of_two());
     debug_assert!(scratch.len() >= n);

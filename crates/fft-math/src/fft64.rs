@@ -20,9 +20,16 @@ pub struct Fft1dPlan64 {
 impl Fft1dPlan64 {
     /// Plans a transform of length `n` (power of two).
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let table = |dir| (0..n).map(|k| twiddle_f64(k, n, dir)).collect();
-        Fft1dPlan64 { n, fwd: table(Direction::Forward), inv: table(Direction::Inverse) }
+        Fft1dPlan64 {
+            n,
+            fwd: table(Direction::Forward),
+            inv: table(Direction::Inverse),
+        }
     }
 
     /// Transform length.
@@ -68,8 +75,11 @@ fn stockham_f64(data: &mut [Complex64], scratch: &mut [Complex64], table: &[Comp
         let m = len / 2;
         let step = n / len;
         {
-            let (src, dst): (&[Complex64], &mut [Complex64]) =
-                if in_data { (&*data, &mut *scratch) } else { (&*scratch, &mut *data) };
+            let (src, dst): (&[Complex64], &mut [Complex64]) = if in_data {
+                (&*data, &mut *scratch)
+            } else {
+                (&*scratch, &mut *data)
+            };
             for p in 0..m {
                 let w = table[(p * step) % n];
                 for q in 0..stride {
@@ -97,7 +107,9 @@ mod tests {
     use crate::fft1d::fft_pow2;
 
     fn signal(n: usize) -> Vec<Complex64> {
-        (0..n).map(|i| c64((0.3 * i as f64).sin(), (0.7 * i as f64).cos())).collect()
+        (0..n)
+            .map(|i| c64((0.3 * i as f64).sin(), (0.7 * i as f64).cos()))
+            .collect()
     }
 
     #[test]

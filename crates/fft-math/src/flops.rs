@@ -23,8 +23,7 @@ pub fn nominal_flops_batch(n: usize, count: usize) -> u64 {
 /// For a cube this reduces to the paper's `15 N³ log2 N`.
 pub fn nominal_flops_3d(nx: usize, ny: usize, nz: usize) -> u64 {
     let total = (nx * ny * nz) as u64;
-    5 * total
-        * (nx.trailing_zeros() + ny.trailing_zeros() + nz.trailing_zeros()) as u64
+    5 * total * (nx.trailing_zeros() + ny.trailing_zeros() + nz.trailing_zeros()) as u64
 }
 
 /// GFLOPS given nominal FLOPs and elapsed seconds.
@@ -56,7 +55,10 @@ mod tests {
     #[test]
     fn paper_convention_for_cube() {
         // 15 N³ log2 N at N = 256: 15 * 2^24 * 8.
-        assert_eq!(nominal_flops_3d(256, 256, 256), 15 * (1u64 << 24) * 8 / 3 * 3);
+        assert_eq!(
+            nominal_flops_3d(256, 256, 256),
+            15 * (1u64 << 24) * 8 / 3 * 3
+        );
         assert_eq!(nominal_flops_3d(256, 256, 256), 5 * (1u64 << 24) * 24);
     }
 

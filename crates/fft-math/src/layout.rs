@@ -33,8 +33,12 @@ pub enum AccessPattern {
 
 impl AccessPattern {
     /// All four strided patterns, in Table 2 order.
-    pub const STRIDED: [AccessPattern; 4] =
-        [AccessPattern::A, AccessPattern::B, AccessPattern::C, AccessPattern::D];
+    pub const STRIDED: [AccessPattern; 4] = [
+        AccessPattern::A,
+        AccessPattern::B,
+        AccessPattern::C,
+        AccessPattern::D,
+    ];
 
     /// Which 5-D slot (1–4) the pattern runs over; `None` for the X pass.
     pub fn slot(self) -> Option<usize> {
@@ -78,8 +82,14 @@ impl AccessPattern {
 /// covered by two register-resident radix-≤16 passes and are rejected — the
 /// out-of-core path (§3.3) handles them instead.
 pub fn split_radix(n: usize) -> (usize, usize) {
-    assert!(n.is_power_of_two(), "length must be a power of two, got {n}");
-    assert!((4..=256).contains(&n), "two-step split supports 4..=256, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "length must be a power of two, got {n}"
+    );
+    assert!(
+        (4..=256).contains(&n),
+        "two-step split supports 4..=256, got {n}"
+    );
     let log = n.trailing_zeros();
     let a = 1usize << (log / 2);
     let b = n / a;
@@ -147,7 +157,14 @@ impl View5 {
     /// Number of independent `(x, fixed-slots)` rows a pass over `slot` has.
     pub fn rows_for_slot(&self, slot: usize) -> usize {
         assert!((1..=4).contains(&slot));
-        self.nx * self.extents.iter().enumerate().filter(|&(i, _)| i != slot - 1).map(|(_, &e)| e).product::<usize>()
+        self.nx
+            * self
+                .extents
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != slot - 1)
+                .map(|(_, &e)| e)
+                .product::<usize>()
     }
 }
 
@@ -225,9 +242,21 @@ impl FiveStepPlanLayout {
         assert!((4..=512).contains(&nx), "nx out of supported range");
         assert_eq!(y_split.0 * y_split.1, ny, "y split must factor ny");
         assert_eq!(z_split.0 * z_split.1, nz, "z split must factor nz");
-        assert!(y_split.0 <= 16 && y_split.1 <= 16, "y digits must be codelet-sized");
-        assert!(z_split.0 <= 16 && z_split.1 <= 16, "z digits must be codelet-sized");
-        Self { nx, ny, nz, y_split, z_split }
+        assert!(
+            y_split.0 <= 16 && y_split.1 <= 16,
+            "y digits must be codelet-sized"
+        );
+        assert!(
+            z_split.0 <= 16 && z_split.1 <= 16,
+            "z digits must be codelet-sized"
+        );
+        Self {
+            nx,
+            ny,
+            nz,
+            y_split,
+            z_split,
+        }
     }
 
     /// Total complex elements in the volume.
@@ -262,7 +291,8 @@ impl FiveStepPlanLayout {
     pub fn output_index(&self, kx: usize, ky: usize, kz: usize) -> usize {
         let (_, by) = self.y_split;
         let (_, bz) = self.z_split;
-        self.output_view().index(kx, [ky % by, ky / by, kz % bz, kz / bz])
+        self.output_view()
+            .index(kx, [ky % by, ky / by, kz % bz, kz / bz])
     }
 
     /// The four strided passes (steps 1–4) with their views and patterns.
@@ -396,7 +426,12 @@ mod tests {
 
     #[test]
     fn pass_views_conserve_volume_and_chain() {
-        for (nx, ny, nz) in [(256, 256, 256), (64, 64, 64), (128, 128, 128), (64, 128, 256)] {
+        for (nx, ny, nz) in [
+            (256, 256, 256),
+            (64, 64, 64),
+            (128, 128, 128),
+            (64, 128, 256),
+        ] {
             let plan = FiveStepPlanLayout::new(nx, ny, nz);
             let passes = plan.strided_passes();
             assert_eq!(passes[0].input, plan.input_view());
@@ -449,7 +484,10 @@ mod tests {
     fn x_axis_is_contiguous_in_every_view() {
         let plan = FiveStepPlanLayout::new(256, 256, 256);
         for p in plan.strided_passes() {
-            assert_eq!(p.input.index(1, [0, 0, 0, 0]) - p.input.index(0, [0, 0, 0, 0]), 1);
+            assert_eq!(
+                p.input.index(1, [0, 0, 0, 0]) - p.input.index(0, [0, 0, 0, 0]),
+                1
+            );
         }
     }
 

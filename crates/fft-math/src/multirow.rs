@@ -31,14 +31,24 @@ pub struct RowLayout {
 impl RowLayout {
     /// Contiguous rows packed back to back (`stride = 1`, `dist = n`).
     pub fn contiguous(n: usize, rows: usize) -> Self {
-        Self { n, rows, stride: 1, dist: n }
+        Self {
+            n,
+            rows,
+            stride: 1,
+            dist: n,
+        }
     }
 
     /// Interleaved rows (`stride = rows`, `dist = 1`): row `r` holds elements
     /// `r, r+rows, r+2*rows, ...` — the "multiple streams" layout whose
     /// bandwidth behaviour §2.1 measures.
     pub fn interleaved(n: usize, rows: usize) -> Self {
-        Self { n, rows, stride: rows, dist: 1 }
+        Self {
+            n,
+            rows,
+            stride: rows,
+            dist: 1,
+        }
     }
 
     /// Index of sample `j` of row `r`.
@@ -88,8 +98,14 @@ impl RowLayout {
 /// # Panics
 /// Panics if the buffer is too small for the layout or rows alias.
 pub fn multirow_fft(data: &mut [Complex32], layout: RowLayout, dir: Direction) {
-    assert!(layout.n.is_power_of_two(), "row length must be a power of two");
-    assert!(data.len() >= layout.required_len(), "buffer too small for layout");
+    assert!(
+        layout.n.is_power_of_two(),
+        "row length must be a power of two"
+    );
+    assert!(
+        data.len() >= layout.required_len(),
+        "buffer too small for layout"
+    );
     debug_assert!(layout.is_injective(), "row layout aliases");
 
     let mut row = vec![Complex32::ZERO; layout.n];
@@ -115,7 +131,9 @@ mod tests {
     use crate::dft::dft_oracle;
 
     fn fill(len: usize) -> Vec<Complex32> {
-        (0..len).map(|i| c32((i as f32 * 0.11).sin(), (i as f32 * 0.23).cos())).collect()
+        (0..len)
+            .map(|i| c32((i as f32 * 0.11).sin(), (i as f32 * 0.23).cos()))
+            .collect()
     }
 
     #[test]
@@ -173,17 +191,44 @@ mod tests {
         assert!(RowLayout::contiguous(8, 4).is_injective());
         assert!(RowLayout::interleaved(8, 4).is_injective());
         // dist 0 with several rows aliases everything.
-        assert!(!RowLayout { n: 8, rows: 2, stride: 1, dist: 0 }.is_injective());
+        assert!(!RowLayout {
+            n: 8,
+            rows: 2,
+            stride: 1,
+            dist: 0
+        }
+        .is_injective());
         // stride 0 collapses a row.
-        assert!(!RowLayout { n: 8, rows: 1, stride: 0, dist: 8 }.is_injective());
+        assert!(!RowLayout {
+            n: 8,
+            rows: 1,
+            stride: 0,
+            dist: 8
+        }
+        .is_injective());
         // dist smaller than the row footprint aliases.
-        assert!(!RowLayout { n: 8, rows: 2, stride: 1, dist: 4 }.is_injective());
+        assert!(!RowLayout {
+            n: 8,
+            rows: 2,
+            stride: 1,
+            dist: 4
+        }
+        .is_injective());
     }
 
     #[test]
     fn required_len() {
         assert_eq!(RowLayout::contiguous(16, 8).required_len(), 128);
         assert_eq!(RowLayout::interleaved(16, 8).required_len(), 128);
-        assert_eq!(RowLayout { n: 4, rows: 2, stride: 3, dist: 16 }.required_len(), 26);
+        assert_eq!(
+            RowLayout {
+                n: 4,
+                rows: 2,
+                stride: 3,
+                dist: 16
+            }
+            .required_len(),
+            26
+        );
     }
 }

@@ -135,7 +135,11 @@ impl InterTwiddle {
                 factors.push(twiddle(k1 * i2, n, dir));
             }
         }
-        Self { n1, n2, factors: factors.into_boxed_slice() }
+        Self {
+            n1,
+            n2,
+            factors: factors.into_boxed_slice(),
+        }
     }
 
     /// `W_N^{k1 * i2}` for the (k1-th output of pass 1, i2-th input of pass 2).
@@ -165,8 +169,15 @@ impl InterTwiddle {
 /// `z_dev`) x (twiddle multiply) x (length-`slabs` FFTs across slabs). The
 /// `MULTIPLY_TWIDDLE(I)` step of the paper's pseudo-code multiplies slab `I`'s
 /// plane `j` by `W_z^{I * j}`. This helper builds one slab's plane factors.
-pub fn slab_twiddles(z_total: usize, slab_index: usize, planes: usize, dir: Direction) -> Vec<Complex32> {
-    (0..planes).map(|j| twiddle(slab_index * j, z_total, dir)).collect()
+pub fn slab_twiddles(
+    z_total: usize,
+    slab_index: usize,
+    planes: usize,
+    dir: Direction,
+) -> Vec<Complex32> {
+    (0..planes)
+        .map(|j| twiddle(slab_index * j, z_total, dir))
+        .collect()
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use fft_math::codelets::fft_small;
 use fft_math::complex::{c32, Complex32};
-use fft_math::fft1d::{fft_pow2, fft256_two_step};
+use fft_math::fft1d::{fft256_two_step, fft_pow2};
 use fft_math::fft64::fft_pow2_f64;
 use fft_math::layout::{FiveStepPlanLayout, View5};
 use fft_math::multirow::{multirow_fft, RowLayout};

@@ -28,7 +28,11 @@ pub fn run_stream_copy(
         streams >= 1 && elems.is_multiple_of(streams * 16),
         "elems must split evenly into streams of whole half-warps"
     );
-    let res = KernelResources { threads_per_block: 64, regs_per_thread: 24, shared_bytes_per_block: 0 };
+    let res = KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 24,
+        shared_bytes_per_block: 0,
+    };
     let grid = gpu.fill_grid(&res);
     let cfg = LaunchConfig {
         name: "stream_copy",
@@ -77,8 +81,12 @@ pub fn run_pattern_copy(
     read: AccessPattern,
     write: AccessPattern,
 ) -> KernelReport {
-    let rs = read.slot().expect("pattern copy needs a strided read pattern");
-    let ws = write.slot().expect("pattern copy needs a strided write pattern");
+    let rs = read
+        .slot()
+        .expect("pattern copy needs a strided read pattern");
+    let ws = write
+        .slot()
+        .expect("pattern copy needs a strided write pattern");
     let n = view.extents[rs - 1];
     assert_eq!(
         n,
@@ -86,7 +94,11 @@ pub fn run_pattern_copy(
         "read and write slots must have the same extent to permute rows"
     );
 
-    let res = KernelResources { threads_per_block: 64, regs_per_thread: 40, shared_bytes_per_block: 0 };
+    let res = KernelResources {
+        threads_per_block: 64,
+        regs_per_thread: 40,
+        shared_bytes_per_block: 0,
+    };
     let grid = gpu.fill_grid(&res);
     let cfg = LaunchConfig {
         name: "pattern_copy",
@@ -182,8 +194,16 @@ mod tests {
         }
         let r256 = run_stream_copy(&mut g, src, dst, n, 256);
         // §2.1 on the GTX: ~71.7 GB/s at 1 stream, ~30.7 at 256.
-        assert!((r1.timing.modeled_bandwidth_gbs - 71.7).abs() < 0.5, "{:?}", r1.timing);
-        assert!((r256.timing.modeled_bandwidth_gbs - 30.7).abs() < 0.6, "{:?}", r256.timing);
+        assert!(
+            (r1.timing.modeled_bandwidth_gbs - 71.7).abs() < 0.5,
+            "{:?}",
+            r1.timing
+        );
+        assert!(
+            (r256.timing.modeled_bandwidth_gbs - 30.7).abs() < 0.6,
+            "{:?}",
+            r256.timing
+        );
     }
 
     #[test]
@@ -230,7 +250,9 @@ mod tests {
         let view = small_view();
         let (mut g, src, dst) = gpu_with_buffers(&view);
         let bw = |g: &mut Gpu, r, w| {
-            run_pattern_copy(g, src, dst, view, r, w).timing.modeled_bandwidth_gbs
+            run_pattern_copy(g, src, dst, view, r, w)
+                .timing
+                .modeled_bandwidth_gbs
         };
         let aa = bw(&mut g, AccessPattern::A, AccessPattern::A);
         let da = bw(&mut g, AccessPattern::D, AccessPattern::A);

@@ -88,6 +88,20 @@ pub fn analyze(addrs: &[u64], word_bytes: u32) -> CoalesceResult {
     }
 }
 
+/// Folds one analysed half-warp op into a transaction-size histogram
+/// (32/64/128/256-byte buckets, [`crate::trace::TX_BUCKET_BYTES`]): a
+/// coalesced op contributes its single wide transaction, an uncoalesced op
+/// contributes one minimum-size segment per lane.
+pub fn accumulate_tx_histogram(r: &CoalesceResult, word_bytes: u32, hist: &mut [u64; 4]) {
+    use crate::trace::tx_bucket;
+    if r.coalesced {
+        hist[tx_bucket(r.bus_bytes)] += 1;
+    } else {
+        let per_access = UNCOALESCED_SEGMENT_BYTES.max(word_bytes as u64);
+        hist[tx_bucket(per_access)] += r.transactions as u64;
+    }
+}
+
 /// Checks rules (a)–(c), reporting the first violation.
 pub fn check(addrs: &[u64], word_bytes: u32) -> Result<(), CoalesceFailure> {
     if !COALESCABLE_WORDS.contains(&word_bytes) {
@@ -154,7 +168,10 @@ mod tests {
         let r = analyze(&a, 8);
         assert!(!r.coalesced);
         assert_eq!(r.transactions, 16);
-        assert_eq!(check(&a, 8), Err(CoalesceFailure::NotSequential { lane: 3 }));
+        assert_eq!(
+            check(&a, 8),
+            Err(CoalesceFailure::NotSequential { lane: 3 })
+        );
     }
 
     #[test]
@@ -192,5 +209,23 @@ mod tests {
         let r = analyze(&[], 8);
         assert_eq!(r.transactions, 1);
         assert_eq!(r.useful_bytes, 0);
+    }
+
+    #[test]
+    fn tx_histogram_buckets_by_transaction_size() {
+        let mut hist = [0u64; 4];
+        // Coalesced 16 x 8-byte: one 128-byte transaction.
+        accumulate_tx_histogram(&analyze(&seq(1024, 8, 16), 8), 8, &mut hist);
+        assert_eq!(hist, [0, 0, 1, 0]);
+        // Coalesced 16 x 4-byte: one 64-byte transaction.
+        accumulate_tx_histogram(&analyze(&seq(1024, 4, 16), 4), 4, &mut hist);
+        assert_eq!(hist, [0, 1, 1, 0]);
+        // Strided: 16 separate 32-byte segments.
+        let strided: Vec<u64> = (0..16u64).map(|k| k * 2048).collect();
+        accumulate_tx_histogram(&analyze(&strided, 8), 8, &mut hist);
+        assert_eq!(hist, [16, 1, 1, 0]);
+        // Coalesced 16 x 16-byte: one 256-byte transaction.
+        accumulate_tx_histogram(&analyze(&seq(1024, 16, 16), 16), 16, &mut hist);
+        assert_eq!(hist, [16, 1, 1, 1]);
     }
 }

@@ -74,7 +74,9 @@ pub fn stream_decay(streams: usize) -> f64 {
 
 /// Bandwidth retained at a given occupancy (resident threads per SM).
 pub fn thread_saturation(threads_per_sm: usize) -> f64 {
-    ((threads_per_sm as f64) / SATURATION_THREADS).sqrt().min(1.0)
+    ((threads_per_sm as f64) / SATURATION_THREADS)
+        .sqrt()
+        .min(1.0)
 }
 
 /// Row index into the pattern matrix.
@@ -268,7 +270,10 @@ mod tests {
             in_place: false,
             carries_compute: true,
         };
-        let coarse256 = BandwidthQuery { threads_per_sm: 8, ..coarse16 };
+        let coarse256 = BandwidthQuery {
+            threads_per_sm: 8,
+            ..coarse16
+        };
         let bw16 = effective_bandwidth_gbs(&gts, &coarse16);
         let bw256 = effective_bandwidth_gbs(&gts, &coarse256);
         assert!(bw16 > 38.0, "got {bw16}");
@@ -279,7 +284,10 @@ mod tests {
     fn coalesce_efficiency_scales_linearly() {
         let gt = DeviceSpec::gt8800();
         let full = BandwidthQuery::pattern_copy(AccessPattern::A, AccessPattern::A);
-        let quarter = BandwidthQuery { coalesce_efficiency: 0.25, ..full };
+        let quarter = BandwidthQuery {
+            coalesce_efficiency: 0.25,
+            ..full
+        };
         let a = effective_bandwidth_gbs(&gt, &full);
         let b = effective_bandwidth_gbs(&gt, &quarter);
         assert!((b * 4.0 - a).abs() < 1e-9);
@@ -289,7 +297,10 @@ mod tests {
     fn in_place_pays_turnaround() {
         let gts = DeviceSpec::gts8800();
         let out = BandwidthQuery::pattern_copy(AccessPattern::X, AccessPattern::X);
-        let inp = BandwidthQuery { in_place: true, ..out };
+        let inp = BandwidthQuery {
+            in_place: true,
+            ..out
+        };
         let a = effective_bandwidth_gbs(&gts, &out);
         let b = effective_bandwidth_gbs(&gts, &inp);
         assert!((b / a - IN_PLACE_FACTOR).abs() < 1e-12);

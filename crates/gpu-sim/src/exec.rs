@@ -18,11 +18,15 @@ use crate::coalesce;
 use crate::constmem::{serialization_penalty, ConstantBank};
 use crate::memory::{BufferId, DeviceMemory, ELEM_BYTES};
 use crate::occupancy::{occupancy, KernelResources, Occupancy};
-use crate::shared::{bank_conflict_degree, SharedMem};
+use crate::pcie::{transfer_time, Dir, PcieTimeline, TransferReport};
+use crate::shared::{accumulate_bank_conflicts, bank_conflict_degree, SharedMem};
 use crate::spec::DeviceSpec;
 use crate::timing::{time_kernel, KernelClass, KernelTiming};
+use crate::trace::{Recorder, SharedSink, SimClock, TraceEvent, Tracer};
 use fft_math::layout::AccessPattern;
 use fft_math::Complex32;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// How many thread blocks are traced at full address fidelity.
 pub const DEFAULT_TRACE_BLOCKS: usize = 2;
@@ -143,6 +147,13 @@ pub struct KernelStats {
     /// (§3.2: "the constant memory provides only a 32-bit data in each
     /// cycle").
     pub sampled_const_serial_cycles: u64,
+    /// Sampled DRAM transaction-size histogram over loads and stores
+    /// (32/64/128/256-byte buckets, [`crate::trace::TX_BUCKET_BYTES`]).
+    pub sampled_tx_hist: [u64; 4],
+    /// Sampled per-bank shared-memory conflict heatmap (extra serialisation
+    /// cycles attributed to each bank); empty when no shared traffic was
+    /// sampled.
+    pub bank_conflicts: Vec<u64>,
 }
 
 impl KernelStats {
@@ -244,7 +255,9 @@ struct BlockTrace {
 
 impl BlockTrace {
     fn new(threads: usize) -> Self {
-        BlockTrace { threads: (0..threads).map(|_| ThreadTrace::default()).collect() }
+        BlockTrace {
+            threads: (0..threads).map(|_| ThreadTrace::default()).collect(),
+        }
     }
 
     /// Folds this block's trace into the aggregate stats using the real
@@ -256,6 +269,11 @@ impl BlockTrace {
                 |t| &t.loads,
                 |addrs, s: &mut KernelStats| {
                     let r = coalesce::analyze(addrs, ELEM_BYTES as u32);
+                    coalesce::accumulate_tx_histogram(
+                        &r,
+                        ELEM_BYTES as u32,
+                        &mut s.sampled_tx_hist,
+                    );
                     s.sampled_load_useful += r.useful_bytes;
                     s.sampled_load_bus += r.bus_bytes;
                     s.sampled_load_halfwarps += 1;
@@ -270,6 +288,11 @@ impl BlockTrace {
                 |t| &t.stores,
                 |addrs, s: &mut KernelStats| {
                     let r = coalesce::analyze(addrs, ELEM_BYTES as u32);
+                    coalesce::accumulate_tx_histogram(
+                        &r,
+                        ELEM_BYTES as u32,
+                        &mut s.sampled_tx_hist,
+                    );
                     s.sampled_store_useful += r.useful_bytes;
                     s.sampled_store_bus += r.bus_bytes;
                     s.sampled_store_halfwarps += 1;
@@ -282,8 +305,7 @@ impl BlockTrace {
             // Shared-memory bank analysis (usize word indices).
             let max_ord = hw.iter().map(|t| t.shared.len()).max().unwrap_or(0);
             for o in 0..max_ord {
-                let words: Vec<usize> =
-                    hw.iter().map_while(|t| t.shared.get(o).copied()).collect();
+                let words: Vec<usize> = hw.iter().map_while(|t| t.shared.get(o).copied()).collect();
                 debug_assert!(
                     hw.iter().skip(words.len()).all(|t| t.shared.len() <= o),
                     "non-prefix lane activity in shared trace"
@@ -291,12 +313,12 @@ impl BlockTrace {
                 stats.sampled_shared_halfwarps += 1;
                 stats.sampled_shared_conflict_cycles +=
                     (bank_conflict_degree(&words, banks) - 1) as u64;
+                accumulate_bank_conflicts(&words, banks, &mut stats.bank_conflicts);
             }
             // Constant-memory broadcast analysis.
             let max_ord = hw.iter().map(|t| t.consts.len()).max().unwrap_or(0);
             for o in 0..max_ord {
-                let idx: Vec<usize> =
-                    hw.iter().map_while(|t| t.consts.get(o).copied()).collect();
+                let idx: Vec<usize> = hw.iter().map_while(|t| t.consts.get(o).copied()).collect();
                 stats.sampled_const_halfwarps += 1;
                 stats.sampled_const_serial_cycles += serialization_penalty(&idx) as u64;
             }
@@ -407,7 +429,10 @@ impl<'a> ThreadCtx<'a> {
     /// Shared-memory 32-bit read (cooperative kernels only).
     #[inline]
     pub fn sh_read(&mut self, word: usize) -> f32 {
-        let sh = self.shared.as_deref_mut().expect("kernel has no shared memory");
+        let sh = self
+            .shared
+            .as_deref_mut()
+            .expect("kernel has no shared memory");
         self.stats.shared_reads += 1;
         if let Some(t) = self.trace.as_deref_mut() {
             t.shared.push(word);
@@ -418,7 +443,10 @@ impl<'a> ThreadCtx<'a> {
     /// Shared-memory 32-bit write (cooperative kernels only).
     #[inline]
     pub fn sh_write(&mut self, word: usize, v: f32) {
-        let sh = self.shared.as_deref_mut().expect("kernel has no shared memory");
+        let sh = self
+            .shared
+            .as_deref_mut()
+            .expect("kernel has no shared memory");
         self.stats.shared_writes += 1;
         if let Some(t) = self.trace.as_deref_mut() {
             t.shared.push(word);
@@ -508,6 +536,12 @@ pub struct Gpu {
     constants: Vec<ConstantBank>,
     /// Blocks traced at full fidelity per launch.
     pub trace_blocks: usize,
+    /// Monotonic simulated time, shared with the memory arena's tracer.
+    clock: SimClock,
+    /// The single PCIe link's busy window.
+    pcie_link: PcieTimeline,
+    /// Installed profiling sink, if any.
+    sink: Option<SharedSink>,
 }
 
 impl Gpu {
@@ -520,12 +554,137 @@ impl Gpu {
             textures: Vec::new(),
             constants: Vec::new(),
             trace_blocks: DEFAULT_TRACE_BLOCKS,
+            clock: Rc::new(Cell::new(0.0)),
+            pcie_link: PcieTimeline::default(),
+            sink: None,
         }
     }
 
     /// The device specification.
     pub fn spec(&self) -> &DeviceSpec {
         &self.spec
+    }
+
+    /// Installs a profiling sink: every subsequent launch, transfer and
+    /// allocation emits [`TraceEvent`]s timestamped with the simulated clock.
+    pub fn set_sink(&mut self, sink: SharedSink) {
+        let tracer = Tracer::new(sink.clone(), self.clock.clone());
+        self.mem.set_tracer(Some(tracer));
+        self.sink = Some(sink);
+    }
+
+    /// Removes the installed sink (tracing returns to zero overhead).
+    pub fn clear_sink(&mut self) {
+        self.mem.set_tracer(None);
+        self.sink = None;
+    }
+
+    /// Convenience: installs a fresh [`Recorder`] and returns its handle;
+    /// take the [`crate::trace::Trace`] out of it when the run completes.
+    pub fn install_recorder(&mut self) -> Rc<RefCell<Recorder>> {
+        let rec = Recorder::shared();
+        self.set_sink(rec.clone());
+        rec
+    }
+
+    /// True when a profiling sink is installed.
+    pub fn is_tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Current simulated time, seconds. Advances by the modelled duration of
+    /// every kernel launch and synchronous PCIe transfer.
+    pub fn clock_s(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Advances the compute timeline to at least `t_s` (used to wait for an
+    /// asynchronous transfer's completion time before consuming its data).
+    pub fn wait_until(&mut self, t_s: f64) {
+        if t_s > self.clock.get() {
+            self.clock.set(t_s);
+        }
+    }
+
+    /// Waits for every queued PCIe transfer to complete.
+    pub fn pcie_sync(&mut self) {
+        let t = self.pcie_link.busy_until_s();
+        self.wait_until(t);
+    }
+
+    /// Opens a named plan-level span at the current simulated time.
+    pub fn span_begin(&mut self, name: &str) {
+        if let Some(sink) = &self.sink {
+            let t_s = self.clock.get();
+            sink.borrow_mut().event(TraceEvent::SpanBegin {
+                name: name.to_string(),
+                t_s,
+            });
+        }
+    }
+
+    /// Closes the matching span at the current simulated time.
+    pub fn span_end(&mut self, name: &str) {
+        if let Some(sink) = &self.sink {
+            let t_s = self.clock.get();
+            sink.borrow_mut().event(TraceEvent::SpanEnd {
+                name: name.to_string(),
+                t_s,
+            });
+        }
+    }
+
+    /// Models a synchronous PCIe transfer: the link window is scheduled
+    /// behind any queued transfer and the compute timeline blocks until it
+    /// completes. Only the timing model runs — move the actual bytes with
+    /// [`DeviceMemory::upload`]/[`DeviceMemory::download`].
+    pub fn pcie_transfer(
+        &mut self,
+        dir: Dir,
+        bytes: u64,
+        chunks: usize,
+        label: &str,
+    ) -> TransferReport {
+        let (rep, end) = self.pcie_schedule(dir, bytes, chunks, label, false);
+        self.clock.set(end);
+        rep
+    }
+
+    /// Models an asynchronous PCIe transfer (§4.4 overlap): the link window
+    /// is scheduled but the compute timeline keeps running. Returns the
+    /// report and the completion time to pass to [`Gpu::wait_until`] before
+    /// the transferred data is consumed.
+    pub fn pcie_transfer_async(
+        &mut self,
+        dir: Dir,
+        bytes: u64,
+        chunks: usize,
+        label: &str,
+    ) -> (TransferReport, f64) {
+        self.pcie_schedule(dir, bytes, chunks, label, true)
+    }
+
+    fn pcie_schedule(
+        &mut self,
+        dir: Dir,
+        bytes: u64,
+        chunks: usize,
+        label: &str,
+        overlapped: bool,
+    ) -> (TransferReport, f64) {
+        let rep = transfer_time(self.spec.pcie, dir, bytes, chunks);
+        let (start_s, end_s) = self.pcie_link.schedule(self.clock.get(), rep.time_s);
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().event(TraceEvent::Pcie {
+                label: label.to_string(),
+                dir,
+                bytes,
+                start_s,
+                end_s,
+                overlapped,
+            });
+        }
+        (rep, end_s)
     }
 
     /// Device memory (allocation, upload/download data plane).
@@ -563,8 +722,7 @@ impl Gpu {
         let mut stats = KernelStats::default();
         let bd = cfg.resources.threads_per_block;
         for block in 0..cfg.grid_blocks {
-            let mut trace =
-                (block < self.trace_blocks).then(|| BlockTrace::new(bd));
+            let mut trace = (block < self.trace_blocks).then(|| BlockTrace::new(bd));
             for tid in 0..bd {
                 let tt = trace.as_mut().map(|bt| &mut bt.threads[tid]);
                 let mut ctx = ThreadCtx {
@@ -582,7 +740,11 @@ impl Gpu {
                 body(&mut ctx);
             }
             if let Some(bt) = trace {
-                bt.analyze(self.spec.arch.half_warp, self.spec.arch.shared_banks, &mut stats);
+                bt.analyze(
+                    self.spec.arch.half_warp,
+                    self.spec.arch.shared_banks,
+                    &mut stats,
+                );
             }
         }
         self.finish(cfg, occ, stats)
@@ -620,15 +782,43 @@ impl Gpu {
             drop(bc);
             stats.shared_races += races;
             if let Some(bt) = trace {
-                bt.analyze(self.spec.arch.half_warp, self.spec.arch.shared_banks, &mut stats);
+                bt.analyze(
+                    self.spec.arch.half_warp,
+                    self.spec.arch.shared_banks,
+                    &mut stats,
+                );
             }
         }
         self.finish(cfg, occ, stats)
     }
 
-    fn finish(&self, cfg: &LaunchConfig, occ: Occupancy, stats: KernelStats) -> KernelReport {
+    fn finish(&mut self, cfg: &LaunchConfig, occ: Occupancy, stats: KernelStats) -> KernelReport {
         let timing = time_kernel(&self.spec, cfg, &occ, &stats);
-        KernelReport { name: cfg.name, stats, occupancy: occ, timing }
+        let start_s = self.clock.get();
+        let end_s = start_s + timing.time_s;
+        self.clock.set(end_s);
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.borrow_mut();
+            sink.event(TraceEvent::KernelBegin {
+                config: *cfg,
+                occupancy: occ.clone(),
+                t_s: start_s,
+            });
+            sink.event(TraceEvent::KernelEnd {
+                name: cfg.name,
+                t_s: end_s,
+                timing,
+                coalesced_fraction: stats.coalesced_fraction(),
+                tx_hist: stats.sampled_tx_hist,
+                bank_conflicts: stats.bank_conflicts.clone(),
+            });
+        }
+        KernelReport {
+            name: cfg.name,
+            stats,
+            occupancy: occ,
+            timing,
+        }
     }
 
     /// A natural grid size: enough blocks to fill every SM at the kernel's
@@ -696,7 +886,11 @@ mod tests {
                 i += total;
             }
         });
-        assert!(rep.stats.load_coalesce_efficiency() < 0.3, "{:?}", rep.stats);
+        assert!(
+            rep.stats.load_coalesce_efficiency() < 0.3,
+            "{:?}",
+            rep.stats
+        );
         assert!(rep.stats.store_coalesce_efficiency() > 0.99);
     }
 
@@ -838,7 +1032,11 @@ mod tests {
             let v = t.ld(src, i);
             t.st(dst, t.gid(), v);
         });
-        assert!(rep.stats.load_coalesce_efficiency() < 0.5, "{:?}", rep.stats);
+        assert!(
+            rep.stats.load_coalesce_efficiency() < 0.5,
+            "{:?}",
+            rep.stats
+        );
         assert!(rep.stats.store_coalesce_efficiency() > 0.99);
     }
 
@@ -863,5 +1061,156 @@ mod tests {
         let cfg = LaunchConfig::copy("flops", 1, 32);
         let rep = g.launch(&cfg, |t| t.flops(10));
         assert_eq!(rep.stats.flops, 320);
+    }
+
+    #[test]
+    fn clock_advances_by_modelled_kernel_time() {
+        let mut g = gpu();
+        assert_eq!(g.clock_s(), 0.0);
+        let src = g.mem_mut().alloc(4096).unwrap();
+        let dst = g.mem_mut().alloc(4096).unwrap();
+        let cfg = LaunchConfig::copy("copy", 4, 64);
+        let r1 = g.launch(&cfg, |t| {
+            let v = t.ld(src, t.gid());
+            t.st(dst, t.gid(), v);
+        });
+        assert_eq!(g.clock_s(), r1.timing.time_s);
+        let r2 = g.launch(&cfg, |t| {
+            let v = t.ld(src, t.gid());
+            t.st(dst, t.gid(), v);
+        });
+        assert_eq!(g.clock_s(), r1.timing.time_s + r2.timing.time_s);
+    }
+
+    #[test]
+    fn recorder_captures_kernels_spans_and_allocations() {
+        let mut g = gpu();
+        let rec = g.install_recorder();
+        assert!(g.is_tracing());
+        let src = g.mem_mut().alloc(4096).unwrap();
+        let dst = g.mem_mut().alloc(4096).unwrap();
+        g.span_begin("plan");
+        let cfg = LaunchConfig::copy("copy", 4, 64);
+        let rep = g.launch(&cfg, |t| {
+            let v = t.ld(src, t.gid());
+            t.st(dst, t.gid(), v);
+        });
+        g.span_end("plan");
+        let trace = rec.borrow_mut().take_trace();
+        // Two allocs + span pair + kernel pair.
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.kernel_count(), 1);
+        assert_eq!(trace.kernel_time_s(), rep.timing.time_s);
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "plan");
+        assert_eq!(spans[0].duration_s(), rep.timing.time_s);
+        // The kernel slice carries the sampled tx histogram: a fully
+        // coalesced complex copy issues only 128-byte transactions.
+        match trace
+            .events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::KernelEnd { .. }))
+        {
+            Some(TraceEvent::KernelEnd {
+                tx_hist,
+                coalesced_fraction,
+                ..
+            }) => {
+                assert!(*coalesced_fraction > 0.999);
+                assert_eq!(tx_hist[0], 0);
+                assert_eq!(tx_hist[1], 0);
+                assert!(tx_hist[2] > 0);
+            }
+            _ => panic!("missing KernelEnd"),
+        }
+    }
+
+    #[test]
+    fn untraced_launch_emits_nothing_and_costs_nothing_extra() {
+        let mut g = gpu();
+        let src = g.mem_mut().alloc(64).unwrap();
+        let cfg = LaunchConfig::copy("quiet", 1, 64);
+        let _ = g.launch(&cfg, |t| {
+            let _ = t.ld(src, t.tid);
+        });
+        assert!(!g.is_tracing());
+        // Installing a recorder afterwards starts from an empty trace.
+        let rec = g.install_recorder();
+        assert!(rec.borrow().trace().is_empty());
+        g.clear_sink();
+        assert!(!g.is_tracing());
+    }
+
+    #[test]
+    fn bank_conflict_heatmap_reaches_the_trace() {
+        let mut g = gpu();
+        let rec = g.install_recorder();
+        let mut cfg = LaunchConfig::copy("banks", 1, 16);
+        cfg.resources.shared_bytes_per_block = 16 * 64 * 4;
+        g.launch_coop(&cfg, |blk| {
+            // Stride-16 shared writes from one half-warp: all lanes bank 0.
+            blk.threads(|tid, t| {
+                t.sh_write(tid * 16, tid as f32);
+            });
+        });
+        let trace = rec.borrow_mut().take_trace();
+        match trace
+            .events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::KernelEnd { .. }))
+        {
+            Some(TraceEvent::KernelEnd { bank_conflicts, .. }) => {
+                assert_eq!(bank_conflicts.len(), 16);
+                assert_eq!(bank_conflicts[0], 15);
+                assert!(bank_conflicts[1..].iter().all(|&c| c == 0));
+            }
+            _ => panic!("missing KernelEnd"),
+        }
+    }
+
+    #[test]
+    fn pcie_transfers_schedule_on_one_link() {
+        let mut g = gpu();
+        let rec = g.install_recorder();
+        // Synchronous upload: compute timeline blocks until it lands.
+        let r = g.pcie_transfer(Dir::H2D, 1 << 20, 1, "h2d_sync");
+        assert_eq!(g.clock_s(), r.time_s);
+        // Async download: link busy, clock unchanged.
+        let t0 = g.clock_s();
+        let (r2, done) = g.pcie_transfer_async(Dir::D2H, 1 << 20, 1, "d2h_async");
+        assert_eq!(g.clock_s(), t0);
+        assert_eq!(done, t0 + r2.time_s);
+        // A second transfer queues behind the async one.
+        let t1 = g.clock_s();
+        let r3 = g.pcie_transfer(Dir::H2D, 1 << 20, 1, "h2d_queued");
+        assert!(g.clock_s() >= done + r3.time_s - 1e-15);
+        assert!(g.clock_s() > t1);
+        // wait_until is monotonic.
+        let now = g.clock_s();
+        g.wait_until(now - 1.0);
+        assert_eq!(g.clock_s(), now);
+        g.pcie_sync();
+        assert_eq!(g.clock_s(), now);
+        let trace = rec.borrow_mut().take_trace();
+        let pcie: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Pcie {
+                    label,
+                    start_s,
+                    end_s,
+                    overlapped,
+                    ..
+                } => Some((label.clone(), *start_s, *end_s, *overlapped)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pcie.len(), 3);
+        assert_eq!(pcie[0].0, "h2d_sync");
+        assert!(pcie[1].3, "async transfer flagged overlapped");
+        // The queued transfer starts exactly when the async one ends.
+        assert_eq!(pcie[2].1, pcie[1].2);
     }
 }

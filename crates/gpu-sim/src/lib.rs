@@ -31,9 +31,13 @@ pub mod power;
 pub mod shared;
 pub mod spec;
 pub mod timing;
+pub mod trace;
 
-pub use exec::{ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, TexAccess, TextureId, ThreadCtx};
+pub use exec::{
+    ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, TexAccess, TextureId, ThreadCtx,
+};
 pub use memory::{AllocError, BufferId, DeviceMemory};
 pub use occupancy::{occupancy, KernelResources, Occupancy};
 pub use spec::{DeviceSpec, PcieGen};
 pub use timing::{KernelClass, KernelTiming};
+pub use trace::{Recorder, SharedSink, Span, Trace, TraceEvent, TraceSink, Tracer};

@@ -12,6 +12,8 @@
 
 use fft_math::Complex32;
 
+use crate::trace::{TraceEvent, Tracer};
+
 /// Element size in bytes (interleaved complex32).
 pub const ELEM_BYTES: u64 = 8;
 
@@ -34,12 +36,26 @@ pub struct DeviceMemory {
     used: u64,
     next_base: u64,
     buffers: Vec<Buffer>,
+    tracer: Option<Tracer>,
 }
 
 impl DeviceMemory {
     /// Creates an arena of `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, used: 0, next_base: ALLOC_ALIGN, buffers: Vec::new() }
+        DeviceMemory {
+            capacity,
+            used: 0,
+            next_base: ALLOC_ALIGN,
+            buffers: Vec::new(),
+            tracer: None,
+        }
+    }
+
+    /// Installs (or removes) the profiling tracer that timestamps
+    /// [`TraceEvent::Alloc`]/[`TraceEvent::Free`] events. Wired up by
+    /// [`crate::Gpu::set_sink`]; not usually called directly.
+    pub fn set_tracer(&mut self, tracer: Option<Tracer>) {
+        self.tracer = tracer;
     }
 
     /// Bytes currently allocated.
@@ -60,12 +76,26 @@ impl DeviceMemory {
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocError> {
         let bytes = len as u64 * ELEM_BYTES;
         if self.used + bytes > self.capacity {
-            return Err(AllocError { requested: bytes, free: self.capacity - self.used });
+            return Err(AllocError {
+                requested: bytes,
+                free: self.capacity - self.used,
+            });
         }
         let base = self.next_base;
         self.next_base += bytes.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
         self.used += bytes;
-        self.buffers.push(Buffer { base, data: vec![Complex32::ZERO; len], live: true });
+        self.buffers.push(Buffer {
+            base,
+            data: vec![Complex32::ZERO; len],
+            live: true,
+        });
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::Alloc {
+                bytes,
+                used_bytes: self.used,
+                t_s: t.now(),
+            });
+        }
         Ok(BufferId(self.buffers.len() - 1))
     }
 
@@ -74,8 +104,16 @@ impl DeviceMemory {
         let b = &mut self.buffers[id.0];
         assert!(b.live, "double free of {id:?}");
         b.live = false;
-        self.used -= b.data.len() as u64 * ELEM_BYTES;
+        let bytes = b.data.len() as u64 * ELEM_BYTES;
+        self.used -= bytes;
         b.data = Vec::new();
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::Free {
+                bytes,
+                used_bytes: self.used,
+                t_s: t.now(),
+            });
+        }
     }
 
     /// Length of a buffer in elements.

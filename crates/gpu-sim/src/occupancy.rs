@@ -25,7 +25,11 @@ impl KernelResources {
     /// The paper's coarse-grained 16-point kernel: 64-thread blocks, 52
     /// registers, no shared memory (§3.2).
     pub fn coarse_16pt() -> Self {
-        KernelResources { threads_per_block: 64, regs_per_thread: 52, shared_bytes_per_block: 0 }
+        KernelResources {
+            threads_per_block: 64,
+            regs_per_thread: 52,
+            shared_bytes_per_block: 0,
+        }
     }
 
     /// The paper's fine-grained 256-point kernel: 64 threads cooperate, 8
@@ -43,7 +47,11 @@ impl KernelResources {
     /// The rejected multirow 256-point-per-thread kernel: >512 data registers
     /// round up to a 1024-register allocation (§3.1).
     pub fn coarse_256pt() -> Self {
-        KernelResources { threads_per_block: 8, regs_per_thread: 1024, shared_bytes_per_block: 0 }
+        KernelResources {
+            threads_per_block: 8,
+            regs_per_thread: 1024,
+            shared_bytes_per_block: 0,
+        }
     }
 }
 
@@ -99,7 +107,9 @@ pub fn occupancy(arch: &ArchConstants, res: &KernelResources) -> Occupancy {
 
     let mut candidates = [
         (
-            arch.registers_per_sm.checked_div(regs_per_block).unwrap_or(usize::MAX),
+            arch.registers_per_sm
+                .checked_div(regs_per_block)
+                .unwrap_or(usize::MAX),
             OccupancyLimit::Registers,
         ),
         (
@@ -108,13 +118,21 @@ pub fn occupancy(arch: &ArchConstants, res: &KernelResources) -> Occupancy {
                 .unwrap_or(usize::MAX),
             OccupancyLimit::SharedMemory,
         ),
-        (arch.max_threads_per_sm / res.threads_per_block, OccupancyLimit::Threads),
-        (arch.max_blocks_per_sm, OccupancyLimit::Blocks)];
+        (
+            arch.max_threads_per_sm / res.threads_per_block,
+            OccupancyLimit::Threads,
+        ),
+        (arch.max_blocks_per_sm, OccupancyLimit::Blocks),
+    ];
     // Stable sort keeps the declaration order on ties, so the reported limit
     // is the most informative one (registers before the generic block cap).
     candidates.sort_by_key(|&(b, _)| b);
     let (blocks, limit) = candidates[0];
-    Occupancy { blocks_per_sm: blocks, threads_per_sm: blocks * res.threads_per_block, limit }
+    Occupancy {
+        blocks_per_sm: blocks,
+        threads_per_sm: blocks * res.threads_per_block,
+        limit,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +160,10 @@ mod tests {
     #[test]
     fn fine_grained_step5_is_well_occupied() {
         let occ = occupancy(&CUDA1_ARCH, &KernelResources::fine_256pt());
-        assert!(occ.threads_per_sm >= 128, "step 5 must stay latency-hidden: {occ:?}");
+        assert!(
+            occ.threads_per_sm >= 128,
+            "step 5 must stay latency-hidden: {occ:?}"
+        );
         assert_eq!(occ.blocks_per_sm, CUDA1_ARCH.max_blocks_per_sm);
     }
 

@@ -54,7 +54,37 @@ pub fn transfer_time(gen: PcieGen, dir: Dir, bytes: u64, chunks: usize) -> Trans
     let chunks = chunks.max(1);
     let bw = link_bandwidth_gbs(gen, dir);
     let time_s = bytes as f64 / (bw * 1e9) + chunks as f64 * TRANSFER_LATENCY_S;
-    TransferReport { bytes, time_s, achieved_gbs: bytes as f64 / time_s / 1e9 }
+    TransferReport {
+        bytes,
+        time_s,
+        achieved_gbs: bytes as f64 / time_s / 1e9,
+    }
+}
+
+/// Serialises transfers over the single PCIe link for the trace timeline.
+///
+/// The link carries one transfer at a time; a transfer issued while the link
+/// is busy queues behind it. Asynchronous transfers occupy the link without
+/// blocking the compute timeline — the overlap window of §4.4.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PcieTimeline {
+    busy_until_s: f64,
+}
+
+impl PcieTimeline {
+    /// Schedules a transfer of duration `time_s` issued at simulated time
+    /// `now_s`; returns its `(start_s, end_s)` busy window on the link.
+    pub fn schedule(&mut self, now_s: f64, time_s: f64) -> (f64, f64) {
+        let start = now_s.max(self.busy_until_s);
+        let end = start + time_s;
+        self.busy_until_s = end;
+        (start, end)
+    }
+
+    /// Simulated time at which every scheduled transfer has completed.
+    pub fn busy_until_s(&self) -> f64 {
+        self.busy_until_s
+    }
 }
 
 #[cfg(test)]
@@ -67,11 +97,23 @@ mod tests {
     fn table10_single_transfer_times() {
         // Paper Table 10: H2D 25.9 / 25.7 / 47.6 ms, D2H 26.1 / 27.3 / 40.1.
         let h2d2 = transfer_time(PcieGen::Gen2x16, Dir::H2D, VOL_256, 1);
-        assert!((h2d2.time_s * 1e3 - 25.8).abs() < 0.8, "{}", h2d2.time_s * 1e3);
+        assert!(
+            (h2d2.time_s * 1e3 - 25.8).abs() < 0.8,
+            "{}",
+            h2d2.time_s * 1e3
+        );
         let h2d1 = transfer_time(PcieGen::Gen1x16, Dir::H2D, VOL_256, 1);
-        assert!((h2d1.time_s * 1e3 - 47.6).abs() < 1.0, "{}", h2d1.time_s * 1e3);
+        assert!(
+            (h2d1.time_s * 1e3 - 47.6).abs() < 1.0,
+            "{}",
+            h2d1.time_s * 1e3
+        );
         let d2h1 = transfer_time(PcieGen::Gen1x16, Dir::D2H, VOL_256, 1);
-        assert!((d2h1.time_s * 1e3 - 40.1).abs() < 1.0, "{}", d2h1.time_s * 1e3);
+        assert!(
+            (d2h1.time_s * 1e3 - 40.1).abs() < 1.0,
+            "{}",
+            d2h1.time_s * 1e3
+        );
     }
 
     #[test]
@@ -105,5 +147,19 @@ mod tests {
     fn zero_bytes_costs_only_latency() {
         let r = transfer_time(PcieGen::Gen2x16, Dir::D2H, 0, 1);
         assert_eq!(r.time_s, TRANSFER_LATENCY_S);
+    }
+
+    #[test]
+    fn timeline_serialises_the_link() {
+        let mut link = PcieTimeline::default();
+        // Two back-to-back transfers issued at t=0: the second queues.
+        let (s0, e0) = link.schedule(0.0, 2.0);
+        let (s1, e1) = link.schedule(0.0, 3.0);
+        assert_eq!((s0, e0), (0.0, 2.0));
+        assert_eq!((s1, e1), (2.0, 5.0));
+        assert_eq!(link.busy_until_s(), 5.0);
+        // A transfer issued after the link drains starts immediately.
+        let (s2, _) = link.schedule(7.0, 1.0);
+        assert_eq!(s2, 7.0);
     }
 }

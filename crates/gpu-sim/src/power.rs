@@ -29,7 +29,11 @@ impl SystemPower {
 
 /// System power with the CPU doing the FFT (RIVA128 display card installed).
 pub fn cpu_system() -> SystemPower {
-    SystemPower { name: "RIVA128 (CPU FFT)", idle_w: 126.0, fft_load_w: 140.0 }
+    SystemPower {
+        name: "RIVA128 (CPU FFT)",
+        idle_w: 126.0,
+        fft_load_w: 140.0,
+    }
 }
 
 /// System power with the given GPU computing the FFT.

@@ -134,13 +134,40 @@ pub fn bank_conflict_degree(word_indices: &[usize], banks: usize) -> u32 {
             per_bank[b].push(w);
         }
     }
-    per_bank.iter().map(|v| v.len() as u32).max().unwrap_or(1).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Extra cycles (beyond the conflict-free baseline of 1) a half-warp access
 /// with the given indices costs.
 pub fn conflict_penalty_cycles(word_indices: &[usize], banks: usize) -> u32 {
     bank_conflict_degree(word_indices, banks) - 1
+}
+
+/// Folds one half-warp's shared accesses into a per-bank conflict heatmap:
+/// bank `b` gains (distinct words hit in `b` − 1) serialisation cycles, so a
+/// conflict-free op contributes nothing and a fully serialised stride-16 op
+/// puts its whole penalty on one bank — the shape the paper's padding fixes.
+pub fn accumulate_bank_conflicts(word_indices: &[usize], banks: usize, heat: &mut Vec<u64>) {
+    if heat.len() < banks {
+        heat.resize(banks, 0);
+    }
+    let mut per_bank: Vec<Vec<usize>> = vec![Vec::new(); banks];
+    for &w in word_indices {
+        let b = w % banks;
+        if !per_bank[b].contains(&w) {
+            per_bank[b].push(w);
+        }
+    }
+    for (b, words) in per_bank.iter().enumerate() {
+        if words.len() > 1 {
+            heat[b] += (words.len() - 1) as u64;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +250,27 @@ mod tests {
     fn stride_two_degree_two() {
         let idx: Vec<usize> = (0..16).map(|k| k * 2).collect();
         assert_eq!(bank_conflict_degree(&idx, 16), 2);
+    }
+
+    #[test]
+    fn heatmap_localises_the_conflicting_bank() {
+        let mut heat = Vec::new();
+        // Stride 16: all lanes in bank 0, 15 extra cycles there.
+        let idx: Vec<usize> = (0..16).map(|k| k * 16).collect();
+        accumulate_bank_conflicts(&idx, 16, &mut heat);
+        assert_eq!(heat.len(), 16);
+        assert_eq!(heat[0], 15);
+        assert!(heat[1..].iter().all(|&c| c == 0));
+        // Padded stride 17: conflict-free, heatmap unchanged.
+        let idx: Vec<usize> = (0..16).map(|k| k * 17).collect();
+        accumulate_bank_conflicts(&idx, 16, &mut heat);
+        assert_eq!(heat[0], 15);
+        assert_eq!(heat.iter().sum::<u64>(), 15);
+        // Stride 2: one extra cycle in each even bank.
+        let idx: Vec<usize> = (0..16).map(|k| k * 2).collect();
+        accumulate_bank_conflicts(&idx, 16, &mut heat);
+        assert_eq!(heat[2], 1);
+        assert_eq!(heat[3], 0);
     }
 
     #[test]

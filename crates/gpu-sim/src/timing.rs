@@ -25,8 +25,8 @@
 //!   slower SPs) loses to the GTS.
 
 use crate::dram::{
-    copy_base_gbs, effective_bandwidth_gbs, stream_decay, thread_saturation,
-    BandwidthQuery, TEXTURE_STRIDED_EFFICIENCY,
+    copy_base_gbs, effective_bandwidth_gbs, stream_decay, thread_saturation, BandwidthQuery,
+    TEXTURE_STRIDED_EFFICIENCY,
 };
 use crate::exec::{KernelStats, LaunchConfig};
 use crate::memory::ELEM_BYTES;
@@ -122,15 +122,19 @@ pub fn time_kernel(
             effective_bandwidth_gbs(spec, &q)
         }
     };
-    let mut mem_time = if useful_bytes == 0 { 0.0 } else { useful_bytes as f64 / (bw_gbs * 1e9) };
+    let mut mem_time = if useful_bytes == 0 {
+        0.0
+    } else {
+        useful_bytes as f64 / (bw_gbs * 1e9)
+    };
 
     // --- texture traffic ---
     // Cached tables (twiddles) live in the per-SM texture cache: free.
     // Strided working-set fetches stream from DRAM at the derated rate.
     let strided_tex_bytes = stats.tex_reads_strided * ELEM_BYTES;
     if strided_tex_bytes > 0 {
-        mem_time += strided_tex_bytes as f64
-            / (copy_base_gbs(spec) * TEXTURE_STRIDED_EFFICIENCY * 1e9);
+        mem_time +=
+            strided_tex_bytes as f64 / (copy_base_gbs(spec) * TEXTURE_STRIDED_EFFICIENCY * 1e9);
     }
 
     // --- compute ---
@@ -175,7 +179,11 @@ pub fn estimate_pass(
     occ: &Occupancy,
     elems: u64,
 ) -> KernelTiming {
-    let stats = KernelStats { loads: elems, stores: elems, ..Default::default() };
+    let stats = KernelStats {
+        loads: elems,
+        stores: elems,
+        ..Default::default()
+    };
     time_kernel(spec, cfg, occ, &stats)
 }
 
@@ -211,13 +219,21 @@ mod tests {
 
     /// Builds stats for a pass that touches `n` elements each way.
     fn pass_stats(n: u64) -> KernelStats {
-        KernelStats { loads: n, stores: n, ..Default::default() }
+        KernelStats {
+            loads: n,
+            stores: n,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn table8_step5_times_reproduced() {
         // Paper Table 8: ours = 5.72 / 5.17 / 5.52 ms on GT / GTS / GTX.
-        let paper = [(DeviceSpec::gt8800(), 5.72), (DeviceSpec::gts8800(), 5.17), (DeviceSpec::gtx8800(), 5.52)];
+        let paper = [
+            (DeviceSpec::gt8800(), 5.72),
+            (DeviceSpec::gts8800(), 5.17),
+            (DeviceSpec::gtx8800(), 5.52),
+        ];
         for (spec, want_ms) in paper {
             // Table 8 is the out-of-place batched form; Table 7's step 5 is
             // in-place. Use in-place=true to match Table 7 and out-of-place
@@ -277,8 +293,11 @@ mod tests {
         // Paper Table 6 steps 2/4/6: 13.0 / 12.3 / 7.85 ms (GT / GTS / GTX).
         // The transpose behaves like a 256-stream copy; the model lands
         // within ~12% (the paper itself calls the match approximate).
-        let paper =
-            [(DeviceSpec::gt8800(), 13.0), (DeviceSpec::gts8800(), 12.3), (DeviceSpec::gtx8800(), 7.85)];
+        let paper = [
+            (DeviceSpec::gt8800(), 13.0),
+            (DeviceSpec::gts8800(), 12.3),
+            (DeviceSpec::gtx8800(), 7.85),
+        ];
         for (spec, want_ms) in paper {
             let res = KernelResources {
                 threads_per_block: 64,

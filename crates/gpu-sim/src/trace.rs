@@ -1,0 +1,561 @@
+//! `sim-prof`: structured event tracing for the simulated GPU.
+//!
+//! Every observable action of the device — kernel launches, PCIe transfers,
+//! allocations, plan-level spans — can be emitted as a [`TraceEvent`] into a
+//! [`TraceSink`]. Timestamps are *simulated* seconds taken from the monotonic
+//! clock the executor advances with every modelled kernel/transfer time, so a
+//! trace is fully deterministic: the same program produces the same bytes,
+//! with no wall-clock reads and no external dependencies.
+//!
+//! The default sink is the [`Recorder`], which accumulates a [`Trace`] that
+//! can be exported as Chrome trace-event JSON ([`Trace::chrome_json`]) and
+//! loaded into `chrome://tracing` or Perfetto: kernels and plan spans render
+//! on one track, PCIe transfers on a second (overlapping intervals make the
+//! §4.4 asynchronous-transfer overlap directly visible), and device-memory
+//! usage as a counter series.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::exec::LaunchConfig;
+use crate::occupancy::Occupancy;
+use crate::pcie::Dir;
+use crate::timing::KernelTiming;
+
+/// The shared monotonic simulated clock, in seconds.
+///
+/// `Rc<Cell<f64>>` so the executor and the memory arena can timestamp events
+/// against the same timeline without borrowing each other.
+pub type SimClock = Rc<Cell<f64>>;
+
+/// A reference-counted, dynamically-dispatched sink handle.
+pub type SharedSink = Rc<RefCell<dyn TraceSink>>;
+
+/// Transaction-size histogram bucket boundaries, bytes. Bucket `i` counts
+/// sampled DRAM transactions of `TX_BUCKET_BYTES[i]` bytes or less (the last
+/// bucket absorbs everything larger).
+pub const TX_BUCKET_BYTES: [u64; 4] = [32, 64, 128, 256];
+
+/// Bucket index for a transaction of `bytes` bytes.
+pub fn tx_bucket(bytes: u64) -> usize {
+    TX_BUCKET_BYTES
+        .iter()
+        .position(|&b| bytes <= b)
+        .unwrap_or(TX_BUCKET_BYTES.len() - 1)
+}
+
+/// One structured profiling event. All timestamps are simulated seconds.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A kernel launch begins.
+    KernelBegin {
+        /// The full launch configuration.
+        config: LaunchConfig,
+        /// Occupancy the launch achieved.
+        occupancy: Occupancy,
+        /// Simulated start time, seconds.
+        t_s: f64,
+    },
+    /// A kernel launch completes (paired with the preceding `KernelBegin`).
+    KernelEnd {
+        /// Kernel name.
+        name: &'static str,
+        /// Simulated completion time, seconds.
+        t_s: f64,
+        /// Resolved timing-model output for the launch.
+        timing: KernelTiming,
+        /// Fraction of sampled half-warp global ops that coalesced.
+        coalesced_fraction: f64,
+        /// Sampled half-warp transaction-size histogram
+        /// (32/64/128/256-byte buckets, see [`TX_BUCKET_BYTES`]).
+        tx_hist: [u64; 4],
+        /// Sampled per-bank shared-memory conflict heatmap; empty when the
+        /// launch had no sampled shared-memory traffic.
+        bank_conflicts: Vec<u64>,
+    },
+    /// A named plan-level span opens (e.g. `z_fft_pass1`).
+    SpanBegin {
+        /// Span name.
+        name: String,
+        /// Simulated open time, seconds.
+        t_s: f64,
+    },
+    /// The matching span closes.
+    SpanEnd {
+        /// Span name.
+        name: String,
+        /// Simulated close time, seconds.
+        t_s: f64,
+    },
+    /// A PCIe transfer occupied the link over `[start_s, end_s]`.
+    Pcie {
+        /// Transfer label (e.g. `pcie_h2d_slab3`).
+        label: String,
+        /// Transfer direction.
+        dir: Dir,
+        /// Bytes moved.
+        bytes: u64,
+        /// Simulated start of the link-busy window, seconds.
+        start_s: f64,
+        /// Simulated end of the link-busy window, seconds.
+        end_s: f64,
+        /// Issued asynchronously — the window may overlap kernel work.
+        overlapped: bool,
+    },
+    /// A device-memory allocation succeeded.
+    Alloc {
+        /// Bytes allocated.
+        bytes: u64,
+        /// Bytes in use after the allocation.
+        used_bytes: u64,
+        /// Simulated time, seconds.
+        t_s: f64,
+    },
+    /// A device-memory buffer was freed.
+    Free {
+        /// Bytes released.
+        bytes: u64,
+        /// Bytes in use after the free.
+        used_bytes: u64,
+        /// Simulated time, seconds.
+        t_s: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's (start) timestamp, seconds.
+    pub fn t_s(&self) -> f64 {
+        match self {
+            TraceEvent::KernelBegin { t_s, .. }
+            | TraceEvent::KernelEnd { t_s, .. }
+            | TraceEvent::SpanBegin { t_s, .. }
+            | TraceEvent::SpanEnd { t_s, .. }
+            | TraceEvent::Alloc { t_s, .. }
+            | TraceEvent::Free { t_s, .. } => *t_s,
+            TraceEvent::Pcie { start_s, .. } => *start_s,
+        }
+    }
+}
+
+/// Receiver of trace events, installed on a [`crate::Gpu`] via
+/// [`crate::Gpu::set_sink`]. Events arrive in emission order with
+/// monotonically non-decreasing timestamps.
+pub trait TraceSink {
+    /// Receives one event.
+    fn event(&mut self, ev: TraceEvent);
+}
+
+/// The default sink: records every event into an in-memory [`Trace`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    trace: Trace,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// A shared handle suitable for [`crate::Gpu::set_sink`].
+    pub fn shared() -> Rc<RefCell<Recorder>> {
+        Rc::new(RefCell::new(Recorder::new()))
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes the recorded trace, leaving the recorder empty.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+impl TraceSink for Recorder {
+    fn event(&mut self, ev: TraceEvent) {
+        self.trace.events.push(ev);
+    }
+}
+
+/// A sink plus the clock it timestamps against — the handle the executor
+/// installs on subsystems (the memory arena) that emit their own events.
+#[derive(Clone)]
+pub struct Tracer {
+    sink: SharedSink,
+    clock: SimClock,
+}
+
+impl Tracer {
+    /// Couples a sink to a clock.
+    pub fn new(sink: SharedSink, clock: SimClock) -> Self {
+        Tracer { sink, clock }
+    }
+
+    /// The current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Emits one event.
+    pub fn emit(&self, ev: TraceEvent) {
+        self.sink.borrow_mut().event(ev);
+    }
+}
+
+/// A matched span interval recovered from a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Span name.
+    pub name: String,
+    /// Open time, seconds.
+    pub start_s: f64,
+    /// Close time, seconds.
+    pub end_s: f64,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+}
+
+impl Span {
+    /// Span duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+}
+
+/// An ordered sequence of [`TraceEvent`]s plus the exporters over it.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Matched spans in close order, with nesting depth.
+    pub fn spans(&self) -> Vec<Span> {
+        let mut stack: Vec<(String, f64)> = Vec::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::SpanBegin { name, t_s } => stack.push((name.clone(), *t_s)),
+                TraceEvent::SpanEnd { name, t_s } => {
+                    if let Some((n, start)) = stack.pop() {
+                        debug_assert_eq!(&n, name, "mismatched span nesting");
+                        out.push(Span {
+                            name: n,
+                            start_s: start,
+                            end_s: *t_s,
+                            depth: stack.len(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Sum of the modelled durations of all kernel launches in the trace.
+    ///
+    /// Each `KernelEnd` contributes its `timing.time_s` exactly, so for a
+    /// trace of one run this equals the run report's total time bit-for-bit.
+    pub fn kernel_time_s(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::KernelEnd { timing, .. } => timing.time_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+
+    /// Number of kernel launches recorded.
+    pub fn kernel_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::KernelEnd { .. }))
+            .count()
+    }
+
+    /// Exports the trace as Chrome trace-event JSON (the `traceEvents` array
+    /// format of `chrome://tracing` / Perfetto), hand-rolled so the output is
+    /// deterministic and dependency-free.
+    ///
+    /// Track layout: tid 0 carries plan spans (`B`/`E`) and kernel slices
+    /// (`X`, with occupancy/coalescing/histogram args); tid 1 carries the
+    /// PCIe link; device-memory usage is a counter (`C`) series. Timestamps
+    /// are microseconds, as the format requires.
+    pub fn chrome_json(&self) -> String {
+        let mut ev: Vec<String> = Vec::with_capacity(self.events.len() + 3);
+        ev.push(r#"{"ph":"M","pid":0,"name":"process_name","args":{"name":"gpu-sim"}}"#.into());
+        ev.push(
+            r#"{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"sm (kernels + plan spans)"}}"#
+                .into(),
+        );
+        ev.push(r#"{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"pcie"}}"#.into());
+
+        let mut pending: Option<(&LaunchConfig, &Occupancy, f64)> = None;
+        for e in &self.events {
+            match e {
+                TraceEvent::KernelBegin {
+                    config,
+                    occupancy,
+                    t_s,
+                } => {
+                    pending = Some((config, occupancy, *t_s));
+                }
+                TraceEvent::KernelEnd {
+                    name,
+                    t_s,
+                    timing,
+                    coalesced_fraction,
+                    tx_hist,
+                    bank_conflicts,
+                } => {
+                    let (start, cfg_args) = match pending.take() {
+                        Some((cfg, occ, start)) => (
+                            start,
+                            format!(
+                                "\"grid_blocks\":{},\"threads_per_block\":{},\"blocks_per_sm\":{},\"threads_per_sm\":{},",
+                                cfg.grid_blocks,
+                                cfg.resources.threads_per_block,
+                                occ.blocks_per_sm,
+                                occ.threads_per_sm
+                            ),
+                        ),
+                        None => (t_s - timing.time_s, String::new()),
+                    };
+                    let mut line = String::new();
+                    line.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    esc(name, &mut line);
+                    line.push_str(&format!(
+                        "\",\"ts\":{},\"dur\":{},\"args\":{{{}",
+                        us(start),
+                        us(timing.time_s),
+                        cfg_args
+                    ));
+                    line.push_str(&format!(
+                        "\"mem_time_us\":{},\"compute_time_us\":{},\"conflict_time_us\":{},\"achieved_gbs\":{},\"achieved_gflops\":{},\"coalesced_pct\":{},\"tx_hist_32_64_128_256\":[{},{},{},{}],\"bank_conflicts\":[{}]}}}}",
+                        us(timing.mem_time_s),
+                        us(timing.compute_time_s),
+                        us(timing.conflict_time_s),
+                        num(timing.achieved_gbs),
+                        num(timing.achieved_gflops),
+                        num(coalesced_fraction * 100.0),
+                        tx_hist[0],
+                        tx_hist[1],
+                        tx_hist[2],
+                        tx_hist[3],
+                        bank_conflicts
+                            .iter()
+                            .map(|c| c.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ));
+                    ev.push(line);
+                }
+                TraceEvent::SpanBegin { name, t_s } => {
+                    let mut line = String::new();
+                    line.push_str("{\"ph\":\"B\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    esc(name, &mut line);
+                    line.push_str(&format!("\",\"ts\":{}}}", us(*t_s)));
+                    ev.push(line);
+                }
+                TraceEvent::SpanEnd { name, t_s } => {
+                    let mut line = String::new();
+                    line.push_str("{\"ph\":\"E\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    esc(name, &mut line);
+                    line.push_str(&format!("\",\"ts\":{}}}", us(*t_s)));
+                    ev.push(line);
+                }
+                TraceEvent::Pcie {
+                    label,
+                    dir,
+                    bytes,
+                    start_s,
+                    end_s,
+                    overlapped,
+                } => {
+                    let dur = end_s - start_s;
+                    let gbs = if dur > 0.0 {
+                        *bytes as f64 / dur / 1e9
+                    } else {
+                        0.0
+                    };
+                    let mut line = String::new();
+                    line.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"");
+                    esc(label, &mut line);
+                    line.push_str(&format!(
+                        "\",\"ts\":{},\"dur\":{},\"args\":{{\"dir\":\"{}\",\"bytes\":{},\"achieved_gbs\":{},\"async\":{}}}}}",
+                        us(*start_s),
+                        us(dur),
+                        match dir {
+                            Dir::H2D => "H2D",
+                            Dir::D2H => "D2H",
+                        },
+                        bytes,
+                        num(gbs),
+                        overlapped
+                    ));
+                    ev.push(line);
+                }
+                TraceEvent::Alloc {
+                    used_bytes, t_s, ..
+                }
+                | TraceEvent::Free {
+                    used_bytes, t_s, ..
+                } => {
+                    ev.push(format!(
+                        "{{\"ph\":\"C\",\"pid\":0,\"name\":\"device_mem\",\"ts\":{},\"args\":{{\"used_bytes\":{}}}}}",
+                        us(*t_s),
+                        used_bytes
+                    ));
+                }
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&ev.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Seconds → microsecond JSON number (Chrome's `ts`/`dur` unit).
+fn us(t_s: f64) -> String {
+    num(t_s * 1e6)
+}
+
+/// Deterministic JSON number for a finite f64 (shortest round-trip form).
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "non-finite value in trace export");
+    format!("{x}")
+}
+
+/// Escapes a string into `out` per JSON rules.
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, t0: f64, t1: f64) -> [TraceEvent; 2] {
+        [
+            TraceEvent::SpanBegin {
+                name: name.into(),
+                t_s: t0,
+            },
+            TraceEvent::SpanEnd {
+                name: name.into(),
+                t_s: t1,
+            },
+        ]
+    }
+
+    #[test]
+    fn recorder_accumulates_events() {
+        let rec = Recorder::shared();
+        let clock: SimClock = Rc::new(Cell::new(0.5));
+        let tracer = Tracer::new(rec.clone(), clock);
+        tracer.emit(TraceEvent::Alloc {
+            bytes: 64,
+            used_bytes: 64,
+            t_s: tracer.now(),
+        });
+        assert_eq!(rec.borrow().trace().len(), 1);
+        let trace = rec.borrow_mut().take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.events[0].t_s(), 0.5);
+        assert!(rec.borrow().trace().is_empty());
+    }
+
+    #[test]
+    fn spans_pair_and_nest() {
+        let mut t = Trace::default();
+        t.events.push(TraceEvent::SpanBegin {
+            name: "outer".into(),
+            t_s: 0.0,
+        });
+        t.events.extend(span("inner", 1.0, 2.0));
+        t.events.push(TraceEvent::SpanEnd {
+            name: "outer".into(),
+            t_s: 3.0,
+        });
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0],
+            Span {
+                name: "inner".into(),
+                start_s: 1.0,
+                end_s: 2.0,
+                depth: 1
+            }
+        );
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].duration_s(), 3.0);
+    }
+
+    #[test]
+    fn tx_buckets_cover_the_segment_sizes() {
+        assert_eq!(tx_bucket(32), 0);
+        assert_eq!(tx_bucket(64), 1);
+        assert_eq!(tx_bucket(128), 2);
+        assert_eq!(tx_bucket(256), 3);
+        assert_eq!(tx_bucket(1024), 3);
+        assert_eq!(tx_bucket(8), 0);
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_balances() {
+        let mut t = Trace::default();
+        t.events.extend(span("we\"ird\\name", 0.0, 1e-3));
+        t.events.push(TraceEvent::Pcie {
+            label: "pcie_h2d_slab0".into(),
+            dir: Dir::H2D,
+            bytes: 1 << 20,
+            start_s: 0.0,
+            end_s: 2e-4,
+            overlapped: true,
+        });
+        let json = t.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("we\\\"ird\\\\name"));
+        assert!(json.contains("\"async\":true"));
+        // Structurally balanced outside string literals (no raw braces appear
+        // inside our escaped names).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic() {
+        let mut t = Trace::default();
+        t.events.extend(span("a", 0.125, 0.25));
+        let u = t.clone();
+        assert_eq!(t.chrome_json(), u.chrome_json());
+    }
+}

@@ -50,7 +50,10 @@ fn main() {
     let dst = gpu.mem_mut().alloc(n).unwrap();
     for streams in [1usize, 4, 16, 64, 256] {
         let rep = run_stream_copy(&mut gpu, src, dst, n, streams);
-        println!("  {streams:>3} streams: {:>5.1} GB/s", rep.timing.modeled_bandwidth_gbs);
+        println!(
+            "  {streams:>3} streams: {:>5.1} GB/s",
+            rep.timing.modeled_bandwidth_gbs
+        );
     }
 
     // --- pattern pairs (Tables 3-4) ---

@@ -44,8 +44,16 @@ fn main() {
     for p in 0..planes {
         for y in 0..ny {
             for x in 0..nx {
-                let kx = if x <= nx / 2 { x as f32 } else { x as f32 - nx as f32 };
-                let ky = if y <= ny / 2 { y as f32 } else { y as f32 - ny as f32 };
+                let kx = if x <= nx / 2 {
+                    x as f32
+                } else {
+                    x as f32 - nx as f32
+                };
+                let ky = if y <= ny / 2 {
+                    y as f32
+                } else {
+                    y as f32 - ny as f32
+                };
                 let k2 = (kx * kx + ky * ky) * (std::f32::consts::TAU / nx as f32).powi(2);
                 let g = (-k2 * sigma * sigma / 2.0).exp();
                 spec[x + nx * (y + ny * p)] = spec[x + nx * (y + ny * p)].scale(g);
@@ -78,6 +86,11 @@ fn main() {
         fwd.total_time_s() * 1e3
     );
     for s in &fwd.steps {
-        println!("  {:<10} {:>7.3} ms  {:>5.1} GB/s", s.name, s.timing.time_s * 1e3, s.timing.achieved_gbs);
+        println!(
+            "  {:<10} {:>7.3} ms  {:>5.1} GB/s",
+            s.name,
+            s.timing.time_s * 1e3,
+            s.timing.achieved_gbs
+        );
     }
 }

@@ -42,7 +42,10 @@ fn main() {
         result.translation.0, result.translation.1, result.translation.2
     );
     println!("  shape score    : {:.1}", result.score);
-    println!("\nmodelled device time for the whole sweep: {:.2} ms", result.device_s * 1e3);
+    println!(
+        "\nmodelled device time for the whole sweep: {:.2} ms",
+        result.device_s * 1e3
+    );
     println!(
         "host<->device traffic: {:.1} MB on-card vs {:.1} MB for an offload-per-FFT design ({:.0}x saved)",
         result.bytes_on_card as f64 / 1e6,

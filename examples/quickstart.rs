@@ -26,7 +26,9 @@ fn main() {
 
     // 2. Plan the transform and allocate device buffers.
     let plan = FiveStepFft::new(&mut gpu, n, n, n);
-    let (v, work) = plan.alloc_buffers(&mut gpu).expect("volume fits on the card");
+    let (v, work) = plan
+        .alloc_buffers(&mut gpu)
+        .expect("volume fits on the card");
 
     // 3. Make a random complex volume and upload it (the plan packs the
     //    natural x-fastest layout into the paper's 5-D device layout).

@@ -15,14 +15,20 @@ use nukada_fft_repro::prelude::*;
 
 fn main() {
     let dims = (64usize, 64, 64);
-    println!("== Spectral analysis on a simulated 8800 GTX ({}³) ==\n", dims.0);
+    println!(
+        "== Spectral analysis on a simulated 8800 GTX ({}³) ==\n",
+        dims.0
+    );
     let mut gpu = Gpu::new(DeviceSpec::gtx8800());
     let plan = FiveStepFft::new(&mut gpu, dims.0, dims.1, dims.2);
 
     // --- synthesis: |F(k)|² ~ k^-(11/3) gives shell E(k) ~ k^-5/3 ---
     let power_slope = 11.0 / 3.0;
     let field = synthesize_power_law_field(&mut gpu, &plan, dims, power_slope, 42);
-    println!("synthesised a Kolmogorov-like field ({} voxels)", field.len());
+    println!(
+        "synthesised a Kolmogorov-like field ({} voxels)",
+        field.len()
+    );
 
     // --- analysis ---
     let (e, step5) = energy_spectrum(&mut gpu, &plan, dims, &field);

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: exactly what CI runs. Keep this in sync with README.md.
+# --offline: the build environment has no registry access; all deps must
+# already be vendored or cached.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo fmt --all -- --check

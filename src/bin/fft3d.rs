@@ -10,8 +10,8 @@
 //! (`2*nx*ny*nz` floats). Without `--input`, a random volume is generated.
 //! `--verify` cross-checks the result against the CPU transform.
 
-use nukada_fft_repro::prelude::*;
 use bifft::plan::{Algorithm, Fft3d};
+use nukada_fft_repro::prelude::*;
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -67,7 +67,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         let mut next = |what: &str| {
-            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{what} needs a value"))
         };
         match a.as_str() {
             "--dims" => args.dims = parse_dims(&next("--dims")?)?,
@@ -142,14 +144,21 @@ fn main() -> ExitCode {
         None => {
             use rand::{rngs::SmallRng, Rng, SeedableRng};
             let mut rng = SmallRng::seed_from_u64(0xF47);
-            (0..vol).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+            (0..vol)
+                .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect()
         }
     };
 
     let mut gpu = Gpu::new(args.device);
     eprintln!(
         "fft3d: {}x{}x{} {:?} on simulated {} ({:?})",
-        nx, ny, nz, args.algo, gpu.spec().name, args.dir
+        nx,
+        ny,
+        nz,
+        args.algo,
+        gpu.spec().name,
+        args.dir
     );
     let plan = match Fft3d::new(&mut gpu, args.algo, nx, ny, nz) {
         Ok(p) => p,
@@ -211,11 +220,19 @@ mod tests {
 
     #[test]
     fn args_parse_roundtrip() {
-        let argv: Vec<String> =
-            ["--dims", "32", "--algo", "six", "--device", "gt", "--inverse", "--verify"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let argv: Vec<String> = [
+            "--dims",
+            "32",
+            "--algo",
+            "six",
+            "--device",
+            "gt",
+            "--inverse",
+            "--verify",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         let a = parse_args(&argv).unwrap();
         assert_eq!(a.dims, (32, 32, 32));
         assert_eq!(a.algo, Algorithm::SixStep);

@@ -61,5 +61,5 @@ pub mod prelude {
     pub use fft_apps::convolution::GpuCorrelator;
     pub use fft_math::twiddle::Direction;
     pub use fft_math::{c32, Complex32};
-    pub use gpu_sim::{DeviceSpec, Gpu};
+    pub use gpu_sim::{DeviceSpec, Gpu, Recorder, Trace};
 }

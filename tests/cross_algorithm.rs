@@ -8,11 +8,16 @@ use rand::{Rng, SeedableRng};
 
 fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    (0..n)
+        .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
 }
 
 fn max_abs_diff(a: &[Complex32], b: &[Complex32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f32::max)
 }
 
 #[test]
@@ -59,9 +64,17 @@ fn all_five_implementations_agree_at_32_cubed() {
 
     // All against the CPU reference, tolerance scaled by volume RMS.
     let tol = 2e-3 * scale.sqrt() / 32.0;
-    for (name, result) in [("five-step", &r5), ("six-step", &r6), ("cufft-like", &rc), ("out-of-core", &ro)] {
+    for (name, result) in [
+        ("five-step", &r5),
+        ("six-step", &r6),
+        ("cufft-like", &rc),
+        ("out-of-core", &ro),
+    ] {
         let d = max_abs_diff(result, &cpu);
-        assert!(d < tol, "{name} deviates from the CPU FFT by {d} (tol {tol})");
+        assert!(
+            d < tol,
+            "{name} deviates from the CPU FFT by {d} (tol {tol})"
+        );
     }
 }
 
@@ -80,7 +93,10 @@ fn rectangular_volumes_agree() {
     five.execute(&mut gpu, v, w, Direction::Forward);
     let r5 = five.download(&gpu, v);
 
-    assert!(max_abs_diff(&r5, &cpu) < 0.05, "rectangular five-step deviates");
+    assert!(
+        max_abs_diff(&r5, &cpu) < 0.05,
+        "rectangular five-step deviates"
+    );
 }
 
 #[test]
@@ -117,7 +133,6 @@ fn gpu_algorithms_preserve_energy() {
     five.upload(&mut gpu, v, &host);
     five.execute(&mut gpu, v, w, Direction::Forward);
     let spec = five.download(&gpu, v);
-    let e_out: f64 =
-        spec.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / (n * n * n) as f64;
+    let e_out: f64 = spec.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / (n * n * n) as f64;
     assert!((e_in - e_out).abs() < 1e-3 * e_in, "{e_in} vs {e_out}");
 }

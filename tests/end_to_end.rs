@@ -13,7 +13,10 @@ fn device_capacity_forces_out_of_core_at_512_cubed() {
     let mut gpu = Gpu::new(DeviceSpec::gts8800());
     let elems = 1usize << 27; // 512³
     let first = gpu.mem_mut().alloc(elems);
-    assert!(first.is_err(), "a single 1 GiB buffer must not fit in 512 MB");
+    assert!(
+        first.is_err(),
+        "a single 1 GiB buffer must not fit in 512 MB"
+    );
 
     // The out-of-core plan with 8 slabs fits (two 134 MB slab buffers).
     let spec = DeviceSpec::gts8800();
@@ -60,16 +63,24 @@ fn paper_narrative_transfer_overhead_demotes_the_gtx() {
     let mut totals = Vec::new();
     let mut on_board = Vec::new();
     for spec in DeviceSpec::all_cards() {
-        let fft: f64 =
-            FiveStepFft::estimate(&spec, n, n, n).iter().map(|(_, t)| t.time_s).sum();
+        let fft: f64 = FiveStepFft::estimate(&spec, n, n, n)
+            .iter()
+            .map(|(_, t)| t.time_s)
+            .sum();
         let t = transfer_time(spec.pcie, Dir::H2D, bytes, 1).time_s
             + fft
             + transfer_time(spec.pcie, Dir::D2H, bytes, 1).time_s;
         on_board.push(fft);
         totals.push(t);
     }
-    assert!(on_board[2] < on_board[0].min(on_board[1]), "GTX fastest on-board");
-    assert!(totals[2] > totals[0].max(totals[1]), "GTX slowest end-to-end");
+    assert!(
+        on_board[2] < on_board[0].min(on_board[1]),
+        "GTX fastest on-board"
+    );
+    assert!(
+        totals[2] > totals[0].max(totals[1]),
+        "GTX slowest end-to-end"
+    );
 }
 
 #[test]
@@ -79,8 +90,10 @@ fn power_efficiency_story_holds() {
     let cpu_gf = cpu_fft::fftw_model_gflops(&cpu_fft::CpuSpec::phenom_9500(), 256, 256, 256);
     let cpu_eff = cpu.gflops_per_watt(cpu_gf);
     for spec in DeviceSpec::all_cards() {
-        let est: f64 =
-            FiveStepFft::estimate(&spec, 256, 256, 256).iter().map(|(_, t)| t.time_s).sum();
+        let est: f64 = FiveStepFft::estimate(&spec, 256, 256, 256)
+            .iter()
+            .map(|(_, t)| t.time_s)
+            .sum();
         let gf = fft_math::flops::nominal_flops_3d(256, 256, 256) as f64 / est / 1e9;
         let eff = gpu_sim::power::gpu_system(&spec).gflops_per_watt(gf);
         let ratio = eff / cpu_eff;
@@ -104,7 +117,11 @@ fn correlator_reuses_resident_spectrum() {
     let b = vec![c32(0.5, 0.0); corr.volume()];
     for _ in 0..3 {
         let (_, _, rep) = corr.correlate_argmax_re(&mut gpu, &b);
-        assert_eq!(rep.h2d_bytes, (corr.volume() * 8) as u64, "only the ligand goes up");
+        assert_eq!(
+            rep.h2d_bytes,
+            (corr.volume() * 8) as u64,
+            "only the ligand goes up"
+        );
         assert_eq!(rep.d2h_bytes, 8, "only the score comes down");
     }
 }
