@@ -3,6 +3,9 @@
 //! ```text
 //! cargo run --release -p fft-bench --bin profile -- \
 //!     --algo five-step --n 256 --card gts --trace t.json --metrics m.json
+//! cargo run --release -p fft-bench --bin profile -- \
+//!     --algo out-of-core --n 64 --streams 2 --trace overlap.json
+//! cargo run --release -p fft-bench --bin profile -- --algo multi-gpu --gpus 4 --n 64
 //! cargo run --release -p fft-bench --bin profile -- --diff a.json b.json
 //! ```
 //!
@@ -11,14 +14,14 @@
 //! Without either flag the flamegraph-style step table prints to stdout.
 
 use bifft::plan::Algorithm;
-use fft_bench::profile::{card, diff_metrics, parse_metrics, run_profile};
+use fft_bench::profile::{card, diff_metrics, parse_metrics, run_profile_any};
 use gpu_sim::DeviceSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--trace PATH] [--metrics PATH]"
+            "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--streams K] [--gpus N] [--trace PATH] [--metrics PATH]"
         );
         eprintln!("       profile --diff A.json B.json");
         std::process::exit(2);
@@ -27,6 +30,8 @@ fn main() {
     let mut algo = Algorithm::FiveStep;
     let mut n = 64usize;
     let mut spec = DeviceSpec::gts8800();
+    let mut streams = 2usize;
+    let mut gpus = 2usize;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
 
@@ -43,6 +48,16 @@ fn main() {
             "--card" => {
                 let name = it.next().expect("--card NAME");
                 spec = card(name).unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--streams" => {
+                streams = it
+                    .next()
+                    .expect("--streams K")
+                    .parse()
+                    .expect("stream count");
+            }
+            "--gpus" => {
+                gpus = it.next().expect("--gpus N").parse().expect("card count");
             }
             "--trace" => trace_path = Some(it.next().expect("--trace PATH").clone()),
             "--metrics" => metrics_path = Some(it.next().expect("--metrics PATH").clone()),
@@ -61,14 +76,19 @@ fn main() {
         }
     }
 
-    let (rep, trace) = run_profile(spec, algo, n);
+    let run = run_profile_any(spec, algo, n, streams, gpus);
     if let Some(p) = &trace_path {
-        std::fs::write(p, trace.chrome_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
-        eprintln!("trace: {p} ({} events)", trace.len());
+        std::fs::write(p, run.trace.chrome_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("trace: {p} ({} events)", run.trace.len());
     }
     if let Some(p) = &metrics_path {
-        std::fs::write(p, rep.metrics_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
-        eprintln!("metrics: {p}");
+        match &run.metrics_json {
+            Some(json) => {
+                std::fs::write(p, json).unwrap_or_else(|e| panic!("write {p}: {e}"));
+                eprintln!("metrics: {p}");
+            }
+            None => eprintln!("metrics: not available for {} runs", algo.name()),
+        }
     }
-    print!("{}", rep.step_table());
+    print!("{}", run.table);
 }

@@ -7,6 +7,7 @@
 //! cargo run --release -p fft-bench --bin report -- --figure 1
 //! cargo run --release -p fft-bench --bin report -- --ablations
 //! cargo run --release -p fft-bench --bin report -- --crosscheck 64
+//! cargo run --release -p fft-bench --bin report -- --scaling
 //! cargo run --release -p fft-bench --bin report -- --trace out.json
 //! ```
 
@@ -67,6 +68,8 @@ fn main() {
             }
             "--ablations" => print!("{}", ablations::full_ablations(256)),
             "--extensions" => print!("{}", extensions::full_extensions()),
+            // Multi-GPU and stream scaling (the --gpus/--streams knobs).
+            "--scaling" => print!("{}", extensions::scaling_tables(64)),
             "--crosscheck" => {
                 let n: usize = it.next().expect("--crosscheck N").parse().expect("size");
                 print!("{}", validate::crosscheck_report(n));

@@ -9,9 +9,7 @@
 //!
 //! Output is CSV on stdout, one row per (size, card, algorithm).
 
-use bifft::cufft_like::CufftLikeFft;
-use bifft::five_step::FiveStepFft;
-use bifft::six_step::SixStepFft;
+use bifft::plan::Algorithm;
 use fft_math::flops::nominal_flops_3d;
 use gpu_sim::pcie::{transfer_time, Dir};
 use gpu_sim::spec::DeviceSpec;
@@ -32,15 +30,12 @@ fn gflops_series() {
     println!("size,card,algorithm,time_ms,gflops");
     for n in SIZES {
         for spec in cards() {
-            let rows: [(&str, f64); 3] = [
-                ("five-step", total(&FiveStepFft::estimate(&spec, n, n, n))),
-                ("six-step", total(&SixStepFft::estimate(&spec, n, n, n))),
-                ("cufft-like", total(&CufftLikeFft::estimate(&spec, n, n, n))),
-            ];
-            for (algo, t) in rows {
+            for algo in Algorithm::IN_CORE {
+                let t = total(&algo.estimate_steps(&spec, n, n, n).expect("in-core"));
                 println!(
-                    "{n},{},{algo},{:.4},{:.2}",
+                    "{n},{},{},{:.4},{:.2}",
                     spec.name,
+                    algo.name(),
                     t * 1e3,
                     nominal_flops_3d(n, n, n) as f64 / t / 1e9
                 );
@@ -53,7 +48,10 @@ fn step_series() {
     println!("size,card,step,time_ms,achieved_gbs");
     for n in SIZES {
         for spec in cards() {
-            for (name, t) in FiveStepFft::estimate(&spec, n, n, n) {
+            let steps = Algorithm::FiveStep
+                .estimate_steps(&spec, n, n, n)
+                .expect("in-core");
+            for (name, t) in steps {
                 println!(
                     "{n},{},{name},{:.4},{:.2}",
                     spec.name,
@@ -70,7 +68,11 @@ fn transfer_series() {
     for n in SIZES {
         let bytes = (n * n * n * 8) as u64;
         for spec in cards() {
-            let fft = total(&FiveStepFft::estimate(&spec, n, n, n));
+            let fft = total(
+                &Algorithm::FiveStep
+                    .estimate_steps(&spec, n, n, n)
+                    .expect("in-core"),
+            );
             let h2d = transfer_time(spec.pcie, Dir::H2D, bytes, 1).time_s;
             let d2h = transfer_time(spec.pcie, Dir::D2H, bytes, 1).time_s;
             let tot = fft + h2d + d2h;

@@ -63,6 +63,7 @@ pub const TABLE9: [(&str, f64, f64, f64); 3] = [
 
 /// Table 10: 256³ with transfers — (h2d ms, h2d GB/s, fft ms, fft GFLOPS,
 /// d2h ms, d2h GB/s, total ms, total GFLOPS) per card.
+#[allow(clippy::type_complexity)]
 pub const TABLE10: [(f64, f64, f64, f64, f64, f64, f64, f64); 3] = [
     (25.9, 5.18, 32.3, 62.2, 26.1, 5.14, 84.3, 23.9),
     (25.7, 5.21, 30.0, 67.1, 27.3, 4.91, 83.1, 24.2),

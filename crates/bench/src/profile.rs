@@ -4,8 +4,9 @@
 //! dependency-free scanner over our own metrics format so two runs can be
 //! diffed from their files alone.
 
+use bifft::multi_gpu::MultiGpuFft3d;
 use bifft::plan::{Algorithm, Fft3d};
-use bifft::RunReport;
+use bifft::{OutOfCoreFft, RunReport};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::{DeviceSpec, Gpu, Trace};
@@ -33,13 +34,90 @@ fn signal(len: usize) -> Vec<Complex32> {
 pub fn run_profile(spec: DeviceSpec, algo: Algorithm, n: usize) -> (RunReport, Trace) {
     let mut gpu = Gpu::new(spec);
     let rec = gpu.install_recorder();
-    let plan = Fft3d::new(&mut gpu, algo, n, n, n)
-        .unwrap_or_else(|e| panic!("{n}^3 volume does not fit on the card: {e}"));
+    let plan = Fft3d::builder(n, n, n)
+        .algorithm(algo)
+        .build(&mut gpu)
+        .unwrap_or_else(|e| panic!("cannot plan {n}^3 on the card: {e}"));
     let host = signal(n * n * n);
-    let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
-    plan.release(&mut gpu);
+    let (_, rep) = plan
+        .transform(&mut gpu, &host, Direction::Forward)
+        .expect("volume length matches the plan");
+    drop(plan);
     let trace = rec.borrow_mut().take_trace();
     (rep.with_trace(trace.clone()), trace)
+}
+
+/// One traced profiling run, for any [`Algorithm`] including the paths that
+/// do not go through the in-core [`Fft3d`] facade.
+pub struct ProfileRun {
+    /// Human-readable timing summary (step table or stage summary).
+    pub table: String,
+    /// Flat counters file, present only for in-core runs.
+    pub metrics_json: Option<String>,
+    /// The recorded trace (card 0's trace for multi-GPU runs).
+    pub trace: Trace,
+}
+
+/// Runs a traced forward `n`³ transform of any algorithm.
+///
+/// In-core algorithms delegate to [`run_profile`]; `out-of-core` cycles the
+/// slabs over `streams` CUDA-style streams, and `multi-gpu` shards the
+/// volume across `gpus` cards (the returned trace is card 0's — each
+/// simulated card records independently).
+pub fn run_profile_any(
+    spec: DeviceSpec,
+    algo: Algorithm,
+    n: usize,
+    streams: usize,
+    gpus: usize,
+) -> ProfileRun {
+    match algo {
+        Algorithm::OutOfCore => {
+            // Keep the slab Z extent at 16+ so the in-slab passes tile.
+            let slabs = (n / 16).clamp(2, 16);
+            let plan = OutOfCoreFft::new(&spec, n, n, n, slabs).with_streams(streams);
+            let mut gpu = Gpu::new(spec);
+            let rec = gpu.install_recorder();
+            let mut host = signal(n * n * n);
+            let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+            let trace = rec.borrow_mut().take_trace();
+            let table = format!(
+                "{}\n{} stream(s): wall {:.4} s vs {:.4} s serial legs\n",
+                bifft::out_of_core::summarize(&rep, (n, n, n)),
+                rep.streams,
+                rep.wall_s,
+                rep.total_s()
+            );
+            ProfileRun {
+                table,
+                metrics_json: None,
+                trace,
+            }
+        }
+        Algorithm::MultiGpu => {
+            let mut plan =
+                MultiGpuFft3d::new(&spec, gpus, n, n, n).unwrap_or_else(|e| panic!("{e}"));
+            let rec = plan.gpu_mut(0).install_recorder();
+            let host = signal(n * n * n);
+            let (_, rep) = plan
+                .transform(&host, Direction::Forward)
+                .expect("volume length matches the plan");
+            let trace = rec.borrow_mut().take_trace();
+            ProfileRun {
+                table: format!("{}\n", bifft::multi_gpu::summarize(&rep, (n, n, n))),
+                metrics_json: None,
+                trace,
+            }
+        }
+        _ => {
+            let (rep, trace) = run_profile(spec, algo, n);
+            ProfileRun {
+                table: rep.step_table(),
+                metrics_json: Some(rep.metrics_json()),
+                trace,
+            }
+        }
+    }
 }
 
 /// The fields [`diff_metrics`] compares, scanned back out of a
@@ -59,9 +137,7 @@ pub struct MetricsFile {
 fn field<'t>(text: &'t str, key: &str, from: usize) -> Option<(&'t str, usize)> {
     let needle = format!("\"{key}\": ");
     let at = text[from..].find(&needle)? + from + needle.len();
-    let end = text[at..]
-        .find(|c: char| c == ',' || c == '}' || c == '\n')
-        .map(|e| at + e)?;
+    let end = text[at..].find([',', '}', '\n']).map(|e| at + e)?;
     Some((text[at..end].trim().trim_matches('"'), end))
 }
 
@@ -167,6 +243,22 @@ mod tests {
         let text = diff_metrics(&m, &m);
         assert!(text.contains("+0.000 ms total"));
         assert!(text.contains("step1_z16"));
+    }
+
+    #[test]
+    fn any_profile_covers_the_non_facade_paths() {
+        let ooc = run_profile_any(DeviceSpec::gts8800(), Algorithm::OutOfCore, 32, 2, 1);
+        assert!(ooc.table.contains("out-of-core"));
+        assert!(ooc.metrics_json.is_none());
+        assert!(ooc.trace.chrome_json().contains("stream 0"));
+
+        let mg = run_profile_any(DeviceSpec::gts8800(), Algorithm::MultiGpu, 16, 1, 2);
+        assert!(mg.table.contains("multi-gpu"));
+        assert!(mg.trace.chrome_json().contains("mgpu"));
+
+        let five = run_profile_any(DeviceSpec::gts8800(), Algorithm::FiveStep, 16, 1, 1);
+        assert!(five.metrics_json.is_some());
+        assert!(five.table.contains("step5_x"));
     }
 
     #[test]

@@ -180,13 +180,13 @@ mod tests {
                             .map(|j| host[in_view.index(x, [f1, f2, f3, j])])
                             .collect();
                         let want = dft_oracle(&row, Direction::Forward);
-                        for k1 in 0..n {
+                        for (k1, want_k) in want.iter().enumerate() {
                             let tw = fft_math::twiddle::twiddle(
                                 k1 * f3,
                                 pass.axis_len,
                                 Direction::Forward,
                             );
-                            let expect = want[k1].narrow() * tw;
+                            let expect = want_k.narrow() * tw;
                             let got = gpu.mem().read(dst, out_view.index(x, [k1, f1, f2, f3]));
                             assert!(
                                 (got - expect).abs() < 1e-3,

@@ -21,6 +21,7 @@ pub mod elementwise;
 pub mod five_step;
 pub mod kernel16;
 pub mod kernel256;
+pub mod multi_gpu;
 pub mod noshared;
 pub mod out_of_core;
 pub mod plan;
@@ -33,7 +34,8 @@ pub use batch::{Fft1dBatchGpu, Fft2dGpu};
 pub use cufft_like::CufftLikeFft;
 pub use five_step::FiveStepFft;
 pub use kernel256::FineFftPlan;
+pub use multi_gpu::{MultiGpuFft3d, MultiGpuReport};
 pub use out_of_core::OutOfCoreFft;
-pub use plan::{Algorithm, Fft3d};
+pub use plan::{Algorithm, Fft3d, Fft3dBuilder, FftError};
 pub use report::{ReportDiff, RunReport, StepDiff};
 pub use six_step::SixStepFft;

@@ -3,9 +3,14 @@
 //!
 //! Downstream code (the applications, the examples) mostly wants "a 3-D FFT
 //! on this device" without caring which algorithm runs or how the data is
-//! laid out on the card. `Fft3d` provides that: natural x-fastest volumes
+//! laid out on the card. [`Fft3d`] provides that: natural x-fastest volumes
 //! in, natural spectra out, with the algorithm selectable (defaulting to the
 //! paper's five-step kernel) and the layout packing handled internally.
+//!
+//! Plans are built through [`Fft3d::builder`], every recoverable condition
+//! comes back as a typed [`FftError`], and device buffers are released by
+//! RAII: dropping a plan queues its buffers on the allocator's deferred-free
+//! queue, so a forgotten plan cannot leak device memory.
 
 use crate::cufft_like::CufftLikeFft;
 use crate::five_step::FiveStepFft;
@@ -13,7 +18,8 @@ use crate::report::RunReport;
 use crate::six_step::SixStepFft;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
-use gpu_sim::{AllocError, BufferId, Gpu};
+use gpu_sim::timing::KernelTiming;
+use gpu_sim::{AllocError, BufferId, DeviceSpec, FreeQueue, Gpu};
 
 /// Which 3-D FFT algorithm a plan uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -25,16 +31,68 @@ pub enum Algorithm {
     SixStep,
     /// The CUFFT-1.1-style baseline.
     CufftLike,
+    /// The §3.3 out-of-core slab pipeline for volumes larger than device
+    /// memory (see [`crate::out_of_core::OutOfCoreFft`]).
+    OutOfCore,
+    /// The slab-sharded multi-GPU pipeline
+    /// (see [`crate::multi_gpu::MultiGpuFft3d`]).
+    MultiGpu,
 }
 
 impl Algorithm {
+    /// Every algorithm, in report order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::FiveStep,
+        Algorithm::SixStep,
+        Algorithm::CufftLike,
+        Algorithm::OutOfCore,
+        Algorithm::MultiGpu,
+    ];
+
+    /// The three single-card in-core algorithms [`Fft3d`] can plan directly.
+    pub const IN_CORE: [Algorithm; 3] = [
+        Algorithm::FiveStep,
+        Algorithm::SixStep,
+        Algorithm::CufftLike,
+    ];
+
     /// The label used in reports and accepted by the CLI (`"five-step"`,
-    /// `"six-step"`, `"cufft-like"`).
+    /// `"six-step"`, `"cufft-like"`, `"out-of-core"`, `"multi-gpu"`).
     pub fn name(self) -> &'static str {
         match self {
             Algorithm::FiveStep => "five-step",
             Algorithm::SixStep => "six-step",
             Algorithm::CufftLike => "cufft-like",
+            Algorithm::OutOfCore => "out-of-core",
+            Algorithm::MultiGpu => "multi-gpu",
+        }
+    }
+
+    /// True for the single-card in-core algorithms [`Fft3d`] plans directly;
+    /// false for the out-of-core and multi-GPU pipelines, which have their
+    /// own entry points.
+    pub fn is_in_core(self) -> bool {
+        matches!(
+            self,
+            Algorithm::FiveStep | Algorithm::SixStep | Algorithm::CufftLike
+        )
+    }
+
+    /// Analytic per-kernel estimate for the in-core algorithms (`None` for
+    /// the out-of-core and multi-GPU pipelines, whose estimates live on
+    /// their own types and are not per-kernel).
+    pub fn estimate_steps(
+        self,
+        spec: &DeviceSpec,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Option<Vec<(&'static str, KernelTiming)>> {
+        match self {
+            Algorithm::FiveStep => Some(FiveStepFft::estimate(spec, nx, ny, nz)),
+            Algorithm::SixStep => Some(SixStepFft::estimate(spec, nx, ny, nz)),
+            Algorithm::CufftLike => Some(CufftLikeFft::estimate(spec, nx, ny, nz)),
+            Algorithm::OutOfCore | Algorithm::MultiGpu => None,
         }
     }
 }
@@ -43,16 +101,109 @@ impl std::str::FromStr for Algorithm {
     type Err = String;
 
     /// Parses a CLI-style algorithm name; hyphens/underscores are
-    /// interchangeable and `"cufft"` abbreviates `"cufft-like"`.
+    /// interchangeable, `"cufft"` abbreviates `"cufft-like"`, and the
+    /// paper's own names (`"bandwidth-intensive"`, `"conventional"`) are
+    /// accepted as aliases.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().replace('_', "-").as_str() {
-            "five-step" | "fivestep" | "5-step" | "five" => Ok(Algorithm::FiveStep),
-            "six-step" | "sixstep" | "6-step" | "six" => Ok(Algorithm::SixStep),
+            "five-step" | "fivestep" | "5-step" | "five" | "bandwidth-intensive" => {
+                Ok(Algorithm::FiveStep)
+            }
+            "six-step" | "sixstep" | "6-step" | "six" | "conventional" => Ok(Algorithm::SixStep),
             "cufft-like" | "cufftlike" | "cufft" => Ok(Algorithm::CufftLike),
+            "out-of-core" | "outofcore" | "ooc" => Ok(Algorithm::OutOfCore),
+            "multi-gpu" | "multigpu" | "mgpu" => Ok(Algorithm::MultiGpu),
             other => Err(format!(
-                "unknown algorithm '{other}' (expected five-step, six-step or cufft-like)"
+                "unknown algorithm '{other}' (expected five-step, six-step, cufft-like, \
+                 out-of-core or multi-gpu)"
             )),
         }
+    }
+}
+
+/// Typed error for every recoverable planning/transform condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FftError {
+    /// The device buffers do not fit on the card.
+    Alloc(AllocError),
+    /// The host slice length does not match the planned volume.
+    VolumeMismatch {
+        /// Elements the plan expects (`nx * ny * nz`).
+        expected: usize,
+        /// Elements the caller supplied.
+        got: usize,
+    },
+    /// A dimension is outside what the kernels support.
+    UnsupportedSize {
+        /// Which axis (`'x'`, `'y'` or `'z'`).
+        axis: char,
+        /// The offending length.
+        n: usize,
+    },
+    /// A multi-GPU shard count that doesn't divide the volume.
+    BadShardCount {
+        /// Cards requested.
+        n_gpus: usize,
+        /// Why the count is unusable.
+        reason: &'static str,
+    },
+    /// The algorithm cannot be planned through this entry point.
+    UnsupportedAlgorithm {
+        /// The requested algorithm.
+        algorithm: Algorithm,
+        /// What to use instead.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::Alloc(e) => write!(f, "{e}"),
+            FftError::VolumeMismatch { expected, got } => write!(
+                f,
+                "volume mismatch: plan covers {expected} elements, host slice has {got}"
+            ),
+            FftError::UnsupportedSize { axis, n } => write!(
+                f,
+                "unsupported {axis}-dimension {n}: must be a power of two in 16..=512"
+            ),
+            FftError::BadShardCount { n_gpus, reason } => {
+                write!(f, "cannot shard across {n_gpus} GPUs: {reason}")
+            }
+            FftError::UnsupportedAlgorithm { algorithm, reason } => {
+                write!(f, "cannot plan '{}' here: {reason}", algorithm.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+impl From<AllocError> for FftError {
+    fn from(e: AllocError) -> Self {
+        FftError::Alloc(e)
+    }
+}
+
+/// RAII ownership of a plan's device buffers: on drop, the ids are queued on
+/// the arena's deferred-free queue (see [`gpu_sim::FreeQueue`]), so the
+/// memory is returned even if the plan is never explicitly released.
+struct BufferGuard {
+    ids: Vec<BufferId>,
+    queue: FreeQueue,
+}
+
+impl BufferGuard {
+    /// Takes the ids out, disarming the drop path (for explicit release).
+    fn disarm(&mut self) -> Vec<BufferId> {
+        std::mem::take(&mut self.ids)
+    }
+}
+
+impl Drop for BufferGuard {
+    fn drop(&mut self) {
+        self.queue.borrow_mut().extend(self.ids.drain(..));
     }
 }
 
@@ -62,30 +213,49 @@ enum Inner {
     Cufft(CufftLikeFft),
 }
 
-/// A planned 3-D FFT with device buffers attached.
+/// A planned 3-D FFT with device buffers attached. Built with
+/// [`Fft3d::builder`]; buffers are freed when the plan drops.
 pub struct Fft3d {
     inner: Inner,
     v: BufferId,
     work: BufferId,
     dims: (usize, usize, usize),
+    guard: BufferGuard,
 }
 
-impl Fft3d {
-    /// Plans a transform with the chosen algorithm and allocates its device
+/// Builder for [`Fft3d`] (see [`Fft3d::builder`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Fft3dBuilder {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    algorithm: Algorithm,
+}
+
+impl Fft3dBuilder {
+    /// Selects the algorithm (default: the paper's five-step kernel).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Validates the request, plans the transform and allocates its device
     /// buffers.
     ///
     /// # Errors
-    /// Returns the allocation error when the volume does not fit on the
-    /// card (at which point [`crate::out_of_core::OutOfCoreFft`] is the
-    /// tool).
-    pub fn new(
-        gpu: &mut Gpu,
-        algorithm: Algorithm,
-        nx: usize,
-        ny: usize,
-        nz: usize,
-    ) -> Result<Self, AllocError> {
-        let (inner, v, work) = match algorithm {
+    /// [`FftError::UnsupportedSize`] for dimensions the kernels cannot run,
+    /// [`FftError::UnsupportedAlgorithm`] for the out-of-core / multi-GPU
+    /// pipelines (use their own entry points), and [`FftError::Alloc`] when
+    /// the volume does not fit on the card — at which point
+    /// [`crate::out_of_core::OutOfCoreFft`] is the tool.
+    pub fn build(self, gpu: &mut Gpu) -> Result<Fft3d, FftError> {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        for (axis, n) in [('x', nx), ('y', ny), ('z', nz)] {
+            if !n.is_power_of_two() || !(16..=512).contains(&n) {
+                return Err(FftError::UnsupportedSize { axis, n });
+            }
+        }
+        let (inner, v, work) = match self.algorithm {
             Algorithm::FiveStep => {
                 let p = FiveStepFft::new(gpu, nx, ny, nz);
                 let (v, w) = p.alloc_buffers(gpu)?;
@@ -101,13 +271,68 @@ impl Fft3d {
                 let (v, w) = p.alloc_buffers(gpu)?;
                 (Inner::Cufft(p), v, w)
             }
+            Algorithm::OutOfCore => {
+                return Err(FftError::UnsupportedAlgorithm {
+                    algorithm: self.algorithm,
+                    reason: "use OutOfCoreFft::new for volumes larger than device memory",
+                })
+            }
+            Algorithm::MultiGpu => {
+                return Err(FftError::UnsupportedAlgorithm {
+                    algorithm: self.algorithm,
+                    reason: "use MultiGpuFft3d::new to shard across several cards",
+                })
+            }
+        };
+        let guard = BufferGuard {
+            ids: vec![v, work],
+            queue: gpu.mem().free_queue(),
         };
         Ok(Fft3d {
             inner,
             v,
             work,
             dims: (nx, ny, nz),
+            guard,
         })
+    }
+}
+
+impl Fft3d {
+    /// Starts building an `nx x ny x nz` plan:
+    /// `Fft3d::builder(nx, ny, nz).algorithm(a).build(&mut gpu)?`.
+    pub fn builder(nx: usize, ny: usize, nz: usize) -> Fft3dBuilder {
+        Fft3dBuilder {
+            nx,
+            ny,
+            nz,
+            algorithm: Algorithm::default(),
+        }
+    }
+
+    /// Plans a transform with the chosen algorithm and allocates its device
+    /// buffers.
+    ///
+    /// # Errors
+    /// Returns the allocation error when the volume does not fit on the
+    /// card.
+    ///
+    /// # Panics
+    /// On unsupported dimensions or algorithms (the builder reports those as
+    /// typed errors instead — use it).
+    #[deprecated(since = "0.2.0", note = "use Fft3d::builder(nx, ny, nz).build(gpu)")]
+    pub fn new(
+        gpu: &mut Gpu,
+        algorithm: Algorithm,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+    ) -> Result<Self, AllocError> {
+        match Fft3d::builder(nx, ny, nz).algorithm(algorithm).build(gpu) {
+            Ok(p) => Ok(p),
+            Err(FftError::Alloc(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The algorithm behind this plan.
@@ -132,14 +357,23 @@ impl Fft3d {
     /// Transforms a natural-order host volume, returning the natural-order
     /// result and the per-kernel report. Inverse transforms are left
     /// unnormalised (CUFFT/FFTW convention).
+    ///
+    /// # Errors
+    /// [`FftError::VolumeMismatch`] when `host.len()` is not the planned
+    /// volume.
     pub fn transform(
         &self,
         gpu: &mut Gpu,
         host: &[Complex32],
         dir: Direction,
-    ) -> (Vec<Complex32>, RunReport) {
-        assert_eq!(host.len(), self.volume(), "volume mismatch");
-        match &self.inner {
+    ) -> Result<(Vec<Complex32>, RunReport), FftError> {
+        if host.len() != self.volume() {
+            return Err(FftError::VolumeMismatch {
+                expected: self.volume(),
+                got: host.len(),
+            });
+        }
+        Ok(match &self.inner {
             Inner::Five(p) => {
                 // upload packs the natural order into the 5-D input layout;
                 // download unpacks the 5-D output layout — both directions
@@ -160,13 +394,17 @@ impl Fft3d {
                 gpu.mem_mut().download(self.v, 0, &mut out);
                 (out, rep)
             }
-        }
+        })
     }
 
-    /// Frees the plan's device buffers.
-    pub fn release(self, gpu: &mut Gpu) {
-        gpu.mem_mut().free(self.v);
-        gpu.mem_mut().free(self.work);
+    /// Frees the plan's device buffers immediately. Dropping the plan has
+    /// the same effect (deferred to the allocator's next reclaim), so this
+    /// is only needed to make the release point explicit.
+    #[deprecated(since = "0.2.0", note = "dropping the plan frees its buffers")]
+    pub fn release(mut self, gpu: &mut Gpu) {
+        for id in self.guard.disarm() {
+            gpu.mem_mut().free(id);
+        }
     }
 }
 
@@ -189,17 +427,15 @@ mod tests {
         let n = 16usize;
         let host = volume(n * n * n, 600);
         let mut results = Vec::new();
-        for algo in [
-            Algorithm::FiveStep,
-            Algorithm::SixStep,
-            Algorithm::CufftLike,
-        ] {
+        for algo in Algorithm::IN_CORE {
             let mut gpu = Gpu::new(DeviceSpec::gts8800());
-            let plan = Fft3d::new(&mut gpu, algo, n, n, n).unwrap();
+            let plan = Fft3d::builder(n, n, n)
+                .algorithm(algo)
+                .build(&mut gpu)
+                .unwrap();
             assert_eq!(plan.algorithm(), algo);
-            let (out, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
+            let (out, rep) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
             assert!(rep.total_time_s() > 0.0);
-            plan.release(&mut gpu);
             results.push(out);
         }
         for other in &results[1..] {
@@ -214,11 +450,7 @@ mod tests {
 
     #[test]
     fn algorithm_names_parse_back() {
-        for algo in [
-            Algorithm::FiveStep,
-            Algorithm::SixStep,
-            Algorithm::CufftLike,
-        ] {
+        for algo in Algorithm::ALL {
             assert_eq!(algo.name().parse::<Algorithm>().unwrap(), algo);
         }
         assert_eq!(
@@ -226,17 +458,56 @@ mod tests {
             Algorithm::FiveStep
         );
         assert_eq!("CUFFT".parse::<Algorithm>().unwrap(), Algorithm::CufftLike);
+        assert_eq!(
+            "bandwidth-intensive".parse::<Algorithm>().unwrap(),
+            Algorithm::FiveStep
+        );
+        assert_eq!("ooc".parse::<Algorithm>().unwrap(), Algorithm::OutOfCore);
+        assert_eq!("MGPU".parse::<Algorithm>().unwrap(), Algorithm::MultiGpu);
         assert!("seven-step".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn estimates_dispatch_per_algorithm() {
+        let spec = DeviceSpec::gt8800();
+        for algo in Algorithm::IN_CORE {
+            let steps = algo.estimate_steps(&spec, 64, 64, 64).unwrap();
+            assert!(!steps.is_empty());
+            assert!(steps.iter().all(|(_, t)| t.time_s > 0.0));
+        }
+        assert!(Algorithm::OutOfCore
+            .estimate_steps(&spec, 64, 64, 64)
+            .is_none());
+        assert!(Algorithm::MultiGpu
+            .estimate_steps(&spec, 64, 64, 64)
+            .is_none());
     }
 
     #[test]
     fn release_returns_memory() {
         let mut gpu = Gpu::new(DeviceSpec::gt8800());
         let before = gpu.mem().used_bytes();
-        let plan = Fft3d::new(&mut gpu, Algorithm::FiveStep, 16, 16, 16).unwrap();
+        let plan = Fft3d::builder(16, 16, 16).build(&mut gpu).unwrap();
         assert!(gpu.mem().used_bytes() > before);
+        #[allow(deprecated)]
         plan.release(&mut gpu);
         assert_eq!(gpu.mem().used_bytes(), before);
+    }
+
+    #[test]
+    fn dropping_plan_frees_buffers() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        let before = gpu.mem().used_bytes();
+        let plan = Fft3d::builder(32, 32, 32).build(&mut gpu).unwrap();
+        let held = gpu.mem().used_bytes();
+        assert!(held > before);
+        drop(plan);
+        // The guard queued the buffers: they no longer count as used and the
+        // next allocation can take the whole card again.
+        assert_eq!(gpu.mem().used_bytes(), before);
+        let half_card = (gpu.mem().capacity_bytes() / 8 - before / 8) as usize / 2;
+        let big = gpu.mem_mut().alloc(half_card);
+        assert!(big.is_ok(), "queued buffers were physically reclaimed");
     }
 
     #[test]
@@ -245,8 +516,58 @@ mod tests {
         let mut spec = DeviceSpec::gts8800();
         spec.memory_bytes = 1 << 20;
         let mut gpu = Gpu::new(spec);
-        let r = Fft3d::new(&mut gpu, Algorithm::SixStep, 64, 64, 64);
-        assert!(r.is_err(), "two 2 MiB buffers cannot fit in 1 MiB");
+        let r = Fft3d::builder(64, 64, 64)
+            .algorithm(Algorithm::SixStep)
+            .build(&mut gpu);
+        assert!(
+            matches!(r, Err(FftError::Alloc(_))),
+            "two 2 MiB buffers cannot fit in 1 MiB"
+        );
+    }
+
+    #[test]
+    fn unsupported_conditions_are_typed_errors_not_panics() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        assert_eq!(
+            Fft3d::builder(8, 16, 16).build(&mut gpu).err(),
+            Some(FftError::UnsupportedSize { axis: 'x', n: 8 })
+        );
+        assert_eq!(
+            Fft3d::builder(16, 24, 16).build(&mut gpu).err(),
+            Some(FftError::UnsupportedSize { axis: 'y', n: 24 })
+        );
+        assert!(matches!(
+            Fft3d::builder(16, 16, 16)
+                .algorithm(Algorithm::OutOfCore)
+                .build(&mut gpu),
+            Err(FftError::UnsupportedAlgorithm { .. })
+        ));
+        let plan = Fft3d::builder(16, 16, 16).build(&mut gpu).unwrap();
+        let short = vec![Complex32::ZERO; 7];
+        assert_eq!(
+            plan.transform(&mut gpu, &short, Direction::Forward).err(),
+            Some(FftError::VolumeMismatch {
+                expected: 4096,
+                got: 7
+            })
+        );
+        // Errors display something actionable.
+        let msg = format!("{}", FftError::UnsupportedSize { axis: 'z', n: 7 });
+        assert!(msg.contains("power of two"));
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #[allow(deprecated)]
+        {
+            let mut gpu = Gpu::new(DeviceSpec::gt8800());
+            let plan = Fft3d::new(&mut gpu, Algorithm::FiveStep, 16, 16, 16).unwrap();
+            let host = volume(plan.volume(), 77);
+            let (out, _) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
+            assert_eq!(out.len(), host.len());
+            plan.release(&mut gpu);
+            assert_eq!(gpu.mem().used_bytes(), 0);
+        }
     }
 
     #[test]
@@ -254,9 +575,12 @@ mod tests {
         let n = 16usize;
         let host = volume(n * n * n, 601);
         let mut gpu = Gpu::new(DeviceSpec::gtx8800());
-        let plan = Fft3d::new(&mut gpu, Algorithm::SixStep, n, n, n).unwrap();
-        let (spec, _) = plan.transform(&mut gpu, &host, Direction::Forward);
-        let (back, _) = plan.transform(&mut gpu, &spec, Direction::Inverse);
+        let plan = Fft3d::builder(n, n, n)
+            .algorithm(Algorithm::SixStep)
+            .build(&mut gpu)
+            .unwrap();
+        let (spec, _) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
+        let (back, _) = plan.transform(&mut gpu, &spec, Direction::Inverse).unwrap();
         let s = 1.0 / plan.volume() as f32;
         for (b, h) in back.iter().zip(&host) {
             assert!((b.scale(s) - *h).abs() < 1e-4);

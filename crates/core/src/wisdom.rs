@@ -9,21 +9,55 @@
 use crate::kernel256::FineFftPlan;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-static CACHE: Mutex<Option<HashMap<usize, Arc<FineFftPlan>>>> = Mutex::new(None);
-static HITS: Mutex<u64> = Mutex::new(0);
-static MISSES: Mutex<u64> = Mutex::new(0);
+/// The cache and its counters, in one place: the map takes the lock, the
+/// counters are atomics so the hot hit path bumps them without re-locking.
+struct WisdomState {
+    cache: Mutex<Option<HashMap<usize, Arc<FineFftPlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+static STATE: WisdomState = WisdomState {
+    cache: Mutex::new(None),
+    hits: AtomicU64::new(0),
+    misses: AtomicU64::new(0),
+};
+
+/// A point-in-time snapshot of the cache's effectiveness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WisdomStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+    /// Distinct lengths currently memoised.
+    pub entries: usize,
+}
+
+impl WisdomStats {
+    /// Hit fraction in `[0, 1]` (1.0 when no lookups happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
 
 /// Returns the cached plan for length `n`, planning it on first use.
 pub fn plan_arc(n: usize) -> Arc<FineFftPlan> {
-    let mut guard = CACHE.lock();
+    let mut guard = STATE.cache.lock();
     let map = guard.get_or_insert_with(HashMap::new);
     if let Some(p) = map.get(&n) {
-        *HITS.lock() += 1;
+        STATE.hits.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(p);
     }
-    *MISSES.lock() += 1;
+    STATE.misses.fetch_add(1, Ordering::Relaxed);
     let p = Arc::new(FineFftPlan::new(n));
     map.insert(n, Arc::clone(&p));
     p
@@ -34,16 +68,21 @@ pub fn plan(n: usize) -> FineFftPlan {
     plan_arc(n).as_ref().clone()
 }
 
-/// `(hits, misses)` since process start or the last [`clear`].
-pub fn stats() -> (u64, u64) {
-    (*HITS.lock(), *MISSES.lock())
+/// Snapshot of hits/misses/entries since process start or the last [`clear`].
+pub fn stats() -> WisdomStats {
+    let entries = STATE.cache.lock().as_ref().map_or(0, HashMap::len);
+    WisdomStats {
+        hits: STATE.hits.load(Ordering::Relaxed),
+        misses: STATE.misses.load(Ordering::Relaxed),
+        entries,
+    }
 }
 
 /// Drops all memoised plans and resets the counters.
 pub fn clear() {
-    *CACHE.lock() = None;
-    *HITS.lock() = 0;
-    *MISSES.lock() = 0;
+    *STATE.cache.lock() = None;
+    STATE.hits.store(0, Ordering::Relaxed);
+    STATE.misses.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -52,16 +91,15 @@ mod tests {
 
     #[test]
     fn cache_hits_after_first_plan() {
-        // Serialise against other tests through the cache's own lock:
-        // clear, then measure a fresh length twice.
-        clear();
-        let (_, m0) = stats();
+        // Other tests share the process-wide cache, so measure deltas only.
+        let s0 = stats();
         let a = plan_arc(512);
         let b = plan_arc(512);
         assert!(Arc::ptr_eq(&a, &b));
-        let (h1, m1) = stats();
-        assert_eq!(m1 - m0, 1);
-        assert!(h1 >= 1);
+        let s1 = stats();
+        assert!(s1.hits > s0.hits, "second lookup hits");
+        assert!(s1.entries >= 1);
+        assert!(s1.hit_rate() > 0.0);
     }
 
     #[test]

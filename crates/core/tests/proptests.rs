@@ -76,8 +76,8 @@ proptest! {
         let mut out = Vec::new();
         for algo in [Algorithm::FiveStep, Algorithm::SixStep] {
             let mut gpu = Gpu::new(DeviceSpec::gts8800());
-            let plan = Fft3d::new(&mut gpu, algo, nx, ny, nz).unwrap();
-            let (r, _) = plan.transform(&mut gpu, &host, Direction::Forward);
+            let plan = Fft3d::builder(nx, ny, nz).algorithm(algo).build(&mut gpu).unwrap();
+            let (r, _) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
             out.push(r);
         }
         prop_assert!(rel_l2_error_f32(&out[1], &out[0]) < 1e-5);
@@ -123,8 +123,8 @@ proptest! {
         let host = signal(nx * ny * nz, (lx + 8 * ly + 64 * lz) as u64);
         let mut gpu = Gpu::new(DeviceSpec::gts8800());
         let rec = gpu.install_recorder();
-        let plan = Fft3d::new(&mut gpu, algo, nx, ny, nz).unwrap();
-        let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward);
+        let plan = Fft3d::builder(nx, ny, nz).algorithm(algo).build(&mut gpu).unwrap();
+        let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
         let trace = rec.borrow_mut().take_trace();
 
         prop_assert_eq!(trace.kernel_count(), rep.steps.len());
@@ -143,6 +143,53 @@ proptest! {
             (outer.duration_s() - total).abs() <= 1e-9 * total.max(1.0),
             "outer span {} vs total {}", outer.duration_s(), total
         );
+    }
+
+    /// Any interleaving of kernels across streams takes exactly as long as
+    /// the serial schedule and leaves identical device memory, because the
+    /// device has a single compute engine — streams only buy overlap when
+    /// an async copy can hide behind compute, and this program has none.
+    #[test]
+    fn stream_interleavings_match_serial_schedule(
+        assignment in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        use gpu_sim::LaunchConfig;
+        let n = 1024usize;
+        let run = |use_streams: bool| {
+            let mut gpu = Gpu::new(DeviceSpec::gt8800());
+            let buf = gpu.mem_mut().alloc(n).unwrap();
+            gpu.mem_mut().upload(buf, 0, &signal(n, 5));
+            let streams: Vec<_> = (0..3).map(|_| gpu.stream_create()).collect();
+            let mut serial_sum = 0.0;
+            for (i, &s) in assignment.iter().enumerate() {
+                let cfg = LaunchConfig::copy("op", 2, 64);
+                let c = Complex32::new(i as f32 * 0.25, 1.0 / (i + 1) as f32);
+                let total = 2 * 64;
+                let body = |t: &mut gpu_sim::ThreadCtx| {
+                    let mut j = t.gid();
+                    while j < n {
+                        let v = t.ld(buf, j);
+                        t.st(buf, j, v + c);
+                        j += total;
+                    }
+                };
+                let rep = if use_streams {
+                    gpu.launch_on(streams[s], &cfg, body)
+                } else {
+                    gpu.launch(&cfg, body)
+                };
+                serial_sum += rep.timing.time_s;
+            }
+            gpu.synchronize();
+            let mut out = vec![Complex32::ZERO; n];
+            gpu.mem_mut().download(buf, 0, &mut out);
+            (gpu.clock_s(), serial_sum, out)
+        };
+        let (t_streamed, kernel_sum, mem_streamed) = run(true);
+        let (t_serial, _, mem_serial) = run(false);
+        prop_assert_eq!(mem_streamed, mem_serial);
+        prop_assert!((t_streamed - kernel_sum).abs() <= 1e-9 * kernel_sum.max(1.0));
+        prop_assert!((t_serial - kernel_sum).abs() <= 1e-9 * kernel_sum.max(1.0));
     }
 
     /// The DC bin is the plain sum of the volume.

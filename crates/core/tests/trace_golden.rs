@@ -154,3 +154,65 @@ fn out_of_core_trace_shows_pcie_overlap() {
     assert!(spans.iter().any(|s| s.name == "stage1_slab0"));
     assert!(spans.iter().any(|s| s.name == "out_of_core_stage2"));
 }
+
+#[test]
+fn two_stream_out_of_core_pins_overlap_windows() {
+    let (nx, ny, nz) = (16usize, 16, 32);
+    let spec = DeviceSpec::gts8800();
+    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2).with_streams(2);
+    let mut gpu = Gpu::new(spec);
+    let rec = gpu.install_recorder();
+    let mut host: Vec<Complex32> = (0..nx * ny * nz)
+        .map(|i| Complex32::new((i as f32 * 0.131).sin(), (i as f32 * 0.059).cos()))
+        .collect();
+    let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+    assert_eq!(rep.streams, 2);
+    let trace = rec.borrow_mut().take_trace();
+
+    let ops: Vec<(usize, String, f64, f64)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::StreamOp {
+                stream,
+                label,
+                start_s,
+                end_s,
+                ..
+            } => Some((*stream, label.clone(), *start_s, *end_s)),
+            _ => None,
+        })
+        .collect();
+    // Slab s runs on stream s % 2, copies and kernels alike.
+    let find = |label: &str| {
+        ops.iter()
+            .find(|(_, l, ..)| l == label)
+            .unwrap_or_else(|| panic!("missing stream op {label}"))
+    };
+    let up0 = find("pcie_h2d_slab0");
+    let up1 = find("pcie_h2d_slab1");
+    let down0 = find("pcie_d2h_slab0");
+    assert_eq!(up0.0, 0);
+    assert_eq!(up1.0, 1);
+    // The H2D engine serialises the uploads back to back...
+    assert!(up0.2 < up0.3);
+    assert!((up1.2 - up0.3).abs() < 1e-12, "up1 starts as up0 ends");
+    // ...while slab 0's kernels run: the upload starts before stream 0 is
+    // ready to download, i.e. inside slab 0's compute phase.
+    assert!(
+        up1.2 >= up0.3 && up1.2 < down0.2,
+        "up1 starts behind compute"
+    );
+    // Stream 0's first kernel genuinely overlaps stream 1's upload.
+    let k0 = ops
+        .iter()
+        .find(|(s, l, ..)| *s == 0 && l != "pcie_h2d_slab0" && l != "pcie_d2h_slab0")
+        .expect("stream 0 kernel op");
+    assert!(k0.2 < up1.3 && up1.2 < k0.3, "windows must intersect");
+    // The pipelined wall-clock beats the serial sum of the legs.
+    assert!(rep.wall_s < rep.total_s());
+    // Both stream tracks render in the Chrome export.
+    let json = trace.chrome_json();
+    assert!(json.contains("\"name\":\"stream 0\""));
+    assert!(json.contains("\"name\":\"stream 1\""));
+}

@@ -21,6 +21,7 @@ use crate::occupancy::{occupancy, KernelResources, Occupancy};
 use crate::pcie::{transfer_time, Dir, PcieTimeline, TransferReport};
 use crate::shared::{accumulate_bank_conflicts, bank_conflict_degree, SharedMem};
 use crate::spec::DeviceSpec;
+use crate::stream::{EventId, StreamEngine, StreamId};
 use crate::timing::{time_kernel, KernelClass, KernelTiming};
 use crate::trace::{Recorder, SharedSink, SimClock, TraceEvent, Tracer};
 use fft_math::layout::AccessPattern;
@@ -540,6 +541,10 @@ pub struct Gpu {
     clock: SimClock,
     /// The single PCIe link's busy window.
     pcie_link: PcieTimeline,
+    /// Stream scheduler state (compute engine, copy engines, stream queues).
+    streams: StreamEngine,
+    /// Stream that plain `launch`/`span` calls are routed to, if any.
+    active_stream: Option<StreamId>,
     /// Installed profiling sink, if any.
     sink: Option<SharedSink>,
 }
@@ -556,6 +561,8 @@ impl Gpu {
             trace_blocks: DEFAULT_TRACE_BLOCKS,
             clock: Rc::new(Cell::new(0.0)),
             pcie_link: PcieTimeline::default(),
+            streams: StreamEngine::default(),
+            active_stream: None,
             sink: None,
         }
     }
@@ -612,10 +619,180 @@ impl Gpu {
         self.wait_until(t);
     }
 
-    /// Opens a named plan-level span at the current simulated time.
+    // -- CUDA-style streams and events (see [`crate::stream`]) --------------
+
+    /// Creates a new stream: an in-order queue whose work may overlap other
+    /// streams' work per the engine model (one compute engine per device,
+    /// one copy engine per PCIe direction).
+    pub fn stream_create(&mut self) -> StreamId {
+        self.streams.create_stream()
+    }
+
+    /// Completion time of everything issued to `stream` so far, seconds.
+    pub fn stream_ready_s(&self, stream: StreamId) -> f64 {
+        self.streams.ready_s(stream)
+    }
+
+    /// Routes subsequent plain [`Gpu::launch`]/[`Gpu::launch_coop`] calls and
+    /// spans to `stream` (`None` restores the default synchronous timeline).
+    /// Prefer the scoped [`Gpu::with_stream`].
+    pub fn set_stream(&mut self, stream: Option<StreamId>) {
+        self.active_stream = stream;
+    }
+
+    /// The stream plain launches currently route to, if any.
+    pub fn active_stream(&self) -> Option<StreamId> {
+        self.active_stream
+    }
+
+    /// Runs `f` with `stream` active, so existing plan code (whole kernel
+    /// sequences) schedules onto the stream without threading a parameter
+    /// through every call. Restores the previous active stream afterwards.
+    pub fn with_stream<R>(&mut self, stream: StreamId, f: impl FnOnce(&mut Gpu) -> R) -> R {
+        let prev = self.active_stream;
+        self.active_stream = Some(stream);
+        let out = f(self);
+        self.active_stream = prev;
+        out
+    }
+
+    /// Launches a kernel on `stream` (the async variant of [`Gpu::launch`]):
+    /// the host clock does not advance; the kernel queues behind the
+    /// stream's prior work and the device's single compute engine.
+    pub fn launch_on(
+        &mut self,
+        stream: StreamId,
+        cfg: &LaunchConfig,
+        body: impl FnMut(&mut ThreadCtx),
+    ) -> KernelReport {
+        self.with_stream(stream, |g| g.launch(cfg, body))
+    }
+
+    /// Async host-to-device copy on `stream`: uploads `host` into `buf` at
+    /// `offset` (functionally at issue, in program order) and schedules the
+    /// transfer window on the H2D copy engine. Returns the report and the
+    /// completion time.
+    pub fn memcpy_h2d_async(
+        &mut self,
+        stream: StreamId,
+        buf: BufferId,
+        offset: usize,
+        host: &[Complex32],
+        chunks: usize,
+        label: &str,
+    ) -> (TransferReport, f64) {
+        self.mem.upload(buf, offset, host);
+        self.stream_copy(
+            stream,
+            Dir::H2D,
+            (host.len() as u64) * ELEM_BYTES,
+            chunks,
+            label,
+        )
+    }
+
+    /// Async device-to-host copy on `stream`: downloads from `buf` at
+    /// `offset` into `host` (functionally at issue, in program order) and
+    /// schedules the transfer window on the D2H copy engine.
+    pub fn memcpy_d2h_async(
+        &mut self,
+        stream: StreamId,
+        buf: BufferId,
+        offset: usize,
+        host: &mut [Complex32],
+        chunks: usize,
+        label: &str,
+    ) -> (TransferReport, f64) {
+        self.mem.download(buf, offset, host);
+        self.stream_copy(
+            stream,
+            Dir::D2H,
+            (host.len() as u64) * ELEM_BYTES,
+            chunks,
+            label,
+        )
+    }
+
+    fn stream_copy(
+        &mut self,
+        stream: StreamId,
+        dir: Dir,
+        bytes: u64,
+        chunks: usize,
+        label: &str,
+    ) -> (TransferReport, f64) {
+        let rep = transfer_time(self.spec.pcie, dir, bytes, chunks);
+        let (start_s, end_s) =
+            self.streams
+                .schedule_copy(stream, dir, self.clock.get(), rep.time_s);
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.borrow_mut();
+            sink.event(TraceEvent::Pcie {
+                label: label.to_string(),
+                dir,
+                bytes,
+                start_s,
+                end_s,
+                overlapped: true,
+            });
+            sink.event(TraceEvent::StreamOp {
+                stream: stream.0,
+                label: label.to_string(),
+                dir: Some(dir),
+                bytes,
+                start_s,
+                end_s,
+            });
+        }
+        (rep, end_s)
+    }
+
+    /// Records an event on `stream`: captures the completion time of all
+    /// work issued to the stream so far.
+    pub fn event_record(&mut self, stream: StreamId) -> EventId {
+        self.streams.record_event(stream)
+    }
+
+    /// The simulated time a recorded event fires, seconds.
+    pub fn event_time_s(&self, event: EventId) -> f64 {
+        self.streams.event_time_s(event)
+    }
+
+    /// Makes future work on `stream` wait until `event` has fired
+    /// (cross-stream dependency; raises the stream's ready time).
+    pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
+        self.streams.wait_event(stream, event);
+    }
+
+    /// Blocks the host until everything issued to `stream` completes
+    /// (advances the host clock to the stream's ready time).
+    pub fn stream_synchronize(&mut self, stream: StreamId) {
+        let t = self.streams.ready_s(stream);
+        self.wait_until(t);
+    }
+
+    /// Device-wide synchronize: blocks the host until every stream, the
+    /// compute engine, both stream copy engines and the legacy PCIe link
+    /// are idle.
+    pub fn synchronize(&mut self) {
+        let t = self.streams.horizon_s().max(self.pcie_link.busy_until_s());
+        self.wait_until(t);
+    }
+
+    /// The timestamp spans and newly issued work observe: the active
+    /// stream's ready time when one is set, the host clock otherwise.
+    fn trace_now(&self) -> f64 {
+        match self.active_stream {
+            Some(s) => self.streams.ready_s(s).max(self.clock.get()),
+            None => self.clock.get(),
+        }
+    }
+
+    /// Opens a named plan-level span at the current simulated time (the
+    /// active stream's timeline when one is set).
     pub fn span_begin(&mut self, name: &str) {
         if let Some(sink) = &self.sink {
-            let t_s = self.clock.get();
+            let t_s = self.trace_now();
             sink.borrow_mut().event(TraceEvent::SpanBegin {
                 name: name.to_string(),
                 t_s,
@@ -626,7 +803,7 @@ impl Gpu {
     /// Closes the matching span at the current simulated time.
     pub fn span_end(&mut self, name: &str) {
         if let Some(sink) = &self.sink {
-            let t_s = self.clock.get();
+            let t_s = self.trace_now();
             sink.borrow_mut().event(TraceEvent::SpanEnd {
                 name: name.to_string(),
                 t_s,
@@ -794,14 +971,27 @@ impl Gpu {
 
     fn finish(&mut self, cfg: &LaunchConfig, occ: Occupancy, stats: KernelStats) -> KernelReport {
         let timing = time_kernel(&self.spec, cfg, &occ, &stats);
-        let start_s = self.clock.get();
-        let end_s = start_s + timing.time_s;
-        self.clock.set(end_s);
+        let now = self.clock.get();
+        let (start_s, end_s) = match self.active_stream {
+            // Stream launch: queue behind the stream and the compute engine;
+            // the host clock does not advance.
+            Some(s) => self.streams.schedule_kernel(s, now, timing.time_s),
+            // Synchronous launch: the host blocks. The start still respects
+            // the compute engine (stream work may have it busy); with no
+            // streams in flight this is exactly the old `start = clock`.
+            None => {
+                let start = now.max(self.streams.compute_busy_until_s);
+                let end = start + timing.time_s;
+                self.streams.compute_busy_until_s = end;
+                self.clock.set(end);
+                (start, end)
+            }
+        };
         if let Some(sink) = &self.sink {
             let mut sink = sink.borrow_mut();
             sink.event(TraceEvent::KernelBegin {
                 config: *cfg,
-                occupancy: occ.clone(),
+                occupancy: occ,
                 t_s: start_s,
             });
             sink.event(TraceEvent::KernelEnd {
@@ -812,6 +1002,16 @@ impl Gpu {
                 tx_hist: stats.sampled_tx_hist,
                 bank_conflicts: stats.bank_conflicts.clone(),
             });
+            if let Some(s) = self.active_stream {
+                sink.event(TraceEvent::StreamOp {
+                    stream: s.0,
+                    label: cfg.name.to_string(),
+                    dir: None,
+                    bytes: 0,
+                    start_s,
+                    end_s,
+                });
+            }
         }
         KernelReport {
             name: cfg.name,
@@ -1167,6 +1367,117 @@ mod tests {
             }
             _ => panic!("missing KernelEnd"),
         }
+    }
+
+    #[test]
+    fn stream_copy_overlaps_other_streams_compute() {
+        let mut g = gpu();
+        let rec = g.install_recorder();
+        let n = 4096;
+        let a = g.mem_mut().alloc(n).unwrap();
+        let b = g.mem_mut().alloc(n).unwrap();
+        let host: Vec<Complex32> = (0..n).map(|i| c32(i as f32, 0.0)).collect();
+        let s0 = g.stream_create();
+        let s1 = g.stream_create();
+
+        // Stream 0: upload then a kernel over buffer a.
+        let (_, up0_done) = g.memcpy_h2d_async(s0, a, 0, &host, 1, "up0");
+        let cfg = LaunchConfig::copy("work0", 4, 64);
+        let total = 4 * 64;
+        let rep = g.launch_on(s0, &cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(a, i);
+                t.st(a, i, v);
+                i += total;
+            }
+        });
+        // Stream 1: an independent upload into b — queues on the H2D engine
+        // behind up0 but overlaps stream 0's kernel.
+        let (_, up1_done) = g.memcpy_h2d_async(s1, b, 0, &host, 1, "up1");
+        assert_eq!(g.clock_s(), 0.0, "async ops leave the host clock");
+        // Functional effect happened at issue.
+        assert_eq!(g.mem().read(b, 7), c32(7.0, 0.0));
+
+        let k0_start = up0_done;
+        let k0_end = g.stream_ready_s(s0);
+        assert!((k0_end - k0_start - rep.timing.time_s).abs() < 1e-12);
+        // up1 occupies the H2D engine right after up0, inside the kernel.
+        assert!((up1_done - 2.0 * up0_done).abs() < 1e-12);
+        assert!(up1_done > k0_start && up1_done < k0_end + up0_done);
+
+        g.synchronize();
+        assert_eq!(g.clock_s(), g.stream_ready_s(s0).max(up1_done));
+
+        // Stream ops appear in the trace with their scheduled windows.
+        let trace = rec.borrow_mut().take_trace();
+        let ops: Vec<_> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StreamOp {
+                    stream,
+                    label,
+                    start_s,
+                    end_s,
+                    ..
+                } => Some((*stream, label.clone(), *start_s, *end_s)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].1, "up0");
+        assert_eq!(ops[1].1, "work0");
+        assert_eq!((ops[2].0, ops[2].1.as_str()), (1, "up1"));
+        // Genuine cross-stream overlap: up1's window intersects work0's.
+        assert!(ops[2].2 < ops[1].3 && ops[1].2 < ops[2].3);
+        let json = trace.chrome_json();
+        assert!(json.contains("\"name\":\"stream 0\""));
+        assert!(json.contains("\"name\":\"stream 1\""));
+    }
+
+    #[test]
+    fn events_order_work_across_streams() {
+        let mut g = gpu();
+        let n = 1024;
+        let a = g.mem_mut().alloc(n).unwrap();
+        let host = vec![c32(1.0, 0.0); n];
+        let s0 = g.stream_create();
+        let s1 = g.stream_create();
+        let (_, done) = g.memcpy_h2d_async(s0, a, 0, &host, 1, "up");
+        let ev = g.event_record(s0);
+        assert_eq!(g.event_time_s(ev), done);
+        g.stream_wait_event(s1, ev);
+        let cfg = LaunchConfig::copy("consume", 2, 64);
+        g.launch_on(s1, &cfg, |t| {
+            let v = t.ld(a, t.gid());
+            t.st(a, t.gid(), v);
+        });
+        // The consumer kernel could not start before the upload finished.
+        assert!(g.stream_ready_s(s1) > done);
+        g.stream_synchronize(s1);
+        assert_eq!(g.clock_s(), g.stream_ready_s(s1));
+    }
+
+    #[test]
+    fn synchronous_launch_queues_behind_stream_kernels() {
+        let mut g = gpu();
+        let n = 4096;
+        let a = g.mem_mut().alloc(n).unwrap();
+        let s0 = g.stream_create();
+        let cfg = LaunchConfig::copy("streamed", 4, 64);
+        let r1 = g.launch_on(s0, &cfg, |t| {
+            let v = t.ld(a, t.gid());
+            t.st(a, t.gid(), v);
+        });
+        assert_eq!(g.clock_s(), 0.0);
+        // A plain synchronous launch shares the single compute engine, so it
+        // starts after the streamed kernel and blocks the host to its end.
+        let r2 = g.launch(&cfg, |t| {
+            let v = t.ld(a, t.gid());
+            t.st(a, t.gid(), v);
+        });
+        assert_eq!(g.clock_s(), r1.timing.time_s + r2.timing.time_s);
     }
 
     #[test]

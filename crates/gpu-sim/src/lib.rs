@@ -30,14 +30,16 @@ pub mod pcie;
 pub mod power;
 pub mod shared;
 pub mod spec;
+pub mod stream;
 pub mod timing;
 pub mod trace;
 
 pub use exec::{
     ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, TexAccess, TextureId, ThreadCtx,
 };
-pub use memory::{AllocError, BufferId, DeviceMemory};
+pub use memory::{AllocError, BufferId, DeviceMemory, FreeQueue};
 pub use occupancy::{occupancy, KernelResources, Occupancy};
 pub use spec::{DeviceSpec, PcieGen};
+pub use stream::{EventId, StreamId};
 pub use timing::{KernelClass, KernelTiming};
 pub use trace::{Recorder, SharedSink, Span, Trace, TraceEvent, TraceSink, Tracer};

@@ -12,6 +12,9 @@
 
 use fft_math::Complex32;
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::trace::{TraceEvent, Tracer};
 
 /// Element size in bytes (interleaved complex32).
@@ -23,6 +26,15 @@ pub const ALLOC_ALIGN: u64 = 256;
 /// Handle to a device buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BufferId(pub(crate) usize);
+
+/// Shared handle onto the arena's deferred-free queue.
+///
+/// RAII guards (e.g. a dropped FFT plan) cannot reach the arena through a
+/// `&mut` borrow from their `Drop` impl, so they push their buffer ids here
+/// instead; the arena treats queued buffers as free immediately (in
+/// [`DeviceMemory::used_bytes`] and admission control) and physically
+/// reclaims them on the next [`DeviceMemory::alloc`]/[`DeviceMemory::reclaim`].
+pub type FreeQueue = Rc<RefCell<Vec<BufferId>>>;
 
 struct Buffer {
     base: u64,
@@ -36,6 +48,7 @@ pub struct DeviceMemory {
     used: u64,
     next_base: u64,
     buffers: Vec<Buffer>,
+    pending_free: FreeQueue,
     tracer: Option<Tracer>,
 }
 
@@ -47,7 +60,25 @@ impl DeviceMemory {
             used: 0,
             next_base: ALLOC_ALIGN,
             buffers: Vec::new(),
+            pending_free: Rc::new(RefCell::new(Vec::new())),
             tracer: None,
+        }
+    }
+
+    /// A handle onto the deferred-free queue, for RAII guards that release
+    /// buffers from `Drop` (see [`FreeQueue`]).
+    pub fn free_queue(&self) -> FreeQueue {
+        self.pending_free.clone()
+    }
+
+    /// Physically frees every buffer queued on the deferred-free queue.
+    /// Ids whose buffers were already freed explicitly are skipped.
+    pub fn reclaim(&mut self) {
+        let ids: Vec<BufferId> = self.pending_free.borrow_mut().drain(..).collect();
+        for id in ids {
+            if self.buffers[id.0].live {
+                self.free(id);
+            }
         }
     }
 
@@ -58,9 +89,17 @@ impl DeviceMemory {
         self.tracer = tracer;
     }
 
-    /// Bytes currently allocated.
+    /// Bytes currently allocated, not counting buffers already queued for
+    /// deferred free (they are as good as free to new allocations).
     pub fn used_bytes(&self) -> u64 {
-        self.used
+        let pending: u64 = self
+            .pending_free
+            .borrow()
+            .iter()
+            .filter(|id| self.buffers[id.0].live)
+            .map(|id| self.buffers[id.0].data.len() as u64 * ELEM_BYTES)
+            .sum();
+        self.used - pending
     }
 
     /// Total capacity in bytes.
@@ -74,6 +113,7 @@ impl DeviceMemory {
     /// Returns `Err` when the allocation would exceed device capacity — the
     /// condition that forces the out-of-core path of §3.3.
     pub fn alloc(&mut self, len: usize) -> Result<BufferId, AllocError> {
+        self.reclaim();
         let bytes = len as u64 * ELEM_BYTES;
         if self.used + bytes > self.capacity {
             return Err(AllocError {
@@ -123,9 +163,9 @@ impl DeviceMemory {
         b.data.len()
     }
 
-    /// True when no buffer is currently live.
+    /// True when no buffer is currently live (pending frees count as dead).
     pub fn is_empty(&self) -> bool {
-        self.used == 0
+        self.used_bytes() == 0
     }
 
     /// Device byte address of element `idx` of the buffer.
@@ -267,6 +307,26 @@ mod tests {
         let a = m.alloc(8).unwrap();
         m.free(a);
         let _ = m.len(a);
+    }
+
+    #[test]
+    fn deferred_free_queue_reclaims_on_alloc() {
+        let mut m = DeviceMemory::new(1024);
+        let a = m.alloc(64).unwrap();
+        assert_eq!(m.used_bytes(), 512);
+        // A guard (no &mut access to the arena) queues the id…
+        m.free_queue().borrow_mut().push(a);
+        // …and the bytes immediately stop counting as used.
+        assert_eq!(m.used_bytes(), 0);
+        assert!(m.is_empty());
+        // The next allocation physically reclaims them.
+        let b = m.alloc(100).unwrap();
+        assert_eq!(m.used_bytes(), 800);
+        m.free(b);
+        // Queued-then-explicitly-freed ids are skipped, not double freed.
+        m.free_queue().borrow_mut().push(b);
+        m.reclaim();
+        assert_eq!(m.used_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! CUDA-style streams and events on the simulated clock.
+//!
+//! A [`StreamId`] names an in-order queue of device operations. Work issued
+//! to different streams may overlap in simulated time exactly the way
+//! first-generation CUDA hardware allows:
+//!
+//! * **Compute serialises per device.** Pre-Fermi parts execute one kernel
+//!   at a time, so every kernel — whatever its stream — queues on a single
+//!   compute engine.
+//! * **Copies serialise per direction.** The stream copy path models one DMA
+//!   engine per PCIe direction, so an H2D upload can overlap both compute
+//!   and a D2H download, but two uploads queue behind each other.
+//!
+//! Scheduling is *eager list scheduling at issue time*: when an operation is
+//! issued its start time is resolved immediately as the maximum of (a) the
+//! issuing stream's ready time, (b) the required engine's busy-until time and
+//! (c) the host clock at issue. Because the functional simulator really moves
+//! the bytes at issue (in program order), the data plane stays exact while
+//! the timing plane computes the true overlap windows. Programs must
+//! therefore issue operations in an order consistent with their cross-stream
+//! data dependencies — the same contract real CUDA code discharges with
+//! [`crate::Gpu::event_record`] / [`crate::Gpu::stream_wait_event`], which
+//! here also raise the waiting stream's ready time so the *timing* honours
+//! the dependency.
+//!
+//! The legacy synchronous path ([`crate::Gpu::pcie_transfer`] /
+//! [`crate::Gpu::pcie_transfer_async`]) keeps its original single shared
+//! link; only stream copies use the per-direction engines.
+
+use crate::pcie::{Dir, PcieTimeline};
+
+/// Handle to a stream created with [`crate::Gpu::stream_create`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// The stream's index (also its Chrome-trace track id minus 10).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to an event recorded with [`crate::Gpu::event_record`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventId(pub(crate) usize);
+
+/// Per-device stream scheduler state: stream ready times, recorded events
+/// and the busy windows of the compute and per-direction copy engines.
+#[derive(Debug, Default)]
+pub(crate) struct StreamEngine {
+    /// Completion time of the last operation issued to each stream.
+    ready: Vec<f64>,
+    /// Timestamps captured by `event_record`.
+    events: Vec<f64>,
+    /// The single compute engine's busy-until time.
+    pub(crate) compute_busy_until_s: f64,
+    /// Per-direction copy engines (`[H2D, D2H]`) for stream memcpys.
+    copy: [PcieTimeline; 2],
+}
+
+fn di(dir: Dir) -> usize {
+    match dir {
+        Dir::H2D => 0,
+        Dir::D2H => 1,
+    }
+}
+
+impl StreamEngine {
+    pub(crate) fn create_stream(&mut self) -> StreamId {
+        self.ready.push(0.0);
+        StreamId(self.ready.len() - 1)
+    }
+
+    pub(crate) fn ready_s(&self, s: StreamId) -> f64 {
+        self.ready[s.0]
+    }
+
+    pub(crate) fn record_event(&mut self, s: StreamId) -> EventId {
+        self.events.push(self.ready[s.0]);
+        EventId(self.events.len() - 1)
+    }
+
+    pub(crate) fn event_time_s(&self, e: EventId) -> f64 {
+        self.events[e.0]
+    }
+
+    pub(crate) fn wait_event(&mut self, s: StreamId, e: EventId) {
+        let t = self.events[e.0];
+        if t > self.ready[s.0] {
+            self.ready[s.0] = t;
+        }
+    }
+
+    /// Resolves a kernel issued to stream `s` at host time `now_s`:
+    /// queues on the single compute engine behind the stream's prior work.
+    pub(crate) fn schedule_kernel(&mut self, s: StreamId, now_s: f64, time_s: f64) -> (f64, f64) {
+        let start = self.ready[s.0].max(self.compute_busy_until_s).max(now_s);
+        let end = start + time_s;
+        self.ready[s.0] = end;
+        self.compute_busy_until_s = end;
+        (start, end)
+    }
+
+    /// Resolves a memcpy issued to stream `s`: queues on the direction's
+    /// copy engine behind the stream's prior work.
+    pub(crate) fn schedule_copy(
+        &mut self,
+        s: StreamId,
+        dir: Dir,
+        now_s: f64,
+        time_s: f64,
+    ) -> (f64, f64) {
+        let ready = self.ready[s.0].max(now_s);
+        let (start, end) = self.copy[di(dir)].schedule(ready, time_s);
+        self.ready[s.0] = end;
+        (start, end)
+    }
+
+    /// Latest completion time across all streams and engines — the time a
+    /// device-wide synchronize resolves to.
+    pub(crate) fn horizon_s(&self) -> f64 {
+        let streams = self.ready.iter().copied().fold(0.0f64, f64::max);
+        streams
+            .max(self.compute_busy_until_s)
+            .max(self.copy[0].busy_until_s())
+            .max(self.copy[1].busy_until_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_serialize_on_one_compute_engine() {
+        let mut e = StreamEngine::default();
+        let a = e.create_stream();
+        let b = e.create_stream();
+        let (s1, e1) = e.schedule_kernel(a, 0.0, 1.0);
+        let (s2, e2) = e.schedule_kernel(b, 0.0, 2.0);
+        assert_eq!((s1, e1), (0.0, 1.0));
+        // Stream b's kernel waits for the compute engine despite being ready.
+        assert_eq!((s2, e2), (1.0, 3.0));
+        assert_eq!(e.horizon_s(), 3.0);
+    }
+
+    #[test]
+    fn copies_overlap_across_directions_but_queue_within_one() {
+        let mut e = StreamEngine::default();
+        let a = e.create_stream();
+        let b = e.create_stream();
+        let c = e.create_stream();
+        let (s1, _) = e.schedule_copy(a, Dir::H2D, 0.0, 1.0);
+        let (s2, _) = e.schedule_copy(b, Dir::D2H, 0.0, 1.0);
+        let (s3, _) = e.schedule_copy(c, Dir::H2D, 0.0, 1.0);
+        assert_eq!(s1, 0.0);
+        assert_eq!(s2, 0.0, "opposite directions run concurrently");
+        assert_eq!(s3, 1.0, "same direction queues");
+    }
+
+    #[test]
+    fn events_propagate_ready_times_across_streams() {
+        let mut e = StreamEngine::default();
+        let a = e.create_stream();
+        let b = e.create_stream();
+        e.schedule_copy(a, Dir::H2D, 0.0, 2.0);
+        let ev = e.record_event(a);
+        assert_eq!(e.event_time_s(ev), 2.0);
+        e.wait_event(b, ev);
+        // b's next kernel cannot start before the event fires.
+        let (s, _) = e.schedule_kernel(b, 0.0, 1.0);
+        assert_eq!(s, 2.0);
+    }
+}

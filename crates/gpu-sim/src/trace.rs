@@ -102,6 +102,28 @@ pub enum TraceEvent {
         /// Issued asynchronously — the window may overlap kernel work.
         overlapped: bool,
     },
+    /// One operation scheduled on a CUDA-style stream occupied the window
+    /// `[start_s, end_s]` of its engine (compute or a copy engine).
+    ///
+    /// Stream ops are emitted *in addition to* the plain
+    /// [`TraceEvent::KernelBegin`]/[`TraceEvent::KernelEnd`] and
+    /// [`TraceEvent::Pcie`] events, so existing consumers keep working; the
+    /// Chrome exporter renders them on one track per stream, which is where
+    /// cross-stream overlap becomes visible.
+    StreamOp {
+        /// Stream index (see [`crate::stream::StreamId`]).
+        stream: usize,
+        /// Operation label (kernel name or transfer label).
+        label: String,
+        /// Copy direction for memcpy ops; `None` for kernel launches.
+        dir: Option<Dir>,
+        /// Bytes moved (0 for kernels).
+        bytes: u64,
+        /// Scheduled start on the engine, seconds.
+        start_s: f64,
+        /// Scheduled completion, seconds.
+        end_s: f64,
+    },
     /// A device-memory allocation succeeded.
     Alloc {
         /// Bytes allocated.
@@ -132,7 +154,7 @@ impl TraceEvent {
             | TraceEvent::SpanEnd { t_s, .. }
             | TraceEvent::Alloc { t_s, .. }
             | TraceEvent::Free { t_s, .. } => *t_s,
-            TraceEvent::Pcie { start_s, .. } => *start_s,
+            TraceEvent::Pcie { start_s, .. } | TraceEvent::StreamOp { start_s, .. } => *start_s,
         }
     }
 }
@@ -294,8 +316,10 @@ impl Trace {
     ///
     /// Track layout: tid 0 carries plan spans (`B`/`E`) and kernel slices
     /// (`X`, with occupancy/coalescing/histogram args); tid 1 carries the
-    /// PCIe link; device-memory usage is a counter (`C`) series. Timestamps
-    /// are microseconds, as the format requires.
+    /// PCIe link; stream ops render one track per stream (tid `10 + k` for
+    /// stream `k`), where cross-stream overlap windows are directly visible;
+    /// device-memory usage is a counter (`C`) series. Timestamps are
+    /// microseconds, as the format requires.
     pub fn chrome_json(&self) -> String {
         let mut ev: Vec<String> = Vec::with_capacity(self.events.len() + 3);
         ev.push(r#"{"ph":"M","pid":0,"name":"process_name","args":{"name":"gpu-sim"}}"#.into());
@@ -304,6 +328,23 @@ impl Trace {
                 .into(),
         );
         ev.push(r#"{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"pcie"}}"#.into());
+        let mut stream_ids: Vec<usize> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::StreamOp { stream, .. } => Some(*stream),
+                _ => None,
+            })
+            .collect();
+        stream_ids.sort_unstable();
+        stream_ids.dedup();
+        for s in &stream_ids {
+            ev.push(format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"stream {}\"}}}}",
+                10 + s,
+                s
+            ));
+        }
 
         let mut pending: Option<(&LaunchConfig, &Occupancy, f64)> = None;
         for e in &self.events {
@@ -407,6 +448,33 @@ impl Trace {
                         bytes,
                         num(gbs),
                         overlapped
+                    ));
+                    ev.push(line);
+                }
+                TraceEvent::StreamOp {
+                    stream,
+                    label,
+                    dir,
+                    bytes,
+                    start_s,
+                    end_s,
+                } => {
+                    let mut line = String::new();
+                    line.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"",
+                        10 + stream
+                    ));
+                    esc(label, &mut line);
+                    line.push_str(&format!(
+                        "\",\"ts\":{},\"dur\":{},\"args\":{{\"op\":\"{}\",\"bytes\":{}}}}}",
+                        us(*start_s),
+                        us(end_s - start_s),
+                        match dir {
+                            None => "kernel",
+                            Some(Dir::H2D) => "memcpy_h2d",
+                            Some(Dir::D2H) => "memcpy_d2h",
+                        },
+                        bytes
                     ));
                     ev.push(line);
                 }

@@ -34,8 +34,8 @@ fn main() {
     let (e, step5) = energy_spectrum(&mut gpu, &plan, dims, &field);
     println!("\nshell-averaged energy spectrum E(k):");
     println!("  k     E(k)");
-    for k in 1..=16 {
-        println!("  {k:>2}  {:>12.5e}", e[k]);
+    for (k, ek) in e.iter().enumerate().skip(1).take(16) {
+        println!("  {k:>2}  {ek:>12.5e}");
     }
     let slope = fitted_slope(&e, 2, 12);
     println!("\nfitted inertial-range slope: {slope:.2} (target -5/3 = -1.67)");

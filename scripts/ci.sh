@@ -8,3 +8,8 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo fmt --all -- --check
+# Keep the public API clippy-clean and documented: the workspace crates carry
+# #![warn(missing_docs)]; -D warnings promotes that (and deprecated calls
+# surviving a migration) to errors here.
+cargo clippy --workspace --all-targets --offline -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline

@@ -1,8 +1,10 @@
 //! `fft3d` — command-line 3-D FFT on the simulated GPU.
 //!
 //! ```text
-//! fft3d --dims 64x64x64 [--algo five-step|six-step|cufft-like]
+//! fft3d --dims 64x64x64
+//!       [--algo five-step|six-step|cufft-like|out-of-core|multi-gpu]
 //!       [--device gt|gts|gtx|c1060] [--inverse]
+//!       [--gpus N] [--streams K] [--slabs S]
 //!       [--input volume.bin] [--output spectrum.bin] [--verify]
 //! ```
 //!
@@ -10,6 +12,7 @@
 //! (`2*nx*ny*nz` floats). Without `--input`, a random volume is generated.
 //! `--verify` cross-checks the result against the CPU transform.
 
+use bifft::out_of_core::summarize as summarize_ooc;
 use bifft::plan::{Algorithm, Fft3d};
 use nukada_fft_repro::prelude::*;
 use std::io::{Read, Write};
@@ -20,6 +23,9 @@ struct Args {
     algo: Algorithm,
     device: DeviceSpec,
     dir: Direction,
+    gpus: usize,
+    streams: usize,
+    slabs: usize,
     input: Option<String>,
     output: Option<String>,
     verify: bool,
@@ -45,21 +51,15 @@ fn parse_device(s: &str) -> Result<DeviceSpec, String> {
     }
 }
 
-fn parse_algo(s: &str) -> Result<Algorithm, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "five-step" | "five" | "bandwidth-intensive" => Ok(Algorithm::FiveStep),
-        "six-step" | "six" | "conventional" => Ok(Algorithm::SixStep),
-        "cufft-like" | "cufft" => Ok(Algorithm::CufftLike),
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
-}
-
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         dims: (64, 64, 64),
         algo: Algorithm::FiveStep,
         device: DeviceSpec::gts8800(),
         dir: Direction::Forward,
+        gpus: 2,
+        streams: 2,
+        slabs: 2,
         input: None,
         output: None,
         verify: false,
@@ -73,9 +73,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match a.as_str() {
             "--dims" => args.dims = parse_dims(&next("--dims")?)?,
-            "--algo" => args.algo = parse_algo(&next("--algo")?)?,
+            "--algo" => args.algo = next("--algo")?.parse()?,
             "--device" => args.device = parse_device(&next("--device")?)?,
             "--inverse" => args.dir = Direction::Inverse,
+            "--gpus" => {
+                args.gpus = next("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("bad --gpus: {e}"))?
+            }
+            "--streams" => {
+                args.streams = next("--streams")?
+                    .parse()
+                    .map_err(|e| format!("bad --streams: {e}"))?
+            }
+            "--slabs" => {
+                args.slabs = next("--slabs")?
+                    .parse()
+                    .map_err(|e| format!("bad --slabs: {e}"))?
+            }
             "--input" => args.input = Some(next("--input")?),
             "--output" => args.output = Some(next("--output")?),
             "--verify" => args.verify = true,
@@ -121,6 +136,61 @@ fn write_volume(path: &str, data: &[Complex32]) -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Runs the requested transform, dispatching on the algorithm: in-core
+/// algorithms go through the [`Fft3d`] facade, `out-of-core` through
+/// [`OutOfCoreFft`] and `multi-gpu` through [`MultiGpuFft3d`]. Every path
+/// prints its timing summary to stderr and returns the transformed volume.
+fn run_transform(args: &Args, host: &[Complex32]) -> Result<Vec<Complex32>, String> {
+    let (nx, ny, nz) = args.dims;
+    match args.algo {
+        Algorithm::OutOfCore => {
+            let slabs = args.slabs;
+            if slabs < 2
+                || !slabs.is_power_of_two()
+                || slabs > 16
+                || !nz.is_multiple_of(slabs)
+                || nz / slabs < 16
+            {
+                return Err(format!(
+                    "--slabs {slabs} must be a power of two in 2..=16 dividing nz={nz} into slabs of 16+ planes"
+                ));
+            }
+            let plan =
+                OutOfCoreFft::new(&args.device, nx, ny, nz, slabs).with_streams(args.streams);
+            let mut gpu = Gpu::new(args.device);
+            let mut out = host.to_vec();
+            let rep = plan.execute(&mut gpu, &mut out, args.dir);
+            eprintln!("{}", summarize_ooc(&rep, args.dims));
+            eprintln!(
+                "fft3d: {} stream(s), wall {:.3} s vs {:.3} s serial legs",
+                rep.streams,
+                rep.wall_s,
+                rep.total_s()
+            );
+            Ok(out)
+        }
+        Algorithm::MultiGpu => {
+            let mut plan = MultiGpuFft3d::new(&args.device, args.gpus, nx, ny, nz)
+                .map_err(|e| e.to_string())?;
+            let (out, rep) = plan.transform(host, args.dir).map_err(|e| e.to_string())?;
+            eprintln!("{}", bifft::multi_gpu::summarize(&rep, args.dims));
+            Ok(out)
+        }
+        _ => {
+            let mut gpu = Gpu::new(args.device);
+            let plan = Fft3d::builder(nx, ny, nz)
+                .algorithm(args.algo)
+                .build(&mut gpu)
+                .map_err(|e| e.to_string())?;
+            let (out, report) = plan
+                .transform(&mut gpu, host, args.dir)
+                .map_err(|e| e.to_string())?;
+            eprintln!("{}", report.step_table());
+            Ok(out)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -150,25 +220,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut gpu = Gpu::new(args.device);
     eprintln!(
-        "fft3d: {}x{}x{} {:?} on simulated {} ({:?})",
+        "fft3d: {}x{}x{} {} on simulated {} ({:?})",
         nx,
         ny,
         nz,
-        args.algo,
-        gpu.spec().name,
+        args.algo.name(),
+        args.device.name,
         args.dir
     );
-    let plan = match Fft3d::new(&mut gpu, args.algo, nx, ny, nz) {
-        Ok(p) => p,
+    let out = match run_transform(&args, &host) {
+        Ok(v) => v,
         Err(e) => {
-            eprintln!("fft3d: volume does not fit on the card ({e}); use the out-of-core API");
+            eprintln!("fft3d: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let (out, report) = plan.transform(&mut gpu, &host, args.dir);
-    eprintln!("{}", report.step_table());
 
     if args.verify {
         let mut want = host.clone();
@@ -213,9 +280,17 @@ mod tests {
 
     #[test]
     fn algo_parse() {
-        assert_eq!(parse_algo("five-step").unwrap(), Algorithm::FiveStep);
-        assert_eq!(parse_algo("conventional").unwrap(), Algorithm::SixStep);
-        assert!(parse_algo("vkfft").is_err());
+        assert_eq!(
+            "five-step".parse::<Algorithm>().unwrap(),
+            Algorithm::FiveStep
+        );
+        assert_eq!(
+            "conventional".parse::<Algorithm>().unwrap(),
+            Algorithm::SixStep
+        );
+        assert_eq!("ooc".parse::<Algorithm>().unwrap(), Algorithm::OutOfCore);
+        assert_eq!("mgpu".parse::<Algorithm>().unwrap(), Algorithm::MultiGpu);
+        assert!("vkfft".parse::<Algorithm>().is_err());
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub use gpu_sim;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use bifft::five_step::FiveStepFft;
+    pub use bifft::multi_gpu::{MultiGpuFft3d, MultiGpuReport};
     pub use bifft::out_of_core::OutOfCoreFft;
+    pub use bifft::plan::{Algorithm, Fft3d, Fft3dBuilder, FftError};
     pub use bifft::six_step::SixStepFft;
     pub use bifft::RunReport;
     pub use cpu_fft::CpuFft3d;
