@@ -1,0 +1,677 @@
+//! `bifft-bench` — the benchmark-regression harness.
+//!
+//! Runs the paper grid (in-core algorithms x volume sizes x the three
+//! evaluation cards), derives per-step roofline metrics and pattern audits,
+//! and writes a schema-versioned `BENCH_<timestamp>.json`. `--check` mode
+//! re-runs the grid and compares it against a committed baseline file,
+//! exiting non-zero when any tracked metric regresses beyond
+//! [`CHECK_TOLERANCE`] — the CI gate that keeps the perf trajectory honest.
+//!
+//! Tracked metrics per `(card, algorithm, n)` record: run wall time, overall
+//! effective GB/s, per-step effective GB/s, and the pattern-audit verdict.
+//! Multi-GPU scaling points are recorded for trend reading but not gated
+//! (they derive from the same kernel metrics already checked).
+//!
+//! The file format is the same hand-rolled JSON the rest of the repo uses
+//! (shortest-round-trip `f64`, fixed key order), scanned back with the same
+//! dependency-free field scanner as `profile --diff`.
+
+use bifft::multi_gpu::MultiGpuFft3d;
+use bifft::plan::{Algorithm, Fft3d};
+use bifft::PatternAudit;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::analysis::kernel_roofline;
+use gpu_sim::{DeviceSpec, Gpu};
+
+/// Schema tag written into (and required of) every bench file.
+pub const BENCH_SCHEMA: &str = "bifft-bench-v1";
+
+/// Relative tolerance of `--check`: a tracked metric may drift this far from
+/// the baseline before the gate fails (simulated timings are deterministic,
+/// so the slack only absorbs intentional small model recalibrations).
+pub const CHECK_TOLERANCE: f64 = 0.02;
+
+/// One kernel's record inside a [`BenchRun`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchStep {
+    /// Kernel name.
+    pub name: String,
+    /// Modelled time, seconds.
+    pub time_s: f64,
+    /// Effective bandwidth, GB/s (tracked by `--check`).
+    pub gbs: f64,
+    /// Fraction of the card's peak bandwidth.
+    pub bw_frac: f64,
+    /// Arithmetic intensity, nominal flops per useful byte.
+    pub intensity: f64,
+    /// Roofline side: `"mem"` or `"comp"`.
+    pub bound: String,
+    /// Occupancy fraction (resident threads over the SM maximum).
+    pub occupancy: f64,
+    /// Annotated expected pattern pair (`"D*A"`), `"-"` when unannotated.
+    pub expected: String,
+    /// Observed pattern pair from the sampled address streams.
+    pub observed: String,
+    /// Audit verdict for this step.
+    pub ok: bool,
+}
+
+/// One `(card, algorithm, n)` record of the grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRun {
+    /// Card short key (`gt`, `gts`, `gtx`).
+    pub card: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Cube edge.
+    pub n: usize,
+    /// Total modelled device time, seconds (tracked by `--check`).
+    pub wall_s: f64,
+    /// Achieved nominal GFLOPS.
+    pub gflops: f64,
+    /// Whole-run effective bandwidth, GB/s (tracked by `--check`).
+    pub overall_gbs: f64,
+    /// Whether the pattern audit found every annotated step conformant
+    /// (tracked by `--check`).
+    pub audit_clean: bool,
+    /// Number of steps observed pairing two far-family patterns.
+    pub forbidden_steps: u64,
+    /// Per-kernel records in execution order.
+    pub steps: Vec<BenchStep>,
+}
+
+/// One multi-GPU scaling point (informational, not gated).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Card count.
+    pub gpus: usize,
+    /// Cube edge.
+    pub n: usize,
+    /// Wall time of the sharded transform, seconds.
+    pub wall_s: f64,
+    /// Host-staged bytes exchanged between cards.
+    pub bytes_exchanged: u64,
+}
+
+/// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchFile {
+    /// Whether this was the `--quick` (64³-only) grid.
+    pub quick: bool,
+    /// Grid records.
+    pub runs: Vec<BenchRun>,
+    /// Multi-GPU scaling points.
+    pub scaling: Vec<ScalingPoint>,
+}
+
+/// The three cards with their short CLI keys, Table 1 order.
+pub fn cards() -> [(&'static str, DeviceSpec); 3] {
+    [
+        ("gt", DeviceSpec::gt8800()),
+        ("gts", DeviceSpec::gts8800()),
+        ("gtx", DeviceSpec::gtx8800()),
+    ]
+}
+
+/// Deterministic test volume (same convention as the profile driver).
+fn signal(len: usize) -> Vec<Complex32> {
+    (0..len)
+        .map(|i| Complex32::new((i as f32 * 0.173).sin(), (i as f32 * 0.311).cos()))
+        .collect()
+}
+
+/// Runs one `(card, algorithm, n)` cell of the grid: a forward transform
+/// with per-step roofline metrics and the pattern audit.
+///
+/// # Panics
+/// Panics when the plan cannot be built (the grid only uses supported
+/// sizes).
+pub fn bench_run(spec: DeviceSpec, card_key: &str, algo: Algorithm, n: usize) -> BenchRun {
+    let mut gpu = Gpu::new(spec);
+    let plan = Fft3d::builder(n, n, n)
+        .algorithm(algo)
+        .build(&mut gpu)
+        .unwrap_or_else(|e| panic!("bench grid: cannot plan {n}^3: {e}"));
+    let host = signal(n * n * n);
+    let (_, rep) = plan
+        .transform(&mut gpu, &host, Direction::Forward)
+        .expect("bench volume matches the plan");
+    let audit = PatternAudit::of_report(&rep);
+    let spec = *gpu.spec();
+    let steps = rep
+        .steps
+        .iter()
+        .zip(&audit.steps)
+        .map(|(s, a)| {
+            let roof = kernel_roofline(&spec, s);
+            BenchStep {
+                name: s.name.to_string(),
+                time_s: roof.time_s,
+                gbs: roof.achieved_gbs,
+                bw_frac: roof.bandwidth_fraction,
+                intensity: roof.arithmetic_intensity,
+                bound: if roof.memory_bound { "mem" } else { "comp" }.to_string(),
+                occupancy: roof.occupancy_fraction,
+                expected: a.expected_label(),
+                observed: a.observed.label(),
+                ok: a.ok,
+            }
+        })
+        .collect();
+    BenchRun {
+        card: card_key.to_string(),
+        algorithm: rep.algorithm.to_string(),
+        n,
+        wall_s: rep.total_time_s(),
+        gflops: rep.gflops(),
+        overall_gbs: rep.overall_gbs(),
+        audit_clean: audit.clean(),
+        forbidden_steps: audit.forbidden_count() as u64,
+        steps,
+    }
+}
+
+/// Runs one multi-GPU scaling point on the GTS card.
+fn scaling_point(gpus: usize, n: usize) -> ScalingPoint {
+    let spec = DeviceSpec::gts8800();
+    let mut plan =
+        MultiGpuFft3d::new(&spec, gpus, n, n, n).unwrap_or_else(|e| panic!("bench scaling: {e}"));
+    let host = signal(n * n * n);
+    let (_, rep) = plan
+        .transform(&host, Direction::Forward)
+        .expect("scaling volume matches the plan");
+    ScalingPoint {
+        gpus,
+        n,
+        wall_s: rep.wall_s,
+        bytes_exchanged: rep.bytes_exchanged,
+    }
+}
+
+/// Runs the whole grid. `quick` restricts to 64³ and one scaling point (the
+/// CI configuration); the full grid covers {64, 128, 256}³ and four scaling
+/// points. Returns the artefact and the printable roofline/audit report.
+pub fn run_grid(quick: bool) -> (BenchFile, String) {
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let scaling_grid: &[(usize, usize)] = if quick {
+        &[(2, 64)]
+    } else {
+        &[(2, 64), (4, 64), (2, 128), (4, 128)]
+    };
+    let mut runs = Vec::new();
+    let mut report = String::new();
+    for (key, spec) in cards() {
+        for &n in sizes {
+            for algo in Algorithm::IN_CORE {
+                let run = bench_run(spec, key, algo, n);
+                report.push_str(&render_run(&spec, &run));
+                runs.push(run);
+            }
+        }
+    }
+    let scaling = scaling_grid
+        .iter()
+        .map(|&(gpus, n)| scaling_point(gpus, n))
+        .collect::<Vec<_>>();
+    for s in &scaling {
+        report.push_str(&format!(
+            "scaling: {} GPUs at {}^3: {:.4} ms wall, {} MB exchanged\n",
+            s.gpus,
+            s.n,
+            s.wall_s * 1e3,
+            s.bytes_exchanged / (1024 * 1024)
+        ));
+    }
+    (
+        BenchFile {
+            quick,
+            runs,
+            scaling,
+        },
+        report,
+    )
+}
+
+/// Renders one grid record: header plus the per-kernel roofline table (the
+/// lines CI prints into its log).
+fn render_run(spec: &DeviceSpec, run: &BenchRun) -> String {
+    let mut out = format!(
+        "== {} {}^3 on {} ({}): {:.4} ms, {:.1} GFLOPS, {:.1} GB/s, audit {}{}\n",
+        run.algorithm,
+        run.n,
+        run.card,
+        spec.name,
+        run.wall_s * 1e3,
+        run.gflops,
+        run.overall_gbs,
+        if run.audit_clean { "clean" } else { "MISMATCH" },
+        if run.forbidden_steps > 0 {
+            format!(" ({} far*far steps)", run.forbidden_steps)
+        } else {
+            String::new()
+        },
+    );
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>7} {:>6} {:>8} {:>6} {:>5} {:>7} {:>7}\n",
+        "kernel", "time ms", "GB/s", "bw%", "fl/byte", "bound", "occ%", "expect", "observe"
+    ));
+    for s in &run.steps {
+        out.push_str(&format!(
+            "{:<18} {:>9.4} {:>7.1} {:>6.1} {:>8.2} {:>6} {:>5.0} {:>7} {:>7}{}\n",
+            s.name,
+            s.time_s * 1e3,
+            s.gbs,
+            s.bw_frac * 100.0,
+            s.intensity,
+            s.bound,
+            s.occupancy * 100.0,
+            s.expected,
+            s.observed,
+            if s.ok { "" } else { "  MISMATCH" },
+        ));
+    }
+    out
+}
+
+/// Serialises a bench artefact to the schema-versioned JSON format.
+pub fn to_json(file: &BenchFile) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"quick\": {},\n", file.quick));
+    out.push_str("  \"runs\": [\n");
+    let nr = file.runs.len();
+    for (i, r) in file.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"card\": \"{}\", \"algorithm\": \"{}\", \"n\": {}, \"wall_s\": {}, \"gflops\": {}, \"overall_gbs\": {}, \"audit_clean\": {}, \"forbidden_steps\": {}, \"steps\": [\n",
+            r.card, r.algorithm, r.n, r.wall_s, r.gflops, r.overall_gbs, r.audit_clean, r.forbidden_steps
+        ));
+        let ns = r.steps.len();
+        for (j, s) in r.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"time_s\": {}, \"gbs\": {}, \"bw_frac\": {}, \"intensity\": {}, \"bound\": \"{}\", \"occupancy\": {}, \"expected\": \"{}\", \"observed\": \"{}\", \"ok\": {}}}{}\n",
+                s.name, s.time_s, s.gbs, s.bw_frac, s.intensity, s.bound, s.occupancy,
+                s.expected, s.observed, s.ok,
+                if j + 1 < ns { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("    ]}}{}\n", if i + 1 < nr { "," } else { "" }));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"scaling\": [\n");
+    let np = file.scaling.len();
+    for (i, s) in file.scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"gpus\": {}, \"n\": {}, \"wall_s\": {}, \"bytes_exchanged\": {}}}{}\n",
+            s.gpus,
+            s.n,
+            s.wall_s,
+            s.bytes_exchanged,
+            if i + 1 < np { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts the raw text of `"key": <value>` starting at `from`; returns the
+/// value and the index just past it (same scanner as `profile --diff`).
+fn field<'t>(text: &'t str, key: &str, from: usize) -> Option<(&'t str, usize)> {
+    let needle = format!("\"{key}\": ");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let end = text[at..].find([',', '}', '\n']).map(|e| at + e)?;
+    Some((text[at..end].trim().trim_matches('"'), end))
+}
+
+/// Byte offset of the next occurrence of `"key"` at or after `from`.
+fn key_pos(text: &str, key: &str, from: usize) -> Option<usize> {
+    let needle = format!("\"{key}\": ");
+    text[from..].find(&needle).map(|p| p + from)
+}
+
+fn parse_f64(v: &str, what: &str) -> Result<f64, String> {
+    v.parse().map_err(|e| format!("bad {what} '{v}': {e}"))
+}
+
+fn parse_bool(v: &str, what: &str) -> Result<bool, String> {
+    match v {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("bad {what} '{other}'")),
+    }
+}
+
+/// Scans a bench JSON file back into a [`BenchFile`].
+///
+/// Like the metrics scanner, this reads our own fixed output shape (keys in
+/// emission order), not general JSON — no external crates needed.
+///
+/// # Errors
+/// Returns a description of the first malformed or missing field, including
+/// a schema-version mismatch.
+pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
+    let (schema, after_schema) =
+        field(text, "schema", 0).ok_or_else(|| "missing schema".to_string())?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema '{schema}' is not '{BENCH_SCHEMA}'"));
+    }
+    let (quick, mut cursor) =
+        field(text, "quick", after_schema).ok_or_else(|| "missing quick".to_string())?;
+    let quick = parse_bool(quick, "quick")?;
+    let scaling_at = key_pos(text, "gpus", 0).unwrap_or(text.len());
+    let mut runs = Vec::new();
+    while let Some(card_at) = key_pos(text, "card", cursor) {
+        if card_at >= scaling_at {
+            break;
+        }
+        let (card, c) = field(text, "card", cursor).unwrap();
+        let (algorithm, c) = field(text, "algorithm", c).ok_or("run: missing algorithm")?;
+        let (n, c) = field(text, "n", c).ok_or("run: missing n")?;
+        let (wall_s, c) = field(text, "wall_s", c).ok_or("run: missing wall_s")?;
+        let (gflops, c) = field(text, "gflops", c).ok_or("run: missing gflops")?;
+        let (overall_gbs, c) = field(text, "overall_gbs", c).ok_or("run: missing overall_gbs")?;
+        let (audit_clean, c) = field(text, "audit_clean", c).ok_or("run: missing audit_clean")?;
+        let (forbidden, mut c) =
+            field(text, "forbidden_steps", c).ok_or("run: missing forbidden_steps")?;
+        let run_end = key_pos(text, "card", c)
+            .unwrap_or(scaling_at)
+            .min(scaling_at);
+        let mut steps = Vec::new();
+        while let Some(name_at) = key_pos(text, "name", c) {
+            if name_at >= run_end {
+                break;
+            }
+            let (name, sc) = field(text, "name", c).unwrap();
+            let (time_s, sc) = field(text, "time_s", sc).ok_or("step: missing time_s")?;
+            let (gbs, sc) = field(text, "gbs", sc).ok_or("step: missing gbs")?;
+            let (bw_frac, sc) = field(text, "bw_frac", sc).ok_or("step: missing bw_frac")?;
+            let (intensity, sc) = field(text, "intensity", sc).ok_or("step: missing intensity")?;
+            let (bound, sc) = field(text, "bound", sc).ok_or("step: missing bound")?;
+            let (occupancy, sc) = field(text, "occupancy", sc).ok_or("step: missing occupancy")?;
+            let (expected, sc) = field(text, "expected", sc).ok_or("step: missing expected")?;
+            let (observed, sc) = field(text, "observed", sc).ok_or("step: missing observed")?;
+            let (ok, sc) = field(text, "ok", sc).ok_or("step: missing ok")?;
+            steps.push(BenchStep {
+                name: name.to_string(),
+                time_s: parse_f64(time_s, "time_s")?,
+                gbs: parse_f64(gbs, "gbs")?,
+                bw_frac: parse_f64(bw_frac, "bw_frac")?,
+                intensity: parse_f64(intensity, "intensity")?,
+                bound: bound.to_string(),
+                occupancy: parse_f64(occupancy, "occupancy")?,
+                expected: expected.to_string(),
+                observed: observed.to_string(),
+                ok: parse_bool(ok, "ok")?,
+            });
+            c = sc;
+        }
+        runs.push(BenchRun {
+            card: card.to_string(),
+            algorithm: algorithm.to_string(),
+            n: n.parse().map_err(|e| format!("bad n '{n}': {e}"))?,
+            wall_s: parse_f64(wall_s, "wall_s")?,
+            gflops: parse_f64(gflops, "gflops")?,
+            overall_gbs: parse_f64(overall_gbs, "overall_gbs")?,
+            audit_clean: parse_bool(audit_clean, "audit_clean")?,
+            forbidden_steps: forbidden
+                .parse()
+                .map_err(|e| format!("bad forbidden_steps '{forbidden}': {e}"))?,
+            steps,
+        });
+        cursor = c;
+    }
+    let mut scaling = Vec::new();
+    let mut c = scaling_at;
+    while let Some((gpus, sc)) = field(text, "gpus", c) {
+        let (n, sc) = field(text, "n", sc).ok_or("scaling: missing n")?;
+        let (wall_s, sc) = field(text, "wall_s", sc).ok_or("scaling: missing wall_s")?;
+        let (bytes, sc) =
+            field(text, "bytes_exchanged", sc).ok_or("scaling: missing bytes_exchanged")?;
+        scaling.push(ScalingPoint {
+            gpus: gpus
+                .parse()
+                .map_err(|e| format!("bad gpus '{gpus}': {e}"))?,
+            n: n.parse().map_err(|e| format!("bad n '{n}': {e}"))?,
+            wall_s: parse_f64(wall_s, "wall_s")?,
+            bytes_exchanged: bytes
+                .parse()
+                .map_err(|e| format!("bad bytes_exchanged '{bytes}': {e}"))?,
+        });
+        c = sc;
+    }
+    Ok(BenchFile {
+        quick,
+        runs,
+        scaling,
+    })
+}
+
+/// Compares a fresh grid against a baseline. Returns the list of regression
+/// descriptions — empty means the gate passes. Improvements never fail;
+/// only candidate metrics *worse* than baseline by more than `tol` do, plus
+/// records or steps the candidate is missing entirely.
+pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in &baseline.runs {
+        let id = format!("{}/{}/{}^3", base.card, base.algorithm, base.n);
+        let Some(cand) = candidate
+            .runs
+            .iter()
+            .find(|r| r.card == base.card && r.algorithm == base.algorithm && r.n == base.n)
+        else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        if cand.wall_s > base.wall_s * (1.0 + tol) {
+            failures.push(format!(
+                "{id}: wall_s regressed {:.4} -> {:.4} ms ({:+.1}%)",
+                base.wall_s * 1e3,
+                cand.wall_s * 1e3,
+                (cand.wall_s / base.wall_s - 1.0) * 100.0
+            ));
+        }
+        if cand.overall_gbs < base.overall_gbs * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: overall_gbs regressed {:.1} -> {:.1} GB/s ({:+.1}%)",
+                base.overall_gbs,
+                cand.overall_gbs,
+                (cand.overall_gbs / base.overall_gbs - 1.0) * 100.0
+            ));
+        }
+        if base.audit_clean && !cand.audit_clean {
+            failures.push(format!("{id}: pattern audit went from clean to MISMATCH"));
+        }
+        for bs in &base.steps {
+            let Some(cs) = cand.steps.iter().find(|s| s.name == bs.name) else {
+                failures.push(format!("{id}: step {} missing from candidate", bs.name));
+                continue;
+            };
+            if cs.gbs < bs.gbs * (1.0 - tol) {
+                failures.push(format!(
+                    "{id}: step {} gbs regressed {:.1} -> {:.1} GB/s ({:+.1}%)",
+                    bs.name,
+                    bs.gbs,
+                    cs.gbs,
+                    (cs.gbs / bs.gbs - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// CLI entry point shared by the `bench` binaries; returns the process exit
+/// code (0 ok, 1 regression or runtime failure, 2 usage error).
+///
+/// ```text
+/// bench [--quick] [--out PATH]            # run grid, write BENCH_<ts>.json
+/// bench [--quick] --check BASELINE.json   # run grid, gate against baseline
+/// ```
+pub fn cli_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("bench: --out needs PATH");
+                    return 2;
+                }
+            },
+            "--check" => match it.next() {
+                Some(p) => check_path = Some(p.clone()),
+                None => {
+                    eprintln!("bench: --check needs BASELINE.json");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("bench: unknown argument {other}");
+                eprintln!("usage: bench [--quick] [--out PATH] [--check BASELINE.json]");
+                return 2;
+            }
+        }
+    }
+
+    let (file, report) = run_grid(quick);
+    print!("{report}");
+
+    if let Some(path) = &check_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: cannot read baseline {path}: {e}");
+                return 1;
+            }
+        };
+        let baseline = match parse_bench(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench: baseline {path}: {e}");
+                return 1;
+            }
+        };
+        let failures = check(&baseline, &file, CHECK_TOLERANCE);
+        if let Some(p) = &out_path {
+            if let Err(e) = std::fs::write(p, to_json(&file)) {
+                eprintln!("bench: write {p}: {e}");
+                return 1;
+            }
+            println!("wrote {p}");
+        }
+        if failures.is_empty() {
+            println!(
+                "check ok: {} runs within {:.0}% of {path}",
+                file.runs.len(),
+                CHECK_TOLERANCE * 100.0
+            );
+            0
+        } else {
+            eprintln!("check FAILED against {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            1
+        }
+    } else {
+        let path = out_path.unwrap_or_else(|| {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            format!("BENCH_{ts}.json")
+        });
+        if let Err(e) = std::fs::write(&path, to_json(&file)) {
+            eprintln!("bench: write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // 64³ is the smallest volume whose audit is clean: below that the FFT
+    // rows are shorter than a DRAM row, so even contiguous stores cannot
+    // reach the row-density floor and step5's X*X demotes to D*D.
+    fn tiny_file() -> BenchFile {
+        let run = bench_run(DeviceSpec::gts8800(), "gts", Algorithm::FiveStep, 64);
+        BenchFile {
+            quick: true,
+            runs: vec![run],
+            scaling: vec![scaling_point(2, 16)],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_scanner() {
+        let file = tiny_file();
+        let parsed = parse_bench(&to_json(&file)).unwrap();
+        assert_eq!(parsed, file, "exact f64 + field roundtrip");
+        assert_eq!(parsed.runs[0].steps.len(), 5);
+        assert_eq!(parsed.runs[0].steps[0].expected, "D*A");
+        assert!(parsed.runs[0].audit_clean);
+        assert_eq!(parsed.scaling[0].gpus, 2);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = to_json(&tiny_file()).replace(BENCH_SCHEMA, "bifft-bench-v0");
+        let err = parse_bench(&text).unwrap_err();
+        assert!(err.contains("bifft-bench-v0"), "{err}");
+    }
+
+    #[test]
+    fn check_passes_identity_and_catches_inflated_baseline() {
+        let file = tiny_file();
+        assert!(check(&file, &file, CHECK_TOLERANCE).is_empty());
+
+        // Inflate one step's bandwidth 10% in the baseline: the candidate
+        // now reads as a regression and the diff names the step.
+        let mut inflated = file.clone();
+        inflated.runs[0].steps[2].gbs *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains(&file.runs[0].steps[2].name),
+            "{failures:?}"
+        );
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+
+        // Inflating the overall figure trips its own check.
+        let mut inflated = file.clone();
+        inflated.runs[0].overall_gbs *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert!(
+            failures.iter().any(|f| f.contains("overall_gbs")),
+            "{failures:?}"
+        );
+
+        // A record missing from the candidate fails loudly.
+        let empty = BenchFile {
+            quick: true,
+            runs: vec![],
+            scaling: vec![],
+        };
+        let failures = check(&file, &empty, CHECK_TOLERANCE);
+        assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn audit_mismatch_fails_the_gate() {
+        let file = tiny_file();
+        let mut broken = file.clone();
+        broken.runs[0].audit_clean = false;
+        let failures = check(&file, &broken, CHECK_TOLERANCE);
+        assert!(failures.iter().any(|f| f.contains("audit")), "{failures:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! `bifft-bench` — the benchmark-regression harness (also exposed as the
+//! workspace-root `bench` binary).
+//!
+//! ```text
+//! cargo run --release --bin bench                          # full grid
+//! cargo run --release -p fft-bench --bin bifft-bench -- --quick
+//! cargo run --release -p fft-bench --bin bifft-bench -- --quick --check baseline.json
+//! cargo run --release -p fft-bench --bin bifft-bench -- --out BENCH_custom.json
+//! ```
+//!
+//! See [`fft_bench::bench`] for the grid, the `BENCH_*.json` schema and the
+//! regression-gate semantics.
+
+fn main() {
+    std::process::exit(fft_bench::bench::cli_main());
+}

@@ -12,18 +12,31 @@
 //! `--trace` writes Chrome trace-event JSON (open in `chrome://tracing` or
 //! Perfetto); `--metrics` writes the flat counters file `--diff` consumes.
 //! Without either flag the flamegraph-style step table prints to stdout.
+//!
+//! Exit codes: 0 on success, 1 on a runtime failure (planning, transform,
+//! file I/O), 2 on a usage error.
 
 use bifft::plan::Algorithm;
 use fft_bench::profile::{card, diff_metrics, parse_metrics, run_profile_any};
 use gpu_sim::DeviceSpec;
 
+const USAGE: &str = "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--streams K] [--gpus N] [--trace PATH] [--metrics PATH]\n       profile --diff A.json B.json";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("profile: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn run_error(msg: impl std::fmt::Display) -> ! {
+    eprintln!("profile: {msg}");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!(
-            "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--streams K] [--gpus N] [--trace PATH] [--metrics PATH]"
-        );
-        eprintln!("       profile --diff A.json B.json");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
 
@@ -39,52 +52,82 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--algo" => {
-                let name = it.next().expect("--algo NAME");
-                algo = name.parse().unwrap_or_else(|e| panic!("{e}"));
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--algo needs NAME"));
+                algo = name.parse().unwrap_or_else(|e: String| usage_error(&e));
             }
             "--n" => {
-                n = it.next().expect("--n N").parse().expect("cube size");
+                n = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--n needs N"))
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--n needs a cube size"));
             }
             "--card" => {
-                let name = it.next().expect("--card NAME");
-                spec = card(name).unwrap_or_else(|e| panic!("{e}"));
+                let name = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--card needs NAME"));
+                spec = card(name).unwrap_or_else(|e| usage_error(&e));
             }
             "--streams" => {
                 streams = it
                     .next()
-                    .expect("--streams K")
+                    .unwrap_or_else(|| usage_error("--streams needs K"))
                     .parse()
-                    .expect("stream count");
+                    .unwrap_or_else(|_| usage_error("--streams needs a count"));
             }
             "--gpus" => {
-                gpus = it.next().expect("--gpus N").parse().expect("card count");
+                gpus = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--gpus needs N"))
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--gpus needs a count"));
             }
-            "--trace" => trace_path = Some(it.next().expect("--trace PATH").clone()),
-            "--metrics" => metrics_path = Some(it.next().expect("--metrics PATH").clone()),
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--trace needs PATH"))
+                        .clone(),
+                )
+            }
+            "--metrics" => {
+                metrics_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--metrics needs PATH"))
+                        .clone(),
+                )
+            }
             "--diff" => {
-                let a_path = it.next().expect("--diff A.json B.json");
-                let b_path = it.next().expect("--diff A.json B.json");
+                let a_path = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--diff needs A.json B.json"));
+                let b_path = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--diff needs A.json B.json"));
                 let read = |p: &str| {
                     let text = std::fs::read_to_string(p)
-                        .unwrap_or_else(|e| panic!("cannot read {p}: {e}"));
-                    parse_metrics(&text).unwrap_or_else(|e| panic!("{p}: {e}"))
+                        .unwrap_or_else(|e| run_error(format!("cannot read {p}: {e}")));
+                    parse_metrics(&text).unwrap_or_else(|e| run_error(format!("{p}: {e}")))
                 };
                 print!("{}", diff_metrics(&read(a_path), &read(b_path)));
                 return;
             }
-            other => panic!("unknown argument {other}; see the doc comment"),
+            other => usage_error(&format!("unknown argument {other}")),
         }
     }
 
-    let run = run_profile_any(spec, algo, n, streams, gpus);
+    let run = run_profile_any(spec, algo, n, streams, gpus)
+        .unwrap_or_else(|e| run_error(format!("cannot run {} at {n}^3: {e}", algo.name())));
     if let Some(p) = &trace_path {
-        std::fs::write(p, run.trace.chrome_json()).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        std::fs::write(p, run.trace.chrome_json())
+            .unwrap_or_else(|e| run_error(format!("write {p}: {e}")));
         eprintln!("trace: {p} ({} events)", run.trace.len());
     }
     if let Some(p) = &metrics_path {
         match &run.metrics_json {
             Some(json) => {
-                std::fs::write(p, json).unwrap_or_else(|e| panic!("write {p}: {e}"));
+                std::fs::write(p, json).unwrap_or_else(|e| run_error(format!("write {p}: {e}")));
                 eprintln!("metrics: {p}");
             }
             None => eprintln!("metrics: not available for {} runs", algo.name()),

@@ -9,7 +9,12 @@
 //! cargo run --release -p fft-bench --bin report -- --crosscheck 64
 //! cargo run --release -p fft-bench --bin report -- --scaling
 //! cargo run --release -p fft-bench --bin report -- --trace out.json
+//! cargo run --release -p fft-bench --bin report -- --json
 //! ```
+//!
+//! `--json` prints the same schema-versioned records `bifft-bench` writes
+//! (the quick grid), so the human tables and the machine output share one
+//! generator and cannot drift.
 
 use fft_bench::{ablations, extensions, tables, validate};
 
@@ -81,11 +86,20 @@ fn main() {
                     gpu_sim::DeviceSpec::gts8800(),
                     bifft::plan::Algorithm::FiveStep,
                     64,
-                );
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("report: {e}");
+                    std::process::exit(1);
+                });
                 std::fs::write(path, trace.chrome_json())
                     .unwrap_or_else(|e| panic!("write {path}: {e}"));
                 print!("{}", rep.step_table());
                 eprintln!("trace written to {path}");
+            }
+            "--json" => {
+                // The bifft-bench quick-grid records, on stdout.
+                let (file, _) = fft_bench::bench::run_grid(true);
+                print!("{}", fft_bench::bench::to_json(&file));
             }
             other => panic!("unknown argument {other}; see the doc comment"),
         }

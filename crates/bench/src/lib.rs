@@ -11,14 +11,19 @@
 //!   GT200, async transfer overlap), carried out.
 //! * [`profile`] — the sim-prof driver behind the `profile` binary: traced
 //!   runs, Chrome-trace/metrics export, metrics-file diffing.
+//! * [`mod@bench`] — the `bifft-bench` harness behind the `bench` binary:
+//!   roofline + pattern-audit grid runs, `BENCH_*.json` export, and the
+//!   `--check` regression gate CI runs.
 //!
 //! Run `cargo run --release -p fft-bench --bin report` for the full output,
 //! `cargo run --release -p fft-bench --bin profile -- --algo five-step --n 64`
-//! for a traced run, or `cargo bench` for the Criterion benchmarks.
+//! for a traced run, `cargo run --release -p fft-bench --bin bench` for a
+//! bench artefact, or `cargo bench` for the Criterion benchmarks.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bench;
 pub mod extensions;
 pub mod paper;
 pub mod profile;

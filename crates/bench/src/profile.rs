@@ -5,7 +5,7 @@
 //! diffed from their files alone.
 
 use bifft::multi_gpu::MultiGpuFft3d;
-use bifft::plan::{Algorithm, Fft3d};
+use bifft::plan::{Algorithm, Fft3d, FftError};
 use bifft::{OutOfCoreFft, RunReport};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
@@ -31,20 +31,24 @@ fn signal(len: usize) -> Vec<Complex32> {
 /// Runs a traced forward `n`³ transform of `algo` on a fresh device.
 ///
 /// Returns the run report (with the trace attached) and the trace itself.
-pub fn run_profile(spec: DeviceSpec, algo: Algorithm, n: usize) -> (RunReport, Trace) {
+///
+/// # Errors
+/// Propagates the planner's [`FftError`] (unsupported size/algorithm,
+/// allocation failure) instead of panicking, so binaries can exit with a
+/// proper status code.
+pub fn run_profile(
+    spec: DeviceSpec,
+    algo: Algorithm,
+    n: usize,
+) -> Result<(RunReport, Trace), FftError> {
     let mut gpu = Gpu::new(spec);
     let rec = gpu.install_recorder();
-    let plan = Fft3d::builder(n, n, n)
-        .algorithm(algo)
-        .build(&mut gpu)
-        .unwrap_or_else(|e| panic!("cannot plan {n}^3 on the card: {e}"));
+    let plan = Fft3d::builder(n, n, n).algorithm(algo).build(&mut gpu)?;
     let host = signal(n * n * n);
-    let (_, rep) = plan
-        .transform(&mut gpu, &host, Direction::Forward)
-        .expect("volume length matches the plan");
+    let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward)?;
     drop(plan);
     let trace = rec.borrow_mut().take_trace();
-    (rep.with_trace(trace.clone()), trace)
+    Ok((rep.with_trace(trace.clone()), trace))
 }
 
 /// One traced profiling run, for any [`Algorithm`] including the paths that
@@ -64,14 +68,17 @@ pub struct ProfileRun {
 /// slabs over `streams` CUDA-style streams, and `multi-gpu` shards the
 /// volume across `gpus` cards (the returned trace is card 0's — each
 /// simulated card records independently).
+///
+/// # Errors
+/// Propagates planner/shard validation failures as [`FftError`].
 pub fn run_profile_any(
     spec: DeviceSpec,
     algo: Algorithm,
     n: usize,
     streams: usize,
     gpus: usize,
-) -> ProfileRun {
-    match algo {
+) -> Result<ProfileRun, FftError> {
+    Ok(match algo {
         Algorithm::OutOfCore => {
             // Keep the slab Z extent at 16+ so the in-slab passes tile.
             let slabs = (n / 16).clamp(2, 16);
@@ -95,13 +102,10 @@ pub fn run_profile_any(
             }
         }
         Algorithm::MultiGpu => {
-            let mut plan =
-                MultiGpuFft3d::new(&spec, gpus, n, n, n).unwrap_or_else(|e| panic!("{e}"));
+            let mut plan = MultiGpuFft3d::new(&spec, gpus, n, n, n)?;
             let rec = plan.gpu_mut(0).install_recorder();
             let host = signal(n * n * n);
-            let (_, rep) = plan
-                .transform(&host, Direction::Forward)
-                .expect("volume length matches the plan");
+            let (_, rep) = plan.transform(&host, Direction::Forward)?;
             let trace = rec.borrow_mut().take_trace();
             ProfileRun {
                 table: format!("{}\n", bifft::multi_gpu::summarize(&rep, (n, n, n))),
@@ -110,14 +114,14 @@ pub fn run_profile_any(
             }
         }
         _ => {
-            let (rep, trace) = run_profile(spec, algo, n);
+            let (rep, trace) = run_profile(spec, algo, n)?;
             ProfileRun {
                 table: rep.step_table(),
                 metrics_json: Some(rep.metrics_json()),
                 trace,
             }
         }
-    }
+    })
 }
 
 /// The fields [`diff_metrics`] compares, scanned back out of a
@@ -210,7 +214,7 @@ mod tests {
 
     #[test]
     fn profile_run_exports_consistent_artifacts() {
-        let (rep, trace) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16);
+        let (rep, trace) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16).unwrap();
         assert_eq!(trace.kernel_count(), rep.steps.len());
         assert_eq!(trace.kernel_time_s(), rep.total_time_s());
         assert!(rep.trace.is_some());
@@ -221,7 +225,7 @@ mod tests {
 
     #[test]
     fn metrics_roundtrip_through_the_scanner() {
-        let (rep, _) = run_profile(DeviceSpec::gt8800(), Algorithm::SixStep, 16);
+        let (rep, _) = run_profile(DeviceSpec::gt8800(), Algorithm::SixStep, 16).unwrap();
         let parsed = parse_metrics(&rep.metrics_json()).unwrap();
         assert_eq!(parsed.algorithm, "six-step");
         assert_eq!(
@@ -238,7 +242,7 @@ mod tests {
 
     #[test]
     fn diff_of_identical_files_is_all_zeros() {
-        let (rep, _) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16);
+        let (rep, _) = run_profile(DeviceSpec::gts8800(), Algorithm::FiveStep, 16).unwrap();
         let m = parse_metrics(&rep.metrics_json()).unwrap();
         let text = diff_metrics(&m, &m);
         assert!(text.contains("+0.000 ms total"));
@@ -247,16 +251,16 @@ mod tests {
 
     #[test]
     fn any_profile_covers_the_non_facade_paths() {
-        let ooc = run_profile_any(DeviceSpec::gts8800(), Algorithm::OutOfCore, 32, 2, 1);
+        let ooc = run_profile_any(DeviceSpec::gts8800(), Algorithm::OutOfCore, 32, 2, 1).unwrap();
         assert!(ooc.table.contains("out-of-core"));
         assert!(ooc.metrics_json.is_none());
         assert!(ooc.trace.chrome_json().contains("stream 0"));
 
-        let mg = run_profile_any(DeviceSpec::gts8800(), Algorithm::MultiGpu, 16, 1, 2);
+        let mg = run_profile_any(DeviceSpec::gts8800(), Algorithm::MultiGpu, 16, 1, 2).unwrap();
         assert!(mg.table.contains("multi-gpu"));
         assert!(mg.trace.chrome_json().contains("mgpu"));
 
-        let five = run_profile_any(DeviceSpec::gts8800(), Algorithm::FiveStep, 16, 1, 1);
+        let five = run_profile_any(DeviceSpec::gts8800(), Algorithm::FiveStep, 16, 1, 1).unwrap();
         assert!(five.metrics_json.is_some());
         assert!(five.table.contains("step5_x"));
     }

@@ -1,0 +1,203 @@
+//! Expected-vs-observed access-pattern auditing (Tables 2–4 as a contract).
+//!
+//! Each in-core algorithm's steps are annotated here with the pattern pair
+//! (read x write) the paper's tables assign them. [`PatternAudit::of_report`]
+//! re-derives the *observed* pair of every executed kernel from its sampled
+//! address streams ([`gpu_sim::analysis`]) and diffs the two:
+//!
+//! * the **five-step** kernel must never combine two far-family patterns —
+//!   its whole design (Table 4's ordering) exists to avoid the C x C, C x D
+//!   and D x D rows that collapse to 0.60–0.72 of copy bandwidth;
+//! * the **six-step** baseline's transpose passes *must* exhibit exactly
+//!   those pairs — that they do is why Table 7 shows it losing.
+//!
+//! Matching is by locality *family* (near = X/A/B, far = C/D), not by exact
+//! letter: the classifier reads modal strides from sampled half-warps, and a
+//! view relabelling can shift a letter within its family without changing
+//! the bandwidth story the audit protects.
+
+use crate::report::RunReport;
+use fft_math::layout::AccessPattern;
+use gpu_sim::analysis::{
+    classify_kernel, is_forbidden_pair, pattern_family, KernelPatterns, PatternGeometry,
+};
+
+/// Expected (read, write) pattern pair of one named algorithm step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpectedPattern {
+    /// Kernel name as it appears in [`RunReport::steps`].
+    pub step: &'static str,
+    /// Expected load-stream class.
+    pub read: AccessPattern,
+    /// Expected store-stream class.
+    pub write: AccessPattern,
+}
+
+const fn exp(step: &'static str, read: AccessPattern, write: AccessPattern) -> ExpectedPattern {
+    ExpectedPattern { step, read, write }
+}
+
+/// Five-step expectations (Table 4): the four coarse 16-point passes gather
+/// along the decomposed axis (D reads) and scatter back with the small-slot
+/// A/B writes; the fine X pass streams contiguously both ways.
+pub const FIVE_STEP_EXPECTED: &[ExpectedPattern] = &[
+    exp("step1_z16", AccessPattern::D, AccessPattern::A),
+    exp("step2_z16", AccessPattern::D, AccessPattern::B),
+    exp("step3_y16", AccessPattern::D, AccessPattern::A),
+    exp("step4_y16", AccessPattern::D, AccessPattern::B),
+    exp("step5_x", AccessPattern::X, AccessPattern::X),
+];
+
+/// Six-step expectations: contiguous row FFTs, but every transpose reads a
+/// far-stride pattern and scatters to the farthest — the forbidden C x D
+/// pair, three times per transform.
+pub const SIX_STEP_EXPECTED: &[ExpectedPattern] = &[
+    exp("fft_x", AccessPattern::X, AccessPattern::X),
+    exp("transpose_zxy", AccessPattern::C, AccessPattern::D),
+    exp("fft_z", AccessPattern::X, AccessPattern::X),
+    exp("transpose_yzx", AccessPattern::C, AccessPattern::D),
+    exp("fft_y", AccessPattern::X, AccessPattern::X),
+    exp("transpose_xyz", AccessPattern::C, AccessPattern::D),
+];
+
+/// CUFFT-1.1-style expectations: the X passes stream contiguously, while the
+/// whole-transform-per-thread multirow Y/Z kernels walk far strides in both
+/// directions (the D x D shape behind Table 6's multirow collapse).
+pub const CUFFT_LIKE_EXPECTED: &[ExpectedPattern] = &[
+    exp("cufft1d_pass1", AccessPattern::X, AccessPattern::X),
+    exp("cufft1d_pass2", AccessPattern::X, AccessPattern::X),
+    exp("cufft_y_multirow", AccessPattern::D, AccessPattern::D),
+    exp("cufft_z_multirow", AccessPattern::D, AccessPattern::D),
+    exp("cufft_copyback", AccessPattern::X, AccessPattern::X),
+];
+
+/// The expectation table of an algorithm label (as stored in
+/// [`RunReport::algorithm`]), empty for algorithms without annotations
+/// (out-of-core, multi-GPU composites).
+pub fn expected_patterns(algorithm: &str) -> &'static [ExpectedPattern] {
+    match algorithm {
+        "five-step" => FIVE_STEP_EXPECTED,
+        "six-step" => SIX_STEP_EXPECTED,
+        "cufft-like" => CUFFT_LIKE_EXPECTED,
+        _ => &[],
+    }
+}
+
+/// One step's expected-vs-observed comparison.
+#[derive(Clone, Debug)]
+pub struct StepAudit {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Annotated expectation, when the algorithm's table has this step.
+    pub expected: Option<(AccessPattern, AccessPattern)>,
+    /// Classes observed in the sampled address streams.
+    pub observed: KernelPatterns,
+    /// Whether each observed stream falls in the same locality family as its
+    /// expectation (unannotated steps and unsampled streams pass).
+    pub ok: bool,
+    /// Whether the observed pair is one of the slow far x far combinations
+    /// (C/D x C/D).
+    pub forbidden: bool,
+}
+
+impl StepAudit {
+    /// `"D*A"`-style rendering of the expectation (`"-"` when unannotated).
+    pub fn expected_label(&self) -> String {
+        match self.expected {
+            Some((r, w)) => format!("{}*{}", r.label(), w.label()),
+            None => "-".to_string(),
+        }
+    }
+}
+
+/// Result of auditing one run's observed patterns against its algorithm's
+/// annotations.
+#[derive(Clone, Debug)]
+pub struct PatternAudit {
+    /// Algorithm label the expectations came from.
+    pub algorithm: String,
+    /// Volume dimensions of the audited run.
+    pub dims: (usize, usize, usize),
+    /// Per-step comparisons, in execution order.
+    pub steps: Vec<StepAudit>,
+}
+
+impl PatternAudit {
+    /// Audits a finished run: classifies every step's sampled streams against
+    /// the canonical geometry of the run's dimensions and diffs them with the
+    /// algorithm's expectation table.
+    ///
+    /// # Panics
+    /// Panics when a dimension is outside the in-core range covered by
+    /// [`PatternGeometry::for_dims`] (powers of two up to 256).
+    pub fn of_report(rep: &RunReport) -> Self {
+        let (nx, ny, nz) = rep.dims;
+        let geom = PatternGeometry::for_dims(nx, ny, nz);
+        let table = expected_patterns(rep.algorithm);
+        let steps = rep
+            .steps
+            .iter()
+            .map(|s| {
+                let observed = classify_kernel(&s.stats, &geom);
+                let expected = table
+                    .iter()
+                    .find(|e| e.step == s.name)
+                    .map(|e| (e.read, e.write));
+                let stream_ok = |exp: AccessPattern, obs: Option<gpu_sim::StreamClass>| {
+                    obs.is_none_or(|o| pattern_family(o.pattern) == pattern_family(exp))
+                };
+                let ok = expected.is_none_or(|(r, w)| {
+                    stream_ok(r, observed.load) && stream_ok(w, observed.store)
+                });
+                let forbidden = match (observed.load, observed.store) {
+                    (Some(l), Some(st)) => is_forbidden_pair(l.pattern, st.pattern),
+                    _ => false,
+                };
+                StepAudit {
+                    name: s.name,
+                    expected,
+                    observed,
+                    ok,
+                    forbidden,
+                }
+            })
+            .collect();
+        PatternAudit {
+            algorithm: rep.algorithm.to_string(),
+            dims: rep.dims,
+            steps,
+        }
+    }
+
+    /// True when every annotated step observed its expected locality
+    /// families. Note this is *conformance*, not speed: a clean six-step
+    /// audit still carries its three expected forbidden transposes — see
+    /// [`PatternAudit::forbidden_count`].
+    pub fn clean(&self) -> bool {
+        self.steps.iter().all(|s| s.ok)
+    }
+
+    /// Number of steps whose observed pair is a far x far combination.
+    pub fn forbidden_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.forbidden).count()
+    }
+
+    /// Human-readable audit table (one line per step).
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "pattern audit: {} {}x{}x{}\n",
+            self.algorithm, self.dims.0, self.dims.1, self.dims.2
+        );
+        for s in &self.steps {
+            out.push_str(&format!(
+                "  {:<18} expected {:>5}  observed {:>5}  {}{}\n",
+                s.name,
+                s.expected_label(),
+                s.observed.label(),
+                if s.ok { "ok" } else { "MISMATCH" },
+                if s.forbidden { "  [far*far]" } else { "" },
+            ));
+        }
+        out
+    }
+}

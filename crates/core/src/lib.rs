@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod batch;
 pub mod cufft_like;
 pub mod elementwise;
@@ -30,6 +31,7 @@ pub mod six_step;
 pub mod transpose;
 pub mod wisdom;
 
+pub use audit::{expected_patterns, ExpectedPattern, PatternAudit, StepAudit};
 pub use batch::{Fft1dBatchGpu, Fft2dGpu};
 pub use cufft_like::CufftLikeFft;
 pub use five_step::FiveStepFft;

@@ -1,0 +1,139 @@
+//! Failure-path tests: every [`FftError`] variant's exact `Display` string,
+//! and every way the builder / multi-GPU planner can refuse a request. The
+//! messages are part of the CLI contract (the `profile` and `bench` binaries
+//! print them verbatim), so they are pinned here byte-for-byte.
+
+use bifft::multi_gpu::MultiGpuFft3d;
+use bifft::plan::{Algorithm, Fft3d, FftError};
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::{DeviceSpec, Gpu};
+
+#[test]
+fn display_strings_are_pinned() {
+    let cases: [(FftError, &str); 4] = [
+        (
+            FftError::VolumeMismatch {
+                expected: 4096,
+                got: 4095,
+            },
+            "volume mismatch: plan covers 4096 elements, host slice has 4095",
+        ),
+        (
+            FftError::UnsupportedSize { axis: 'y', n: 24 },
+            "unsupported y-dimension 24: must be a power of two in 16..=512",
+        ),
+        (
+            FftError::BadShardCount {
+                n_gpus: 3,
+                reason: "card count must be a power of two",
+            },
+            "cannot shard across 3 GPUs: card count must be a power of two",
+        ),
+        (
+            FftError::UnsupportedAlgorithm {
+                algorithm: Algorithm::OutOfCore,
+                reason: "use OutOfCoreFft::new for volumes larger than device memory",
+            },
+            "cannot plan 'out-of-core' here: use OutOfCoreFft::new for volumes \
+             larger than device memory",
+        ),
+    ];
+    for (err, want) in cases {
+        assert_eq!(format!("{err}"), want);
+    }
+}
+
+#[test]
+fn builder_rejects_bad_sizes_per_axis() {
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    // Too small, not a power of two, too large — each names its axis.
+    for (nx, ny, nz, axis, n) in [
+        (8usize, 64usize, 64usize, 'x', 8usize),
+        (64, 24, 64, 'y', 24),
+        (64, 64, 1024, 'z', 1024),
+    ] {
+        let err = Fft3d::builder(nx, ny, nz).build(&mut gpu).err().unwrap();
+        assert_eq!(err, FftError::UnsupportedSize { axis, n });
+    }
+}
+
+#[test]
+fn builder_refuses_out_of_core_and_multi_gpu() {
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    for (algo, entry_point) in [
+        (Algorithm::OutOfCore, "OutOfCoreFft::new"),
+        (Algorithm::MultiGpu, "MultiGpuFft3d::new"),
+    ] {
+        let err = Fft3d::builder(64, 64, 64)
+            .algorithm(algo)
+            .build(&mut gpu)
+            .err()
+            .unwrap();
+        match &err {
+            FftError::UnsupportedAlgorithm { algorithm, reason } => {
+                assert_eq!(*algorithm, algo);
+                assert!(reason.contains(entry_point), "{reason}");
+            }
+            other => panic!("expected UnsupportedAlgorithm, got {other:?}"),
+        }
+        // And the rendered message points at the right entry point.
+        assert!(format!("{err}").contains(entry_point));
+    }
+}
+
+#[test]
+fn transform_rejects_wrong_host_volume() {
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let plan = Fft3d::builder(16, 16, 16).build(&mut gpu).unwrap();
+    let short = vec![Complex32::new(0.0, 0.0); 16 * 16 * 16 - 1];
+    let err = plan
+        .transform(&mut gpu, &short, Direction::Forward)
+        .err()
+        .unwrap();
+    assert_eq!(
+        err,
+        FftError::VolumeMismatch {
+            expected: 4096,
+            got: 4095,
+        }
+    );
+}
+
+#[test]
+fn multi_gpu_shard_count_failures() {
+    let spec = DeviceSpec::gts8800();
+    // Not a power of two.
+    let err = MultiGpuFft3d::new(&spec, 3, 64, 64, 64).err().unwrap();
+    assert_eq!(
+        err,
+        FftError::BadShardCount {
+            n_gpus: 3,
+            reason: "card count must be a power of two",
+        }
+    );
+    // Zero cards is rejected by the same rule.
+    assert!(matches!(
+        MultiGpuFft3d::new(&spec, 0, 64, 64, 64),
+        Err(FftError::BadShardCount { n_gpus: 0, .. })
+    ));
+    // More cards than Z planes / Y rows: nothing left to give each card.
+    let err = MultiGpuFft3d::new(&spec, 32, 64, 16, 16).err().unwrap();
+    assert_eq!(
+        err,
+        FftError::BadShardCount {
+            n_gpus: 32,
+            reason: "need at least one Z plane and one Y row per card",
+        }
+    );
+}
+
+#[test]
+fn algorithm_parse_error_lists_the_choices() {
+    let err = "seven-step".parse::<Algorithm>().err().unwrap();
+    assert_eq!(
+        err,
+        "unknown algorithm 'seven-step' (expected five-step, six-step, \
+         cufft-like, out-of-core or multi-gpu)"
+    );
+}

@@ -34,6 +34,31 @@ fn chrome_json_is_byte_stable_across_runs() {
     );
 }
 
+/// The export is pinned byte-for-byte against a committed golden file, so
+/// any change to the Chrome-trace format (or to the simulator's modelled
+/// timings) shows up as a reviewable diff. Regenerate deliberately with
+/// `BLESS=1 cargo test -p bifft --test trace_golden`.
+#[test]
+fn chrome_json_matches_committed_golden() {
+    let (_, trace) = traced_five_step_16();
+    let json = trace.chrome_json();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/five_step_16_trace.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file missing; regenerate with BLESS=1");
+    assert_eq!(
+        json, golden,
+        "chrome_json drifted from tests/golden/five_step_16_trace.json; \
+         if the change is intended, regenerate with BLESS=1"
+    );
+}
+
 #[test]
 fn chrome_json_has_the_expected_structure() {
     let (rep, trace) = traced_five_step_16();

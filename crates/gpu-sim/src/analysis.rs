@@ -1,0 +1,579 @@
+//! Roofline metrics and access-pattern classification over finished
+//! launches.
+//!
+//! Everything the paper argues is visible in two derived views of a
+//! [`KernelReport`]:
+//!
+//! * **Roofline** ([`kernel_roofline`]) — achieved bandwidth and GFLOPS
+//!   against the card's peaks, the arithmetic intensity of the launch, and
+//!   which side of the ridge it sits on. The paper's kernels all live deep
+//!   on the memory-bound side; a refactor that silently pushes one over the
+//!   ridge (or drops its bandwidth fraction) shows up here.
+//! * **Access-pattern class** ([`classify_kernel`]) — maps the sampled
+//!   load/store address streams onto Table 2's classes A–D (plus the
+//!   contiguous `X` of step 5). The classifier only sees measured addresses
+//!   — the declared [`crate::exec::LaunchConfig`] patterns are *not* input —
+//!   so an audit diffing declared vs classified catches kernels whose real
+//!   traffic no longer matches their labels.
+//!
+//! # Classifier rules
+//!
+//! Per stream (loads and stores independently), from the sampled stride
+//! histograms and DRAM-row footprints recorded by [`crate::exec`]:
+//!
+//! 1. No sampled half-warps → unclassifiable (`None`).
+//! 2. Coalesced fraction below [`COALESCE_CLASS_FLOOR`] → class **D**: an
+//!    uncoalesced scatter wastes the bus exactly like the largest-stride
+//!    pattern, whatever its strides (this is what flags a deliberately
+//!    strided copy).
+//! 3. Otherwise take the *mode* of the inter-access stride histogram (ties
+//!    break toward the larger stride) and place it against the volume's
+//!    canonical 5-D slot strides ([`PatternGeometry`]) on a logarithmic
+//!    scale: below the X/A boundary → **X**, then **A**, **B**, **C**, **D**.
+//! 4. Density corrections from the DRAM-row footprint
+//!    (`useful bytes / (rows touched x 2048)`):
+//!    * a nominally near-contiguous class (X/A) whose sampled rows are
+//!      mostly empty (density < [`SPARSE_ROW_DENSITY`]) is really a wide
+//!      spray of isolated chunks — demoted to **D** (the §2.1 N-stream
+//!      picture: bandwidth is set by row locality, not by the nearest
+//!      stride);
+//!    * a nominally far class (C) whose aggregate footprint tiles rows
+//!      densely (density ≥ [`DENSE_ROW_DENSITY`]) is benign grid-stride
+//!      streaming — promoted to **X** (many threads cover the gaps between
+//!      any one thread's jumps).
+
+use crate::dram::DRAM_ROW_BYTES;
+use crate::exec::{KernelReport, KernelStats};
+use crate::spec::DeviceSpec;
+use crate::timing::is_memory_bound;
+use fft_math::layout::{split_radix, AccessPattern};
+
+/// Rule 2's floor: a stream whose sampled half-warps coalesce below this
+/// fraction is classed D outright.
+pub const COALESCE_CLASS_FLOOR: f64 = 0.9;
+
+/// Rule 4's demotion threshold: X/A-looking streams filling less than this
+/// fraction of the DRAM rows they touch are reclassified D. Genuinely
+/// streaming kernels in this codebase tile their rows at >= 0.5; tiled
+/// transpose scatters sit at <= 0.25 — the threshold splits the two
+/// populations with margin on both sides.
+pub const SPARSE_ROW_DENSITY: f64 = 0.35;
+
+/// Rule 4's promotion threshold: C-looking streams filling at least this
+/// fraction of the rows they touch are reclassified X.
+pub const DENSE_ROW_DENSITY: f64 = 0.5;
+
+/// Which direction of a kernel's global traffic to classify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamDir {
+    /// Global loads.
+    Load,
+    /// Global stores.
+    Store,
+}
+
+/// The canonical 5-D slot strides of a volume, in bytes — the yardstick the
+/// classifier measures observed strides against.
+///
+/// For an `nx x ny x nz` volume viewed as the paper's
+/// `V(X, s1, s2, s3, s4)` with the standard digit splits, slot `k`'s stride
+/// is the Table 2 stride of pattern `A`..`D`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternGeometry {
+    /// Byte strides of slots 1–4 (patterns A–D).
+    pub slot_stride_bytes: [u64; 4],
+}
+
+impl PatternGeometry {
+    /// Geometry of the canonical five-step view of an `nx x ny x nz` volume
+    /// (slots `(Y_lo, Y_hi, Z_lo, Z_hi)` with the balanced digit splits).
+    ///
+    /// # Panics
+    /// Panics when `ny` or `nz` is not a power of two in `4..=256` (the
+    /// range [`split_radix`] covers).
+    pub fn for_dims(nx: usize, ny: usize, nz: usize) -> Self {
+        let elem = crate::memory::ELEM_BYTES;
+        let (ay, by) = split_radix(ny);
+        let (az, _) = split_radix(nz);
+        let s1 = (nx) as u64 * elem;
+        let s2 = (nx * ay) as u64 * elem;
+        let s3 = (nx * ay * by) as u64 * elem;
+        let s4 = (nx * ny * az) as u64 * elem;
+        PatternGeometry {
+            slot_stride_bytes: [s1, s2, s3, s4],
+        }
+    }
+
+    /// Places a stride (bytes) into a pattern class on a logarithmic scale:
+    /// class boundaries sit at the geometric means between consecutive slot
+    /// strides (and between one coalesced half-warp's 256 bytes and slot 1
+    /// for the X/A boundary), so per-step view relabelling — which moves a
+    /// slot stride by a small factor — does not flip the class.
+    pub fn classify_stride(&self, stride_bytes: u64) -> AccessPattern {
+        let [s1, s2, s3, s4] = self.slot_stride_bytes.map(|s| s as f64);
+        let s = stride_bytes as f64;
+        if s * s < 256.0 * s1 {
+            AccessPattern::X
+        } else if s * s < s1 * s2 {
+            AccessPattern::A
+        } else if s * s < s2 * s3 {
+            AccessPattern::B
+        } else if s * s < s3 * s4 {
+            AccessPattern::C
+        } else {
+            AccessPattern::D
+        }
+    }
+}
+
+/// Classification of one direction of a kernel's sampled global traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamClass {
+    /// The Table 2 class the stream exhibits.
+    pub pattern: AccessPattern,
+    /// The modal inter-access stride the class came from, bytes (0 when the
+    /// stream had a single sampled access and no stride).
+    pub mode_stride_bytes: u64,
+    /// Fraction of each touched DRAM row the sampled accesses actually
+    /// filled.
+    pub row_density: f64,
+    /// Fraction of sampled half-warps that coalesced.
+    pub coalesced_fraction: f64,
+}
+
+fn dir_samples(stats: &KernelStats, dir: StreamDir) -> (u64, u64, u64, u64, &[(u64, u64)]) {
+    match dir {
+        StreamDir::Load => (
+            stats.sampled_load_halfwarps,
+            stats.sampled_load_coalesced,
+            stats.sampled_load_useful,
+            stats.sampled_load_rows,
+            &stats.sampled_load_strides,
+        ),
+        StreamDir::Store => (
+            stats.sampled_store_halfwarps,
+            stats.sampled_store_coalesced,
+            stats.sampled_store_useful,
+            stats.sampled_store_rows,
+            &stats.sampled_store_strides,
+        ),
+    }
+}
+
+/// Classifies one direction of a kernel's sampled traffic, or `None` when
+/// nothing was sampled (`trace_blocks = 0` or a stream the kernel never
+/// touches).
+pub fn classify_stream(
+    stats: &KernelStats,
+    dir: StreamDir,
+    geom: &PatternGeometry,
+) -> Option<StreamClass> {
+    let (halfwarps, coalesced, useful, rows, strides) = dir_samples(stats, dir);
+    if halfwarps == 0 {
+        return None;
+    }
+    let coalesced_fraction = coalesced as f64 / halfwarps as f64;
+    let row_density = if rows == 0 {
+        0.0
+    } else {
+        useful as f64 / (rows * DRAM_ROW_BYTES) as f64
+    };
+    // Mode of the stride histogram; ties break toward the larger stride
+    // (the histogram is sorted ascending, so `>=` keeps the last maximum).
+    let mode_stride_bytes = strides
+        .iter()
+        .fold(
+            (0u64, 0u64),
+            |acc, &(s, c)| if c >= acc.1 { (s, c) } else { acc },
+        )
+        .0;
+    let mut pattern = if coalesced_fraction < COALESCE_CLASS_FLOOR {
+        AccessPattern::D
+    } else if mode_stride_bytes == 0 {
+        AccessPattern::X
+    } else {
+        geom.classify_stride(mode_stride_bytes)
+    };
+    if coalesced_fraction >= COALESCE_CLASS_FLOOR {
+        if matches!(pattern, AccessPattern::X | AccessPattern::A)
+            && row_density < SPARSE_ROW_DENSITY
+        {
+            pattern = AccessPattern::D;
+        } else if pattern == AccessPattern::C && row_density >= DENSE_ROW_DENSITY {
+            pattern = AccessPattern::X;
+        }
+    }
+    Some(StreamClass {
+        pattern,
+        mode_stride_bytes,
+        row_density,
+        coalesced_fraction,
+    })
+}
+
+/// Both directions of a kernel's observed pattern classification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelPatterns {
+    /// Load-stream class, when loads were sampled.
+    pub load: Option<StreamClass>,
+    /// Store-stream class, when stores were sampled.
+    pub store: Option<StreamClass>,
+}
+
+impl KernelPatterns {
+    /// `"D*A"`-style label (the paper's in x out notation); `-` marks an
+    /// unsampled direction.
+    pub fn label(&self) -> String {
+        let side = |s: &Option<StreamClass>| s.map_or("-", |c| c.pattern.label());
+        format!("{}*{}", side(&self.load), side(&self.store))
+    }
+}
+
+/// Classifies both directions of a finished launch's sampled traffic.
+pub fn classify_kernel(stats: &KernelStats, geom: &PatternGeometry) -> KernelPatterns {
+    KernelPatterns {
+        load: classify_stream(stats, StreamDir::Load, geom),
+        store: classify_stream(stats, StreamDir::Store, geom),
+    }
+}
+
+/// Locality family of a pattern: the paper's Tables 3–4 split cleanly into
+/// near-copy-speed rows/columns (X/A/B) and collapsing ones (C/D).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternFamily {
+    /// X, A or B: stride small enough that successive accesses stay
+    /// row-local; pairs sustain ≥ 94% of copy bandwidth.
+    Near,
+    /// C or D: every access opens a distant row; pairing two of these is
+    /// the C/D x C/D collapse the five-step ordering exists to avoid.
+    Far,
+}
+
+/// The family a pattern belongs to.
+pub fn pattern_family(p: AccessPattern) -> PatternFamily {
+    match p {
+        AccessPattern::X | AccessPattern::A | AccessPattern::B => PatternFamily::Near,
+        AccessPattern::C | AccessPattern::D => PatternFamily::Far,
+    }
+}
+
+/// True for the slow pattern pairs (both sides in the far family): C x C,
+/// C x D, D x C, D x D — the combinations Tables 3–4 show collapsing to
+/// 0.60–0.72 of copy bandwidth.
+pub fn is_forbidden_pair(read: AccessPattern, write: AccessPattern) -> bool {
+    pattern_family(read) == PatternFamily::Far && pattern_family(write) == PatternFamily::Far
+}
+
+/// Achieved-vs-peak summary of one launch.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelRoofline {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Modelled wall time, seconds.
+    pub time_s: f64,
+    /// Useful global bytes moved (loads + stores).
+    pub useful_bytes: u64,
+    /// Achieved effective bandwidth, GB/s.
+    pub achieved_gbs: f64,
+    /// The card's pin-rate peak bandwidth, GB/s.
+    pub peak_gbs: f64,
+    /// `achieved_gbs / peak_gbs`.
+    pub bandwidth_fraction: f64,
+    /// Achieved nominal GFLOPS (0 for copy-class launches).
+    pub achieved_gflops: f64,
+    /// The card's marketing peak, GFLOPS.
+    pub peak_gflops: f64,
+    /// Nominal flops per useful byte (the roofline x-axis).
+    pub arithmetic_intensity: f64,
+    /// The card's ridge point, flops/byte: intensities below this are
+    /// memory-bound even at peak efficiency.
+    pub ridge_intensity: f64,
+    /// Whether the timing model's memory leg dominated its compute leg.
+    pub memory_bound: bool,
+    /// Resident threads per SM over the architectural maximum.
+    pub occupancy_fraction: f64,
+}
+
+/// Derives the roofline summary of a finished launch on `spec`.
+pub fn kernel_roofline(spec: &DeviceSpec, rep: &KernelReport) -> KernelRoofline {
+    let useful_bytes = rep.stats.load_bytes() + rep.stats.store_bytes();
+    let peak_gbs = spec.peak_bandwidth_gbs();
+    let peak_gflops = spec.peak_gflops();
+    // The timing model's achieved figures are nominal-FLOP based; recover
+    // the launch's nominal flops from them rather than re-plumbing the
+    // config through.
+    let nominal_flops = rep.timing.achieved_gflops * rep.timing.time_s * 1e9;
+    KernelRoofline {
+        name: rep.name,
+        time_s: rep.timing.time_s,
+        useful_bytes,
+        achieved_gbs: rep.timing.achieved_gbs,
+        peak_gbs,
+        bandwidth_fraction: rep.timing.achieved_gbs / peak_gbs,
+        achieved_gflops: rep.timing.achieved_gflops,
+        peak_gflops,
+        arithmetic_intensity: if useful_bytes == 0 {
+            0.0
+        } else {
+            nominal_flops / useful_bytes as f64
+        },
+        ridge_intensity: peak_gflops / peak_gbs,
+        memory_bound: is_memory_bound(&rep.timing),
+        occupancy_fraction: rep.occupancy.threads_per_sm as f64
+            / spec.arch.max_threads_per_sm as f64,
+    }
+}
+
+/// Renders the per-kernel roofline + pattern table of a run (one line per
+/// launch) — what `bifft-bench` prints into the CI log.
+pub fn roofline_table(
+    spec: &DeviceSpec,
+    reports: &[KernelReport],
+    geom: &PatternGeometry,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>9} {:>7} {:>6} {:>9} {:>8} {:>6} {:>5}\n",
+        "kernel", "time ms", "GB/s", "bw%", "GFLOPS", "fl/byte", "bound", "pat"
+    ));
+    for r in reports {
+        let roof = kernel_roofline(spec, r);
+        let pat = classify_kernel(&r.stats, geom);
+        out.push_str(&format!(
+            "{:<18} {:>9.4} {:>7.1} {:>6.1} {:>9.1} {:>8.2} {:>6} {:>5}\n",
+            roof.name,
+            roof.time_s * 1e3,
+            roof.achieved_gbs,
+            roof.bandwidth_fraction * 100.0,
+            roof.achieved_gflops,
+            roof.arithmetic_intensity,
+            if roof.memory_bound { "mem" } else { "comp" },
+            pat.label(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{Gpu, LaunchConfig};
+    use fft_math::c32;
+
+    fn geom64() -> PatternGeometry {
+        PatternGeometry::for_dims(64, 64, 64)
+    }
+
+    #[test]
+    fn geometry_matches_table2_strides() {
+        // 256^3: V(256,16,16,16,16) — Table 2's element strides x 8 bytes.
+        let g = PatternGeometry::for_dims(256, 256, 256);
+        assert_eq!(
+            g.slot_stride_bytes,
+            [256 * 8, 4096 * 8, 65536 * 8, 1_048_576 * 8]
+        );
+        // Boundaries are geometric means: each slot stride classifies as its
+        // own pattern.
+        assert_eq!(g.classify_stride(256 * 8), AccessPattern::A);
+        assert_eq!(g.classify_stride(4096 * 8), AccessPattern::B);
+        assert_eq!(g.classify_stride(65536 * 8), AccessPattern::C);
+        assert_eq!(g.classify_stride(1_048_576 * 8), AccessPattern::D);
+        assert_eq!(g.classify_stride(128), AccessPattern::X);
+    }
+
+    #[test]
+    fn contiguous_copy_classifies_x() {
+        // One coalesced access per thread, whole grid contiguous: the
+        // canonical X x X copy.
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let n = 8 * 64;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("copy", 8, 64);
+        let rep = g.launch(&cfg, |t| {
+            let v = t.ld(src, t.gid());
+            t.st(dst, t.gid(), v);
+        });
+        let pat = classify_kernel(&rep.stats, &geom64());
+        assert_eq!(pat.load.unwrap().pattern, AccessPattern::X);
+        assert_eq!(pat.store.unwrap().pattern, AccessPattern::X);
+        assert_eq!(pat.label(), "X*X");
+        assert!(pat.load.unwrap().row_density > 0.4);
+    }
+
+    #[test]
+    fn grid_stride_copy_classifies_by_iteration_stride() {
+        // A grid-stride loop's half-warps hop by the whole grid each
+        // iteration; at 512 threads that is 4096 bytes — exactly this
+        // geometry's slot-2 stride, so the classifier reads it as B.
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let n = 1 << 15;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("copy", 8, 64);
+        let total = 8 * 64;
+        let rep = g.launch(&cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(src, i);
+                t.st(dst, i, v);
+                i += total;
+            }
+        });
+        let pat = classify_kernel(&rep.stats, &geom64());
+        let load = pat.load.unwrap();
+        assert_eq!(load.mode_stride_bytes, geom64().slot_stride_bytes[1]);
+        assert_eq!(load.pattern, AccessPattern::B);
+        assert_eq!(pattern_family(load.pattern), PatternFamily::Near);
+    }
+
+    #[test]
+    fn strided_copy_flags_class_d() {
+        // The acceptance kernel: lane-strided loads defeat coalescing rule
+        // (a); whatever its nominal stride, the classifier must call it D.
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let n = 1 << 14;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("strided", 4, 64);
+        let total = 4 * 64usize;
+        let rep = g.launch(&cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(src, (i * 16) % n);
+                t.st(dst, i, v);
+                i += total;
+            }
+        });
+        let pat = classify_kernel(&rep.stats, &geom64());
+        let load = pat.load.unwrap();
+        assert!(load.coalesced_fraction < COALESCE_CLASS_FLOOR);
+        assert_eq!(load.pattern, AccessPattern::D);
+        // The well-behaved store side stays near-contiguous.
+        assert_eq!(
+            pattern_family(pat.store.unwrap().pattern),
+            PatternFamily::Near
+        );
+    }
+
+    #[test]
+    fn large_stride_walk_classifies_d_by_mode() {
+        // Coalesced half-warps hopping a slot-4-sized stride: rule 3 alone
+        // must land D (no density correction applies to a far class).
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let geom = geom64();
+        let jump_elems = (geom.slot_stride_bytes[3] / 8) as usize;
+        let n = jump_elems * 8;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("hop", 1, 16);
+        let rep = g.launch(&cfg, |t| {
+            for k in 0..8 {
+                let v = t.ld(src, t.tid + k * jump_elems);
+                t.st(dst, t.tid + k * 16, v);
+            }
+        });
+        let pat = classify_kernel(&rep.stats, &geom);
+        let load = pat.load.unwrap();
+        assert_eq!(load.mode_stride_bytes, geom.slot_stride_bytes[3]);
+        assert_eq!(load.pattern, AccessPattern::D);
+        assert!(is_forbidden_pair(load.pattern, load.pattern));
+    }
+
+    #[test]
+    fn sparse_near_stride_demotes_to_d() {
+        // One isolated coalesced half-warp chunk per distant region: the
+        // nearest-stride reading would say A, the row density says scatter.
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let geom = geom64();
+        let region = 16 * 1024usize; // elements between chunks
+        let n = region * 8;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("sparse", 1, 16);
+        let stride_elems = (geom.slot_stride_bytes[0] / 8) as usize; // A stride
+        let rep = g.launch(&cfg, |t| {
+            for k in 0..4 {
+                // Two A-strided accesses inside each far-apart region keep
+                // the stride mode at slot 1 while rows stay nearly empty.
+                let base = k * 2 * region;
+                let v = t.ld(src, (base + t.tid) % n);
+                t.st(dst, t.tid + k * 16, v);
+                let v2 = t.ld(src, (base + stride_elems + t.tid) % n);
+                t.st(dst, t.tid + (k + 4) * 16, v2);
+            }
+        });
+        let pat = classify_kernel(&rep.stats, &geom);
+        let load = pat.load.unwrap();
+        assert_eq!(load.mode_stride_bytes, geom.slot_stride_bytes[0]);
+        assert!(load.row_density < SPARSE_ROW_DENSITY, "{load:?}");
+        assert_eq!(load.pattern, AccessPattern::D);
+    }
+
+    #[test]
+    fn unsampled_streams_classify_none() {
+        let mut g = Gpu::new(DeviceSpec::gt8800());
+        let dst = g.mem_mut().alloc(256).unwrap();
+        let cfg = LaunchConfig::copy("store_only", 1, 256);
+        let rep = g.launch(&cfg, |t| t.st(dst, t.tid, c32(0.0, 0.0)));
+        let pat = classify_kernel(&rep.stats, &geom64());
+        assert!(pat.load.is_none());
+        assert!(pat.store.is_some());
+        assert_eq!(pat.label(), "-*X");
+
+        g.trace_blocks = 0;
+        let rep = g.launch(&cfg, |t| t.st(dst, t.tid, c32(0.0, 0.0)));
+        let pat = classify_kernel(&rep.stats, &geom64());
+        assert!(pat.store.is_none());
+    }
+
+    #[test]
+    fn families_and_forbidden_pairs() {
+        use AccessPattern::*;
+        for p in [X, A, B] {
+            assert_eq!(pattern_family(p), PatternFamily::Near);
+        }
+        for p in [C, D] {
+            assert_eq!(pattern_family(p), PatternFamily::Far);
+        }
+        assert!(is_forbidden_pair(C, C));
+        assert!(is_forbidden_pair(C, D));
+        assert!(is_forbidden_pair(D, C));
+        assert!(is_forbidden_pair(D, D));
+        assert!(!is_forbidden_pair(D, A));
+        assert!(!is_forbidden_pair(X, D));
+        assert!(!is_forbidden_pair(A, B));
+    }
+
+    #[test]
+    fn roofline_of_a_copy_kernel_is_memory_bound() {
+        let mut g = Gpu::new(DeviceSpec::gtx8800());
+        let n = 1 << 16;
+        let src = g.mem_mut().alloc(n).unwrap();
+        let dst = g.mem_mut().alloc(n).unwrap();
+        let cfg = LaunchConfig::copy("copy", 16, 64);
+        let total = 16 * 64;
+        let rep = g.launch(&cfg, |t| {
+            let mut i = t.gid();
+            while i < n {
+                let v = t.ld(src, i);
+                t.st(dst, i, v);
+                i += total;
+            }
+        });
+        let roof = kernel_roofline(g.spec(), &rep);
+        assert_eq!(roof.useful_bytes, 2 * n as u64 * 8);
+        assert!(roof.memory_bound);
+        assert!(roof.achieved_gbs > 0.0 && roof.achieved_gbs < roof.peak_gbs);
+        assert!(roof.bandwidth_fraction > 0.0 && roof.bandwidth_fraction < 1.0);
+        assert_eq!(roof.achieved_gflops, 0.0);
+        assert_eq!(roof.arithmetic_intensity, 0.0);
+        assert!((roof.ridge_intensity - 345.6 / 86.4).abs() < 1e-9);
+        assert!(roof.occupancy_fraction > 0.0 && roof.occupancy_fraction <= 1.0);
+
+        let table = roofline_table(g.spec(), &[rep], &geom64());
+        assert!(table.contains("copy"));
+        assert!(table.contains("mem"));
+        assert!(table.contains("B*B"));
+    }
+}

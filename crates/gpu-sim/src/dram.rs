@@ -36,6 +36,14 @@ use fft_math::layout::AccessPattern;
 /// single-stream copy achieves (GTX: 71.7 / 86.4).
 pub const COPY_EFFICIENCY: f64 = 0.830;
 
+/// GDDR row (open-page) granularity in bytes. Accesses landing in the same
+/// row amortise the activate/precharge cost — the physical mechanism behind
+/// the §2.1 stream-decay measurement. The executor counts distinct rows
+/// touched by sampled accesses at this granularity; the access-pattern
+/// classifier ([`crate::analysis`]) uses the resulting row density to
+/// separate dense streaming from sparse scatter.
+pub const DRAM_ROW_BYTES: u64 = 2048;
+
 /// Coefficient of the logarithmic stream-count decay (fits 71.7 → 30.7 GB/s
 /// over 1 → 256 streams on the GTX).
 pub const STREAM_DECAY_COEF: f64 = 0.16694;

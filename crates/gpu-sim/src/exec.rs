@@ -16,6 +16,7 @@
 
 use crate::coalesce;
 use crate::constmem::{serialization_penalty, ConstantBank};
+use crate::dram::DRAM_ROW_BYTES;
 use crate::memory::{BufferId, DeviceMemory, ELEM_BYTES};
 use crate::occupancy::{occupancy, KernelResources, Occupancy};
 use crate::pcie::{transfer_time, Dir, PcieTimeline, TransferReport};
@@ -27,6 +28,7 @@ use crate::trace::{Recorder, SharedSink, SimClock, TraceEvent, Tracer};
 use fft_math::layout::AccessPattern;
 use fft_math::Complex32;
 use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 /// How many thread blocks are traced at full address fidelity.
@@ -155,6 +157,21 @@ pub struct KernelStats {
     /// cycles attributed to each bank); empty when no shared traffic was
     /// sampled.
     pub bank_conflicts: Vec<u64>,
+    /// Sampled inter-access half-warp stride histogram for loads: for each
+    /// traced half-warp, the distance in bytes between the base addresses of
+    /// consecutive load ordinals, as sorted `(stride_bytes, count)` pairs
+    /// (zero strides excluded). This is the raw signal the access-pattern
+    /// classifier ([`crate::analysis`]) maps onto the paper's Table 2
+    /// classes.
+    pub sampled_load_strides: Vec<(u64, u64)>,
+    /// Sampled inter-access half-warp stride histogram for stores.
+    pub sampled_store_strides: Vec<(u64, u64)>,
+    /// Distinct [`crate::dram::DRAM_ROW_BYTES`]-sized device-memory rows
+    /// touched by sampled loads (footprint granularity of the classifier's
+    /// row-density signal).
+    pub sampled_load_rows: u64,
+    /// Distinct DRAM rows touched by sampled stores.
+    pub sampled_store_rows: u64,
 }
 
 impl KernelStats {
@@ -254,6 +271,51 @@ struct BlockTrace {
     threads: Vec<ThreadTrace>,
 }
 
+/// Launch-lifetime scratch for the access-pattern samples: stride histograms
+/// and DRAM-row footprints accumulated over every traced block, then folded
+/// into [`KernelStats`] once at the end (sorted maps keep the result
+/// deterministic regardless of access order).
+#[derive(Default)]
+struct SampleAccum {
+    load_strides: BTreeMap<u64, u64>,
+    store_strides: BTreeMap<u64, u64>,
+    load_rows: BTreeSet<u64>,
+    store_rows: BTreeSet<u64>,
+}
+
+impl SampleAccum {
+    fn fold_into(self, stats: &mut KernelStats) {
+        stats.sampled_load_strides = self.load_strides.into_iter().collect();
+        stats.sampled_store_strides = self.store_strides.into_iter().collect();
+        stats.sampled_load_rows = self.load_rows.len() as u64;
+        stats.sampled_store_rows = self.store_rows.len() as u64;
+    }
+}
+
+/// Records one half-warp access (all lanes of one ordinal) into the sample
+/// accumulators: the jump from the previous ordinal's base address feeds the
+/// stride histogram, and every touched DRAM row feeds the footprint set.
+fn sample_halfwarp(
+    addrs: &[u64],
+    prev_base: &mut Option<u64>,
+    strides: &mut BTreeMap<u64, u64>,
+    rows: &mut BTreeSet<u64>,
+) {
+    let Some(&base) = addrs.iter().min() else {
+        return;
+    };
+    if let Some(p) = *prev_base {
+        let d = base.abs_diff(p);
+        if d > 0 {
+            *strides.entry(d).or_insert(0) += 1;
+        }
+    }
+    *prev_base = Some(base);
+    for &a in addrs {
+        rows.insert(a / DRAM_ROW_BYTES);
+    }
+}
+
 impl BlockTrace {
     fn new(threads: usize) -> Self {
         BlockTrace {
@@ -262,9 +324,17 @@ impl BlockTrace {
     }
 
     /// Folds this block's trace into the aggregate stats using the real
-    /// coalescing and bank-conflict rules.
-    fn analyze(&self, half_warp: usize, banks: usize, stats: &mut KernelStats) {
+    /// coalescing and bank-conflict rules, and feeds the access-pattern
+    /// sample accumulators.
+    fn analyze(
+        &self,
+        half_warp: usize,
+        banks: usize,
+        stats: &mut KernelStats,
+        samples: &mut SampleAccum,
+    ) {
         for hw in self.threads.chunks(half_warp) {
+            let mut prev_load_base: Option<u64> = None;
             analyze_stream(
                 hw,
                 |t| &t.loads,
@@ -281,9 +351,16 @@ impl BlockTrace {
                     if r.coalesced {
                         s.sampled_load_coalesced += 1;
                     }
+                    sample_halfwarp(
+                        addrs,
+                        &mut prev_load_base,
+                        &mut samples.load_strides,
+                        &mut samples.load_rows,
+                    );
                 },
                 stats,
             );
+            let mut prev_store_base: Option<u64> = None;
             analyze_stream(
                 hw,
                 |t| &t.stores,
@@ -300,6 +377,12 @@ impl BlockTrace {
                     if r.coalesced {
                         s.sampled_store_coalesced += 1;
                     }
+                    sample_halfwarp(
+                        addrs,
+                        &mut prev_store_base,
+                        &mut samples.store_strides,
+                        &mut samples.store_rows,
+                    );
                 },
                 stats,
             );
@@ -897,6 +980,7 @@ impl Gpu {
     ) -> KernelReport {
         let occ = occupancy(&self.spec.arch, &cfg.resources);
         let mut stats = KernelStats::default();
+        let mut samples = SampleAccum::default();
         let bd = cfg.resources.threads_per_block;
         for block in 0..cfg.grid_blocks {
             let mut trace = (block < self.trace_blocks).then(|| BlockTrace::new(bd));
@@ -921,9 +1005,11 @@ impl Gpu {
                     self.spec.arch.half_warp,
                     self.spec.arch.shared_banks,
                     &mut stats,
+                    &mut samples,
                 );
             }
         }
+        samples.fold_into(&mut stats);
         self.finish(cfg, occ, stats)
     }
 
@@ -936,6 +1022,7 @@ impl Gpu {
     ) -> KernelReport {
         let occ = occupancy(&self.spec.arch, &cfg.resources);
         let mut stats = KernelStats::default();
+        let mut samples = SampleAccum::default();
         let bd = cfg.resources.threads_per_block;
         for block in 0..cfg.grid_blocks {
             let mut bc = BlockCtx {
@@ -963,9 +1050,11 @@ impl Gpu {
                     self.spec.arch.half_warp,
                     self.spec.arch.shared_banks,
                     &mut stats,
+                    &mut samples,
                 );
             }
         }
+        samples.fold_into(&mut stats);
         self.finish(cfg, occ, stats)
     }
 

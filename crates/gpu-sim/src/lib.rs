@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bandwidth;
 pub mod coalesce;
 pub mod constmem;
@@ -34,6 +35,11 @@ pub mod stream;
 pub mod timing;
 pub mod trace;
 
+pub use analysis::{
+    classify_kernel, classify_stream, is_forbidden_pair, kernel_roofline, pattern_family,
+    roofline_table, KernelPatterns, KernelRoofline, PatternFamily, PatternGeometry, StreamClass,
+    StreamDir,
+};
 pub use exec::{
     ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, TexAccess, TextureId, ThreadCtx,
 };

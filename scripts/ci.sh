@@ -13,3 +13,10 @@ cargo fmt --all -- --check
 # surviving a migration) to errors here.
 cargo clippy --workspace --all-targets --offline -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+# Benchmark-regression gate: the quick grid (64³, all algorithms × cards)
+# against the committed baseline. All figures are modelled/simulated, so
+# the comparison is exact and machine-independent; this also prints the
+# per-kernel roofline + pattern-audit tables. Refresh the baseline with
+#   cargo run --release --bin bench -- --quick --out crates/bench/baselines/bench-quick.json
+cargo run --release -p fft-bench --bin bifft-bench --offline -- \
+    --quick --check crates/bench/baselines/bench-quick.json

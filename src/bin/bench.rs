@@ -1,0 +1,8 @@
+//! Workspace-root alias for the `bifft-bench` harness, so
+//! `cargo run --release --bin bench` works without naming the crate
+//! (the crate-local spelling is `-p fft-bench --bin bifft-bench`).
+//! See `crates/bench/src/bench.rs` for the grid and gate semantics.
+
+fn main() {
+    std::process::exit(fft_bench::bench::cli_main());
+}
