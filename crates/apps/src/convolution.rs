@@ -228,18 +228,18 @@ pub fn correlate_reference(
 mod tests {
     use super::*;
     use fft_math::c32;
+    use fft_math::rng::SplitMix64;
     use gpu_sim::DeviceSpec;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     #[test]
     fn correlation_matches_reference() {
         let (nx, ny, nz) = (8usize, 8, 8);
-        let mut rng = SmallRng::seed_from_u64(61);
+        let mut rng = SplitMix64::new(61);
         let a: Vec<Complex32> = (0..nx * ny * nz)
-            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .map(|_| c32(rng.uniform_f32(-1.0, 1.0), 0.0))
             .collect();
         let b: Vec<Complex32> = (0..nx * ny * nz)
-            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .map(|_| c32(rng.uniform_f32(-1.0, 1.0), 0.0))
             .collect();
 
         let mut gpu = Gpu::new(DeviceSpec::gts8800());
@@ -257,9 +257,9 @@ mod tests {
         // b is a copy of a shifted by (3, 2, 5): the correlation peak must
         // land exactly there.
         let (nx, ny, nz) = (16usize, 16, 16);
-        let mut rng = SmallRng::seed_from_u64(62);
+        let mut rng = SplitMix64::new(62);
         let b: Vec<Complex32> = (0..nx * ny * nz)
-            .map(|_| c32(rng.gen_range(-1.0..1.0), 0.0))
+            .map(|_| c32(rng.uniform_f32(-1.0, 1.0), 0.0))
             .collect();
         let (sx, sy, sz) = (3usize, 2, 5);
         let mut a = vec![Complex32::ZERO; b.len()];

@@ -20,10 +20,9 @@
 //! the ligand in the core.
 
 use crate::convolution::{ConvReport, GpuCorrelator};
+use fft_math::rng::SplitMix64;
 use fft_math::{c32, Complex32};
 use gpu_sim::Gpu;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Penalty weight for a ligand voxel overlapping the receptor core.
 pub const CORE_PENALTY: f32 = -15.0;
@@ -48,23 +47,23 @@ impl Molecule {
     /// Generates a synthetic globular "protein": a blob of `n` atoms drawn
     /// around the origin with radius ~`spread`.
     pub fn synthetic_globule(n: usize, spread: f32, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let atoms = (0..n)
             .map(|_| {
                 // Rejection-free ball sampling via normalised Gaussian-ish
                 // triple + cube-root radius.
                 let dir = [
-                    rng.gen_range(-1.0f32..1.0),
-                    rng.gen_range(-1.0f32..1.0),
-                    rng.gen_range(-1.0f32..1.0),
+                    rng.uniform_f32(-1.0, 1.0),
+                    rng.uniform_f32(-1.0, 1.0),
+                    rng.uniform_f32(-1.0, 1.0),
                 ];
                 let norm = (dir[0] * dir[0] + dir[1] * dir[1] + dir[2] * dir[2])
                     .sqrt()
                     .max(1e-3);
-                let r = spread * rng.gen_range(0.0f32..1.0).cbrt();
+                let r = spread * rng.next_f32().cbrt();
                 Atom {
                     pos: [dir[0] / norm * r, dir[1] / norm * r, dir[2] / norm * r],
-                    radius: rng.gen_range(1.2..2.0),
+                    radius: rng.uniform_f32(1.2, 2.0),
                 }
             })
             .collect();

@@ -12,11 +12,10 @@
 //!   space), the pressure-projection core of incompressible flow solvers.
 
 use bifft::five_step::FiveStepFft;
+use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::Gpu;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Signed integer wavenumber of bin `i` along an axis of length `n`
 /// (bins above `n/2` alias to negative frequencies).
@@ -41,7 +40,7 @@ pub fn synthesize_power_law_field(
     seed: u64,
 ) -> Vec<Complex32> {
     let (nx, ny, nz) = dims;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut spectrum = vec![Complex32::ZERO; nx * ny * nz];
     for z in 0..nz {
         for y in 0..ny {
@@ -53,7 +52,7 @@ pub fn synthesize_power_law_field(
                     continue; // no mean flow
                 }
                 let amp = (k2.sqrt()).powf(-power_slope / 2.0) as f32;
-                let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+                let phase = rng.uniform_f32(0.0, std::f32::consts::TAU);
                 spectrum[x + nx * (y + ny * z)] = Complex32::cis(phase).scale(amp);
             }
         }

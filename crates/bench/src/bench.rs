@@ -22,7 +22,7 @@ use bifft::PatternAudit;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::analysis::kernel_roofline;
-use gpu_sim::{DeviceSpec, Gpu};
+use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
 pub const BENCH_SCHEMA: &str = "bifft-bench-v1";
@@ -128,9 +128,22 @@ fn signal(len: usize) -> Vec<Complex32> {
 /// Panics when the plan cannot be built (the grid only uses supported
 /// sizes).
 pub fn bench_run(spec: DeviceSpec, card_key: &str, algo: Algorithm, n: usize) -> BenchRun {
+    bench_run_checked(spec, card_key, algo, n, false).0
+}
+
+/// [`bench_run`] with the validation layer optionally enabled; the checker
+/// findings ride along (always `Some` when `check` is set).
+pub fn bench_run_checked(
+    spec: DeviceSpec,
+    card_key: &str,
+    algo: Algorithm,
+    n: usize,
+    check: bool,
+) -> (BenchRun, Option<CheckReport>) {
     let mut gpu = Gpu::new(spec);
     let plan = Fft3d::builder(n, n, n)
         .algorithm(algo)
+        .checked(check)
         .build(&mut gpu)
         .unwrap_or_else(|e| panic!("bench grid: cannot plan {n}^3: {e}"));
     let host = signal(n * n * n);
@@ -159,40 +172,59 @@ pub fn bench_run(spec: DeviceSpec, card_key: &str, algo: Algorithm, n: usize) ->
             }
         })
         .collect();
-    BenchRun {
-        card: card_key.to_string(),
-        algorithm: rep.algorithm.to_string(),
-        n,
-        wall_s: rep.total_time_s(),
-        gflops: rep.gflops(),
-        overall_gbs: rep.overall_gbs(),
-        audit_clean: audit.clean(),
-        forbidden_steps: audit.forbidden_count() as u64,
-        steps,
-    }
+    (
+        BenchRun {
+            card: card_key.to_string(),
+            algorithm: rep.algorithm.to_string(),
+            n,
+            wall_s: rep.total_time_s(),
+            gflops: rep.gflops(),
+            overall_gbs: rep.overall_gbs(),
+            audit_clean: audit.clean(),
+            forbidden_steps: audit.forbidden_count() as u64,
+            steps,
+        },
+        gpu.check_report(),
+    )
 }
 
 /// Runs one multi-GPU scaling point on the GTS card.
-fn scaling_point(gpus: usize, n: usize) -> ScalingPoint {
+fn scaling_point(gpus: usize, n: usize, check: bool) -> (ScalingPoint, Option<CheckReport>) {
     let spec = DeviceSpec::gts8800();
     let mut plan =
         MultiGpuFft3d::new(&spec, gpus, n, n, n).unwrap_or_else(|e| panic!("bench scaling: {e}"));
+    if check {
+        plan.check_enable();
+    }
     let host = signal(n * n * n);
     let (_, rep) = plan
         .transform(&host, Direction::Forward)
         .expect("scaling volume matches the plan");
-    ScalingPoint {
-        gpus,
-        n,
-        wall_s: rep.wall_s,
-        bytes_exchanged: rep.bytes_exchanged,
-    }
+    (
+        ScalingPoint {
+            gpus,
+            n,
+            wall_s: rep.wall_s,
+            bytes_exchanged: rep.bytes_exchanged,
+        },
+        plan.check_report(),
+    )
 }
 
 /// Runs the whole grid. `quick` restricts to 64³ and one scaling point (the
 /// CI configuration); the full grid covers {64, 128, 256}³ and four scaling
 /// points. Returns the artefact and the printable roofline/audit report.
 pub fn run_grid(quick: bool) -> (BenchFile, String) {
+    let (file, report, _) = run_grid_checked(quick, false);
+    (file, report)
+}
+
+/// [`run_grid`] with the validation layer optionally enabled on every grid
+/// cell and scaling point. The third element merges every cell's findings
+/// (`None` when `check` is off). Checking is purely functional — it does
+/// not perturb the modelled timings, so checked and unchecked grids gate
+/// identically against a baseline.
+pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<CheckReport>) {
     let sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
     let scaling_grid: &[(usize, usize)] = if quick {
         &[(2, 64)]
@@ -201,10 +233,17 @@ pub fn run_grid(quick: bool) -> (BenchFile, String) {
     };
     let mut runs = Vec::new();
     let mut report = String::new();
+    let mut merged: Option<CheckReport> = None;
+    let fold = |rep: Option<CheckReport>, merged: &mut Option<CheckReport>| {
+        if let Some(rep) = rep {
+            merged.get_or_insert_with(CheckReport::default).merge(rep);
+        }
+    };
     for (key, spec) in cards() {
         for &n in sizes {
             for algo in Algorithm::IN_CORE {
-                let run = bench_run(spec, key, algo, n);
+                let (run, crep) = bench_run_checked(spec, key, algo, n, check);
+                fold(crep, &mut merged);
                 report.push_str(&render_run(&spec, &run));
                 runs.push(run);
             }
@@ -212,7 +251,11 @@ pub fn run_grid(quick: bool) -> (BenchFile, String) {
     }
     let scaling = scaling_grid
         .iter()
-        .map(|&(gpus, n)| scaling_point(gpus, n))
+        .map(|&(gpus, n)| {
+            let (point, crep) = scaling_point(gpus, n, check);
+            fold(crep, &mut merged);
+            point
+        })
         .collect::<Vec<_>>();
     for s in &scaling {
         report.push_str(&format!(
@@ -230,6 +273,7 @@ pub fn run_grid(quick: bool) -> (BenchFile, String) {
             scaling,
         },
         report,
+        merged,
     )
 }
 
@@ -507,16 +551,23 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
 /// ```text
 /// bench [--quick] [--out PATH]            # run grid, write BENCH_<ts>.json
 /// bench [--quick] --check BASELINE.json   # run grid, gate against baseline
+/// bench --quick --check-hazards           # run grid under the checker
 /// ```
+///
+/// `--check-hazards` runs every cell and scaling point under the
+/// cuda-memcheck/racecheck-style validation layer and fails (exit 1) on
+/// any diagnostic. It composes with `--check`: the timings are unaffected.
 pub fn cli_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut check_hazards = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--check-hazards" => check_hazards = true,
             "--out" => match it.next() {
                 Some(p) => out_path = Some(p.clone()),
                 None => {
@@ -533,14 +584,37 @@ pub fn cli_main() -> i32 {
             },
             other => {
                 eprintln!("bench: unknown argument {other}");
-                eprintln!("usage: bench [--quick] [--out PATH] [--check BASELINE.json]");
+                eprintln!(
+                    "usage: bench [--quick] [--out PATH] [--check BASELINE.json] [--check-hazards]"
+                );
                 return 2;
             }
         }
     }
 
-    let (file, report) = run_grid(quick);
+    let (file, report, hazards) = run_grid_checked(quick, check_hazards);
     print!("{report}");
+
+    if check_hazards {
+        match hazards {
+            Some(rep) if rep.clean() => eprintln!(
+                "bench: check-hazards: clean ({} kernels, {} ops tracked)",
+                rep.kernels_checked, rep.ops_tracked
+            ),
+            Some(rep) => {
+                eprintln!("{rep}");
+                eprintln!(
+                    "bench: check-hazards: {} diagnostic(s)",
+                    rep.access.len() + rep.hazards.len()
+                );
+                return 1;
+            }
+            None => {
+                eprintln!("bench: check-hazards: no report collected");
+                return 1;
+            }
+        }
+    }
 
     if let Some(path) = &check_path {
         let text = match std::fs::read_to_string(path) {
@@ -608,7 +682,7 @@ mod tests {
         BenchFile {
             quick: true,
             runs: vec![run],
-            scaling: vec![scaling_point(2, 16)],
+            scaling: vec![scaling_point(2, 16, false).0],
         }
     }
 

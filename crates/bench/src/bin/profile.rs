@@ -20,7 +20,7 @@ use bifft::plan::Algorithm;
 use fft_bench::profile::{card, diff_metrics, parse_metrics, run_profile_any};
 use gpu_sim::DeviceSpec;
 
-const USAGE: &str = "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--streams K] [--gpus N] [--trace PATH] [--metrics PATH]\n       profile --diff A.json B.json";
+const USAGE: &str = "usage: profile --algo NAME --n N [--card gt|gts|gtx] [--streams K] [--gpus N] [--trace PATH] [--metrics PATH] [--check-hazards]\n       profile --diff A.json B.json";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("profile: {msg}");
@@ -47,6 +47,7 @@ fn main() {
     let mut gpus = 2usize;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut check = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,6 +99,7 @@ fn main() {
                         .clone(),
                 )
             }
+            "--check-hazards" => check = true,
             "--diff" => {
                 let a_path = it
                     .next()
@@ -117,7 +119,7 @@ fn main() {
         }
     }
 
-    let run = run_profile_any(spec, algo, n, streams, gpus)
+    let run = run_profile_any(spec, algo, n, streams, gpus, check)
         .unwrap_or_else(|e| run_error(format!("cannot run {} at {n}^3: {e}", algo.name())));
     if let Some(p) = &trace_path {
         std::fs::write(p, run.trace.chrome_json())
@@ -134,4 +136,18 @@ fn main() {
         }
     }
     print!("{}", run.table);
+    if let Some(rep) = &run.check {
+        if rep.clean() {
+            eprintln!(
+                "check-hazards: clean ({} kernels, {} ops tracked)",
+                rep.kernels_checked, rep.ops_tracked
+            );
+        } else {
+            eprintln!("{rep}");
+            run_error(format!(
+                "check-hazards: {} diagnostic(s)",
+                rep.access.len() + rep.hazards.len()
+            ));
+        }
+    }
 }

@@ -90,7 +90,7 @@ pub fn overlap_report() -> String {
         "extension (§4.4): asynchronous transfer overlap, 512³ out-of-core (8 slabs)\n",
     );
     for spec in DeviceSpec::all_cards() {
-        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8).unwrap();
         let serial = plan.estimate(&spec);
         let overlap = plan.estimate_overlapped(&spec);
         let _ = writeln!(
@@ -172,10 +172,13 @@ pub fn stream_scaling_report(n: usize) -> String {
         .map(|i| Complex32::new((i as f32 * 0.173).sin(), (i as f32 * 0.311).cos()))
         .collect();
     for k in [1usize, 2, 4] {
-        let plan = OutOfCoreFft::new(&spec, n, n, n, slabs).with_streams(k);
+        let plan = OutOfCoreFft::new(&spec, n, n, n, slabs)
+            .unwrap()
+            .with_streams(k)
+            .unwrap();
         let mut gpu = Gpu::new(spec);
         let mut v = host.clone();
-        let rep = plan.execute(&mut gpu, &mut v, Direction::Forward);
+        let rep = plan.execute(&mut gpu, &mut v, Direction::Forward).unwrap();
         let _ = writeln!(
             s,
             "  {:>7} {:>9.2} {:>14.2}x",

@@ -9,7 +9,7 @@ use bifft::plan::{Algorithm, Fft3d, FftError};
 use bifft::{OutOfCoreFft, RunReport};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
-use gpu_sim::{DeviceSpec, Gpu, Trace};
+use gpu_sim::{CheckReport, DeviceSpec, Gpu, Trace};
 
 /// Resolves a CLI card name to a device spec (`gt`, `gts`, `gtx`).
 pub fn card(name: &str) -> Result<DeviceSpec, String> {
@@ -60,6 +60,9 @@ pub struct ProfileRun {
     pub metrics_json: Option<String>,
     /// The recorded trace (card 0's trace for multi-GPU runs).
     pub trace: Trace,
+    /// Checker findings (merged across cards for multi-GPU), present only
+    /// when the run was checked.
+    pub check: Option<CheckReport>,
 }
 
 /// Runs a traced forward `n`³ transform of any algorithm.
@@ -67,7 +70,9 @@ pub struct ProfileRun {
 /// In-core algorithms delegate to [`run_profile`]; `out-of-core` cycles the
 /// slabs over `streams` CUDA-style streams, and `multi-gpu` shards the
 /// volume across `gpus` cards (the returned trace is card 0's — each
-/// simulated card records independently).
+/// simulated card records independently). With `check` the run executes
+/// under the validation layer ([`Gpu::check_enable`]) and the findings ride
+/// along in [`ProfileRun::check`].
 ///
 /// # Errors
 /// Propagates planner/shard validation failures as [`FftError`].
@@ -77,16 +82,20 @@ pub fn run_profile_any(
     n: usize,
     streams: usize,
     gpus: usize,
+    check: bool,
 ) -> Result<ProfileRun, FftError> {
     Ok(match algo {
         Algorithm::OutOfCore => {
             // Keep the slab Z extent at 16+ so the in-slab passes tile.
             let slabs = (n / 16).clamp(2, 16);
-            let plan = OutOfCoreFft::new(&spec, n, n, n, slabs).with_streams(streams);
+            let plan = OutOfCoreFft::new(&spec, n, n, n, slabs)?.with_streams(streams)?;
             let mut gpu = Gpu::new(spec);
+            if check {
+                gpu.check_enable();
+            }
             let rec = gpu.install_recorder();
             let mut host = signal(n * n * n);
-            let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+            let rep = plan.execute(&mut gpu, &mut host, Direction::Forward)?;
             let trace = rec.borrow_mut().take_trace();
             let table = format!(
                 "{}\n{} stream(s): wall {:.4} s vs {:.4} s serial legs\n",
@@ -99,10 +108,14 @@ pub fn run_profile_any(
                 table,
                 metrics_json: None,
                 trace,
+                check: gpu.check_report(),
             }
         }
         Algorithm::MultiGpu => {
             let mut plan = MultiGpuFft3d::new(&spec, gpus, n, n, n)?;
+            if check {
+                plan.check_enable();
+            }
             let rec = plan.gpu_mut(0).install_recorder();
             let host = signal(n * n * n);
             let (_, rep) = plan.transform(&host, Direction::Forward)?;
@@ -111,14 +124,26 @@ pub fn run_profile_any(
                 table: format!("{}\n", bifft::multi_gpu::summarize(&rep, (n, n, n))),
                 metrics_json: None,
                 trace,
+                check: plan.check_report(),
             }
         }
         _ => {
-            let (rep, trace) = run_profile(spec, algo, n)?;
+            let mut gpu = Gpu::new(spec);
+            let rec = gpu.install_recorder();
+            let plan = Fft3d::builder(n, n, n)
+                .algorithm(algo)
+                .checked(check)
+                .build(&mut gpu)?;
+            let host = signal(n * n * n);
+            let (_, rep) = plan.transform(&mut gpu, &host, Direction::Forward)?;
+            drop(plan);
+            let trace = rec.borrow_mut().take_trace();
+            let rep = rep.with_trace(trace.clone());
             ProfileRun {
                 table: rep.step_table(),
                 metrics_json: Some(rep.metrics_json()),
                 trace,
+                check: gpu.check_report(),
             }
         }
     })
@@ -251,18 +276,36 @@ mod tests {
 
     #[test]
     fn any_profile_covers_the_non_facade_paths() {
-        let ooc = run_profile_any(DeviceSpec::gts8800(), Algorithm::OutOfCore, 32, 2, 1).unwrap();
+        let ooc =
+            run_profile_any(DeviceSpec::gts8800(), Algorithm::OutOfCore, 32, 2, 1, false).unwrap();
         assert!(ooc.table.contains("out-of-core"));
         assert!(ooc.metrics_json.is_none());
         assert!(ooc.trace.chrome_json().contains("stream 0"));
 
-        let mg = run_profile_any(DeviceSpec::gts8800(), Algorithm::MultiGpu, 16, 1, 2).unwrap();
+        let mg =
+            run_profile_any(DeviceSpec::gts8800(), Algorithm::MultiGpu, 16, 1, 2, false).unwrap();
         assert!(mg.table.contains("multi-gpu"));
         assert!(mg.trace.chrome_json().contains("mgpu"));
 
-        let five = run_profile_any(DeviceSpec::gts8800(), Algorithm::FiveStep, 16, 1, 1).unwrap();
+        let five =
+            run_profile_any(DeviceSpec::gts8800(), Algorithm::FiveStep, 16, 1, 1, false).unwrap();
         assert!(five.metrics_json.is_some());
         assert!(five.table.contains("step5_x"));
+        assert!(five.check.is_none(), "unchecked runs carry no report");
+    }
+
+    #[test]
+    fn checked_profiles_come_back_clean() {
+        for algo in [
+            Algorithm::FiveStep,
+            Algorithm::OutOfCore,
+            Algorithm::MultiGpu,
+        ] {
+            let run = run_profile_any(DeviceSpec::gts8800(), algo, 32, 2, 2, true).unwrap();
+            let rep = run.check.expect("checked run must carry a report");
+            assert!(rep.clean(), "{}: {rep}", algo.name());
+            assert!(rep.kernels_checked > 0);
+        }
     }
 
     #[test]

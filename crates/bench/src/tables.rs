@@ -371,7 +371,7 @@ pub fn table11() -> String {
 pub fn table12() -> String {
     let mut s = String::from("Table 12: 512³ out-of-core over PCIe (8 slabs of 512x512x64)\n");
     for (i, spec) in DeviceSpec::all_cards().iter().enumerate() {
-        let plan = OutOfCoreFft::new(spec, 512, 512, 512, 8);
+        let plan = OutOfCoreFft::new(spec, 512, 512, 512, 8).unwrap();
         let est = plan.estimate(spec);
         let (p_s, p_gf) = paper::TABLE12[i];
         let _ = writeln!(

@@ -10,11 +10,10 @@ use bifft::five_step::FiveStepFft;
 use bifft::six_step::SixStepFft;
 use cpu_fft::CpuFft3d;
 use fft_math::error::rel_l2_error_f32;
+use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::{DeviceSpec, Gpu};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 /// Outcome of one cross-check.
@@ -33,9 +32,9 @@ pub struct CrossCheck {
 /// Runs both GPU algorithms functionally at `n`³ on the GTS, checks them
 /// against the CPU transform, and compares functional vs estimated timing.
 pub fn functional_crosscheck(n: usize) -> CrossCheck {
-    let mut rng = SmallRng::seed_from_u64(90);
+    let mut rng = SplitMix64::new(90);
     let host: Vec<Complex32> = (0..n * n * n)
-        .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
         .collect();
 
     // CPU reference.

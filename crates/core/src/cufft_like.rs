@@ -399,17 +399,17 @@ mod tests {
     use super::*;
     use fft_math::dft::dft3d_oracle;
     use fft_math::error::rel_l2_error;
+    use fft_math::rng::SplitMix64;
     use gpu_sim::DeviceSpec;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     #[test]
     fn cufft_like_is_numerically_correct() {
-        let mut rng = SmallRng::seed_from_u64(31);
+        let mut rng = SplitMix64::new(31);
         let mut gpu = Gpu::new(DeviceSpec::gt8800());
         let plan = CufftLikeFft::new(&mut gpu, 16, 16, 16);
         let (v, w) = plan.alloc_buffers(&mut gpu).unwrap();
         let host: Vec<Complex32> = (0..plan.volume())
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect();
         gpu.mem_mut().upload(v, 0, &host);
         plan.execute(&mut gpu, v, w, Direction::Forward);

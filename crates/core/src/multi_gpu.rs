@@ -33,7 +33,7 @@ use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::pcie::{transfer_time, Dir as PcieDir};
 use gpu_sim::timing::estimate_pass;
-use gpu_sim::{occupancy, BufferId, DeviceSpec, Gpu, KernelReport, LaunchConfig};
+use gpu_sim::{occupancy, BufferId, CheckReport, DeviceSpec, Gpu, KernelReport, LaunchConfig};
 
 /// Pieces each exchanged chunk is chopped into, so a destination's H2D can
 /// start as soon as the first piece has crossed to the host instead of
@@ -182,6 +182,28 @@ impl MultiGpuFft3d {
     /// Borrow of card `i`'s simulated GPU (trace installation, inspection).
     pub fn gpu_mut(&mut self, i: usize) -> &mut Gpu {
         &mut self.cards[i].gpu
+    }
+
+    /// Turns on the validation layer on every card (see
+    /// [`Gpu::check_enable`]). Idempotent; collect findings with
+    /// [`MultiGpuFft3d::check_report`].
+    pub fn check_enable(&mut self) {
+        for c in &mut self.cards {
+            c.gpu.check_enable();
+        }
+    }
+
+    /// Diagnostics merged across every card, or `None` when
+    /// [`MultiGpuFft3d::check_enable`] was never called. Per-card reports
+    /// concatenate; `truncated` is sticky if any card overflowed.
+    pub fn check_report(&self) -> Option<CheckReport> {
+        let mut merged: Option<CheckReport> = None;
+        for c in &self.cards {
+            if let Some(rep) = c.gpu.check_report() {
+                merged.get_or_insert_with(CheckReport::default).merge(rep);
+            }
+        }
+        merged
     }
 
     /// Transforms a natural-order host volume, returning the natural-order
@@ -507,12 +529,12 @@ mod tests {
     use super::*;
     use fft_math::dft::dft3d_oracle;
     use fft_math::error::rel_l2_error;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use fft_math::rng::SplitMix64;
 
     fn volume(n: usize, seed: u64) -> Vec<Complex32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         (0..n)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect()
     }
 

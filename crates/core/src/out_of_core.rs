@@ -22,6 +22,7 @@
 //! card.
 
 use crate::elementwise::run_slab_twiddle;
+use crate::plan::FftError;
 use crate::six_step::SixStepFft;
 use fft_math::codelets::{codelet_flops, fft_small};
 use fft_math::flops::{nominal_flops_1d, nominal_flops_3d};
@@ -94,35 +95,67 @@ impl OutOfCoreFft {
     /// Plans the decomposition. `slabs` must divide `nz`, the slab Z extent
     /// must still be a power of two, and two slab buffers must fit on the
     /// card.
-    pub fn new(spec: &DeviceSpec, nx: usize, ny: usize, nz: usize, slabs: usize) -> Self {
-        assert!(
-            slabs >= 2 && nz.is_multiple_of(slabs),
-            "slabs must divide nz"
-        );
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] for a slab count that cannot decimate
+    /// `nz`, and [`FftError::Alloc`] when even two slab buffers exceed
+    /// device memory.
+    pub fn new(
+        spec: &DeviceSpec,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        slabs: usize,
+    ) -> Result<Self, FftError> {
+        let bad = |reason: String| FftError::BadPlanConfig {
+            param: "slabs",
+            value: slabs,
+            reason,
+        };
+        if slabs < 2 || !nz.is_multiple_of(slabs) {
+            return Err(bad(format!("slabs must divide nz = {nz} (and be >= 2)")));
+        }
         let slab_z = nz / slabs;
-        assert!(slab_z.is_power_of_two() && slabs.is_power_of_two());
-        assert!(slabs <= 16, "cross-slab FFT must fit a codelet");
+        if !slab_z.is_power_of_two() || !slabs.is_power_of_two() {
+            return Err(bad(format!(
+                "slabs and the slab Z extent {slab_z} must both be powers of two"
+            )));
+        }
+        if slabs > 16 {
+            return Err(bad("cross-slab FFT must fit a codelet (<= 16)".into()));
+        }
         let slab_bytes = (nx * ny * slab_z) as u64 * 8;
-        assert!(
-            2 * slab_bytes <= spec.memory_bytes,
-            "two {slab_bytes}-byte slab buffers must fit in device memory"
-        );
-        OutOfCoreFft {
+        if 2 * slab_bytes > spec.memory_bytes {
+            return Err(FftError::Alloc(gpu_sim::AllocError {
+                requested: 2 * slab_bytes,
+                free: spec.memory_bytes,
+            }));
+        }
+        Ok(OutOfCoreFft {
             nx,
             ny,
             nz,
             slabs,
             streams: 2,
-        }
+        })
     }
 
     /// Sets how many CUDA-style streams [`OutOfCoreFft::execute`] cycles the
     /// slabs over (default 2). Each extra stream needs one more slab buffer
     /// on the card; buffers that don't fit degrade the run gracefully to
     /// fewer streams (down to fully serial at 1).
-    pub fn with_streams(self, streams: usize) -> Self {
-        assert!(streams >= 1, "at least one stream");
-        OutOfCoreFft { streams, ..self }
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] for a stream count of zero.
+    pub fn with_streams(self, streams: usize) -> Result<Self, FftError> {
+        if streams == 0 {
+            return Err(FftError::BadPlanConfig {
+                param: "streams",
+                value: streams,
+                reason: "at least one stream is required".into(),
+            });
+        }
+        Ok(OutOfCoreFft { streams, ..self })
     }
 
     /// Streams requested (the run may use fewer if buffers don't fit).
@@ -156,13 +189,23 @@ impl OutOfCoreFft {
     /// time. Streams whose extra slab buffer doesn't fit on the card are
     /// dropped, down to a fully serial single-stream run. The report's leg
     /// times sum the individual durations either way.
+    ///
+    /// # Errors
+    /// [`FftError::VolumeMismatch`] when `host.len()` is not the planned
+    /// volume, and [`FftError::Alloc`] when the first slab or group buffer
+    /// does not fit on the card.
     pub fn execute(
         &self,
         gpu: &mut Gpu,
         host: &mut [Complex32],
         dir: Direction,
-    ) -> OutOfCoreReport {
-        assert_eq!(host.len(), self.volume(), "volume mismatch");
+    ) -> Result<OutOfCoreReport, FftError> {
+        if host.len() != self.volume() {
+            return Err(FftError::VolumeMismatch {
+                expected: self.volume(),
+                got: host.len(),
+            });
+        }
         let (nx, ny, nz, slabs) = (self.nx, self.ny, self.nz, self.slabs);
         let slab_z = self.slab_z();
         let plane = nx * ny;
@@ -182,7 +225,7 @@ impl OutOfCoreFft {
         // streams — safe because only kernels touch it and the device has
         // one compute engine, so kernels never actually overlap.
         let slab_plan = SixStepFft::new(gpu, nx, ny, slab_z);
-        let (v, w) = slab_plan.alloc_buffers(gpu).expect("slab buffers must fit");
+        let (v, w) = slab_plan.alloc_buffers(gpu)?;
         let mut slab_bufs = vec![v];
         while slab_bufs.len() < self.streams.min(slabs) {
             match gpu.mem_mut().alloc(slab_elems) {
@@ -234,7 +277,19 @@ impl OutOfCoreFft {
         // ---- Stage 2 ----
         gpu.span_begin("out_of_core_stage2");
         let group_elems = plane * slabs;
-        let mut group_bufs = vec![gpu.mem_mut().alloc(group_elems).expect("group buffer fits")];
+        let first_group = match gpu.mem_mut().alloc(group_elems) {
+            Ok(b) => b,
+            Err(e) => {
+                // Release stage-1 buffers before bailing, so a failed run
+                // doesn't pin half the card.
+                for b in slab_bufs {
+                    gpu.mem_mut().free(b);
+                }
+                gpu.mem_mut().free(w);
+                return Err(e.into());
+            }
+        };
+        let mut group_bufs = vec![first_group];
         while group_bufs.len() < k {
             match gpu.mem_mut().alloc(group_elems) {
                 Ok(b) => group_bufs.push(b),
@@ -288,7 +343,7 @@ impl OutOfCoreFft {
 
         rep.bytes_transferred = 4 * self.volume() as u64 * 8;
         rep.wall_s = gpu.clock_s() - t0;
-        rep
+        Ok(rep)
     }
 
     /// Analytic estimate with **asynchronous transfer overlap** — the §4.4
@@ -457,21 +512,23 @@ mod tests {
     use super::*;
     use fft_math::dft::dft3d_oracle;
     use fft_math::error::rel_l2_error;
+    use fft_math::rng::SplitMix64;
     use gpu_sim::DeviceSpec;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     #[test]
     fn out_of_core_matches_oracle() {
         let (nx, ny, nz) = (16usize, 16, 32);
         let spec = DeviceSpec::gts8800();
-        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2);
+        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2).unwrap();
         let mut gpu = Gpu::new(spec);
-        let mut rng = SmallRng::seed_from_u64(41);
+        let mut rng = SplitMix64::new(41);
         let orig: Vec<Complex32> = (0..nx * ny * nz)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect();
         let mut host = orig.clone();
-        let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+        let rep = plan
+            .execute(&mut gpu, &mut host, Direction::Forward)
+            .unwrap();
         let want = dft3d_oracle(&orig, nx, ny, nz, Direction::Forward);
         let err = rel_l2_error(&host, &want);
         assert!(err < 1e-4, "rel err {err}");
@@ -483,14 +540,15 @@ mod tests {
     fn out_of_core_matches_in_core_at_larger_size() {
         let (nx, ny, nz) = (16usize, 16, 64);
         let spec = DeviceSpec::gt8800();
-        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4);
+        let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4).unwrap();
         let mut gpu = Gpu::new(spec);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let orig: Vec<Complex32> = (0..nx * ny * nz)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect();
         let mut host = orig.clone();
-        plan.execute(&mut gpu, &mut host, Direction::Forward);
+        plan.execute(&mut gpu, &mut host, Direction::Forward)
+            .unwrap();
 
         // Reference: the in-core six-step on a fresh device.
         let mut gpu2 = Gpu::new(DeviceSpec::gtx8800());
@@ -508,7 +566,7 @@ mod tests {
     fn estimate_matches_table12_shape() {
         // Table 12 on the GT: total 1.32 s, 13.7 GFLOPS, transfer-dominated.
         let spec = DeviceSpec::gt8800();
-        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8).unwrap();
         let est = plan.estimate(&spec);
         let total = est.total_s();
         assert!((total - 1.32).abs() / 1.32 < 0.25, "total {total}");
@@ -523,8 +581,12 @@ mod tests {
         // Table 12: the GTX (PCIe 1.1) total 1.75 s vs GT 1.32 s.
         let gt = DeviceSpec::gt8800();
         let gtx = DeviceSpec::gtx8800();
-        let e_gt = OutOfCoreFft::new(&gt, 512, 512, 512, 8).estimate(&gt);
-        let e_gtx = OutOfCoreFft::new(&gtx, 512, 512, 512, 8).estimate(&gtx);
+        let e_gt = OutOfCoreFft::new(&gt, 512, 512, 512, 8)
+            .unwrap()
+            .estimate(&gt);
+        let e_gtx = OutOfCoreFft::new(&gtx, 512, 512, 512, 8)
+            .unwrap()
+            .estimate(&gtx);
         assert!(e_gtx.total_s() > 1.2 * e_gt.total_s());
     }
 
@@ -534,7 +596,7 @@ mod tests {
         // pipelined 512³ estimate must be substantially faster while staying
         // bounded below by its longest leg.
         for spec in DeviceSpec::all_cards() {
-            let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+            let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8).unwrap();
             let serial = plan.estimate(&spec);
             let overlap = plan.estimate_overlapped(&spec);
             assert!(
@@ -551,10 +613,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "slabs must divide")]
     fn bad_slab_count_rejected() {
         let spec = DeviceSpec::gt8800();
-        OutOfCoreFft::new(&spec, 64, 64, 64, 3);
+        match OutOfCoreFft::new(&spec, 64, 64, 64, 3) {
+            Err(FftError::BadPlanConfig { param, value, .. }) => {
+                assert_eq!(param, "slabs");
+                assert_eq!(value, 3);
+            }
+            Err(other) => panic!("expected BadPlanConfig, got {other:?}"),
+            Ok(_) => panic!("expected BadPlanConfig, got a plan"),
+        }
+        assert!(matches!(
+            OutOfCoreFft::new(&spec, 64, 64, 64, 4)
+                .unwrap()
+                .with_streams(0),
+            Err(FftError::BadPlanConfig {
+                param: "streams",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -562,13 +639,18 @@ mod tests {
         let (nx, ny, nz) = (16usize, 16, 64);
         let run = |streams: usize| {
             let spec = DeviceSpec::gts8800();
-            let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4).with_streams(streams);
+            let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4)
+                .unwrap()
+                .with_streams(streams)
+                .unwrap();
             let mut gpu = Gpu::new(spec);
-            let mut rng = SmallRng::seed_from_u64(43);
+            let mut rng = SplitMix64::new(43);
             let mut host: Vec<Complex32> = (0..nx * ny * nz)
-                .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
                 .collect();
-            let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+            let rep = plan
+                .execute(&mut gpu, &mut host, Direction::Forward)
+                .unwrap();
             (rep, host)
         };
         let (serial, out1) = run(1);

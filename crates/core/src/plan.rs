@@ -154,6 +154,15 @@ pub enum FftError {
         /// What to use instead.
         reason: &'static str,
     },
+    /// A plan parameter (slab count, stream count, ...) is out of range.
+    BadPlanConfig {
+        /// The parameter's name as the builder API spells it.
+        param: &'static str,
+        /// The rejected value.
+        value: usize,
+        /// Why it is unusable.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FftError {
@@ -173,6 +182,13 @@ impl std::fmt::Display for FftError {
             }
             FftError::UnsupportedAlgorithm { algorithm, reason } => {
                 write!(f, "cannot plan '{}' here: {reason}", algorithm.name())
+            }
+            FftError::BadPlanConfig {
+                param,
+                value,
+                reason,
+            } => {
+                write!(f, "bad plan parameter {param} = {value}: {reason}")
             }
         }
     }
@@ -230,12 +246,25 @@ pub struct Fft3dBuilder {
     ny: usize,
     nz: usize,
     algorithm: Algorithm,
+    checked: bool,
 }
 
 impl Fft3dBuilder {
     /// Selects the algorithm (default: the paper's five-step kernel).
     pub fn algorithm(mut self, a: Algorithm) -> Self {
         self.algorithm = a;
+        self
+    }
+
+    /// Turns on the cuda-memcheck-style validation layer
+    /// ([`gpu_sim::CheckReport`]) for the GPU the plan is built on. The
+    /// checker shadows every allocation from this point on and replays the
+    /// stream timelines for unordered-overlap hazards; collect the findings
+    /// with [`gpu_sim::Gpu::check_report`] after the transform. Enabling is
+    /// sticky on the device and idempotent; `checked(false)` (the default)
+    /// leaves an already-enabled checker running.
+    pub fn checked(mut self, on: bool) -> Self {
+        self.checked = on;
         self
     }
 
@@ -249,6 +278,11 @@ impl Fft3dBuilder {
     /// the volume does not fit on the card — at which point
     /// [`crate::out_of_core::OutOfCoreFft`] is the tool.
     pub fn build(self, gpu: &mut Gpu) -> Result<Fft3d, FftError> {
+        if self.checked {
+            // Before any allocation, so the plan's own buffers are shadowed
+            // from birth (fresh device memory counts as uninitialised).
+            gpu.check_enable();
+        }
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         for (axis, n) in [('x', nx), ('y', ny), ('z', nz)] {
             if !n.is_power_of_two() || !(16..=512).contains(&n) {
@@ -307,7 +341,14 @@ impl Fft3d {
             ny,
             nz,
             algorithm: Algorithm::default(),
+            checked: false,
         }
+    }
+
+    /// The plan's device buffers `(data, work)` — mainly for diagnosing
+    /// checker reports, which cite buffers by id.
+    pub fn buffers(&self) -> (BufferId, BufferId) {
+        (self.v, self.work)
     }
 
     /// Plans a transform with the chosen algorithm and allocates its device
@@ -412,13 +453,13 @@ impl Fft3d {
 mod tests {
     use super::*;
     use fft_math::error::rel_l2_error_f32;
+    use fft_math::rng::SplitMix64;
     use gpu_sim::DeviceSpec;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn volume(n: usize, seed: u64) -> Vec<Complex32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         (0..n)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect()
     }
 

@@ -191,13 +191,13 @@ mod tests {
     use super::*;
     use fft_math::dft::dft3d_oracle;
     use fft_math::error::rel_l2_error;
+    use fft_math::rng::SplitMix64;
     use gpu_sim::DeviceSpec;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         (0..n)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect()
     }
 

@@ -7,10 +7,9 @@
 //! plans by length, like FFTW's wisdom memoises its planner output.
 
 use crate::kernel256::FineFftPlan;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The cache and its counters, in one place: the map takes the lock, the
 /// counters are atomics so the hot hit path bumps them without re-locking.
@@ -51,7 +50,7 @@ impl WisdomStats {
 
 /// Returns the cached plan for length `n`, planning it on first use.
 pub fn plan_arc(n: usize) -> Arc<FineFftPlan> {
-    let mut guard = STATE.cache.lock();
+    let mut guard = STATE.cache.lock().unwrap();
     let map = guard.get_or_insert_with(HashMap::new);
     if let Some(p) = map.get(&n) {
         STATE.hits.fetch_add(1, Ordering::Relaxed);
@@ -70,7 +69,7 @@ pub fn plan(n: usize) -> FineFftPlan {
 
 /// Snapshot of hits/misses/entries since process start or the last [`clear`].
 pub fn stats() -> WisdomStats {
-    let entries = STATE.cache.lock().as_ref().map_or(0, HashMap::len);
+    let entries = STATE.cache.lock().unwrap().as_ref().map_or(0, HashMap::len);
     WisdomStats {
         hits: STATE.hits.load(Ordering::Relaxed),
         misses: STATE.misses.load(Ordering::Relaxed),
@@ -80,7 +79,7 @@ pub fn stats() -> WisdomStats {
 
 /// Drops all memoised plans and resets the counters.
 pub fn clear() {
-    *STATE.cache.lock() = None;
+    *STATE.cache.lock().unwrap() = None;
     STATE.hits.store(0, Ordering::Relaxed);
     STATE.misses.store(0, Ordering::Relaxed);
 }

@@ -123,13 +123,14 @@ fn report_diff_smoke() {
 fn out_of_core_trace_shows_pcie_overlap() {
     let (nx, ny, nz) = (16usize, 16, 32);
     let spec = DeviceSpec::gts8800();
-    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2);
+    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2).unwrap();
     let mut gpu = Gpu::new(spec);
     let rec = gpu.install_recorder();
     let mut host: Vec<Complex32> = (0..nx * ny * nz)
         .map(|i| Complex32::new((i as f32 * 0.171).sin(), (i as f32 * 0.071).cos()))
         .collect();
-    plan.execute(&mut gpu, &mut host, Direction::Forward);
+    plan.execute(&mut gpu, &mut host, Direction::Forward)
+        .unwrap();
     let trace = rec.borrow_mut().take_trace();
 
     // Both stages' transfers are labelled in the PCIe track.
@@ -184,13 +185,18 @@ fn out_of_core_trace_shows_pcie_overlap() {
 fn two_stream_out_of_core_pins_overlap_windows() {
     let (nx, ny, nz) = (16usize, 16, 32);
     let spec = DeviceSpec::gts8800();
-    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2).with_streams(2);
+    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 2)
+        .unwrap()
+        .with_streams(2)
+        .unwrap();
     let mut gpu = Gpu::new(spec);
     let rec = gpu.install_recorder();
     let mut host: Vec<Complex32> = (0..nx * ny * nz)
         .map(|i| Complex32::new((i as f32 * 0.131).sin(), (i as f32 * 0.059).cos()))
         .collect();
-    let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+    let rep = plan
+        .execute(&mut gpu, &mut host, Direction::Forward)
+        .unwrap();
     assert_eq!(rep.streams, 2);
     let trace = rec.borrow_mut().take_trace();
 

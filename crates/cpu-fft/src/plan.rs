@@ -13,7 +13,7 @@
 //!   rotates back — the same trade the six-step GPU algorithm makes, and the
 //!   reason FFTW's 3-D throughput sits far below its 1-D throughput.
 //!
-//! Threading uses `crossbeam::scope` over disjoint plane chunks, so the
+//! Threading uses `std::thread::scope` over disjoint plane chunks, so the
 //! parallelism is data-race-free by construction (each thread owns a
 //! `&mut [Complex32]` slice).
 
@@ -119,7 +119,7 @@ impl CpuFft3d {
     }
 
     /// Splits `data` into per-thread chunks aligned to `unit` elements and
-    /// runs `f` on each in a crossbeam scope.
+    /// runs `f` on each in a scoped thread.
     fn parallel_chunks<F>(&self, data: &mut [Complex32], unit: usize, f: F)
     where
         F: Fn(&mut [Complex32]) + Sync,
@@ -130,12 +130,11 @@ impl CpuFft3d {
             f(data);
             return;
         }
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for chunk in data.chunks_mut(per_thread) {
-                s.spawn(|_| f(chunk));
+                s.spawn(|| f(chunk));
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 }
 
@@ -168,12 +167,12 @@ mod tests {
     use super::*;
     use fft_math::dft::dft3d_oracle;
     use fft_math::error::rel_l2_error;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use fft_math::rng::SplitMix64;
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         (0..n)
-            .map(|_| Complex32::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
             .collect()
     }
 

@@ -111,12 +111,11 @@ impl CpuFft3d64 {
             f(data);
             return;
         }
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for chunk in data.chunks_mut(per_thread) {
-                s.spawn(|_| f(chunk));
+                s.spawn(|| f(chunk));
             }
-        })
-        .expect("worker thread panicked");
+        });
     }
 }
 
@@ -125,12 +124,12 @@ mod tests {
     use super::*;
     use crate::plan::CpuFft3d;
     use fft_math::complex::Complex32;
-    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use fft_math::rng::SplitMix64;
 
     fn random_volume(n: usize, seed: u64) -> Vec<Complex64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         (0..n)
-            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex64::new(rng.uniform_f64(-1.0, 1.0), rng.uniform_f64(-1.0, 1.0)))
             .collect()
     }
 

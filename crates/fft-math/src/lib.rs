@@ -14,6 +14,7 @@
 //! * [`layout`] — the 5-D view `V(X,16,16,16,16)`, Table 2's access patterns
 //!   A–D, and the digit bookkeeping of the five-step algorithm,
 //! * [`dft`] — O(N²) reference oracle,
+//! * [`rng`] — SplitMix64, the workspace's dependency-free seedable PRNG,
 //! * [`flops`] — the paper's `15·N³·log2 N` GFLOPS convention,
 //! * [`error`] — validation norms.
 
@@ -28,6 +29,7 @@ pub mod fft64;
 pub mod flops;
 pub mod layout;
 pub mod multirow;
+pub mod rng;
 pub mod twiddle;
 
 pub use complex::{c32, c64, Complex32, Complex64};

@@ -1,0 +1,934 @@
+//! `gpu_sim::check` — an opt-in cuda-memcheck/racecheck-style validation
+//! layer over the executor and the stream scheduler.
+//!
+//! Enabled with [`crate::Gpu::check_enable`], the checker maintains *shadow
+//! state* for every device allocation — length, liveness (including buffers
+//! queued on the RAII deferred-free queue), and a per-element init bitmap
+//! seeded by `memcpy_h2d`/host writes and kernel stores — and validates
+//! every kernel global access against it, reporting out-of-bounds,
+//! use-after-free and uninitialized-read diagnostics with the kernel name,
+//! thread/half-warp coordinates and the offending device address.
+//!
+//! It also records one interval *op* per kernel launch and per async stream
+//! memcpy (the scheduled `[start, end)` window, the touched element ranges
+//! per buffer, and a vector-clock snapshot capturing every ordering edge the
+//! program established via events and synchronizes). [`crate::Gpu::check_report`]
+//! replays the op list and flags RAW/WAR/WAW hazards: pairs of ops whose
+//! windows strictly overlap, whose byte ranges intersect with at least one
+//! write, and which no `Event`/synchronize chain orders.
+//!
+//! What the checker can and cannot prove is documented in DESIGN.md §11; the
+//! two deliberate blind spots are kernel–kernel pairs (the pre-Fermi device
+//! has a single compute engine, so their windows never overlap — sharing a
+//! scratch buffer between streams' kernels is therefore legal here and the
+//! out-of-core plan does exactly that) and the legacy
+//! `pcie_transfer`/`pcie_transfer_async` path, which carries no buffer
+//! association.
+
+use crate::memory::{BufferId, FreeQueue, ELEM_BYTES};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Diagnostics of each class kept in full detail; beyond this, repeats of an
+/// already-seen (kind, kernel, buffer, write) key only bump `occurrences`
+/// and fresh keys set the `truncated` flag.
+const MAX_DIAGS: usize = 64;
+
+/// Shared handle to the checker state, held by the [`crate::Gpu`] and the
+/// memory arena.
+pub(crate) type SharedChecker = Rc<RefCell<CheckState>>;
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// Class of a per-access diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Access past the end of the allocation.
+    OutOfBounds,
+    /// Access to a freed buffer (explicitly freed, or queued on the RAII
+    /// deferred-free queue by a dropped plan guard).
+    UseAfterFree,
+    /// Load from an element no host upload or kernel store initialised.
+    UninitRead,
+}
+
+impl AccessKind {
+    fn name(self) -> &'static str {
+        match self {
+            AccessKind::OutOfBounds => "out-of-bounds",
+            AccessKind::UseAfterFree => "use-after-free",
+            AccessKind::UninitRead => "uninitialized-read",
+        }
+    }
+}
+
+/// One per-access diagnostic (cuda-memcheck analog).
+#[derive(Clone, Debug)]
+pub struct AccessDiag {
+    /// Diagnostic class.
+    pub kind: AccessKind,
+    /// Kernel that performed the access.
+    pub kernel: &'static str,
+    /// Buffer index (the `BufferId`'s arena slot).
+    pub buffer: usize,
+    /// Element index accessed.
+    pub index: usize,
+    /// Device byte address accessed.
+    pub addr: u64,
+    /// Block index of the offending thread.
+    pub block: usize,
+    /// Thread index within the block.
+    pub tid: usize,
+    /// Half-warp the thread belongs to.
+    pub halfwarp: usize,
+    /// True for a store, false for a load.
+    pub write: bool,
+    /// How many accesses collapsed onto this diagnostic (same kind, kernel,
+    /// buffer and direction); coordinates describe the first one.
+    pub occurrences: usize,
+}
+
+/// Class of a cross-stream hazard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HazardKind {
+    /// Earlier-issued op writes, later-issued op reads.
+    Raw,
+    /// Earlier-issued op reads, later-issued op writes.
+    War,
+    /// Both ops write.
+    Waw,
+}
+
+impl HazardKind {
+    fn name(self) -> &'static str {
+        match self {
+            HazardKind::Raw => "raw",
+            HazardKind::War => "war",
+            HazardKind::Waw => "waw",
+        }
+    }
+}
+
+/// One racecheck-style hazard: two concurrently-scheduled ops touching an
+/// overlapping device range with no event/synchronize edge between them.
+#[derive(Clone, Debug)]
+pub struct HazardDiag {
+    /// Hazard class (named in issue order: first op is the earlier-issued).
+    pub kind: HazardKind,
+    /// Label of the earlier-issued op (kernel name or memcpy label).
+    pub first: String,
+    /// Label of the later-issued op.
+    pub second: String,
+    /// Stream of the earlier-issued op (`None` = host-synchronous).
+    pub first_stream: Option<usize>,
+    /// Stream of the later-issued op.
+    pub second_stream: Option<usize>,
+    /// Buffer index the ops collide on.
+    pub buffer: usize,
+    /// First element of the overlapping range.
+    pub lo: usize,
+    /// One past the last element of the overlapping range.
+    pub hi: usize,
+    /// Scheduled `[start, end)` window of the earlier-issued op, seconds.
+    pub first_window: (f64, f64),
+    /// Scheduled window of the later-issued op, seconds.
+    pub second_window: (f64, f64),
+}
+
+/// Structured result of a checked run, printable and JSON-serialisable
+/// alongside the `PatternAudit`.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Per-access diagnostics (deduplicated; see [`AccessDiag::occurrences`]).
+    pub access: Vec<AccessDiag>,
+    /// Cross-stream hazards found by the interval replay.
+    pub hazards: Vec<HazardDiag>,
+    /// Kernel launches validated.
+    pub kernels_checked: usize,
+    /// Interval ops (kernels + async memcpys) replayed for hazards.
+    pub ops_tracked: usize,
+    /// True when diagnostics beyond `MAX_DIAGS` (64) distinct keys were dropped.
+    pub truncated: bool,
+}
+
+impl CheckReport {
+    /// True when the run produced no diagnostics at all.
+    pub fn clean(&self) -> bool {
+        self.access.is_empty() && self.hazards.is_empty() && !self.truncated
+    }
+
+    /// Folds another report in (diagnostics concatenate, counters add,
+    /// `truncated` is sticky) — for aggregating per-card or per-run reports.
+    pub fn merge(&mut self, other: CheckReport) {
+        self.access.extend(other.access);
+        self.hazards.extend(other.hazards);
+        self.kernels_checked += other.kernels_checked;
+        self.ops_tracked += other.ops_tracked;
+        self.truncated |= other.truncated;
+    }
+
+    /// Hand-rolled JSON (schema `bifft-check-v1`), matching the workspace's
+    /// serde-free exporters.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"bifft-check-v1\",\n");
+        s.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        s.push_str(&format!(
+            "  \"kernels_checked\": {},\n",
+            self.kernels_checked
+        ));
+        s.push_str(&format!("  \"ops_tracked\": {},\n", self.ops_tracked));
+        s.push_str(&format!("  \"truncated\": {},\n", self.truncated));
+        s.push_str("  \"access\": [");
+        for (i, d) in self.access.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"kernel\": \"{}\", \"buffer\": {}, \
+                 \"index\": {}, \"addr\": {}, \"block\": {}, \"tid\": {}, \
+                 \"halfwarp\": {}, \"write\": {}, \"occurrences\": {}}}",
+                d.kind.name(),
+                json_escape(d.kernel),
+                d.buffer,
+                d.index,
+                d.addr,
+                d.block,
+                d.tid,
+                d.halfwarp,
+                d.write,
+                d.occurrences
+            ));
+        }
+        s.push_str(if self.access.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        s.push_str("  \"hazards\": [");
+        for (i, h) in self.hazards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"first\": \"{}\", \"second\": \"{}\", \
+                 \"first_stream\": {}, \"second_stream\": {}, \"buffer\": {}, \
+                 \"lo\": {}, \"hi\": {}, \
+                 \"first_window\": [{:e}, {:e}], \"second_window\": [{:e}, {:e}]}}",
+                h.kind.name(),
+                json_escape(&h.first),
+                json_escape(&h.second),
+                opt_json(h.first_stream),
+                opt_json(h.second_stream),
+                h.buffer,
+                h.lo,
+                h.hi,
+                h.first_window.0,
+                h.first_window.1,
+                h.second_window.0,
+                h.second_window.1
+            ));
+        }
+        s.push_str(if self.hazards.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clean() {
+            return writeln!(
+                f,
+                "========= CHECK SUMMARY: 0 diagnostics ({} kernels, {} ops tracked)",
+                self.kernels_checked, self.ops_tracked
+            );
+        }
+        writeln!(
+            f,
+            "========= CHECK SUMMARY: {} access diagnostic(s), {} hazard(s) \
+             ({} kernels, {} ops tracked{})",
+            self.access.len(),
+            self.hazards.len(),
+            self.kernels_checked,
+            self.ops_tracked,
+            if self.truncated { ", TRUNCATED" } else { "" }
+        )?;
+        for d in &self.access {
+            writeln!(
+                f,
+                "========= {} {} of buffer {} element {} (addr {:#x}) in kernel \
+                 '{}' block {} thread {} halfwarp {}{}",
+                d.kind.name(),
+                if d.write { "store" } else { "load" },
+                d.buffer,
+                d.index,
+                d.addr,
+                d.kernel,
+                d.block,
+                d.tid,
+                d.halfwarp,
+                if d.occurrences > 1 {
+                    format!(" (x{})", d.occurrences)
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        for h in &self.hazards {
+            writeln!(
+                f,
+                "========= {} hazard on buffer {} elements [{}, {}): '{}' ({}, \
+                 [{:.3e}, {:.3e}) s) vs '{}' ({}, [{:.3e}, {:.3e}) s) — no event orders them",
+                h.kind.name().to_uppercase(),
+                h.buffer,
+                h.lo,
+                h.hi,
+                h.first,
+                stream_name(h.first_stream),
+                h.first_window.0,
+                h.first_window.1,
+                h.second,
+                stream_name(h.second_stream),
+                h.second_window.0,
+                h.second_window.1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn stream_name(s: Option<usize>) -> String {
+    match s {
+        Some(i) => format!("stream {i}"),
+        None => "host".to_string(),
+    }
+}
+
+fn opt_json(s: Option<usize>) -> String {
+    match s {
+        Some(i) => i.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// ---------------------------------------------------------------------------
+// Shadow memory
+// ---------------------------------------------------------------------------
+
+struct Shadow {
+    len: usize,
+    live: bool,
+    /// One bit per element: set once a host upload/write or kernel store
+    /// touched it.
+    init: Vec<u64>,
+}
+
+impl Shadow {
+    fn new(len: usize, initialised: bool) -> Self {
+        let words = len.div_ceil(64);
+        Shadow {
+            len,
+            live: true,
+            init: vec![if initialised { !0u64 } else { 0 }; words],
+        }
+    }
+
+    #[inline]
+    fn is_init(&self, idx: usize) -> bool {
+        (self.init[idx / 64] >> (idx % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn mark_init(&mut self, idx: usize) {
+        self.init[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn mark_init_range(&mut self, lo: usize, hi: usize) {
+        for idx in lo..hi.min(self.len) {
+            self.mark_init(idx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interval ops + vector clocks
+// ---------------------------------------------------------------------------
+
+/// Per-buffer element ranges one op touched (`[lo, hi)`, element indices).
+#[derive(Clone, Copy, Debug, Default)]
+struct OpRange {
+    reads: Option<(usize, usize)>,
+    writes: Option<(usize, usize)>,
+}
+
+impl OpRange {
+    fn touch(&mut self, idx: usize, write: bool) {
+        let slot = if write {
+            &mut self.writes
+        } else {
+            &mut self.reads
+        };
+        *slot = Some(match *slot {
+            None => (idx, idx + 1),
+            Some((lo, hi)) => (lo.min(idx), hi.max(idx + 1)),
+        });
+    }
+}
+
+struct OpRecord {
+    label: String,
+    is_kernel: bool,
+    stream: Option<usize>,
+    /// Vector-clock timeline: 0 = host, `s + 1` = stream `s`.
+    timeline: usize,
+    start_s: f64,
+    end_s: f64,
+    /// Snapshot of the issuing timeline's clock after this op's tick.
+    vc: Vec<u64>,
+    ranges: BTreeMap<usize, OpRange>,
+}
+
+fn vc_join(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// True when op `a` happens-before op `b`: `b`'s snapshot has seen `a`'s
+/// tick on `a`'s own timeline.
+fn vc_ordered(a: &OpRecord, b: &OpRecord) -> bool {
+    b.vc.get(a.timeline).copied().unwrap_or(0) >= a.vc[a.timeline]
+}
+
+struct CurKernel {
+    ranges: BTreeMap<usize, OpRange>,
+}
+
+// ---------------------------------------------------------------------------
+// The checker
+// ---------------------------------------------------------------------------
+
+/// Mutable checker state shared between the [`crate::Gpu`] and the memory
+/// arena. Crate-internal; the public surface is
+/// [`crate::Gpu::check_enable`]/[`crate::Gpu::check_report`] and the
+/// [`CheckReport`] it returns.
+pub(crate) struct CheckState {
+    shadows: Vec<Option<Shadow>>,
+    free_queue: FreeQueue,
+    half_warp: usize,
+    /// Vector clocks: index 0 = host timeline, `s + 1` = stream `s`.
+    timelines: Vec<Vec<u64>>,
+    /// Clock snapshots captured by `event_record`, keyed by event index.
+    event_vcs: Vec<Vec<u64>>,
+    ops: Vec<OpRecord>,
+    cur: Option<CurKernel>,
+    access: Vec<AccessDiag>,
+    kernels_checked: usize,
+    truncated: bool,
+}
+
+impl CheckState {
+    pub(crate) fn new(free_queue: FreeQueue, half_warp: usize) -> Self {
+        CheckState {
+            shadows: Vec::new(),
+            free_queue,
+            half_warp: half_warp.max(1),
+            timelines: vec![Vec::new()],
+            event_vcs: Vec::new(),
+            ops: Vec::new(),
+            cur: None,
+            access: Vec::new(),
+            kernels_checked: 0,
+            truncated: false,
+        }
+    }
+
+    fn shadow_slot(&mut self, buf: usize) -> &mut Option<Shadow> {
+        if self.shadows.len() <= buf {
+            self.shadows.resize_with(buf + 1, || None);
+        }
+        &mut self.shadows[buf]
+    }
+
+    /// Registers an allocation. `initialised` is true only for buffers that
+    /// pre-date the checker (their history is unknown, so assuming init
+    /// avoids false positives); fresh allocations start uninitialised —
+    /// `cudaMalloc` gives no content guarantee even though the simulator
+    /// zero-fills, so code relying on the zeros works in simulation but
+    /// breaks on hardware, exactly what the checker exists to find.
+    pub(crate) fn on_alloc(&mut self, id: BufferId, len: usize, initialised: bool) {
+        *self.shadow_slot(id.0) = Some(Shadow::new(len, initialised));
+    }
+
+    pub(crate) fn on_free(&mut self, id: BufferId) {
+        if let Some(Some(s)) = self.shadows.get_mut(id.0) {
+            s.live = false;
+        }
+    }
+
+    pub(crate) fn on_host_write_range(&mut self, id: BufferId, lo: usize, hi: usize) {
+        if let Some(Some(s)) = self.shadows.get_mut(id.0) {
+            s.mark_init_range(lo, hi);
+        }
+    }
+
+    pub(crate) fn on_host_write_all(&mut self, id: BufferId) {
+        if let Some(Some(s)) = self.shadows.get_mut(id.0) {
+            s.mark_init_range(0, s.len);
+        }
+    }
+
+    /// Marks one element initialised (the arena's `write` hook — covers both
+    /// host pokes and kernel stores, which go through the same data plane).
+    #[inline]
+    pub(crate) fn on_write_elem(&mut self, id: BufferId, idx: usize) {
+        if let Some(Some(s)) = self.shadows.get_mut(id.0) {
+            if idx < s.len {
+                s.mark_init(idx);
+            }
+        }
+    }
+
+    fn freed(&self, id: BufferId) -> bool {
+        match self.shadows.get(id.0) {
+            Some(Some(s)) if s.live => self.free_queue.borrow().contains(&id),
+            Some(Some(_)) => true,
+            // Unknown buffer (never registered): don't guess.
+            _ => false,
+        }
+    }
+
+    fn push_diag(&mut self, d: AccessDiag) {
+        if let Some(prev) = self.access.iter_mut().find(|p| {
+            p.kind == d.kind && p.kernel == d.kernel && p.buffer == d.buffer && p.write == d.write
+        }) {
+            prev.occurrences += 1;
+            return;
+        }
+        if self.access.len() >= MAX_DIAGS {
+            self.truncated = true;
+            return;
+        }
+        self.access.push(d);
+    }
+
+    /// Validates one kernel global access. Returns false when the underlying
+    /// memory operation must be suppressed (it would index outside the
+    /// buffer's storage).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn check_access(
+        &mut self,
+        kernel: &'static str,
+        buf: BufferId,
+        idx: usize,
+        addr: u64,
+        write: bool,
+        block: usize,
+        tid: usize,
+    ) -> bool {
+        let halfwarp = tid / self.half_warp;
+        let diag = |kind| AccessDiag {
+            kind,
+            kernel,
+            buffer: buf.0,
+            index: idx,
+            addr,
+            block,
+            tid,
+            halfwarp,
+            write,
+            occurrences: 1,
+        };
+        if self.freed(buf) {
+            self.push_diag(diag(AccessKind::UseAfterFree));
+            return false;
+        }
+        let (oob, uninit, len) = match self.shadows.get(buf.0) {
+            Some(Some(s)) => (
+                idx >= s.len,
+                !write && idx < s.len && !s.is_init(idx),
+                s.len,
+            ),
+            // Unregistered buffer (shouldn't happen once enabled): let it go.
+            _ => (false, false, usize::MAX),
+        };
+        if oob {
+            self.push_diag(diag(AccessKind::OutOfBounds));
+            return false;
+        }
+        if uninit {
+            self.push_diag(diag(AccessKind::UninitRead));
+        }
+        if idx < len {
+            if let Some(cur) = &mut self.cur {
+                cur.ranges.entry(buf.0).or_default().touch(idx, write);
+            }
+        }
+        true
+    }
+
+    // -- interval ops -------------------------------------------------------
+
+    pub(crate) fn begin_kernel(&mut self) {
+        self.cur = Some(CurKernel {
+            ranges: BTreeMap::new(),
+        });
+    }
+
+    fn timeline_mut(&mut self, t: usize) -> &mut Vec<u64> {
+        if self.timelines.len() <= t {
+            self.timelines.resize_with(t + 1, Vec::new);
+        }
+        &mut self.timelines[t]
+    }
+
+    /// Ticks timeline `t` (joining the host clock first for stream issues —
+    /// everything the host has synchronized with happens-before the new op)
+    /// and returns the snapshot the op carries.
+    fn issue_on(&mut self, stream: Option<usize>) -> (usize, Vec<u64>) {
+        let t = stream.map_or(0, |s| s + 1);
+        if t != 0 {
+            let host = self.timelines[0].clone();
+            vc_join(self.timeline_mut(t), &host);
+        }
+        let tl = self.timeline_mut(t);
+        if tl.len() <= t {
+            tl.resize(t + 1, 0);
+        }
+        tl[t] += 1;
+        (t, tl.clone())
+    }
+
+    pub(crate) fn end_kernel(
+        &mut self,
+        name: &'static str,
+        stream: Option<usize>,
+        start_s: f64,
+        end_s: f64,
+    ) {
+        self.kernels_checked += 1;
+        let ranges = self.cur.take().map(|c| c.ranges).unwrap_or_default();
+        let (timeline, vc) = self.issue_on(stream);
+        self.ops.push(OpRecord {
+            label: name.to_string(),
+            is_kernel: true,
+            stream,
+            timeline,
+            start_s,
+            end_s,
+            vc,
+            ranges,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_copy(
+        &mut self,
+        label: &str,
+        stream: usize,
+        buf: BufferId,
+        lo: usize,
+        hi: usize,
+        write: bool,
+        start_s: f64,
+        end_s: f64,
+    ) {
+        let (timeline, vc) = self.issue_on(Some(stream));
+        let mut ranges = BTreeMap::new();
+        let mut r = OpRange::default();
+        let slot = if write { &mut r.writes } else { &mut r.reads };
+        *slot = Some((lo, hi));
+        ranges.insert(buf.0, r);
+        self.ops.push(OpRecord {
+            label: label.to_string(),
+            is_kernel: false,
+            stream: Some(stream),
+            timeline,
+            start_s,
+            end_s,
+            vc,
+            ranges,
+        });
+    }
+
+    // -- ordering edges -----------------------------------------------------
+
+    pub(crate) fn on_event_record(&mut self, event: usize, stream: usize) {
+        let snap = self.timeline_mut(stream + 1).clone();
+        if self.event_vcs.len() <= event {
+            self.event_vcs.resize_with(event + 1, Vec::new);
+        }
+        self.event_vcs[event] = snap;
+    }
+
+    pub(crate) fn on_wait_event(&mut self, stream: usize, event: usize) {
+        let snap = self.event_vcs.get(event).cloned().unwrap_or_default();
+        vc_join(self.timeline_mut(stream + 1), &snap);
+    }
+
+    pub(crate) fn on_stream_synchronize(&mut self, stream: usize) {
+        let snap = self.timeline_mut(stream + 1).clone();
+        vc_join(self.timeline_mut(0), &snap);
+    }
+
+    pub(crate) fn on_synchronize(&mut self) {
+        for t in 1..self.timelines.len() {
+            let snap = self.timelines[t].clone();
+            vc_join(self.timeline_mut(0), &snap);
+        }
+    }
+
+    // -- replay -------------------------------------------------------------
+
+    /// Replays the recorded interval ops and assembles the final report.
+    pub(crate) fn report(&self) -> CheckReport {
+        let mut hazards = Vec::new();
+        let mut truncated = self.truncated;
+        // Sort by window start; a pair can only overlap while the later
+        // start precedes the earlier end, so one forward scan per op stays
+        // near-linear on serialized timelines.
+        let mut order: Vec<usize> = (0..self.ops.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.ops[a]
+                .start_s
+                .total_cmp(&self.ops[b].start_s)
+                .then(a.cmp(&b))
+        });
+        'outer: for (i, &ai) in order.iter().enumerate() {
+            let a = &self.ops[ai];
+            for &bi in &order[i + 1..] {
+                let b = &self.ops[bi];
+                if b.start_s >= a.end_s {
+                    break;
+                }
+                if hazards.len() >= MAX_DIAGS {
+                    truncated = true;
+                    break 'outer;
+                }
+                check_pair(a, b, ai, bi, &mut hazards);
+            }
+        }
+        CheckReport {
+            access: self.access.clone(),
+            hazards,
+            kernels_checked: self.kernels_checked,
+            ops_tracked: self.ops.len(),
+            truncated,
+        }
+    }
+}
+
+/// Intersection of two `[lo, hi)` ranges, if non-empty.
+fn isect(a: Option<(usize, usize)>, b: Option<(usize, usize)>) -> Option<(usize, usize)> {
+    let (al, ah) = a?;
+    let (bl, bh) = b?;
+    let lo = al.max(bl);
+    let hi = ah.min(bh);
+    (lo < hi).then_some((lo, hi))
+}
+
+fn check_pair(a: &OpRecord, b: &OpRecord, ai: usize, bi: usize, hazards: &mut Vec<HazardDiag>) {
+    // Kernel–kernel pairs can never race: the device has one compute engine,
+    // so their windows never overlap. Skipping them explicitly also encodes
+    // the DESIGN.md §11 caveat that engine-serialized sharing is unproven.
+    if a.is_kernel && b.is_kernel {
+        return;
+    }
+    // Strict window overlap: ops meeting exactly at an endpoint are ordered
+    // by the engine schedule.
+    if !(a.start_s < b.end_s && b.start_s < a.end_s) {
+        return;
+    }
+    if vc_ordered(a, b) || vc_ordered(b, a) {
+        return;
+    }
+    // `first`/`second` follow issue (program) order, which the functional
+    // data plane executes in.
+    let (f, s) = if ai <= bi { (a, b) } else { (b, a) };
+    for (&buf, fr) in &f.ranges {
+        let Some(sr) = s.ranges.get(&buf) else {
+            continue;
+        };
+        let hit = if let Some((lo, hi)) = isect(fr.writes, sr.reads) {
+            Some((HazardKind::Raw, lo, hi))
+        } else if let Some((lo, hi)) = isect(fr.writes, sr.writes) {
+            Some((HazardKind::Waw, lo, hi))
+        } else if let Some((lo, hi)) = isect(fr.reads, sr.writes) {
+            Some((HazardKind::War, lo, hi))
+        } else {
+            None
+        };
+        if let Some((kind, lo, hi)) = hit {
+            hazards.push(HazardDiag {
+                kind,
+                first: f.label.clone(),
+                second: s.label.clone(),
+                first_stream: f.stream,
+                second_stream: s.stream,
+                buffer: buf,
+                lo,
+                hi,
+                first_window: (f.start_s, f.end_s),
+                second_window: (s.start_s, s.end_s),
+            });
+        }
+    }
+}
+
+/// Element count → byte count for report consumers.
+pub fn elems_to_bytes(elems: usize) -> u64 {
+    elems as u64 * ELEM_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(
+        label: &str,
+        stream: Option<usize>,
+        window: (f64, f64),
+        vc: Vec<u64>,
+        buf: usize,
+        reads: Option<(usize, usize)>,
+        writes: Option<(usize, usize)>,
+    ) -> OpRecord {
+        let mut ranges = BTreeMap::new();
+        ranges.insert(buf, OpRange { reads, writes });
+        OpRecord {
+            label: label.to_string(),
+            is_kernel: false,
+            stream,
+            timeline: stream.map_or(0, |s| s + 1),
+            start_s: window.0,
+            end_s: window.1,
+            vc,
+            ranges,
+        }
+    }
+
+    #[test]
+    fn overlap_and_range_rules() {
+        let a = op(
+            "w",
+            Some(0),
+            (0.0, 1.0),
+            vec![0, 1],
+            3,
+            None,
+            Some((0, 100)),
+        );
+        let b = op(
+            "r",
+            Some(1),
+            (0.5, 1.5),
+            vec![0, 0, 1],
+            3,
+            Some((50, 150)),
+            None,
+        );
+        let mut h = Vec::new();
+        check_pair(&a, &b, 0, 1, &mut h);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].kind, HazardKind::Raw);
+        assert_eq!((h[0].lo, h[0].hi), (50, 100));
+        // Back-to-back windows (shared endpoint) never flag.
+        let c = op(
+            "r2",
+            Some(1),
+            (1.0, 2.0),
+            vec![0, 0, 1],
+            3,
+            Some((0, 100)),
+            None,
+        );
+        let mut h2 = Vec::new();
+        check_pair(&a, &c, 0, 1, &mut h2);
+        assert!(h2.is_empty());
+    }
+
+    #[test]
+    fn vclock_edge_suppresses() {
+        let a = op(
+            "w",
+            Some(0),
+            (0.0, 1.0),
+            vec![0, 1],
+            3,
+            None,
+            Some((0, 100)),
+        );
+        // b's snapshot has seen a's tick on timeline 1 → ordered.
+        let b = op(
+            "r",
+            Some(1),
+            (0.5, 1.5),
+            vec![0, 1, 1],
+            3,
+            Some((0, 100)),
+            None,
+        );
+        let mut h = Vec::new();
+        check_pair(&a, &b, 0, 1, &mut h);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn shadow_init_bitmap() {
+        let mut s = Shadow::new(130, false);
+        assert!(!s.is_init(0));
+        s.mark_init_range(64, 130);
+        assert!(!s.is_init(63));
+        assert!(s.is_init(64));
+        assert!(s.is_init(129));
+        let full = Shadow::new(10, true);
+        assert!(full.is_init(9));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let rep = CheckReport {
+            access: vec![AccessDiag {
+                kind: AccessKind::OutOfBounds,
+                kernel: "k",
+                buffer: 1,
+                index: 2,
+                addr: 272,
+                block: 0,
+                tid: 3,
+                halfwarp: 0,
+                write: true,
+                occurrences: 5,
+            }],
+            hazards: Vec::new(),
+            kernels_checked: 1,
+            ops_tracked: 1,
+            truncated: false,
+        };
+        let json = rep.to_json();
+        assert!(json.contains("\"schema\": \"bifft-check-v1\""));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"kind\": \"out-of-bounds\""));
+        assert!(!rep.clean());
+        let text = rep.to_string();
+        assert!(text.contains("out-of-bounds store"));
+        assert!(text.contains("(x5)"));
+    }
+}

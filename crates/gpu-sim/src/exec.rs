@@ -14,6 +14,7 @@
 //! access *ordinals*), which holds for all SIMD-style FFT kernels here; the
 //! analysis asserts the weaker prefix property it needs.
 
+use crate::check::{CheckReport, CheckState, SharedChecker};
 use crate::coalesce;
 use crate::constmem::{serialization_penalty, ConstantBank};
 use crate::dram::DRAM_ROW_BYTES;
@@ -242,6 +243,33 @@ impl KernelStats {
     }
 }
 
+/// Typed error for kernel launches whose configuration violates a hard
+/// device limit — the conditions `cudaLaunch` rejects. Produced by
+/// [`Gpu::try_launch`]/[`Gpu::try_launch_coop`]; the panicking
+/// [`Gpu::launch`]/[`Gpu::launch_coop`] wrappers surface the same message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The launch configuration cannot run on this device.
+    BadLaunch {
+        /// Kernel whose launch was rejected.
+        kernel: &'static str,
+        /// The violated limit, in the occupancy calculator's words.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadLaunch { kernel, reason } => {
+                write!(f, "launch of kernel '{kernel}' rejected: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Full result of one launch: counters, occupancy and modelled timing.
 #[derive(Clone, Debug)]
 pub struct KernelReport {
@@ -439,6 +467,8 @@ pub struct ThreadCtx<'a> {
     shared: Option<&'a mut SharedMem>,
     stats: &'a mut KernelStats,
     trace: Option<&'a mut ThreadTrace>,
+    kernel: &'static str,
+    checker: Option<&'a RefCell<CheckState>>,
     /// Block index in the grid.
     pub block: usize,
     /// Thread index within the block.
@@ -463,21 +493,59 @@ impl<'a> ThreadCtx<'a> {
     }
 
     /// Global-memory load of one complex element.
+    ///
+    /// Under the checker ([`Gpu::check_enable`]) the access is validated
+    /// first; a load that would leave the allocation (out-of-bounds or
+    /// use-after-free) is diagnosed and returns zero instead of aborting
+    /// the simulation, so one bad kernel can be fully reported.
     #[inline]
     pub fn ld(&mut self, buf: BufferId, idx: usize) -> Complex32 {
         self.stats.loads += 1;
+        let addr = self.mem.addr(buf, idx);
         if let Some(t) = self.trace.as_deref_mut() {
-            t.loads.push(self.mem.addr(buf, idx));
+            t.loads.push(addr);
+        }
+        if let Some(chk) = self.checker {
+            let ok = chk.borrow_mut().check_access(
+                self.kernel,
+                buf,
+                idx,
+                addr,
+                false,
+                self.block,
+                self.tid,
+            );
+            if !ok {
+                return Complex32::ZERO;
+            }
         }
         self.mem.read(buf, idx)
     }
 
     /// Global-memory store of one complex element.
+    ///
+    /// Under the checker, a store that would leave the allocation is
+    /// diagnosed and suppressed (see [`ThreadCtx::ld`]).
     #[inline]
     pub fn st(&mut self, buf: BufferId, idx: usize, v: Complex32) {
         self.stats.stores += 1;
+        let addr = self.mem.addr(buf, idx);
         if let Some(t) = self.trace.as_deref_mut() {
-            t.stores.push(self.mem.addr(buf, idx));
+            t.stores.push(addr);
+        }
+        if let Some(chk) = self.checker {
+            let ok = chk.borrow_mut().check_access(
+                self.kernel,
+                buf,
+                idx,
+                addr,
+                true,
+                self.block,
+                self.tid,
+            );
+            if !ok {
+                return;
+            }
         }
         self.mem.write(buf, idx, v);
     }
@@ -513,10 +581,11 @@ impl<'a> ThreadCtx<'a> {
     /// Shared-memory 32-bit read (cooperative kernels only).
     #[inline]
     pub fn sh_read(&mut self, word: usize) -> f32 {
+        let kernel = self.kernel;
         let sh = self
             .shared
             .as_deref_mut()
-            .expect("kernel has no shared memory");
+            .unwrap_or_else(|| panic!("kernel '{kernel}' has no shared memory"));
         self.stats.shared_reads += 1;
         if let Some(t) = self.trace.as_deref_mut() {
             t.shared.push(word);
@@ -527,10 +596,11 @@ impl<'a> ThreadCtx<'a> {
     /// Shared-memory 32-bit write (cooperative kernels only).
     #[inline]
     pub fn sh_write(&mut self, word: usize, v: f32) {
+        let kernel = self.kernel;
         let sh = self
             .shared
             .as_deref_mut()
-            .expect("kernel has no shared memory");
+            .unwrap_or_else(|| panic!("kernel '{kernel}' has no shared memory"));
         self.stats.shared_writes += 1;
         if let Some(t) = self.trace.as_deref_mut() {
             t.shared.push(word);
@@ -547,6 +617,8 @@ pub struct BlockCtx<'a> {
     shared: SharedMem,
     stats: &'a mut KernelStats,
     trace: Option<BlockTrace>,
+    kernel: &'static str,
+    checker: Option<&'a RefCell<CheckState>>,
     /// Block index.
     pub block: usize,
     /// Threads per block.
@@ -571,6 +643,8 @@ impl<'a> BlockCtx<'a> {
                 shared: Some(&mut self.shared),
                 stats: self.stats,
                 trace,
+                kernel: self.kernel,
+                checker: self.checker,
                 block: self.block,
                 tid,
                 block_dim: self.block_dim,
@@ -630,6 +704,8 @@ pub struct Gpu {
     active_stream: Option<StreamId>,
     /// Installed profiling sink, if any.
     sink: Option<SharedSink>,
+    /// Opt-in memcheck/racecheck state (see [`crate::check`]), if enabled.
+    checker: Option<SharedChecker>,
 }
 
 impl Gpu {
@@ -647,7 +723,38 @@ impl Gpu {
             streams: StreamEngine::default(),
             active_stream: None,
             sink: None,
+            checker: None,
         }
+    }
+
+    /// Turns on the cuda-memcheck/racecheck-style validation layer
+    /// ([`crate::check`]): every subsequent kernel global access is checked
+    /// against shadow memory, and kernels plus async stream memcpys are
+    /// recorded for the hazard replay of [`Gpu::check_report`]. Buffers
+    /// already allocated are assumed fully initialised (their history is
+    /// unknown); buffers allocated afterwards must be written by an upload
+    /// or kernel store before they are read. Idempotent.
+    pub fn check_enable(&mut self) {
+        if self.checker.is_some() {
+            return;
+        }
+        let state = Rc::new(RefCell::new(CheckState::new(
+            self.mem.free_queue(),
+            self.spec.arch.half_warp,
+        )));
+        self.mem.set_checker(Some(state.clone()));
+        self.checker = Some(state);
+    }
+
+    /// True when the validation layer is enabled.
+    pub fn is_checking(&self) -> bool {
+        self.checker.is_some()
+    }
+
+    /// Replays the recorded interval timelines and returns the accumulated
+    /// diagnostics. `None` when [`Gpu::check_enable`] was never called.
+    pub fn check_report(&self) -> Option<CheckReport> {
+        self.checker.as_ref().map(|c| c.borrow().report())
     }
 
     /// The device specification.
@@ -765,13 +872,26 @@ impl Gpu {
         label: &str,
     ) -> (TransferReport, f64) {
         self.mem.upload(buf, offset, host);
-        self.stream_copy(
+        let (rep, start_s, end_s) = self.stream_copy(
             stream,
             Dir::H2D,
             (host.len() as u64) * ELEM_BYTES,
             chunks,
             label,
-        )
+        );
+        if let Some(c) = &self.checker {
+            c.borrow_mut().record_copy(
+                label,
+                stream.0,
+                buf,
+                offset,
+                offset + host.len(),
+                true,
+                start_s,
+                end_s,
+            );
+        }
+        (rep, end_s)
     }
 
     /// Async device-to-host copy on `stream`: downloads from `buf` at
@@ -787,13 +907,26 @@ impl Gpu {
         label: &str,
     ) -> (TransferReport, f64) {
         self.mem.download(buf, offset, host);
-        self.stream_copy(
+        let (rep, start_s, end_s) = self.stream_copy(
             stream,
             Dir::D2H,
             (host.len() as u64) * ELEM_BYTES,
             chunks,
             label,
-        )
+        );
+        if let Some(c) = &self.checker {
+            c.borrow_mut().record_copy(
+                label,
+                stream.0,
+                buf,
+                offset,
+                offset + host.len(),
+                false,
+                start_s,
+                end_s,
+            );
+        }
+        (rep, end_s)
     }
 
     fn stream_copy(
@@ -803,7 +936,7 @@ impl Gpu {
         bytes: u64,
         chunks: usize,
         label: &str,
-    ) -> (TransferReport, f64) {
+    ) -> (TransferReport, f64, f64) {
         let rep = transfer_time(self.spec.pcie, dir, bytes, chunks);
         let (start_s, end_s) =
             self.streams
@@ -827,13 +960,17 @@ impl Gpu {
                 end_s,
             });
         }
-        (rep, end_s)
+        (rep, start_s, end_s)
     }
 
     /// Records an event on `stream`: captures the completion time of all
     /// work issued to the stream so far.
     pub fn event_record(&mut self, stream: StreamId) -> EventId {
-        self.streams.record_event(stream)
+        let ev = self.streams.record_event(stream);
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_event_record(ev.0, stream.0);
+        }
+        ev
     }
 
     /// The simulated time a recorded event fires, seconds.
@@ -845,6 +982,9 @@ impl Gpu {
     /// (cross-stream dependency; raises the stream's ready time).
     pub fn stream_wait_event(&mut self, stream: StreamId, event: EventId) {
         self.streams.wait_event(stream, event);
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_wait_event(stream.0, event.0);
+        }
     }
 
     /// Blocks the host until everything issued to `stream` completes
@@ -852,6 +992,9 @@ impl Gpu {
     pub fn stream_synchronize(&mut self, stream: StreamId) {
         let t = self.streams.ready_s(stream);
         self.wait_until(t);
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_stream_synchronize(stream.0);
+        }
     }
 
     /// Device-wide synchronize: blocks the host until every stream, the
@@ -860,6 +1003,9 @@ impl Gpu {
     pub fn synchronize(&mut self) {
         let t = self.streams.horizon_s().max(self.pcie_link.busy_until_s());
         self.wait_until(t);
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_synchronize();
+        }
     }
 
     /// The timestamp spans and newly issued work observe: the active
@@ -969,19 +1115,73 @@ impl Gpu {
         ConstId(self.constants.len() - 1)
     }
 
+    /// Validates a launch configuration against the device's hard limits —
+    /// the same conditions [`crate::occupancy::occupancy`] asserts, surfaced
+    /// as a typed [`SimError`] for user-controlled launch parameters.
+    fn validate_launch(&self, cfg: &LaunchConfig) -> Result<(), SimError> {
+        let arch = &self.spec.arch;
+        let res = &cfg.resources;
+        let err = |reason: String| SimError::BadLaunch {
+            kernel: cfg.name,
+            reason,
+        };
+        if cfg.grid_blocks == 0 {
+            return Err(err("empty grid (0 blocks)".to_string()));
+        }
+        if res.threads_per_block == 0 {
+            return Err(err("empty block (0 threads)".to_string()));
+        }
+        if res.threads_per_block > arch.max_threads_per_block {
+            return Err(err(format!(
+                "block of {} exceeds the {}-thread block limit",
+                res.threads_per_block, arch.max_threads_per_block
+            )));
+        }
+        let regs_per_block = res.regs_per_thread * res.threads_per_block;
+        if regs_per_block > arch.registers_per_sm {
+            return Err(err(format!(
+                "one block needs {regs_per_block} registers, SM has {}",
+                arch.registers_per_sm
+            )));
+        }
+        if res.shared_bytes_per_block > arch.shared_mem_per_sm {
+            return Err(err(format!(
+                "one block needs {} B shared, SM has {}",
+                res.shared_bytes_per_block, arch.shared_mem_per_sm
+            )));
+        }
+        Ok(())
+    }
+
     /// Launches a coarse-grained kernel: `body` runs once per thread.
     ///
     /// The paper's steps 1–4 use this form — no shared memory, one small FFT
     /// per thread, grid-stride work assignment.
-    pub fn launch(
+    ///
+    /// # Panics
+    /// Panics (naming the kernel) when the configuration violates a device
+    /// limit; use [`Gpu::try_launch`] for a typed error instead.
+    pub fn launch(&mut self, cfg: &LaunchConfig, body: impl FnMut(&mut ThreadCtx)) -> KernelReport {
+        self.try_launch(cfg, body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::launch`]: rejects configurations that violate
+    /// a hard device limit with [`SimError::BadLaunch`] instead of
+    /// panicking.
+    pub fn try_launch(
         &mut self,
         cfg: &LaunchConfig,
         mut body: impl FnMut(&mut ThreadCtx),
-    ) -> KernelReport {
+    ) -> Result<KernelReport, SimError> {
+        self.validate_launch(cfg)?;
         let occ = occupancy(&self.spec.arch, &cfg.resources);
         let mut stats = KernelStats::default();
         let mut samples = SampleAccum::default();
         let bd = cfg.resources.threads_per_block;
+        if let Some(c) = &self.checker {
+            c.borrow_mut().begin_kernel();
+        }
+        let checker = self.checker.as_deref();
         for block in 0..cfg.grid_blocks {
             let mut trace = (block < self.trace_blocks).then(|| BlockTrace::new(bd));
             for tid in 0..bd {
@@ -993,6 +1193,8 @@ impl Gpu {
                     shared: None,
                     stats: &mut stats,
                     trace: tt,
+                    kernel: cfg.name,
+                    checker,
                     block,
                     tid,
                     block_dim: bd,
@@ -1010,20 +1212,39 @@ impl Gpu {
             }
         }
         samples.fold_into(&mut stats);
-        self.finish(cfg, occ, stats)
+        Ok(self.finish(cfg, occ, stats))
     }
 
     /// Launches a cooperative kernel: `body` runs once per *block* and drives
     /// its threads in phases (the paper's fine-grained step 5).
+    ///
+    /// # Panics
+    /// Panics (naming the kernel) when the configuration violates a device
+    /// limit; use [`Gpu::try_launch_coop`] for a typed error instead.
     pub fn launch_coop(
         &mut self,
         cfg: &LaunchConfig,
-        mut body: impl FnMut(&mut BlockCtx),
+        body: impl FnMut(&mut BlockCtx),
     ) -> KernelReport {
+        self.try_launch_coop(cfg, body)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Gpu::launch_coop`] (see [`Gpu::try_launch`]).
+    pub fn try_launch_coop(
+        &mut self,
+        cfg: &LaunchConfig,
+        mut body: impl FnMut(&mut BlockCtx),
+    ) -> Result<KernelReport, SimError> {
+        self.validate_launch(cfg)?;
         let occ = occupancy(&self.spec.arch, &cfg.resources);
         let mut stats = KernelStats::default();
         let mut samples = SampleAccum::default();
         let bd = cfg.resources.threads_per_block;
+        if let Some(c) = &self.checker {
+            c.borrow_mut().begin_kernel();
+        }
+        let checker = self.checker.as_deref();
         for block in 0..cfg.grid_blocks {
             let mut bc = BlockCtx {
                 mem: &mut self.mem,
@@ -1036,6 +1257,8 @@ impl Gpu {
                 ),
                 stats: &mut stats,
                 trace: (block < self.trace_blocks).then(|| BlockTrace::new(bd)),
+                kernel: cfg.name,
+                checker,
                 block,
                 block_dim: bd,
                 grid_dim: cfg.grid_blocks,
@@ -1055,7 +1278,7 @@ impl Gpu {
             }
         }
         samples.fold_into(&mut stats);
-        self.finish(cfg, occ, stats)
+        Ok(self.finish(cfg, occ, stats))
     }
 
     fn finish(&mut self, cfg: &LaunchConfig, occ: Occupancy, stats: KernelStats) -> KernelReport {
@@ -1076,6 +1299,10 @@ impl Gpu {
                 (start, end)
             }
         };
+        if let Some(c) = &self.checker {
+            c.borrow_mut()
+                .end_kernel(cfg.name, self.active_stream.map(|s| s.0), start_s, end_s);
+        }
         if let Some(sink) = &self.sink {
             let mut sink = sink.borrow_mut();
             sink.event(TraceEvent::KernelBegin {

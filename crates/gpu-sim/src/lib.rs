@@ -21,6 +21,7 @@
 
 pub mod analysis;
 pub mod bandwidth;
+pub mod check;
 pub mod coalesce;
 pub mod constmem;
 pub mod dram;
@@ -40,8 +41,10 @@ pub use analysis::{
     roofline_table, KernelPatterns, KernelRoofline, PatternFamily, PatternGeometry, StreamClass,
     StreamDir,
 };
+pub use check::{AccessDiag, AccessKind, CheckReport, HazardDiag, HazardKind};
 pub use exec::{
-    ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, TexAccess, TextureId, ThreadCtx,
+    ConstId, Gpu, KernelReport, KernelStats, LaunchConfig, SimError, TexAccess, TextureId,
+    ThreadCtx,
 };
 pub use memory::{AllocError, BufferId, DeviceMemory, FreeQueue};
 pub use occupancy::{occupancy, KernelResources, Occupancy};

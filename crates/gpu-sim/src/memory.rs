@@ -15,6 +15,7 @@ use fft_math::Complex32;
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::check::SharedChecker;
 use crate::trace::{TraceEvent, Tracer};
 
 /// Element size in bytes (interleaved complex32).
@@ -26,6 +27,14 @@ pub const ALLOC_ALIGN: u64 = 256;
 /// Handle to a device buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BufferId(pub(crate) usize);
+
+impl BufferId {
+    /// The buffer's arena slot — the value checker diagnostics report in
+    /// [`crate::AccessDiag::buffer`] and [`crate::HazardDiag::buffer`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Shared handle onto the arena's deferred-free queue.
 ///
@@ -50,6 +59,7 @@ pub struct DeviceMemory {
     buffers: Vec<Buffer>,
     pending_free: FreeQueue,
     tracer: Option<Tracer>,
+    checker: Option<SharedChecker>,
 }
 
 impl DeviceMemory {
@@ -62,7 +72,24 @@ impl DeviceMemory {
             buffers: Vec::new(),
             pending_free: Rc::new(RefCell::new(Vec::new())),
             tracer: None,
+            checker: None,
         }
+    }
+
+    /// Attaches the validation checker (see [`crate::Gpu::check_enable`]):
+    /// every buffer already live is registered with its history assumed
+    /// initialised (no false positives for pre-checker data), and subsequent
+    /// allocs/frees/uploads/writes update the shadow state.
+    pub(crate) fn set_checker(&mut self, checker: Option<SharedChecker>) {
+        if let Some(c) = &checker {
+            let mut c = c.borrow_mut();
+            for (i, b) in self.buffers.iter().enumerate() {
+                if b.live {
+                    c.on_alloc(BufferId(i), b.data.len(), true);
+                }
+            }
+        }
+        self.checker = checker;
     }
 
     /// A handle onto the deferred-free queue, for RAII guards that release
@@ -136,7 +163,13 @@ impl DeviceMemory {
                 t_s: t.now(),
             });
         }
-        Ok(BufferId(self.buffers.len() - 1))
+        let id = BufferId(self.buffers.len() - 1);
+        if let Some(c) = &self.checker {
+            // Fresh allocations are *uninitialised*: cudaMalloc makes no
+            // content promise, even though the simulator zero-fills.
+            c.borrow_mut().on_alloc(id, len, false);
+        }
+        Ok(id)
     }
 
     /// Frees a buffer. The handle must not be reused.
@@ -147,6 +180,9 @@ impl DeviceMemory {
         let bytes = b.data.len() as u64 * ELEM_BYTES;
         self.used -= bytes;
         b.data = Vec::new();
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_free(id);
+        }
         if let Some(t) = &self.tracer {
             t.emit(TraceEvent::Free {
                 bytes,
@@ -183,11 +219,18 @@ impl DeviceMemory {
     /// Writes an element (functional path).
     #[inline]
     pub fn write(&mut self, id: BufferId, idx: usize, v: Complex32) {
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_write_elem(id, idx);
+        }
         self.buffers[id.0].data[idx] = v;
     }
 
     /// Host-side bulk copy into a buffer (the data plane of an H2D transfer).
     pub fn upload(&mut self, id: BufferId, offset: usize, host: &[Complex32]) {
+        if let Some(c) = &self.checker {
+            c.borrow_mut()
+                .on_host_write_range(id, offset, offset + host.len());
+        }
         let b = &mut self.buffers[id.0];
         assert!(b.live, "use after free");
         b.data[offset..offset + host.len()].copy_from_slice(host);
@@ -207,8 +250,13 @@ impl DeviceMemory {
         &b.data
     }
 
-    /// Direct mutable view for device-side initialisation helpers.
+    /// Direct mutable view for device-side initialisation helpers. The
+    /// checker conservatively treats the whole buffer as initialised
+    /// afterwards (it cannot see which elements the caller writes).
     pub fn as_mut_slice(&mut self, id: BufferId) -> &mut [Complex32] {
+        if let Some(c) = &self.checker {
+            c.borrow_mut().on_host_write_all(id);
+        }
         let b = &mut self.buffers[id.0];
         assert!(b.live, "use after free");
         &mut b.data

@@ -1,6 +1,11 @@
-//! Property-based tests on the simulator's invariants.
+//! Property-style tests on the simulator's invariants.
+//!
+//! Formerly `proptest`-driven; the workspace builds against an empty cargo
+//! registry, so each property now sweeps a deterministic SplitMix64 case set.
+//! The assertions themselves are unchanged.
 
 use fft_math::layout::AccessPattern;
+use fft_math::rng::SplitMix64;
 use gpu_sim::coalesce;
 use gpu_sim::dram::{self, BandwidthQuery};
 use gpu_sim::occupancy::{occupancy, KernelResources};
@@ -8,89 +13,118 @@ use gpu_sim::pcie::{transfer_time, Dir};
 use gpu_sim::shared::bank_conflict_degree;
 use gpu_sim::spec::{DeviceSpec, CUDA1_ARCH};
 use gpu_sim::DeviceMemory;
-use proptest::prelude::*;
 
-fn any_pattern() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        Just(AccessPattern::A),
-        Just(AccessPattern::B),
-        Just(AccessPattern::C),
-        Just(AccessPattern::D),
-        Just(AccessPattern::X),
-    ]
-}
+const PATTERNS: [AccessPattern; 5] = [
+    AccessPattern::A,
+    AccessPattern::B,
+    AccessPattern::C,
+    AccessPattern::D,
+    AccessPattern::X,
+];
 
-proptest! {
-    /// A sequential, aligned half-warp always coalesces; its efficiency is 1.
-    #[test]
-    fn aligned_sequential_coalesces(base_blocks in 0u64..1000, word in prop_oneof![Just(4u32), Just(8), Just(16)]) {
+/// A sequential, aligned half-warp always coalesces; its efficiency is 1.
+#[test]
+fn aligned_sequential_coalesces() {
+    let mut rng = SplitMix64::new(0x6A11_0001);
+    for _ in 0..48 {
+        let base_blocks = rng.below(1000) as u64;
+        let word = [4u32, 8, 16][rng.below(3)];
         let base = base_blocks * 16 * word as u64;
         let addrs: Vec<u64> = (0..16).map(|k| base + k * word as u64).collect();
         let r = coalesce::analyze(&addrs, word);
-        prop_assert!(r.coalesced);
-        prop_assert_eq!(r.transactions, 1);
-        prop_assert!((r.efficiency() - 1.0).abs() < 1e-12);
+        assert!(r.coalesced);
+        assert_eq!(r.transactions, 1);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
     }
+}
 
-    /// Perturbing any single lane of a sequential half-warp breaks
-    /// coalescing (unless the perturbation is a no-op).
-    #[test]
-    fn perturbation_breaks_coalescing(lane in 0usize..16, delta in 1u64..64) {
-        let mut addrs: Vec<u64> = (0..16u64).map(|k| 4096 + k * 8).collect();
-        addrs[lane] += delta;
-        let r = coalesce::analyze(&addrs, 8);
-        prop_assert!(!r.coalesced);
-        prop_assert!(r.efficiency() <= 0.5);
+/// Perturbing any single lane of a sequential half-warp breaks
+/// coalescing (unless the perturbation is a no-op).
+#[test]
+fn perturbation_breaks_coalescing() {
+    let mut rng = SplitMix64::new(0x6A11_0002);
+    for lane in 0..16usize {
+        for _ in 0..4 {
+            let delta = 1 + rng.below(63) as u64;
+            let mut addrs: Vec<u64> = (0..16u64).map(|k| 4096 + k * 8).collect();
+            addrs[lane] += delta;
+            let r = coalesce::analyze(&addrs, 8);
+            assert!(!r.coalesced);
+            assert!(r.efficiency() <= 0.5);
+        }
     }
+}
 
-    /// Bus bytes never undercount useful bytes.
-    #[test]
-    fn bus_bytes_cover_useful(addrs in proptest::collection::vec(0u64..10_000, 0..16)) {
+/// Bus bytes never undercount useful bytes.
+#[test]
+fn bus_bytes_cover_useful() {
+    let mut rng = SplitMix64::new(0x6A11_0003);
+    for _ in 0..48 {
+        let len = rng.below(16);
         // Align addresses to the word size to stay in-spec.
-        let addrs: Vec<u64> = addrs.iter().map(|a| a * 8).collect();
+        let addrs: Vec<u64> = (0..len).map(|_| rng.below(10_000) as u64 * 8).collect();
         let r = coalesce::analyze(&addrs, 8);
-        prop_assert!(r.bus_bytes >= r.useful_bytes);
-        prop_assert!(r.efficiency() <= 1.0 + 1e-12);
+        assert!(r.bus_bytes >= r.useful_bytes);
+        assert!(r.efficiency() <= 1.0 + 1e-12);
     }
+}
 
-    /// Bank-conflict degree is bounded by [1, lanes] and padding by an
-    /// odd skew never increases the degree of a constant-stride access.
-    #[test]
-    fn conflict_degree_bounds(stride in 1usize..64) {
+/// Bank-conflict degree is bounded by [1, lanes] and padding by an
+/// odd skew never increases the degree of a constant-stride access.
+#[test]
+fn conflict_degree_bounds() {
+    for stride in 1usize..64 {
         let idx: Vec<usize> = (0..16).map(|k| k * stride).collect();
         let d = bank_conflict_degree(&idx, 16);
-        prop_assert!((1..=16).contains(&(d as usize)));
+        assert!((1..=16).contains(&(d as usize)));
         // Odd strides are always conflict-free on 16 banks.
         if stride % 2 == 1 {
-            prop_assert_eq!(d, 1);
+            assert_eq!(d, 1);
         }
     }
+}
 
-    /// Occupancy is monotone non-increasing in register pressure and always
-    /// respects the hardware caps.
-    #[test]
-    fn occupancy_monotone_in_registers(tpb_pow in 4u32..9, regs in 1usize..64) {
-        let tpb = 1usize << tpb_pow; // 16..256
-        let res_a = KernelResources { threads_per_block: tpb, regs_per_thread: regs, shared_bytes_per_block: 0 };
-        let res_b = KernelResources { regs_per_thread: regs + 1, ..res_a };
-        if (regs + 1) * tpb <= CUDA1_ARCH.registers_per_sm {
-            let a = occupancy(&CUDA1_ARCH, &res_a);
-            let b = occupancy(&CUDA1_ARCH, &res_b);
-            prop_assert!(b.threads_per_sm <= a.threads_per_sm);
-            prop_assert!(a.threads_per_sm <= CUDA1_ARCH.max_threads_per_sm);
-            prop_assert!(a.blocks_per_sm <= CUDA1_ARCH.max_blocks_per_sm);
-            prop_assert!(a.blocks_per_sm * res_a.regs_per_thread * tpb <= CUDA1_ARCH.registers_per_sm);
+/// Occupancy is monotone non-increasing in register pressure and always
+/// respects the hardware caps.
+#[test]
+fn occupancy_monotone_in_registers() {
+    let mut rng = SplitMix64::new(0x6A11_0004);
+    for tpb_pow in 4u32..9 {
+        for _ in 0..12 {
+            let regs = 1 + rng.below(63);
+            let tpb = 1usize << tpb_pow; // 16..256
+            let res_a = KernelResources {
+                threads_per_block: tpb,
+                regs_per_thread: regs,
+                shared_bytes_per_block: 0,
+            };
+            let res_b = KernelResources {
+                regs_per_thread: regs + 1,
+                ..res_a
+            };
+            if (regs + 1) * tpb <= CUDA1_ARCH.registers_per_sm {
+                let a = occupancy(&CUDA1_ARCH, &res_a);
+                let b = occupancy(&CUDA1_ARCH, &res_b);
+                assert!(b.threads_per_sm <= a.threads_per_sm);
+                assert!(a.threads_per_sm <= CUDA1_ARCH.max_threads_per_sm);
+                assert!(a.blocks_per_sm <= CUDA1_ARCH.max_blocks_per_sm);
+                assert!(
+                    a.blocks_per_sm * res_a.regs_per_thread * tpb <= CUDA1_ARCH.registers_per_sm
+                );
+            }
         }
     }
+}
 
-    /// Effective bandwidth never exceeds the card's copy base and decays
-    /// monotonically with fewer resident threads.
-    #[test]
-    fn bandwidth_bounded_and_monotone(
-        rp in any_pattern(),
-        wp in any_pattern(),
-        threads in 1usize..768,
-    ) {
+/// Effective bandwidth never exceeds the card's copy base and decays
+/// monotonically with fewer resident threads.
+#[test]
+fn bandwidth_bounded_and_monotone() {
+    let mut rng = SplitMix64::new(0x6A11_0005);
+    for _ in 0..24 {
+        let rp = PATTERNS[rng.below(5)];
+        let wp = PATTERNS[rng.below(5)];
+        let threads = 1 + rng.below(767);
         for spec in DeviceSpec::all_cards() {
             let q = BandwidthQuery {
                 read_pattern: rp,
@@ -101,46 +135,64 @@ proptest! {
                 carries_compute: false,
             };
             let bw = dram::effective_bandwidth_gbs(&spec, &q);
-            prop_assert!(bw > 0.0);
-            prop_assert!(bw <= dram::copy_base_gbs(&spec) * 1.001);
-            let q2 = BandwidthQuery { threads_per_sm: threads + 1, ..q };
-            prop_assert!(dram::effective_bandwidth_gbs(&spec, &q2) >= bw - 1e-9);
+            assert!(bw > 0.0);
+            assert!(bw <= dram::copy_base_gbs(&spec) * 1.001);
+            let q2 = BandwidthQuery {
+                threads_per_sm: threads + 1,
+                ..q
+            };
+            assert!(dram::effective_bandwidth_gbs(&spec, &q2) >= bw - 1e-9);
         }
     }
+}
 
-    /// Stream decay is within (0, 1] and monotone.
-    #[test]
-    fn stream_decay_properties(s in 1usize..100_000) {
+/// Stream decay is within (0, 1] and monotone.
+#[test]
+fn stream_decay_properties() {
+    let mut rng = SplitMix64::new(0x6A11_0006);
+    for _ in 0..64 {
+        let s = 1 + rng.below(100_000);
         let d = dram::stream_decay(s);
-        prop_assert!(d > 0.0 && d <= 1.0);
-        prop_assert!(dram::stream_decay(s + 1) <= d);
+        assert!(d > 0.0 && d <= 1.0);
+        assert!(dram::stream_decay(s + 1) <= d);
     }
+}
 
-    /// PCIe transfer time is additive-monotone in bytes and chunk count, and
-    /// achieved bandwidth never exceeds the link rate.
-    #[test]
-    fn pcie_monotonicity(bytes in 1u64..1_000_000_000, chunks in 1usize..256) {
+/// PCIe transfer time is additive-monotone in bytes and chunk count, and
+/// achieved bandwidth never exceeds the link rate.
+#[test]
+fn pcie_monotonicity() {
+    let mut rng = SplitMix64::new(0x6A11_0007);
+    for _ in 0..16 {
+        let bytes = 1 + rng.below(1_000_000_000) as u64;
+        let chunks = 1 + rng.below(255);
         for gen in [gpu_sim::PcieGen::Gen1x16, gpu_sim::PcieGen::Gen2x16] {
             for dir in [Dir::H2D, Dir::D2H] {
                 let t = transfer_time(gen, dir, bytes, chunks);
-                prop_assert!(t.time_s > 0.0);
-                prop_assert!(t.achieved_gbs <= gpu_sim::pcie::link_bandwidth_gbs(gen, dir) + 1e-9);
+                assert!(t.time_s > 0.0);
+                assert!(t.achieved_gbs <= gpu_sim::pcie::link_bandwidth_gbs(gen, dir) + 1e-9);
                 let bigger = transfer_time(gen, dir, bytes + 1024, chunks);
-                prop_assert!(bigger.time_s >= t.time_s);
+                assert!(bigger.time_s >= t.time_s);
                 let more_chunks = transfer_time(gen, dir, bytes, chunks + 1);
-                prop_assert!(more_chunks.time_s >= t.time_s);
+                assert!(more_chunks.time_s >= t.time_s);
             }
         }
     }
+}
 
-    /// Device-memory accounting: used bytes equal the sum of live buffers
-    /// under any alloc/free interleaving.
-    #[test]
-    fn memory_accounting(ops in proptest::collection::vec((1usize..4096, any::<bool>()), 1..40)) {
+/// Device-memory accounting: used bytes equal the sum of live buffers
+/// under any alloc/free interleaving.
+#[test]
+fn memory_accounting() {
+    let mut rng = SplitMix64::new(0x6A11_0008);
+    for _ in 0..24 {
+        let op_count = 1 + rng.below(39);
         let mut mem = DeviceMemory::new(64 * 1024 * 1024);
         let mut live: Vec<(gpu_sim::BufferId, usize)> = Vec::new();
         let mut expected = 0u64;
-        for (len, free_one) in ops {
+        for _ in 0..op_count {
+            let len = 1 + rng.below(4095);
+            let free_one = rng.next_u64() & 1 == 1;
             if free_one && !live.is_empty() {
                 let (id, n) = live.remove(live.len() / 2);
                 mem.free(id);
@@ -149,11 +201,11 @@ proptest! {
                 live.push((id, len));
                 expected += len as u64 * 8;
             }
-            prop_assert_eq!(mem.used_bytes(), expected);
+            assert_eq!(mem.used_bytes(), expected);
         }
         // Live buffers remain addressable and disjoint.
         for (id, len) in &live {
-            prop_assert_eq!(mem.len(*id), *len);
+            assert_eq!(mem.len(*id), *len);
         }
     }
 }

@@ -17,14 +17,16 @@ fn main() {
     println!("== Out-of-core 3-D FFT ==\n");
     println!("functional run at {nx}x{ny}x{nz} in 4 slabs on a simulated 8800 GT:");
     let spec = DeviceSpec::gt8800();
-    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4);
+    let plan = OutOfCoreFft::new(&spec, nx, ny, nz, 4).unwrap();
     let mut gpu = Gpu::new(spec);
 
     let orig: Vec<Complex32> = (0..nx * ny * nz)
         .map(|i| c32((i as f32 * 0.017).sin(), (i as f32 * 0.029).cos()))
         .collect();
     let mut host = orig.clone();
-    let rep = plan.execute(&mut gpu, &mut host, Direction::Forward);
+    let rep = plan
+        .execute(&mut gpu, &mut host, Direction::Forward)
+        .unwrap();
     println!("{}", summarize(&rep, (nx, ny, nz)));
 
     // Verify against the in-core six-step on a card that fits the volume.
@@ -41,7 +43,7 @@ fn main() {
     // --- the paper's 512³ case, modelled per card (Table 12) ---
     println!("\nTable 12 projection: 512³ as 8 slabs of 512x512x64");
     for spec in DeviceSpec::all_cards() {
-        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+        let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8).unwrap();
         let est = plan.estimate(&spec);
         println!(
             "{:<9} total {:.2} s = {:>5.1} GFLOPS (transfers {:.0}% of time)",

@@ -6,9 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use fft_math::rng::SplitMix64;
 use nukada_fft_repro::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let n = 64usize;
@@ -32,9 +31,9 @@ fn main() {
 
     // 3. Make a random complex volume and upload it (the plan packs the
     //    natural x-fastest layout into the paper's 5-D device layout).
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     let volume: Vec<Complex32> = (0..plan.volume())
-        .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
         .collect();
     plan.upload(&mut gpu, v, &volume);
 

@@ -6,6 +6,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
+cargo build --workspace --examples --offline
 cargo test --workspace -q --offline
 cargo fmt --all -- --check
 # Keep the public API clippy-clean and documented: the workspace crates carry
@@ -20,3 +21,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 #   cargo run --release --bin bench -- --quick --out crates/bench/baselines/bench-quick.json
 cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check crates/bench/baselines/bench-quick.json
+# Checked quick grid: the same cells under the cuda-memcheck/racecheck-style
+# validation layer (DESIGN.md §11). Purely functional — timings are
+# unaffected — and fails on any OOB/uninit/use-after-free or stream-hazard
+# diagnostic anywhere in the grid.
+cargo run --release -p fft-bench --bin bifft-bench --offline -- \
+    --quick --check-hazards --out /dev/null

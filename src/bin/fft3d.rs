@@ -6,14 +6,19 @@
 //!       [--device gt|gts|gtx|c1060] [--inverse]
 //!       [--gpus N] [--streams K] [--slabs S]
 //!       [--input volume.bin] [--output spectrum.bin] [--verify]
+//!       [--check-hazards]
 //! ```
 //!
 //! Volumes are raw little-endian interleaved `f32` complex values, x fastest
 //! (`2*nx*ny*nz` floats). Without `--input`, a random volume is generated.
 //! `--verify` cross-checks the result against the CPU transform.
+//! `--check-hazards` runs under the cuda-memcheck/racecheck-style validation
+//! layer and fails (exit 1) on any out-of-bounds, use-after-free,
+//! uninitialized-read or cross-stream hazard diagnostic.
 
 use bifft::out_of_core::summarize as summarize_ooc;
 use bifft::plan::{Algorithm, Fft3d};
+use nukada_fft_repro::gpu_sim;
 use nukada_fft_repro::prelude::*;
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -29,6 +34,7 @@ struct Args {
     input: Option<String>,
     output: Option<String>,
     verify: bool,
+    check: bool,
 }
 
 fn parse_dims(s: &str) -> Result<(usize, usize, usize), String> {
@@ -63,6 +69,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         input: None,
         output: None,
         verify: false,
+        check: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -94,6 +101,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--input" => args.input = Some(next("--input")?),
             "--output" => args.output = Some(next("--output")?),
             "--verify" => args.verify = true,
+            "--check-hazards" => args.check = true,
             "--help" | "-h" => return Err("usage: see module docs (fft3d --dims NxNxN ...)".into()),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -136,6 +144,28 @@ fn write_volume(path: &str, data: &[Complex32]) -> Result<(), String> {
         .map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Prints the checker's verdict to stderr; any diagnostic fails the run.
+/// A `None` report (checking off) passes silently.
+fn report_check(report: Option<gpu_sim::CheckReport>) -> Result<(), String> {
+    match report {
+        Some(rep) if rep.clean() => {
+            eprintln!(
+                "fft3d: check-hazards: clean ({} kernels, {} ops tracked)",
+                rep.kernels_checked, rep.ops_tracked
+            );
+            Ok(())
+        }
+        Some(rep) => {
+            eprintln!("{rep}");
+            Err(format!(
+                "check-hazards: {} diagnostic(s)",
+                rep.access.len() + rep.hazards.len()
+            ))
+        }
+        None => Ok(()),
+    }
+}
+
 /// Runs the requested transform, dispatching on the algorithm: in-core
 /// algorithms go through the [`Fft3d`] facade, `out-of-core` through
 /// [`OutOfCoreFft`] and `multi-gpu` through [`MultiGpuFft3d`]. Every path
@@ -155,11 +185,18 @@ fn run_transform(args: &Args, host: &[Complex32]) -> Result<Vec<Complex32>, Stri
                     "--slabs {slabs} must be a power of two in 2..=16 dividing nz={nz} into slabs of 16+ planes"
                 ));
             }
-            let plan =
-                OutOfCoreFft::new(&args.device, nx, ny, nz, slabs).with_streams(args.streams);
+            let plan = OutOfCoreFft::new(&args.device, nx, ny, nz, slabs)
+                .and_then(|p| p.with_streams(args.streams))
+                .map_err(|e| e.to_string())?;
             let mut gpu = Gpu::new(args.device);
+            if args.check {
+                gpu.check_enable();
+            }
             let mut out = host.to_vec();
-            let rep = plan.execute(&mut gpu, &mut out, args.dir);
+            let rep = plan
+                .execute(&mut gpu, &mut out, args.dir)
+                .map_err(|e| e.to_string())?;
+            report_check(gpu.check_report())?;
             eprintln!("{}", summarize_ooc(&rep, args.dims));
             eprintln!(
                 "fft3d: {} stream(s), wall {:.3} s vs {:.3} s serial legs",
@@ -172,7 +209,11 @@ fn run_transform(args: &Args, host: &[Complex32]) -> Result<Vec<Complex32>, Stri
         Algorithm::MultiGpu => {
             let mut plan = MultiGpuFft3d::new(&args.device, args.gpus, nx, ny, nz)
                 .map_err(|e| e.to_string())?;
+            if args.check {
+                plan.check_enable();
+            }
             let (out, rep) = plan.transform(host, args.dir).map_err(|e| e.to_string())?;
+            report_check(plan.check_report())?;
             eprintln!("{}", bifft::multi_gpu::summarize(&rep, args.dims));
             Ok(out)
         }
@@ -180,11 +221,13 @@ fn run_transform(args: &Args, host: &[Complex32]) -> Result<Vec<Complex32>, Stri
             let mut gpu = Gpu::new(args.device);
             let plan = Fft3d::builder(nx, ny, nz)
                 .algorithm(args.algo)
+                .checked(args.check)
                 .build(&mut gpu)
                 .map_err(|e| e.to_string())?;
             let (out, report) = plan
                 .transform(&mut gpu, host, args.dir)
                 .map_err(|e| e.to_string())?;
+            report_check(gpu.check_report())?;
             eprintln!("{}", report.step_table());
             Ok(out)
         }
@@ -212,10 +255,10 @@ fn main() -> ExitCode {
             }
         },
         None => {
-            use rand::{rngs::SmallRng, Rng, SeedableRng};
-            let mut rng = SmallRng::seed_from_u64(0xF47);
+            use fft_math::rng::SplitMix64;
+            let mut rng = SplitMix64::new(0xF47);
             (0..vol)
-                .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
                 .collect()
         }
     };
@@ -314,6 +357,9 @@ mod tests {
         assert_eq!(a.device.name, "8800 GT");
         assert_eq!(a.dir, Direction::Inverse);
         assert!(a.verify);
+        assert!(!a.check);
+        let b = parse_args(&["--check-hazards".to_string()]).unwrap();
+        assert!(b.check);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Checked-mode integration tests: the free-queue liveness defect class
+//! (use-after-drop of a plan's device buffers) plus the differential-fuzz
+//! harness — every algorithm runs under the validation layer across a
+//! size/stream/GPU grid, must produce a clean [`gpu_sim::CheckReport`] and
+//! must match the CPU reference transform.
+
+use fft_math::rng::SplitMix64;
+use nukada_fft_repro::gpu_sim::{AccessKind, LaunchConfig};
+use nukada_fft_repro::prelude::*;
+
+fn arb_volume(rng: &mut SplitMix64, len: usize) -> Vec<Complex32> {
+    (0..len)
+        .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
+        .collect()
+}
+
+/// Dropping a plan queues its device buffers on the arena's deferred-free
+/// queue; a kernel that kept a stale [`gpu_sim::BufferId`] and reads it
+/// afterwards is a use-after-free the checker must attribute to that
+/// kernel. Reading while the plan is alive must not flag.
+#[test]
+fn use_after_drop_of_plan_buffer_is_caught() {
+    let n = 16usize;
+    let mut rng = SplitMix64::new(0x0AFD_0001);
+    let host = arb_volume(&mut rng, n * n * n);
+
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let plan = Fft3d::builder(n, n, n)
+        .checked(true)
+        .build(&mut gpu)
+        .unwrap();
+    let (v, _w) = plan.buffers();
+    plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
+
+    // Alive: a peek kernel over the plan's buffer is fine.
+    gpu.launch(&LaunchConfig::copy("peek_live", 1, 16), |t| {
+        let _ = t.ld(v, t.gid());
+    });
+    assert!(gpu.check_report().unwrap().clean());
+
+    // The defect: the plan is gone (buffers queued for reclaim) but the
+    // stale handle is still used.
+    drop(plan);
+    gpu.launch(&LaunchConfig::copy("peek_stale", 1, 16), |t| {
+        let _ = t.ld(v, t.gid());
+    });
+
+    let rep = gpu.check_report().unwrap();
+    let d = rep
+        .access
+        .iter()
+        .find(|d| d.kind == AccessKind::UseAfterFree)
+        .expect("a use-after-free diagnostic");
+    assert_eq!(d.kernel, "peek_stale");
+    assert_eq!(d.buffer, v.index());
+    assert!(!d.write);
+}
+
+/// Relative L2 distance between a run and the CPU reference.
+fn cpu_error(n: usize, host: &[Complex32], got: &[Complex32], dir: Direction) -> f64 {
+    let mut want = host.to_vec();
+    CpuFft3d::new(n, n, n).execute(&mut want, dir);
+    fft_math::error::rel_l2_error_f32(got, want.as_slice())
+}
+
+/// Differential fuzz: checked runs of every in-core algorithm at
+/// {16, 32, 64}³ agree with `cpu-fft` within 1e-4 and report clean.
+#[test]
+fn checked_in_core_matches_cpu() {
+    let mut rng = SplitMix64::new(0xD1FF_0001);
+    for &n in &[16usize, 32, 64] {
+        let host = arb_volume(&mut rng, n * n * n);
+        for algo in Algorithm::IN_CORE {
+            let mut gpu = Gpu::new(DeviceSpec::gts8800());
+            let plan = Fft3d::builder(n, n, n)
+                .algorithm(algo)
+                .checked(true)
+                .build(&mut gpu)
+                .unwrap();
+            let (out, _) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
+            let rep = gpu.check_report().unwrap();
+            assert!(rep.clean(), "{} at {n}^3: {rep}", algo.name());
+            assert!(rep.kernels_checked > 0);
+            let err = cpu_error(n, &host, &out, Direction::Forward);
+            assert!(err < 1e-4, "{} at {n}^3: rel err {err}", algo.name());
+        }
+    }
+}
+
+/// Checked out-of-core runs across 1–4 streams: clean report, matches the
+/// CPU reference. (16³ is skipped — the smallest slab is 16 planes.)
+#[test]
+fn checked_out_of_core_matches_cpu() {
+    let mut rng = SplitMix64::new(0xD1FF_0002);
+    for &(n, slabs) in &[(32usize, 2usize), (64, 4)] {
+        let host = arb_volume(&mut rng, n * n * n);
+        for streams in 1..=4usize {
+            let spec = DeviceSpec::gts8800();
+            let plan = OutOfCoreFft::new(&spec, n, n, n, slabs)
+                .unwrap()
+                .with_streams(streams)
+                .unwrap();
+            let mut gpu = Gpu::new(spec);
+            gpu.check_enable();
+            let mut out = host.clone();
+            plan.execute(&mut gpu, &mut out, Direction::Forward)
+                .unwrap();
+            let rep = gpu.check_report().unwrap();
+            assert!(
+                rep.clean(),
+                "out-of-core {n}^3 x{slabs} slabs, {streams} stream(s): {rep}"
+            );
+            assert!(rep.ops_tracked > rep.kernels_checked, "copies tracked too");
+            let err = cpu_error(n, &host, &out, Direction::Forward);
+            assert!(err < 1e-4, "{n}^3, {streams} stream(s): rel err {err}");
+        }
+    }
+}
+
+/// Checked multi-GPU runs on 1 and 2 cards: merged report is clean and the
+/// sharded transform matches the CPU reference.
+#[test]
+fn checked_multi_gpu_matches_cpu() {
+    let mut rng = SplitMix64::new(0xD1FF_0003);
+    for &n in &[16usize, 32, 64] {
+        let host = arb_volume(&mut rng, n * n * n);
+        for gpus in [1usize, 2] {
+            let mut plan = MultiGpuFft3d::new(&DeviceSpec::gts8800(), gpus, n, n, n).unwrap();
+            plan.check_enable();
+            let (out, _) = plan.transform(&host, Direction::Forward).unwrap();
+            let rep = plan.check_report().unwrap();
+            assert!(rep.clean(), "multi-gpu {n}^3 on {gpus}: {rep}");
+            assert!(rep.kernels_checked > 0);
+            let err = cpu_error(n, &host, &out, Direction::Forward);
+            assert!(err < 1e-4, "{n}^3 on {gpus} card(s): rel err {err}");
+        }
+    }
+}
+
+/// A checked inverse round-trip through the facade recovers the input —
+/// the checker's zero-fill suppression must never leak into clean runs.
+#[test]
+fn checked_roundtrip_recovers_input() {
+    let mut rng = SplitMix64::new(0xD1FF_0004);
+    let n = 32usize;
+    let host = arb_volume(&mut rng, n * n * n);
+    let mut gpu = Gpu::new(DeviceSpec::gtx8800());
+    let plan = Fft3d::builder(n, n, n)
+        .checked(true)
+        .build(&mut gpu)
+        .unwrap();
+    let (spec_out, _) = plan.transform(&mut gpu, &host, Direction::Forward).unwrap();
+    let (back, _) = plan
+        .transform(&mut gpu, &spec_out, Direction::Inverse)
+        .unwrap();
+    let rep = gpu.check_report().unwrap();
+    assert!(rep.clean(), "{rep}");
+    let s = 1.0 / (n * n * n) as f32;
+    for (g, w) in back.iter().zip(&host) {
+        assert!((g.scale(s) - *w).abs() < 1e-4);
+    }
+}

@@ -2,14 +2,13 @@
 //! five-step GPU, six-step GPU, CUFFT-like GPU, out-of-core GPU, and the CPU
 //! baseline — must compute the same transform.
 
+use fft_math::rng::SplitMix64;
 use nukada_fft_repro::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn random_volume(n: usize, seed: u64) -> Vec<Complex32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..n)
-        .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
         .collect()
 }
 
@@ -57,10 +56,10 @@ fn all_five_implementations_agree_at_32_cubed() {
 
     // Out-of-core (2 slabs).
     let spec = DeviceSpec::gt8800();
-    let ooc = OutOfCoreFft::new(&spec, n, n, n, 2);
+    let ooc = OutOfCoreFft::new(&spec, n, n, n, 2).unwrap();
     let mut gpu = Gpu::new(spec);
     let mut ro = host.clone();
-    ooc.execute(&mut gpu, &mut ro, Direction::Forward);
+    ooc.execute(&mut gpu, &mut ro, Direction::Forward).unwrap();
 
     // All against the CPU reference, tolerance scaled by volume RMS.
     let tol = 2e-3 * scale.sqrt() / 32.0;

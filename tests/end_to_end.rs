@@ -20,7 +20,7 @@ fn device_capacity_forces_out_of_core_at_512_cubed() {
 
     // The out-of-core plan with 8 slabs fits (two 134 MB slab buffers).
     let spec = DeviceSpec::gts8800();
-    let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8);
+    let plan = OutOfCoreFft::new(&spec, 512, 512, 512, 8).unwrap();
     assert_eq!(plan.slab_z(), 64);
     assert_eq!(plan.slabs(), 8);
 }

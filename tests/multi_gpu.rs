@@ -2,14 +2,13 @@
 //! the CPU baseline and round-trip forward·inverse, for 2 and 4 simulated
 //! cards.
 
+use fft_math::rng::SplitMix64;
 use nukada_fft_repro::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn random_volume(len: usize, seed: u64) -> Vec<Complex32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..len)
-        .map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
         .collect()
 }
 

@@ -1,32 +1,31 @@
-//! Property-based tests (proptest) on the core invariants, spanning crates.
+//! Property-style tests on the core invariants, spanning crates.
+//!
+//! Formerly `proptest`-driven (12 cases per property); the workspace builds
+//! against an empty cargo registry, so the same properties now run over a
+//! deterministic SplitMix64 case sweep.
 
+use fft_math::rng::SplitMix64;
 use nukada_fft_repro::prelude::*;
-use proptest::prelude::*;
 
-fn arb_complex() -> impl Strategy<Value = Complex32> {
-    (-1.0f32..1.0, -1.0f32..1.0).prop_map(|(re, im)| c32(re, im))
-}
-
-fn arb_volume(len: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    proptest::collection::vec(arb_complex(), len)
+fn arb_volume(rng: &mut SplitMix64, len: usize) -> Vec<Complex32> {
+    (0..len)
+        .map(|_| c32(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
+        .collect()
 }
 
 /// Small power-of-two dims (kept tiny: each case runs a full simulated GPU
 /// transform).
-fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    let d = prop_oneof![Just(4usize), Just(8), Just(16)];
-    (d.clone(), d.clone(), d)
+fn arb_dim(rng: &mut SplitMix64) -> usize {
+    [4usize, 8, 16][rng.below(3)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    /// Forward → inverse on the simulated GPU returns the input (scaled).
-    #[test]
-    fn gpu_roundtrip_recovers_input(
-        (nx, ny, nz) in arb_dims(),
-        seed in any::<u64>(),
-    ) {
+/// Forward → inverse on the simulated GPU returns the input (scaled).
+#[test]
+fn gpu_roundtrip_recovers_input() {
+    let mut rng = SplitMix64::new(0x70D0_0001);
+    for _ in 0..12 {
+        let (nx, ny, nz) = (arb_dim(&mut rng), arb_dim(&mut rng), arb_dim(&mut rng));
+        let seed = rng.next_u64();
         let vol = nx * ny * nz;
         let host: Vec<Complex32> = (0..vol)
             .map(|i| {
@@ -52,20 +51,21 @@ proptest! {
                 for x in 0..nx {
                     let got = packed[l.input_index(x, y, z)].scale(s);
                     let want = host[x + nx * (y + ny * z)];
-                    prop_assert!((got - want).abs() < 1e-4,
-                        "({x},{y},{z}): {got} vs {want}");
+                    assert!((got - want).abs() < 1e-4, "({x},{y},{z}): {got} vs {want}");
                 }
             }
         }
     }
+}
 
-    /// The GPU transform is linear: F(a·x + y) = a·F(x) + F(y).
-    #[test]
-    fn gpu_transform_is_linear(
-        a in arb_volume(512),
-        b in arb_volume(512),
-        scale in -2.0f32..2.0,
-    ) {
+/// The GPU transform is linear: F(a·x + y) = a·F(x) + F(y).
+#[test]
+fn gpu_transform_is_linear() {
+    let mut rng = SplitMix64::new(0x70D0_0002);
+    for _ in 0..12 {
+        let a = arb_volume(&mut rng, 512);
+        let b = arb_volume(&mut rng, 512);
+        let scale = rng.uniform_f32(-2.0, 2.0);
         let n = 8usize;
         let run = |data: &[Complex32]| {
             let mut gpu = Gpu::new(DeviceSpec::gt8800());
@@ -75,20 +75,23 @@ proptest! {
             plan.execute(&mut gpu, v, w, Direction::Forward);
             plan.download(&gpu, v)
         };
-        let combo: Vec<Complex32> =
-            a.iter().zip(&b).map(|(x, y)| x.scale(scale) + *y).collect();
+        let combo: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| x.scale(scale) + *y).collect();
         let fa = run(&a);
         let fb = run(&b);
         let fc = run(&combo);
         for ((za, zb), zc) in fa.iter().zip(&fb).zip(&fc) {
             let want = za.scale(scale) + *zb;
-            prop_assert!((*zc - want).abs() < 1e-2, "{zc} vs {want}");
+            assert!((*zc - want).abs() < 1e-2, "{zc} vs {want}");
         }
     }
+}
 
-    /// CPU and GPU agree on arbitrary data.
-    #[test]
-    fn cpu_gpu_agree(data in arb_volume(4096)) {
+/// CPU and GPU agree on arbitrary data.
+#[test]
+fn cpu_gpu_agree() {
+    let mut rng = SplitMix64::new(0x70D0_0003);
+    for _ in 0..12 {
+        let data = arb_volume(&mut rng, 4096);
         let n = 16usize;
         let mut cpu = data.clone();
         CpuFft3d::new(n, n, n).execute(&mut cpu, Direction::Forward);
@@ -101,13 +104,19 @@ proptest! {
         let gpu_out = plan.download(&gpu, v);
 
         let err = fft_math::error::rel_l2_error_f32(&gpu_out, &cpu);
-        prop_assert!(err < 1e-5, "rel err {err}");
+        assert!(err < 1e-5, "rel err {err}");
     }
+}
 
-    /// A circular shift of the input only changes spectrum phases, never
-    /// magnitudes (the shift theorem).
-    #[test]
-    fn shift_theorem_on_gpu(data in arb_volume(512), sx in 0usize..8, sy in 0usize..8) {
+/// A circular shift of the input only changes spectrum phases, never
+/// magnitudes (the shift theorem).
+#[test]
+fn shift_theorem_on_gpu() {
+    let mut rng = SplitMix64::new(0x70D0_0004);
+    for _ in 0..12 {
+        let data = arb_volume(&mut rng, 512);
+        let sx = rng.below(8);
+        let sy = rng.below(8);
         let n = 8usize;
         let mut shifted = vec![Complex32::ZERO; data.len()];
         for z in 0..n {
@@ -129,8 +138,10 @@ proptest! {
         let f0 = run(&data);
         let f1 = run(&shifted);
         for (a, b) in f0.iter().zip(&f1) {
-            prop_assert!((a.abs() - b.abs()).abs() < 1e-3 + 1e-3 * a.abs(),
-                "|{a}| vs |{b}|");
+            assert!(
+                (a.abs() - b.abs()).abs() < 1e-3 + 1e-3 * a.abs(),
+                "|{a}| vs |{b}|"
+            );
         }
     }
 }
