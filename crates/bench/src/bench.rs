@@ -12,6 +12,11 @@
 //! Multi-GPU scaling points are recorded for trend reading but not gated
 //! (they derive from the same kernel metrics already checked).
 //!
+//! Since v2 the file also carries a `serving` section: deterministic
+//! fft-serve load-generator runs (offered load, goodput, latency
+//! percentiles). `--check` gates serving goodput with the same tolerance as
+//! the kernel metrics, so scheduler/batcher regressions fail CI too.
+//!
 //! The file format is the same hand-rolled JSON the rest of the repo uses
 //! (shortest-round-trip `f64`, fixed key order), scanned back with the same
 //! dependency-free field scanner as `profile --diff`.
@@ -21,11 +26,13 @@ use bifft::plan::{Algorithm, Fft3d};
 use bifft::PatternAudit;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
+use fft_serve::loadgen::{run_open_loop, Workload};
+use fft_serve::service::{FftService, ServeConfig};
 use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v1";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v2";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
@@ -94,6 +101,39 @@ pub struct ScalingPoint {
     pub bytes_exchanged: u64,
 }
 
+/// One deterministic fft-serve load-generator run (goodput is gated by
+/// `--check`; latency percentiles are recorded for trend reading).
+///
+/// The field is `serve_gpus` rather than `gpus` so the dependency-free
+/// positional scanner can keep using `"gpus"` to delimit the scaling
+/// section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServingPoint {
+    /// Workload mix name (`rows` or `mixed`).
+    pub workload: String,
+    /// Cards in the fleet.
+    pub serve_gpus: usize,
+    /// Stream lanes per card.
+    pub streams: usize,
+    /// Open-loop requests offered.
+    pub requests: u64,
+    /// Load-generator seed.
+    pub seed: u64,
+    /// Offered arrival rate, requests per simulated second.
+    pub offered_rps: f64,
+    /// Completed requests per simulated second.
+    pub achieved_rps: f64,
+    /// In-deadline payload bytes (both directions) over makespan, GB/s
+    /// (tracked by `--check`).
+    pub goodput_gbs: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchFile {
@@ -103,6 +143,8 @@ pub struct BenchFile {
     pub runs: Vec<BenchRun>,
     /// Multi-GPU scaling points.
     pub scaling: Vec<ScalingPoint>,
+    /// Serving-layer load runs.
+    pub serving: Vec<ServingPoint>,
 }
 
 /// The three cards with their short CLI keys, Table 1 order.
@@ -211,6 +253,51 @@ fn scaling_point(gpus: usize, n: usize, check: bool) -> (ScalingPoint, Option<Ch
     )
 }
 
+/// Runs one fft-serve load point on a GTS fleet: an open-loop seeded run,
+/// reported through the service's own percentile/goodput accounting.
+fn serving_point(
+    workload_name: &str,
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    check: bool,
+) -> (ServingPoint, Option<CheckReport>) {
+    let workload = match workload_name {
+        "rows" => Workload::rows(),
+        _ => Workload::mixed(),
+    };
+    let cfg = ServeConfig {
+        n_gpus: gpus,
+        streams_per_card: streams,
+        check_hazards: check,
+        ..ServeConfig::default()
+    };
+    let mut svc = FftService::new(cfg)
+        .unwrap_or_else(|e| panic!("bench serving: cannot bring fleet up: {e}"));
+    let load = run_open_loop(&mut svc, &workload, requests, rate_rps, seed);
+    svc.drain();
+    let crep = svc.check_report();
+    let r = svc.report();
+    (
+        ServingPoint {
+            workload: workload_name.to_string(),
+            serve_gpus: gpus,
+            streams,
+            requests,
+            seed,
+            offered_rps: load.offered_rps,
+            achieved_rps: r.achieved_rps,
+            goodput_gbs: r.goodput_gbs,
+            p50_ms: r.latency.p50_s * 1e3,
+            p95_ms: r.latency.p95_s * 1e3,
+            p99_ms: r.latency.p99_s * 1e3,
+        },
+        crep,
+    )
+}
+
 /// Runs the whole grid. `quick` restricts to 64³ and one scaling point (the
 /// CI configuration); the full grid covers {64, 128, 256}³ and four scaling
 /// points. Returns the artefact and the printable roofline/audit report.
@@ -266,11 +353,36 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             s.bytes_exchanged / (1024 * 1024)
         ));
     }
+    // Serving runs: (workload, gpus, streams, requests, rate, seed).
+    let serving_grid: &[(&str, usize, usize, u64, f64, u64)] = if quick {
+        &[("mixed", 2, 2, 96, 4000.0, 42)]
+    } else {
+        &[
+            ("mixed", 2, 2, 96, 4000.0, 42),
+            ("rows", 4, 2, 192, 8000.0, 42),
+        ]
+    };
+    let serving = serving_grid
+        .iter()
+        .map(|&(w, g, st, req, rate, seed)| {
+            let (point, crep) = serving_point(w, g, st, req, rate, seed, check);
+            fold(crep, &mut merged);
+            point
+        })
+        .collect::<Vec<_>>();
+    for s in &serving {
+        report.push_str(&format!(
+            "serving: {} on {} GPUs x{} streams: {:.3} GB/s goodput, p50 {:.3} / p95 {:.3} / p99 {:.3} ms ({:.0} of {:.0} req/s)\n",
+            s.workload, s.serve_gpus, s.streams, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms,
+            s.achieved_rps, s.offered_rps
+        ));
+    }
     (
         BenchFile {
             quick,
             runs,
             scaling,
+            serving,
         },
         report,
         merged,
@@ -353,6 +465,17 @@ pub fn to_json(file: &BenchFile) -> String {
             s.wall_s,
             s.bytes_exchanged,
             if i + 1 < np { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"serving\": [\n");
+    let nv = file.serving.len();
+    for (i, s) in file.serving.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"serve_gpus\": {}, \"streams\": {}, \"requests\": {}, \"seed\": {}, \"offered_rps\": {}, \"achieved_rps\": {}, \"goodput_gbs\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}{}\n",
+            s.workload, s.serve_gpus, s.streams, s.requests, s.seed, s.offered_rps,
+            s.achieved_rps, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms,
+            if i + 1 < nv { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -484,10 +607,49 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         });
         c = sc;
     }
+    let mut serving = Vec::new();
+    let mut c = key_pos(text, "workload", 0).unwrap_or(text.len());
+    while let Some((workload, sc)) = field(text, "workload", c) {
+        let (serve_gpus, sc) =
+            field(text, "serve_gpus", sc).ok_or("serving: missing serve_gpus")?;
+        let (streams, sc) = field(text, "streams", sc).ok_or("serving: missing streams")?;
+        let (requests, sc) = field(text, "requests", sc).ok_or("serving: missing requests")?;
+        let (seed, sc) = field(text, "seed", sc).ok_or("serving: missing seed")?;
+        let (offered, sc) = field(text, "offered_rps", sc).ok_or("serving: missing offered_rps")?;
+        let (achieved, sc) =
+            field(text, "achieved_rps", sc).ok_or("serving: missing achieved_rps")?;
+        let (goodput, sc) = field(text, "goodput_gbs", sc).ok_or("serving: missing goodput_gbs")?;
+        let (p50, sc) = field(text, "p50_ms", sc).ok_or("serving: missing p50_ms")?;
+        let (p95, sc) = field(text, "p95_ms", sc).ok_or("serving: missing p95_ms")?;
+        let (p99, sc) = field(text, "p99_ms", sc).ok_or("serving: missing p99_ms")?;
+        serving.push(ServingPoint {
+            workload: workload.to_string(),
+            serve_gpus: serve_gpus
+                .parse()
+                .map_err(|e| format!("bad serve_gpus '{serve_gpus}': {e}"))?,
+            streams: streams
+                .parse()
+                .map_err(|e| format!("bad streams '{streams}': {e}"))?,
+            requests: requests
+                .parse()
+                .map_err(|e| format!("bad requests '{requests}': {e}"))?,
+            seed: seed
+                .parse()
+                .map_err(|e| format!("bad seed '{seed}': {e}"))?,
+            offered_rps: parse_f64(offered, "offered_rps")?,
+            achieved_rps: parse_f64(achieved, "achieved_rps")?,
+            goodput_gbs: parse_f64(goodput, "goodput_gbs")?,
+            p50_ms: parse_f64(p50, "p50_ms")?,
+            p95_ms: parse_f64(p95, "p95_ms")?,
+            p99_ms: parse_f64(p99, "p99_ms")?,
+        });
+        c = sc;
+    }
     Ok(BenchFile {
         quick,
         runs,
         scaling,
+        serving,
     })
 }
 
@@ -540,6 +702,30 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
                     (cs.gbs / bs.gbs - 1.0) * 100.0
                 ));
             }
+        }
+    }
+    for base in &baseline.serving {
+        let id = format!(
+            "serving {}/{}gpu/{}streams",
+            base.workload, base.serve_gpus, base.streams
+        );
+        let Some(cand) = candidate.serving.iter().find(|s| {
+            s.workload == base.workload
+                && s.serve_gpus == base.serve_gpus
+                && s.streams == base.streams
+                && s.requests == base.requests
+                && s.seed == base.seed
+        }) else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        if cand.goodput_gbs < base.goodput_gbs * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: goodput regressed {:.3} -> {:.3} GB/s ({:+.1}%)",
+                base.goodput_gbs,
+                cand.goodput_gbs,
+                (cand.goodput_gbs / base.goodput_gbs - 1.0) * 100.0
+            ));
         }
     }
     failures
@@ -683,6 +869,7 @@ mod tests {
             quick: true,
             runs: vec![run],
             scaling: vec![scaling_point(2, 16, false).0],
+            serving: vec![serving_point("rows", 2, 1, 24, 4000.0, 5, false).0],
         }
     }
 
@@ -695,6 +882,8 @@ mod tests {
         assert_eq!(parsed.runs[0].steps[0].expected, "D*A");
         assert!(parsed.runs[0].audit_clean);
         assert_eq!(parsed.scaling[0].gpus, 2);
+        assert_eq!(parsed.serving[0].workload, "rows");
+        assert!(parsed.serving[0].goodput_gbs > 0.0);
     }
 
     #[test]
@@ -735,9 +924,27 @@ mod tests {
             quick: true,
             runs: vec![],
             scaling: vec![],
+            serving: vec![],
         };
         let failures = check(&file, &empty, CHECK_TOLERANCE);
         assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn serving_goodput_regression_fails_the_gate() {
+        let file = tiny_file();
+        // Inflate the baseline's goodput 10%: the candidate reads as a
+        // serving regression and the diff names the serving point.
+        let mut inflated = file.clone();
+        inflated.serving[0].goodput_gbs *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("serving rows"), "{failures:?}");
+        assert!(failures[0].contains("goodput regressed"), "{failures:?}");
+        // Within tolerance passes.
+        let mut nudged = file.clone();
+        nudged.serving[0].goodput_gbs *= 1.01;
+        assert!(check(&nudged, &file, CHECK_TOLERANCE).is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! natural contiguous layout.
 
 use crate::kernel256::{bind_twiddle_texture, run_batched_fft, FineFftPlan};
+use crate::plan::FftError;
 use crate::report::RunReport;
 use crate::transpose::run_transpose_2d;
 use crate::wisdom;
@@ -23,13 +24,24 @@ pub struct Fft1dBatchGpu {
 
 impl Fft1dBatchGpu {
     /// Plans transforms of length `n` (power of two, 4..=512).
-    pub fn new(gpu: &mut Gpu, n: usize) -> Self {
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] when `n` is outside what the fine-grained
+    /// kernel supports.
+    pub fn new(gpu: &mut Gpu, n: usize) -> Result<Self, FftError> {
+        if !n.is_power_of_two() || !(4..=512).contains(&n) {
+            return Err(FftError::BadPlanConfig {
+                param: "n",
+                value: n,
+                reason: "1-D batch length must be a power of two in 4..=512".to_string(),
+            });
+        }
         let plan = wisdom::plan(n);
         let tw = [
             bind_twiddle_texture(gpu, n, Direction::Forward),
             bind_twiddle_texture(gpu, n, Direction::Inverse),
         ];
-        Fft1dBatchGpu { plan, tw, n }
+        Ok(Fft1dBatchGpu { plan, tw, n })
     }
 
     /// Transform length.
@@ -214,7 +226,7 @@ mod tests {
         let (n, rows) = (128usize, 6);
         let host = signal(n * rows);
         let mut gpu = Gpu::new(DeviceSpec::gt8800());
-        let plan = Fft1dBatchGpu::new(&mut gpu, n);
+        let plan = Fft1dBatchGpu::new(&mut gpu, n).unwrap();
         let src = gpu.mem_mut().alloc(n * rows).unwrap();
         let dst = gpu.mem_mut().alloc(n * rows).unwrap();
         gpu.mem_mut().upload(src, 0, &host);
@@ -263,6 +275,20 @@ mod tests {
         let s = 1.0 / (nx * ny) as f32;
         for (o, h) in out.iter().zip(&host) {
             assert!((o.scale(s) - *h).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batched_1d_rejects_bad_lengths_typed() {
+        let mut gpu = Gpu::new(DeviceSpec::gt8800());
+        for bad in [0usize, 3, 48, 1024] {
+            match Fft1dBatchGpu::new(&mut gpu, bad) {
+                Err(FftError::BadPlanConfig { param, value, .. }) => {
+                    assert_eq!(param, "n");
+                    assert_eq!(value, bad);
+                }
+                other => panic!("n={bad}: expected BadPlanConfig, got {:?}", other.is_ok()),
+            }
         }
     }
 

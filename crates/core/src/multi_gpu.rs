@@ -153,7 +153,7 @@ impl MultiGpuFft3d {
         for _ in 0..n_gpus {
             let mut gpu = Gpu::new(*spec);
             let xy = Fft2dGpu::new(&mut gpu, nx, ny);
-            let zf = Fft1dBatchGpu::new(&mut gpu, nz);
+            let zf = Fft1dBatchGpu::new(&mut gpu, nz)?;
             let v = gpu.mem_mut().alloc(slab_elems)?;
             let w = gpu.mem_mut().alloc(slab_elems)?;
             let zmaj = gpu.mem_mut().alloc(slab_elems)?;

@@ -1,0 +1,113 @@
+//! Concurrency coverage for the process-wide wisdom cache.
+//!
+//! The serving layer's plan cache leans on `bifft::wisdom` from its
+//! dispatch path, so the cache must stay coherent when several planners
+//! race: every lookup counted exactly once, one planning miss per distinct
+//! length, and `clear` callable mid-flight without poisoning the lock or
+//! invalidating plans already handed out.
+//!
+//! These tests share one process-wide cache, so they serialize on a local
+//! mutex and reset the cache at entry; they live in their own integration
+//! binary to keep the unit tests' delta-based counting undisturbed.
+
+use bifft::wisdom;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn concurrent_planning_counts_every_lookup_once() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    wisdom::clear();
+
+    const THREADS: usize = 8;
+    const REPS: usize = 16;
+    const LENGTHS: [usize; 4] = [64, 128, 256, 512];
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for r in 0..REPS {
+                    let n = LENGTHS[(t + r) % LENGTHS.len()];
+                    let a = wisdom::plan_arc(n);
+                    let b = wisdom::plan_arc(n);
+                    // Back-to-back lookups of one length always share the
+                    // memoised plan, even while other threads insert.
+                    assert!(Arc::ptr_eq(&a, &b));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("planner thread panicked");
+    }
+
+    let s = wisdom::stats();
+    let lookups = (THREADS * REPS * 2) as u64;
+    assert_eq!(s.hits + s.misses, lookups, "every lookup counted once");
+    // The map mutates under one lock, so each distinct length misses
+    // exactly once no matter how the threads interleave.
+    assert_eq!(s.misses, LENGTHS.len() as u64);
+    assert_eq!(s.entries, LENGTHS.len());
+    let want_rate = (lookups - LENGTHS.len() as u64) as f64 / lookups as f64;
+    assert!((s.hit_rate() - want_rate).abs() < 1e-12, "{:?}", s);
+}
+
+#[test]
+fn clear_mid_flight_keeps_cache_and_plans_coherent() {
+    let _guard = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    wisdom::clear();
+
+    const LENGTHS: [usize; 3] = [64, 128, 256];
+    let held = wisdom::plan_arc(512); // survives every clear below
+    let stop = Arc::new(AtomicBool::new(false));
+    let planners: Vec<_> = (0..4)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut lookups = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let n = LENGTHS[(t + lookups as usize) % LENGTHS.len()];
+                    let p = wisdom::plan_arc(n);
+                    assert!(!p.stages().is_empty());
+                    lookups += 1;
+                }
+                lookups
+            })
+        })
+        .collect();
+
+    for _ in 0..25 {
+        wisdom::clear();
+        thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let lookups: u64 = planners
+        .into_iter()
+        .map(|h| h.join().expect("planner thread panicked"))
+        .sum();
+
+    // Clearing raced with planning and nothing poisoned: the counters only
+    // reflect lookups since the last clear, and the map holds at most the
+    // lengths planned since then.
+    let s = wisdom::stats();
+    assert!(s.hits + s.misses <= lookups + 1, "{:?}", s);
+    assert!(s.entries <= LENGTHS.len() + 1, "{:?}", s);
+    assert!((0.0..=1.0).contains(&s.hit_rate()));
+
+    // A plan handed out before a clear stays valid (Arc keeps it alive) and
+    // re-planning the same length reproduces the same schedule.
+    let fresh = wisdom::plan_arc(512);
+    assert_eq!(held.stages(), fresh.stages());
+    assert_eq!(held.shared_words(), fresh.shared_words());
+
+    wisdom::clear();
+    let s = wisdom::stats();
+    assert_eq!((s.hits, s.misses, s.entries), (0, 0, 0));
+    assert_eq!(s.hit_rate(), 1.0, "no lookups yet reads as all-hits");
+}

@@ -823,6 +823,36 @@ impl Gpu {
         self.streams.ready_s(stream)
     }
 
+    /// Cumulative seconds the compute engine has executed kernels — stream
+    /// and synchronous launches alike. Dividing by the elapsed makespan
+    /// gives the device's compute utilization; external schedulers (the
+    /// serving layer) use this to report per-card busy fractions.
+    pub fn compute_busy_s(&self) -> f64 {
+        self.streams.compute_busy_s
+    }
+
+    /// Cumulative busy seconds of the stream copy engines, `(H2D, D2H)`.
+    /// Only stream memcpys count; the legacy synchronous PCIe link keeps
+    /// its own timeline.
+    pub fn copy_busy_s(&self) -> (f64, f64) {
+        (
+            self.streams.copy_busy_s(Dir::H2D),
+            self.streams.copy_busy_s(Dir::D2H),
+        )
+    }
+
+    /// Read-only probe of the time everything currently issued — streams,
+    /// both copy engines, the legacy PCIe link and the host clock — will
+    /// have completed. Unlike [`Gpu::synchronize`] this does not advance
+    /// the host clock, so schedulers can poll a card's availability without
+    /// perturbing it.
+    pub fn device_horizon_s(&self) -> f64 {
+        self.streams
+            .horizon_s()
+            .max(self.pcie_link.busy_until_s())
+            .max(self.clock.get())
+    }
+
     /// Routes subsequent plain [`Gpu::launch`]/[`Gpu::launch_coop`] calls and
     /// spans to `stream` (`None` restores the default synchronous timeline).
     /// Prefer the scoped [`Gpu::with_stream`].
@@ -1295,6 +1325,7 @@ impl Gpu {
                 let start = now.max(self.streams.compute_busy_until_s);
                 let end = start + timing.time_s;
                 self.streams.compute_busy_until_s = end;
+                self.streams.compute_busy_s += timing.time_s;
                 self.clock.set(end);
                 (start, end)
             }

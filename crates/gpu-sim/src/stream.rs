@@ -56,6 +56,11 @@ pub(crate) struct StreamEngine {
     pub(crate) compute_busy_until_s: f64,
     /// Per-direction copy engines (`[H2D, D2H]`) for stream memcpys.
     copy: [PcieTimeline; 2],
+    /// Cumulative seconds the compute engine has executed kernels (stream
+    /// and synchronous launches alike) — the scheduler's utilization hook.
+    pub(crate) compute_busy_s: f64,
+    /// Cumulative busy seconds of the two copy engines (`[H2D, D2H]`).
+    copy_busy_s: [f64; 2],
 }
 
 fn di(dir: Dir) -> usize {
@@ -98,6 +103,7 @@ impl StreamEngine {
         let end = start + time_s;
         self.ready[s.0] = end;
         self.compute_busy_until_s = end;
+        self.compute_busy_s += time_s;
         (start, end)
     }
 
@@ -113,7 +119,13 @@ impl StreamEngine {
         let ready = self.ready[s.0].max(now_s);
         let (start, end) = self.copy[di(dir)].schedule(ready, time_s);
         self.ready[s.0] = end;
+        self.copy_busy_s[di(dir)] += time_s;
         (start, end)
+    }
+
+    /// Cumulative copy-engine busy seconds for one direction.
+    pub(crate) fn copy_busy_s(&self, dir: Dir) -> f64 {
+        self.copy_busy_s[di(dir)]
     }
 
     /// Latest completion time across all streams and engines — the time a

@@ -1,0 +1,14 @@
+//! `fft-serve` — seeded serving runs over the simulated fleet (also
+//! exposed as the workspace-root `serve` binary).
+//!
+//! ```text
+//! cargo run --release -p fft-serve --bin fft-serve -- --smoke
+//! cargo run --release -p fft-serve --bin fft-serve -- --smoke --check-hazards
+//! cargo run --release -p fft-serve --bin fft-serve -- --gpus 4 --rate 4000 --json serve.json
+//! ```
+//!
+//! See `crates/serve/src/cli.rs` for flags and exit-code semantics.
+
+fn main() {
+    std::process::exit(fft_serve::cli::cli_main());
+}

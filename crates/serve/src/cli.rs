@@ -1,0 +1,171 @@
+//! The `fft-serve` binary: seeded load-generator runs over the service,
+//! with optional hazard checking and JSON report output.
+//!
+//! ```text
+//! fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS]
+//!           [--seed S] [--workload rows|mixed] [--closed N]
+//!           [--check-hazards] [--json PATH]
+//! ```
+//!
+//! `--smoke` is the CI entry point: a small mixed open-loop run whose
+//! report is deterministic for a given seed; with `--check-hazards` the
+//! whole fleet runs under the PR 4 validator and any diagnostic fails the
+//! process (exit 1).
+
+use crate::loadgen::{run_closed_loop, run_open_loop, Workload};
+use crate::service::{FftService, ServeConfig};
+
+struct Cli {
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    workload: String,
+    closed: Option<u64>,
+    check_hazards: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            gpus: 2,
+            streams: 2,
+            requests: 200,
+            rate_rps: 2000.0,
+            seed: 42,
+            workload: "mixed".to_string(),
+            closed: None,
+            check_hazards: false,
+            json_path: None,
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS] \
+         [--seed S] [--workload rows|mixed] [--closed N] [--check-hazards] [--json PATH]"
+    );
+}
+
+/// Entry point for the `fft-serve` binary; returns the process exit code.
+pub fn cli_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::default();
+    let mut it = args.iter();
+    macro_rules! take {
+        ($flag:literal, $parse:expr) => {
+            match it.next().and_then(|v| $parse(v.as_str())) {
+                Some(v) => v,
+                None => {
+                    eprintln!(concat!("fft-serve: ", $flag, " needs a value"));
+                    return 2;
+                }
+            }
+        };
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                cli.requests = 64;
+                cli.rate_rps = 5000.0;
+            }
+            "--check-hazards" => cli.check_hazards = true,
+            "--gpus" => cli.gpus = take!("--gpus", |v: &str| v.parse().ok()),
+            "--streams" => cli.streams = take!("--streams", |v: &str| v.parse().ok()),
+            "--requests" => cli.requests = take!("--requests", |v: &str| v.parse().ok()),
+            "--rate" => cli.rate_rps = take!("--rate", |v: &str| v.parse().ok()),
+            "--seed" => cli.seed = take!("--seed", |v: &str| v.parse().ok()),
+            "--workload" => {
+                cli.workload = take!("--workload", |v: &str| Some(v.to_string()));
+            }
+            "--closed" => cli.closed = Some(take!("--closed", |v: &str| v.parse().ok())),
+            "--json" => cli.json_path = Some(take!("--json", |v: &str| Some(v.to_string()))),
+            other => {
+                eprintln!("fft-serve: unknown argument {other}");
+                usage();
+                return 2;
+            }
+        }
+    }
+
+    let workload = match cli.workload.as_str() {
+        "rows" => Workload::rows(),
+        "mixed" => Workload::mixed(),
+        other => {
+            eprintln!("fft-serve: unknown workload '{other}' (rows|mixed)");
+            return 2;
+        }
+    };
+    let cfg = ServeConfig {
+        n_gpus: cli.gpus,
+        streams_per_card: cli.streams,
+        check_hazards: cli.check_hazards,
+        ..ServeConfig::default()
+    };
+    let mut svc = match FftService::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fft-serve: cannot bring the fleet up: {e}");
+            return 2;
+        }
+    };
+    let load = match cli.closed {
+        Some(c) => run_closed_loop(&mut svc, &workload, cli.requests, c, cli.seed),
+        None => run_open_loop(&mut svc, &workload, cli.requests, cli.rate_rps, cli.seed),
+    };
+    svc.drain();
+    let report = svc.report();
+    println!(
+        "fft-serve: {} x {} ({} stream(s)/card), workload {}, seed {}",
+        cli.gpus,
+        svc_model(),
+        cli.streams,
+        cli.workload,
+        cli.seed
+    );
+    println!(
+        "offered:  {} requests at {:.1} req/s over {:.3} ms ({} accepted)",
+        load.offered,
+        load.offered_rps,
+        load.span_s * 1e3,
+        load.accepted
+    );
+    print!("{}", report.to_text());
+
+    if let Some(path) = &cli.json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("fft-serve: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("fft-serve: report written to {path}");
+    }
+
+    if cli.check_hazards {
+        match svc.check_report() {
+            Some(rep) if rep.clean() => eprintln!(
+                "fft-serve: check-hazards: clean ({} kernels, {} ops tracked)",
+                rep.kernels_checked, rep.ops_tracked
+            ),
+            Some(rep) => {
+                eprintln!("{rep}");
+                eprintln!(
+                    "fft-serve: check-hazards: {} diagnostic(s)",
+                    rep.access.len() + rep.hazards.len()
+                );
+                return 1;
+            }
+            None => {
+                eprintln!("fft-serve: check-hazards: no report collected");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn svc_model() -> &'static str {
+    "GTS8800-sim"
+}

@@ -1,0 +1,42 @@
+//! fft-serve — FFT-as-a-service on the simulated GPU fleet.
+//!
+//! The paper's kernel answers "how fast is one transform"; this crate
+//! answers the production question layered on top: how many transforms per
+//! second can a fleet of these cards serve, at what latency, under what
+//! admission policy. It is a deterministic discrete-event serving stack
+//! over the PR 2 stream/event machinery:
+//!
+//! - [`request`] — typed requests (shape, direction, algorithm hint,
+//!   priority, deadline), rejections and completions;
+//! - [`queue`] — the bounded priority submission queue (backpressure);
+//! - [`batcher`] — adaptive micro-batching: same-shape requests coalesce
+//!   into one batched launch, batch size tracking queue depth under a
+//!   latency budget, with an EWMA service-time estimator;
+//! - [`scheduler`] — cards, stream lanes and the per-card plan cache;
+//! - [`service`] — admission control, dispatch routing (stream lanes for
+//!   1-D rows, whole-card volumes, whole-fleet sharded volumes) and
+//!   graceful drain;
+//! - [`loadgen`] — seeded open-loop (Poisson) and closed-loop generators;
+//! - [`report`] — latency percentiles, goodput, queue/batch statistics,
+//!   per-card utilization, rendered as deterministic JSON;
+//! - [`cli`] — the `fft-serve` binary.
+//!
+//! Everything is seeded and virtual-time: the same workload seed produces
+//! bit-identical report JSON, which is what lets CI gate on serving
+//! behaviour at all.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cli;
+pub mod loadgen;
+pub mod queue;
+pub mod report;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+
+pub use loadgen::{run_closed_loop, run_open_loop, OfferedLoad, Workload};
+pub use report::{LatencyStats, ServeReport};
+pub use request::{Completion, Priority, Rejection, RequestId, RequestSpec, Shape};
+pub use service::{FftService, ServeConfig};

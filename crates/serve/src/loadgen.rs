@@ -1,0 +1,221 @@
+//! Deterministic load generation: open-loop (Poisson arrivals at a target
+//! rate, rejected requests are lost) and closed-loop (a fixed number of
+//! outstanding requests, each resubmitted on completion).
+//!
+//! Everything derives from one SplitMix64 seed — shapes, payloads,
+//! directions, priorities, interarrival gaps — so equal seeds replay the
+//! exact same request sequence and, because the service is deterministic,
+//! produce bit-identical [`crate::report::ServeReport`] JSON.
+
+use crate::request::{Priority, RequestSpec, Shape};
+use crate::service::FftService;
+use fft_math::rng::SplitMix64;
+use fft_math::twiddle::Direction;
+
+/// The shape/urgency mix a generator draws from.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Weighted shapes; draw probability is weight over total weight.
+    pub shapes: Vec<(Shape, u32)>,
+    /// Percent of requests transformed inverse instead of forward.
+    pub inverse_pct: u32,
+    /// Percent of requests submitted at [`Priority::High`].
+    pub high_pct: u32,
+    /// Deadline attached to every request, seconds (`None` = best effort).
+    pub deadline_s: Option<f64>,
+}
+
+impl Workload {
+    /// The Table-8-style 1-D batch mix: mostly 256-point rows with some
+    /// 128- and 512-point requests.
+    pub fn rows() -> Self {
+        Workload {
+            shapes: vec![
+                (Shape::Rows1d { n: 256, rows: 32 }, 6),
+                (Shape::Rows1d { n: 256, rows: 128 }, 2),
+                (Shape::Rows1d { n: 128, rows: 64 }, 2),
+                (Shape::Rows1d { n: 512, rows: 16 }, 1),
+            ],
+            inverse_pct: 25,
+            high_pct: 10,
+            deadline_s: None,
+        }
+    }
+
+    /// Rows plus the occasional 32-cubed volume (plan-cache and whole-card
+    /// scheduling exercise).
+    pub fn mixed() -> Self {
+        let mut w = Workload::rows();
+        w.shapes.push((
+            Shape::Volume {
+                nx: 32,
+                ny: 32,
+                nz: 32,
+            },
+            1,
+        ));
+        w
+    }
+
+    fn draw(&self, rng: &mut SplitMix64) -> RequestSpec {
+        let total: u32 = self.shapes.iter().map(|&(_, w)| w).sum();
+        debug_assert!(total > 0, "workload needs at least one weighted shape");
+        let mut pick = rng.below(total as usize) as u32;
+        let mut shape = self.shapes[0].0;
+        for &(s, w) in &self.shapes {
+            if pick < w {
+                shape = s;
+                break;
+            }
+            pick -= w;
+        }
+        let dir = if (rng.below(100) as u32) < self.inverse_pct {
+            Direction::Inverse
+        } else {
+            Direction::Forward
+        };
+        let prio = if (rng.below(100) as u32) < self.high_pct {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        let mut spec = RequestSpec::seeded(shape, dir, rng.next_u64()).priority(prio);
+        if let Some(d) = self.deadline_s {
+            spec = spec.deadline_s(d);
+        }
+        spec
+    }
+}
+
+/// What a generator run observed at the submission boundary (the service's
+/// own report covers the rest).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OfferedLoad {
+    /// Requests the generator submitted.
+    pub offered: u64,
+    /// Submissions the service admitted.
+    pub accepted: u64,
+    /// Simulated span of the arrival process, seconds.
+    pub span_s: f64,
+    /// Offered requests per simulated second over that span.
+    pub offered_rps: f64,
+}
+
+/// Open-loop (Poisson) load: `requests` arrivals at `rate_rps` mean rate.
+/// Arrivals ignore completions — a saturated service sheds via admission
+/// control rather than slowing the generator down.
+pub fn run_open_loop(
+    svc: &mut FftService,
+    workload: &Workload,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+) -> OfferedLoad {
+    assert!(rate_rps > 0.0, "open loop needs a positive arrival rate");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    let mut accepted = 0u64;
+    for _ in 0..requests {
+        // Exponential interarrival gap; (1 - u) keeps ln's argument nonzero.
+        let gap = -(1.0 - rng.next_f64()).ln() / rate_rps;
+        t += gap;
+        let spec = workload.draw(&mut rng);
+        if svc.submit(spec, t).is_ok() {
+            accepted += 1;
+        }
+    }
+    OfferedLoad {
+        offered: requests,
+        accepted,
+        span_s: t,
+        offered_rps: if t > 0.0 { requests as f64 / t } else { 0.0 },
+    }
+}
+
+/// Closed-loop load: windows of `concurrency` requests, each window
+/// submitted when the previous one has fully drained. `concurrency = 1`
+/// is the serial one-at-a-time baseline the acceptance criteria compare
+/// the service against.
+pub fn run_closed_loop(
+    svc: &mut FftService,
+    workload: &Workload,
+    requests: u64,
+    concurrency: u64,
+    seed: u64,
+) -> OfferedLoad {
+    assert!(concurrency > 0, "closed loop needs at least one worker");
+    let mut rng = SplitMix64::new(seed);
+    let mut accepted = 0u64;
+    let mut submitted = 0u64;
+    while submitted < requests {
+        let window = concurrency.min(requests - submitted);
+        let at = svc.now_s();
+        for _ in 0..window {
+            let spec = workload.draw(&mut rng);
+            if svc.submit(spec, at).is_ok() {
+                accepted += 1;
+            }
+            submitted += 1;
+        }
+        svc.drain();
+    }
+    let span = svc.now_s();
+    OfferedLoad {
+        offered: requests,
+        accepted,
+        span_s: span,
+        offered_rps: if span > 0.0 {
+            requests as f64 / span
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    #[test]
+    fn workload_draws_are_deterministic() {
+        let w = Workload::mixed();
+        let mut a = SplitMix64::new(5);
+        let mut b = SplitMix64::new(5);
+        for _ in 0..32 {
+            let sa = w.draw(&mut a);
+            let sb = w.draw(&mut b);
+            assert_eq!(sa.shape, sb.shape);
+            assert_eq!(sa.direction, sb.direction);
+            assert_eq!(sa.priority, sb.priority);
+            assert_eq!(sa.payload, sb.payload);
+        }
+    }
+
+    #[test]
+    fn open_loop_spaces_arrivals() {
+        let mut svc = FftService::new(ServeConfig::default()).unwrap();
+        let load = run_open_loop(&mut svc, &Workload::rows(), 20, 1000.0, 7);
+        assert_eq!(load.offered, 20);
+        assert!(load.accepted > 0);
+        assert!(load.span_s > 0.0);
+        // Mean gap should be in the right ballpark of 1/rate.
+        assert!(load.offered_rps > 200.0 && load.offered_rps < 5000.0);
+        let r = svc.finish();
+        assert_eq!(r.completed, load.accepted);
+    }
+
+    #[test]
+    fn closed_loop_completes_everything_in_windows() {
+        let mut svc = FftService::new(ServeConfig {
+            n_gpus: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let load = run_closed_loop(&mut svc, &Workload::rows(), 10, 2, 3);
+        assert_eq!(load.offered, 10);
+        assert_eq!(load.accepted, 10, "closed loop never overruns the queue");
+        let r = svc.finish();
+        assert_eq!(r.completed, 10);
+    }
+}

@@ -1,0 +1,171 @@
+//! The bounded submission queue.
+//!
+//! Admission control lives in the service (it needs the backlog estimator);
+//! the queue itself enforces the capacity bound, keeps arrivals in
+//! (priority, arrival, id) dispatch order, and tracks the depth statistics
+//! the [`crate::report::ServeReport`] publishes.
+
+use crate::request::{RequestId, RequestSpec};
+
+/// One admitted request waiting for dispatch.
+#[derive(Clone, Debug)]
+pub struct Pending {
+    /// The id assigned at submission.
+    pub id: RequestId,
+    /// The request.
+    pub spec: RequestSpec,
+    /// Simulated arrival time, seconds.
+    pub arrival_s: f64,
+}
+
+/// A bounded FIFO-per-priority queue of admitted requests.
+#[derive(Debug)]
+pub struct SubmitQueue {
+    capacity: usize,
+    entries: Vec<Pending>,
+    max_depth: usize,
+    depth_samples: u64,
+    depth_sum: u64,
+}
+
+impl SubmitQueue {
+    /// An empty queue admitting at most `capacity` requests at a time.
+    pub fn new(capacity: usize) -> Self {
+        SubmitQueue {
+            capacity,
+            entries: Vec::new(),
+            max_depth: 0,
+            depth_samples: 0,
+            depth_sum: 0,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when another request fits.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Deepest the queue has been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Mean depth over the dispatch-time samples (0 when never sampled).
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.depth_samples as f64
+        }
+    }
+
+    /// Records the current depth into the dispatch-time statistics.
+    pub fn sample_depth(&mut self) {
+        self.depth_samples += 1;
+        self.depth_sum += self.entries.len() as u64;
+    }
+
+    /// Enqueues in dispatch order. The caller (admission) must have checked
+    /// [`SubmitQueue::has_room`]; pushing past capacity is a logic error.
+    ///
+    /// # Panics
+    /// When the queue is already at capacity.
+    pub fn push(&mut self, p: Pending) {
+        assert!(self.has_room(), "push past capacity — admission bug");
+        // Insertion sort keeps (priority, arrival, id) order; arrivals come
+        // in time order so this is an append except when priorities differ.
+        let rank = |e: &Pending| (e.spec.priority, e.arrival_s.to_bits(), e.id);
+        let key = rank(&p);
+        let at = self.entries.partition_point(|e| rank(e) <= key);
+        self.entries.insert(at, p);
+        self.max_depth = self.max_depth.max(self.entries.len());
+    }
+
+    /// The next request in dispatch order, without removing it.
+    pub fn head(&self) -> Option<&Pending> {
+        self.entries.first()
+    }
+
+    /// All waiting requests in dispatch order.
+    pub fn iter(&self) -> impl Iterator<Item = &Pending> {
+        self.entries.iter()
+    }
+
+    /// Removes and returns the requests selected by `take` (in dispatch
+    /// order), keeping the rest in order.
+    pub fn drain_selected(&mut self, take: &[RequestId]) -> Vec<Pending> {
+        let mut out = Vec::with_capacity(take.len());
+        let mut rest = Vec::with_capacity(self.entries.len().saturating_sub(take.len()));
+        for e in self.entries.drain(..) {
+            if take.contains(&e.id) {
+                out.push(e);
+            } else {
+                rest.push(e);
+            }
+        }
+        self.entries = rest;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Priority, Shape};
+    use fft_math::twiddle::Direction;
+
+    fn pending(id: u64, arrival: f64, prio: Priority) -> Pending {
+        Pending {
+            id: RequestId(id),
+            spec: RequestSpec::seeded(Shape::Rows1d { n: 64, rows: 1 }, Direction::Forward, id)
+                .priority(prio),
+            arrival_s: arrival,
+        }
+    }
+
+    #[test]
+    fn orders_by_priority_then_arrival() {
+        let mut q = SubmitQueue::new(8);
+        q.push(pending(1, 0.0, Priority::Normal));
+        q.push(pending(2, 1.0, Priority::Low));
+        q.push(pending(3, 2.0, Priority::High));
+        q.push(pending(4, 3.0, Priority::Normal));
+        let order: Vec<u64> = q.iter().map(|p| p.id.0).collect();
+        assert_eq!(order, vec![3, 1, 4, 2]);
+        assert_eq!(q.head().unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn capacity_and_depth_stats() {
+        let mut q = SubmitQueue::new(2);
+        assert!(q.has_room());
+        q.push(pending(1, 0.0, Priority::Normal));
+        q.push(pending(2, 0.5, Priority::Normal));
+        assert!(!q.has_room());
+        assert_eq!(q.max_depth(), 2);
+        q.sample_depth();
+        let taken = q.drain_selected(&[RequestId(1)]);
+        assert_eq!(taken.len(), 1);
+        assert_eq!(q.depth(), 1);
+        q.sample_depth();
+        assert_eq!(q.mean_depth(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "admission bug")]
+    fn push_past_capacity_panics() {
+        let mut q = SubmitQueue::new(1);
+        q.push(pending(1, 0.0, Priority::Normal));
+        q.push(pending(2, 0.0, Priority::Normal));
+    }
+}

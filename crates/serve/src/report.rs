@@ -1,0 +1,315 @@
+//! The service's summary: latency percentiles, goodput, queue and batching
+//! statistics, per-card utilization.
+//!
+//! Everything here is computed from completed/rejected request records in a
+//! deterministic order and rendered with the same hand-rolled JSON style as
+//! `bifft-bench` (shortest-roundtrip `f64` display, `BTreeMap`-ordered
+//! keys), so equal runs produce byte-identical JSON.
+
+use crate::request::Completion;
+use std::collections::BTreeMap;
+
+/// Nearest-rank latency percentiles over a completion set, seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Completions observed.
+    pub count: usize,
+    /// Median (nearest-rank p50).
+    pub p50_s: f64,
+    /// Nearest-rank p95.
+    pub p95_s: f64,
+    /// Nearest-rank p99.
+    pub p99_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Largest observed latency.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the stats from raw latencies (empty input gives zeros).
+    pub fn from_latencies(mut lat: Vec<f64>) -> Self {
+        if lat.is_empty() {
+            return LatencyStats::default();
+        }
+        lat.sort_by(f64::total_cmp);
+        let nearest = |p: f64| {
+            let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+            lat[rank - 1]
+        };
+        LatencyStats {
+            count: lat.len(),
+            p50_s: nearest(0.50),
+            p95_s: nearest(0.95),
+            p99_s: nearest(0.99),
+            mean_s: lat.iter().sum::<f64>() / lat.len() as f64,
+            max_s: lat[lat.len() - 1],
+        }
+    }
+}
+
+/// Per-card counters the report publishes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CardReport {
+    /// Requests whose launch ran (at least partly) on this card.
+    pub requests: u64,
+    /// Payload bytes moved through this card's launches.
+    pub bytes: u64,
+    /// Compute-engine busy seconds over the service makespan, `[0, 1]`.
+    pub utilization: f64,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses.
+    pub plan_misses: u64,
+}
+
+/// The full end-of-run summary ([`crate::service::FftService::report`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeReport {
+    /// Requests submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests shed because their deadline was infeasible at admission.
+    pub rejected_deadline: u64,
+    /// Requests rejected as unsupported (bad shape).
+    pub rejected_unsupported: u64,
+    /// Completions that missed their deadline.
+    pub timeouts: u64,
+    /// First arrival to last completion, simulated seconds.
+    pub makespan_s: f64,
+    /// Latency percentiles over all completions.
+    pub latency: LatencyStats,
+    /// Payload bytes completed within deadline (in + out), over makespan.
+    pub goodput_gbs: f64,
+    /// Completed requests per simulated second.
+    pub achieved_rps: f64,
+    /// Deepest the submission queue got.
+    pub queue_max_depth: usize,
+    /// Mean queue depth sampled at each dispatch.
+    pub queue_mean_depth: f64,
+    /// Histogram of launch batch sizes (batch size -> launches).
+    pub batch_histogram: BTreeMap<usize, u64>,
+    /// Per-card counters, indexed by card.
+    pub cards: Vec<CardReport>,
+}
+
+impl ServeReport {
+    /// Builds the completion-derived parts of the report. `deadline_bytes`
+    /// counts a completion's payload both directions (H2D + D2H) when it
+    /// met its deadline — the goodput numerator.
+    pub fn tally(&mut self, completions: &[Completion], payload_bytes: &[u64]) {
+        debug_assert_eq!(completions.len(), payload_bytes.len());
+        self.completed = completions.len() as u64;
+        let mut good_bytes = 0u64;
+        let mut latencies = Vec::with_capacity(completions.len());
+        let mut last = 0.0f64;
+        for (c, &bytes) in completions.iter().zip(payload_bytes) {
+            latencies.push(c.latency_s());
+            last = last.max(c.completed_s);
+            if c.timed_out {
+                self.timeouts += 1;
+            } else {
+                good_bytes += 2 * bytes;
+            }
+        }
+        self.latency = LatencyStats::from_latencies(latencies);
+        self.makespan_s = last;
+        if last > 0.0 {
+            self.goodput_gbs = good_bytes as f64 / last / 1e9;
+            self.achieved_rps = self.completed as f64 / last;
+        }
+    }
+
+    /// Mean launch batch size (0 when nothing launched).
+    pub fn mean_batch_size(&self) -> f64 {
+        let launches: u64 = self.batch_histogram.values().sum();
+        if launches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self
+            .batch_histogram
+            .iter()
+            .map(|(&size, &n)| size as u64 * n)
+            .sum();
+        requests as f64 / launches as f64
+    }
+
+    /// Renders the report as deterministic JSON (2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        s.push_str(&format!("  \"admitted\": {},\n", self.admitted));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!(
+            "  \"rejected_queue_full\": {},\n",
+            self.rejected_queue_full
+        ));
+        s.push_str(&format!(
+            "  \"rejected_deadline\": {},\n",
+            self.rejected_deadline
+        ));
+        s.push_str(&format!(
+            "  \"rejected_unsupported\": {},\n",
+            self.rejected_unsupported
+        ));
+        s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
+        s.push_str(&format!("  \"makespan_s\": {},\n", self.makespan_s));
+        s.push_str(&format!("  \"p50_ms\": {},\n", self.latency.p50_s * 1e3));
+        s.push_str(&format!("  \"p95_ms\": {},\n", self.latency.p95_s * 1e3));
+        s.push_str(&format!("  \"p99_ms\": {},\n", self.latency.p99_s * 1e3));
+        s.push_str(&format!("  \"mean_ms\": {},\n", self.latency.mean_s * 1e3));
+        s.push_str(&format!("  \"max_ms\": {},\n", self.latency.max_s * 1e3));
+        s.push_str(&format!("  \"goodput_gbs\": {},\n", self.goodput_gbs));
+        s.push_str(&format!("  \"achieved_rps\": {},\n", self.achieved_rps));
+        s.push_str(&format!(
+            "  \"queue_max_depth\": {},\n",
+            self.queue_max_depth
+        ));
+        s.push_str(&format!(
+            "  \"queue_mean_depth\": {},\n",
+            self.queue_mean_depth
+        ));
+        s.push_str("  \"batch_histogram\": {");
+        let mut first = true;
+        for (size, n) in &self.batch_histogram {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            s.push_str(&format!("\"{size}\": {n}"));
+        }
+        s.push_str("},\n");
+        s.push_str("  \"cards\": [\n");
+        for (i, c) in self.cards.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"card\": {}, \"requests\": {}, \"bytes\": {}, \"utilization\": {}, \"plan_hits\": {}, \"plan_misses\": {}}}{}\n",
+                i,
+                c.requests,
+                c.bytes,
+                c.utilization,
+                c.plan_hits,
+                c.plan_misses,
+                if i + 1 < self.cards.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders a human-readable multi-line summary.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "requests: {} submitted, {} admitted, {} completed ({} timeouts)\n",
+            self.submitted, self.admitted, self.completed, self.timeouts
+        ));
+        s.push_str(&format!(
+            "rejected: {} queue-full, {} deadline, {} unsupported\n",
+            self.rejected_queue_full, self.rejected_deadline, self.rejected_unsupported
+        ));
+        s.push_str(&format!(
+            "latency:  p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | mean {:.3} ms\n",
+            self.latency.p50_s * 1e3,
+            self.latency.p95_s * 1e3,
+            self.latency.p99_s * 1e3,
+            self.latency.mean_s * 1e3
+        ));
+        s.push_str(&format!(
+            "goodput:  {:.3} GB/s | {:.1} req/s | makespan {:.3} ms\n",
+            self.goodput_gbs,
+            self.achieved_rps,
+            self.makespan_s * 1e3
+        ));
+        s.push_str(&format!(
+            "queue:    max depth {} | mean depth {:.2} | mean batch {:.2}\n",
+            self.queue_max_depth,
+            self.queue_mean_depth,
+            self.mean_batch_size()
+        ));
+        for (i, c) in self.cards.iter().enumerate() {
+            s.push_str(&format!(
+                "card {i}:   {} reqs | {:.1} MiB | util {:.1}% | plans {}/{} hit\n",
+                c.requests,
+                c.bytes as f64 / (1 << 20) as f64,
+                c.utilization * 100.0,
+                c.plan_hits,
+                c.plan_hits + c.plan_misses
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencyStats::from_latencies(lat);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+        assert_eq!(s.count, 100);
+        assert_eq!(
+            LatencyStats::from_latencies(vec![]),
+            LatencyStats::default()
+        );
+        let one = LatencyStats::from_latencies(vec![3.0]);
+        assert_eq!(one.p50_s, 3.0);
+        assert_eq!(one.p99_s, 3.0);
+    }
+
+    #[test]
+    fn tally_counts_goodput_and_timeouts() {
+        let mk = |id: u64, done: f64, timed_out: bool| Completion {
+            id: RequestId(id),
+            arrival_s: 0.0,
+            completed_s: done,
+            card: Some(0),
+            batch_size: 1,
+            timed_out,
+            output: None,
+        };
+        let mut r = ServeReport::default();
+        r.tally(&[mk(0, 1.0, false), mk(1, 2.0, true)], &[500_000_000, 1]);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.makespan_s, 2.0);
+        // Only the in-deadline request counts, both directions: 1 GB / 2 s.
+        assert_eq!(r.goodput_gbs, 0.5);
+        assert_eq!(r.achieved_rps, 1.0);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_histogram_ordered() {
+        let mut r = ServeReport::default();
+        r.batch_histogram.insert(4, 2);
+        r.batch_histogram.insert(1, 7);
+        r.cards.push(CardReport::default());
+        let a = r.to_json();
+        let b = r.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"batch_histogram\": {\"1\": 7, \"4\": 2}"));
+        assert!(a.contains("\"cards\": ["));
+    }
+
+    #[test]
+    fn mean_batch_size_weights_by_launches() {
+        let mut r = ServeReport::default();
+        assert_eq!(r.mean_batch_size(), 0.0);
+        r.batch_histogram.insert(1, 2);
+        r.batch_histogram.insert(4, 1);
+        assert_eq!(r.mean_batch_size(), 2.0);
+    }
+}

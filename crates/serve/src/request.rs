@@ -1,0 +1,272 @@
+//! Typed requests, priorities and admission-rejection reasons.
+//!
+//! A request names *what* to transform (shape + direction + optional
+//! algorithm hint), *how urgently* (priority, optional latency deadline)
+//! and carries its payload. The service assigns the [`RequestId`] at
+//! submission; everything else is caller-provided.
+
+use bifft::plan::{Algorithm, FftError};
+use fft_math::rng::SplitMix64;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+
+/// Identifier the service assigns at submission, unique per service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// What a request asks the service to transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// `rows` contiguous `n`-point 1-D FFTs (the paper's Table 8 workload).
+    /// Requests of equal `n` coalesce into one batched launch.
+    Rows1d {
+        /// Transform length (power of two, 4..=512).
+        n: usize,
+        /// Rows in this request's payload.
+        rows: usize,
+    },
+    /// One `nx x ny x nz` 3-D FFT. Same-shape requests share a cached plan;
+    /// volumes too large for one card route to the multi-GPU sharder.
+    Volume {
+        /// X extent.
+        nx: usize,
+        /// Y extent.
+        ny: usize,
+        /// Z extent.
+        nz: usize,
+    },
+}
+
+impl Shape {
+    /// Payload size in complex elements.
+    pub fn elems(&self) -> usize {
+        match *self {
+            Shape::Rows1d { n, rows } => n * rows,
+            Shape::Volume { nx, ny, nz } => nx * ny * nz,
+        }
+    }
+
+    /// Payload size in bytes (8 bytes per `Complex32`).
+    pub fn payload_bytes(&self) -> u64 {
+        self.elems() as u64 * 8
+    }
+
+    /// The coalescing key: requests with equal keys may share one launch.
+    pub fn key(&self) -> ShapeKey {
+        match *self {
+            Shape::Rows1d { n, .. } => ShapeKey::Rows1d { n },
+            Shape::Volume { nx, ny, nz } => ShapeKey::Volume { nx, ny, nz },
+        }
+    }
+
+    /// Human-readable label (`"1d256x16"`, `"vol64x64x64"`).
+    pub fn label(&self) -> String {
+        match *self {
+            Shape::Rows1d { n, rows } => format!("1d{n}x{rows}"),
+            Shape::Volume { nx, ny, nz } => format!("vol{nx}x{ny}x{nz}"),
+        }
+    }
+}
+
+/// A [`Shape`] with the per-request multiplicity erased — the unit the
+/// batcher and plan cache key on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShapeKey {
+    /// Any number of `n`-point rows.
+    Rows1d {
+        /// Transform length.
+        n: usize,
+    },
+    /// One `nx x ny x nz` volume.
+    Volume {
+        /// X extent.
+        nx: usize,
+        /// Y extent.
+        ny: usize,
+        /// Z extent.
+        nz: usize,
+    },
+}
+
+/// Scheduling priority; declaration order is dispatch order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Dispatched before everything else.
+    High,
+    /// The default.
+    #[default]
+    Normal,
+    /// Yields to everything else.
+    Low,
+}
+
+/// One submission: shape, direction, hints and payload.
+#[derive(Clone, Debug)]
+pub struct RequestSpec {
+    /// What to transform.
+    pub shape: Shape,
+    /// Forward or inverse (inverse left unnormalised, CUFFT convention).
+    pub direction: Direction,
+    /// Algorithm hint for volume requests (`None` = service default).
+    /// Ignored for 1-D rows, which always use the fine-grained kernel.
+    pub algorithm: Option<Algorithm>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Latency budget in seconds of simulated time, measured from arrival.
+    /// Admission sheds requests whose estimated completion would bust it;
+    /// completions past it count as timeouts and are excluded from goodput.
+    pub deadline_s: Option<f64>,
+    /// The data to transform (`shape.elems()` complex values).
+    pub payload: Vec<Complex32>,
+}
+
+impl RequestSpec {
+    /// A spec with a deterministic pseudo-random payload — the load
+    /// generator's constructor (equal seeds give equal payloads).
+    pub fn seeded(shape: Shape, direction: Direction, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let payload = (0..shape.elems())
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
+            .collect();
+        RequestSpec {
+            shape,
+            direction,
+            algorithm: None,
+            priority: Priority::Normal,
+            deadline_s: None,
+            payload,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the latency deadline in seconds (builder style).
+    pub fn deadline_s(mut self, d: f64) -> Self {
+        self.deadline_s = Some(d);
+        self
+    }
+
+    /// Sets the algorithm hint (builder style; volumes only).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = Some(a);
+        self
+    }
+}
+
+/// Why admission turned a request away.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Rejection {
+    /// The bounded submission queue is at capacity — backpressure.
+    QueueFull {
+        /// The configured capacity.
+        capacity: usize,
+    },
+    /// The deadline cannot plausibly be met at the current backlog.
+    DeadlineInfeasible {
+        /// Estimated completion latency, seconds.
+        estimated_s: f64,
+        /// The request's budget, seconds.
+        deadline_s: f64,
+    },
+    /// The shape or payload is invalid for this service.
+    Unsupported(FftError),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            Rejection::DeadlineInfeasible {
+                estimated_s,
+                deadline_s,
+            } => write!(
+                f,
+                "deadline infeasible: estimated {:.3} ms > budget {:.3} ms",
+                estimated_s * 1e3,
+                deadline_s * 1e3
+            ),
+            Rejection::Unsupported(e) => write!(f, "unsupported request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// One finished request, as the service reports it.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The id `submit` returned.
+    pub id: RequestId,
+    /// Simulated arrival time, seconds.
+    pub arrival_s: f64,
+    /// Simulated completion time, seconds.
+    pub completed_s: f64,
+    /// Card the request ran on (`None` for sharded multi-GPU runs, which
+    /// span every card).
+    pub card: Option<usize>,
+    /// Requests coalesced into the same launch (1 = ran alone).
+    pub batch_size: usize,
+    /// Whether the deadline (if any) was missed.
+    pub timed_out: bool,
+    /// The transformed payload, when the service keeps outputs
+    /// (`ServeConfig::keep_outputs`).
+    pub output: Option<Vec<Complex32>>,
+}
+
+impl Completion {
+    /// Arrival-to-completion latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.completed_s - self.arrival_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_accounting() {
+        let r = Shape::Rows1d { n: 256, rows: 16 };
+        assert_eq!(r.elems(), 4096);
+        assert_eq!(r.payload_bytes(), 32768);
+        assert_eq!(r.key(), ShapeKey::Rows1d { n: 256 });
+        assert_eq!(r.label(), "1d256x16");
+        let v = Shape::Volume {
+            nx: 64,
+            ny: 32,
+            nz: 16,
+        };
+        assert_eq!(v.elems(), 64 * 32 * 16);
+        assert_eq!(
+            v.key(),
+            ShapeKey::Volume {
+                nx: 64,
+                ny: 32,
+                nz: 16
+            }
+        );
+    }
+
+    #[test]
+    fn priorities_order_high_first() {
+        assert!(Priority::High < Priority::Normal);
+        assert!(Priority::Normal < Priority::Low);
+    }
+
+    #[test]
+    fn seeded_payloads_are_deterministic() {
+        let shape = Shape::Rows1d { n: 64, rows: 2 };
+        let a = RequestSpec::seeded(shape, Direction::Forward, 7);
+        let b = RequestSpec::seeded(shape, Direction::Forward, 7);
+        let c = RequestSpec::seeded(shape, Direction::Forward, 8);
+        assert_eq!(a.payload, b.payload);
+        assert_ne!(a.payload, c.payload);
+        assert_eq!(a.payload.len(), 128);
+    }
+}

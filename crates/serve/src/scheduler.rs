@@ -1,0 +1,440 @@
+//! Cards, lanes and the wisdom-backed plan cache — where batches meet
+//! hardware.
+//!
+//! Each simulated card owns `streams_per_card` *lanes*. A lane is one
+//! stream plus a dedicated pair of staging buffers, so concurrent batches
+//! on one card never touch the same device memory: the §4.4-style overlap
+//! (H2D of the next batch under compute of the current one) comes entirely
+//! from the per-stream/per-direction engine model, and the PR 4 hazard
+//! checker stays clean by construction. With `streams_per_card = 0` the
+//! card degrades to one synchronous lane — the serial baseline the
+//! acceptance criteria compare against.
+//!
+//! Plans are cached per `(shape, algorithm, card)`: 1-D row plans and 3-D
+//! volume plans both memoise here (and the fine-grained stage search
+//! additionally memoises process-wide in [`bifft::wisdom`]), so a hot shape
+//! plans once per card and never again.
+
+use bifft::batch::Fft1dBatchGpu;
+use bifft::plan::{Algorithm, Fft3d, FftError};
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use gpu_sim::pcie::Dir as PcieDir;
+use gpu_sim::{BufferId, DeviceSpec, Gpu, StreamId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hit/miss counters of one card's plan cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Dispatches served by a memoised plan.
+    pub hits: u64,
+    /// Dispatches that had to plan (and allocate) first.
+    pub misses: u64,
+}
+
+/// Per-card memo of built plans, keyed by shape (+ algorithm for volumes).
+#[derive(Default)]
+struct PlanCache {
+    one_d: BTreeMap<usize, Fft1dBatchGpu>,
+    volumes: BTreeMap<(usize, usize, usize, u8), Fft3d>,
+    /// Volume keys this card could not allocate — route to the sharder
+    /// without re-trying the allocation every dispatch.
+    oversized: BTreeSet<(usize, usize, usize, u8)>,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    fn batch1d<'c>(&'c mut self, gpu: &mut Gpu, n: usize) -> Result<&'c Fft1dBatchGpu, FftError> {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.one_d.entry(n) {
+            self.stats.misses += 1;
+            e.insert(Fft1dBatchGpu::new(gpu, n)?);
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok(&self.one_d[&n])
+    }
+
+    /// `Ok(None)` means the volume does not fit this card (sharder's job).
+    fn volume<'c>(
+        &'c mut self,
+        gpu: &mut Gpu,
+        dims: (usize, usize, usize),
+        algo: Algorithm,
+        algo_rank: u8,
+    ) -> Result<Option<&'c Fft3d>, FftError> {
+        let key = (dims.0, dims.1, dims.2, algo_rank);
+        if self.oversized.contains(&key) {
+            self.stats.hits += 1;
+            return Ok(None);
+        }
+        if !self.volumes.contains_key(&key) {
+            self.stats.misses += 1;
+            match Fft3d::builder(dims.0, dims.1, dims.2)
+                .algorithm(algo)
+                .build(gpu)
+            {
+                Ok(plan) => {
+                    self.volumes.insert(key, plan);
+                }
+                Err(FftError::Alloc(_)) => {
+                    self.oversized.insert(key);
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok(Some(&self.volumes[&key]))
+    }
+}
+
+/// One dispatch slot: a stream (or the synchronous timeline) plus its
+/// dedicated staging buffers.
+#[derive(Debug)]
+pub struct Lane {
+    stream: Option<StreamId>,
+    src: BufferId,
+    dst: BufferId,
+    /// When the lane's last batch completes, simulated seconds.
+    pub busy_until_s: f64,
+}
+
+/// What a finished rows-batch dispatch reports back.
+pub struct RowsOutcome {
+    /// When the batch's D2H lands, simulated seconds.
+    pub completion_s: f64,
+    /// Per-request outputs (same order as the batch), when kept.
+    pub outputs: Option<Vec<Vec<Complex32>>>,
+}
+
+/// What a finished volume-batch dispatch reports back.
+pub struct VolumesOutcome {
+    /// Per-request completion times (the batch executes back-to-back on
+    /// the card, so members finish at different times).
+    pub completions_s: Vec<f64>,
+    /// Per-request outputs, when kept.
+    pub outputs: Option<Vec<Vec<Complex32>>>,
+}
+
+/// One simulated card with its lanes and plan cache.
+pub struct Card {
+    /// The card's index in the service.
+    pub index: usize,
+    /// The simulated device.
+    pub gpu: Gpu,
+    cache: PlanCache,
+    lanes: Vec<Lane>,
+}
+
+impl Card {
+    /// Brings up card `index`: `streams_per_card` stream lanes (0 = one
+    /// synchronous lane), each with `slot_elems`-element staging buffers.
+    pub fn new(
+        spec: &DeviceSpec,
+        index: usize,
+        streams_per_card: usize,
+        slot_elems: usize,
+        check: bool,
+    ) -> Result<Self, FftError> {
+        let mut gpu = Gpu::new(*spec);
+        if check {
+            gpu.check_enable();
+        }
+        let n_lanes = streams_per_card.max(1);
+        let mut lanes = Vec::with_capacity(n_lanes);
+        for _ in 0..n_lanes {
+            let stream = (streams_per_card > 0).then(|| gpu.stream_create());
+            let src = gpu.mem_mut().alloc(slot_elems)?;
+            let dst = gpu.mem_mut().alloc(slot_elems)?;
+            lanes.push(Lane {
+                stream,
+                src,
+                dst,
+                busy_until_s: 0.0,
+            });
+        }
+        Ok(Card {
+            index,
+            gpu,
+            cache: PlanCache::default(),
+            lanes,
+        })
+    }
+
+    /// The card's lanes (scheduling state).
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Earliest time any lane is free.
+    pub fn earliest_free_s(&self) -> f64 {
+        self.lanes
+            .iter()
+            .map(|l| l.busy_until_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Latest busy-until over the card's lanes.
+    pub fn all_free_s(&self) -> f64 {
+        self.lanes
+            .iter()
+            .map(|l| l.busy_until_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of a lane free at `now_s`, lowest index first.
+    pub fn free_lane_at(&self, now_s: f64) -> Option<usize> {
+        self.lanes.iter().position(|l| l.busy_until_s <= now_s)
+    }
+
+    /// Marks every lane busy until `t_s` (a whole-card dispatch).
+    pub fn occupy_all(&mut self, t_s: f64) {
+        for l in &mut self.lanes {
+            l.busy_until_s = l.busy_until_s.max(t_s);
+        }
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats
+    }
+
+    /// Compute utilization over `makespan_s` (engine-busy seconds over
+    /// elapsed seconds, clamped to `[0, 1]`).
+    pub fn utilization(&self, makespan_s: f64) -> f64 {
+        if makespan_s <= 0.0 {
+            0.0
+        } else {
+            (self.gpu.compute_busy_s() / makespan_s).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Runs one coalesced batch of `n`-point rows on lane `lane_idx`, with
+    /// `payloads` concatenated in batch order. Returns the completion time
+    /// (one batch = one D2H, so every member completes together).
+    ///
+    /// # Errors
+    /// Plan-construction errors propagate ([`FftError::BadPlanConfig`] for
+    /// unsupported lengths).
+    ///
+    /// # Panics
+    /// When the concatenated payload exceeds the lane's staging slot (the
+    /// batcher's `max_elems` must match the slot size).
+    pub fn dispatch_rows(
+        &mut self,
+        lane_idx: usize,
+        n: usize,
+        payloads: &[&[Complex32]],
+        dir: Direction,
+        now_s: f64,
+        keep_outputs: bool,
+    ) -> Result<RowsOutcome, FftError> {
+        let total: usize = payloads.iter().map(|p| p.len()).sum();
+        let rows = total / n;
+        let mut host = Vec::with_capacity(total);
+        for p in payloads {
+            debug_assert_eq!(p.len() % n, 0);
+            host.extend_from_slice(p);
+        }
+        let lane = &self.lanes[lane_idx];
+        let (src, dst, stream) = (lane.src, lane.dst, lane.stream);
+        let bytes = total as u64 * 8;
+        self.gpu.wait_until(now_s);
+        let span = format!("serve_rows_{n}x{rows}_c{}l{}", self.index, lane_idx);
+        self.gpu.span_begin(&span);
+        let plan = self.cache.batch1d(&mut self.gpu, n)?;
+        let label_up = format!("serve_h2d_c{}l{}", self.index, lane_idx);
+        let label_down = format!("serve_d2h_c{}l{}", self.index, lane_idx);
+        let mut out = vec![Complex32::ZERO; total];
+        let completion_s = match stream {
+            Some(s) => {
+                self.gpu.memcpy_h2d_async(s, src, 0, &host, 1, &label_up);
+                self.gpu
+                    .with_stream(s, |g| plan.execute(g, src, dst, rows, dir));
+                self.gpu
+                    .memcpy_d2h_async(s, dst, 0, &mut out, 1, &label_down);
+                self.gpu.stream_ready_s(s)
+            }
+            None => {
+                self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
+                self.gpu.mem_mut().upload(src, 0, &host);
+                plan.execute(&mut self.gpu, src, dst, rows, dir);
+                self.gpu.pcie_transfer(PcieDir::D2H, bytes, 1, &label_down);
+                self.gpu.mem().download(dst, 0, &mut out);
+                self.gpu.clock_s()
+            }
+        };
+        self.gpu.span_end(&span);
+        self.lanes[lane_idx].busy_until_s = completion_s;
+        let outputs = keep_outputs.then(|| {
+            let mut cut = Vec::with_capacity(payloads.len());
+            let mut at = 0;
+            for p in payloads {
+                cut.push(out[at..at + p.len()].to_vec());
+                at += p.len();
+            }
+            cut
+        });
+        Ok(RowsOutcome {
+            completion_s,
+            outputs,
+        })
+    }
+
+    /// Runs a batch of same-shape 3-D volumes back-to-back on the card's
+    /// synchronous timeline (volumes occupy the whole card — the caller
+    /// must [`Card::occupy_all`] with the last completion). Returns
+    /// `Ok(None)` when the volume does not fit the card, in which case the
+    /// service routes the batch to the multi-GPU sharder.
+    ///
+    /// # Errors
+    /// Shape-validation errors from the planner propagate.
+    pub fn dispatch_volumes(
+        &mut self,
+        dims: (usize, usize, usize),
+        algo: (Algorithm, u8),
+        payloads: &[&[Complex32]],
+        dir: Direction,
+        now_s: f64,
+        keep_outputs: bool,
+    ) -> Result<Option<VolumesOutcome>, FftError> {
+        self.gpu.wait_until(now_s);
+        let Some(plan) = self.cache.volume(&mut self.gpu, dims, algo.0, algo.1)? else {
+            return Ok(None);
+        };
+        let span = format!("serve_vol_{}x{}x{}_c{}", dims.0, dims.1, dims.2, self.index);
+        self.gpu.span_begin(&span);
+        let bytes = (dims.0 * dims.1 * dims.2) as u64 * 8;
+        let label_up = format!("serve_vol_h2d_c{}", self.index);
+        let label_down = format!("serve_vol_d2h_c{}", self.index);
+        let mut completions = Vec::with_capacity(payloads.len());
+        let mut outputs = keep_outputs.then(Vec::new);
+        for payload in payloads {
+            self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
+            let (out, _rep) = plan.transform(&mut self.gpu, payload, dir)?;
+            self.gpu.pcie_transfer(PcieDir::D2H, bytes, 1, &label_down);
+            completions.push(self.gpu.clock_s());
+            if let Some(o) = &mut outputs {
+                o.push(out);
+            }
+        }
+        self.gpu.span_end(&span);
+        Ok(Some(VolumesOutcome {
+            completions_s: completions,
+            outputs,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fft_math::error::rel_l2_error_f32;
+    use fft_math::fft1d::fft_pow2;
+    use fft_math::rng::SplitMix64;
+
+    fn rows_payload(n: usize, rows: usize, seed: u64) -> Vec<Complex32> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n * rows)
+            .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn stream_lanes_overlap_and_match_reference() {
+        let mut card = Card::new(&DeviceSpec::gts8800(), 0, 2, 1 << 16, false).unwrap();
+        let a = rows_payload(256, 8, 1);
+        let b = rows_payload(256, 8, 2);
+        let ra = card
+            .dispatch_rows(0, 256, &[&a], Direction::Forward, 0.0, true)
+            .unwrap();
+        let rb = card
+            .dispatch_rows(1, 256, &[&b], Direction::Forward, 0.0, true)
+            .unwrap();
+        // Lane 1's upload overlaps lane 0's compute: it finishes before the
+        // serial sum of both batches would.
+        assert!(rb.completion_s > ra.completion_s);
+        let serial = 2.0 * ra.completion_s;
+        assert!(
+            rb.completion_s < serial,
+            "overlap: {} vs serial {serial}",
+            rb.completion_s
+        );
+        for (payload, outcome) in [(&a, &ra), (&b, &rb)] {
+            let out = &outcome.outputs.as_ref().unwrap()[0];
+            for r in 0..8 {
+                let mut want = payload[r * 256..(r + 1) * 256].to_vec();
+                fft_pow2(&mut want, Direction::Forward);
+                assert!(rel_l2_error_f32(&out[r * 256..(r + 1) * 256], &want) < 1e-5);
+            }
+        }
+        assert_eq!(card.cache_stats().misses, 1);
+        assert_eq!(card.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn sync_lane_serializes() {
+        let mut card = Card::new(&DeviceSpec::gts8800(), 0, 0, 1 << 16, false).unwrap();
+        let a = rows_payload(256, 8, 1);
+        let r1 = card
+            .dispatch_rows(0, 256, &[&a], Direction::Forward, 0.0, false)
+            .unwrap();
+        let r2 = card
+            .dispatch_rows(0, 256, &[&a], Direction::Forward, r1.completion_s, false)
+            .unwrap();
+        let d1 = r1.completion_s;
+        let d2 = r2.completion_s - r1.completion_s;
+        assert!((d1 - d2).abs() < 0.05 * d1, "equal batches take equal time");
+    }
+
+    #[test]
+    fn volume_cache_hits_and_oversize_detection() {
+        // A 4 MiB card: a 64^3 plan needs two 2 MiB buffers plus staging,
+        // so it cannot fit; 16^3 fits fine.
+        let mut spec = DeviceSpec::gts8800();
+        spec.memory_bytes = 4 << 20;
+        let mut card = Card::new(&spec, 0, 1, 1 << 10, false).unwrap();
+        let small = rows_payload(16 * 16 * 16, 1, 3);
+        let got = card
+            .dispatch_volumes(
+                (16, 16, 16),
+                (Algorithm::FiveStep, 0),
+                &[&small, &small],
+                Direction::Forward,
+                0.0,
+                false,
+            )
+            .unwrap()
+            .expect("16^3 fits");
+        assert_eq!(got.completions_s.len(), 2);
+        assert!(got.completions_s[0] < got.completions_s[1]);
+        assert_eq!(card.cache_stats().misses, 1, "one plan for two transforms");
+
+        let big = rows_payload(64 * 64 * 64, 1, 4);
+        let none = card
+            .dispatch_volumes(
+                (64, 64, 64),
+                (Algorithm::FiveStep, 0),
+                &[&big],
+                Direction::Forward,
+                0.0,
+                false,
+            )
+            .unwrap();
+        assert!(none.is_none(), "64^3 routes to the sharder");
+        // The oversize verdict is memoised: no second allocation attempt.
+        let misses = card.cache_stats().misses;
+        let _ = card
+            .dispatch_volumes(
+                (64, 64, 64),
+                (Algorithm::FiveStep, 0),
+                &[&big],
+                Direction::Forward,
+                0.0,
+                false,
+            )
+            .unwrap();
+        assert_eq!(card.cache_stats().misses, misses);
+    }
+}

@@ -1,0 +1,769 @@
+//! The service itself: admission, the virtual-time event loop, dispatch
+//! routing and graceful drain.
+//!
+//! `FftService` is a discrete-event simulation driven by the caller's
+//! clock: every [`FftService::submit`] carries an arrival time in simulated
+//! seconds, the service dispatches whatever fits onto lanes that are free
+//! *at that instant*, and [`FftService::drain`] advances virtual time
+//! through the remaining lane-free events until the queue empties. Because
+//! the simulated GPUs are deterministic, the whole pipeline is too: the
+//! same request sequence produces bit-identical [`ServeReport`]s.
+//!
+//! Routing rules:
+//! - 1-D row batches go to the least-loaded card with a free stream lane
+//!   (overlapped H2D/compute/D2H via the PR 2 engine model);
+//! - volumes that fit one card run on its synchronous timeline, occupying
+//!   every lane (a volume plan owns card-wide buffers);
+//! - volumes that do not fit any card route to the PR 2 multi-GPU sharder
+//!   and occupy the whole fleet.
+
+use crate::batcher::{
+    form_batch, key_of, key_of_spec, rank_algo, Batch, BatchKey, BatchLimits, Estimator,
+};
+use crate::queue::{Pending, SubmitQueue};
+use crate::report::{CardReport, ServeReport};
+use crate::request::{Completion, Rejection, RequestId, RequestSpec, Shape, ShapeKey};
+use crate::scheduler::Card;
+use bifft::multi_gpu::MultiGpuFft3d;
+use bifft::plan::{Algorithm, FftError};
+use fft_math::twiddle::Direction;
+use gpu_sim::{CheckReport, DeviceSpec};
+use std::collections::BTreeMap;
+
+/// Everything the service needs to come up.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The simulated card model.
+    pub spec: DeviceSpec,
+    /// Cards in the fleet (a power of two, so the sharder can split
+    /// oversized volumes across all of them).
+    pub n_gpus: usize,
+    /// Stream lanes per card; `0` runs one synchronous lane per card (the
+    /// serial baseline — no copy/compute overlap).
+    pub streams_per_card: usize,
+    /// Bound on the submission queue; fulls reject with backpressure.
+    pub queue_capacity: usize,
+    /// Most requests one launch may coalesce.
+    pub max_batch_requests: usize,
+    /// Most payload elements one launch may coalesce (also the staging-slot
+    /// size allocated per lane).
+    pub max_batch_elems: usize,
+    /// A batch stops growing once its estimated service time exceeds this.
+    pub latency_budget_s: f64,
+    /// Algorithm for volume requests without a hint.
+    pub default_algorithm: Algorithm,
+    /// Keep transformed payloads in completions (tests want them; load
+    /// generators usually don't).
+    pub keep_outputs: bool,
+    /// Run every card under the PR 4 memcheck/racecheck-style validator.
+    pub check_hazards: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            spec: DeviceSpec::gts8800(),
+            n_gpus: 2,
+            streams_per_card: 2,
+            queue_capacity: 64,
+            max_batch_requests: 8,
+            max_batch_elems: 1 << 20,
+            latency_budget_s: 10e-3,
+            default_algorithm: Algorithm::FiveStep,
+            keep_outputs: false,
+            check_hazards: false,
+        }
+    }
+}
+
+/// The FFT-as-a-service front end over a fleet of simulated cards.
+pub struct FftService {
+    cfg: ServeConfig,
+    cards: Vec<Card>,
+    queue: SubmitQueue,
+    limits: BatchLimits,
+    estimator: Estimator,
+    sharded: BTreeMap<(usize, usize, usize), MultiGpuFft3d>,
+    next_id: u64,
+    now_s: f64,
+    completions: Vec<Completion>,
+    completion_bytes: Vec<u64>,
+    batch_histogram: BTreeMap<usize, u64>,
+    card_requests: Vec<u64>,
+    card_bytes: Vec<u64>,
+    submitted: u64,
+    admitted: u64,
+    rejected_queue_full: u64,
+    rejected_deadline: u64,
+    rejected_unsupported: u64,
+}
+
+impl FftService {
+    /// Brings the fleet up.
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] for unusable config (zero cards,
+    /// non-power-of-two fleet, zero queue/batch bounds) and
+    /// [`FftError::Alloc`] when a card cannot hold its staging slots.
+    pub fn new(cfg: ServeConfig) -> Result<Self, FftError> {
+        if cfg.n_gpus == 0 || !cfg.n_gpus.is_power_of_two() {
+            return Err(FftError::BadPlanConfig {
+                param: "n_gpus",
+                value: cfg.n_gpus,
+                reason: "fleet size must be a nonzero power of two".to_string(),
+            });
+        }
+        for (param, value) in [
+            ("queue_capacity", cfg.queue_capacity),
+            ("max_batch_requests", cfg.max_batch_requests),
+            ("max_batch_elems", cfg.max_batch_elems),
+        ] {
+            if value == 0 {
+                return Err(FftError::BadPlanConfig {
+                    param,
+                    value,
+                    reason: "must be at least 1".to_string(),
+                });
+            }
+        }
+        let mut cards = Vec::with_capacity(cfg.n_gpus);
+        for i in 0..cfg.n_gpus {
+            cards.push(Card::new(
+                &cfg.spec,
+                i,
+                cfg.streams_per_card,
+                cfg.max_batch_elems,
+                cfg.check_hazards,
+            )?);
+        }
+        let limits = BatchLimits {
+            max_requests: cfg.max_batch_requests,
+            max_elems: cfg.max_batch_elems,
+            latency_budget_s: cfg.latency_budget_s,
+        };
+        let queue = SubmitQueue::new(cfg.queue_capacity);
+        let n = cfg.n_gpus;
+        Ok(FftService {
+            cfg,
+            cards,
+            queue,
+            limits,
+            estimator: Estimator::new(),
+            sharded: BTreeMap::new(),
+            next_id: 0,
+            now_s: 0.0,
+            completions: Vec::new(),
+            completion_bytes: Vec::new(),
+            batch_histogram: BTreeMap::new(),
+            card_requests: vec![0; n],
+            card_bytes: vec![0; n],
+            submitted: 0,
+            admitted: 0,
+            rejected_queue_full: 0,
+            rejected_deadline: 0,
+            rejected_unsupported: 0,
+        })
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Requests waiting in the submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Completions recorded so far, in dispatch order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Submits one request arriving at `at_s` simulated seconds.
+    ///
+    /// Admission control runs first: malformed shapes reject as
+    /// [`Rejection::Unsupported`], a full queue as [`Rejection::QueueFull`]
+    /// (backpressure — the caller decides whether to retry later), and a
+    /// deadline the backlog estimator says cannot be met as
+    /// [`Rejection::DeadlineInfeasible`] (shedding work that would only be
+    /// thrown away). Admitted requests dispatch eagerly onto any lane free
+    /// at `at_s`.
+    ///
+    /// # Errors
+    /// The [`Rejection`] taxonomy above; a rejected request leaves no trace
+    /// beyond the rejection counters.
+    pub fn submit(&mut self, spec: RequestSpec, at_s: f64) -> Result<RequestId, Rejection> {
+        self.now_s = self.now_s.max(at_s);
+        self.submitted += 1;
+        if let Err(e) = validate_spec(&spec) {
+            self.rejected_unsupported += 1;
+            return Err(Rejection::Unsupported(e));
+        }
+        if !self.queue.has_room() {
+            self.rejected_queue_full += 1;
+            return Err(Rejection::QueueFull {
+                capacity: self.queue.capacity(),
+            });
+        }
+        if let Some(deadline_s) = spec.deadline_s {
+            let key = key_of_spec(&spec, self.cfg.default_algorithm);
+            let queued_elems: usize = self
+                .queue
+                .iter()
+                .filter(|p| key_of(p, self.cfg.default_algorithm) == key)
+                .map(|p| p.spec.shape.elems())
+                .sum();
+            let wait_s = (self.earliest_free_s() - self.now_s).max(0.0);
+            let estimated_s = wait_s
+                + self
+                    .estimator
+                    .estimate_s(key, queued_elems + spec.shape.elems());
+            if estimated_s > deadline_s {
+                self.rejected_deadline += 1;
+                return Err(Rejection::DeadlineInfeasible {
+                    estimated_s,
+                    deadline_s,
+                });
+            }
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Pending {
+            id,
+            spec,
+            arrival_s: self.now_s,
+        });
+        self.admitted += 1;
+        self.pump();
+        Ok(id)
+    }
+
+    /// Earliest instant any lane in the fleet is (or becomes) free.
+    fn earliest_free_s(&self) -> f64 {
+        self.cards
+            .iter()
+            .map(Card::earliest_free_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Dispatches everything placeable at the current instant.
+    fn pump(&mut self) {
+        let mut skip: Vec<BatchKey> = Vec::new();
+        loop {
+            let Some(key) = self
+                .queue
+                .iter()
+                .map(|p| key_of(p, self.cfg.default_algorithm))
+                .find(|k| !skip.contains(k))
+            else {
+                break;
+            };
+            match key.shape {
+                ShapeKey::Rows1d { n } => {
+                    // Least-loaded card (latest lane-free horizon, then
+                    // index) among those with a lane free right now.
+                    let cand = (0..self.cards.len())
+                        .filter_map(|i| self.cards[i].free_lane_at(self.now_s).map(|l| (i, l)))
+                        .min_by(|&(a, _), &(b, _)| {
+                            self.cards[a]
+                                .all_free_s()
+                                .total_cmp(&self.cards[b].all_free_s())
+                                .then(a.cmp(&b))
+                        });
+                    let Some((ci, li)) = cand else {
+                        skip.push(key);
+                        continue;
+                    };
+                    let batch = self.take_batch(&skip);
+                    debug_assert_eq!(batch.key, key);
+                    self.dispatch_rows_batch(ci, li, n, batch);
+                }
+                ShapeKey::Volume { nx, ny, nz } => {
+                    // Volumes own card-wide plan buffers: they need a card
+                    // with every lane idle.
+                    let Some(ci) =
+                        (0..self.cards.len()).find(|&i| self.cards[i].all_free_s() <= self.now_s)
+                    else {
+                        skip.push(key);
+                        continue;
+                    };
+                    let batch = self.take_batch(&skip);
+                    debug_assert_eq!(batch.key, key);
+                    if !self.dispatch_volume_batch(ci, (nx, ny, nz), batch) {
+                        skip.push(key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_batch(&mut self, skip: &[BatchKey]) -> Batch {
+        form_batch(
+            &mut self.queue,
+            &self.limits,
+            &self.estimator,
+            self.cfg.default_algorithm,
+            skip,
+        )
+        .expect("pump saw a head")
+    }
+
+    fn dispatch_rows_batch(&mut self, ci: usize, li: usize, n: usize, batch: Batch) {
+        let dir = direction_of(&batch.key);
+        let payloads: Vec<&[fft_math::Complex32]> = batch
+            .requests
+            .iter()
+            .map(|p| p.spec.payload.as_slice())
+            .collect();
+        let outcome = self.cards[ci]
+            .dispatch_rows(li, n, &payloads, dir, self.now_s, self.cfg.keep_outputs)
+            .unwrap_or_else(|e| panic!("rows dispatch failed post-validation: {e}"));
+        self.estimator
+            .observe(batch.key, batch.elems, outcome.completion_s - self.now_s);
+        let size = batch.requests.len();
+        *self.batch_histogram.entry(size).or_insert(0) += 1;
+        let mut outputs = outcome.outputs;
+        for (i, p) in batch.requests.iter().enumerate() {
+            let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
+            self.record(p, outcome.completion_s, Some(ci), size, out);
+        }
+    }
+
+    /// Returns false when the batch could not be placed (oversized volume
+    /// while part of the fleet is busy) and went back into the queue.
+    fn dispatch_volume_batch(
+        &mut self,
+        ci: usize,
+        dims: (usize, usize, usize),
+        batch: Batch,
+    ) -> bool {
+        let dir = direction_of(&batch.key);
+        let algo = rank_algo(batch.key.algo);
+        let payloads: Vec<&[fft_math::Complex32]> = batch
+            .requests
+            .iter()
+            .map(|p| p.spec.payload.as_slice())
+            .collect();
+        let outcome = self.cards[ci]
+            .dispatch_volumes(
+                dims,
+                (algo, batch.key.algo),
+                &payloads,
+                dir,
+                self.now_s,
+                self.cfg.keep_outputs,
+            )
+            .unwrap_or_else(|e| panic!("volume dispatch failed post-validation: {e}"));
+        match outcome {
+            Some(done) => {
+                let last = *done.completions_s.last().expect("volume batch is nonempty");
+                self.cards[ci].occupy_all(last);
+                self.estimator
+                    .observe(batch.key, batch.elems, last - self.now_s);
+                let size = batch.requests.len();
+                *self.batch_histogram.entry(size).or_insert(0) += 1;
+                let mut outputs = done.outputs;
+                for (i, p) in batch.requests.iter().enumerate() {
+                    let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
+                    self.record(p, done.completions_s[i], Some(ci), size, out);
+                }
+                true
+            }
+            None => {
+                // Doesn't fit one card: the sharder needs the whole fleet.
+                if self.cards.iter().all(|c| c.all_free_s() <= self.now_s) {
+                    self.dispatch_sharded(dims, batch);
+                    true
+                } else {
+                    for p in batch.requests {
+                        self.queue.push(p);
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    fn dispatch_sharded(&mut self, dims: (usize, usize, usize), batch: Batch) {
+        let dir = direction_of(&batch.key);
+        let plan = match self.sharded.entry(dims) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let mut plan =
+                    MultiGpuFft3d::new(&self.cfg.spec, self.cfg.n_gpus, dims.0, dims.1, dims.2)
+                        .unwrap_or_else(|err| {
+                            panic!(
+                                "sharded {}x{}x{} plan failed on {} cards: {err}",
+                                dims.0, dims.1, dims.2, self.cfg.n_gpus
+                            )
+                        });
+                if self.cfg.check_hazards {
+                    plan.check_enable();
+                }
+                e.insert(plan)
+            }
+        };
+        let started = self.now_s;
+        let mut t = started;
+        let size = batch.requests.len();
+        *self.batch_histogram.entry(size).or_insert(0) += 1;
+        let mut done: Vec<(f64, Option<Vec<fft_math::Complex32>>)> = Vec::with_capacity(size);
+        for p in &batch.requests {
+            let (out, rep) = plan
+                .transform(&p.spec.payload, dir)
+                .unwrap_or_else(|e| panic!("sharded transform failed post-validation: {e}"));
+            t += rep.wall_s;
+            done.push((t, self.cfg.keep_outputs.then_some(out)));
+        }
+        for card in &mut self.cards {
+            card.gpu.wait_until(t);
+            card.occupy_all(t);
+        }
+        self.estimator.observe(batch.key, batch.elems, t - started);
+        for (p, (completed_s, out)) in batch.requests.iter().zip(done) {
+            self.record(p, completed_s, None, size, out);
+        }
+    }
+
+    fn record(
+        &mut self,
+        p: &Pending,
+        completed_s: f64,
+        card: Option<usize>,
+        batch_size: usize,
+        output: Option<Vec<fft_math::Complex32>>,
+    ) {
+        let bytes = p.spec.shape.payload_bytes();
+        let timed_out = p
+            .spec
+            .deadline_s
+            .is_some_and(|d| completed_s - p.arrival_s > d);
+        match card {
+            Some(ci) => {
+                self.card_requests[ci] += 1;
+                self.card_bytes[ci] += bytes;
+            }
+            None => {
+                // Sharded runs occupy every card.
+                for ci in 0..self.cards.len() {
+                    self.card_requests[ci] += 1;
+                    self.card_bytes[ci] += bytes / self.cards.len() as u64;
+                }
+            }
+        }
+        self.completions.push(Completion {
+            id: p.id,
+            arrival_s: p.arrival_s,
+            completed_s,
+            card,
+            batch_size,
+            timed_out,
+            output,
+        });
+        self.completion_bytes.push(bytes);
+    }
+
+    /// Runs virtual time forward until the queue is empty and every lane is
+    /// idle — the graceful-shutdown path. Returns the final simulated time.
+    pub fn drain(&mut self) -> f64 {
+        loop {
+            self.pump();
+            if self.queue.depth() == 0 {
+                break;
+            }
+            let next = self
+                .cards
+                .iter()
+                .flat_map(|c| c.lanes().iter().map(|l| l.busy_until_s))
+                .filter(|&t| t > self.now_s)
+                .fold(f64::INFINITY, f64::min);
+            if !next.is_finite() {
+                debug_assert!(false, "queue stuck with an idle fleet");
+                break;
+            }
+            self.now_s = next;
+        }
+        let end = self
+            .cards
+            .iter()
+            .map(Card::all_free_s)
+            .fold(self.now_s, f64::max);
+        self.now_s = end;
+        end
+    }
+
+    /// Builds the end-of-run summary. Call after [`FftService::drain`] —
+    /// requests still queued are not in the report.
+    pub fn report(&self) -> ServeReport {
+        let mut r = ServeReport {
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejected_queue_full: self.rejected_queue_full,
+            rejected_deadline: self.rejected_deadline,
+            rejected_unsupported: self.rejected_unsupported,
+            queue_max_depth: self.queue.max_depth(),
+            queue_mean_depth: self.queue.mean_depth(),
+            batch_histogram: self.batch_histogram.clone(),
+            ..ServeReport::default()
+        };
+        r.tally(&self.completions, &self.completion_bytes);
+        r.cards = self
+            .cards
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let stats = c.cache_stats();
+                CardReport {
+                    requests: self.card_requests[i],
+                    bytes: self.card_bytes[i],
+                    utilization: c.utilization(r.makespan_s),
+                    plan_hits: stats.hits,
+                    plan_misses: stats.misses,
+                }
+            })
+            .collect();
+        r
+    }
+
+    /// Drains, then reports — graceful shutdown in one call.
+    pub fn finish(mut self) -> ServeReport {
+        self.drain();
+        self.report()
+    }
+
+    /// Validator diagnostics merged across the fleet (cards and sharded
+    /// plans), or `None` when `check_hazards` was off.
+    pub fn check_report(&self) -> Option<CheckReport> {
+        let mut merged: Option<CheckReport> = None;
+        for c in &self.cards {
+            if let Some(rep) = c.gpu.check_report() {
+                merged.get_or_insert_with(CheckReport::default).merge(rep);
+            }
+        }
+        for plan in self.sharded.values() {
+            if let Some(rep) = plan.check_report() {
+                merged.get_or_insert_with(CheckReport::default).merge(rep);
+            }
+        }
+        merged
+    }
+}
+
+fn direction_of(key: &BatchKey) -> Direction {
+    if key.forward {
+        Direction::Forward
+    } else {
+        Direction::Inverse
+    }
+}
+
+/// Shape/payload validation — everything admission can reject without
+/// touching a card.
+fn validate_spec(spec: &RequestSpec) -> Result<(), FftError> {
+    if spec.payload.len() != spec.shape.elems() {
+        return Err(FftError::VolumeMismatch {
+            expected: spec.shape.elems(),
+            got: spec.payload.len(),
+        });
+    }
+    match spec.shape {
+        Shape::Rows1d { n, rows } => {
+            if rows == 0 {
+                return Err(FftError::BadPlanConfig {
+                    param: "rows",
+                    value: 0,
+                    reason: "a rows request must carry at least one row".to_string(),
+                });
+            }
+            if !n.is_power_of_two() || !(4..=512).contains(&n) {
+                return Err(FftError::BadPlanConfig {
+                    param: "n",
+                    value: n,
+                    reason: "1-D batch length must be a power of two in 4..=512".to_string(),
+                });
+            }
+        }
+        Shape::Volume { nx, ny, nz } => {
+            for (axis, n) in [('x', nx), ('y', ny), ('z', nz)] {
+                if !n.is_power_of_two() || !(16..=512).contains(&n) {
+                    return Err(FftError::UnsupportedSize { axis, n });
+                }
+            }
+            if let Some(a @ (Algorithm::OutOfCore | Algorithm::MultiGpu)) = spec.algorithm {
+                return Err(FftError::UnsupportedAlgorithm {
+                    algorithm: a,
+                    reason: "the service routes oversized volumes itself; hint a single-card algorithm or none",
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Priority, Shape};
+
+    fn rows_spec(n: usize, rows: usize, seed: u64) -> RequestSpec {
+        RequestSpec::seeded(Shape::Rows1d { n, rows }, Direction::Forward, seed)
+    }
+
+    fn tiny_service(cfg: ServeConfig) -> FftService {
+        FftService::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn rejects_malformed_shapes_before_queueing() {
+        let mut svc = tiny_service(ServeConfig::default());
+        let bad_n = svc.submit(rows_spec(48, 2, 1), 0.0);
+        assert!(matches!(
+            bad_n,
+            Err(Rejection::Unsupported(FftError::BadPlanConfig {
+                param: "n",
+                ..
+            }))
+        ));
+        let mut short = rows_spec(64, 2, 2);
+        short.payload.pop();
+        assert!(matches!(
+            svc.submit(short, 0.0),
+            Err(Rejection::Unsupported(FftError::VolumeMismatch { .. }))
+        ));
+        let bad_vol = RequestSpec::seeded(
+            Shape::Volume {
+                nx: 8,
+                ny: 16,
+                nz: 16,
+            },
+            Direction::Forward,
+            3,
+        );
+        assert!(matches!(
+            svc.submit(bad_vol, 0.0),
+            Err(Rejection::Unsupported(FftError::UnsupportedSize {
+                axis: 'x',
+                ..
+            }))
+        ));
+        let hinted = RequestSpec::seeded(
+            Shape::Volume {
+                nx: 16,
+                ny: 16,
+                nz: 16,
+            },
+            Direction::Forward,
+            4,
+        )
+        .algorithm(Algorithm::MultiGpu);
+        assert!(matches!(
+            svc.submit(hinted, 0.0),
+            Err(Rejection::Unsupported(
+                FftError::UnsupportedAlgorithm { .. }
+            ))
+        ));
+        let r = svc.finish();
+        assert_eq!(r.submitted, 4);
+        assert_eq!(r.rejected_unsupported, 4);
+        assert_eq!(r.admitted, 0);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let cfg = ServeConfig {
+            n_gpus: 1,
+            streams_per_card: 0,
+            queue_capacity: 2,
+            max_batch_requests: 1,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        // All at t=0: the first dispatches immediately (freeing its queue
+        // slot), two more sit in the queue, the fourth bounces.
+        for seed in 0..3 {
+            svc.submit(rows_spec(256, 64, seed), 0.0).unwrap();
+        }
+        let err = svc.submit(rows_spec(256, 64, 3), 0.0);
+        assert!(matches!(err, Err(Rejection::QueueFull { capacity: 2 })));
+        let r = svc.finish();
+        assert_eq!(r.rejected_queue_full, 1);
+        assert_eq!(r.completed, 3);
+    }
+
+    #[test]
+    fn infeasible_deadlines_are_shed_and_met_ones_kept() {
+        let mut svc = tiny_service(ServeConfig {
+            n_gpus: 1,
+            ..ServeConfig::default()
+        });
+        let fine = rows_spec(256, 16, 1).deadline_s(1.0);
+        svc.submit(fine, 0.0).unwrap();
+        let hopeless = rows_spec(256, 16, 2).deadline_s(1e-9);
+        assert!(matches!(
+            svc.submit(hopeless, 0.0),
+            Err(Rejection::DeadlineInfeasible { .. })
+        ));
+        let r = svc.finish();
+        assert_eq!(r.rejected_deadline, 1);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.timeouts, 0);
+    }
+
+    #[test]
+    fn coalesces_backlog_and_reports_histogram() {
+        let cfg = ServeConfig {
+            n_gpus: 1,
+            streams_per_card: 1,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        // First submit dispatches alone; the rest arrive while the lane is
+        // busy and coalesce on the next free event during drain.
+        for seed in 0..5 {
+            svc.submit(rows_spec(256, 16, seed), 0.0).unwrap();
+        }
+        let r = svc.finish();
+        assert_eq!(r.completed, 5);
+        assert_eq!(r.batch_histogram.get(&1), Some(&1));
+        assert_eq!(r.batch_histogram.get(&4), Some(&1));
+        assert!(r.queue_max_depth >= 4);
+        assert!(r.mean_batch_size() > 1.0);
+    }
+
+    #[test]
+    fn priorities_jump_the_queue() {
+        let cfg = ServeConfig {
+            n_gpus: 1,
+            streams_per_card: 1,
+            max_batch_requests: 1,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        let first = svc.submit(rows_spec(256, 16, 0), 0.0).unwrap(); // dispatches now
+        let normal = svc.submit(rows_spec(256, 16, 1), 0.0).unwrap();
+        let high = svc
+            .submit(rows_spec(256, 16, 2).priority(Priority::High), 0.0)
+            .unwrap();
+        svc.drain();
+        let order: Vec<RequestId> = svc.completions().iter().map(|c| c.id).collect();
+        assert_eq!(
+            order,
+            vec![first, high, normal],
+            "high priority dispatches before the earlier normal request"
+        );
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let run = || {
+            let mut svc = tiny_service(ServeConfig::default());
+            for seed in 0..8u64 {
+                let spec = rows_spec(256, 32, seed);
+                svc.submit(spec, seed as f64 * 10e-6).unwrap();
+            }
+            svc.finish().to_json()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -27,3 +27,8 @@ cargo run --release -p fft-bench --bin bifft-bench --offline -- \
 # diagnostic anywhere in the grid.
 cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check-hazards --out /dev/null
+# Serving smoke: a small deterministic fft-serve load run with every card
+# under the same validation layer. Exits non-zero on any hazard diagnostic
+# anywhere in the serving stack (DESIGN.md §12).
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --smoke --check-hazards

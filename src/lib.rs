@@ -43,12 +43,14 @@
 //! | [`bifft`] | the five-step algorithm + six-step / CUFFT-like / no-shared baselines, out-of-core |
 //! | [`cpu_fft`] | the FFTW-like CPU baseline and 2008-CPU roofline model |
 //! | [`fft_apps`] | protein docking, spectral analysis, on-card convolution |
+//! | [`fft_serve`] | FFT-as-a-service: admission control, adaptive batching, multi-card scheduling (`cargo run --release --bin serve -- --smoke`) |
 //! | `fft-bench` | regenerates every table and figure (`cargo run --release -p fft-bench --bin report`) |
 
 pub use bifft;
 pub use cpu_fft;
 pub use fft_apps;
 pub use fft_math;
+pub use fft_serve;
 pub use gpu_sim;
 
 /// The commonly used types, one `use` away.
@@ -63,5 +65,6 @@ pub mod prelude {
     pub use fft_apps::convolution::GpuCorrelator;
     pub use fft_math::twiddle::Direction;
     pub use fft_math::{c32, Complex32};
+    pub use fft_serve::{FftService, RequestSpec, ServeConfig, Shape};
     pub use gpu_sim::{DeviceSpec, Gpu, Recorder, Trace};
 }
