@@ -98,11 +98,19 @@ pub struct BatchLimits {
 /// conservative before the first observation; every completed batch then
 /// pulls the estimate toward measured reality (alpha 0.3). Entirely
 /// deterministic — same request sequence, same estimates.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Estimator {
     per_elem_s: BTreeMap<BatchKey, f64>,
     /// Fixed per-launch overhead guess, seconds (PCIe latency both ways).
     overhead_s: f64,
+}
+
+/// Same as [`Estimator::new`] — a derived default would zero `overhead_s`
+/// and silently skew every estimate.
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::new()
+    }
 }
 
 /// The seed guess: 8 payload bytes each way over ~2 GB/s effective PCIe.

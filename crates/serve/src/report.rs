@@ -78,6 +78,9 @@ pub struct ServeReport {
     pub rejected_deadline: u64,
     /// Requests rejected as unsupported (bad shape).
     pub rejected_unsupported: u64,
+    /// Admitted requests that failed at dispatch (volumes even the whole
+    /// fleet could not allocate).
+    pub failed: u64,
     /// Completions that missed their deadline.
     pub timeouts: u64,
     /// First arrival to last completion, simulated seconds.
@@ -107,9 +110,11 @@ impl ServeReport {
         self.completed = completions.len() as u64;
         let mut good_bytes = 0u64;
         let mut latencies = Vec::with_capacity(completions.len());
+        let mut first = f64::INFINITY;
         let mut last = 0.0f64;
         for (c, &bytes) in completions.iter().zip(payload_bytes) {
             latencies.push(c.latency_s());
+            first = first.min(c.arrival_s);
             last = last.max(c.completed_s);
             if c.timed_out {
                 self.timeouts += 1;
@@ -118,10 +123,17 @@ impl ServeReport {
             }
         }
         self.latency = LatencyStats::from_latencies(latencies);
-        self.makespan_s = last;
-        if last > 0.0 {
-            self.goodput_gbs = good_bytes as f64 / last / 1e9;
-            self.achieved_rps = self.completed as f64 / last;
+        // First arrival to last completion; an idle prefix before the first
+        // request (open-loop warmup, resumed clocks) must not deflate the
+        // derived rates.
+        self.makespan_s = if completions.is_empty() {
+            0.0
+        } else {
+            (last - first).max(0.0)
+        };
+        if self.makespan_s > 0.0 {
+            self.goodput_gbs = good_bytes as f64 / self.makespan_s / 1e9;
+            self.achieved_rps = self.completed as f64 / self.makespan_s;
         }
     }
 
@@ -158,6 +170,7 @@ impl ServeReport {
             "  \"rejected_unsupported\": {},\n",
             self.rejected_unsupported
         ));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
         s.push_str(&format!("  \"makespan_s\": {},\n", self.makespan_s));
         s.push_str(&format!("  \"p50_ms\": {},\n", self.latency.p50_s * 1e3));
@@ -207,8 +220,8 @@ impl ServeReport {
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "requests: {} submitted, {} admitted, {} completed ({} timeouts)\n",
-            self.submitted, self.admitted, self.completed, self.timeouts
+            "requests: {} submitted, {} admitted, {} completed ({} timeouts, {} failed)\n",
+            self.submitted, self.admitted, self.completed, self.timeouts, self.failed
         ));
         s.push_str(&format!(
             "rejected: {} queue-full, {} deadline, {} unsupported\n",
@@ -289,6 +302,30 @@ mod tests {
         // Only the in-deadline request counts, both directions: 1 GB / 2 s.
         assert_eq!(r.goodput_gbs, 0.5);
         assert_eq!(r.achieved_rps, 1.0);
+    }
+
+    #[test]
+    fn makespan_runs_from_first_arrival() {
+        let mk = |arrive: f64, done: f64| Completion {
+            id: RequestId(0),
+            arrival_s: arrive,
+            completed_s: done,
+            card: Some(0),
+            batch_size: 1,
+            timed_out: false,
+            output: None,
+        };
+        let mut r = ServeReport::default();
+        // A late-starting run: the idle prefix before t=5 must not deflate
+        // the derived rates.
+        r.tally(&[mk(5.0, 6.0), mk(5.5, 7.0)], &[250_000_000, 250_000_000]);
+        assert_eq!(r.makespan_s, 2.0);
+        assert_eq!(r.goodput_gbs, 0.5);
+        assert_eq!(r.achieved_rps, 1.0);
+        let mut empty = ServeReport::default();
+        empty.tally(&[], &[]);
+        assert_eq!(empty.makespan_s, 0.0);
+        assert_eq!(empty.goodput_gbs, 0.0);
     }
 
     #[test]

@@ -84,10 +84,14 @@ pub struct FftService {
     limits: BatchLimits,
     estimator: Estimator,
     sharded: BTreeMap<(usize, usize, usize), MultiGpuFft3d>,
+    /// Volume dims even the whole fleet could not allocate, with the error
+    /// that proved it — admission rejects these outright from then on.
+    fleet_oversized: BTreeMap<(usize, usize, usize), FftError>,
     next_id: u64,
     now_s: f64,
     completions: Vec<Completion>,
     completion_bytes: Vec<u64>,
+    failures: Vec<(RequestId, FftError)>,
     batch_histogram: BTreeMap<usize, u64>,
     card_requests: Vec<u64>,
     card_bytes: Vec<u64>,
@@ -150,10 +154,12 @@ impl FftService {
             limits,
             estimator: Estimator::new(),
             sharded: BTreeMap::new(),
+            fleet_oversized: BTreeMap::new(),
             next_id: 0,
             now_s: 0.0,
             completions: Vec::new(),
             completion_bytes: Vec::new(),
+            failures: Vec::new(),
             batch_histogram: BTreeMap::new(),
             card_requests: vec![0; n],
             card_bytes: vec![0; n],
@@ -180,6 +186,12 @@ impl FftService {
         &self.completions
     }
 
+    /// Admitted requests that failed at dispatch (currently only volumes
+    /// even the whole fleet could not allocate), with the error.
+    pub fn failures(&self) -> &[(RequestId, FftError)] {
+        &self.failures
+    }
+
     /// Submits one request arriving at `at_s` simulated seconds.
     ///
     /// Admission control runs first: malformed shapes reject as
@@ -196,9 +208,15 @@ impl FftService {
     pub fn submit(&mut self, spec: RequestSpec, at_s: f64) -> Result<RequestId, Rejection> {
         self.now_s = self.now_s.max(at_s);
         self.submitted += 1;
-        if let Err(e) = validate_spec(&spec) {
+        if let Err(e) = validate_spec(&spec, self.cfg.max_batch_elems) {
             self.rejected_unsupported += 1;
             return Err(Rejection::Unsupported(e));
+        }
+        if let Shape::Volume { nx, ny, nz } = spec.shape {
+            if let Some(err) = self.fleet_oversized.get(&(nx, ny, nz)) {
+                self.rejected_unsupported += 1;
+                return Err(Rejection::Unsupported(err.clone()));
+            }
         }
         if !self.queue.has_room() {
             self.rejected_queue_full += 1;
@@ -387,23 +405,32 @@ impl FftService {
 
     fn dispatch_sharded(&mut self, dims: (usize, usize, usize), batch: Batch) {
         let dir = direction_of(&batch.key);
-        let plan = match self.sharded.entry(dims) {
-            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::btree_map::Entry::Vacant(e) => {
-                let mut plan =
-                    MultiGpuFft3d::new(&self.cfg.spec, self.cfg.n_gpus, dims.0, dims.1, dims.2)
-                        .unwrap_or_else(|err| {
-                            panic!(
-                                "sharded {}x{}x{} plan failed on {} cards: {err}",
-                                dims.0, dims.1, dims.2, self.cfg.n_gpus
-                            )
-                        });
-                if self.cfg.check_hazards {
-                    plan.check_enable();
+        if !self.sharded.contains_key(&dims) {
+            match MultiGpuFft3d::new(&self.cfg.spec, self.cfg.n_gpus, dims.0, dims.1, dims.2) {
+                Ok(mut plan) => {
+                    if self.cfg.check_hazards {
+                        plan.check_enable();
+                    }
+                    self.sharded.insert(dims, plan);
                 }
-                e.insert(plan)
+                Err(err @ FftError::Alloc(_)) => {
+                    // Even the whole fleet cannot hold this volume. Fail the
+                    // batch instead of panicking, and remember the verdict so
+                    // admission rejects the shape outright from now on.
+                    self.fleet_oversized.insert(dims, err.clone());
+                    self.fail_batch(batch, &err);
+                    return;
+                }
+                Err(err) => panic!(
+                    "sharded {}x{}x{} plan failed on {} cards: {err}",
+                    dims.0, dims.1, dims.2, self.cfg.n_gpus
+                ),
             }
-        };
+        }
+        let plan = self
+            .sharded
+            .get_mut(&dims)
+            .expect("present or just inserted");
         let started = self.now_s;
         let mut t = started;
         let size = batch.requests.len();
@@ -464,6 +491,15 @@ impl FftService {
         self.completion_bytes.push(bytes);
     }
 
+    /// Completes every request in `batch` as failed — the graceful
+    /// alternative to panicking when dispatch discovers, post-admission,
+    /// that the work is impossible.
+    fn fail_batch(&mut self, batch: Batch, err: &FftError) {
+        for p in batch.requests {
+            self.failures.push((p.id, err.clone()));
+        }
+    }
+
     /// Runs virtual time forward until the queue is empty and every lane is
     /// idle — the graceful-shutdown path. Returns the final simulated time.
     pub fn drain(&mut self) -> f64 {
@@ -502,6 +538,7 @@ impl FftService {
             rejected_queue_full: self.rejected_queue_full,
             rejected_deadline: self.rejected_deadline,
             rejected_unsupported: self.rejected_unsupported,
+            failed: self.failures.len() as u64,
             queue_max_depth: self.queue.max_depth(),
             queue_mean_depth: self.queue.mean_depth(),
             batch_histogram: self.batch_histogram.clone(),
@@ -559,8 +596,9 @@ fn direction_of(key: &BatchKey) -> Direction {
 }
 
 /// Shape/payload validation — everything admission can reject without
-/// touching a card.
-fn validate_spec(spec: &RequestSpec) -> Result<(), FftError> {
+/// touching a card. `max_batch_elems` is the per-lane staging-slot size:
+/// a rows request bigger than one slot can never be serviced.
+fn validate_spec(spec: &RequestSpec, max_batch_elems: usize) -> Result<(), FftError> {
     if spec.payload.len() != spec.shape.elems() {
         return Err(FftError::VolumeMismatch {
             expected: spec.shape.elems(),
@@ -581,6 +619,21 @@ fn validate_spec(spec: &RequestSpec) -> Result<(), FftError> {
                     param: "n",
                     value: n,
                     reason: "1-D batch length must be a power of two in 4..=512".to_string(),
+                });
+            }
+            // A single rows request must fit a lane's staging slot on its
+            // own: the batcher's element cap only bounds coalescing, so an
+            // oversized head request would otherwise dispatch unchecked and
+            // overrun the slot mid-upload.
+            if n * rows > max_batch_elems {
+                return Err(FftError::BadPlanConfig {
+                    param: "rows",
+                    value: rows,
+                    reason: format!(
+                        "{} payload elements exceed the service's {max_batch_elems}-element \
+                         staging slot (max_batch_elems)",
+                        n * rows
+                    ),
                 });
             }
         }
@@ -667,6 +720,70 @@ mod tests {
         assert_eq!(r.submitted, 4);
         assert_eq!(r.rejected_unsupported, 4);
         assert_eq!(r.admitted, 0);
+    }
+
+    #[test]
+    fn rejects_rows_payloads_larger_than_a_staging_slot() {
+        let cfg = ServeConfig {
+            max_batch_elems: 1 << 12,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        // 256 * 17 = 4352 > 4096: valid-shaped but bigger than one slot —
+        // must bounce at admission, not panic mid-upload.
+        let too_big = svc.submit(rows_spec(256, 17, 1), 0.0);
+        assert!(matches!(
+            too_big,
+            Err(Rejection::Unsupported(FftError::BadPlanConfig {
+                param: "rows",
+                ..
+            }))
+        ));
+        // Exactly one slot still fits.
+        svc.submit(rows_spec(256, 16, 2), 0.0).unwrap();
+        let r = svc.finish();
+        assert_eq!(r.rejected_unsupported, 1);
+        assert_eq!(r.completed, 1);
+    }
+
+    #[test]
+    fn fleet_oversized_volume_fails_gracefully_then_rejects() {
+        // 1 MiB cards: a 64^3 volume (2 MiB of data) cannot fit even the
+        // sharded two-card fleet. The first request must fail cleanly (no
+        // panic); later ones must bounce at admission.
+        let mut spec = gpu_sim::DeviceSpec::gts8800();
+        spec.memory_bytes = 1 << 20;
+        let cfg = ServeConfig {
+            spec,
+            n_gpus: 2,
+            streams_per_card: 1,
+            max_batch_elems: 1 << 10,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        let req = RequestSpec::seeded(
+            Shape::Volume {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+            },
+            Direction::Forward,
+            1,
+        );
+        let id = svc.submit(req.clone(), 0.0).unwrap();
+        svc.drain();
+        assert!(svc.completions().is_empty());
+        assert_eq!(svc.failures().len(), 1);
+        assert_eq!(svc.failures()[0].0, id);
+        assert!(matches!(svc.failures()[0].1, FftError::Alloc(_)));
+        assert!(matches!(
+            svc.submit(req, 1.0),
+            Err(Rejection::Unsupported(FftError::Alloc(_)))
+        ));
+        let r = svc.report();
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.rejected_unsupported, 1);
     }
 
     #[test]
