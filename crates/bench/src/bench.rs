@@ -17,6 +17,11 @@
 //! percentiles). `--check` gates serving goodput with the same tolerance as
 //! the kernel metrics, so scheduler/batcher regressions fail CI too.
 //!
+//! Since v3 every serving point also records the service's SLO verdict
+//! (`slo_ok`, from the serve telemetry monitor); `--check` fails when a
+//! point whose baseline met its SLOs no longer does — a latency-tail or
+//! error-budget regression gates even while goodput still passes.
+//!
 //! The file format is the same hand-rolled JSON the rest of the repo uses
 //! (shortest-round-trip `f64`, fixed key order), scanned back with the same
 //! dependency-free field scanner as `profile --diff`.
@@ -32,7 +37,7 @@ use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v2";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v3";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
@@ -132,6 +137,10 @@ pub struct ServingPoint {
     pub p95_ms: f64,
     /// 99th-percentile request latency, milliseconds.
     pub p99_ms: f64,
+    /// Whether the run met every serving SLO (latency tail, error budget;
+    /// gated by `--check` — a baseline that met its SLOs must keep meeting
+    /// them).
+    pub slo_ok: bool,
 }
 
 /// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
@@ -293,6 +302,7 @@ fn serving_point(
             p50_ms: r.latency.p50_s * 1e3,
             p95_ms: r.latency.p95_s * 1e3,
             p99_ms: r.latency.p99_s * 1e3,
+            slo_ok: r.slo.ok,
         },
         crep,
     )
@@ -372,9 +382,10 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
         .collect::<Vec<_>>();
     for s in &serving {
         report.push_str(&format!(
-            "serving: {} on {} GPUs x{} streams: {:.3} GB/s goodput, p50 {:.3} / p95 {:.3} / p99 {:.3} ms ({:.0} of {:.0} req/s)\n",
+            "serving: {} on {} GPUs x{} streams: {:.3} GB/s goodput, p50 {:.3} / p95 {:.3} / p99 {:.3} ms ({:.0} of {:.0} req/s) slo {}\n",
             s.workload, s.serve_gpus, s.streams, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms,
-            s.achieved_rps, s.offered_rps
+            s.achieved_rps, s.offered_rps,
+            if s.slo_ok { "ok" } else { "VIOLATED" }
         ));
     }
     (
@@ -472,9 +483,9 @@ pub fn to_json(file: &BenchFile) -> String {
     let nv = file.serving.len();
     for (i, s) in file.serving.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"serve_gpus\": {}, \"streams\": {}, \"requests\": {}, \"seed\": {}, \"offered_rps\": {}, \"achieved_rps\": {}, \"goodput_gbs\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}{}\n",
+            "    {{\"workload\": \"{}\", \"serve_gpus\": {}, \"streams\": {}, \"requests\": {}, \"seed\": {}, \"offered_rps\": {}, \"achieved_rps\": {}, \"goodput_gbs\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"slo_ok\": {}}}{}\n",
             s.workload, s.serve_gpus, s.streams, s.requests, s.seed, s.offered_rps,
-            s.achieved_rps, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms,
+            s.achieved_rps, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms, s.slo_ok,
             if i + 1 < nv { "," } else { "" }
         ));
     }
@@ -622,6 +633,7 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         let (p50, sc) = field(text, "p50_ms", sc).ok_or("serving: missing p50_ms")?;
         let (p95, sc) = field(text, "p95_ms", sc).ok_or("serving: missing p95_ms")?;
         let (p99, sc) = field(text, "p99_ms", sc).ok_or("serving: missing p99_ms")?;
+        let (slo_ok, sc) = field(text, "slo_ok", sc).ok_or("serving: missing slo_ok")?;
         serving.push(ServingPoint {
             workload: workload.to_string(),
             serve_gpus: serve_gpus
@@ -642,6 +654,7 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
             p50_ms: parse_f64(p50, "p50_ms")?,
             p95_ms: parse_f64(p95, "p95_ms")?,
             p99_ms: parse_f64(p99, "p99_ms")?,
+            slo_ok: slo_ok == "true",
         });
         c = sc;
     }
@@ -726,6 +739,9 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
                 cand.goodput_gbs,
                 (cand.goodput_gbs / base.goodput_gbs - 1.0) * 100.0
             ));
+        }
+        if base.slo_ok && !cand.slo_ok {
+            failures.push(format!("{id}: SLO verdict went from ok to VIOLATED"));
         }
     }
     failures
@@ -884,6 +900,7 @@ mod tests {
         assert_eq!(parsed.scaling[0].gpus, 2);
         assert_eq!(parsed.serving[0].workload, "rows");
         assert!(parsed.serving[0].goodput_gbs > 0.0);
+        assert!(parsed.serving[0].slo_ok, "the tiny run meets its SLOs");
     }
 
     #[test]
@@ -945,6 +962,19 @@ mod tests {
         let mut nudged = file.clone();
         nudged.serving[0].goodput_gbs *= 1.01;
         assert!(check(&nudged, &file, CHECK_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn slo_violation_fails_the_gate() {
+        let file = tiny_file();
+        assert!(file.serving[0].slo_ok, "baseline meets its SLOs");
+        let mut violated = file.clone();
+        violated.serving[0].slo_ok = false;
+        let failures = check(&file, &violated, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("SLO verdict"), "{failures:?}");
+        // A baseline that already violated does not gate the candidate.
+        assert!(check(&violated, &violated, CHECK_TOLERANCE).is_empty());
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! ```
 //!
 //! `--json` prints the same schema-versioned records `bifft-bench` writes
-//! (the quick grid), so the human tables and the machine output share one
-//! generator and cannot drift.
+//! (the quick grid, `bifft-bench-v3` with per-point SLO verdicts), so the
+//! human tables and the machine output share one generator and cannot
+//! drift.
 
 use fft_bench::{ablations, extensions, tables, validate};
 

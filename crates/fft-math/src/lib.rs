@@ -16,7 +16,9 @@
 //! * [`dft`] — O(N²) reference oracle,
 //! * [`rng`] — SplitMix64, the workspace's dependency-free seedable PRNG,
 //! * [`flops`] — the paper's `15·N³·log2 N` GFLOPS convention,
-//! * [`error`] — validation norms.
+//! * [`error`] — validation norms,
+//! * [`stats`] — nearest-rank percentiles shared by the serving and
+//!   benchmarking layers.
 
 #![warn(missing_docs)]
 
@@ -30,6 +32,7 @@ pub mod flops;
 pub mod layout;
 pub mod multirow;
 pub mod rng;
+pub mod stats;
 pub mod twiddle;
 
 pub use complex::{c32, c64, Complex32, Complex64};

@@ -1,0 +1,66 @@
+//! Order statistics shared by the serving and benchmarking layers.
+//!
+//! The nearest-rank percentile used by `fft-serve`'s latency reporting and
+//! the bench `serving` section lived in each consumer before; this is the
+//! single definition both now call, so report and gate can never disagree
+//! about what "p95" means.
+
+/// Sorts a latency/value sample in place with a total order (NaNs sort
+/// last; the inputs here are simulated durations, which are always finite).
+pub fn sort_samples(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element with at least `p` (in `(0, 1]`) of the sample at or below it.
+/// Returns 0.0 for an empty sample (the reports' "no data" convention).
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(p > 0.0 && p <= 1.0, "percentile {p} out of (0, 1]");
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Convenience over unsorted data: sorts a copy and takes the
+/// [`nearest_rank`] percentile.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sort_samples(&mut sorted);
+    nearest_rank(&sorted, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins p50/p95/p99 on a known 1..=100 sample: nearest-rank of `pN`
+    /// over `k` equally-likely values is exactly the `ceil(p*k)`-th value.
+    #[test]
+    fn pins_nearest_rank_on_known_inputs() {
+        let lat: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(nearest_rank(&lat, 0.50), 50.0);
+        assert_eq!(nearest_rank(&lat, 0.95), 95.0);
+        assert_eq!(nearest_rank(&lat, 0.99), 99.0);
+        assert_eq!(nearest_rank(&lat, 1.0), 100.0);
+        // Small samples: nearest rank clamps into the sample.
+        let five = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(nearest_rank(&five, 0.50), 30.0);
+        assert_eq!(nearest_rank(&five, 0.95), 50.0);
+        assert_eq!(nearest_rank(&five, 0.99), 50.0);
+        let one = [3.0];
+        assert_eq!(nearest_rank(&one, 0.50), 3.0);
+        assert_eq!(nearest_rank(&one, 0.99), 3.0);
+        assert_eq!(nearest_rank(&[], 0.95), 0.0);
+    }
+
+    #[test]
+    fn percentile_sorts_first() {
+        let scrambled = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&scrambled, 0.50), 5.0);
+        assert_eq!(percentile(&scrambled, 0.99), 9.0);
+        // The input is untouched.
+        assert_eq!(scrambled[0], 9.0);
+    }
+}

@@ -321,13 +321,34 @@ impl Trace {
     /// device-memory usage is a counter (`C`) series. Timestamps are
     /// microseconds, as the format requires.
     pub fn chrome_json(&self) -> String {
+        let ev = self.chrome_events(0, "gpu-sim");
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&ev.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// The individual Chrome trace-event lines of [`Trace::chrome_json`],
+    /// rendered under an arbitrary process id and process name.
+    ///
+    /// This is the composition point for multi-device exports: a consumer
+    /// with one trace per simulated card (the serving layer) renders each
+    /// card's events under its own pid and joins them, together with any
+    /// tracks of its own, into one `traceEvents` document.
+    pub fn chrome_events(&self, pid: usize, process_name: &str) -> Vec<String> {
         let mut ev: Vec<String> = Vec::with_capacity(self.events.len() + 3);
-        ev.push(r#"{"ph":"M","pid":0,"name":"process_name","args":{"name":"gpu-sim"}}"#.into());
-        ev.push(
-            r#"{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"sm (kernels + plan spans)"}}"#
-                .into(),
+        let mut pname = format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\""
         );
-        ev.push(r#"{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"pcie"}}"#.into());
+        esc(process_name, &mut pname);
+        pname.push_str("\"}}");
+        ev.push(pname);
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"thread_name\",\"args\":{{\"name\":\"sm (kernels + plan spans)\"}}}}"
+        ));
+        ev.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"thread_name\",\"args\":{{\"name\":\"pcie\"}}}}"
+        ));
         let mut stream_ids: Vec<usize> = self
             .events
             .iter()
@@ -340,7 +361,7 @@ impl Trace {
         stream_ids.dedup();
         for s in &stream_ids {
             ev.push(format!(
-                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"stream {}\"}}}}",
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"stream {}\"}}}}",
                 10 + s,
                 s
             ));
@@ -378,7 +399,9 @@ impl Trace {
                         None => (t_s - timing.time_s, String::new()),
                     };
                     let mut line = String::new();
-                    line.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    line.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\"name\":\""
+                    ));
                     esc(name, &mut line);
                     line.push_str(&format!(
                         "\",\"ts\":{},\"dur\":{},\"args\":{{{}",
@@ -408,14 +431,18 @@ impl Trace {
                 }
                 TraceEvent::SpanBegin { name, t_s } => {
                     let mut line = String::new();
-                    line.push_str("{\"ph\":\"B\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    line.push_str(&format!(
+                        "{{\"ph\":\"B\",\"pid\":{pid},\"tid\":0,\"name\":\""
+                    ));
                     esc(name, &mut line);
                     line.push_str(&format!("\",\"ts\":{}}}", us(*t_s)));
                     ev.push(line);
                 }
                 TraceEvent::SpanEnd { name, t_s } => {
                     let mut line = String::new();
-                    line.push_str("{\"ph\":\"E\",\"pid\":0,\"tid\":0,\"name\":\"");
+                    line.push_str(&format!(
+                        "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":0,\"name\":\""
+                    ));
                     esc(name, &mut line);
                     line.push_str(&format!("\",\"ts\":{}}}", us(*t_s)));
                     ev.push(line);
@@ -435,7 +462,9 @@ impl Trace {
                         0.0
                     };
                     let mut line = String::new();
-                    line.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"");
+                    line.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":1,\"name\":\""
+                    ));
                     esc(label, &mut line);
                     line.push_str(&format!(
                         "\",\"ts\":{},\"dur\":{},\"args\":{{\"dir\":\"{}\",\"bytes\":{},\"achieved_gbs\":{},\"async\":{}}}}}",
@@ -461,7 +490,7 @@ impl Trace {
                 } => {
                     let mut line = String::new();
                     line.push_str(&format!(
-                        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":\"",
+                        "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"name\":\"",
                         10 + stream
                     ));
                     esc(label, &mut line);
@@ -485,17 +514,14 @@ impl Trace {
                     used_bytes, t_s, ..
                 } => {
                     ev.push(format!(
-                        "{{\"ph\":\"C\",\"pid\":0,\"name\":\"device_mem\",\"ts\":{},\"args\":{{\"used_bytes\":{}}}}}",
+                        "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"device_mem\",\"ts\":{},\"args\":{{\"used_bytes\":{}}}}}",
                         us(*t_s),
                         used_bytes
                     ));
                 }
             }
         }
-        let mut out = String::from("{\"traceEvents\":[\n");
-        out.push_str(&ev.join(",\n"));
-        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-        out
+        ev
     }
 }
 

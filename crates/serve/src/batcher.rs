@@ -15,6 +15,7 @@
 
 use crate::queue::{Pending, SubmitQueue};
 use crate::request::ShapeKey;
+use crate::telemetry::{LifecycleLog, Stage};
 use bifft::plan::Algorithm;
 use fft_math::twiddle::Direction;
 use std::collections::BTreeMap;
@@ -151,12 +152,17 @@ impl Estimator {
 /// `skip` names batch keys that currently cannot be placed (e.g. a volume
 /// needing a fully idle card while only one lane is free); the head-of-line
 /// bypass then considers the next distinct key in dispatch order.
+///
+/// Every drained member gets a `Batched` stamp at `now_s` in `log` — the
+/// instant coalescing pulled it out of the queue.
 pub fn form_batch(
     queue: &mut SubmitQueue,
     limits: &BatchLimits,
     est: &Estimator,
     default_algo: Algorithm,
     skip: &[BatchKey],
+    now_s: f64,
+    log: &mut LifecycleLog,
 ) -> Option<Batch> {
     // Find the first queued request whose key is not skipped.
     let head = queue
@@ -186,6 +192,9 @@ pub fn form_batch(
 
     queue.sample_depth();
     let requests = queue.drain_selected(&ids);
+    for p in &requests {
+        log.record(p.id, Stage::Batched, now_s);
+    }
     Some(Batch {
         key,
         requests,
@@ -223,10 +232,23 @@ mod tests {
             push_rows(&mut q, id, 256, 4);
         }
         let est = Estimator::new();
-        let b = form_batch(&mut q, &limits(), &est, Algorithm::FiveStep, &[]).unwrap();
+        let mut log = LifecycleLog::default();
+        let b = form_batch(
+            &mut q,
+            &limits(),
+            &est,
+            Algorithm::FiveStep,
+            &[],
+            0.5,
+            &mut log,
+        )
+        .unwrap();
         assert_eq!(b.requests.len(), 4, "request cap");
         assert_eq!(b.elems, 4 * 256 * 4);
         assert_eq!(q.depth(), 2, "remainder stays queued");
+        for p in &b.requests {
+            assert_eq!(log.get(p.id).unwrap().stage_s(Stage::Batched), Some(0.5));
+        }
     }
 
     #[test]
@@ -236,7 +258,17 @@ mod tests {
         push_rows(&mut q, 1, 128, 4);
         push_rows(&mut q, 2, 256, 4);
         let est = Estimator::new();
-        let b = form_batch(&mut q, &limits(), &est, Algorithm::FiveStep, &[]).unwrap();
+        let mut log = LifecycleLog::default();
+        let b = form_batch(
+            &mut q,
+            &limits(),
+            &est,
+            Algorithm::FiveStep,
+            &[],
+            0.0,
+            &mut log,
+        )
+        .unwrap();
         let ids: Vec<u64> = b.requests.iter().map(|p| p.id.0).collect();
         assert_eq!(ids, vec![0, 2], "only same-n rows coalesce");
         assert_eq!(q.depth(), 1);
@@ -259,7 +291,17 @@ mod tests {
         );
         let mut tight = limits();
         tight.latency_budget_s = one; // two requests fit, three don't
-        let b = form_batch(&mut q, &tight, &est, Algorithm::FiveStep, &[]).unwrap();
+        let mut log = LifecycleLog::default();
+        let b = form_batch(
+            &mut q,
+            &tight,
+            &est,
+            Algorithm::FiveStep,
+            &[],
+            0.0,
+            &mut log,
+        )
+        .unwrap();
         assert_eq!(b.requests.len(), 2);
     }
 
@@ -291,7 +333,17 @@ mod tests {
             forward: true,
             algo: 0,
         };
-        let b = form_batch(&mut q, &limits(), &est, Algorithm::FiveStep, &[vol_key]).unwrap();
+        let mut log = LifecycleLog::default();
+        let b = form_batch(
+            &mut q,
+            &limits(),
+            &est,
+            Algorithm::FiveStep,
+            &[vol_key],
+            0.0,
+            &mut log,
+        )
+        .unwrap();
         assert_eq!(b.requests[0].id.0, 1, "bypassed the skipped volume");
         assert_eq!(q.depth(), 1, "volume still queued");
     }

@@ -5,6 +5,8 @@
 //! cargo run --release -p fft-serve --bin fft-serve -- --smoke
 //! cargo run --release -p fft-serve --bin fft-serve -- --smoke --check-hazards
 //! cargo run --release -p fft-serve --bin fft-serve -- --gpus 4 --rate 4000 --json serve.json
+//! cargo run --release -p fft-serve --bin fft-serve -- --smoke --metrics-out m.json --trace t.json
+//! cargo run --release -p fft-serve --bin fft-serve -- --validate-metrics m.json
 //! ```
 //!
 //! See `crates/serve/src/cli.rs` for flags and exit-code semantics.

@@ -1,19 +1,29 @@
 //! The `fft-serve` binary: seeded load-generator runs over the service,
-//! with optional hazard checking and JSON report output.
+//! with optional hazard checking, JSON report output, and the telemetry
+//! surface (windowed metrics, SLO verdicts, Chrome-trace waterfalls).
 //!
 //! ```text
 //! fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS]
 //!           [--seed S] [--workload rows|mixed] [--closed N]
 //!           [--check-hazards] [--json PATH]
+//!           [--metrics-out PATH] [--metrics-format json|prom]
+//!           [--trace PATH]
+//! fft-serve --validate-metrics PATH
 //! ```
 //!
 //! `--smoke` is the CI entry point: a small mixed open-loop run whose
 //! report is deterministic for a given seed; with `--check-hazards` the
 //! whole fleet runs under the PR 4 validator and any diagnostic fails the
-//! process (exit 1).
+//! process (exit 1). `--metrics-out` writes the metrics document
+//! ([`crate::telemetry::export::METRICS_SCHEMA`] JSON or Prometheus
+//! exposition text), `--trace` writes a merged Chrome-trace timeline
+//! (per-card tracks plus one track per request), and `--validate-metrics`
+//! re-reads a previously written JSON metrics file and exits 0 only when
+//! the schema validates AND the recorded SLO verdict is ok — the CI gate.
 
 use crate::loadgen::{run_closed_loop, run_open_loop, Workload};
 use crate::service::{FftService, ServeConfig};
+use crate::telemetry::validate_metrics_json;
 
 struct Cli {
     gpus: usize,
@@ -25,6 +35,10 @@ struct Cli {
     closed: Option<u64>,
     check_hazards: bool,
     json_path: Option<String>,
+    metrics_out: Option<String>,
+    metrics_format: String,
+    trace_path: Option<String>,
+    validate_metrics: Option<String>,
 }
 
 impl Default for Cli {
@@ -39,6 +53,10 @@ impl Default for Cli {
             closed: None,
             check_hazards: false,
             json_path: None,
+            metrics_out: None,
+            metrics_format: "json".to_string(),
+            trace_path: None,
+            validate_metrics: None,
         }
     }
 }
@@ -46,7 +64,9 @@ impl Default for Cli {
 fn usage() {
     eprintln!(
         "usage: fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS] \
-         [--seed S] [--workload rows|mixed] [--closed N] [--check-hazards] [--json PATH]"
+         [--seed S] [--workload rows|mixed] [--closed N] [--check-hazards] [--json PATH] \
+         [--metrics-out PATH] [--metrics-format json|prom] [--trace PATH]\n\
+         \u{20}      fft-serve --validate-metrics PATH"
     );
 }
 
@@ -83,12 +103,55 @@ pub fn cli_main() -> i32 {
             }
             "--closed" => cli.closed = Some(take!("--closed", |v: &str| v.parse().ok())),
             "--json" => cli.json_path = Some(take!("--json", |v: &str| Some(v.to_string()))),
+            "--metrics-out" => {
+                cli.metrics_out = Some(take!("--metrics-out", |v: &str| Some(v.to_string())));
+            }
+            "--metrics-format" => {
+                cli.metrics_format = take!("--metrics-format", |v: &str| match v {
+                    "json" | "prom" => Some(v.to_string()),
+                    _ => None,
+                });
+            }
+            "--trace" => {
+                cli.trace_path = Some(take!("--trace", |v: &str| Some(v.to_string())));
+            }
+            "--validate-metrics" => {
+                cli.validate_metrics =
+                    Some(take!("--validate-metrics", |v: &str| Some(v.to_string())));
+            }
             other => {
                 eprintln!("fft-serve: unknown argument {other}");
                 usage();
                 return 2;
             }
         }
+    }
+
+    // Standalone mode: re-validate a previously written metrics document.
+    // Exit 0 only when the schema parses AND the recorded SLO verdict was
+    // ok — this is what CI runs against the smoke run's --metrics-out.
+    if let Some(path) = &cli.validate_metrics {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fft-serve: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        return match validate_metrics_json(&text) {
+            Ok(true) => {
+                eprintln!("fft-serve: {path}: schema ok, slo ok");
+                0
+            }
+            Ok(false) => {
+                eprintln!("fft-serve: {path}: schema ok, but SLO VIOLATED");
+                1
+            }
+            Err(e) => {
+                eprintln!("fft-serve: {path}: invalid metrics document: {e}");
+                1
+            }
+        };
     }
 
     let workload = match cli.workload.as_str() {
@@ -103,6 +166,7 @@ pub fn cli_main() -> i32 {
         n_gpus: cli.gpus,
         streams_per_card: cli.streams,
         check_hazards: cli.check_hazards,
+        record_trace: cli.trace_path.is_some(),
         ..ServeConfig::default()
     };
     let mut svc = match FftService::new(cfg) {
@@ -141,6 +205,37 @@ pub fn cli_main() -> i32 {
             return 1;
         }
         eprintln!("fft-serve: report written to {path}");
+    }
+
+    if let Some(path) = &cli.metrics_out {
+        let doc = match cli.metrics_format.as_str() {
+            "prom" => svc.prometheus_text(),
+            _ => svc.metrics_json(),
+        };
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("fft-serve: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!(
+            "fft-serve: metrics ({}) written to {path}",
+            cli.metrics_format
+        );
+    }
+
+    if let Some(path) = &cli.trace_path {
+        match svc.chrome_trace() {
+            Some(doc) => {
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("fft-serve: cannot write {path}: {e}");
+                    return 1;
+                }
+                eprintln!("fft-serve: chrome trace written to {path}");
+            }
+            None => {
+                eprintln!("fft-serve: --trace produced no events (recording disabled?)");
+                return 1;
+            }
+        }
     }
 
     if cli.check_hazards {

@@ -19,6 +19,9 @@
 //! - [`loadgen`] — seeded open-loop (Poisson) and closed-loop generators;
 //! - [`report`] — latency percentiles, goodput, queue/batch statistics,
 //!   per-card utilization, rendered as deterministic JSON;
+//! - [`telemetry`] — request-lifecycle waterfalls, the windowed metrics
+//!   registry, SLO burn-rate monitoring and the metrics/Prometheus/Chrome
+//!   exporters;
 //! - [`cli`] — the `fft-serve` binary.
 //!
 //! Everything is seeded and virtual-time: the same workload seed produces
@@ -35,8 +38,13 @@ pub mod report;
 pub mod request;
 pub mod scheduler;
 pub mod service;
+pub mod telemetry;
 
 pub use loadgen::{run_closed_loop, run_open_loop, OfferedLoad, Workload};
 pub use report::{LatencyStats, ServeReport};
 pub use request::{Completion, Priority, Rejection, RequestId, RequestSpec, Shape};
 pub use service::{FftService, ServeConfig};
+pub use telemetry::{
+    metrics_json, prometheus_text, validate_metrics_json, LifecycleLog, MetricsRegistry, SloPolicy,
+    SloReport, Stage, Telemetry, METRICS_SCHEMA,
+};

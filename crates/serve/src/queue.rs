@@ -6,6 +6,7 @@
 //! the [`crate::report::ServeReport`] publishes.
 
 use crate::request::{RequestId, RequestSpec};
+use crate::telemetry::{LifecycleLog, Stage};
 
 /// One admitted request waiting for dispatch.
 #[derive(Clone, Debug)]
@@ -91,6 +92,17 @@ impl SubmitQueue {
         self.max_depth = self.max_depth.max(self.entries.len());
     }
 
+    /// [`SubmitQueue::push`] plus an `Admitted` stamp in the lifecycle log
+    /// at the request's arrival time. Re-queues (a volume bounced off a
+    /// busy fleet) re-stamp the same instant, which is a no-op.
+    ///
+    /// # Panics
+    /// When the queue is already at capacity.
+    pub fn push_traced(&mut self, p: Pending, log: &mut LifecycleLog) {
+        log.record(p.id, Stage::Admitted, p.arrival_s);
+        self.push(p);
+    }
+
     /// The next request in dispatch order, without removing it.
     pub fn head(&self) -> Option<&Pending> {
         self.entries.first()
@@ -159,6 +171,16 @@ mod tests {
         assert_eq!(q.depth(), 1);
         q.sample_depth();
         assert_eq!(q.mean_depth(), 1.5);
+    }
+
+    #[test]
+    fn push_traced_stamps_admission() {
+        let mut q = SubmitQueue::new(4);
+        let mut log = LifecycleLog::default();
+        q.push_traced(pending(9, 2.5, Priority::Normal), &mut log);
+        let wf = log.get(RequestId(9)).unwrap();
+        assert_eq!(wf.stage_s(Stage::Admitted), Some(2.5));
+        assert_eq!(q.depth(), 1);
     }
 
     #[test]

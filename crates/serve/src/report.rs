@@ -7,6 +7,8 @@
 //! keys), so equal runs produce byte-identical JSON.
 
 use crate::request::Completion;
+use crate::telemetry::{export::render_slo_json, SloReport};
+use fft_math::stats;
 use std::collections::BTreeMap;
 
 /// Nearest-rank latency percentiles over a completion set, seconds.
@@ -28,20 +30,18 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes the stats from raw latencies (empty input gives zeros).
+    /// Percentiles come from the shared [`fft_math::stats`] nearest-rank
+    /// helper, so the report and the bench gate agree on what "p95" means.
     pub fn from_latencies(mut lat: Vec<f64>) -> Self {
         if lat.is_empty() {
             return LatencyStats::default();
         }
-        lat.sort_by(f64::total_cmp);
-        let nearest = |p: f64| {
-            let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
-            lat[rank - 1]
-        };
+        stats::sort_samples(&mut lat);
         LatencyStats {
             count: lat.len(),
-            p50_s: nearest(0.50),
-            p95_s: nearest(0.95),
-            p99_s: nearest(0.99),
+            p50_s: stats::nearest_rank(&lat, 0.50),
+            p95_s: stats::nearest_rank(&lat, 0.95),
+            p99_s: stats::nearest_rank(&lat, 0.99),
             mean_s: lat.iter().sum::<f64>() / lat.len() as f64,
             max_s: lat[lat.len() - 1],
         }
@@ -57,6 +57,8 @@ pub struct CardReport {
     pub bytes: u64,
     /// Compute-engine busy seconds over the service makespan, `[0, 1]`.
     pub utilization: f64,
+    /// DMA-engine busy seconds (both directions) over the makespan, `[0, 1]`.
+    pub copy_utilization: f64,
     /// Plan-cache hits.
     pub plan_hits: u64,
     /// Plan-cache misses.
@@ -78,6 +80,12 @@ pub struct ServeReport {
     pub rejected_deadline: u64,
     /// Requests rejected as unsupported (bad shape).
     pub rejected_unsupported: u64,
+    /// Requests rejected because their rows payload exceeds a lane's
+    /// staging slot.
+    pub rejected_oversized: u64,
+    /// Requests rejected because a previous attempt proved the fleet cannot
+    /// allocate the volume.
+    pub rejected_unallocatable: u64,
     /// Admitted requests that failed at dispatch (volumes even the whole
     /// fleet could not allocate).
     pub failed: u64,
@@ -99,6 +107,9 @@ pub struct ServeReport {
     pub batch_histogram: BTreeMap<usize, u64>,
     /// Per-card counters, indexed by card.
     pub cards: Vec<CardReport>,
+    /// The SLO verdict ([`crate::telemetry::slo`]); vacuously `ok` when no
+    /// objectives were evaluated.
+    pub slo: SloReport,
 }
 
 impl ServeReport {
@@ -170,6 +181,14 @@ impl ServeReport {
             "  \"rejected_unsupported\": {},\n",
             self.rejected_unsupported
         ));
+        s.push_str(&format!(
+            "  \"rejected_oversized\": {},\n",
+            self.rejected_oversized
+        ));
+        s.push_str(&format!(
+            "  \"rejected_unallocatable\": {},\n",
+            self.rejected_unallocatable
+        ));
         s.push_str(&format!("  \"failed\": {},\n", self.failed));
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
         s.push_str(&format!("  \"makespan_s\": {},\n", self.makespan_s));
@@ -201,18 +220,21 @@ impl ServeReport {
         s.push_str("  \"cards\": [\n");
         for (i, c) in self.cards.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"card\": {}, \"requests\": {}, \"bytes\": {}, \"utilization\": {}, \"plan_hits\": {}, \"plan_misses\": {}}}{}\n",
+                "    {{\"card\": {}, \"requests\": {}, \"bytes\": {}, \"utilization\": {}, \"copy_utilization\": {}, \"plan_hits\": {}, \"plan_misses\": {}}}{}\n",
                 i,
                 c.requests,
                 c.bytes,
                 c.utilization,
+                c.copy_utilization,
                 c.plan_hits,
                 c.plan_misses,
                 if i + 1 < self.cards.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n");
-        s.push_str("}\n");
+        s.push_str("  ],\n");
+        s.push_str("  \"slo\": ");
+        s.push_str(&render_slo_json(&self.slo, "  "));
+        s.push_str("\n}\n");
         s
     }
 
@@ -224,8 +246,12 @@ impl ServeReport {
             self.submitted, self.admitted, self.completed, self.timeouts, self.failed
         ));
         s.push_str(&format!(
-            "rejected: {} queue-full, {} deadline, {} unsupported\n",
-            self.rejected_queue_full, self.rejected_deadline, self.rejected_unsupported
+            "rejected: {} queue-full, {} deadline, {} unsupported, {} oversized, {} unallocatable\n",
+            self.rejected_queue_full,
+            self.rejected_deadline,
+            self.rejected_unsupported,
+            self.rejected_oversized,
+            self.rejected_unallocatable
         ));
         s.push_str(&format!(
             "latency:  p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | mean {:.3} ms\n",
@@ -248,13 +274,33 @@ impl ServeReport {
         ));
         for (i, c) in self.cards.iter().enumerate() {
             s.push_str(&format!(
-                "card {i}:   {} reqs | {:.1} MiB | util {:.1}% | plans {}/{} hit\n",
+                "card {i}:   {} reqs | {:.1} MiB | util {:.1}% | copy {:.1}% | plans {}/{} hit\n",
                 c.requests,
                 c.bytes as f64 / (1 << 20) as f64,
                 c.utilization * 100.0,
+                c.copy_utilization * 100.0,
                 c.plan_hits,
                 c.plan_hits + c.plan_misses
             ));
+        }
+        if self.slo.verdicts.is_empty() {
+            s.push_str("slo:      not evaluated\n");
+        } else {
+            s.push_str(&format!(
+                "slo:      {}",
+                if self.slo.ok { "ok" } else { "VIOLATED" }
+            ));
+            for v in &self.slo.verdicts {
+                s.push_str(&format!(
+                    " | {} {} (target {}, burn {:.2}/{:.2})",
+                    v.objective,
+                    if v.ok { "ok" } else { "miss" },
+                    v.target,
+                    v.burn_long,
+                    v.burn_short
+                ));
+            }
+            s.push('\n');
         }
         s
     }
@@ -339,6 +385,8 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"batch_histogram\": {\"1\": 7, \"4\": 2}"));
         assert!(a.contains("\"cards\": ["));
+        assert!(a.contains("\"rejected_oversized\": 0"));
+        assert!(a.contains("\"slo\": {"));
     }
 
     #[test]

@@ -174,6 +174,17 @@ pub enum Rejection {
     },
     /// The shape or payload is invalid for this service.
     Unsupported(FftError),
+    /// A rows payload larger than a lane's staging slot — valid in shape,
+    /// but too big to ever dispatch on this fleet's configuration.
+    Oversized {
+        /// The request's payload size, complex elements.
+        elems: usize,
+        /// The largest rows payload a lane can stage.
+        limit_elems: usize,
+    },
+    /// A volume that not even the whole fleet could allocate — known from a
+    /// previous sharded attempt on the same shape.
+    Unallocatable(FftError),
 }
 
 impl std::fmt::Display for Rejection {
@@ -192,6 +203,13 @@ impl std::fmt::Display for Rejection {
                 deadline_s * 1e3
             ),
             Rejection::Unsupported(e) => write!(f, "unsupported request: {e}"),
+            Rejection::Oversized { elems, limit_elems } => write!(
+                f,
+                "payload of {elems} elems exceeds the {limit_elems}-elem staging slot"
+            ),
+            Rejection::Unallocatable(e) => {
+                write!(f, "fleet cannot allocate this volume: {e}")
+            }
         }
     }
 }

@@ -20,8 +20,10 @@ use bifft::plan::{Algorithm, Fft3d, FftError};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use gpu_sim::pcie::Dir as PcieDir;
-use gpu_sim::{BufferId, DeviceSpec, Gpu, StreamId};
+use gpu_sim::{BufferId, DeviceSpec, Gpu, Recorder, StreamId, Trace};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// Hit/miss counters of one card's plan cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -100,19 +102,33 @@ pub struct Lane {
     pub busy_until_s: f64,
 }
 
-/// What a finished rows-batch dispatch reports back.
+/// What a finished rows-batch dispatch reports back. The phase times are
+/// pure observations of the stream/clock state the dispatch already
+/// produced — reading them never advances the simulation.
 pub struct RowsOutcome {
+    /// When the batch's H2D staging lands, simulated seconds.
+    pub h2d_done_s: f64,
+    /// When the batched kernel finishes, simulated seconds.
+    pub compute_done_s: f64,
     /// When the batch's D2H lands, simulated seconds.
     pub completion_s: f64,
+    /// The sim-prof span that wraps the launch (lifecycle cross-link).
+    pub span: String,
     /// Per-request outputs (same order as the batch), when kept.
     pub outputs: Option<Vec<Vec<Complex32>>>,
 }
 
 /// What a finished volume-batch dispatch reports back.
 pub struct VolumesOutcome {
+    /// Per-request H2D completion times (batch order).
+    pub h2d_done_s: Vec<f64>,
+    /// Per-request transform completion times (batch order).
+    pub compute_done_s: Vec<f64>,
     /// Per-request completion times (the batch executes back-to-back on
     /// the card, so members finish at different times).
     pub completions_s: Vec<f64>,
+    /// The sim-prof span that wraps the launch (lifecycle cross-link).
+    pub span: String,
     /// Per-request outputs, when kept.
     pub outputs: Option<Vec<Vec<Complex32>>>,
 }
@@ -125,6 +141,7 @@ pub struct Card {
     pub gpu: Gpu,
     cache: PlanCache,
     lanes: Vec<Lane>,
+    recorder: Option<Rc<RefCell<Recorder>>>,
 }
 
 impl Card {
@@ -159,7 +176,21 @@ impl Card {
             gpu,
             cache: PlanCache::default(),
             lanes,
+            recorder: None,
         })
+    }
+
+    /// Installs a sim-prof recorder on the card's device so kernel, PCIe
+    /// and span events accumulate into a per-card trace. Idempotent.
+    pub fn enable_trace(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(self.gpu.install_recorder());
+        }
+    }
+
+    /// Drains the card's accumulated trace, if tracing was enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.recorder.as_ref().map(|r| r.borrow_mut().take_trace())
     }
 
     /// The card's lanes (scheduling state).
@@ -210,6 +241,18 @@ impl Card {
         }
     }
 
+    /// Copy-engine utilization over `makespan_s`: both DMA engines' busy
+    /// seconds over the time both could have been busy, clamped to
+    /// `[0, 1]`.
+    pub fn copy_utilization(&self, makespan_s: f64) -> f64 {
+        if makespan_s <= 0.0 {
+            0.0
+        } else {
+            let (up, down) = self.gpu.copy_busy_s();
+            ((up + down) / (2.0 * makespan_s)).clamp(0.0, 1.0)
+        }
+    }
+
     /// Runs one coalesced batch of `n`-point rows on lane `lane_idx`, with
     /// `payloads` concatenated in batch order. Returns the completion time
     /// (one batch = one D2H, so every member completes together).
@@ -247,22 +290,29 @@ impl Card {
         let label_up = format!("serve_h2d_c{}l{}", self.index, lane_idx);
         let label_down = format!("serve_d2h_c{}l{}", self.index, lane_idx);
         let mut out = vec![Complex32::ZERO; total];
-        let completion_s = match stream {
+        // The phase stamps are pure reads of state the dispatch already
+        // created (stream-ready probes, the host clock) — recording them
+        // cannot move any timeline.
+        let (h2d_done_s, compute_done_s, completion_s) = match stream {
             Some(s) => {
                 self.gpu.memcpy_h2d_async(s, src, 0, &host, 1, &label_up);
+                let h2d = self.gpu.stream_ready_s(s);
                 self.gpu
                     .with_stream(s, |g| plan.execute(g, src, dst, rows, dir));
+                let compute = self.gpu.stream_ready_s(s);
                 self.gpu
                     .memcpy_d2h_async(s, dst, 0, &mut out, 1, &label_down);
-                self.gpu.stream_ready_s(s)
+                (h2d, compute, self.gpu.stream_ready_s(s))
             }
             None => {
                 self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
                 self.gpu.mem_mut().upload(src, 0, &host);
+                let h2d = self.gpu.clock_s();
                 plan.execute(&mut self.gpu, src, dst, rows, dir);
+                let compute = self.gpu.clock_s();
                 self.gpu.pcie_transfer(PcieDir::D2H, bytes, 1, &label_down);
                 self.gpu.mem().download(dst, 0, &mut out);
-                self.gpu.clock_s()
+                (h2d, compute, self.gpu.clock_s())
             }
         };
         self.gpu.span_end(&span);
@@ -277,7 +327,10 @@ impl Card {
             cut
         });
         Ok(RowsOutcome {
+            h2d_done_s,
+            compute_done_s,
             completion_s,
+            span,
             outputs,
         })
     }
@@ -308,11 +361,15 @@ impl Card {
         let bytes = (dims.0 * dims.1 * dims.2) as u64 * 8;
         let label_up = format!("serve_vol_h2d_c{}", self.index);
         let label_down = format!("serve_vol_d2h_c{}", self.index);
+        let mut h2d_done = Vec::with_capacity(payloads.len());
+        let mut compute_done = Vec::with_capacity(payloads.len());
         let mut completions = Vec::with_capacity(payloads.len());
         let mut outputs = keep_outputs.then(Vec::new);
         for payload in payloads {
             self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
+            h2d_done.push(self.gpu.clock_s());
             let (out, _rep) = plan.transform(&mut self.gpu, payload, dir)?;
+            compute_done.push(self.gpu.clock_s());
             self.gpu.pcie_transfer(PcieDir::D2H, bytes, 1, &label_down);
             completions.push(self.gpu.clock_s());
             if let Some(o) = &mut outputs {
@@ -321,7 +378,10 @@ impl Card {
         }
         self.gpu.span_end(&span);
         Ok(Some(VolumesOutcome {
+            h2d_done_s: h2d_done,
+            compute_done_s: compute_done,
             completions_s: completions,
+            span,
             outputs,
         }))
     }
@@ -355,6 +415,11 @@ mod tests {
         // Lane 1's upload overlaps lane 0's compute: it finishes before the
         // serial sum of both batches would.
         assert!(rb.completion_s > ra.completion_s);
+        for r in [&ra, &rb] {
+            assert!(r.h2d_done_s <= r.compute_done_s);
+            assert!(r.compute_done_s <= r.completion_s);
+        }
+        assert_eq!(ra.span, "serve_rows_256x8_c0l0");
         let serial = 2.0 * ra.completion_s;
         assert!(
             rb.completion_s < serial,
@@ -409,6 +474,11 @@ mod tests {
             .expect("16^3 fits");
         assert_eq!(got.completions_s.len(), 2);
         assert!(got.completions_s[0] < got.completions_s[1]);
+        for i in 0..2 {
+            assert!(got.h2d_done_s[i] <= got.compute_done_s[i]);
+            assert!(got.compute_done_s[i] <= got.completions_s[i]);
+        }
+        assert_eq!(got.span, "serve_vol_16x16x16_c0");
         assert_eq!(card.cache_stats().misses, 1, "one plan for two transforms");
 
         let big = rows_payload(64 * 64 * 64, 1, 4);

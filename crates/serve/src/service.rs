@@ -21,13 +21,14 @@ use crate::batcher::{
     form_batch, key_of, key_of_spec, rank_algo, Batch, BatchKey, BatchLimits, Estimator,
 };
 use crate::queue::{Pending, SubmitQueue};
-use crate::report::{CardReport, ServeReport};
+use crate::report::{CardReport, LatencyStats, ServeReport};
 use crate::request::{Completion, Rejection, RequestId, RequestSpec, Shape, ShapeKey};
 use crate::scheduler::Card;
+use crate::telemetry::{self, names, slo, SloPolicy, SloReport, Stage, Telemetry};
 use bifft::multi_gpu::MultiGpuFft3d;
 use bifft::plan::{Algorithm, FftError};
 use fft_math::twiddle::Direction;
-use gpu_sim::{CheckReport, DeviceSpec};
+use gpu_sim::{AccessKind, CheckReport, DeviceSpec};
 use std::collections::BTreeMap;
 
 /// Everything the service needs to come up.
@@ -57,6 +58,13 @@ pub struct ServeConfig {
     pub keep_outputs: bool,
     /// Run every card under the PR 4 memcheck/racecheck-style validator.
     pub check_hazards: bool,
+    /// The telemetry sampling tick, simulated seconds.
+    pub tick_s: f64,
+    /// The SLO objectives the run is held to.
+    pub slo: SloPolicy,
+    /// Record per-card sim-prof traces for the merged Chrome export
+    /// ([`FftService::chrome_trace`]).
+    pub record_trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +80,9 @@ impl Default for ServeConfig {
             default_algorithm: Algorithm::FiveStep,
             keep_outputs: false,
             check_hazards: false,
+            tick_s: 1e-3,
+            slo: SloPolicy::default(),
+            record_trace: false,
         }
     }
 }
@@ -100,6 +111,15 @@ pub struct FftService {
     rejected_queue_full: u64,
     rejected_deadline: u64,
     rejected_unsupported: u64,
+    rejected_oversized: u64,
+    rejected_unallocatable: u64,
+    telemetry: Telemetry,
+    /// In-deadline payload bytes, both directions (the goodput numerator).
+    good_bytes: u64,
+    /// Earliest arrival / latest completion among recorded completions —
+    /// the live-goodput gauge's makespan, matching the report's.
+    first_arrival_s: f64,
+    last_completion_s: f64,
 }
 
 impl FftService {
@@ -132,13 +152,17 @@ impl FftService {
         }
         let mut cards = Vec::with_capacity(cfg.n_gpus);
         for i in 0..cfg.n_gpus {
-            cards.push(Card::new(
+            let mut card = Card::new(
                 &cfg.spec,
                 i,
                 cfg.streams_per_card,
                 cfg.max_batch_elems,
                 cfg.check_hazards,
-            )?);
+            )?;
+            if cfg.record_trace {
+                card.enable_trace();
+            }
+            cards.push(card);
         }
         let limits = BatchLimits {
             max_requests: cfg.max_batch_requests,
@@ -147,7 +171,9 @@ impl FftService {
         };
         let queue = SubmitQueue::new(cfg.queue_capacity);
         let n = cfg.n_gpus;
+        let telemetry = Telemetry::new(cfg.tick_s);
         Ok(FftService {
+            telemetry,
             cfg,
             cards,
             queue,
@@ -168,6 +194,11 @@ impl FftService {
             rejected_queue_full: 0,
             rejected_deadline: 0,
             rejected_unsupported: 0,
+            rejected_oversized: 0,
+            rejected_unallocatable: 0,
+            good_bytes: 0,
+            first_arrival_s: f64::INFINITY,
+            last_completion_s: 0.0,
         })
     }
 
@@ -195,34 +226,61 @@ impl FftService {
     /// Submits one request arriving at `at_s` simulated seconds.
     ///
     /// Admission control runs first: malformed shapes reject as
-    /// [`Rejection::Unsupported`], a full queue as [`Rejection::QueueFull`]
-    /// (backpressure — the caller decides whether to retry later), and a
-    /// deadline the backlog estimator says cannot be met as
-    /// [`Rejection::DeadlineInfeasible`] (shedding work that would only be
-    /// thrown away). Admitted requests dispatch eagerly onto any lane free
-    /// at `at_s`.
+    /// [`Rejection::Unsupported`], rows payloads bigger than a staging slot
+    /// as [`Rejection::Oversized`], volumes a previous attempt proved
+    /// unallocatable as [`Rejection::Unallocatable`], a full queue as
+    /// [`Rejection::QueueFull`] (backpressure — the caller decides whether
+    /// to retry later), and a deadline the backlog estimator says cannot be
+    /// met as [`Rejection::DeadlineInfeasible`] (shedding work that would
+    /// only be thrown away). Admitted requests dispatch eagerly onto any
+    /// lane free at `at_s`.
     ///
     /// # Errors
-    /// The [`Rejection`] taxonomy above; a rejected request leaves no trace
-    /// beyond the rejection counters.
+    /// The [`Rejection`] taxonomy above; a rejected request leaves its
+    /// rejection counter and a terminal lifecycle waterfall, nothing more.
     pub fn submit(&mut self, spec: RequestSpec, at_s: f64) -> Result<RequestId, Rejection> {
-        self.now_s = self.now_s.max(at_s);
+        self.advance_to(at_s);
         self.submitted += 1;
-        if let Err(e) = validate_spec(&spec, self.cfg.max_batch_elems) {
-            self.rejected_unsupported += 1;
-            return Err(Rejection::Unsupported(e));
+        // Every submission — rejected or not — gets an id and a waterfall.
+        // Ids stay monotone for admitted requests, so queue order (priority,
+        // arrival, id) and therefore dispatch behaviour are unchanged.
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.telemetry.registry.inc(names::SUBMITTED);
+        self.telemetry
+            .lifecycle
+            .start(id, spec.shape.label(), self.now_s);
+        if let Err(e) = validate_spec(&spec) {
+            return Err(self.reject(id, Rejection::Unsupported(e)));
+        }
+        if let Shape::Rows1d { n, rows } = spec.shape {
+            // A single rows request must fit a lane's staging slot on its
+            // own: the batcher's element cap only bounds coalescing, so an
+            // oversized head request would otherwise dispatch unchecked and
+            // overrun the slot mid-upload.
+            if n * rows > self.cfg.max_batch_elems {
+                return Err(self.reject(
+                    id,
+                    Rejection::Oversized {
+                        elems: n * rows,
+                        limit_elems: self.cfg.max_batch_elems,
+                    },
+                ));
+            }
         }
         if let Shape::Volume { nx, ny, nz } = spec.shape {
             if let Some(err) = self.fleet_oversized.get(&(nx, ny, nz)) {
-                self.rejected_unsupported += 1;
-                return Err(Rejection::Unsupported(err.clone()));
+                let err = err.clone();
+                return Err(self.reject(id, Rejection::Unallocatable(err)));
             }
         }
         if !self.queue.has_room() {
-            self.rejected_queue_full += 1;
-            return Err(Rejection::QueueFull {
-                capacity: self.queue.capacity(),
-            });
+            return Err(self.reject(
+                id,
+                Rejection::QueueFull {
+                    capacity: self.queue.capacity(),
+                },
+            ));
         }
         if let Some(deadline_s) = spec.deadline_s {
             let key = key_of_spec(&spec, self.cfg.default_algorithm);
@@ -238,23 +296,72 @@ impl FftService {
                     .estimator
                     .estimate_s(key, queued_elems + spec.shape.elems());
             if estimated_s > deadline_s {
-                self.rejected_deadline += 1;
-                return Err(Rejection::DeadlineInfeasible {
-                    estimated_s,
-                    deadline_s,
-                });
+                return Err(self.reject(
+                    id,
+                    Rejection::DeadlineInfeasible {
+                        estimated_s,
+                        deadline_s,
+                    },
+                ));
             }
         }
-        let id = RequestId(self.next_id);
-        self.next_id += 1;
-        self.queue.push(Pending {
-            id,
-            spec,
-            arrival_s: self.now_s,
-        });
+        self.queue.push_traced(
+            Pending {
+                id,
+                spec,
+                arrival_s: self.now_s,
+            },
+            &mut self.telemetry.lifecycle,
+        );
         self.admitted += 1;
+        self.telemetry.registry.inc(names::ADMITTED);
         self.pump();
+        self.refresh_gauges();
         Ok(id)
+    }
+
+    /// Books one rejection: per-reason counter (service field + registry)
+    /// and the terminal lifecycle stamp. Returns `r` for the `Err`.
+    fn reject(&mut self, id: RequestId, r: Rejection) -> Rejection {
+        let (reason, counter) = match &r {
+            Rejection::QueueFull { .. } => {
+                self.rejected_queue_full += 1;
+                ("queue_full", names::REJECTED_QUEUE_FULL)
+            }
+            Rejection::DeadlineInfeasible { .. } => {
+                self.rejected_deadline += 1;
+                ("deadline", names::REJECTED_DEADLINE)
+            }
+            Rejection::Unsupported(_) => {
+                self.rejected_unsupported += 1;
+                ("unsupported", names::REJECTED_UNSUPPORTED)
+            }
+            Rejection::Oversized { .. } => {
+                self.rejected_oversized += 1;
+                ("oversized", names::REJECTED_OVERSIZED)
+            }
+            Rejection::Unallocatable(_) => {
+                self.rejected_unallocatable += 1;
+                ("unallocatable", names::REJECTED_UNALLOCATABLE)
+            }
+        };
+        self.telemetry.registry.inc(counter);
+        self.telemetry
+            .lifecycle
+            .mark_rejected(id, reason, self.now_s);
+        r
+    }
+
+    /// Moves the service clock to `t_s`, sampling every telemetry tick
+    /// boundary crossed with the pre-advance registry state (discrete-event
+    /// semantics: a sample at tick `t` reflects the last event before `t`).
+    fn advance_to(&mut self, t_s: f64) {
+        if t_s > self.now_s {
+            self.telemetry
+                .timeline
+                .advance(t_s, &self.telemetry.registry);
+            self.now_s = t_s;
+        }
     }
 
     /// Earliest instant any lane in the fleet is (or becomes) free.
@@ -323,8 +430,23 @@ impl FftService {
             &self.estimator,
             self.cfg.default_algorithm,
             skip,
+            self.now_s,
+            &mut self.telemetry.lifecycle,
         )
         .expect("pump saw a head")
+    }
+
+    /// Books one launch into the registry (the lifecycle stamps happen at
+    /// the callers, which know the per-phase times).
+    fn count_launch(&mut self, size: usize) {
+        *self.batch_histogram.entry(size).or_insert(0) += 1;
+        self.telemetry.registry.inc(names::LAUNCHES);
+        self.telemetry
+            .registry
+            .add(names::BATCHED_REQUESTS, size as u64);
+        self.telemetry
+            .registry
+            .observe(names::BATCH_SIZE_HIST, size as f64);
     }
 
     fn dispatch_rows_batch(&mut self, ci: usize, li: usize, n: usize, batch: Batch) {
@@ -340,7 +462,15 @@ impl FftService {
         self.estimator
             .observe(batch.key, batch.elems, outcome.completion_s - self.now_s);
         let size = batch.requests.len();
-        *self.batch_histogram.entry(size).or_insert(0) += 1;
+        self.count_launch(size);
+        for p in &batch.requests {
+            let log = &mut self.telemetry.lifecycle;
+            log.record(p.id, Stage::Dispatched, self.now_s);
+            log.record(p.id, Stage::H2d, outcome.h2d_done_s);
+            log.record(p.id, Stage::Compute, outcome.compute_done_s);
+            log.record(p.id, Stage::D2h, outcome.completion_s);
+            log.annotate(p.id, &outcome.span, Some(ci));
+        }
         let mut outputs = outcome.outputs;
         for (i, p) in batch.requests.iter().enumerate() {
             let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
@@ -380,7 +510,15 @@ impl FftService {
                 self.estimator
                     .observe(batch.key, batch.elems, last - self.now_s);
                 let size = batch.requests.len();
-                *self.batch_histogram.entry(size).or_insert(0) += 1;
+                self.count_launch(size);
+                for (i, p) in batch.requests.iter().enumerate() {
+                    let log = &mut self.telemetry.lifecycle;
+                    log.record(p.id, Stage::Dispatched, self.now_s);
+                    log.record(p.id, Stage::H2d, done.h2d_done_s[i]);
+                    log.record(p.id, Stage::Compute, done.compute_done_s[i]);
+                    log.record(p.id, Stage::D2h, done.completions_s[i]);
+                    log.annotate(p.id, &done.span, Some(ci));
+                }
                 let mut outputs = done.outputs;
                 for (i, p) in batch.requests.iter().enumerate() {
                     let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
@@ -394,8 +532,10 @@ impl FftService {
                     self.dispatch_sharded(dims, batch);
                     true
                 } else {
+                    // Back into the queue; the re-stamped Admitted record
+                    // carries the same arrival, so the waterfall is intact.
                     for p in batch.requests {
-                        self.queue.push(p);
+                        self.queue.push_traced(p, &mut self.telemetry.lifecycle);
                     }
                     false
                 }
@@ -434,7 +574,7 @@ impl FftService {
         let started = self.now_s;
         let mut t = started;
         let size = batch.requests.len();
-        *self.batch_histogram.entry(size).or_insert(0) += 1;
+        let span = format!("multi_gpu_{}x{}x{}", dims.0, dims.1, dims.2);
         let mut done: Vec<(f64, Option<Vec<fft_math::Complex32>>)> = Vec::with_capacity(size);
         for p in &batch.requests {
             let (out, rep) = plan
@@ -448,7 +588,17 @@ impl FftService {
             card.occupy_all(t);
         }
         self.estimator.observe(batch.key, batch.elems, t - started);
+        self.count_launch(size);
         for (p, (completed_s, out)) in batch.requests.iter().zip(done) {
+            // The sharder reports one wall time per transform, not per
+            // phase: the waterfall degenerates to dispatch + one slice, but
+            // stays monotone and complete.
+            let log = &mut self.telemetry.lifecycle;
+            log.record(p.id, Stage::Dispatched, started);
+            log.record(p.id, Stage::H2d, completed_s);
+            log.record(p.id, Stage::Compute, completed_s);
+            log.record(p.id, Stage::D2h, completed_s);
+            log.annotate(p.id, &span, None);
             self.record(p, completed_s, None, size, out);
         }
     }
@@ -466,6 +616,25 @@ impl FftService {
             .spec
             .deadline_s
             .is_some_and(|d| completed_s - p.arrival_s > d);
+        self.telemetry
+            .lifecycle
+            .record(p.id, Stage::Completed, completed_s);
+        let reg = &mut self.telemetry.registry;
+        reg.inc(names::COMPLETED);
+        reg.add(names::PAYLOAD_BYTES, bytes);
+        let latency_ms = (completed_s - p.arrival_s) * 1e3;
+        reg.observe(names::LATENCY_MS_HIST, latency_ms);
+        if latency_ms > self.cfg.slo.latency_p95_ms {
+            reg.inc(names::LATENCY_OVER_SLO);
+        }
+        if timed_out {
+            reg.inc(names::TIMEOUTS);
+        } else {
+            self.good_bytes += 2 * bytes;
+            reg.add(names::GOOD_BYTES, 2 * bytes);
+        }
+        self.first_arrival_s = self.first_arrival_s.min(p.arrival_s);
+        self.last_completion_s = self.last_completion_s.max(completed_s);
         match card {
             Some(ci) => {
                 self.card_requests[ci] += 1;
@@ -496,6 +665,10 @@ impl FftService {
     /// that the work is impossible.
     fn fail_batch(&mut self, batch: Batch, err: &FftError) {
         for p in batch.requests {
+            self.telemetry
+                .lifecycle
+                .record(p.id, Stage::Failed, self.now_s);
+            self.telemetry.registry.inc(names::FAILED);
             self.failures.push((p.id, err.clone()));
         }
     }
@@ -505,6 +678,7 @@ impl FftService {
     pub fn drain(&mut self) -> f64 {
         loop {
             self.pump();
+            self.refresh_gauges();
             if self.queue.depth() == 0 {
                 break;
             }
@@ -518,15 +692,85 @@ impl FftService {
                 debug_assert!(false, "queue stuck with an idle fleet");
                 break;
             }
-            self.now_s = next;
+            self.advance_to(next);
         }
         let end = self
             .cards
             .iter()
             .map(Card::all_free_s)
             .fold(self.now_s, f64::max);
-        self.now_s = end;
+        self.advance_to(end);
+        self.refresh_gauges();
+        self.sync_check_counters();
+        self.telemetry.timeline.seal(end, &self.telemetry.registry);
         end
+    }
+
+    /// Refreshes the sampled gauges (queue depth, per-card utilization,
+    /// plan-cache hit rate, running goodput) and mirrors the externally
+    /// maintained plan-cache counters into the registry.
+    fn refresh_gauges(&mut self) {
+        let depth = self.queue.depth() as f64;
+        let now = self.now_s;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for c in &self.cards {
+            let stats = c.cache_stats();
+            hits += stats.hits;
+            misses += stats.misses;
+        }
+        let makespan = (self.last_completion_s - self.first_arrival_s).max(0.0);
+        let goodput = if makespan > 0.0 {
+            self.good_bytes as f64 / makespan / 1e9
+        } else {
+            0.0
+        };
+        let utils: Vec<(f64, f64)> = self
+            .cards
+            .iter()
+            .map(|c| (c.utilization(now), c.copy_utilization(now)))
+            .collect();
+        let reg = &mut self.telemetry.registry;
+        reg.set_gauge(names::QUEUE_DEPTH, depth);
+        reg.set_gauge(names::GOODPUT_GBS, goodput);
+        reg.set_gauge(
+            names::PLAN_HIT_RATE,
+            if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+        );
+        reg.set_counter(names::PLAN_HITS, hits);
+        reg.set_counter(names::PLAN_MISSES, misses);
+        for (i, (compute, copy)) in utils.iter().enumerate() {
+            reg.set_gauge(&names::card_compute_util(i), *compute);
+            reg.set_gauge(&names::card_copy_util(i), *copy);
+        }
+    }
+
+    /// Mirrors the fleet-merged validator diagnostics (when `check_hazards`
+    /// is on) into registry counters.
+    fn sync_check_counters(&mut self) {
+        let Some(rep) = self.check_report() else {
+            return;
+        };
+        let (mut oob, mut uninit, mut uaf) = (0u64, 0u64, 0u64);
+        for d in &rep.access {
+            let n = d.occurrences as u64;
+            match d.kind {
+                AccessKind::OutOfBounds => oob += n,
+                AccessKind::UninitRead => uninit += n,
+                AccessKind::UseAfterFree => uaf += n,
+            }
+        }
+        let reg = &mut self.telemetry.registry;
+        reg.set_counter(names::CHECK_OOB, oob);
+        reg.set_counter(names::CHECK_UNINIT, uninit);
+        reg.set_counter(names::CHECK_USE_AFTER_FREE, uaf);
+        reg.set_counter(names::CHECK_HAZARDS, rep.hazards.len() as u64);
+        reg.set_counter(names::CHECK_KERNELS, rep.kernels_checked as u64);
+        reg.set_counter(names::CHECK_OPS, rep.ops_tracked as u64);
     }
 
     /// Builds the end-of-run summary. Call after [`FftService::drain`] —
@@ -538,6 +782,8 @@ impl FftService {
             rejected_queue_full: self.rejected_queue_full,
             rejected_deadline: self.rejected_deadline,
             rejected_unsupported: self.rejected_unsupported,
+            rejected_oversized: self.rejected_oversized,
+            rejected_unallocatable: self.rejected_unallocatable,
             failed: self.failures.len() as u64,
             queue_max_depth: self.queue.max_depth(),
             queue_mean_depth: self.queue.mean_depth(),
@@ -555,12 +801,69 @@ impl FftService {
                     requests: self.card_requests[i],
                     bytes: self.card_bytes[i],
                     utilization: c.utilization(r.makespan_s),
+                    copy_utilization: c.copy_utilization(r.makespan_s),
                     plan_hits: stats.hits,
                     plan_misses: stats.misses,
                 }
             })
             .collect();
+        r.slo = self.slo_report();
         r
+    }
+
+    /// The telemetry bundle (registry, timeline, lifecycle log), read-only.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Evaluates the configured SLO policy against the run so far.
+    pub fn slo_report(&self) -> SloReport {
+        let lat: Vec<f64> = self.completions.iter().map(Completion::latency_s).collect();
+        let stats = LatencyStats::from_latencies(lat);
+        let makespan = (self.last_completion_s - self.first_arrival_s).max(0.0);
+        let goodput = if makespan > 0.0 {
+            self.good_bytes as f64 / makespan / 1e9
+        } else {
+            0.0
+        };
+        slo::evaluate(
+            &self.cfg.slo,
+            stats.p95_s * 1e3,
+            goodput,
+            &self.telemetry.registry,
+            &self.telemetry.timeline,
+        )
+    }
+
+    /// Renders the run's `bifft-metrics-v1` document. Call after
+    /// [`FftService::drain`] for the sealed series.
+    pub fn metrics_json(&self) -> String {
+        telemetry::metrics_json(
+            &self.telemetry.registry,
+            &self.telemetry.timeline,
+            &self.slo_report(),
+        )
+    }
+
+    /// Renders the run's metrics in Prometheus text exposition.
+    pub fn prometheus_text(&self) -> String {
+        telemetry::prometheus_text(&self.telemetry.registry, &self.slo_report())
+    }
+
+    /// Drains the per-card sim-prof traces and merges them with the
+    /// request waterfalls into one Chrome trace document, or `None` when
+    /// `record_trace` was off. Draining consumes the accumulated events, so
+    /// call once at end of run.
+    pub fn chrome_trace(&mut self) -> Option<String> {
+        let mut cards = Vec::new();
+        for c in &mut self.cards {
+            let i = c.index;
+            cards.push((i, c.take_trace()?));
+        }
+        Some(telemetry::export::chrome_trace(
+            &cards,
+            &self.telemetry.lifecycle,
+        ))
     }
 
     /// Drains, then reports — graceful shutdown in one call.
@@ -595,10 +898,11 @@ fn direction_of(key: &BatchKey) -> Direction {
     }
 }
 
-/// Shape/payload validation — everything admission can reject without
-/// touching a card. `max_batch_elems` is the per-lane staging-slot size:
-/// a rows request bigger than one slot can never be serviced.
-fn validate_spec(spec: &RequestSpec, max_batch_elems: usize) -> Result<(), FftError> {
+/// Shape/payload validation — everything admission can reject as malformed
+/// without touching a card. Fleet-capacity rejections (oversized rows,
+/// unallocatable volumes) are the service's own taxonomy, decided in
+/// `submit`.
+fn validate_spec(spec: &RequestSpec) -> Result<(), FftError> {
     if spec.payload.len() != spec.shape.elems() {
         return Err(FftError::VolumeMismatch {
             expected: spec.shape.elems(),
@@ -619,21 +923,6 @@ fn validate_spec(spec: &RequestSpec, max_batch_elems: usize) -> Result<(), FftEr
                     param: "n",
                     value: n,
                     reason: "1-D batch length must be a power of two in 4..=512".to_string(),
-                });
-            }
-            // A single rows request must fit a lane's staging slot on its
-            // own: the batcher's element cap only bounds coalescing, so an
-            // oversized head request would otherwise dispatch unchecked and
-            // overrun the slot mid-upload.
-            if n * rows > max_batch_elems {
-                return Err(FftError::BadPlanConfig {
-                    param: "rows",
-                    value: rows,
-                    reason: format!(
-                        "{} payload elements exceed the service's {max_batch_elems}-element \
-                         staging slot (max_batch_elems)",
-                        n * rows
-                    ),
                 });
             }
         }
@@ -734,15 +1023,16 @@ mod tests {
         let too_big = svc.submit(rows_spec(256, 17, 1), 0.0);
         assert!(matches!(
             too_big,
-            Err(Rejection::Unsupported(FftError::BadPlanConfig {
-                param: "rows",
-                ..
-            }))
+            Err(Rejection::Oversized {
+                elems: 4352,
+                limit_elems: 4096,
+            })
         ));
         // Exactly one slot still fits.
         svc.submit(rows_spec(256, 16, 2), 0.0).unwrap();
         let r = svc.finish();
-        assert_eq!(r.rejected_unsupported, 1);
+        assert_eq!(r.rejected_oversized, 1);
+        assert_eq!(r.rejected_unsupported, 0);
         assert_eq!(r.completed, 1);
     }
 
@@ -778,12 +1068,13 @@ mod tests {
         assert!(matches!(svc.failures()[0].1, FftError::Alloc(_)));
         assert!(matches!(
             svc.submit(req, 1.0),
-            Err(Rejection::Unsupported(FftError::Alloc(_)))
+            Err(Rejection::Unallocatable(FftError::Alloc(_)))
         ));
         let r = svc.report();
         assert_eq!(r.failed, 1);
         assert_eq!(r.completed, 0);
-        assert_eq!(r.rejected_unsupported, 1);
+        assert_eq!(r.rejected_unallocatable, 1);
+        assert_eq!(r.rejected_unsupported, 0);
     }
 
     #[test]

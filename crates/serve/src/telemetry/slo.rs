@@ -1,0 +1,266 @@
+//! SLO objectives, multi-window burn rates and the machine-readable
+//! verdict the report and the bench gate consume.
+//!
+//! Burn rate follows the SRE convention: the fraction of the error budget
+//! consumed per unit of budgeted fraction — `1.0` means "exactly on
+//! budget", above it the budget is burning faster than allowed. Two
+//! windows are tracked: *long* (the whole run, from the registry's final
+//! counters) and *short* (the last [`SloPolicy::short_window_ticks`]
+//! timeline samples, from counter deltas), so a late-run regression shows
+//! up in the short burn even when the long average still looks healthy.
+
+use super::names;
+use super::registry::MetricsRegistry;
+use super::timeline::Timeline;
+
+/// The budgeted fraction of completions allowed over the latency target —
+/// a p95 objective tolerates 5% of requests past it by definition.
+pub const LATENCY_TAIL_BUDGET: f64 = 0.05;
+
+/// The objectives a run is held to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloPolicy {
+    /// Target p95 completion latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// Allowed fraction of admitted-and-finished requests that may error
+    /// (time out or fail).
+    pub error_budget: f64,
+    /// Minimum goodput, GB/s; `0.0` disables the objective.
+    pub min_goodput_gbs: f64,
+    /// Timeline samples in the short burn-rate window.
+    pub short_window_ticks: usize,
+}
+
+impl Default for SloPolicy {
+    /// Generous defaults calibrated so the deterministic smoke workload
+    /// passes with headroom: a simulated 2-card fleet serves the mixed mix
+    /// well under 50 ms p95, and the smoke mix carries no deadlines (so no
+    /// timeouts) and no impossible shapes (so no failures).
+    fn default() -> Self {
+        SloPolicy {
+            latency_p95_ms: 50.0,
+            error_budget: 0.01,
+            min_goodput_gbs: 0.0,
+            short_window_ticks: 8,
+        }
+    }
+}
+
+/// One objective's verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloVerdict {
+    /// Objective name (`latency_p95`, `error_rate`, `goodput`).
+    pub objective: String,
+    /// The configured target.
+    pub target: f64,
+    /// What the run observed.
+    pub observed: f64,
+    /// Whole-run burn rate (1.0 = exactly on budget).
+    pub burn_long: f64,
+    /// Burn rate over the short window.
+    pub burn_short: f64,
+    /// Whether the objective held.
+    pub ok: bool,
+}
+
+/// The full verdict section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloReport {
+    /// Per-objective verdicts, policy order.
+    pub verdicts: Vec<SloVerdict>,
+    /// True when every objective held.
+    pub ok: bool,
+}
+
+impl Default for SloReport {
+    /// No objectives evaluated means nothing violated.
+    fn default() -> Self {
+        SloReport {
+            verdicts: Vec::new(),
+            ok: true,
+        }
+    }
+}
+
+/// Counter values at the short window's start: the last sample at least
+/// `window` ticks back, or zeros when the series is shorter than that.
+fn window_start(tl: &Timeline, window: usize) -> impl Fn(&str) -> u64 + '_ {
+    let samples = tl.samples();
+    let at = samples.len().checked_sub(window);
+    move |name: &str| match at {
+        Some(i) => samples[i].counters.get(name).copied().unwrap_or(0),
+        None => 0,
+    }
+}
+
+/// Fraction `num/den`, 0.0 on an empty denominator.
+fn frac(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Evaluates `policy` against a finished (or in-flight) run. `p95_ms` and
+/// `goodput_gbs` come from the report's completion accounting; burn rates
+/// come from the registry counters and the timeline windows.
+pub fn evaluate(
+    policy: &SloPolicy,
+    p95_ms: f64,
+    goodput_gbs: f64,
+    registry: &MetricsRegistry,
+    timeline: &Timeline,
+) -> SloReport {
+    let start = window_start(timeline, policy.short_window_ticks);
+    let mut verdicts = Vec::new();
+
+    // Latency: observed p95 against the target; burn = fraction of
+    // completions past the target over the 5% a p95 objective tolerates.
+    let completed = registry.counter(names::COMPLETED);
+    let over = registry.counter(names::LATENCY_OVER_SLO);
+    let burn_long = frac(over, completed) / LATENCY_TAIL_BUDGET;
+    let d_completed = completed - start(names::COMPLETED);
+    let d_over = over - start(names::LATENCY_OVER_SLO);
+    verdicts.push(SloVerdict {
+        objective: "latency_p95".to_string(),
+        target: policy.latency_p95_ms,
+        observed: p95_ms,
+        burn_long,
+        burn_short: frac(d_over, d_completed) / LATENCY_TAIL_BUDGET,
+        ok: completed == 0 || p95_ms <= policy.latency_p95_ms,
+    });
+
+    // Error rate: timeouts plus dispatch failures over finished requests.
+    let failed = registry.counter(names::FAILED);
+    let timeouts = registry.counter(names::TIMEOUTS);
+    let finished = completed + failed;
+    let errors = timeouts + failed;
+    let rate = frac(errors, finished);
+    let d_finished = finished - (start(names::COMPLETED) + start(names::FAILED));
+    let d_errors = errors - (start(names::TIMEOUTS) + start(names::FAILED));
+    verdicts.push(SloVerdict {
+        objective: "error_rate".to_string(),
+        target: policy.error_budget,
+        observed: rate,
+        burn_long: rate / policy.error_budget,
+        burn_short: frac(d_errors, d_finished) / policy.error_budget,
+        ok: rate <= policy.error_budget,
+    });
+
+    // Goodput: a binary throughput floor (burn rates are defined over
+    // event budgets, not rates — 0.0 holding / 1.0 violated stands in).
+    if policy.min_goodput_gbs > 0.0 {
+        let ok = goodput_gbs >= policy.min_goodput_gbs;
+        let burn = if ok { 0.0 } else { 1.0 };
+        verdicts.push(SloVerdict {
+            objective: "goodput".to_string(),
+            target: policy.min_goodput_gbs,
+            observed: goodput_gbs,
+            burn_long: burn,
+            burn_short: burn,
+            ok,
+        });
+    }
+
+    let ok = verdicts.iter().all(|v| v.ok);
+    SloReport { verdicts, ok }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(pairs: &[(&str, u64)]) -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        for &(k, v) in pairs {
+            r.add(k, v);
+        }
+        r
+    }
+
+    #[test]
+    fn clean_run_passes_every_objective() {
+        let reg = reg_with(&[(names::COMPLETED, 100)]);
+        let tl = Timeline::new(1e-3);
+        let s = evaluate(&SloPolicy::default(), 5.0, 1.0, &reg, &tl);
+        assert!(s.ok);
+        assert_eq!(s.verdicts.len(), 2, "goodput objective disabled");
+        assert_eq!(s.verdicts[0].objective, "latency_p95");
+        assert_eq!(s.verdicts[0].burn_long, 0.0);
+        assert_eq!(s.verdicts[1].objective, "error_rate");
+        assert_eq!(s.verdicts[1].burn_long, 0.0);
+    }
+
+    #[test]
+    fn latency_and_error_burns_scale_with_violations() {
+        // 10 of 100 completions over target: 10% over / 5% budget = 2x burn.
+        let reg = reg_with(&[
+            (names::COMPLETED, 100),
+            (names::LATENCY_OVER_SLO, 10),
+            (names::TIMEOUTS, 2),
+        ]);
+        let tl = Timeline::new(1e-3);
+        let policy = SloPolicy::default();
+        let s = evaluate(&policy, 60.0, 1.0, &reg, &tl);
+        assert!(!s.ok);
+        let lat = &s.verdicts[0];
+        assert!(!lat.ok, "p95 60 ms over the 50 ms target");
+        assert_eq!(lat.burn_long, 2.0);
+        let err = &s.verdicts[1];
+        assert!(!err.ok, "2% error rate over the 1% budget");
+        assert_eq!(err.burn_long, 2.0);
+        // No timeline samples: the short window falls back to run-to-date.
+        assert_eq!(lat.burn_short, lat.burn_long);
+        assert_eq!(err.burn_short, err.burn_long);
+    }
+
+    #[test]
+    fn short_window_isolates_a_late_regression() {
+        let mut reg = MetricsRegistry::new();
+        let mut tl = Timeline::new(1.0);
+        // A healthy first epoch...
+        reg.add(names::COMPLETED, 100);
+        tl.advance(1.0, &reg);
+        // ...then every later completion misses the target.
+        reg.add(names::COMPLETED, 10);
+        reg.add(names::LATENCY_OVER_SLO, 10);
+        let policy = SloPolicy {
+            short_window_ticks: 1,
+            ..SloPolicy::default()
+        };
+        let s = evaluate(&policy, 10.0, 1.0, &reg, &tl);
+        let lat = &s.verdicts[0];
+        // Long window: 10/110 over / 5%. Short window: 10/10 over / 5%.
+        assert!(lat.burn_long < lat.burn_short);
+        assert_eq!(lat.burn_short, 20.0);
+    }
+
+    #[test]
+    fn goodput_floor_is_opt_in() {
+        let reg = reg_with(&[(names::COMPLETED, 10)]);
+        let tl = Timeline::new(1e-3);
+        let policy = SloPolicy {
+            min_goodput_gbs: 2.0,
+            ..SloPolicy::default()
+        };
+        let s = evaluate(&policy, 1.0, 1.5, &reg, &tl);
+        let g = s
+            .verdicts
+            .iter()
+            .find(|v| v.objective == "goodput")
+            .unwrap();
+        assert!(!g.ok);
+        assert_eq!(g.burn_long, 1.0);
+        assert!(!s.ok);
+    }
+
+    #[test]
+    fn empty_run_is_vacuously_ok() {
+        let reg = MetricsRegistry::new();
+        let tl = Timeline::new(1e-3);
+        let s = evaluate(&SloPolicy::default(), 0.0, 0.0, &reg, &tl);
+        assert!(s.ok);
+        assert!(SloReport::default().ok);
+    }
+}

@@ -206,7 +206,9 @@ fn overload_sheds_and_accounts() {
         report.admitted
             + report.rejected_queue_full
             + report.rejected_deadline
-            + report.rejected_unsupported,
+            + report.rejected_unsupported
+            + report.rejected_oversized
+            + report.rejected_unallocatable,
         report.submitted
     );
     assert_eq!(report.completed, report.admitted);

@@ -1,0 +1,259 @@
+//! Telemetry acceptance tests: golden-pinned export formats, same-seed
+//! bit-identical metrics, counter monotonicity across the sampled series
+//! (a hand-rolled property test — the real `proptest` crate is not
+//! vendored), full-waterfall coverage for every completion, and the
+//! Prometheus round-trip.
+
+use fft_math::twiddle::Direction;
+use fft_serve::loadgen::{run_open_loop, Workload};
+use fft_serve::request::{RequestSpec, Shape};
+use fft_serve::service::{FftService, ServeConfig};
+use fft_serve::telemetry::export::parse_prometheus;
+use fft_serve::telemetry::Stage;
+use fft_serve::validate_metrics_json;
+
+/// The CI smoke configuration: 64 mixed requests, open loop at 5000 req/s,
+/// seed 42, over the default 2-card x 2-stream fleet.
+fn smoke_service(record_trace: bool) -> FftService {
+    let cfg = ServeConfig {
+        record_trace,
+        ..ServeConfig::default()
+    };
+    let mut svc = FftService::new(cfg).unwrap();
+    run_open_loop(&mut svc, &Workload::mixed(), 64, 5000.0, 42);
+    svc.drain();
+    svc
+}
+
+fn check_golden(got: &str, path: &str, what: &str) {
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, got).expect("write golden");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(path).expect("golden file missing; regenerate with BLESS=1");
+    assert_eq!(
+        got, golden,
+        "{what} drifted from {path}; if the change is intended, regenerate with BLESS=1"
+    );
+}
+
+/// The metrics document of the CI smoke run is pinned byte-for-byte, so
+/// any change to the schema or to the simulated timings is a reviewable
+/// diff. Regenerate with `BLESS=1 cargo test -p fft-serve --test telemetry`.
+#[test]
+fn smoke_metrics_json_matches_committed_golden() {
+    let svc = smoke_service(false);
+    check_golden(
+        &svc.metrics_json(),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/smoke_metrics.json"
+        ),
+        "metrics JSON",
+    );
+}
+
+/// Same pin for the Prometheus exposition rendering of the same run.
+#[test]
+fn smoke_prometheus_matches_committed_golden() {
+    let svc = smoke_service(false);
+    check_golden(
+        &svc.prometheus_text(),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/smoke_metrics.prom"
+        ),
+        "Prometheus text",
+    );
+}
+
+/// The acceptance criterion: two smoke runs with the same seed emit
+/// bit-identical metrics documents (series and all), and the document
+/// validates with an ok SLO verdict.
+#[test]
+fn same_seed_same_metrics_bits() {
+    let a = smoke_service(false).metrics_json();
+    let b = smoke_service(false).metrics_json();
+    assert_eq!(a, b, "same seed must produce bit-identical metrics");
+    assert_eq!(validate_metrics_json(&a), Ok(true));
+}
+
+/// SplitMix64 — the repo's stock deterministic generator for hand-rolled
+/// property tests.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Property: across every adjacent pair of timeline samples, in randomized
+/// run configurations, every counter is monotone non-decreasing (counters
+/// never go backwards; gauges may).
+#[test]
+fn counters_are_monotone_across_sampled_series() {
+    let mut rng = 0xC0FFEE_u64;
+    for case in 0..8 {
+        let requests = 16 + (splitmix64(&mut rng) % 80);
+        let rate = 1000.0 + (splitmix64(&mut rng) % 8000) as f64;
+        let seed = splitmix64(&mut rng);
+        let queue_capacity = 4 + (splitmix64(&mut rng) % 60) as usize;
+        let cfg = ServeConfig {
+            queue_capacity,
+            ..ServeConfig::default()
+        };
+        let mut svc = FftService::new(cfg).unwrap();
+        run_open_loop(&mut svc, &Workload::mixed(), requests, rate, seed);
+        svc.drain();
+        let samples = svc.telemetry().timeline.samples();
+        assert!(
+            !samples.is_empty(),
+            "case {case}: a drained run has samples"
+        );
+        for w in samples.windows(2) {
+            assert!(w[0].t_s < w[1].t_s, "case {case}: time must advance");
+            for (name, &later) in &w[1].counters {
+                let earlier = w[0].counters.get(name).copied().unwrap_or(0);
+                assert!(
+                    later >= earlier,
+                    "case {case}: counter {name} went backwards \
+                     ({earlier} at t={} -> {later} at t={})",
+                    w[0].t_s,
+                    w[1].t_s
+                );
+            }
+        }
+        // The terminal sample agrees with the live registry.
+        let last = samples.last().unwrap();
+        for (name, &v) in &last.counters {
+            assert_eq!(
+                v,
+                svc.telemetry().registry.counter(name),
+                "case {case}: {name}"
+            );
+        }
+    }
+}
+
+/// The waterfall acceptance criterion: every completed smoke request has
+/// the full monotone Submitted -> ... -> Completed pipeline recorded, with
+/// a sim-prof span cross-link.
+#[test]
+fn every_completion_has_a_full_monotone_waterfall() {
+    let svc = smoke_service(false);
+    let report = svc.report();
+    assert_eq!(report.completed, 64);
+    let mut completed = 0usize;
+    for (id, wf) in svc.telemetry().lifecycle.iter() {
+        assert!(wf.is_monotone(), "req {} waterfall out of order", id.0);
+        if wf.terminal() == Some(Stage::Completed) {
+            completed += 1;
+            assert!(
+                wf.is_complete_pipeline(),
+                "req {} completed without a full pipeline",
+                id.0
+            );
+            assert!(wf.span.is_some(), "req {} has no span cross-link", id.0);
+        }
+    }
+    assert_eq!(completed as u64, report.completed);
+}
+
+/// The Prometheus rendering round-trips through the crate's own parser:
+/// every counter and gauge in the registry comes back with its exact value.
+#[test]
+fn prometheus_round_trips_through_the_parser() {
+    let svc = smoke_service(false);
+    let series = parse_prometheus(&svc.prometheus_text()).expect("well-formed exposition");
+    let reg = &svc.telemetry().registry;
+    for (name, &v) in reg.counters() {
+        assert_eq!(series.get(name).copied(), Some(v as f64), "{name}");
+    }
+    for (name, &v) in reg.gauges() {
+        assert_eq!(series.get(name).copied(), Some(v), "{name}");
+    }
+    assert!(series.contains_key("serve_slo_ok"));
+    assert!(series
+        .keys()
+        .any(|k| k.starts_with("serve_latency_ms_bucket{le=")));
+}
+
+#[test]
+fn validate_metrics_rejects_garbage_and_wrong_schema() {
+    assert!(validate_metrics_json("not json at all").is_err());
+    assert!(validate_metrics_json("{}").is_err());
+    let svc = smoke_service(false);
+    let good = svc.metrics_json();
+    let tampered = good.replace("bifft-metrics-v1", "bifft-metrics-v0");
+    assert!(validate_metrics_json(&tampered).is_err());
+}
+
+/// The merged Chrome trace carries both per-card tracks and one track per
+/// request, and its stage slices line up with the waterfalls.
+#[test]
+fn chrome_trace_merges_card_and_request_tracks() {
+    let mut svc = smoke_service(true);
+    let json = svc.chrome_trace().expect("recording was enabled");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    // Per-card process tracks from the sim-prof recorder.
+    assert!(json.contains("\"args\":{\"name\":\"card 0\"}"));
+    assert!(json.contains("\"args\":{\"name\":\"card 1\"}"));
+    // The requests process with one named thread per request.
+    assert!(json.contains("\"args\":{\"name\":\"requests\"}"));
+    for (id, wf) in svc.telemetry().lifecycle.iter() {
+        assert!(
+            json.contains(&format!("\"name\":\"req {} {}\"", id.0, wf.shape())),
+            "request {} has no trace track",
+            id.0
+        );
+    }
+    // Stage slices appear in the request process.
+    for name in ["admit", "queued", "batch", "h2d", "compute", "d2h"] {
+        assert!(json.contains(&format!("\"name\":\"{name}\"")), "{name}");
+    }
+    // Dispatch slices carry the span cross-link.
+    assert!(json.contains("\"span\":\"serve_"));
+}
+
+/// Rejected requests still get waterfalls: terminal `Rejected` stage with
+/// the machine-readable reason, and the per-reason counter matches.
+#[test]
+fn rejections_are_traced_with_reasons() {
+    let cfg = ServeConfig {
+        n_gpus: 1,
+        streams_per_card: 1,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let mut svc = FftService::new(cfg).unwrap();
+    run_open_loop(&mut svc, &Workload::rows(), 120, 400_000.0, 3);
+    // One unsupported non-power-of-two request on top of the overload.
+    let bad = RequestSpec::seeded(Shape::Rows1d { n: 100, rows: 1 }, Direction::Forward, 1);
+    assert!(svc.submit(bad, 1.0).is_err());
+    svc.drain();
+    let report = svc.report();
+    assert!(report.rejected_queue_full > 0);
+    assert_eq!(report.rejected_unsupported, 1);
+    let mut by_reason = std::collections::BTreeMap::new();
+    for (_, wf) in svc.telemetry().lifecycle.iter() {
+        if wf.terminal() == Some(Stage::Rejected) {
+            assert!(wf.stage_s(Stage::Submitted).is_some());
+            *by_reason.entry(wf.reject_reason.unwrap()).or_insert(0u64) += 1;
+        }
+    }
+    assert_eq!(
+        by_reason.get("queue_full"),
+        Some(&report.rejected_queue_full)
+    );
+    assert_eq!(by_reason.get("unsupported"), Some(&1));
+    let reg = &svc.telemetry().registry;
+    assert_eq!(
+        reg.counter("serve_rejected_queue_full_total"),
+        report.rejected_queue_full
+    );
+    assert_eq!(reg.counter("serve_rejected_unsupported_total"), 1);
+}

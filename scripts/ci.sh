@@ -29,6 +29,12 @@ cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check-hazards --out /dev/null
 # Serving smoke: a small deterministic fft-serve load run with every card
 # under the same validation layer. Exits non-zero on any hazard diagnostic
-# anywhere in the serving stack (DESIGN.md §12).
+# anywhere in the serving stack (DESIGN.md §12). The run also writes its
+# telemetry document (DESIGN.md §13), which the follow-up invocation
+# re-reads and validates: schema must parse and the recorded SLO verdict
+# must be ok, so a latency-tail or error-budget violation fails CI here.
+mkdir -p target
 cargo run --release -p fft-serve --bin fft-serve --offline -- \
-    --smoke --check-hazards
+    --smoke --check-hazards --metrics-out target/ci-metrics.json
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --validate-metrics target/ci-metrics.json

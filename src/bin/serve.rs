@@ -1,7 +1,9 @@
 //! Workspace-root alias for the `fft-serve` harness, so
 //! `cargo run --release --bin serve` works without naming the crate
 //! (the crate-local spelling is `-p fft-serve --bin fft-serve`).
-//! See `crates/serve/src/cli.rs` for flags and exit-code semantics.
+//! See `crates/serve/src/cli.rs` for flags and exit-code semantics,
+//! including the telemetry surface (`--metrics-out`, `--metrics-format`,
+//! `--trace`, `--validate-metrics`).
 
 fn main() {
     std::process::exit(fft_serve::cli::cli_main());
