@@ -22,6 +22,15 @@
 //! point whose baseline met its SLOs no longer does — a latency-tail or
 //! error-budget regression gates even while goodput still passes.
 //!
+//! Since v4 the file also carries a `gateway` section: the same seeded
+//! serving workloads replayed over real TCP through `fft-gate`, with N
+//! concurrent client connections. Each point records whether the report
+//! fetched over the wire is byte-identical to the in-process run
+//! (`report_match`, gated — the network layer must never perturb the
+//! deterministic core) alongside the wire-side goodput and admission
+//! counts. Only timing-independent fields are recorded, so regenerating
+//! the baseline is reproducible.
+//!
 //! The file format is the same hand-rolled JSON the rest of the repo uses
 //! (shortest-round-trip `f64`, fixed key order), scanned back with the same
 //! dependency-free field scanner as `profile --diff`.
@@ -29,15 +38,17 @@
 use bifft::multi_gpu::MultiGpuFft3d;
 use bifft::plan::{Algorithm, Fft3d};
 use bifft::PatternAudit;
+use fft_gate::server::{GateConfig, GateServer};
+use fft_gate::{control, run_open_loop_net};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use fft_serve::loadgen::{run_open_loop, Workload};
-use fft_serve::service::{FftService, ServeConfig};
+use fft_serve::service::ServeConfig;
 use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v3";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v4";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
@@ -143,6 +154,35 @@ pub struct ServingPoint {
     pub slo_ok: bool,
 }
 
+/// One network-gateway run: a seeded serving workload replayed over real
+/// TCP through `fft-gate` with concurrent clients. All fields are
+/// timing-independent (the paced bridge makes the replay deterministic),
+/// so the committed baseline regenerates reproducibly. The `gw_` prefix
+/// keeps the positional scanner's section keys disjoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GatewayPoint {
+    /// Workload mix name (`rows` or `mixed`).
+    pub gw_workload: String,
+    /// Cards in the fleet behind the gateway.
+    pub gw_gpus: usize,
+    /// Concurrent TCP client connections replaying the schedule.
+    pub gw_clients: usize,
+    /// Open-loop requests offered over the wire.
+    pub gw_requests: u64,
+    /// Load-generator seed.
+    pub gw_seed: u64,
+    /// Submits the gateway admitted.
+    pub gw_accepted: u64,
+    /// Submits rejected with a typed wire error.
+    pub gw_rejected: u64,
+    /// Whether the report fetched over the wire is byte-identical to the
+    /// in-process run of the same schedule (tracked by `--check`: the
+    /// network layer must never perturb the deterministic core).
+    pub report_match: bool,
+    /// Goodput of the gateway run, GB/s (tracked by `--check`).
+    pub gw_goodput_gbs: f64,
+}
+
 /// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchFile {
@@ -154,6 +194,8 @@ pub struct BenchFile {
     pub scaling: Vec<ScalingPoint>,
     /// Serving-layer load runs.
     pub serving: Vec<ServingPoint>,
+    /// Network-gateway runs over real TCP.
+    pub gateway: Vec<GatewayPoint>,
 }
 
 /// The three cards with their short CLI keys, Table 1 order.
@@ -277,13 +319,11 @@ fn serving_point(
         "rows" => Workload::rows(),
         _ => Workload::mixed(),
     };
-    let cfg = ServeConfig {
-        n_gpus: gpus,
-        streams_per_card: streams,
-        check_hazards: check,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg)
+    let mut svc = ServeConfig::builder()
+        .gpus(gpus)
+        .streams(streams)
+        .check_hazards(check)
+        .build_service()
         .unwrap_or_else(|e| panic!("bench serving: cannot bring fleet up: {e}"));
     let load = run_open_loop(&mut svc, &workload, requests, rate_rps, seed);
     svc.drain();
@@ -306,6 +346,75 @@ fn serving_point(
         },
         crep,
     )
+}
+
+/// Runs one gateway point: boots `fft-gate` on an ephemeral port, replays
+/// the seeded open-loop schedule over `clients` concurrent TCP
+/// connections, and pins the wire-fetched report against the in-process
+/// run of the same schedule.
+///
+/// # Panics
+/// Panics when the gateway cannot be booted or a connection fails — a
+/// network fault on loopback is a broken harness, not a benchmark result.
+fn gateway_point(
+    workload_name: &str,
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    clients: usize,
+) -> GatewayPoint {
+    let workload = match workload_name {
+        "rows" => Workload::rows(),
+        _ => Workload::mixed(),
+    };
+    let serve_cfg = || {
+        ServeConfig::builder()
+            .gpus(gpus)
+            .streams(streams)
+            .build()
+            .unwrap_or_else(|e| panic!("bench gateway: bad config: {e}"))
+    };
+    let cfg = GateConfig {
+        serve: serve_cfg(),
+        window: 8,
+    };
+    let (addr, handle) =
+        GateServer::spawn("127.0.0.1:0", cfg).unwrap_or_else(|e| panic!("bench gateway: {e}"));
+    let addr = addr.to_string();
+    let load = run_open_loop_net(&addr, &workload, requests, rate_rps, seed, clients)
+        .unwrap_or_else(|e| panic!("bench gateway: load run: {e}"));
+    let mut ctl = control(&addr).unwrap_or_else(|e| panic!("bench gateway: control: {e}"));
+    ctl.drain()
+        .unwrap_or_else(|e| panic!("bench gateway: drain: {e}"));
+    let wire_report = ctl
+        .report()
+        .unwrap_or_else(|e| panic!("bench gateway: report: {e}"));
+    ctl.shutdown()
+        .unwrap_or_else(|e| panic!("bench gateway: shutdown: {e}"));
+    handle.join().expect("gateway thread");
+
+    let mut svc = fft_serve::FftService::new(serve_cfg())
+        .unwrap_or_else(|e| panic!("bench gateway: local fleet: {e}"));
+    for (at_s, template) in
+        fft_serve::loadgen::open_loop_schedule(&workload, requests, rate_rps, seed)
+    {
+        let _ = svc.submit(template.materialize(), at_s);
+    }
+    svc.drain();
+    let local = svc.report();
+    GatewayPoint {
+        gw_workload: workload_name.to_string(),
+        gw_gpus: gpus,
+        gw_clients: clients,
+        gw_requests: requests,
+        gw_seed: seed,
+        gw_accepted: load.accepted,
+        gw_rejected: load.rejected,
+        report_match: wire_report == local.to_json(),
+        gw_goodput_gbs: local.goodput_gbs,
+    }
 }
 
 /// Runs the whole grid. `quick` restricts to 64³ and one scaling point (the
@@ -388,12 +497,36 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             if s.slo_ok { "ok" } else { "VIOLATED" }
         ));
     }
+    // Gateway runs: (workload, gpus, streams, requests, rate, seed, clients).
+    let gateway_grid: &[(&str, usize, usize, u64, f64, u64, usize)] = if quick {
+        &[("mixed", 2, 2, 96, 4000.0, 42, 8)]
+    } else {
+        &[
+            ("mixed", 2, 2, 96, 4000.0, 42, 8),
+            ("rows", 4, 2, 192, 8000.0, 42, 8),
+        ]
+    };
+    let gateway = gateway_grid
+        .iter()
+        .map(|&(w, g, st, req, rate, seed, clients)| {
+            gateway_point(w, g, st, req, rate, seed, clients)
+        })
+        .collect::<Vec<_>>();
+    for g in &gateway {
+        report.push_str(&format!(
+            "gateway: {} on {} GPUs over {} TCP clients: {} accepted / {} rejected, {:.3} GB/s goodput, report {}\n",
+            g.gw_workload, g.gw_gpus, g.gw_clients, g.gw_accepted, g.gw_rejected,
+            g.gw_goodput_gbs,
+            if g.report_match { "byte-identical" } else { "DIVERGED" }
+        ));
+    }
     (
         BenchFile {
             quick,
             runs,
             scaling,
             serving,
+            gateway,
         },
         report,
         merged,
@@ -487,6 +620,17 @@ pub fn to_json(file: &BenchFile) -> String {
             s.workload, s.serve_gpus, s.streams, s.requests, s.seed, s.offered_rps,
             s.achieved_rps, s.goodput_gbs, s.p50_ms, s.p95_ms, s.p99_ms, s.slo_ok,
             if i + 1 < nv { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"gateway\": [\n");
+    let ng = file.gateway.len();
+    for (i, g) in file.gateway.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"gw_workload\": \"{}\", \"gw_gpus\": {}, \"gw_clients\": {}, \"gw_requests\": {}, \"gw_seed\": {}, \"gw_accepted\": {}, \"gw_rejected\": {}, \"report_match\": {}, \"gw_goodput_gbs\": {}}}{}\n",
+            g.gw_workload, g.gw_gpus, g.gw_clients, g.gw_requests, g.gw_seed,
+            g.gw_accepted, g.gw_rejected, g.report_match, g.gw_goodput_gbs,
+            if i + 1 < ng { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -658,11 +802,54 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         });
         c = sc;
     }
+    let mut gateway = Vec::new();
+    let mut c = key_pos(text, "gw_workload", 0).unwrap_or(text.len());
+    while let Some((gw_workload, sc)) = field(text, "gw_workload", c) {
+        let (gw_gpus, sc) = field(text, "gw_gpus", sc).ok_or("gateway: missing gw_gpus")?;
+        let (gw_clients, sc) =
+            field(text, "gw_clients", sc).ok_or("gateway: missing gw_clients")?;
+        let (gw_requests, sc) =
+            field(text, "gw_requests", sc).ok_or("gateway: missing gw_requests")?;
+        let (gw_seed, sc) = field(text, "gw_seed", sc).ok_or("gateway: missing gw_seed")?;
+        let (gw_accepted, sc) =
+            field(text, "gw_accepted", sc).ok_or("gateway: missing gw_accepted")?;
+        let (gw_rejected, sc) =
+            field(text, "gw_rejected", sc).ok_or("gateway: missing gw_rejected")?;
+        let (report_match, sc) =
+            field(text, "report_match", sc).ok_or("gateway: missing report_match")?;
+        let (gw_goodput, sc) =
+            field(text, "gw_goodput_gbs", sc).ok_or("gateway: missing gw_goodput_gbs")?;
+        gateway.push(GatewayPoint {
+            gw_workload: gw_workload.to_string(),
+            gw_gpus: gw_gpus
+                .parse()
+                .map_err(|e| format!("bad gw_gpus '{gw_gpus}': {e}"))?,
+            gw_clients: gw_clients
+                .parse()
+                .map_err(|e| format!("bad gw_clients '{gw_clients}': {e}"))?,
+            gw_requests: gw_requests
+                .parse()
+                .map_err(|e| format!("bad gw_requests '{gw_requests}': {e}"))?,
+            gw_seed: gw_seed
+                .parse()
+                .map_err(|e| format!("bad gw_seed '{gw_seed}': {e}"))?,
+            gw_accepted: gw_accepted
+                .parse()
+                .map_err(|e| format!("bad gw_accepted '{gw_accepted}': {e}"))?,
+            gw_rejected: gw_rejected
+                .parse()
+                .map_err(|e| format!("bad gw_rejected '{gw_rejected}': {e}"))?,
+            report_match: parse_bool(report_match, "report_match")?,
+            gw_goodput_gbs: parse_f64(gw_goodput, "gw_goodput_gbs")?,
+        });
+        c = sc;
+    }
     Ok(BenchFile {
         quick,
         runs,
         scaling,
         serving,
+        gateway,
     })
 }
 
@@ -742,6 +929,35 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
         }
         if base.slo_ok && !cand.slo_ok {
             failures.push(format!("{id}: SLO verdict went from ok to VIOLATED"));
+        }
+    }
+    for base in &baseline.gateway {
+        let id = format!(
+            "gateway {}/{}gpu/{}clients",
+            base.gw_workload, base.gw_gpus, base.gw_clients
+        );
+        let Some(cand) = candidate.gateway.iter().find(|g| {
+            g.gw_workload == base.gw_workload
+                && g.gw_gpus == base.gw_gpus
+                && g.gw_clients == base.gw_clients
+                && g.gw_requests == base.gw_requests
+                && g.gw_seed == base.gw_seed
+        }) else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        if base.report_match && !cand.report_match {
+            failures.push(format!(
+                "{id}: wire report DIVERGED from the in-process run (same seed)"
+            ));
+        }
+        if cand.gw_goodput_gbs < base.gw_goodput_gbs * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: goodput regressed {:.3} -> {:.3} GB/s ({:+.1}%)",
+                base.gw_goodput_gbs,
+                cand.gw_goodput_gbs,
+                (cand.gw_goodput_gbs / base.gw_goodput_gbs - 1.0) * 100.0
+            ));
         }
     }
     failures
@@ -886,6 +1102,7 @@ mod tests {
             runs: vec![run],
             scaling: vec![scaling_point(2, 16, false).0],
             serving: vec![serving_point("rows", 2, 1, 24, 4000.0, 5, false).0],
+            gateway: vec![gateway_point("rows", 2, 1, 24, 4000.0, 5, 3)],
         }
     }
 
@@ -901,6 +1118,15 @@ mod tests {
         assert_eq!(parsed.serving[0].workload, "rows");
         assert!(parsed.serving[0].goodput_gbs > 0.0);
         assert!(parsed.serving[0].slo_ok, "the tiny run meets its SLOs");
+        assert_eq!(parsed.gateway[0].gw_clients, 3);
+        assert!(
+            parsed.gateway[0].report_match,
+            "the wire replay must match the in-process run"
+        );
+        assert_eq!(
+            parsed.gateway[0].gw_accepted + parsed.gateway[0].gw_rejected,
+            parsed.gateway[0].gw_requests
+        );
     }
 
     #[test]
@@ -942,9 +1168,30 @@ mod tests {
             runs: vec![],
             scaling: vec![],
             serving: vec![],
+            gateway: vec![],
         };
         let failures = check(&file, &empty, CHECK_TOLERANCE);
         assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn gateway_divergence_and_goodput_regression_fail_the_gate() {
+        let file = tiny_file();
+        assert!(file.gateway[0].report_match, "baseline replay matches");
+        // A diverged wire report is an instant failure.
+        let mut diverged = file.clone();
+        diverged.gateway[0].report_match = false;
+        let failures = check(&file, &diverged, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("DIVERGED"), "{failures:?}");
+        // A baseline that never matched does not gate the candidate.
+        assert!(check(&diverged, &diverged, CHECK_TOLERANCE).is_empty());
+        // Gateway goodput regressions gate like serving ones.
+        let mut inflated = file.clone();
+        inflated.gateway[0].gw_goodput_gbs *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("gateway rows"), "{failures:?}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! The `fft-gate` gateway binary. See `fft_gate::cli`.
+
+fn main() {
+    std::process::exit(fft_gate::cli::cli_main());
+}

@@ -1,0 +1,225 @@
+//! Network load generation: the open/closed-loop generators from
+//! `fft_serve::loadgen`, replayed through real TCP connections.
+//!
+//! The open-loop generator records the same Poisson arrival schedule the
+//! in-process generator draws (`open_loop_schedule`), deals it round-robin
+//! across `clients` concurrent connections, and streams it windowed
+//! through the paced bridge. Because every submit carries its virtual
+//! `at_s`, global `seq` and the sender's next-arrival watermark, the
+//! gateway reassembles exactly the recorded order — so the fetched
+//! `ServeReport` is byte-identical to submitting the same schedule
+//! in-process, which the N-client integration test pins.
+
+use crate::client::ServeClient;
+use crate::proto::{Frame, Mode};
+use fft_serve::loadgen::open_loop_schedule;
+use fft_serve::{SeededSpec, Workload};
+use std::io::ErrorKind;
+use std::time::Duration;
+
+/// What a network load run observed.
+#[derive(Clone, Debug, Default)]
+pub struct NetLoad {
+    /// Requests submitted over the wire.
+    pub offered: u64,
+    /// Submits the service admitted (acked).
+    pub accepted: u64,
+    /// Submits rejected with a typed admission error.
+    pub rejected: u64,
+    /// Per-rejection-code counts, `(code, count)` sorted by code.
+    pub rejected_by_code: Vec<(u16, u64)>,
+}
+
+impl NetLoad {
+    fn absorb_code(&mut self, code: u16) {
+        self.rejected += 1;
+        match self.rejected_by_code.binary_search_by_key(&code, |e| e.0) {
+            Ok(i) => self.rejected_by_code[i].1 += 1,
+            Err(i) => self.rejected_by_code.insert(i, (code, 1)),
+        }
+    }
+
+    fn merge(&mut self, other: &NetLoad) {
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        for &(code, n) in &other.rejected_by_code {
+            match self.rejected_by_code.binary_search_by_key(&code, |e| e.0) {
+                Ok(i) => self.rejected_by_code[i].1 += n,
+                Err(i) => self.rejected_by_code.insert(i, (code, n)),
+            }
+        }
+    }
+}
+
+/// One worker's slice of the schedule: `(global_seq, at_s, next_s, spec)`.
+type Slice = Vec<(u64, f64, Option<f64>, SeededSpec)>;
+
+/// Deals the recorded schedule round-robin across `clients` workers,
+/// computing each worker's own next-arrival watermarks.
+fn deal(schedule: &[(f64, SeededSpec)], clients: usize) -> Vec<Slice> {
+    let mut slices: Vec<Slice> = vec![Vec::new(); clients.max(1)];
+    for (i, (at_s, spec)) in schedule.iter().enumerate() {
+        slices[i % clients.max(1)].push((i as u64, *at_s, None, *spec));
+    }
+    for slice in &mut slices {
+        for i in 0..slice.len() {
+            slice[i].2 = slice.get(i + 1).map(|e| e.1);
+        }
+    }
+    slices
+}
+
+/// Streams one worker's slice through a windowed paced connection.
+fn stream_slice(addr: &str, name: &str, slice: Slice) -> std::io::Result<NetLoad> {
+    let first_s = slice.first().map(|e| e.1);
+    let mut client = ServeClient::connect(addr, name, Mode::Paced, first_s)?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    let window = client.info().window.max(1) as usize;
+    let mut load = NetLoad {
+        offered: slice.len() as u64,
+        ..NetLoad::default()
+    };
+    let mut inflight = 0usize;
+    let mut next = 0usize;
+    while next < slice.len() || inflight > 0 {
+        if next < slice.len() && inflight < window {
+            let (seq, at_s, next_s, spec) = slice[next];
+            client.send(&Frame::Submit {
+                seq,
+                at_s: Some(at_s),
+                next_s,
+                spec,
+            })?;
+            next += 1;
+            inflight += 1;
+            continue;
+        }
+        match client.recv()? {
+            Frame::SubmitAck { .. } => {
+                load.accepted += 1;
+                inflight -= 1;
+            }
+            Frame::Error {
+                code, seq, message, ..
+            } => {
+                if seq.is_none() {
+                    // A connection-fatal protocol error, not a rejection.
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidData,
+                        format!("protocol error {code}: {message}"),
+                    ));
+                }
+                load.absorb_code(code);
+                inflight -= 1;
+            }
+            other => {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("unexpected frame while streaming: {other:?}"),
+                ))
+            }
+        }
+    }
+    client.bye()?;
+    Ok(load)
+}
+
+/// Replays the seeded open-loop schedule over `clients` concurrent TCP
+/// connections. Returns the aggregate acks; fetch the report through a
+/// separate control connection afterwards (see [`control`]).
+///
+/// # Errors
+/// The first worker failure (socket or protocol), verbatim.
+pub fn run_open_loop_net(
+    addr: &str,
+    workload: &Workload,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    clients: usize,
+) -> std::io::Result<NetLoad> {
+    let schedule = open_loop_schedule(workload, requests, rate_rps, seed);
+    let slices = deal(&schedule, clients);
+    let mut handles = Vec::new();
+    for (k, slice) in slices.into_iter().enumerate() {
+        let addr = addr.to_string();
+        handles.push(std::thread::spawn(move || {
+            stream_slice(&addr, &format!("loadnet-{k}"), slice)
+        }));
+    }
+    let mut total = NetLoad::default();
+    let mut first_err = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(load)) => total.merge(&load),
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err =
+                    first_err.or_else(|| Some(std::io::Error::other("a load worker panicked")))
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(total),
+    }
+}
+
+/// Replays the closed-loop generator over one paced connection: windows of
+/// `concurrency` submits at the drained virtual time, each window drained
+/// before the next — the same sequence `fft_serve::run_closed_loop`
+/// produces in-process.
+///
+/// # Errors
+/// Socket or protocol failures.
+pub fn run_closed_loop_net(
+    addr: &str,
+    workload: &Workload,
+    requests: u64,
+    concurrency: u64,
+    seed: u64,
+) -> std::io::Result<NetLoad> {
+    assert!(concurrency > 0, "closed loop needs at least one worker");
+    let mut rng = fft_math::rng::SplitMix64::new(seed);
+    let mut client = ServeClient::connect(addr, "loadnet-closed", Mode::Paced, Some(0.0))?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    let mut load = NetLoad {
+        offered: requests,
+        ..NetLoad::default()
+    };
+    let mut submitted = 0u64;
+    let mut at = 0.0f64;
+    let mut seq = 0u64;
+    while submitted < requests {
+        let window = concurrency.min(requests - submitted);
+        for i in 0..window {
+            let spec = workload.draw_template(&mut rng);
+            let last_overall = submitted + i + 1 == requests;
+            // Every future submit arrives at `at` or later (the next
+            // window's time comes from the drain, which only moves
+            // forward), so `at` itself is a valid watermark.
+            let next_s = if last_overall { None } else { Some(at) };
+            match client.submit(seq, Some(at), next_s, spec)? {
+                Ok(_) => load.accepted += 1,
+                Err(e) => load.absorb_code(e.code),
+            }
+            seq += 1;
+        }
+        submitted += window;
+        at = client.drain()?;
+    }
+    client.bye()?;
+    Ok(load)
+}
+
+/// Opens a live control connection for post-run verbs (drain, report,
+/// metrics, check, shutdown).
+///
+/// # Errors
+/// Socket or handshake failures.
+pub fn control(addr: &str) -> std::io::Result<ServeClient> {
+    let mut c = ServeClient::connect(addr, "control", Mode::Live, None)?;
+    c.set_timeout(Some(Duration::from_secs(30)))?;
+    Ok(c)
+}

@@ -1,0 +1,882 @@
+//! `bifft-wire-v1`: the versioned, length-prefixed frame protocol the
+//! gateway speaks.
+//!
+//! Every frame is a 5-byte header — one type byte, then the body length as
+//! a little-endian `u32` — followed by a UTF-8 JSON body. Bodies are JSON
+//! so a session is debuggable with a hex dump and a squint; the length
+//! prefix is what lets the decoder resynchronize nothing and reject
+//! oversized frames *before* allocating for them. The protocol string
+//! travels in `Hello` and is matched exactly: any future breaking change
+//! bumps it to `bifft-wire-v2` and old clients get a typed
+//! [`code::PROTO_MISMATCH`] instead of undefined behaviour.
+//!
+//! Requests travel as [`fft_serve::SeededSpec`] templates — shape,
+//! direction, priority, deadline and the payload *seed*, a few dozen bytes
+//! — and both ends materialize the identical payload from the seed. That
+//! is what makes the same-seed gateway run byte-identical to the
+//! in-process run without shipping megabytes of samples.
+
+use crate::json::{self, obj, Value};
+use bifft::plan::Algorithm;
+use fft_math::twiddle::Direction;
+use fft_serve::{Priority, Rejection, SeededSpec, Shape};
+
+/// The protocol identifier carried in `Hello`/`HelloAck`.
+pub const PROTO: &str = "bifft-wire-v1";
+
+/// Largest accepted frame body, bytes. Checked against the header length
+/// before any allocation, so a hostile 4 GiB length prefix costs nothing.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Frame header size: type byte + `u32` little-endian body length.
+pub const HEADER_LEN: usize = 5;
+
+/// Typed wire error codes — stable numbers clients branch on without
+/// parsing message strings.
+pub mod code {
+    /// Admission: the bounded queue is full (backpressure; retry later).
+    pub const QUEUE_FULL: u16 = 1;
+    /// Admission: the deadline cannot be met at the current backlog.
+    pub const DEADLINE_INFEASIBLE: u16 = 2;
+    /// Admission: the shape or payload is invalid for this service.
+    pub const UNSUPPORTED: u16 = 3;
+    /// Admission: a rows payload larger than a lane's staging slot.
+    pub const OVERSIZED: u16 = 4;
+    /// Admission: a volume the whole fleet has proved unallocatable.
+    pub const UNALLOCATABLE: u16 = 5;
+    /// Protocol: unparseable frame header or body.
+    pub const BAD_FRAME: u16 = 100;
+    /// Protocol: header length exceeds [`super::MAX_FRAME`].
+    pub const FRAME_TOO_BIG: u16 = 101;
+    /// Protocol: the first frame was not `Hello`.
+    pub const HELLO_REQUIRED: u16 = 103;
+    /// Protocol: the client's protocol string is not [`super::PROTO`].
+    pub const PROTO_MISMATCH: u16 = 104;
+    /// Protocol: a well-formed frame with nonsensical fields.
+    pub const BAD_REQUEST: u16 = 106;
+    /// Protocol: unknown frame type byte.
+    pub const UNKNOWN_TYPE: u16 = 107;
+}
+
+/// The stable wire code for a rejection.
+///
+/// The match is deliberately wildcard-free: adding a `Rejection` variant
+/// without assigning it a wire code fails to compile here, which is the
+/// exhaustiveness guarantee the satellite task asks for.
+pub fn rejection_code(r: &Rejection) -> u16 {
+    match r {
+        Rejection::QueueFull { .. } => code::QUEUE_FULL,
+        Rejection::DeadlineInfeasible { .. } => code::DEADLINE_INFEASIBLE,
+        Rejection::Unsupported(_) => code::UNSUPPORTED,
+        Rejection::Oversized { .. } => code::OVERSIZED,
+        Rejection::Unallocatable(_) => code::UNALLOCATABLE,
+    }
+}
+
+/// The machine-readable kind label paired with each rejection code.
+pub fn rejection_kind(r: &Rejection) -> &'static str {
+    match r {
+        Rejection::QueueFull { .. } => "queue_full",
+        Rejection::DeadlineInfeasible { .. } => "deadline_infeasible",
+        Rejection::Unsupported(_) => "unsupported",
+        Rejection::Oversized { .. } => "oversized",
+        Rejection::Unallocatable(_) => "unallocatable",
+    }
+}
+
+/// How a connection drives virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Submits are stamped with wall-clock-derived virtual arrival times —
+    /// the interactive mode.
+    Live,
+    /// Submits carry explicit virtual arrival times from a recorded
+    /// schedule; the bridge merges all paced connections into the exact
+    /// schedule order.
+    Paced,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Live => "live",
+            Mode::Paced => "paced",
+        }
+    }
+}
+
+/// One decoded `bifft-wire-v1` frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame on every connection.
+    Hello {
+        /// Must equal [`PROTO`].
+        proto: String,
+        /// Free-form client name for logs.
+        client: String,
+        /// How this connection drives virtual time.
+        mode: Mode,
+        /// Paced connections: the `at_s` of this connection's first submit
+        /// (`None` = it will never submit), seeding the bridge watermark.
+        first_s: Option<f64>,
+    },
+    /// Server → client handshake reply.
+    HelloAck {
+        /// Echoes [`PROTO`].
+        proto: String,
+        /// Server build name.
+        server: String,
+        /// Fleet size behind the gateway.
+        gpus: u64,
+        /// Stream lanes per card.
+        streams: u64,
+        /// Per-connection in-flight submit window.
+        window: u64,
+        /// The admission queue bound (backpressure threshold).
+        queue_capacity: u64,
+    },
+    /// Client → server: one request.
+    Submit {
+        /// Client-chosen correlation for the ack (paced runs use the
+        /// schedule index, which doubles as the global merge tiebreak).
+        seq: u64,
+        /// Paced connections: explicit virtual arrival time.
+        at_s: Option<f64>,
+        /// Paced connections: the `at_s` of this connection's *next*
+        /// submit (`None` = this is the last) — the bridge watermark that
+        /// lets other connections' earlier arrivals release.
+        next_s: Option<f64>,
+        /// The request template.
+        spec: SeededSpec,
+    },
+    /// Server → client: the submit was admitted.
+    SubmitAck {
+        /// Echoed from the submit.
+        seq: u64,
+        /// The service request id — the wire correlation id for `Poll`.
+        id: u64,
+    },
+    /// Client → server: what happened to request `id`?
+    Poll {
+        /// A correlation id from `SubmitAck`.
+        id: u64,
+    },
+    /// Server → client poll answer.
+    PollReply {
+        /// Echoed id.
+        id: u64,
+        /// `"queued" | "done" | "failed" | "unknown"`.
+        status: String,
+        /// `done`: completion latency, seconds.
+        latency_s: Option<f64>,
+        /// `done`: card the launch ran on (`None` = sharded or pending).
+        card: Option<u64>,
+        /// `done`: whether the completion missed its deadline.
+        timed_out: Option<bool>,
+        /// `failed`: the dispatch error rendered as text.
+        error: Option<String>,
+    },
+    /// Server → client: a typed error, fatal to the offending request
+    /// (admission codes) or to the connection (protocol codes).
+    Error {
+        /// The submit `seq` it answers, when there is one.
+        seq: Option<u64>,
+        /// A [`code`] constant.
+        code: u16,
+        /// Machine-readable kind label.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server liveness probe.
+    Ping {
+        /// Echoed back in `Pong`.
+        nonce: u64,
+    },
+    /// Server → client probe reply.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+        /// Server virtual time, seconds.
+        now_s: f64,
+    },
+    /// Client → server: run the service to quiescence (virtual time).
+    Drain,
+    /// Server → client: drain finished.
+    DrainAck {
+        /// Virtual time after the drain, seconds.
+        now_s: f64,
+    },
+    /// Client → server: render the run's `ServeReport`.
+    Report,
+    /// Server → client: the report. The body is the `ServeReport` JSON
+    /// document verbatim — byte-identical to the in-process render.
+    ReportReply {
+        /// The report JSON.
+        json: String,
+    },
+    /// Client → server: render the `bifft-metrics-v1` document.
+    MetricsReq,
+    /// Server → client: the metrics document verbatim.
+    MetricsReply {
+        /// The metrics JSON.
+        json: String,
+    },
+    /// Client → server: the hazard-validator verdict.
+    CheckReq,
+    /// Server → client check answer.
+    CheckReply {
+        /// Whether the fleet runs under the validator at all.
+        enabled: bool,
+        /// No diagnostics and no hazards (vacuously true when disabled).
+        clean: bool,
+        /// Kernels checked so far.
+        kernels: u64,
+        /// Access diagnostics + stream hazards recorded.
+        findings: u64,
+    },
+    /// Client → server: stop accepting connections and exit once every
+    /// connection closes (the orderly CI teardown).
+    Shutdown,
+    /// Either direction: goodbye; the sender closes after flushing.
+    Bye,
+}
+
+impl Frame {
+    /// The frame's wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::HelloAck { .. } => 2,
+            Frame::Submit { .. } => 3,
+            Frame::SubmitAck { .. } => 4,
+            Frame::Poll { .. } => 5,
+            Frame::PollReply { .. } => 6,
+            Frame::Error { .. } => 7,
+            Frame::Ping { .. } => 8,
+            Frame::Pong { .. } => 9,
+            Frame::Drain => 10,
+            Frame::DrainAck { .. } => 11,
+            Frame::Report => 12,
+            Frame::ReportReply { .. } => 13,
+            Frame::MetricsReq => 14,
+            Frame::MetricsReply { .. } => 15,
+            Frame::CheckReq => 16,
+            Frame::CheckReply { .. } => 17,
+            Frame::Shutdown => 18,
+            Frame::Bye => 19,
+        }
+    }
+
+    /// Encodes the frame: header + JSON body.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.body().encode();
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        out.push(self.type_byte());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(body.as_bytes());
+        out
+    }
+
+    fn body(&self) -> Value {
+        match self {
+            Frame::Hello {
+                proto,
+                client,
+                mode,
+                first_s,
+            } => obj(vec![
+                ("proto", Value::Str(proto.clone())),
+                ("client", Value::Str(client.clone())),
+                ("mode", Value::Str(mode.label().to_string())),
+                ("first_s", opt_num(*first_s)),
+            ]),
+            Frame::HelloAck {
+                proto,
+                server,
+                gpus,
+                streams,
+                window,
+                queue_capacity,
+            } => obj(vec![
+                ("proto", Value::Str(proto.clone())),
+                ("server", Value::Str(server.clone())),
+                ("gpus", Value::Int(*gpus)),
+                ("streams", Value::Int(*streams)),
+                ("window", Value::Int(*window)),
+                ("queue_capacity", Value::Int(*queue_capacity)),
+            ]),
+            Frame::Submit {
+                seq,
+                at_s,
+                next_s,
+                spec,
+            } => obj(vec![
+                ("seq", Value::Int(*seq)),
+                ("at_s", opt_num(*at_s)),
+                ("next_s", opt_num(*next_s)),
+                ("spec", spec_body(spec)),
+            ]),
+            Frame::SubmitAck { seq, id } => {
+                obj(vec![("seq", Value::Int(*seq)), ("id", Value::Int(*id))])
+            }
+            Frame::Poll { id } => obj(vec![("id", Value::Int(*id))]),
+            Frame::PollReply {
+                id,
+                status,
+                latency_s,
+                card,
+                timed_out,
+                error,
+            } => obj(vec![
+                ("id", Value::Int(*id)),
+                ("status", Value::Str(status.clone())),
+                ("latency_s", opt_num(*latency_s)),
+                ("card", card.map_or(Value::Null, Value::Int)),
+                ("timed_out", timed_out.map_or(Value::Null, Value::Bool)),
+                ("error", error.clone().map_or(Value::Null, Value::Str)),
+            ]),
+            Frame::Error {
+                seq,
+                code,
+                kind,
+                message,
+            } => obj(vec![
+                ("seq", seq.map_or(Value::Null, Value::Int)),
+                ("code", Value::Int(u64::from(*code))),
+                ("kind", Value::Str(kind.clone())),
+                ("message", Value::Str(message.clone())),
+            ]),
+            Frame::Ping { nonce } => obj(vec![("nonce", Value::Int(*nonce))]),
+            Frame::Pong { nonce, now_s } => obj(vec![
+                ("nonce", Value::Int(*nonce)),
+                ("now_s", Value::Num(*now_s)),
+            ]),
+            Frame::Drain | Frame::Report | Frame::MetricsReq | Frame::CheckReq => obj(vec![]),
+            Frame::Shutdown | Frame::Bye => obj(vec![]),
+            Frame::DrainAck { now_s } => obj(vec![("now_s", Value::Num(*now_s))]),
+            Frame::ReportReply { json } | Frame::MetricsReply { json } => {
+                obj(vec![("doc", Value::Str(json.clone()))])
+            }
+            Frame::CheckReply {
+                enabled,
+                clean,
+                kernels,
+                findings,
+            } => obj(vec![
+                ("enabled", Value::Bool(*enabled)),
+                ("clean", Value::Bool(*clean)),
+                ("kernels", Value::Int(*kernels)),
+                ("findings", Value::Int(*findings)),
+            ]),
+        }
+    }
+
+    /// Decodes one frame from its type byte and body bytes.
+    ///
+    /// # Errors
+    /// A human-readable reason; the gateway maps it to
+    /// [`code::BAD_FRAME`] / [`code::UNKNOWN_TYPE`]. Never panics,
+    /// whatever the input.
+    pub fn decode(type_byte: u8, body: &[u8]) -> Result<Frame, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let v = json::parse(text)?;
+        match type_byte {
+            1 => Ok(Frame::Hello {
+                proto: need_str(&v, "proto")?,
+                client: need_str(&v, "client")?,
+                mode: match need_str(&v, "mode")?.as_str() {
+                    "live" => Mode::Live,
+                    "paced" => Mode::Paced,
+                    other => return Err(format!("unknown mode '{other}'")),
+                },
+                first_s: opt_f64(&v, "first_s")?,
+            }),
+            2 => Ok(Frame::HelloAck {
+                proto: need_str(&v, "proto")?,
+                server: need_str(&v, "server")?,
+                gpus: need_u64(&v, "gpus")?,
+                streams: need_u64(&v, "streams")?,
+                window: need_u64(&v, "window")?,
+                queue_capacity: need_u64(&v, "queue_capacity")?,
+            }),
+            3 => Ok(Frame::Submit {
+                seq: need_u64(&v, "seq")?,
+                at_s: opt_f64(&v, "at_s")?,
+                next_s: opt_f64(&v, "next_s")?,
+                spec: spec_decode(v.get("spec").ok_or("missing spec")?)?,
+            }),
+            4 => Ok(Frame::SubmitAck {
+                seq: need_u64(&v, "seq")?,
+                id: need_u64(&v, "id")?,
+            }),
+            5 => Ok(Frame::Poll {
+                id: need_u64(&v, "id")?,
+            }),
+            6 => Ok(Frame::PollReply {
+                id: need_u64(&v, "id")?,
+                status: need_str(&v, "status")?,
+                latency_s: opt_f64(&v, "latency_s")?,
+                card: match v.get("card") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => Some(c.as_u64().ok_or("card must be an integer")?),
+                },
+                timed_out: match v.get("timed_out") {
+                    None | Some(Value::Null) => None,
+                    Some(b) => Some(b.as_bool().ok_or("timed_out must be a bool")?),
+                },
+                error: match v.get("error") {
+                    None | Some(Value::Null) => None,
+                    Some(e) => Some(e.as_str().ok_or("error must be a string")?.to_string()),
+                },
+            }),
+            7 => {
+                let raw = need_u64(&v, "code")?;
+                Ok(Frame::Error {
+                    seq: match v.get("seq") {
+                        None | Some(Value::Null) => None,
+                        Some(s) => Some(s.as_u64().ok_or("seq must be an integer")?),
+                    },
+                    code: u16::try_from(raw).map_err(|_| "code out of range")?,
+                    kind: need_str(&v, "kind")?,
+                    message: need_str(&v, "message")?,
+                })
+            }
+            8 => Ok(Frame::Ping {
+                nonce: need_u64(&v, "nonce")?,
+            }),
+            9 => Ok(Frame::Pong {
+                nonce: need_u64(&v, "nonce")?,
+                now_s: need_f64(&v, "now_s")?,
+            }),
+            10 => Ok(Frame::Drain),
+            11 => Ok(Frame::DrainAck {
+                now_s: need_f64(&v, "now_s")?,
+            }),
+            12 => Ok(Frame::Report),
+            13 => Ok(Frame::ReportReply {
+                json: need_str(&v, "doc")?,
+            }),
+            14 => Ok(Frame::MetricsReq),
+            15 => Ok(Frame::MetricsReply {
+                json: need_str(&v, "doc")?,
+            }),
+            16 => Ok(Frame::CheckReq),
+            17 => Ok(Frame::CheckReply {
+                enabled: need_bool(&v, "enabled")?,
+                clean: need_bool(&v, "clean")?,
+                kernels: need_u64(&v, "kernels")?,
+                findings: need_u64(&v, "findings")?,
+            }),
+            18 => Ok(Frame::Shutdown),
+            19 => Ok(Frame::Bye),
+            other => Err(format!("unknown frame type {other}")),
+        }
+    }
+}
+
+fn opt_num(v: Option<f64>) -> Value {
+    v.map_or(Value::Null, Value::Num)
+}
+
+fn need_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing number field '{key}'"))
+}
+
+fn need_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing bool field '{key}'"))
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be a number or null")),
+    }
+}
+
+/// Renders a request template as its wire body.
+fn spec_body(spec: &SeededSpec) -> Value {
+    let shape = match spec.shape {
+        Shape::Rows1d { n, rows } => obj(vec![
+            ("kind", Value::Str("rows".to_string())),
+            ("n", Value::Int(n as u64)),
+            ("rows", Value::Int(rows as u64)),
+        ]),
+        Shape::Volume { nx, ny, nz } => obj(vec![
+            ("kind", Value::Str("volume".to_string())),
+            ("nx", Value::Int(nx as u64)),
+            ("ny", Value::Int(ny as u64)),
+            ("nz", Value::Int(nz as u64)),
+        ]),
+    };
+    obj(vec![
+        ("shape", shape),
+        (
+            "dir",
+            Value::Str(
+                match spec.direction {
+                    Direction::Forward => "fwd",
+                    Direction::Inverse => "inv",
+                }
+                .to_string(),
+            ),
+        ),
+        (
+            "algorithm",
+            spec.algorithm
+                .map_or(Value::Null, |a| Value::Str(algorithm_label(a).to_string())),
+        ),
+        (
+            "priority",
+            Value::Str(
+                match spec.priority {
+                    Priority::High => "high",
+                    Priority::Normal => "normal",
+                    Priority::Low => "low",
+                }
+                .to_string(),
+            ),
+        ),
+        ("deadline_s", opt_num(spec.deadline_s)),
+        ("seed", Value::Int(spec.seed)),
+    ])
+}
+
+fn algorithm_label(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::FiveStep => "five_step",
+        Algorithm::SixStep => "six_step",
+        Algorithm::CufftLike => "cufft_like",
+        Algorithm::OutOfCore => "out_of_core",
+        Algorithm::MultiGpu => "multi_gpu",
+    }
+}
+
+/// Parses a request template off the wire. Dimensions are bounded to
+/// `2^24` elements per axis before any multiplication, so a hostile
+/// `nx: 2^63` cannot overflow admission arithmetic.
+fn spec_decode(v: &Value) -> Result<SeededSpec, String> {
+    let shape_v = v.get("shape").ok_or("missing spec.shape")?;
+    let dim = |key: &str| -> Result<usize, String> {
+        let d = need_u64(shape_v, key)?;
+        if d == 0 || d > (1 << 24) {
+            return Err(format!("shape.{key} = {d} out of range"));
+        }
+        Ok(d as usize)
+    };
+    let shape = match need_str(shape_v, "kind")?.as_str() {
+        "rows" => Shape::Rows1d {
+            n: dim("n")?,
+            rows: dim("rows")?,
+        },
+        "volume" => Shape::Volume {
+            nx: dim("nx")?,
+            ny: dim("ny")?,
+            nz: dim("nz")?,
+        },
+        other => return Err(format!("unknown shape kind '{other}'")),
+    };
+    let direction = match need_str(v, "dir")?.as_str() {
+        "fwd" => Direction::Forward,
+        "inv" => Direction::Inverse,
+        other => return Err(format!("unknown direction '{other}'")),
+    };
+    let algorithm = match v.get("algorithm") {
+        None | Some(Value::Null) => None,
+        Some(a) => Some(match a.as_str().ok_or("algorithm must be a string")? {
+            "five_step" => Algorithm::FiveStep,
+            "six_step" => Algorithm::SixStep,
+            "cufft_like" => Algorithm::CufftLike,
+            "out_of_core" => Algorithm::OutOfCore,
+            "multi_gpu" => Algorithm::MultiGpu,
+            other => return Err(format!("unknown algorithm '{other}'")),
+        }),
+    };
+    let priority = match need_str(v, "priority")?.as_str() {
+        "high" => Priority::High,
+        "normal" => Priority::Normal,
+        "low" => Priority::Low,
+        other => return Err(format!("unknown priority '{other}'")),
+    };
+    let deadline_s = opt_f64(v, "deadline_s")?;
+    if let Some(d) = deadline_s {
+        if d <= 0.0 || d.is_nan() {
+            return Err(format!("deadline_s = {d} must be positive"));
+        }
+    }
+    Ok(SeededSpec {
+        shape,
+        direction,
+        algorithm,
+        priority,
+        deadline_s,
+        seed: need_u64(v, "seed")?,
+    })
+}
+
+/// Incremental frame decoder over a growing byte buffer: feed raw reads in,
+/// take complete frames out.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". Errors are fatal to the
+    /// connection: a bad header length or unparseable body leaves the
+    /// stream unsynchronizable, so the caller replies with a typed error
+    /// and closes.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, (u16, String)> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let ty = self.buf[0];
+        let len = u32::from_le_bytes([self.buf[1], self.buf[2], self.buf[3], self.buf[4]]);
+        if len > MAX_FRAME {
+            return Err((
+                code::FRAME_TOO_BIG,
+                format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte bound"),
+            ));
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode(ty, &self.buf[HEADER_LEN..total]).map_err(|e| {
+            if e.starts_with("unknown frame type") {
+                (code::UNKNOWN_TYPE, e)
+            } else {
+                (code::BAD_FRAME, e)
+            }
+        })?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> SeededSpec {
+        SeededSpec {
+            shape: Shape::Rows1d { n: 256, rows: 32 },
+            direction: Direction::Inverse,
+            algorithm: Some(Algorithm::FiveStep),
+            priority: Priority::High,
+            deadline_s: Some(2.5e-3),
+            seed: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let frames = vec![
+            Frame::Hello {
+                proto: PROTO.to_string(),
+                client: "test".to_string(),
+                mode: Mode::Paced,
+                first_s: Some(1e-3),
+            },
+            Frame::HelloAck {
+                proto: PROTO.to_string(),
+                server: "fft-gate".to_string(),
+                gpus: 2,
+                streams: 2,
+                window: 32,
+                queue_capacity: 64,
+            },
+            Frame::Submit {
+                seq: 7,
+                at_s: Some(0.25),
+                next_s: None,
+                spec: sample_spec(),
+            },
+            Frame::SubmitAck { seq: 7, id: 3 },
+            Frame::Poll { id: 3 },
+            Frame::PollReply {
+                id: 3,
+                status: "done".to_string(),
+                latency_s: Some(1.25e-3),
+                card: Some(1),
+                timed_out: Some(false),
+                error: None,
+            },
+            Frame::Error {
+                seq: Some(7),
+                code: code::QUEUE_FULL,
+                kind: "queue_full".to_string(),
+                message: "queue full (capacity 64)".to_string(),
+            },
+            Frame::Ping { nonce: 99 },
+            Frame::Pong {
+                nonce: 99,
+                now_s: 0.125,
+            },
+            Frame::Drain,
+            Frame::DrainAck { now_s: 0.5 },
+            Frame::Report,
+            Frame::ReportReply {
+                json: "{\n  \"x\": 1\n}".to_string(),
+            },
+            Frame::MetricsReq,
+            Frame::MetricsReply {
+                json: "{}".to_string(),
+            },
+            Frame::CheckReq,
+            Frame::CheckReply {
+                enabled: true,
+                clean: true,
+                kernels: 12,
+                findings: 0,
+            },
+            Frame::Shutdown,
+            Frame::Bye,
+        ];
+        let mut dec = FrameDecoder::new();
+        for f in &frames {
+            dec.feed(&f.encode());
+        }
+        for f in &frames {
+            let got = dec.next_frame().unwrap().expect("frame buffered");
+            assert_eq!(&got, f);
+        }
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn u64_seeds_survive_the_wire_exactly() {
+        let spec = SeededSpec {
+            seed: u64::MAX - 1,
+            ..sample_spec()
+        };
+        let f = Frame::Submit {
+            seq: u64::MAX,
+            at_s: Some(0.1 + 0.2),
+            next_s: Some(f64::MIN_POSITIVE),
+            spec,
+        };
+        let bytes = f.encode();
+        let got = Frame::decode(bytes[0], &bytes[HEADER_LEN..]).unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn rejection_codes_are_stable_and_exhaustive() {
+        use bifft::plan::FftError;
+        let cases: Vec<(Rejection, u16, &str)> = vec![
+            (
+                Rejection::QueueFull { capacity: 4 },
+                code::QUEUE_FULL,
+                "queue_full",
+            ),
+            (
+                Rejection::DeadlineInfeasible {
+                    estimated_s: 2.0,
+                    deadline_s: 1.0,
+                },
+                code::DEADLINE_INFEASIBLE,
+                "deadline_infeasible",
+            ),
+            (
+                Rejection::Unsupported(FftError::UnsupportedSize { axis: 'x', n: 7 }),
+                code::UNSUPPORTED,
+                "unsupported",
+            ),
+            (
+                Rejection::Oversized {
+                    elems: 10,
+                    limit_elems: 5,
+                },
+                code::OVERSIZED,
+                "oversized",
+            ),
+            (
+                Rejection::Unallocatable(FftError::UnsupportedSize { axis: 'y', n: 9 }),
+                code::UNALLOCATABLE,
+                "unallocatable",
+            ),
+        ];
+        for (r, want_code, want_kind) in cases {
+            assert_eq!(rejection_code(&r), want_code, "{r}");
+            assert_eq!(rejection_kind(&r), want_kind, "{r}");
+        }
+    }
+
+    #[test]
+    fn oversized_headers_and_junk_bodies_error_cleanly() {
+        let mut dec = FrameDecoder::new();
+        // 4 GiB length prefix: rejected from the header alone.
+        dec.feed(&[3, 0xff, 0xff, 0xff, 0xff]);
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.0, code::FRAME_TOO_BIG);
+
+        let mut dec = FrameDecoder::new();
+        let mut bad = vec![3u8];
+        bad.extend_from_slice(&4u32.to_le_bytes());
+        bad.extend_from_slice(b"}{!(");
+        dec.feed(&bad);
+        assert_eq!(dec.next_frame().unwrap_err().0, code::BAD_FRAME);
+
+        let mut dec = FrameDecoder::new();
+        let mut unknown = vec![200u8];
+        unknown.extend_from_slice(&2u32.to_le_bytes());
+        unknown.extend_from_slice(b"{}");
+        dec.feed(&unknown);
+        assert_eq!(dec.next_frame().unwrap_err().0, code::UNKNOWN_TYPE);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let f = Frame::Ping { nonce: 5 };
+        let bytes = f.encode();
+        let mut dec = FrameDecoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            if i + 1 < bytes.len() {
+                dec.feed(&[*b]);
+                assert!(dec.next_frame().unwrap().is_none(), "byte {i}");
+            } else {
+                dec.feed(&[*b]);
+                assert_eq!(dec.next_frame().unwrap(), Some(Frame::Ping { nonce: 5 }));
+            }
+        }
+    }
+}

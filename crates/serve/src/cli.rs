@@ -22,7 +22,7 @@
 //! the schema validates AND the recorded SLO verdict is ok — the CI gate.
 
 use crate::loadgen::{run_closed_loop, run_open_loop, Workload};
-use crate::service::{FftService, ServeConfig};
+use crate::service::ServeConfig;
 use crate::telemetry::validate_metrics_json;
 
 struct Cli {
@@ -162,14 +162,13 @@ pub fn cli_main() -> i32 {
             return 2;
         }
     };
-    let cfg = ServeConfig {
-        n_gpus: cli.gpus,
-        streams_per_card: cli.streams,
-        check_hazards: cli.check_hazards,
-        record_trace: cli.trace_path.is_some(),
-        ..ServeConfig::default()
-    };
-    let mut svc = match FftService::new(cfg) {
+    let mut svc = match ServeConfig::builder()
+        .gpus(cli.gpus)
+        .streams(cli.streams)
+        .check_hazards(cli.check_hazards)
+        .record_trace(cli.trace_path.is_some())
+        .build_service()
+    {
         Ok(s) => s,
         Err(e) => {
             eprintln!("fft-serve: cannot bring the fleet up: {e}");

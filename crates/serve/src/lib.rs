@@ -40,10 +40,12 @@ pub mod scheduler;
 pub mod service;
 pub mod telemetry;
 
-pub use loadgen::{run_closed_loop, run_open_loop, OfferedLoad, Workload};
+pub use loadgen::{open_loop_schedule, run_closed_loop, run_open_loop, OfferedLoad, Workload};
 pub use report::{LatencyStats, ServeReport};
-pub use request::{Completion, Priority, Rejection, RequestId, RequestSpec, Shape};
-pub use service::{FftService, ServeConfig};
+pub use request::{
+    Completion, PollStatus, Priority, Rejection, RequestId, RequestSpec, SeededSpec, Shape, Ticket,
+};
+pub use service::{FftService, ServeConfig, ServeConfigBuilder};
 pub use telemetry::{
     metrics_json, prometheus_text, validate_metrics_json, LifecycleLog, MetricsRegistry, SloPolicy,
     SloReport, Stage, Telemetry, METRICS_SCHEMA,

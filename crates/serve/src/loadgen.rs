@@ -7,7 +7,7 @@
 //! exact same request sequence and, because the service is deterministic,
 //! produce bit-identical [`crate::report::ServeReport`] JSON.
 
-use crate::request::{Priority, RequestSpec, Shape};
+use crate::request::{Priority, RequestSpec, SeededSpec, Shape};
 use crate::service::FftService;
 use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
@@ -57,7 +57,11 @@ impl Workload {
         w
     }
 
-    fn draw(&self, rng: &mut SplitMix64) -> RequestSpec {
+    /// Draws one request as a wire-transportable template: everything the
+    /// request is — shape, direction, priority, deadline, payload seed — in
+    /// a few words, so a schedule of them travels over `bifft-wire-v1` and
+    /// both ends materialize bit-identical payloads.
+    pub fn draw_template(&self, rng: &mut SplitMix64) -> SeededSpec {
         let total: u32 = self.shapes.iter().map(|&(_, w)| w).sum();
         debug_assert!(total > 0, "workload needs at least one weighted shape");
         let mut pick = rng.below(total as usize) as u32;
@@ -79,12 +83,44 @@ impl Workload {
         } else {
             Priority::Normal
         };
-        let mut spec = RequestSpec::seeded(shape, dir, rng.next_u64()).priority(prio);
-        if let Some(d) = self.deadline_s {
-            spec = spec.deadline_s(d);
+        SeededSpec {
+            shape,
+            direction: dir,
+            algorithm: None,
+            priority: prio,
+            deadline_s: self.deadline_s,
+            seed: rng.next_u64(),
         }
-        spec
     }
+
+    fn draw(&self, rng: &mut SplitMix64) -> RequestSpec {
+        self.draw_template(rng).materialize()
+    }
+}
+
+/// The recorded arrival schedule an open-loop run replays: `(at_s,
+/// template)` pairs in arrival order. This is what `fft-gate` ships to the
+/// server side — same seed, same schedule, same [`ServeReport`] whether the
+/// requests arrive in-process or over TCP.
+///
+/// [`ServeReport`]: crate::report::ServeReport
+pub fn open_loop_schedule(
+    workload: &Workload,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+) -> Vec<(f64, SeededSpec)> {
+    assert!(rate_rps > 0.0, "open loop needs a positive arrival rate");
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    let mut schedule = Vec::with_capacity(requests as usize);
+    for _ in 0..requests {
+        // Exponential interarrival gap; (1 - u) keeps ln's argument nonzero.
+        let gap = -(1.0 - rng.next_f64()).ln() / rate_rps;
+        t += gap;
+        schedule.push((t, workload.draw_template(&mut rng)));
+    }
+    schedule
 }
 
 /// What a generator run observed at the submission boundary (the service's
@@ -111,16 +147,12 @@ pub fn run_open_loop(
     rate_rps: f64,
     seed: u64,
 ) -> OfferedLoad {
-    assert!(rate_rps > 0.0, "open loop needs a positive arrival rate");
-    let mut rng = SplitMix64::new(seed);
+    let schedule = open_loop_schedule(workload, requests, rate_rps, seed);
     let mut t = 0.0f64;
     let mut accepted = 0u64;
-    for _ in 0..requests {
-        // Exponential interarrival gap; (1 - u) keeps ln's argument nonzero.
-        let gap = -(1.0 - rng.next_f64()).ln() / rate_rps;
-        t += gap;
-        let spec = workload.draw(&mut rng);
-        if svc.submit(spec, t).is_ok() {
+    for (at_s, template) in schedule {
+        t = at_s;
+        if svc.submit(template.materialize(), at_s).is_ok() {
             accepted += 1;
         }
     }
@@ -207,15 +239,27 @@ mod tests {
 
     #[test]
     fn closed_loop_completes_everything_in_windows() {
-        let mut svc = FftService::new(ServeConfig {
-            n_gpus: 1,
-            ..ServeConfig::default()
-        })
-        .unwrap();
+        let mut svc = ServeConfig::builder().gpus(1).build_service().unwrap();
         let load = run_closed_loop(&mut svc, &Workload::rows(), 10, 2, 3);
         assert_eq!(load.offered, 10);
         assert_eq!(load.accepted, 10, "closed loop never overruns the queue");
         let r = svc.finish();
         assert_eq!(r.completed, 10);
+    }
+
+    #[test]
+    fn schedule_replay_matches_run_open_loop() {
+        let run = |mut svc: FftService| {
+            run_open_loop(&mut svc, &Workload::mixed(), 24, 2000.0, 11);
+            svc.finish().to_json()
+        };
+        let replay = |mut svc: FftService| {
+            for (at_s, template) in open_loop_schedule(&Workload::mixed(), 24, 2000.0, 11) {
+                let _ = svc.submit(template.materialize(), at_s);
+            }
+            svc.finish().to_json()
+        };
+        let mk = || ServeConfig::builder().build_service().unwrap();
+        assert_eq!(run(mk()), replay(mk()));
     }
 }

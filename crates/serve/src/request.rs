@@ -14,6 +14,43 @@ use fft_math::Complex32;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
 
+/// Proof of admission: what [`crate::service::FftService::submit`] hands
+/// back for an accepted request.
+///
+/// The ticket's id doubles as the wire correlation id — `fft-gate` sends
+/// it to clients verbatim, and [`crate::service::FftService::poll`] folds
+/// the old scan-the-completions result lookup into one call keyed on it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ticket {
+    /// The id assigned at submission — also the wire correlation id.
+    pub id: RequestId,
+    /// Simulated arrival time the request was admitted at, seconds.
+    pub at_s: f64,
+}
+
+impl Ticket {
+    /// The raw correlation id `bifft-wire-v1` frames carry.
+    pub fn correlation(&self) -> u64 {
+        self.id.0
+    }
+}
+
+/// What [`crate::service::FftService::poll`] knows about a ticket.
+#[derive(Clone, Debug)]
+pub enum PollStatus {
+    /// Admitted, still waiting in the queue (or bounced back off a busy
+    /// fleet). Virtual time has not reached its dispatch yet.
+    Queued,
+    /// Finished; the completion record rides along.
+    Done(Completion),
+    /// Admitted but failed at dispatch (a volume even the whole fleet
+    /// could not allocate), with the error that proved it.
+    Failed(FftError),
+    /// The service never issued this id (a forged or stale correlation id
+    /// off the wire).
+    Unknown,
+}
+
 /// What a request asks the service to transform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Shape {
@@ -157,6 +194,41 @@ impl RequestSpec {
     }
 }
 
+/// A [`RequestSpec`] with the payload still folded into its seed — the
+/// wire-transportable form.
+///
+/// Seeded payloads are what make network load tests replayable: a client
+/// ships this handful of scalars instead of megabytes of samples, the
+/// gateway materialises the exact same payload via [`RequestSpec::seeded`],
+/// and a same-seed run is bit-identical whether requests arrived in
+/// process or over TCP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeededSpec {
+    /// What to transform.
+    pub shape: Shape,
+    /// Forward or inverse.
+    pub direction: Direction,
+    /// Algorithm hint for volume requests.
+    pub algorithm: Option<Algorithm>,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Latency budget, simulated seconds from arrival.
+    pub deadline_s: Option<f64>,
+    /// The payload seed ([`RequestSpec::seeded`] reproduces the samples).
+    pub seed: u64,
+}
+
+impl SeededSpec {
+    /// Expands the template into a full [`RequestSpec`] with its payload.
+    pub fn materialize(&self) -> RequestSpec {
+        let mut spec = RequestSpec::seeded(self.shape, self.direction, self.seed);
+        spec.priority = self.priority;
+        spec.deadline_s = self.deadline_s;
+        spec.algorithm = self.algorithm;
+        spec
+    }
+}
+
 /// Why admission turned a request away.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Rejection {
@@ -275,6 +347,36 @@ mod tests {
     fn priorities_order_high_first() {
         assert!(Priority::High < Priority::Normal);
         assert!(Priority::Normal < Priority::Low);
+    }
+
+    #[test]
+    fn seeded_spec_materializes_the_same_payload() {
+        let t = SeededSpec {
+            shape: Shape::Rows1d { n: 128, rows: 3 },
+            direction: Direction::Inverse,
+            algorithm: None,
+            priority: Priority::High,
+            deadline_s: Some(0.5),
+            seed: 99,
+        };
+        let a = t.materialize();
+        let b = t.materialize();
+        assert_eq!(a.payload, b.payload);
+        assert_eq!(
+            a.payload,
+            RequestSpec::seeded(t.shape, t.direction, 99).payload
+        );
+        assert_eq!(a.priority, Priority::High);
+        assert_eq!(a.deadline_s, Some(0.5));
+    }
+
+    #[test]
+    fn ticket_correlation_is_the_raw_id() {
+        let t = Ticket {
+            id: RequestId(17),
+            at_s: 2.0,
+        };
+        assert_eq!(t.correlation(), 17);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use crate::batcher::{
 };
 use crate::queue::{Pending, SubmitQueue};
 use crate::report::{CardReport, LatencyStats, ServeReport};
-use crate::request::{Completion, Rejection, RequestId, RequestSpec, Shape, ShapeKey};
+use crate::request::{
+    Completion, PollStatus, Rejection, RequestId, RequestSpec, Shape, ShapeKey, Ticket,
+};
 use crate::scheduler::Card;
 use crate::telemetry::{self, names, slo, SloPolicy, SloReport, Stage, Telemetry};
 use bifft::multi_gpu::MultiGpuFft3d;
@@ -87,6 +89,181 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Starts a [`ServeConfigBuilder`] from the defaults — the canonical
+    /// construction path since the wire redesign. `build()` validates and
+    /// returns typed errors, so an impossible fleet is caught before any
+    /// card is touched:
+    ///
+    /// ```
+    /// # use fft_serve::service::ServeConfig;
+    /// let cfg = ServeConfig::builder().gpus(2).streams(4).build().unwrap();
+    /// assert_eq!(cfg.n_gpus, 2);
+    /// assert!(ServeConfig::builder().gpus(3).build().is_err());
+    /// ```
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// The pre-builder positional constructor, kept one release for
+    /// callers migrating off struct-literal construction.
+    #[deprecated(since = "0.1.0", note = "use ServeConfig::builder() instead")]
+    pub fn positional(n_gpus: usize, streams_per_card: usize, queue_capacity: usize) -> Self {
+        ServeConfig {
+            n_gpus,
+            streams_per_card,
+            queue_capacity,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Checks the invariants [`FftService::new`] requires.
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] naming the offending parameter: zero or
+    /// non-power-of-two fleet, zero queue/batch bounds, or a non-positive
+    /// telemetry tick.
+    pub fn validate(&self) -> Result<(), FftError> {
+        if self.n_gpus == 0 || !self.n_gpus.is_power_of_two() {
+            return Err(FftError::BadPlanConfig {
+                param: "n_gpus",
+                value: self.n_gpus,
+                reason: "fleet size must be a nonzero power of two".to_string(),
+            });
+        }
+        for (param, value) in [
+            ("queue_capacity", self.queue_capacity),
+            ("max_batch_requests", self.max_batch_requests),
+            ("max_batch_elems", self.max_batch_elems),
+        ] {
+            if value == 0 {
+                return Err(FftError::BadPlanConfig {
+                    param,
+                    value,
+                    reason: "must be at least 1".to_string(),
+                });
+            }
+        }
+        if self.tick_s <= 0.0 || self.tick_s.is_nan() {
+            return Err(FftError::BadPlanConfig {
+                param: "tick_s",
+                value: 0,
+                reason: "the telemetry tick must be a positive duration".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`] ([`ServeConfig::builder`]): the typed-error
+/// replacement for struct-literal construction, shared by `fft-serve`,
+/// `fft-gate`, the load generators and the bench harness.
+#[derive(Clone, Debug)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the simulated card model (default: the GTS 8800).
+    pub fn spec(mut self, spec: DeviceSpec) -> Self {
+        self.cfg.spec = spec;
+        self
+    }
+
+    /// Sets the fleet size (must be a nonzero power of two).
+    pub fn gpus(mut self, n: usize) -> Self {
+        self.cfg.n_gpus = n;
+        self
+    }
+
+    /// Sets the stream lanes per card (`0` = one synchronous lane).
+    pub fn streams(mut self, n: usize) -> Self {
+        self.cfg.streams_per_card = n;
+        self
+    }
+
+    /// Sets the submission-queue bound.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n;
+        self
+    }
+
+    /// Sets the most requests one launch may coalesce.
+    pub fn batch_requests(mut self, n: usize) -> Self {
+        self.cfg.max_batch_requests = n;
+        self
+    }
+
+    /// Sets the most payload elements one launch may coalesce (also the
+    /// per-lane staging-slot size).
+    pub fn batch_elems(mut self, n: usize) -> Self {
+        self.cfg.max_batch_elems = n;
+        self
+    }
+
+    /// Sets the batch latency budget, simulated seconds.
+    pub fn latency_budget_s(mut self, s: f64) -> Self {
+        self.cfg.latency_budget_s = s;
+        self
+    }
+
+    /// Sets the algorithm for volume requests without a hint.
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.cfg.default_algorithm = a;
+        self
+    }
+
+    /// Keeps transformed payloads in completions.
+    pub fn keep_outputs(mut self, keep: bool) -> Self {
+        self.cfg.keep_outputs = keep;
+        self
+    }
+
+    /// Runs every card under the memcheck/racecheck-style validator.
+    pub fn check_hazards(mut self, check: bool) -> Self {
+        self.cfg.check_hazards = check;
+        self
+    }
+
+    /// Sets the telemetry sampling tick, simulated seconds.
+    pub fn tick_s(mut self, s: f64) -> Self {
+        self.cfg.tick_s = s;
+        self
+    }
+
+    /// Sets the SLO objectives the run is held to.
+    pub fn slo(mut self, slo: SloPolicy) -> Self {
+        self.cfg.slo = slo;
+        self
+    }
+
+    /// Records per-card sim-prof traces for the merged Chrome export.
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.cfg.record_trace = record;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    /// [`FftError::BadPlanConfig`] per [`ServeConfig::validate`].
+    pub fn build(self) -> Result<ServeConfig, FftError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// Validates the config and brings the fleet up in one call.
+    ///
+    /// # Errors
+    /// Everything [`ServeConfigBuilder::build`] and [`FftService::new`]
+    /// can return.
+    pub fn build_service(self) -> Result<FftService, FftError> {
+        FftService::new(self.build()?)
+    }
+}
+
 /// The FFT-as-a-service front end over a fleet of simulated cards.
 pub struct FftService {
     cfg: ServeConfig,
@@ -102,6 +279,9 @@ pub struct FftService {
     now_s: f64,
     completions: Vec<Completion>,
     completion_bytes: Vec<u64>,
+    /// id → index into `completions`, so [`FftService::poll`] is a lookup
+    /// instead of the old scan-the-completions dance.
+    completion_index: BTreeMap<RequestId, usize>,
     failures: Vec<(RequestId, FftError)>,
     batch_histogram: BTreeMap<usize, u64>,
     card_requests: Vec<u64>,
@@ -130,26 +310,7 @@ impl FftService {
     /// non-power-of-two fleet, zero queue/batch bounds) and
     /// [`FftError::Alloc`] when a card cannot hold its staging slots.
     pub fn new(cfg: ServeConfig) -> Result<Self, FftError> {
-        if cfg.n_gpus == 0 || !cfg.n_gpus.is_power_of_two() {
-            return Err(FftError::BadPlanConfig {
-                param: "n_gpus",
-                value: cfg.n_gpus,
-                reason: "fleet size must be a nonzero power of two".to_string(),
-            });
-        }
-        for (param, value) in [
-            ("queue_capacity", cfg.queue_capacity),
-            ("max_batch_requests", cfg.max_batch_requests),
-            ("max_batch_elems", cfg.max_batch_elems),
-        ] {
-            if value == 0 {
-                return Err(FftError::BadPlanConfig {
-                    param,
-                    value,
-                    reason: "must be at least 1".to_string(),
-                });
-            }
-        }
+        cfg.validate()?;
         let mut cards = Vec::with_capacity(cfg.n_gpus);
         for i in 0..cfg.n_gpus {
             let mut card = Card::new(
@@ -185,6 +346,7 @@ impl FftService {
             now_s: 0.0,
             completions: Vec::new(),
             completion_bytes: Vec::new(),
+            completion_index: BTreeMap::new(),
             failures: Vec::new(),
             batch_histogram: BTreeMap::new(),
             card_requests: vec![0; n],
@@ -212,6 +374,16 @@ impl FftService {
         self.queue.depth()
     }
 
+    /// Moves virtual time forward to `t_s` (backwards moves are ignored)
+    /// and dispatches whatever becomes placeable — the hook wall-clock
+    /// drivers (the gateway's live mode) use so queued work keeps draining
+    /// between submissions.
+    pub fn advance(&mut self, t_s: f64) {
+        self.advance_to(t_s);
+        self.pump();
+        self.refresh_gauges();
+    }
+
     /// Completions recorded so far, in dispatch order.
     pub fn completions(&self) -> &[Completion] {
         &self.completions
@@ -235,10 +407,14 @@ impl FftService {
     /// only be thrown away). Admitted requests dispatch eagerly onto any
     /// lane free at `at_s`.
     ///
+    /// Admission hands back a [`Ticket`] — the id it carries doubles as the
+    /// wire correlation id, and [`FftService::poll`] resolves it to the
+    /// request's current state.
+    ///
     /// # Errors
     /// The [`Rejection`] taxonomy above; a rejected request leaves its
     /// rejection counter and a terminal lifecycle waterfall, nothing more.
-    pub fn submit(&mut self, spec: RequestSpec, at_s: f64) -> Result<RequestId, Rejection> {
+    pub fn submit(&mut self, spec: RequestSpec, at_s: f64) -> Result<Ticket, Rejection> {
         self.advance_to(at_s);
         self.submitted += 1;
         // Every submission — rejected or not — gets an id and a waterfall.
@@ -317,7 +493,39 @@ impl FftService {
         self.telemetry.registry.inc(names::ADMITTED);
         self.pump();
         self.refresh_gauges();
-        Ok(id)
+        Ok(Ticket {
+            id,
+            at_s: self.now_s,
+        })
+    }
+
+    /// Resolves a ticket (or a raw wire correlation id via
+    /// [`Ticket::correlation`]) to the request's current state without
+    /// advancing time: still queued, done (completion attached), failed at
+    /// dispatch, or never issued by this service.
+    pub fn poll(&self, ticket: Ticket) -> PollStatus {
+        let id = ticket.id;
+        if let Some(&i) = self.completion_index.get(&id) {
+            return PollStatus::Done(self.completions[i].clone());
+        }
+        if let Some((_, err)) = self.failures.iter().find(|(f, _)| *f == id) {
+            return PollStatus::Failed(err.clone());
+        }
+        if id.0 >= self.next_id {
+            return PollStatus::Unknown;
+        }
+        if self.queue.iter().any(|p| p.id == id) {
+            return PollStatus::Queued;
+        }
+        // Issued but neither terminal nor queued: either in flight on a
+        // card (admitted — still Queued from the client's view) or it was
+        // rejected at admission and never became pollable.
+        match self.telemetry.lifecycle.get(id) {
+            Some(w) if w.stage_s(Stage::Admitted).is_some() && w.terminal().is_none() => {
+                PollStatus::Queued
+            }
+            _ => PollStatus::Unknown,
+        }
     }
 
     /// Books one rejection: per-reason counter (service field + registry)
@@ -648,6 +856,7 @@ impl FftService {
                 }
             }
         }
+        self.completion_index.insert(p.id, self.completions.len());
         self.completions.push(Completion {
             id: p.id,
             arrival_s: p.arrival_s,
@@ -814,6 +1023,17 @@ impl FftService {
     /// The telemetry bundle (registry, timeline, lifecycle log), read-only.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The telemetry bundle, writable — how the gateway registers its
+    /// `gate_*` counters in the same registry the exporters render.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// The configuration the fleet was brought up with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
     }
 
     /// Evaluates the configured SLO policy against the run so far.
@@ -1060,12 +1280,13 @@ mod tests {
             Direction::Forward,
             1,
         );
-        let id = svc.submit(req.clone(), 0.0).unwrap();
+        let ticket = svc.submit(req.clone(), 0.0).unwrap();
         svc.drain();
         assert!(svc.completions().is_empty());
         assert_eq!(svc.failures().len(), 1);
-        assert_eq!(svc.failures()[0].0, id);
+        assert_eq!(svc.failures()[0].0, ticket.id);
         assert!(matches!(svc.failures()[0].1, FftError::Alloc(_)));
+        assert!(matches!(svc.poll(ticket), PollStatus::Failed(_)));
         assert!(matches!(
             svc.submit(req, 1.0),
             Err(Rejection::Unallocatable(FftError::Alloc(_)))
@@ -1157,7 +1378,7 @@ mod tests {
         let order: Vec<RequestId> = svc.completions().iter().map(|c| c.id).collect();
         assert_eq!(
             order,
-            vec![first, high, normal],
+            vec![first.id, high.id, normal.id],
             "high priority dispatches before the earlier normal request"
         );
     }
@@ -1173,5 +1394,98 @@ mod tests {
             svc.finish().to_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn builder_validates_and_reports_typed_errors() {
+        let cfg = ServeConfig::builder()
+            .gpus(4)
+            .streams(3)
+            .queue_capacity(16)
+            .batch_requests(2)
+            .latency_budget_s(5e-3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.n_gpus, 4);
+        assert_eq!(cfg.streams_per_card, 3);
+        assert_eq!(cfg.queue_capacity, 16);
+        assert_eq!(cfg.max_batch_requests, 2);
+        assert!(matches!(
+            ServeConfig::builder().gpus(3).build(),
+            Err(FftError::BadPlanConfig {
+                param: "n_gpus",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServeConfig::builder().queue_capacity(0).build(),
+            Err(FftError::BadPlanConfig {
+                param: "queue_capacity",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServeConfig::builder().tick_s(0.0).build(),
+            Err(FftError::BadPlanConfig {
+                param: "tick_s",
+                ..
+            })
+        ));
+        // new() enforces the same invariants for configs built by hand.
+        assert!(FftService::new(ServeConfig {
+            n_gpus: 3,
+            ..ServeConfig::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn positional_shim_matches_the_builder() {
+        let shimmed = ServeConfig::positional(2, 4, 32);
+        let built = ServeConfig::builder()
+            .gpus(2)
+            .streams(4)
+            .queue_capacity(32)
+            .build()
+            .unwrap();
+        assert_eq!(shimmed.n_gpus, built.n_gpus);
+        assert_eq!(shimmed.streams_per_card, built.streams_per_card);
+        assert_eq!(shimmed.queue_capacity, built.queue_capacity);
+    }
+
+    #[test]
+    fn poll_tracks_a_ticket_through_its_lifecycle() {
+        let cfg = ServeConfig::builder()
+            .gpus(1)
+            .streams(1)
+            .batch_requests(1)
+            .build()
+            .unwrap();
+        let mut svc = FftService::new(cfg).unwrap();
+        let first = svc.submit(rows_spec(256, 16, 0), 0.0).unwrap(); // dispatches now
+        let queued = svc.submit(rows_spec(256, 16, 1), 0.0).unwrap();
+        assert_eq!(first.correlation(), first.id.0);
+        assert!(matches!(svc.poll(queued), PollStatus::Queued));
+        // A correlation id the service never issued.
+        let forged = Ticket {
+            id: RequestId(1 << 40),
+            at_s: 0.0,
+        };
+        assert!(matches!(svc.poll(forged), PollStatus::Unknown));
+        svc.drain();
+        match svc.poll(queued) {
+            PollStatus::Done(c) => assert_eq!(c.id, queued.id),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        // A rejected submission's id never becomes pollable.
+        let rejected = svc.submit(rows_spec(48, 2, 2), svc.now_s());
+        assert!(rejected.is_err());
+        let ghost = Ticket {
+            id: RequestId(svc.completions().len() as u64),
+            at_s: 0.0,
+        };
+        // ghost happens to name the rejected id (ids are dense): Unknown.
+        assert!(matches!(svc.poll(ghost), PollStatus::Unknown));
     }
 }

@@ -37,13 +37,12 @@ fn two_card_service_doubles_serial_goodput() {
     let seed = 7;
     let workload = Workload::rows();
 
-    let serial_cfg = ServeConfig {
-        n_gpus: 1,
-        streams_per_card: 0,
-        max_batch_requests: 1,
-        ..ServeConfig::default()
-    };
-    let mut serial = FftService::new(serial_cfg).unwrap();
+    let mut serial = ServeConfig::builder()
+        .gpus(1)
+        .streams(0)
+        .batch_requests(1)
+        .build_service()
+        .unwrap();
     run_closed_loop(&mut serial, &workload, requests, 1, seed);
     let serial_report = serial.finish();
     assert_eq!(serial_report.completed, requests);
@@ -71,11 +70,10 @@ fn two_card_service_doubles_serial_goodput() {
 /// hazard-free by construction.
 #[test]
 fn checked_run_is_hazard_clean() {
-    let cfg = ServeConfig {
-        check_hazards: true,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .check_hazards(true)
+        .build_service()
+        .unwrap();
     run_open_loop(&mut svc, &Workload::mixed(), 48, 4000.0, 11);
     svc.drain();
     let rep = svc.check_report().expect("checking was enabled");
@@ -89,11 +87,10 @@ fn checked_run_is_hazard_clean() {
 /// -> D2H) match the host reference FFT row by row, forward and inverse.
 #[test]
 fn served_rows_match_reference() {
-    let cfg = ServeConfig {
-        keep_outputs: true,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .keep_outputs(true)
+        .build_service()
+        .unwrap();
     let mut specs = Vec::new();
     for (seed, dir) in [(1, Direction::Forward), (2, Direction::Inverse)] {
         let spec = RequestSpec::seeded(Shape::Rows1d { n: 256, rows: 4 }, dir, seed);
@@ -117,11 +114,10 @@ fn served_rows_match_reference() {
 /// A served volume matches the O(N^2) oracle.
 #[test]
 fn served_volume_matches_oracle() {
-    let cfg = ServeConfig {
-        keep_outputs: true,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .keep_outputs(true)
+        .build_service()
+        .unwrap();
     let spec = RequestSpec::seeded(
         Shape::Volume {
             nx: 16,
@@ -151,15 +147,14 @@ fn oversized_volume_routes_to_sharder() {
     // hold alongside its slots — but two sharded cards can.
     let mut spec = DeviceSpec::gts8800();
     spec.memory_bytes = 5 << 20;
-    let cfg = ServeConfig {
-        spec,
-        n_gpus: 2,
-        streams_per_card: 1,
-        max_batch_elems: 1 << 17,
-        keep_outputs: true,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .spec(spec)
+        .gpus(2)
+        .streams(1)
+        .batch_elems(1 << 17)
+        .keep_outputs(true)
+        .build_service()
+        .unwrap();
     let req = RequestSpec::seeded(
         Shape::Volume {
             nx: 64,
@@ -189,13 +184,12 @@ fn oversized_volume_routes_to_sharder() {
 /// growing without limit, and the report accounts for every submission.
 #[test]
 fn overload_sheds_and_accounts() {
-    let cfg = ServeConfig {
-        n_gpus: 1,
-        streams_per_card: 1,
-        queue_capacity: 8,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .gpus(1)
+        .streams(1)
+        .queue_capacity(8)
+        .build_service()
+        .unwrap();
     // Far beyond one card's capacity: arrivals every 2 us.
     let load = run_open_loop(&mut svc, &Workload::rows(), 400, 500_000.0, 3);
     let report = svc.finish();

@@ -15,11 +15,10 @@ use fft_serve::validate_metrics_json;
 /// The CI smoke configuration: 64 mixed requests, open loop at 5000 req/s,
 /// seed 42, over the default 2-card x 2-stream fleet.
 fn smoke_service(record_trace: bool) -> FftService {
-    let cfg = ServeConfig {
-        record_trace,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .record_trace(record_trace)
+        .build_service()
+        .unwrap();
     run_open_loop(&mut svc, &Workload::mixed(), 64, 5000.0, 42);
     svc.drain();
     svc
@@ -100,11 +99,10 @@ fn counters_are_monotone_across_sampled_series() {
         let rate = 1000.0 + (splitmix64(&mut rng) % 8000) as f64;
         let seed = splitmix64(&mut rng);
         let queue_capacity = 4 + (splitmix64(&mut rng) % 60) as usize;
-        let cfg = ServeConfig {
-            queue_capacity,
-            ..ServeConfig::default()
-        };
-        let mut svc = FftService::new(cfg).unwrap();
+        let mut svc = ServeConfig::builder()
+            .queue_capacity(queue_capacity)
+            .build_service()
+            .unwrap();
         run_open_loop(&mut svc, &Workload::mixed(), requests, rate, seed);
         svc.drain();
         let samples = svc.telemetry().timeline.samples();
@@ -223,13 +221,12 @@ fn chrome_trace_merges_card_and_request_tracks() {
 /// the machine-readable reason, and the per-reason counter matches.
 #[test]
 fn rejections_are_traced_with_reasons() {
-    let cfg = ServeConfig {
-        n_gpus: 1,
-        streams_per_card: 1,
-        queue_capacity: 4,
-        ..ServeConfig::default()
-    };
-    let mut svc = FftService::new(cfg).unwrap();
+    let mut svc = ServeConfig::builder()
+        .gpus(1)
+        .streams(1)
+        .queue_capacity(4)
+        .build_service()
+        .unwrap();
     run_open_loop(&mut svc, &Workload::rows(), 120, 400_000.0, 3);
     // One unsupported non-power-of-two request on top of the overload.
     let bad = RequestSpec::seeded(Shape::Rows1d { n: 100, rows: 1 }, Direction::Forward, 1);

@@ -38,3 +38,28 @@ cargo run --release -p fft-serve --bin fft-serve --offline -- \
     --smoke --check-hazards --metrics-out target/ci-metrics.json
 cargo run --release -p fft-serve --bin fft-serve --offline -- \
     --validate-metrics target/ci-metrics.json
+# Gateway smoke: boot fft-gate on an ephemeral port (the bound port comes
+# back through --port-file), replay a seeded workload over 8 concurrent TCP
+# clients, and require (a) the hazard validator to come back clean over the
+# wire, (b) the exported metrics document to parse and meet its SLOs, and
+# (c) the wire-fetched report to be byte-identical to an in-process run of
+# the same schedule (DESIGN.md §14). --shutdown stops the server so `wait`
+# collects its exit code; a crashed or wedged gateway fails the gate.
+rm -f target/ci-gate-port
+cargo run --release -p fft-gate --bin fft-gate --offline -- \
+    serve --addr 127.0.0.1:0 --check-hazards \
+    --port-file target/ci-gate-port --metrics-out target/ci-gate-metrics.json &
+GATE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s target/ci-gate-port ] && break
+    kill -0 "$GATE_PID" 2>/dev/null || { echo "ci: fft-gate died before binding" >&2; exit 1; }
+    sleep 0.1
+done
+[ -s target/ci-gate-port ] || { echo "ci: fft-gate never wrote its port" >&2; exit 1; }
+GATE_PORT=$(cat target/ci-gate-port)
+cargo run --release -p fft-gate --bin fft-gate --offline -- \
+    bench --addr "127.0.0.1:${GATE_PORT}" --clients 8 --check-hazards \
+    --validate-metrics --compare-local --shutdown
+wait "$GATE_PID"
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --validate-metrics target/ci-gate-metrics.json

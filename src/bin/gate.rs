@@ -1,0 +1,5 @@
+//! Root-crate alias for the `fft-gate` gateway binary.
+
+fn main() {
+    std::process::exit(fft_gate::cli::cli_main());
+}

@@ -44,11 +44,13 @@
 //! | [`cpu_fft`] | the FFTW-like CPU baseline and 2008-CPU roofline model |
 //! | [`fft_apps`] | protein docking, spectral analysis, on-card convolution |
 //! | [`fft_serve`] | FFT-as-a-service: admission control, adaptive batching, multi-card scheduling (`cargo run --release --bin serve -- --smoke`) |
+//! | [`fft_gate`] | the TCP gateway speaking `bifft-wire-v1` (`cargo run --release --bin fft-gate -- bench`) |
 //! | `fft-bench` | regenerates every table and figure (`cargo run --release -p fft-bench --bin report`) |
 
 pub use bifft;
 pub use cpu_fft;
 pub use fft_apps;
+pub use fft_gate;
 pub use fft_math;
 pub use fft_serve;
 pub use gpu_sim;
@@ -63,8 +65,11 @@ pub mod prelude {
     pub use bifft::RunReport;
     pub use cpu_fft::CpuFft3d;
     pub use fft_apps::convolution::GpuCorrelator;
+    pub use fft_gate::{GateServer, ServeClient};
     pub use fft_math::twiddle::Direction;
     pub use fft_math::{c32, Complex32};
-    pub use fft_serve::{FftService, RequestSpec, ServeConfig, Shape};
+    pub use fft_serve::{
+        FftService, PollStatus, RequestSpec, SeededSpec, ServeConfig, Shape, Ticket,
+    };
     pub use gpu_sim::{DeviceSpec, Gpu, Recorder, Trace};
 }
