@@ -31,6 +31,18 @@
 //! counts. Only timing-independent fields are recorded, so regenerating
 //! the baseline is reproducible.
 //!
+//! Since v5 the file also carries an `attribution` section: the latency
+//! attribution ledger of each serving workload, collapsed to the verdicts
+//! worth gating. Every point records whether the conservation invariant
+//! held (category sum == e2e latency for every completed request, gated
+//! exactly), the per-category time shares and mean e2e latency (gated with
+//! [`CHECK_TOLERANCE`]), and which category drives the p95 tail (gated
+//! exactly — a tail that moves from `queue` to `h2d` is a scheduling
+//! regression even when the percentiles still pass). Shares gate on
+//! *absolute drift in either direction*: a shifted time profile is a
+//! forensic finding, not an improvement, and demands a deliberate
+//! rebaseline.
+//!
 //! The file format is the same hand-rolled JSON the rest of the repo uses
 //! (shortest-round-trip `f64`, fixed key order), scanned back with the same
 //! dependency-free field scanner as `profile --diff`.
@@ -48,7 +60,7 @@ use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v4";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v5";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
@@ -183,6 +195,47 @@ pub struct GatewayPoint {
     pub gw_goodput_gbs: f64,
 }
 
+/// One latency-attribution verdict: a serving workload's time ledger
+/// collapsed to the shares and invariants `--check` gates. Derived from
+/// the same deterministic run shape as the serving section, so the
+/// committed baseline regenerates byte-identically. The `att_` prefix
+/// keeps the positional scanner's section keys disjoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionPoint {
+    /// Workload mix name (`rows` or `mixed`).
+    pub att_workload: String,
+    /// Cards in the fleet.
+    pub att_gpus: usize,
+    /// Open-loop requests offered.
+    pub att_requests: u64,
+    /// Load-generator seed.
+    pub att_seed: u64,
+    /// Completed requests with a balanced ledger check: whether every
+    /// ledger's category sum equals its e2e latency within the
+    /// attribution tolerance (gated exactly by `--check`).
+    pub att_conservation_ok: bool,
+    /// Largest conservation error seen across the run, seconds.
+    pub att_worst_err_s: f64,
+    /// Share of attributed time spent queued for admission + dispatch
+    /// (gated on absolute drift).
+    pub att_queue_share: f64,
+    /// Share spent in host-to-device staging copies (gated).
+    pub att_h2d_share: f64,
+    /// Share spent in device compute (gated).
+    pub att_compute_share: f64,
+    /// Share spent in device-to-host copies (gated).
+    pub att_d2h_share: f64,
+    /// Everything else: admission, batch hold, planning, staging,
+    /// finalize, network (gated).
+    pub att_other_share: f64,
+    /// Mean end-to-end latency over completed requests, milliseconds
+    /// (tracked by `--check`).
+    pub att_e2e_ms_mean: f64,
+    /// Category driving the p95 tail — the largest body-vs-tail mean
+    /// delta (gated exactly: a moved tail driver is a regression).
+    pub att_tail_driver: String,
+}
+
 /// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchFile {
@@ -196,6 +249,8 @@ pub struct BenchFile {
     pub serving: Vec<ServingPoint>,
     /// Network-gateway runs over real TCP.
     pub gateway: Vec<GatewayPoint>,
+    /// Latency-attribution verdicts of the serving workloads.
+    pub attribution: Vec<AttributionPoint>,
 }
 
 /// The three cards with their short CLI keys, Table 1 order.
@@ -346,6 +401,71 @@ fn serving_point(
         },
         crep,
     )
+}
+
+/// Runs one attribution point: the same deterministic open-loop run as
+/// [`serving_point`], read back through the attribution ledger instead of
+/// the latency percentiles. Collapses the per-request ledgers to the
+/// conservation verdict, the headline category shares, and the p95 tail
+/// driver.
+fn attribution_point(
+    workload_name: &str,
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+) -> AttributionPoint {
+    use fft_serve::telemetry::attribution;
+    let workload = match workload_name {
+        "rows" => Workload::rows(),
+        _ => Workload::mixed(),
+    };
+    let mut svc = ServeConfig::builder()
+        .gpus(gpus)
+        .streams(streams)
+        .build_service()
+        .unwrap_or_else(|e| panic!("bench attribution: cannot bring fleet up: {e}"));
+    run_open_loop(&mut svc, &workload, requests, rate_rps, seed);
+    svc.drain();
+    let ledgers = svc.ledgers();
+    let audit = svc.attribution_audit();
+    let lines = attribution::budget(&ledgers);
+    let share = |name: &str| {
+        lines
+            .iter()
+            .find(|l| l.category == name)
+            .map_or(0.0, |l| l.share)
+    };
+    let (queue, h2d, compute, d2h) = (share("queue"), share("h2d"), share("compute"), share("d2h"));
+    let other = lines
+        .iter()
+        .filter(|l| !matches!(l.category, "queue" | "h2d" | "compute" | "d2h"))
+        .map(|l| l.share)
+        .sum();
+    // Conservation makes each ledger's category sum its e2e latency, so
+    // the mean e2e falls out of the budget totals.
+    let e2e_ms_mean = if ledgers.is_empty() {
+        0.0
+    } else {
+        lines.iter().map(|l| l.total_s).sum::<f64>() / ledgers.len() as f64 * 1e3
+    };
+    let tail = attribution::tail_split(&ledgers);
+    AttributionPoint {
+        att_workload: workload_name.to_string(),
+        att_gpus: gpus,
+        att_requests: requests,
+        att_seed: seed,
+        att_conservation_ok: audit.ok(),
+        att_worst_err_s: audit.worst_err_s,
+        att_queue_share: queue,
+        att_h2d_share: h2d,
+        att_compute_share: compute,
+        att_d2h_share: d2h,
+        att_other_share: other,
+        att_e2e_ms_mean: e2e_ms_mean,
+        att_tail_driver: tail.driver.label().to_string(),
+    }
 }
 
 /// Runs one gateway point: boots `fft-gate` on an ephemeral port, replays
@@ -520,6 +640,21 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             if g.report_match { "byte-identical" } else { "DIVERGED" }
         ));
     }
+    // Attribution verdicts re-read the serving grid through the ledger.
+    let attribution = serving_grid
+        .iter()
+        .map(|&(w, g, st, req, rate, seed)| attribution_point(w, g, st, req, rate, seed))
+        .collect::<Vec<_>>();
+    for a in &attribution {
+        report.push_str(&format!(
+            "attribution: {} on {} GPUs: conservation {} (worst err {:.1e} s), e2e mean {:.3} ms, tail driven by {}; shares queue {:.2} / h2d {:.2} / compute {:.2} / d2h {:.2} / other {:.2}\n",
+            a.att_workload, a.att_gpus,
+            if a.att_conservation_ok { "ok" } else { "UNBALANCED" },
+            a.att_worst_err_s, a.att_e2e_ms_mean, a.att_tail_driver,
+            a.att_queue_share, a.att_h2d_share, a.att_compute_share,
+            a.att_d2h_share, a.att_other_share
+        ));
+    }
     (
         BenchFile {
             quick,
@@ -527,6 +662,7 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             scaling,
             serving,
             gateway,
+            attribution,
         },
         report,
         merged,
@@ -631,6 +767,19 @@ pub fn to_json(file: &BenchFile) -> String {
             g.gw_workload, g.gw_gpus, g.gw_clients, g.gw_requests, g.gw_seed,
             g.gw_accepted, g.gw_rejected, g.report_match, g.gw_goodput_gbs,
             if i + 1 < ng { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"attribution\": [\n");
+    let na = file.attribution.len();
+    for (i, a) in file.attribution.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"att_workload\": \"{}\", \"att_gpus\": {}, \"att_requests\": {}, \"att_seed\": {}, \"att_conservation_ok\": {}, \"att_worst_err_s\": {}, \"att_queue_share\": {}, \"att_h2d_share\": {}, \"att_compute_share\": {}, \"att_d2h_share\": {}, \"att_other_share\": {}, \"att_e2e_ms_mean\": {}, \"att_tail_driver\": \"{}\"}}{}\n",
+            a.att_workload, a.att_gpus, a.att_requests, a.att_seed,
+            a.att_conservation_ok, a.att_worst_err_s, a.att_queue_share,
+            a.att_h2d_share, a.att_compute_share, a.att_d2h_share,
+            a.att_other_share, a.att_e2e_ms_mean, a.att_tail_driver,
+            if i + 1 < na { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -844,12 +993,61 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         });
         c = sc;
     }
+    let mut attribution = Vec::new();
+    let mut c = key_pos(text, "att_workload", 0).unwrap_or(text.len());
+    while let Some((att_workload, sc)) = field(text, "att_workload", c) {
+        let (att_gpus, sc) = field(text, "att_gpus", sc).ok_or("attribution: missing att_gpus")?;
+        let (att_requests, sc) =
+            field(text, "att_requests", sc).ok_or("attribution: missing att_requests")?;
+        let (att_seed, sc) = field(text, "att_seed", sc).ok_or("attribution: missing att_seed")?;
+        let (cons_ok, sc) = field(text, "att_conservation_ok", sc)
+            .ok_or("attribution: missing att_conservation_ok")?;
+        let (worst_err, sc) =
+            field(text, "att_worst_err_s", sc).ok_or("attribution: missing att_worst_err_s")?;
+        let (queue, sc) =
+            field(text, "att_queue_share", sc).ok_or("attribution: missing att_queue_share")?;
+        let (h2d, sc) =
+            field(text, "att_h2d_share", sc).ok_or("attribution: missing att_h2d_share")?;
+        let (compute, sc) =
+            field(text, "att_compute_share", sc).ok_or("attribution: missing att_compute_share")?;
+        let (d2h, sc) =
+            field(text, "att_d2h_share", sc).ok_or("attribution: missing att_d2h_share")?;
+        let (other, sc) =
+            field(text, "att_other_share", sc).ok_or("attribution: missing att_other_share")?;
+        let (e2e_mean, sc) =
+            field(text, "att_e2e_ms_mean", sc).ok_or("attribution: missing att_e2e_ms_mean")?;
+        let (driver, sc) =
+            field(text, "att_tail_driver", sc).ok_or("attribution: missing att_tail_driver")?;
+        attribution.push(AttributionPoint {
+            att_workload: att_workload.to_string(),
+            att_gpus: att_gpus
+                .parse()
+                .map_err(|e| format!("bad att_gpus '{att_gpus}': {e}"))?,
+            att_requests: att_requests
+                .parse()
+                .map_err(|e| format!("bad att_requests '{att_requests}': {e}"))?,
+            att_seed: att_seed
+                .parse()
+                .map_err(|e| format!("bad att_seed '{att_seed}': {e}"))?,
+            att_conservation_ok: parse_bool(cons_ok, "att_conservation_ok")?,
+            att_worst_err_s: parse_f64(worst_err, "att_worst_err_s")?,
+            att_queue_share: parse_f64(queue, "att_queue_share")?,
+            att_h2d_share: parse_f64(h2d, "att_h2d_share")?,
+            att_compute_share: parse_f64(compute, "att_compute_share")?,
+            att_d2h_share: parse_f64(d2h, "att_d2h_share")?,
+            att_other_share: parse_f64(other, "att_other_share")?,
+            att_e2e_ms_mean: parse_f64(e2e_mean, "att_e2e_ms_mean")?,
+            att_tail_driver: driver.to_string(),
+        });
+        c = sc;
+    }
     Ok(BenchFile {
         quick,
         runs,
         scaling,
         serving,
         gateway,
+        attribution,
     })
 }
 
@@ -957,6 +1155,56 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
                 base.gw_goodput_gbs,
                 cand.gw_goodput_gbs,
                 (cand.gw_goodput_gbs / base.gw_goodput_gbs - 1.0) * 100.0
+            ));
+        }
+    }
+    for base in &baseline.attribution {
+        let id = format!("attribution {}/{}gpu", base.att_workload, base.att_gpus);
+        let Some(cand) = candidate.attribution.iter().find(|a| {
+            a.att_workload == base.att_workload
+                && a.att_gpus == base.att_gpus
+                && a.att_requests == base.att_requests
+                && a.att_seed == base.att_seed
+        }) else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        if base.att_conservation_ok && !cand.att_conservation_ok {
+            failures.push(format!(
+                "{id}: time ledger went from conserving to UNBALANCED (worst err {:.1e} s)",
+                cand.att_worst_err_s
+            ));
+        }
+        if cand.att_e2e_ms_mean > base.att_e2e_ms_mean * (1.0 + tol) {
+            failures.push(format!(
+                "{id}: mean e2e latency regressed {:.3} -> {:.3} ms ({:+.1}%)",
+                base.att_e2e_ms_mean,
+                cand.att_e2e_ms_mean,
+                (cand.att_e2e_ms_mean / base.att_e2e_ms_mean - 1.0) * 100.0
+            ));
+        }
+        // Shares gate on absolute drift in either direction: the profile
+        // shifting is the forensic signal, whichever way it moves.
+        for (name, b, c) in [
+            ("queue", base.att_queue_share, cand.att_queue_share),
+            ("h2d", base.att_h2d_share, cand.att_h2d_share),
+            ("compute", base.att_compute_share, cand.att_compute_share),
+            ("d2h", base.att_d2h_share, cand.att_d2h_share),
+            ("other", base.att_other_share, cand.att_other_share),
+        ] {
+            if (c - b).abs() > tol {
+                failures.push(format!(
+                    "{id}: {name} share shifted {:.3} -> {:.3} ({:+.3})",
+                    b,
+                    c,
+                    c - b
+                ));
+            }
+        }
+        if cand.att_tail_driver != base.att_tail_driver {
+            failures.push(format!(
+                "{id}: p95 tail driver moved from {} to {}",
+                base.att_tail_driver, cand.att_tail_driver
             ));
         }
     }
@@ -1103,6 +1351,7 @@ mod tests {
             scaling: vec![scaling_point(2, 16, false).0],
             serving: vec![serving_point("rows", 2, 1, 24, 4000.0, 5, false).0],
             gateway: vec![gateway_point("rows", 2, 1, 24, 4000.0, 5, 3)],
+            attribution: vec![attribution_point("rows", 2, 1, 24, 4000.0, 5)],
         }
     }
 
@@ -1127,6 +1376,20 @@ mod tests {
             parsed.gateway[0].gw_accepted + parsed.gateway[0].gw_rejected,
             parsed.gateway[0].gw_requests
         );
+        let a = &parsed.attribution[0];
+        assert!(a.att_conservation_ok, "tiny run's ledger must balance");
+        assert!(a.att_worst_err_s.abs() < 1e-9);
+        let total = a.att_queue_share
+            + a.att_h2d_share
+            + a.att_compute_share
+            + a.att_d2h_share
+            + a.att_other_share;
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "shares partition all time: {total}"
+        );
+        assert!(a.att_e2e_ms_mean > 0.0);
+        assert!(!a.att_tail_driver.is_empty());
     }
 
     #[test]
@@ -1169,6 +1432,7 @@ mod tests {
             scaling: vec![],
             serving: vec![],
             gateway: vec![],
+            attribution: vec![],
         };
         let failures = check(&file, &empty, CHECK_TOLERANCE);
         assert!(failures[0].contains("missing"), "{failures:?}");
@@ -1222,6 +1486,51 @@ mod tests {
         assert!(failures[0].contains("SLO verdict"), "{failures:?}");
         // A baseline that already violated does not gate the candidate.
         assert!(check(&violated, &violated, CHECK_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn attribution_regressions_fail_the_gate() {
+        let file = tiny_file();
+        assert!(check(&file, &file, CHECK_TOLERANCE).is_empty());
+
+        // Losing conservation is an instant failure.
+        let mut unbalanced = file.clone();
+        unbalanced.attribution[0].att_conservation_ok = false;
+        unbalanced.attribution[0].att_worst_err_s = 3.2e-6;
+        let failures = check(&file, &unbalanced, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("UNBALANCED"), "{failures:?}");
+        // A baseline that never conserved does not gate the candidate.
+        assert!(check(&unbalanced, &unbalanced, CHECK_TOLERANCE).is_empty());
+
+        // A share drifting beyond tolerance fails in either direction.
+        let mut shifted = file.clone();
+        shifted.attribution[0].att_queue_share += 2.0 * CHECK_TOLERANCE;
+        shifted.attribution[0].att_compute_share -= 2.0 * CHECK_TOLERANCE;
+        let failures = check(&file, &shifted, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("queue share shifted"), "{failures:?}");
+        assert!(
+            failures[1].contains("compute share shifted"),
+            "{failures:?}"
+        );
+
+        // A moved tail driver fails even with identical numbers.
+        let mut moved = file.clone();
+        moved.attribution[0].att_tail_driver = "h2d".to_string();
+        let failures = check(&file, &moved, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("tail driver moved"), "{failures:?}");
+
+        // Mean e2e regressions gate like the latency metrics do.
+        let mut slower = file.clone();
+        slower.attribution[0].att_e2e_ms_mean *= 1.10;
+        let failures = check(&file, &slower, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("e2e latency regressed"),
+            "{failures:?}"
+        );
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     nearest_rank(&sorted, p)
 }
 
+/// Arithmetic mean of a sample; 0.0 for an empty one (the reports' "no
+/// data" convention, matching [`nearest_rank`]).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +62,13 @@ mod tests {
         assert_eq!(nearest_rank(&one, 0.50), 3.0);
         assert_eq!(nearest_rank(&one, 0.99), 3.0);
         assert_eq!(nearest_rank(&[], 0.95), 0.0);
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
     }
 
     #[test]

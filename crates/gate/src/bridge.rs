@@ -54,6 +54,12 @@ pub struct HeldSubmit {
     pub seq: u64,
     /// Virtual arrival time, seconds.
     pub at_s: f64,
+    /// The client's trace id, echoed in the eventual ack.
+    pub trace: Option<u64>,
+    /// Gateway wall clock when the submit frame was decoded — carried
+    /// through the hold so the ack can report the true receive stamp even
+    /// when the release happens much later.
+    pub recv_s: f64,
     /// The request template to materialize at release.
     pub spec: SeededSpec,
 }
@@ -110,12 +116,15 @@ impl PacedBridge {
     /// error) when the times are non-finite or negative, the submit
     /// violates the connection's own previous watermark promise, `next_s`
     /// runs backwards, or the `(at_s, seq)` slot is already taken.
+    #[allow(clippy::too_many_arguments)]
     pub fn submit(
         &mut self,
         conn: u64,
         seq: u64,
         at_s: f64,
         next_s: Option<f64>,
+        trace: Option<u64>,
+        recv_s: f64,
         spec: SeededSpec,
     ) -> Result<(), String> {
         let at_bits = time_bits(at_s)?;
@@ -152,6 +161,8 @@ impl PacedBridge {
                     conn,
                     seq,
                     at_s,
+                    trace,
+                    recv_s,
                     spec,
                 },
             )
@@ -230,17 +241,17 @@ mod tests {
         b.register(2, Some(2.0)).unwrap();
         // Conn 2's frames arrive first. Its 2.0 cannot release: conn 1's
         // watermark (1.0) is not past it.
-        b.submit(2, 1, 2.0, Some(4.0), spec(1)).unwrap();
+        b.submit(2, 1, 2.0, Some(4.0), None, 0.0, spec(1)).unwrap();
         assert!(b.release().is_empty());
-        b.submit(2, 3, 4.0, None, spec(3)).unwrap();
+        b.submit(2, 3, 4.0, None, None, 0.0, spec(3)).unwrap();
         assert!(b.release().is_empty());
         // Conn 1's first frame arrives: 1.0 releases immediately, and its
         // next_s = 3.0 watermark lets conn 2's 2.0 release behind it.
-        b.submit(1, 0, 1.0, Some(3.0), spec(0)).unwrap();
+        b.submit(1, 0, 1.0, Some(3.0), None, 0.0, spec(0)).unwrap();
         let released: Vec<u64> = b.release().iter().map(|h| h.seq).collect();
         assert_eq!(released, vec![0, 1]);
         // Conn 1's last frame: everything flushes in order.
-        b.submit(1, 2, 3.0, None, spec(2)).unwrap();
+        b.submit(1, 2, 3.0, None, None, 0.0, spec(2)).unwrap();
         let released: Vec<u64> = b.release().iter().map(|h| h.seq).collect();
         assert_eq!(released, vec![2, 3]);
         assert_eq!(b.held_total(), 0);
@@ -253,11 +264,11 @@ mod tests {
         let mut b = PacedBridge::new();
         b.register(1, Some(5.0)).unwrap();
         b.register(2, Some(5.0)).unwrap();
-        b.submit(2, 8, 5.0, None, spec(8)).unwrap();
+        b.submit(2, 8, 5.0, None, None, 0.0, spec(8)).unwrap();
         // Conn 1 promised at_s >= 5.0 — it may yet send seq 7 at exactly
         // 5.0, so seq 8 must wait.
         assert!(b.release().is_empty());
-        b.submit(1, 7, 5.0, None, spec(7)).unwrap();
+        b.submit(1, 7, 5.0, None, None, 0.0, spec(7)).unwrap();
         let released: Vec<u64> = b.release().iter().map(|h| h.seq).collect();
         assert_eq!(released, vec![7, 8]);
     }
@@ -270,7 +281,7 @@ mod tests {
         b.register(1, Some(1.0)).unwrap();
         b.register(2, None).unwrap(); // will never submit
         b.register(3, Some(0.5)).unwrap();
-        b.submit(1, 1, 1.0, None, spec(1)).unwrap();
+        b.submit(1, 1, 1.0, None, None, 0.0, spec(1)).unwrap();
         // Conn 3's watermark 0.5 gates seq 1.
         assert!(b.release().is_empty());
         b.close(3);
@@ -284,20 +295,23 @@ mod tests {
         let mut b = PacedBridge::new();
         b.register(1, Some(2.0)).unwrap();
         assert!(
-            b.submit(1, 0, 1.0, None, spec(0)).is_err(),
+            b.submit(1, 0, 1.0, None, None, 0.0, spec(0)).is_err(),
             "before watermark"
         );
-        assert!(b.submit(1, 0, f64::NAN, None, spec(0)).is_err());
-        assert!(b.submit(1, 0, -1.0, None, spec(0)).is_err());
+        assert!(b.submit(1, 0, f64::NAN, None, None, 0.0, spec(0)).is_err());
+        assert!(b.submit(1, 0, -1.0, None, None, 0.0, spec(0)).is_err());
         assert!(
-            b.submit(1, 0, 2.0, Some(1.0), spec(0)).is_err(),
+            b.submit(1, 0, 2.0, Some(1.0), None, 0.0, spec(0)).is_err(),
             "next_s backwards"
         );
-        b.submit(1, 0, 2.0, None, spec(0)).unwrap();
+        b.submit(1, 0, 2.0, None, None, 0.0, spec(0)).unwrap();
         assert!(
-            b.submit(1, 1, 3.0, None, spec(1)).is_err(),
+            b.submit(1, 1, 3.0, None, None, 0.0, spec(1)).is_err(),
             "submit after final"
         );
-        assert!(b.submit(99, 0, 1.0, None, spec(0)).is_err(), "unregistered");
+        assert!(
+            b.submit(99, 0, 1.0, None, None, 0.0, spec(0)).is_err(),
+            "unregistered"
+        );
     }
 }

@@ -454,6 +454,17 @@ fn print_summary(cli: &Cli, addr: &str, load: &NetLoad, report: &str) {
     for (code, n) in &load.rejected_by_code {
         eprintln!("          {n} rejection(s) with wire code {code}");
     }
+    if load.traced_acks > 0 {
+        // Wire-level reconciliation (v1.1 ack stamps): the mean wall-clock
+        // seconds the gateway held a submit between frame receipt and ack.
+        // This is the slice of client-observed latency the server-side
+        // attribution ledger cannot see.
+        eprintln!(
+            "wire:     {} traced ack(s), mean gateway hold {:.3} ms",
+            load.traced_acks,
+            load.gate_hold_s / load.traced_acks as f64 * 1e3
+        );
+    }
     // Surface the headline serving numbers without reparsing the whole
     // report: they sit on their own lines in the deterministic render.
     for key in ["achieved_rps", "goodput_gbs", "p95_ms"] {

@@ -1,4 +1,4 @@
-//! `ServeClient`: the blocking client side of `bifft-wire-v1`.
+//! `ServeClient`: the blocking client side of `bifft-wire-v1.1`.
 //!
 //! A thin, dependency-free wrapper over one `TcpStream`: it performs the
 //! `Hello` handshake at connect, then exposes the protocol verbs either
@@ -63,7 +63,31 @@ pub struct PollAnswer {
     pub error: Option<String>,
 }
 
-/// A blocking `bifft-wire-v1` client connection.
+/// The v1.1 gateway stamps echoed in a `SubmitAck`, in gateway wall
+/// seconds. `ack_s - recv_s` is the gateway's wall-clock hold on one
+/// submit — the piece of client-observed latency the server-side
+/// attribution ledger cannot see (it lives before virtual time starts).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AckStamps {
+    /// The trace id echoed from the submit (`None` = none was sent).
+    pub trace: Option<u64>,
+    /// Gateway wall clock when the submit frame was decoded.
+    pub recv_s: f64,
+    /// Gateway wall clock when the request entered the service.
+    pub enq_s: f64,
+    /// Gateway wall clock when the ack was queued for write.
+    pub ack_s: f64,
+}
+
+impl AckStamps {
+    /// Seconds the gateway held this submit between decoding the frame
+    /// and queueing its ack (bridge residency plus service admission).
+    pub fn hold_s(&self) -> f64 {
+        self.ack_s - self.recv_s
+    }
+}
+
+/// A blocking `bifft-wire-v1.1` client connection.
 pub struct ServeClient {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -185,7 +209,9 @@ impl ServeClient {
     }
 
     /// Submits one request and blocks for the verdict: the correlation id
-    /// on admission, the typed rejection otherwise.
+    /// on admission, the typed rejection otherwise. Sends `trace = seq`
+    /// and discards the ack stamps — use [`ServeClient::submit_traced`]
+    /// to reconcile against the server ledger.
     ///
     /// # Errors
     /// Socket/protocol errors. Admission rejections are the `Ok(Err(_))`
@@ -197,14 +223,56 @@ impl ServeClient {
         next_s: Option<f64>,
         spec: SeededSpec,
     ) -> std::io::Result<Result<u64, WireError>> {
+        Ok(self
+            .submit_traced(seq, Some(seq), at_s, next_s, spec)?
+            .map(|(id, _)| id))
+    }
+
+    /// Submits one request with an explicit trace id and returns the
+    /// correlation id together with the gateway's [`AckStamps`].
+    ///
+    /// # Errors
+    /// Socket/protocol errors, including an ack whose echoed trace does
+    /// not match what was sent.
+    pub fn submit_traced(
+        &mut self,
+        seq: u64,
+        trace: Option<u64>,
+        at_s: Option<f64>,
+        next_s: Option<f64>,
+        spec: SeededSpec,
+    ) -> std::io::Result<Result<(u64, AckStamps), WireError>> {
         self.send(&Frame::Submit {
             seq,
             at_s,
             next_s,
+            trace,
             spec,
         })?;
         match self.recv()? {
-            Frame::SubmitAck { seq: got, id } if got == seq => Ok(Ok(id)),
+            Frame::SubmitAck {
+                seq: got,
+                id,
+                trace: echoed,
+                recv_s,
+                enq_s,
+                ack_s,
+            } if got == seq => {
+                if echoed != trace {
+                    return Err(io_err(format!(
+                        "ack for seq {seq} echoed trace {echoed:?}, sent {trace:?}"
+                    )));
+                }
+                Ok(Ok((
+                    id,
+                    AckStamps {
+                        trace: echoed,
+                        recv_s,
+                        enq_s,
+                        ack_s,
+                    },
+                )))
+            }
             Frame::Error {
                 code,
                 kind,

@@ -2,7 +2,7 @@
 //!
 //! The serve core (`fft_serve::FftService`) is a deterministic,
 //! virtual-time discrete-event simulation. This crate exposes it over a
-//! real TCP socket speaking **`bifft-wire-v1`** — a versioned,
+//! real TCP socket speaking **`bifft-wire-v1.1`** — a versioned,
 //! length-prefixed frame protocol with JSON payloads — without giving up
 //! the determinism:
 //!
@@ -36,7 +36,7 @@ pub mod proto;
 pub mod server;
 
 pub use bridge::{HeldSubmit, PacedBridge};
-pub use client::{PollAnswer, ServeClient, ServerInfo, WireError};
+pub use client::{AckStamps, PollAnswer, ServeClient, ServerInfo, WireError};
 pub use loadnet::{control, run_closed_loop_net, run_open_loop_net, NetLoad};
 pub use proto::{code, rejection_code, Frame, FrameDecoder, Mode, PROTO};
 pub use server::{GateConfig, GateServer};

@@ -28,6 +28,13 @@ pub struct NetLoad {
     pub rejected: u64,
     /// Per-rejection-code counts, `(code, count)` sorted by code.
     pub rejected_by_code: Vec<(u16, u64)>,
+    /// Acks that carried v1.1 trace stamps.
+    pub traced_acks: u64,
+    /// Total gateway wall-clock hold (`ack_s - recv_s`) across traced
+    /// acks — the wire-side latency the server's virtual-time attribution
+    /// ledger cannot see. Client-side reconciliation only; never part of
+    /// the deterministic report/metrics documents.
+    pub gate_hold_s: f64,
 }
 
 impl NetLoad {
@@ -43,6 +50,8 @@ impl NetLoad {
         self.offered += other.offered;
         self.accepted += other.accepted;
         self.rejected += other.rejected;
+        self.traced_acks += other.traced_acks;
+        self.gate_hold_s += other.gate_hold_s;
         for &(code, n) in &other.rejected_by_code {
             match self.rejected_by_code.binary_search_by_key(&code, |e| e.0) {
                 Ok(i) => self.rejected_by_code[i].1 += n,
@@ -89,6 +98,7 @@ fn stream_slice(addr: &str, name: &str, slice: Slice) -> std::io::Result<NetLoad
                 seq,
                 at_s: Some(at_s),
                 next_s,
+                trace: Some(seq),
                 spec,
             })?;
             next += 1;
@@ -96,8 +106,10 @@ fn stream_slice(addr: &str, name: &str, slice: Slice) -> std::io::Result<NetLoad
             continue;
         }
         match client.recv()? {
-            Frame::SubmitAck { .. } => {
+            Frame::SubmitAck { recv_s, ack_s, .. } => {
                 load.accepted += 1;
+                load.traced_acks += 1;
+                load.gate_hold_s += ack_s - recv_s;
                 inflight -= 1;
             }
             Frame::Error {
@@ -200,8 +212,12 @@ pub fn run_closed_loop_net(
             // window's time comes from the drain, which only moves
             // forward), so `at` itself is a valid watermark.
             let next_s = if last_overall { None } else { Some(at) };
-            match client.submit(seq, Some(at), next_s, spec)? {
-                Ok(_) => load.accepted += 1,
+            match client.submit_traced(seq, Some(seq), Some(at), next_s, spec)? {
+                Ok((_, stamps)) => {
+                    load.accepted += 1;
+                    load.traced_acks += 1;
+                    load.gate_hold_s += stamps.hold_s();
+                }
                 Err(e) => load.absorb_code(e.code),
             }
             seq += 1;

@@ -1,4 +1,4 @@
-//! `bifft-wire-v1`: the versioned, length-prefixed frame protocol the
+//! `bifft-wire-v1.1`: the versioned, length-prefixed frame protocol the
 //! gateway speaks.
 //!
 //! Every frame is a 5-byte header — one type byte, then the body length as
@@ -9,6 +9,14 @@
 //! travels in `Hello` and is matched exactly: any future breaking change
 //! bumps it to `bifft-wire-v2` and old clients get a typed
 //! [`code::PROTO_MISMATCH`] instead of undefined behaviour.
+//!
+//! The v1 → v1.1 minor rev added latency-attribution plumbing: `Submit`
+//! carries an optional client-chosen `trace` id, and `SubmitAck` echoes it
+//! alongside three gateway wall-clock stamps (`recv_s` frame received,
+//! `enq_s` submitted into the service, `ack_s` ack queued — seconds since
+//! the gateway started). The stamps let a client reconcile its observed
+//! round-trip against the server's virtual-time ledger; they never enter
+//! the deterministic report/metrics/attribution documents.
 //!
 //! Requests travel as [`fft_serve::SeededSpec`] templates — shape,
 //! direction, priority, deadline and the payload *seed*, a few dozen bytes
@@ -22,7 +30,7 @@ use fft_math::twiddle::Direction;
 use fft_serve::{Priority, Rejection, SeededSpec, Shape};
 
 /// The protocol identifier carried in `Hello`/`HelloAck`.
-pub const PROTO: &str = "bifft-wire-v1";
+pub const PROTO: &str = "bifft-wire-v1.1";
 
 /// Largest accepted frame body, bytes. Checked against the header length
 /// before any allocation, so a hostile 4 GiB length prefix costs nothing.
@@ -146,6 +154,10 @@ pub enum Frame {
         /// submit (`None` = this is the last) — the bridge watermark that
         /// lets other connections' earlier arrivals release.
         next_s: Option<f64>,
+        /// Client-chosen trace id, echoed verbatim in the ack — the key a
+        /// client uses to reconcile its own latency observations against
+        /// the server-side attribution ledger.
+        trace: Option<u64>,
         /// The request template.
         spec: SeededSpec,
     },
@@ -155,6 +167,16 @@ pub enum Frame {
         seq: u64,
         /// The service request id — the wire correlation id for `Poll`.
         id: u64,
+        /// Echoed trace id from the submit.
+        trace: Option<u64>,
+        /// Gateway wall clock when the submit frame was decoded, seconds
+        /// since the gateway started.
+        recv_s: f64,
+        /// Gateway wall clock when the request entered the service (for
+        /// paced submits this is the bridge release, not the frame).
+        enq_s: f64,
+        /// Gateway wall clock when this ack was queued for write.
+        ack_s: f64,
     },
     /// Client → server: what happened to request `id`?
     Poll {
@@ -310,16 +332,30 @@ impl Frame {
                 seq,
                 at_s,
                 next_s,
+                trace,
                 spec,
             } => obj(vec![
                 ("seq", Value::Int(*seq)),
                 ("at_s", opt_num(*at_s)),
                 ("next_s", opt_num(*next_s)),
+                ("trace", trace.map_or(Value::Null, Value::Int)),
                 ("spec", spec_body(spec)),
             ]),
-            Frame::SubmitAck { seq, id } => {
-                obj(vec![("seq", Value::Int(*seq)), ("id", Value::Int(*id))])
-            }
+            Frame::SubmitAck {
+                seq,
+                id,
+                trace,
+                recv_s,
+                enq_s,
+                ack_s,
+            } => obj(vec![
+                ("seq", Value::Int(*seq)),
+                ("id", Value::Int(*id)),
+                ("trace", trace.map_or(Value::Null, Value::Int)),
+                ("recv_s", Value::Num(*recv_s)),
+                ("enq_s", Value::Num(*enq_s)),
+                ("ack_s", Value::Num(*ack_s)),
+            ]),
             Frame::Poll { id } => obj(vec![("id", Value::Int(*id))]),
             Frame::PollReply {
                 id,
@@ -404,11 +440,16 @@ impl Frame {
                 seq: need_u64(&v, "seq")?,
                 at_s: opt_f64(&v, "at_s")?,
                 next_s: opt_f64(&v, "next_s")?,
+                trace: opt_u64(&v, "trace")?,
                 spec: spec_decode(v.get("spec").ok_or("missing spec")?)?,
             }),
             4 => Ok(Frame::SubmitAck {
                 seq: need_u64(&v, "seq")?,
                 id: need_u64(&v, "id")?,
+                trace: opt_u64(&v, "trace")?,
+                recv_s: need_f64(&v, "recv_s")?,
+                enq_s: need_f64(&v, "enq_s")?,
+                ack_s: need_f64(&v, "ack_s")?,
             }),
             5 => Ok(Frame::Poll {
                 id: need_u64(&v, "id")?,
@@ -511,6 +552,16 @@ fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, String> {
             .as_f64()
             .map(Some)
             .ok_or_else(|| format!("field '{key}' must be a number or null")),
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' must be an integer or null")),
     }
 }
 
@@ -727,9 +778,17 @@ mod tests {
                 seq: 7,
                 at_s: Some(0.25),
                 next_s: None,
+                trace: Some(41),
                 spec: sample_spec(),
             },
-            Frame::SubmitAck { seq: 7, id: 3 },
+            Frame::SubmitAck {
+                seq: 7,
+                id: 3,
+                trace: Some(41),
+                recv_s: 0.125,
+                enq_s: 0.25,
+                ack_s: 0.5,
+            },
             Frame::Poll { id: 3 },
             Frame::PollReply {
                 id: 3,
@@ -792,6 +851,7 @@ mod tests {
             seq: u64::MAX,
             at_s: Some(0.1 + 0.2),
             next_s: Some(f64::MIN_POSITIVE),
+            trace: Some(u64::MAX - 1),
             spec,
         };
         let bytes = f.encode();

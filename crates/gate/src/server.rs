@@ -479,8 +479,14 @@ impl GateServer {
                 seq,
                 at_s,
                 next_s,
+                trace,
                 spec,
-            } => self.handle_submit(id, mode, seq, at_s, next_s, spec),
+            } => {
+                // The frame-received stamp for the v1.1 ack: gateway wall
+                // clock at the moment the submit was decoded.
+                let recv_s = self.started.elapsed().as_secs_f64();
+                self.handle_submit(id, mode, seq, at_s, next_s, trace, recv_s, spec);
+            }
             Frame::Poll { id: rid } => {
                 self.svc.telemetry_mut().registry.inc(names::POLLS);
                 let reply = poll_reply(&self.svc, rid);
@@ -576,6 +582,7 @@ impl GateServer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_submit(
         &mut self,
         id: u64,
@@ -583,6 +590,8 @@ impl GateServer {
         seq: u64,
         at_s: Option<f64>,
         next_s: Option<f64>,
+        trace: Option<u64>,
+        recv_s: f64,
         spec: fft_serve::SeededSpec,
     ) {
         match mode {
@@ -596,7 +605,7 @@ impl GateServer {
                     );
                     return;
                 };
-                if let Err(e) = self.bridge.submit(id, seq, at, next_s, spec) {
+                if let Err(e) = self.bridge.submit(id, seq, at, next_s, trace, recv_s, spec) {
                     self.protocol_error(id, Some(seq), code::BAD_REQUEST, &e);
                     return;
                 }
@@ -617,7 +626,8 @@ impl GateServer {
                 let wall = self.started.elapsed().as_secs_f64();
                 let at = at_s.unwrap_or(wall).max(self.svc.now_s());
                 let result = self.svc.submit(spec.materialize(), at);
-                self.answer_submit(id, seq, &result);
+                let enq_s = self.started.elapsed().as_secs_f64();
+                self.answer_submit(id, seq, trace, recv_s, enq_s, &result);
                 if let Err(r) = &result {
                     if matches!(r, Rejection::QueueFull { .. }) {
                         // The read-pause that turns admission shedding into
@@ -637,7 +647,19 @@ impl GateServer {
     }
 
     /// Queues the ack or typed rejection for one released/admitted submit.
-    fn answer_submit(&mut self, id: u64, seq: u64, result: &Result<Ticket, Rejection>) {
+    /// `recv_s`/`enq_s` are gateway wall stamps (frame decoded, request
+    /// entered the service); the ack stamp is taken here, as the reply is
+    /// queued for write.
+    fn answer_submit(
+        &mut self,
+        id: u64,
+        seq: u64,
+        trace: Option<u64>,
+        recv_s: f64,
+        enq_s: f64,
+        result: &Result<Ticket, Rejection>,
+    ) {
+        let ack_s = self.started.elapsed().as_secs_f64();
         let reg = &mut self.svc.telemetry_mut().registry;
         let reply = match result {
             Ok(ticket) => {
@@ -645,6 +667,10 @@ impl GateServer {
                 Frame::SubmitAck {
                     seq,
                     id: ticket.correlation(),
+                    trace,
+                    recv_s,
+                    enq_s,
+                    ack_s,
                 }
             }
             Err(r) => {
@@ -673,7 +699,8 @@ impl GateServer {
             }
             for held in released {
                 let result = self.svc.submit(held.spec.materialize(), held.at_s);
-                self.answer_submit(held.conn, held.seq, &result);
+                let enq_s = self.started.elapsed().as_secs_f64();
+                self.answer_submit(held.conn, held.seq, held.trace, held.recv_s, enq_s, &result);
             }
         }
         for (&id, conn) in self.conns.iter_mut() {

@@ -62,12 +62,14 @@ fn exemplar_frames() -> Vec<Frame> {
             seq: u64::MAX,
             at_s: Some(1.5e-3),
             next_s: None,
+            trace: Some(7),
             spec: sample_spec(u64::MAX - 1),
         },
         Frame::Submit {
             seq: 1,
             at_s: None,
             next_s: Some(2.0),
+            trace: None,
             spec: SeededSpec {
                 shape: Shape::Volume {
                     nx: 64,
@@ -81,7 +83,16 @@ fn exemplar_frames() -> Vec<Frame> {
                 seed: 7,
             },
         },
-        Frame::SubmitAck { seq: 3, id: 9 },
+        // Fixed literal stamps: exemplar frames feed the committed golden
+        // hex dump, so nothing here may come from a real clock.
+        Frame::SubmitAck {
+            seq: 3,
+            id: 9,
+            trace: Some(7),
+            recv_s: 0.001,
+            enq_s: 0.002,
+            ack_s: 0.004,
+        },
         Frame::Poll { id: 9 },
         Frame::PollReply {
             id: 9,
@@ -341,6 +352,7 @@ fn paced_window_backpressure_stalls_and_recovers() {
             seq: i + 1,
             at_s: Some(at),
             next_s: next,
+            trace: Some(i + 1),
             spec: sample_spec(i),
         })
         .expect("b submit");
@@ -355,9 +367,21 @@ fn paced_window_backpressure_stalls_and_recovers() {
         .expect("a admitted");
     for i in 0..8u64 {
         match b.recv().expect("b reply") {
-            Frame::SubmitAck { seq, id } => {
+            Frame::SubmitAck {
+                seq,
+                id,
+                trace,
+                recv_s,
+                ack_s,
+                ..
+            } => {
                 assert_eq!(seq, i + 1, "acks must come back in schedule order");
                 assert!(id > id_a, "B's ids all follow A's released submit");
+                assert_eq!(trace, Some(i + 1), "trace ids echo verbatim");
+                assert!(
+                    ack_s >= recv_s,
+                    "ack stamp cannot precede the receive stamp"
+                );
             }
             other => panic!("expected SubmitAck, got {other:?}"),
         }
@@ -435,6 +459,147 @@ fn live_queue_backpressure_sheds_and_recovers() {
     handle.join().expect("server thread");
 }
 
+/// The full `gate_*` counter family after a scripted gateway session,
+/// pinned against a committed Prometheus golden and round-tripped through
+/// the exposition parser. The session is driven single-threaded through
+/// `run_once` so every counter lands deterministically: one paced client,
+/// window 2, three submits (the second trips a window stall), then a
+/// drain. Only `gate_bytes_out_total` is normalized before the
+/// comparison — the v1.1 ack stamps are wall-clock values whose rendered
+/// width varies run to run.
+#[test]
+fn gate_counters_match_committed_prometheus_golden() {
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let addr = listener.local_addr().expect("addr");
+    let cfg = GateConfig {
+        serve: serve_cfg(2, 64),
+        window: 2,
+    };
+    let mut server = GateServer::from_listener(listener, cfg).expect("server");
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5)))
+        .expect("timeout");
+    let mut decoder = fft_gate::proto::FrameDecoder::new();
+
+    // Alternates server iterations with client reads until a frame lands.
+    let mut next_frame = |server: &mut GateServer, stream: &mut TcpStream| -> Frame {
+        for _ in 0..1000 {
+            if let Some(f) = decoder.next_frame().expect("client-side decode") {
+                return f;
+            }
+            server.run_once();
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => panic!("server closed the scripted connection"),
+                Ok(n) => decoder.feed(&chunk[..n]),
+                Err(_) => {}
+            }
+        }
+        panic!("no frame after 1000 scripted iterations");
+    };
+
+    stream
+        .write_all(
+            &Frame::Hello {
+                proto: PROTO.to_string(),
+                client: "golden-metrics".to_string(),
+                mode: Mode::Paced,
+                first_s: Some(0.0),
+            }
+            .encode(),
+        )
+        .expect("hello");
+    assert!(matches!(
+        next_frame(&mut server, &mut stream),
+        Frame::HelloAck { .. }
+    ));
+
+    // Three submits into a window of 2: the second hits the window while
+    // both are still unreleased inside one read burst, so exactly one
+    // backpressure stall registers before the single-connection merge
+    // releases everything.
+    for i in 0..3u64 {
+        let at = i as f64 * 1e-3;
+        let next = if i == 2 { None } else { Some(at + 1e-3) };
+        stream
+            .write_all(
+                &Frame::Submit {
+                    seq: i,
+                    at_s: Some(at),
+                    next_s: next,
+                    trace: Some(i),
+                    spec: sample_spec(i),
+                }
+                .encode(),
+            )
+            .expect("submit");
+    }
+    for i in 0..3u64 {
+        match next_frame(&mut server, &mut stream) {
+            Frame::SubmitAck { seq, trace, .. } => {
+                assert_eq!(seq, i);
+                assert_eq!(trace, Some(i));
+            }
+            other => panic!("expected SubmitAck, got {other:?}"),
+        }
+    }
+    stream
+        .write_all(&Frame::Drain.encode())
+        .expect("drain frame");
+    assert!(matches!(
+        next_frame(&mut server, &mut stream),
+        Frame::DrainAck { .. }
+    ));
+
+    let text = server.service().prometheus_text();
+
+    // Every sample in the exposition must survive its own parser, and the
+    // gate_* family must carry the scripted session's exact counts.
+    let parsed = fft_serve::telemetry::parse_prometheus(&text).expect("exposition parses");
+    let gate = |name: &str| {
+        *parsed
+            .get(name)
+            .unwrap_or_else(|| panic!("{name} missing from the exposition"))
+    };
+    assert_eq!(gate(names::CONNECTIONS), 1.0);
+    assert_eq!(gate(names::CONNECTIONS_OPEN), 1.0);
+    assert_eq!(gate(names::SUBMITS), 3.0);
+    assert_eq!(gate(names::REJECTED), 0.0);
+    assert_eq!(gate(names::BACKPRESSURE_STALLS), 1.0);
+    assert_eq!(gate(names::FRAMES_IN), 5.0);
+    assert_eq!(gate(names::FRAMES_OUT), 5.0);
+    assert!(gate(names::BYTES_IN) > 0.0);
+    assert!(gate(names::BYTES_OUT) > 0.0);
+
+    // Counters are monotone (set_counter clamps upward), so the wall-width
+    // byte total is normalized in the rendered text, not the registry.
+    let text: String = text
+        .lines()
+        .map(|l| {
+            if l.starts_with(&format!("{} ", names::BYTES_OUT)) {
+                format!("{} NORMALIZED\n", names::BYTES_OUT)
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+
+    check_golden(
+        &text,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/gate_metrics.prom"
+        ),
+        "gateway prometheus exposition",
+    );
+}
+
 /// Draining while the bridge still holds paced submissions is refused with
 /// a typed error instead of silently corrupting the replay.
 #[test]
@@ -454,6 +619,7 @@ fn drain_is_refused_while_paced_submissions_are_held() {
         seq: 1,
         at_s: Some(1.0),
         next_s: None,
+        trace: None,
         spec: sample_spec(1),
     })
     .expect("b submit");

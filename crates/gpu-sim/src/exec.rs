@@ -841,6 +841,22 @@ impl Gpu {
         )
     }
 
+    /// Read-only probe of when the legacy synchronous PCIe link drains its
+    /// queued transfers. Unlike [`Gpu::pcie_sync`] this does not advance the
+    /// host clock — attribution ledgers use it to split "waiting for the
+    /// link" from "moving the bytes" without perturbing the schedule.
+    pub fn pcie_busy_until_s(&self) -> f64 {
+        self.pcie_link.busy_until_s()
+    }
+
+    /// Read-only probe of when the stream copy engine for `dir` drains its
+    /// queued memcpys. The engine model starts a stream copy at
+    /// `max(stream ready, engine free, host clock)`; exposing the engine
+    /// term lets observers reconstruct that start time before issue.
+    pub fn copy_engine_free_s(&self, dir: Dir) -> f64 {
+        self.streams.copy_free_s(dir)
+    }
+
     /// Read-only probe of the time everything currently issued — streams,
     /// both copy engines, the legacy PCIe link and the host clock — will
     /// have completed. Unlike [`Gpu::synchronize`] this does not advance

@@ -128,6 +128,11 @@ impl StreamEngine {
         self.copy_busy_s[di(dir)]
     }
 
+    /// The time the direction's copy engine finishes its queued work.
+    pub(crate) fn copy_free_s(&self, dir: Dir) -> f64 {
+        self.copy[di(dir)].busy_until_s()
+    }
+
     /// Latest completion time across all streams and engines — the time a
     /// device-wide synchronize resolves to.
     pub(crate) fn horizon_s(&self) -> f64 {

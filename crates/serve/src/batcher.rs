@@ -233,6 +233,9 @@ mod tests {
         }
         let est = Estimator::new();
         let mut log = LifecycleLog::default();
+        for id in 0..6 {
+            log.start(RequestId(id), "1d256x4".to_string(), 0.0);
+        }
         let b = form_batch(
             &mut q,
             &limits(),

@@ -1,0 +1,13 @@
+//! `fft-prof` — offline analysis of `bifft-attr-v1` attribution documents.
+//!
+//! ```text
+//! cargo run --release -p fft-serve --bin fft-serve -- --smoke --attr-out attr.json
+//! cargo run --release -p fft-serve --bin fft-prof -- show attr.json
+//! cargo run --release -p fft-serve --bin fft-prof -- diff baseline.json attr.json
+//! ```
+//!
+//! See `crates/serve/src/prof.rs` for subcommands and exit-code semantics.
+
+fn main() {
+    std::process::exit(fft_serve::prof::prof_main());
+}

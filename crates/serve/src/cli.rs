@@ -7,7 +7,7 @@
 //!           [--seed S] [--workload rows|mixed] [--closed N]
 //!           [--check-hazards] [--json PATH]
 //!           [--metrics-out PATH] [--metrics-format json|prom]
-//!           [--trace PATH]
+//!           [--trace PATH] [--attr-out PATH] [--attr-audit]
 //! fft-serve --validate-metrics PATH
 //! ```
 //!
@@ -19,7 +19,11 @@
 //! exposition text), `--trace` writes a merged Chrome-trace timeline
 //! (per-card tracks plus one track per request), and `--validate-metrics`
 //! re-reads a previously written JSON metrics file and exits 0 only when
-//! the schema validates AND the recorded SLO verdict is ok — the CI gate.
+//! the schema validates AND the recorded SLO verdict is ok — the CI gate
+//! (it also surfaces the run's dropped-lifecycle-stamp counter).
+//! `--attr-out` writes the run's `bifft-attr-v1` attribution document
+//! (what `fft-prof` analyzes) and `--attr-audit` fails the process when
+//! any completed request's ledger breaks the conservation invariant.
 
 use crate::loadgen::{run_closed_loop, run_open_loop, Workload};
 use crate::service::ServeConfig;
@@ -38,6 +42,8 @@ struct Cli {
     metrics_out: Option<String>,
     metrics_format: String,
     trace_path: Option<String>,
+    attr_out: Option<String>,
+    attr_audit: bool,
     validate_metrics: Option<String>,
 }
 
@@ -56,6 +62,8 @@ impl Default for Cli {
             metrics_out: None,
             metrics_format: "json".to_string(),
             trace_path: None,
+            attr_out: None,
+            attr_audit: false,
             validate_metrics: None,
         }
     }
@@ -65,7 +73,8 @@ fn usage() {
     eprintln!(
         "usage: fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS] \
          [--seed S] [--workload rows|mixed] [--closed N] [--check-hazards] [--json PATH] \
-         [--metrics-out PATH] [--metrics-format json|prom] [--trace PATH]\n\
+         [--metrics-out PATH] [--metrics-format json|prom] [--trace PATH] \
+         [--attr-out PATH] [--attr-audit]\n\
          \u{20}      fft-serve --validate-metrics PATH"
     );
 }
@@ -115,6 +124,10 @@ pub fn cli_main() -> i32 {
             "--trace" => {
                 cli.trace_path = Some(take!("--trace", |v: &str| Some(v.to_string())));
             }
+            "--attr-out" => {
+                cli.attr_out = Some(take!("--attr-out", |v: &str| Some(v.to_string())));
+            }
+            "--attr-audit" => cli.attr_audit = true,
             "--validate-metrics" => {
                 cli.validate_metrics =
                     Some(take!("--validate-metrics", |v: &str| Some(v.to_string())));
@@ -138,6 +151,17 @@ pub fn cli_main() -> i32 {
                 return 1;
             }
         };
+        // Surface the dropped-lifecycle-stamp counter (a required section,
+        // so a validating document always carries it). Dropped stamps mean
+        // the waterfalls — and everything attribution derives from them —
+        // are incomplete; a healthy service keeps this at 0.
+        if let Some(n) = read_dropped_counter(&text) {
+            if n > 0 {
+                eprintln!("fft-serve: {path}: WARNING: {n} lifecycle stamp(s) dropped");
+            } else {
+                eprintln!("fft-serve: {path}: lifecycle stamps: none dropped");
+            }
+        }
         return match validate_metrics_json(&text) {
             Ok(true) => {
                 eprintln!("fft-serve: {path}: schema ok, slo ok");
@@ -237,6 +261,30 @@ pub fn cli_main() -> i32 {
         }
     }
 
+    if let Some(path) = &cli.attr_out {
+        if let Err(e) = std::fs::write(path, svc.attribution_json()) {
+            eprintln!("fft-serve: cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("fft-serve: attribution written to {path}");
+    }
+
+    if cli.attr_audit {
+        let audit = svc.attribution_audit();
+        if audit.ok() {
+            eprintln!(
+                "fft-serve: attr-audit: conservation ok over {} request(s) (worst error {:e} s)",
+                audit.requests, audit.worst_err_s
+            );
+        } else {
+            eprintln!(
+                "fft-serve: attr-audit: {} of {} ledger(s) UNBALANCED (worst error {:e} s)",
+                audit.unbalanced, audit.requests, audit.worst_err_s
+            );
+            return 1;
+        }
+    }
+
     if cli.check_hazards {
         match svc.check_report() {
             Some(rep) if rep.clean() => eprintln!(
@@ -262,4 +310,18 @@ pub fn cli_main() -> i32 {
 
 fn svc_model() -> &'static str {
     "GTS8800-sim"
+}
+
+/// Reads `"serve_lifecycle_dropped_total": N` out of a metrics document,
+/// or `None` when the counter is absent (a foreign or truncated file —
+/// the schema validator reports that separately).
+fn read_dropped_counter(text: &str) -> Option<u64> {
+    let key = "\"serve_lifecycle_dropped_total\": ";
+    let at = text.find(key)? + key.len();
+    text[at..]
+        .split([',', '\n', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
 }

@@ -20,9 +20,10 @@
 //! - [`report`] — latency percentiles, goodput, queue/batch statistics,
 //!   per-card utilization, rendered as deterministic JSON;
 //! - [`telemetry`] — request-lifecycle waterfalls, the windowed metrics
-//!   registry, SLO burn-rate monitoring and the metrics/Prometheus/Chrome
-//!   exporters;
-//! - [`cli`] — the `fft-serve` binary.
+//!   registry, SLO burn-rate monitoring, the per-request time-attribution
+//!   ledger and the metrics/Prometheus/Chrome exporters;
+//! - [`cli`] — the `fft-serve` binary;
+//! - [`prof`] — the `fft-prof` binary (attribution show/diff forensics).
 //!
 //! Everything is seeded and virtual-time: the same workload seed produces
 //! bit-identical report JSON, which is what lets CI gate on serving
@@ -33,6 +34,7 @@
 pub mod batcher;
 pub mod cli;
 pub mod loadgen;
+pub mod prof;
 pub mod queue;
 pub mod report;
 pub mod request;
@@ -47,6 +49,7 @@ pub use request::{
 };
 pub use service::{FftService, ServeConfig, ServeConfigBuilder};
 pub use telemetry::{
-    metrics_json, prometheus_text, validate_metrics_json, LifecycleLog, MetricsRegistry, SloPolicy,
-    SloReport, Stage, Telemetry, METRICS_SCHEMA,
+    metrics_json, parse_attr_json, prometheus_text, render_attr_json, validate_metrics_json,
+    AttrSummary, Audit, Ledger, LifecycleLog, MetricsRegistry, SloPolicy, SloReport, Stage,
+    Telemetry, ATTR_SCHEMA, METRICS_SCHEMA,
 };

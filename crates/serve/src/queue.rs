@@ -177,6 +177,7 @@ mod tests {
     fn push_traced_stamps_admission() {
         let mut q = SubmitQueue::new(4);
         let mut log = LifecycleLog::default();
+        log.start(RequestId(9), "1d256x4".to_string(), 2.5);
         q.push_traced(pending(9, 2.5, Priority::Normal), &mut log);
         let wf = log.get(RequestId(9)).unwrap();
         assert_eq!(wf.stage_s(Stage::Admitted), Some(2.5));

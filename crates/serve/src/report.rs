@@ -7,7 +7,7 @@
 //! keys), so equal runs produce byte-identical JSON.
 
 use crate::request::Completion;
-use crate::telemetry::{export::render_slo_json, SloReport};
+use crate::telemetry::{export::render_slo_json, BudgetLine, SloReport};
 use fft_math::stats;
 use std::collections::BTreeMap;
 
@@ -110,6 +110,10 @@ pub struct ServeReport {
     /// The SLO verdict ([`crate::telemetry::slo`]); vacuously `ok` when no
     /// objectives were evaluated.
     pub slo: SloReport,
+    /// The latency budget: per-category attributed time across every
+    /// completed request, one line per ledger category
+    /// ([`crate::telemetry::attribution`]); empty when nothing completed.
+    pub budget: Vec<BudgetLine>,
 }
 
 impl ServeReport {
@@ -232,6 +236,19 @@ impl ServeReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str("  \"budget\": [\n");
+        for (i, b) in self.budget.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"category\": \"{}\", \"total_s\": {}, \"share\": {}, \"mean_s\": {}, \"p95_s\": {}}}{}\n",
+                b.category,
+                b.total_s,
+                b.share,
+                b.mean_s,
+                b.p95_s,
+                if i + 1 < self.budget.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"slo\": ");
         s.push_str(&render_slo_json(&self.slo, "  "));
         s.push_str("\n}\n");
@@ -282,6 +299,18 @@ impl ServeReport {
                 c.plan_hits,
                 c.plan_hits + c.plan_misses
             ));
+        }
+        if !self.budget.is_empty() {
+            s.push_str("budget:   category      mean_ms    p95_ms   share\n");
+            for b in &self.budget {
+                s.push_str(&format!(
+                    "          {:<10} {:>9.4} {:>9.4} {:>6.1}%\n",
+                    b.category,
+                    b.mean_s * 1e3,
+                    b.p95_s * 1e3,
+                    b.share * 100.0
+                ));
+            }
         }
         if self.slo.verdicts.is_empty() {
             s.push_str("slo:      not evaluated\n");

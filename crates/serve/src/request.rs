@@ -137,6 +137,17 @@ pub enum Priority {
     Low,
 }
 
+impl Priority {
+    /// Stable lowercase label (attribution profile keys, wire encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
 /// One submission: shape, direction, hints and payload.
 #[derive(Clone, Debug)]
 pub struct RequestSpec {

@@ -106,6 +106,13 @@ pub struct Lane {
 /// pure observations of the stream/clock state the dispatch already
 /// produced — reading them never advances the simulation.
 pub struct RowsOutcome {
+    /// When the batch's plan was ready (cache hit: immediately; miss: after
+    /// the build), simulated seconds.
+    pub plan_ready_s: f64,
+    /// When the batch's H2D staging *starts* moving bytes — the engine
+    /// model's `max(stream ready, copy engine free, host clock)` — so the
+    /// ledger can split staging-slot wait from transfer time.
+    pub h2d_start_s: f64,
     /// When the batch's H2D staging lands, simulated seconds.
     pub h2d_done_s: f64,
     /// When the batched kernel finishes, simulated seconds.
@@ -120,6 +127,12 @@ pub struct RowsOutcome {
 
 /// What a finished volume-batch dispatch reports back.
 pub struct VolumesOutcome {
+    /// When the batch's plan was ready (shared by every member), simulated
+    /// seconds.
+    pub plan_ready_s: f64,
+    /// Per-request H2D start times (batch order): when the link began the
+    /// member's upload, after any queued transfers drained.
+    pub h2d_starts_s: Vec<f64>,
     /// Per-request H2D completion times (batch order).
     pub h2d_done_s: Vec<f64>,
     /// Per-request transform completion times (batch order).
@@ -287,14 +300,22 @@ impl Card {
         let span = format!("serve_rows_{n}x{rows}_c{}l{}", self.index, lane_idx);
         self.gpu.span_begin(&span);
         let plan = self.cache.batch1d(&mut self.gpu, n)?;
+        let plan_ready_s = self.gpu.clock_s();
         let label_up = format!("serve_h2d_c{}l{}", self.index, lane_idx);
         let label_down = format!("serve_d2h_c{}l{}", self.index, lane_idx);
         let mut out = vec![Complex32::ZERO; total];
         // The phase stamps are pure reads of state the dispatch already
         // created (stream-ready probes, the host clock) — recording them
         // cannot move any timeline.
-        let (h2d_done_s, compute_done_s, completion_s) = match stream {
+        let (h2d_start_s, h2d_done_s, compute_done_s, completion_s) = match stream {
             Some(s) => {
+                // Mirror of the engine model's issue rule: a stream copy
+                // starts at max(stream ready, copy engine free, host clock).
+                let h2d_start = self
+                    .gpu
+                    .stream_ready_s(s)
+                    .max(self.gpu.copy_engine_free_s(PcieDir::H2D))
+                    .max(self.gpu.clock_s());
                 self.gpu.memcpy_h2d_async(s, src, 0, &host, 1, &label_up);
                 let h2d = self.gpu.stream_ready_s(s);
                 self.gpu
@@ -302,9 +323,10 @@ impl Card {
                 let compute = self.gpu.stream_ready_s(s);
                 self.gpu
                     .memcpy_d2h_async(s, dst, 0, &mut out, 1, &label_down);
-                (h2d, compute, self.gpu.stream_ready_s(s))
+                (h2d_start, h2d, compute, self.gpu.stream_ready_s(s))
             }
             None => {
+                let h2d_start = self.gpu.clock_s().max(self.gpu.pcie_busy_until_s());
                 self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
                 self.gpu.mem_mut().upload(src, 0, &host);
                 let h2d = self.gpu.clock_s();
@@ -312,7 +334,7 @@ impl Card {
                 let compute = self.gpu.clock_s();
                 self.gpu.pcie_transfer(PcieDir::D2H, bytes, 1, &label_down);
                 self.gpu.mem().download(dst, 0, &mut out);
-                (h2d, compute, self.gpu.clock_s())
+                (h2d_start, h2d, compute, self.gpu.clock_s())
             }
         };
         self.gpu.span_end(&span);
@@ -327,6 +349,8 @@ impl Card {
             cut
         });
         Ok(RowsOutcome {
+            plan_ready_s,
+            h2d_start_s,
             h2d_done_s,
             compute_done_s,
             completion_s,
@@ -356,16 +380,19 @@ impl Card {
         let Some(plan) = self.cache.volume(&mut self.gpu, dims, algo.0, algo.1)? else {
             return Ok(None);
         };
+        let plan_ready_s = self.gpu.clock_s();
         let span = format!("serve_vol_{}x{}x{}_c{}", dims.0, dims.1, dims.2, self.index);
         self.gpu.span_begin(&span);
         let bytes = (dims.0 * dims.1 * dims.2) as u64 * 8;
         let label_up = format!("serve_vol_h2d_c{}", self.index);
         let label_down = format!("serve_vol_d2h_c{}", self.index);
+        let mut h2d_starts = Vec::with_capacity(payloads.len());
         let mut h2d_done = Vec::with_capacity(payloads.len());
         let mut compute_done = Vec::with_capacity(payloads.len());
         let mut completions = Vec::with_capacity(payloads.len());
         let mut outputs = keep_outputs.then(Vec::new);
         for payload in payloads {
+            h2d_starts.push(self.gpu.clock_s().max(self.gpu.pcie_busy_until_s()));
             self.gpu.pcie_transfer(PcieDir::H2D, bytes, 1, &label_up);
             h2d_done.push(self.gpu.clock_s());
             let (out, _rep) = plan.transform(&mut self.gpu, payload, dir)?;
@@ -378,6 +405,8 @@ impl Card {
         }
         self.gpu.span_end(&span);
         Ok(Some(VolumesOutcome {
+            plan_ready_s,
+            h2d_starts_s: h2d_starts,
             h2d_done_s: h2d_done,
             compute_done_s: compute_done,
             completions_s: completions,

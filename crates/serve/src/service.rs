@@ -107,18 +107,6 @@ impl ServeConfig {
         }
     }
 
-    /// The pre-builder positional constructor, kept one release for
-    /// callers migrating off struct-literal construction.
-    #[deprecated(since = "0.1.0", note = "use ServeConfig::builder() instead")]
-    pub fn positional(n_gpus: usize, streams_per_card: usize, queue_capacity: usize) -> Self {
-        ServeConfig {
-            n_gpus,
-            streams_per_card,
-            queue_capacity,
-            ..ServeConfig::default()
-        }
-    }
-
     /// Checks the invariants [`FftService::new`] requires.
     ///
     /// # Errors
@@ -426,6 +414,15 @@ impl FftService {
         self.telemetry
             .lifecycle
             .start(id, spec.shape.label(), self.now_s);
+        // Attribution profile keys: rows always run the coalesced 1-D
+        // kernel; volumes run their hint or the service default.
+        let algo_label = match spec.shape {
+            Shape::Rows1d { .. } => "batch-1d",
+            Shape::Volume { .. } => spec.algorithm.unwrap_or(self.cfg.default_algorithm).name(),
+        };
+        self.telemetry
+            .lifecycle
+            .annotate_submission(id, spec.priority.label(), algo_label);
         if let Err(e) = validate_spec(&spec) {
             return Err(self.reject(id, Rejection::Unsupported(e)));
         }
@@ -678,6 +675,7 @@ impl FftService {
             log.record(p.id, Stage::Compute, outcome.compute_done_s);
             log.record(p.id, Stage::D2h, outcome.completion_s);
             log.annotate(p.id, &outcome.span, Some(ci));
+            log.annotate_phases(p.id, outcome.plan_ready_s, outcome.h2d_start_s);
         }
         let mut outputs = outcome.outputs;
         for (i, p) in batch.requests.iter().enumerate() {
@@ -726,6 +724,7 @@ impl FftService {
                     log.record(p.id, Stage::Compute, done.compute_done_s[i]);
                     log.record(p.id, Stage::D2h, done.completions_s[i]);
                     log.annotate(p.id, &done.span, Some(ci));
+                    log.annotate_phases(p.id, done.plan_ready_s, done.h2d_starts_s[i]);
                 }
                 let mut outputs = done.outputs;
                 for (i, p) in batch.requests.iter().enumerate() {
@@ -827,7 +826,18 @@ impl FftService {
         self.telemetry
             .lifecycle
             .record(p.id, Stage::Completed, completed_s);
+        let attr_parts = self
+            .telemetry
+            .lifecycle
+            .get(p.id)
+            .and_then(|wf| telemetry::attribution::Ledger::from_waterfall(p.id, wf))
+            .map(|ledger| *ledger.parts_s());
         let reg = &mut self.telemetry.registry;
+        if let Some(parts) = attr_parts {
+            for (name, part) in names::ATTR_US.iter().zip(parts) {
+                reg.add(name, (part * 1e6).round() as u64);
+            }
+        }
         reg.inc(names::COMPLETED);
         reg.add(names::PAYLOAD_BYTES, bytes);
         let latency_ms = (completed_s - p.arrival_s) * 1e3;
@@ -939,7 +949,9 @@ impl FftService {
             .iter()
             .map(|c| (c.utilization(now), c.copy_utilization(now)))
             .collect();
+        let dropped = self.telemetry.lifecycle.dropped();
         let reg = &mut self.telemetry.registry;
+        reg.set_counter(names::LIFECYCLE_DROPPED, dropped);
         reg.set_gauge(names::QUEUE_DEPTH, depth);
         reg.set_gauge(names::GOODPUT_GBS, goodput);
         reg.set_gauge(
@@ -1017,6 +1029,8 @@ impl FftService {
             })
             .collect();
         r.slo = self.slo_report();
+        let ledgers = telemetry::attribution::collect(&self.telemetry.lifecycle);
+        r.budget = telemetry::attribution::budget(&ledgers);
         r
     }
 
@@ -1068,6 +1082,23 @@ impl FftService {
     /// Renders the run's metrics in Prometheus text exposition.
     pub fn prometheus_text(&self) -> String {
         telemetry::prometheus_text(&self.telemetry.registry, &self.slo_report())
+    }
+
+    /// Time ledgers of every completed request, in completion order.
+    pub fn ledgers(&self) -> Vec<telemetry::Ledger> {
+        telemetry::attribution::collect(&self.telemetry.lifecycle)
+    }
+
+    /// Renders the run's `bifft-attr-v1` attribution document. Call after
+    /// [`FftService::drain`] so every completed request is ledgered.
+    pub fn attribution_json(&self) -> String {
+        telemetry::attribution::render_attr_json(&self.ledgers())
+    }
+
+    /// Audits the conservation invariant (category sum == e2e latency)
+    /// over every completed request's ledger.
+    pub fn attribution_audit(&self) -> telemetry::Audit {
+        telemetry::attribution::audit(&self.ledgers())
     }
 
     /// Drains the per-card sim-prof traces and merges them with the
@@ -1437,21 +1468,6 @@ mod tests {
             ..ServeConfig::default()
         })
         .is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn positional_shim_matches_the_builder() {
-        let shimmed = ServeConfig::positional(2, 4, 32);
-        let built = ServeConfig::builder()
-            .gpus(2)
-            .streams(4)
-            .queue_capacity(32)
-            .build()
-            .unwrap();
-        assert_eq!(shimmed.n_gpus, built.n_gpus);
-        assert_eq!(shimmed.streams_per_card, built.streams_per_card);
-        assert_eq!(shimmed.queue_capacity, built.queue_capacity);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! bench and report JSON, so same-seed runs export byte-identical
 //! documents and CI can gate on them.
 
+use super::attribution::{self, CATEGORIES};
 use super::lifecycle::{LifecycleLog, Stage};
 use super::registry::MetricsRegistry;
 use super::slo::SloReport;
@@ -255,6 +256,10 @@ pub fn validate_metrics_json(text: &str) -> Result<bool, String> {
         "\"series\": [",
         "\"series_dropped\": ",
         "\"slo\": {",
+        // Pre-registered by `Telemetry::new`, so every service-rendered
+        // document carries them even with zero traffic.
+        "\"serve_lifecycle_dropped_total\": ",
+        "\"serve_attr_compute_us_total\": ",
     ] {
         if !text.contains(key) {
             return Err(format!("missing section {key}"));
@@ -348,6 +353,28 @@ pub fn chrome_trace(cards: &[(usize, Trace)], lifecycle: &LifecycleLog) -> Strin
             }
         }
     }
+    // Attribution counter track: at each completion, the cumulative
+    // attributed microseconds per ledger category — the "where has the
+    // time gone so far" stack chart under the request waterfalls.
+    let mut ledgers = attribution::collect(lifecycle);
+    ledgers
+        .sort_by(|a, b| f64::total_cmp(&a.completed_s, &b.completed_s).then(a.id.0.cmp(&b.id.0)));
+    let mut cum_us = [0.0f64; CATEGORIES.len()];
+    for l in &ledgers {
+        for (c, part) in cum_us.iter_mut().zip(l.parts_s()) {
+            *c += us(*part);
+        }
+        let args: Vec<String> = CATEGORIES
+            .iter()
+            .zip(cum_us)
+            .map(|(c, v)| format!("\"{}\":{v}", c.label()))
+            .collect();
+        ev.push(format!(
+            "{{\"ph\":\"C\",\"pid\":{REQUESTS_PID},\"name\":\"attribution_us\",\"ts\":{},\"args\":{{{}}}}}",
+            us(l.completed_s),
+            args.join(",")
+        ));
+    }
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(&ev.join(",\n"));
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -377,6 +404,8 @@ mod tests {
     #[test]
     fn metrics_json_is_valid_and_carries_the_verdict() {
         let mut reg = MetricsRegistry::new();
+        reg.set_counter("serve_lifecycle_dropped_total", 0);
+        reg.set_counter("serve_attr_compute_us_total", 0);
         reg.add("serve_completed_total", 8);
         reg.set_gauge("serve_queue_depth", 2.0);
         reg.declare_histogram("serve_batch_size", &[1.0, 4.0]);
@@ -457,6 +486,9 @@ mod tests {
         assert!(doc.contains("\"name\":\"req 5 1d256x16\""));
         assert!(doc.contains("\"name\":\"compute\""));
         assert!(doc.contains("\"span\":\"serve_rows_256x16_c0l0\",\"card\":0"));
+        // The completed request contributes one attribution counter sample.
+        assert!(doc.contains("\"ph\":\"C\",\"pid\":1000,\"name\":\"attribution_us\",\"ts\":4000"));
+        assert!(doc.contains("\"compute\":"));
         assert!(doc.ends_with("],\"displayTimeUnit\":\"ms\"}\n"));
     }
 }

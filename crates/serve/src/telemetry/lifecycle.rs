@@ -88,6 +88,19 @@ pub struct Waterfall {
     pub card: Option<usize>,
     /// Why admission rejected the request, when it did.
     pub reject_reason: Option<&'static str>,
+    /// Priority label recorded at submission (`"high"`, `"normal"`,
+    /// `"low"`) — the attribution profile key.
+    pub priority: Option<&'static str>,
+    /// Algorithm label of the plan that served the request (`"batch-1d"`
+    /// for coalesced rows, the [`bifft::plan::Algorithm`] name for
+    /// volumes).
+    pub algorithm: Option<&'static str>,
+    /// When the dispatch's plan was ready (cache hit or build done),
+    /// simulated seconds. Splits plan/cache time out of `Dispatched → H2d`.
+    pub plan_ready_s: Option<f64>,
+    /// When the dispatch's H2D transfer started moving bytes, simulated
+    /// seconds. Splits staging-slot wait out of `Dispatched → H2d`.
+    pub h2d_start_s: Option<f64>,
 }
 
 impl Waterfall {
@@ -138,6 +151,7 @@ impl Waterfall {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct LifecycleLog {
     map: BTreeMap<u64, Waterfall>,
+    dropped: u64,
 }
 
 impl LifecycleLog {
@@ -150,17 +164,65 @@ impl LifecycleLog {
     }
 
     /// Records `stage` at `t_s` for request `id`. A repeat record (a
-    /// re-queued request) overwrites with the later attempt.
+    /// re-queued request) overwrites with the later attempt; a stamp for an
+    /// id that was never [`LifecycleLog::start`]ed, or one that would move
+    /// an existing stage *backwards*, is counted in
+    /// [`LifecycleLog::dropped`] instead of corrupting the waterfall.
     pub fn record(&mut self, id: RequestId, stage: Stage, t_s: f64) {
-        self.map.entry(id.0).or_default().record(stage, t_s);
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
+        if wf.stage_s(stage).is_some_and(|prev| t_s < prev) {
+            self.dropped += 1;
+            return;
+        }
+        wf.record(stage, t_s);
     }
 
     /// Cross-links the request to the sim-prof span and card of the launch
-    /// that served it.
+    /// that served it. Unknown ids count as dropped.
     pub fn annotate(&mut self, id: RequestId, span: &str, card: Option<usize>) {
-        let wf = self.map.entry(id.0).or_default();
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
         wf.span = Some(span.to_string());
         wf.card = card;
+    }
+
+    /// Records the submission-time attribution labels (priority, algorithm
+    /// that will serve the request). Unknown ids count as dropped.
+    pub fn annotate_submission(
+        &mut self,
+        id: RequestId,
+        priority: &'static str,
+        algorithm: &'static str,
+    ) {
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
+        wf.priority = Some(priority);
+        wf.algorithm = Some(algorithm);
+    }
+
+    /// Records the intra-dispatch phase boundaries the ledger splits on
+    /// (plan ready, H2D start). Unknown ids count as dropped.
+    pub fn annotate_phases(&mut self, id: RequestId, plan_ready_s: f64, h2d_start_s: f64) {
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
+        wf.plan_ready_s = Some(plan_ready_s);
+        wf.h2d_start_s = Some(h2d_start_s);
+    }
+
+    /// Stamps and annotations discarded because their request id was never
+    /// started or the stamp ran backwards — mirrored into the registry as
+    /// `serve_lifecycle_dropped_total`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Records the terminal `Rejected` stage with its reason label.
@@ -247,10 +309,54 @@ mod tests {
         assert!(wf.is_monotone());
         let backwards = {
             let mut l = LifecycleLog::default();
+            l.start(RequestId(0), "1d256x4".to_string(), 0.0);
             l.record(RequestId(0), Stage::Admitted, 5.0);
             l.record(RequestId(0), Stage::Completed, 1.0);
             l
         };
         assert!(!backwards.get(RequestId(0)).unwrap().is_monotone());
+    }
+
+    #[test]
+    fn unknown_ids_and_backwards_stamps_count_as_dropped() {
+        let mut log = LifecycleLog::default();
+        // Stamps and annotations for an id that was never started are
+        // dropped, not silently materialized as ghost waterfalls.
+        log.record(RequestId(5), Stage::Admitted, 1.0);
+        log.annotate(RequestId(5), "serve_rows_256x4_c0l0", Some(0));
+        log.annotate_submission(RequestId(5), "normal", "batch-1d");
+        log.annotate_phases(RequestId(5), 1.0, 1.1);
+        assert!(log.get(RequestId(5)).is_none());
+        assert_eq!(log.dropped(), 4);
+
+        let id = RequestId(1);
+        log.start(id, "1d256x4".to_string(), 2.0);
+        log.record(id, Stage::Admitted, 2.0);
+        // Re-stamping at the same time (push_traced on requeue) and moving
+        // forward (a later batching attempt) both stay legal...
+        log.record(id, Stage::Admitted, 2.0);
+        log.record(id, Stage::Batched, 2.5);
+        log.record(id, Stage::Batched, 2.9);
+        assert_eq!(log.dropped(), 4);
+        // ...but a strictly backwards stamp is dropped and the waterfall
+        // keeps its existing value.
+        log.record(id, Stage::Batched, 2.1);
+        assert_eq!(log.dropped(), 5);
+        assert_eq!(log.get(id).unwrap().stage_s(Stage::Batched), Some(2.9));
+    }
+
+    #[test]
+    fn attribution_annotations_land_on_the_waterfall() {
+        let mut log = LifecycleLog::default();
+        let id = RequestId(2);
+        log.start(id, "vol16x16x16".to_string(), 0.5);
+        log.annotate_submission(id, "high", "five-step");
+        log.annotate_phases(id, 0.7, 0.8);
+        let wf = log.get(id).unwrap();
+        assert_eq!(wf.priority, Some("high"));
+        assert_eq!(wf.algorithm, Some("five-step"));
+        assert_eq!(wf.plan_ready_s, Some(0.7));
+        assert_eq!(wf.h2d_start_s, Some(0.8));
+        assert_eq!(log.dropped(), 0);
     }
 }

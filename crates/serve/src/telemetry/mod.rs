@@ -19,14 +19,23 @@
 //!   short-window burn rates and a machine-readable verdict;
 //! - [`export`] — the `bifft-metrics-v1` JSON document, Prometheus text
 //!   exposition (plus its parser, for round-trip tests) and the merged
-//!   Chrome trace (per-card kernel tracks + per-request waterfall tracks).
+//!   Chrome trace (per-card kernel tracks + per-request waterfall tracks);
+//! - [`attribution`] — the per-request time ledger: e2e latency decomposed
+//!   into exclusive, exhaustive categories with a conservation invariant,
+//!   aggregated into shape/algorithm/priority/card profiles and the
+//!   `bifft-attr-v1` document `fft-prof` analyzes.
 
+pub mod attribution;
 pub mod export;
 pub mod lifecycle;
 pub mod registry;
 pub mod slo;
 pub mod timeline;
 
+pub use attribution::{
+    audit, collect, parse_attr_json, render_attr_json, AttrSummary, Audit, BudgetLine, Category,
+    Ledger, ATTR_SCHEMA, CATEGORIES, CONSERVATION_TOLERANCE_S,
+};
 pub use export::{
     chrome_trace, metrics_json, parse_prometheus, prometheus_text, validate_metrics_json,
     METRICS_SCHEMA,
@@ -96,6 +105,24 @@ pub mod names {
     pub const BATCH_SIZE_HIST: &str = "serve_batch_size";
     /// Histogram: completion latency, milliseconds.
     pub const LATENCY_MS_HIST: &str = "serve_latency_ms";
+    /// Lifecycle stamps/annotations dropped (unknown request id or a
+    /// backwards stamp) — should stay 0 on a healthy service.
+    pub const LIFECYCLE_DROPPED: &str = "serve_lifecycle_dropped_total";
+    /// Cumulative attributed time per ledger category, microseconds, in
+    /// [`super::attribution::CATEGORIES`] order. One counter per category
+    /// (`serve_attr_<category>_us_total`), incremented at completion.
+    pub const ATTR_US: [&str; 10] = [
+        "serve_attr_admission_us_total",
+        "serve_attr_queue_us_total",
+        "serve_attr_batch_us_total",
+        "serve_attr_plan_us_total",
+        "serve_attr_staging_us_total",
+        "serve_attr_h2d_us_total",
+        "serve_attr_compute_us_total",
+        "serve_attr_d2h_us_total",
+        "serve_attr_finalize_us_total",
+        "serve_attr_network_us_total",
+    ];
     /// Gauge name for card `i`'s compute-engine utilization.
     pub fn card_compute_util(i: usize) -> String {
         format!("serve_card{i}_compute_utilization")
@@ -128,6 +155,13 @@ impl Telemetry {
             names::LATENCY_MS_HIST,
             &[0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0],
         );
+        // Pre-register the drop counter and the attribution counters at 0
+        // so a run with no traffic still exports them (and CI's
+        // --validate-metrics can require their presence).
+        registry.set_counter(names::LIFECYCLE_DROPPED, 0);
+        for name in names::ATTR_US {
+            registry.set_counter(name, 0);
+        }
         Telemetry {
             registry,
             timeline: Timeline::new(tick_s),

@@ -8,8 +8,9 @@ use fft_math::twiddle::Direction;
 use fft_serve::loadgen::{run_open_loop, Workload};
 use fft_serve::request::{RequestSpec, Shape};
 use fft_serve::service::{FftService, ServeConfig};
+use fft_serve::telemetry::attribution::{self, CONSERVATION_TOLERANCE_S};
 use fft_serve::telemetry::export::parse_prometheus;
-use fft_serve::telemetry::Stage;
+use fft_serve::telemetry::{names, Stage};
 use fft_serve::validate_metrics_json;
 
 /// The CI smoke configuration: 64 mixed requests, open loop at 5000 req/s,
@@ -215,6 +216,91 @@ fn chrome_trace_merges_card_and_request_tracks() {
     }
     // Dispatch slices carry the span cross-link.
     assert!(json.contains("\"span\":\"serve_"));
+}
+
+/// The attribution acceptance criterion: on the CI smoke grid, every
+/// completed request's time ledger balances — the ten category parts sum
+/// to the end-to-end latency within [`CONSERVATION_TOLERANCE_S`].
+#[test]
+fn smoke_grid_conserves_every_request_ledger() {
+    // The smoke run plus the two bench serving shapes.
+    let grids: &[(usize, usize, u64, f64, u64)] = &[
+        (2, 2, 64, 5000.0, 42),
+        (2, 2, 96, 4000.0, 42),
+        (4, 2, 192, 8000.0, 42),
+    ];
+    for &(gpus, streams, requests, rate, seed) in grids {
+        let mut svc = ServeConfig::builder()
+            .gpus(gpus)
+            .streams(streams)
+            .build_service()
+            .unwrap();
+        run_open_loop(&mut svc, &Workload::mixed(), requests, rate, seed);
+        svc.drain();
+        let report = svc.report();
+        let ledgers = svc.ledgers();
+        assert_eq!(
+            ledgers.len() as u64,
+            report.completed,
+            "{gpus}x{streams}: every completion must be ledgered"
+        );
+        for l in &ledgers {
+            assert!(
+                l.conservation_error_s() <= CONSERVATION_TOLERANCE_S,
+                "req {} on {gpus}x{streams}: ledger unbalanced by {:e} s",
+                l.id.0,
+                l.conservation_error_s()
+            );
+        }
+        let audit = svc.attribution_audit();
+        assert!(
+            audit.ok(),
+            "{gpus}x{streams}: {} unbalanced",
+            audit.unbalanced
+        );
+        assert_eq!(audit.requests as u64, report.completed);
+    }
+}
+
+/// Two same-seed smoke runs export byte-identical attribution documents,
+/// and the document parses back with a conserving verdict over every
+/// completed request.
+#[test]
+fn same_seed_same_attribution_bits() {
+    let a = smoke_service(false).attribution_json();
+    let b = smoke_service(false).attribution_json();
+    assert_eq!(a, b, "same seed must produce bit-identical attribution");
+    let summary = attribution::parse_attr_json(&a).expect("well-formed attribution document");
+    assert!(summary.conservation_ok);
+    assert_eq!(summary.requests, 64);
+    let shares: f64 = summary.cat_share.iter().sum();
+    assert!((shares - 1.0).abs() < 1e-9, "shares partition all time");
+}
+
+/// Every per-category attribution counter reaches the Prometheus
+/// exposition, and the exported microsecond totals line up with the
+/// ledger (each request's parts are rounded to whole microseconds).
+#[test]
+fn attribution_counters_are_exported() {
+    let svc = smoke_service(false);
+    let series = parse_prometheus(&svc.prometheus_text()).expect("well-formed exposition");
+    let ledgers = svc.ledgers();
+    let exported: f64 = names::ATTR_US
+        .iter()
+        .map(|n| {
+            series
+                .get(*n)
+                .copied()
+                .unwrap_or_else(|| panic!("{n} missing"))
+        })
+        .sum();
+    let ledgered_us: f64 = ledgers.iter().map(|l| l.sum_s()).sum::<f64>() * 1e6;
+    let slack = 0.5 * names::ATTR_US.len() as f64 * ledgers.len() as f64;
+    assert!(
+        (exported - ledgered_us).abs() <= slack,
+        "exported {exported} us vs ledgered {ledgered_us} us (slack {slack})"
+    );
+    assert!(exported > 0.0, "the smoke run attributes nonzero time");
 }
 
 /// Rejected requests still get waterfalls: terminal `Rejected` stage with

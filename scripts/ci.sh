@@ -17,7 +17,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # Benchmark-regression gate: the quick grid (64³, all algorithms × cards)
 # against the committed baseline. All figures are modelled/simulated, so
 # the comparison is exact and machine-independent; this also prints the
-# per-kernel roofline + pattern-audit tables. Refresh the baseline with
+# per-kernel roofline + pattern-audit tables. Since bench schema v5 the
+# gate also covers the latency-attribution verdicts (conservation, time
+# shares, tail driver). Refresh the baseline with
 #   cargo run --release --bin bench -- --quick --out crates/bench/baselines/bench-quick.json
 cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check crates/bench/baselines/bench-quick.json
@@ -35,9 +37,25 @@ cargo run --release -p fft-bench --bin bifft-bench --offline -- \
 # must be ok, so a latency-tail or error-budget violation fails CI here.
 mkdir -p target
 cargo run --release -p fft-serve --bin fft-serve --offline -- \
-    --smoke --check-hazards --metrics-out target/ci-metrics.json
+    --smoke --check-hazards --metrics-out target/ci-metrics.json \
+    --attr-out target/ci-attr.json --attr-audit
 cargo run --release -p fft-serve --bin fft-serve --offline -- \
     --validate-metrics target/ci-metrics.json
+# Attribution gate (DESIGN.md §15): --attr-audit above already failed the
+# smoke run if any completed request's time ledger did not balance
+# (category sum == e2e latency within 1e-9 s). On top of that, a second
+# same-seed smoke run must export a byte-identical attribution document —
+# the ledger is part of the deterministic surface — and fft-prof must
+# accept the document (show exits non-zero on a failed conservation
+# audit; the self-diff proves the diff path parses what we ship).
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --smoke --attr-out target/ci-attr-repeat.json --attr-audit
+cmp target/ci-attr.json target/ci-attr-repeat.json \
+    || { echo "ci: same-seed attribution documents diverged" >&2; exit 1; }
+cargo run --release -p fft-serve --bin fft-prof --offline -- \
+    show target/ci-attr.json
+cargo run --release -p fft-serve --bin fft-prof --offline -- \
+    diff target/ci-attr.json target/ci-attr-repeat.json
 # Gateway smoke: boot fft-gate on an ephemeral port (the bound port comes
 # back through --port-file), replay a seeded workload over 8 concurrent TCP
 # clients, and require (a) the hazard validator to come back clean over the
