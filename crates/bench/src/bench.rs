@@ -31,6 +31,12 @@
 //! counts. Only timing-independent fields are recorded, so regenerating
 //! the baseline is reproducible.
 //!
+//! Since v6 the file also carries a `tenancy` section: each serving
+//! workload replayed across equal-share tenants under per-tenant rate
+//! quotas with lane preemption on, collapsed to the admission counts and
+//! the share-weighted Jain fairness index `--check` gates (absolute drift
+//! plus a floor the baseline must keep meeting).
+//!
 //! Since v5 the file also carries an `attribution` section: the latency
 //! attribution ledger of each serving workload, collapsed to the verdicts
 //! worth gating. Every point records whether the conservation invariant
@@ -55,17 +61,22 @@ use fft_gate::{control, run_open_loop_net};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
 use fft_serve::loadgen::{run_open_loop, Workload};
+use fft_serve::qos::{QosConfig, TenantId, TenantPolicy};
 use fft_serve::service::ServeConfig;
 use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v5";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v6";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
 /// so the slack only absorbs intentional small model recalibrations).
 pub const CHECK_TOLERANCE: f64 = 0.02;
+
+/// Fairness floor of the tenancy gate: a baseline whose share-weighted
+/// Jain index met this bound pins the candidate to keep meeting it.
+pub const FAIRNESS_FLOOR: f64 = 0.95;
 
 /// One kernel's record inside a [`BenchRun`].
 #[derive(Clone, Debug, PartialEq)]
@@ -237,6 +248,40 @@ pub struct AttributionPoint {
 }
 
 /// A whole bench artefact: what `BENCH_<timestamp>.json` holds.
+/// One multi-tenant QoS run: a serving workload spread uniformly across
+/// equal-share tenants, each under a token-bucket rate quota, with lane
+/// preemption enabled. Deterministic like the serving section, so the
+/// committed baseline regenerates byte-identically. The `ten_` prefix
+/// keeps the flat-scanner keys collision-free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenancyPoint {
+    /// Workload name (`rows` / `mixed`).
+    pub ten_workload: String,
+    /// Fleet size.
+    pub ten_gpus: usize,
+    /// Tenants the workload is spread across (equal shares).
+    pub ten_tenants: u32,
+    /// Offered requests.
+    pub ten_requests: u64,
+    /// Load-generator seed.
+    pub ten_seed: u64,
+    /// Requests admitted past the quota gate.
+    pub ten_admitted: u64,
+    /// Requests bounced by a tenant's token-bucket rate quota.
+    pub ten_quota_rejected: u64,
+    /// Dispatched batches aborted at a stream-safe point for a
+    /// higher-priority arrival.
+    pub ten_preemptions: u64,
+    /// Share-weighted Jain fairness index over per-tenant goodput
+    /// (tracked by `--check`: absolute drift, plus [`FAIRNESS_FLOOR`]
+    /// when the baseline met it).
+    pub ten_fairness_index: f64,
+    /// Whole-run goodput, GB/s (tracked by `--check`).
+    pub ten_goodput_gbs: f64,
+}
+
+/// One benchmark document: every section the schema carries, in render
+/// order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchFile {
     /// Whether this was the `--quick` (64³-only) grid.
@@ -251,6 +296,8 @@ pub struct BenchFile {
     pub gateway: Vec<GatewayPoint>,
     /// Latency-attribution verdicts of the serving workloads.
     pub attribution: Vec<AttributionPoint>,
+    /// Multi-tenant QoS runs.
+    pub tenancy: Vec<TenancyPoint>,
 }
 
 /// The three cards with their short CLI keys, Table 1 order.
@@ -468,6 +515,65 @@ fn attribution_point(
     }
 }
 
+/// Runs one tenancy point: the serving workload spread across `tenants`
+/// equal-share tenants, each under a token-bucket rate quota of
+/// `rate_rps / tenants` (so Poisson clustering occasionally overruns a
+/// bucket), with lane preemption enabled. Collapses the run to the
+/// admission counts and the share-weighted fairness index.
+fn tenancy_point(
+    workload_name: &str,
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    tenants: u32,
+) -> TenancyPoint {
+    let mut workload = match workload_name {
+        "rows" => Workload::rows(),
+        _ => Workload::mixed(),
+    };
+    workload.tenants = tenants;
+    let mut qos = QosConfig {
+        preemption: true,
+        ..QosConfig::default()
+    };
+    for t in 0..u64::from(tenants) {
+        qos.tenants.insert(
+            TenantId(t),
+            TenantPolicy {
+                rate_rps: Some(rate_rps / f64::from(tenants)),
+                // A shallow bucket so Poisson clustering visibly overruns
+                // the quota — the committed baseline then pins a nonzero
+                // rejection count, keeping the admission gate honest.
+                burst: 2.0,
+                ..TenantPolicy::default()
+            },
+        );
+    }
+    let mut svc = ServeConfig::builder()
+        .gpus(gpus)
+        .streams(streams)
+        .qos(qos)
+        .build_service()
+        .unwrap_or_else(|e| panic!("bench tenancy: cannot bring fleet up: {e}"));
+    run_open_loop(&mut svc, &workload, requests, rate_rps, seed);
+    svc.drain();
+    let r = svc.report();
+    TenancyPoint {
+        ten_workload: workload_name.to_string(),
+        ten_gpus: gpus,
+        ten_tenants: tenants,
+        ten_requests: requests,
+        ten_seed: seed,
+        ten_admitted: r.admitted,
+        ten_quota_rejected: r.rejected_quota,
+        ten_preemptions: r.preemptions,
+        ten_fairness_index: r.fairness_index,
+        ten_goodput_gbs: r.goodput_gbs,
+    }
+}
+
 /// Runs one gateway point: boots `fft-gate` on an ephemeral port, replays
 /// the seeded open-loop schedule over `clients` concurrent TCP
 /// connections, and pins the wire-fetched report against the in-process
@@ -655,6 +761,26 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             a.att_d2h_share, a.att_other_share
         ));
     }
+    // Tenancy runs: the serving grid under multi-tenant QoS.
+    let tenancy_grid: &[(&str, usize, usize, u64, f64, u64, u32)] = if quick {
+        &[("mixed", 2, 2, 96, 4000.0, 42, 3)]
+    } else {
+        &[
+            ("mixed", 2, 2, 96, 4000.0, 42, 3),
+            ("rows", 4, 2, 192, 8000.0, 42, 4),
+        ]
+    };
+    let tenancy = tenancy_grid
+        .iter()
+        .map(|&(w, g, st, req, rate, seed, ten)| tenancy_point(w, g, st, req, rate, seed, ten))
+        .collect::<Vec<_>>();
+    for t in &tenancy {
+        report.push_str(&format!(
+            "tenancy: {} on {} GPUs x{} tenants: fairness {:.3}, {} admitted / {} quota-rejected, {} preemption(s), {:.3} GB/s goodput\n",
+            t.ten_workload, t.ten_gpus, t.ten_tenants, t.ten_fairness_index,
+            t.ten_admitted, t.ten_quota_rejected, t.ten_preemptions, t.ten_goodput_gbs
+        ));
+    }
     (
         BenchFile {
             quick,
@@ -663,6 +789,7 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             serving,
             gateway,
             attribution,
+            tenancy,
         },
         report,
         merged,
@@ -780,6 +907,18 @@ pub fn to_json(file: &BenchFile) -> String {
             a.att_h2d_share, a.att_compute_share, a.att_d2h_share,
             a.att_other_share, a.att_e2e_ms_mean, a.att_tail_driver,
             if i + 1 < na { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"tenancy\": [\n");
+    let nt = file.tenancy.len();
+    for (i, t) in file.tenancy.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"ten_workload\": \"{}\", \"ten_gpus\": {}, \"ten_tenants\": {}, \"ten_requests\": {}, \"ten_seed\": {}, \"ten_admitted\": {}, \"ten_quota_rejected\": {}, \"ten_preemptions\": {}, \"ten_fairness_index\": {}, \"ten_goodput_gbs\": {}}}{}\n",
+            t.ten_workload, t.ten_gpus, t.ten_tenants, t.ten_requests, t.ten_seed,
+            t.ten_admitted, t.ten_quota_rejected, t.ten_preemptions,
+            t.ten_fairness_index, t.ten_goodput_gbs,
+            if i + 1 < nt { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1041,6 +1180,53 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         });
         c = sc;
     }
+    let mut tenancy = Vec::new();
+    let mut c = key_pos(text, "ten_workload", 0).unwrap_or(text.len());
+    while let Some((ten_workload, sc)) = field(text, "ten_workload", c) {
+        let (ten_gpus, sc) = field(text, "ten_gpus", sc).ok_or("tenancy: missing ten_gpus")?;
+        let (ten_tenants, sc) =
+            field(text, "ten_tenants", sc).ok_or("tenancy: missing ten_tenants")?;
+        let (ten_requests, sc) =
+            field(text, "ten_requests", sc).ok_or("tenancy: missing ten_requests")?;
+        let (ten_seed, sc) = field(text, "ten_seed", sc).ok_or("tenancy: missing ten_seed")?;
+        let (ten_admitted, sc) =
+            field(text, "ten_admitted", sc).ok_or("tenancy: missing ten_admitted")?;
+        let (quota_rej, sc) =
+            field(text, "ten_quota_rejected", sc).ok_or("tenancy: missing ten_quota_rejected")?;
+        let (preempts, sc) =
+            field(text, "ten_preemptions", sc).ok_or("tenancy: missing ten_preemptions")?;
+        let (fairness, sc) =
+            field(text, "ten_fairness_index", sc).ok_or("tenancy: missing ten_fairness_index")?;
+        let (goodput, sc) =
+            field(text, "ten_goodput_gbs", sc).ok_or("tenancy: missing ten_goodput_gbs")?;
+        tenancy.push(TenancyPoint {
+            ten_workload: ten_workload.to_string(),
+            ten_gpus: ten_gpus
+                .parse()
+                .map_err(|e| format!("bad ten_gpus '{ten_gpus}': {e}"))?,
+            ten_tenants: ten_tenants
+                .parse()
+                .map_err(|e| format!("bad ten_tenants '{ten_tenants}': {e}"))?,
+            ten_requests: ten_requests
+                .parse()
+                .map_err(|e| format!("bad ten_requests '{ten_requests}': {e}"))?,
+            ten_seed: ten_seed
+                .parse()
+                .map_err(|e| format!("bad ten_seed '{ten_seed}': {e}"))?,
+            ten_admitted: ten_admitted
+                .parse()
+                .map_err(|e| format!("bad ten_admitted '{ten_admitted}': {e}"))?,
+            ten_quota_rejected: quota_rej
+                .parse()
+                .map_err(|e| format!("bad ten_quota_rejected '{quota_rej}': {e}"))?,
+            ten_preemptions: preempts
+                .parse()
+                .map_err(|e| format!("bad ten_preemptions '{preempts}': {e}"))?,
+            ten_fairness_index: parse_f64(fairness, "ten_fairness_index")?,
+            ten_goodput_gbs: parse_f64(goodput, "ten_goodput_gbs")?,
+        });
+        c = sc;
+    }
     Ok(BenchFile {
         quick,
         runs,
@@ -1048,6 +1234,7 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         serving,
         gateway,
         attribution,
+        tenancy,
     })
 }
 
@@ -1208,6 +1395,47 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
             ));
         }
     }
+    for base in &baseline.tenancy {
+        let id = format!(
+            "tenancy {}/{}gpu/{}tenants",
+            base.ten_workload, base.ten_gpus, base.ten_tenants
+        );
+        let Some(cand) = candidate.tenancy.iter().find(|t| {
+            t.ten_workload == base.ten_workload
+                && t.ten_gpus == base.ten_gpus
+                && t.ten_tenants == base.ten_tenants
+                && t.ten_requests == base.ten_requests
+                && t.ten_seed == base.ten_seed
+        }) else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        // The fairness index gates on absolute drift in either direction
+        // (a fairer-looking number from a scheduling change is just as
+        // much a behaviour shift as a less fair one) ...
+        let (b, c) = (base.ten_fairness_index, cand.ten_fairness_index);
+        if (c - b).abs() > tol {
+            failures.push(format!(
+                "{id}: fairness index shifted {b:.3} -> {c:.3} ({:+.3})",
+                c - b
+            ));
+        }
+        // ... and a baseline that met the fairness floor pins the
+        // candidate to keep meeting it.
+        if b >= FAIRNESS_FLOOR && c < FAIRNESS_FLOOR {
+            failures.push(format!(
+                "{id}: fairness index {c:.3} fell below the {FAIRNESS_FLOOR} floor"
+            ));
+        }
+        if cand.ten_goodput_gbs < base.ten_goodput_gbs * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: goodput regressed {:.3} -> {:.3} GB/s ({:+.1}%)",
+                base.ten_goodput_gbs,
+                cand.ten_goodput_gbs,
+                (cand.ten_goodput_gbs / base.ten_goodput_gbs - 1.0) * 100.0
+            ));
+        }
+    }
     failures
 }
 
@@ -1352,6 +1580,7 @@ mod tests {
             serving: vec![serving_point("rows", 2, 1, 24, 4000.0, 5, false).0],
             gateway: vec![gateway_point("rows", 2, 1, 24, 4000.0, 5, 3)],
             attribution: vec![attribution_point("rows", 2, 1, 24, 4000.0, 5)],
+            tenancy: vec![tenancy_point("rows", 2, 1, 24, 4000.0, 5, 2)],
         }
     }
 
@@ -1390,6 +1619,15 @@ mod tests {
         );
         assert!(a.att_e2e_ms_mean > 0.0);
         assert!(!a.att_tail_driver.is_empty());
+        let t = &parsed.tenancy[0];
+        assert_eq!(t.ten_tenants, 2);
+        assert_eq!(
+            t.ten_admitted + t.ten_quota_rejected,
+            t.ten_requests,
+            "every offered request is admitted or quota-bounced in the tiny run"
+        );
+        assert!(t.ten_fairness_index > 0.0 && t.ten_fairness_index <= 1.0);
+        assert!(t.ten_goodput_gbs > 0.0);
     }
 
     #[test]
@@ -1433,6 +1671,7 @@ mod tests {
             serving: vec![],
             gateway: vec![],
             attribution: vec![],
+            tenancy: vec![],
         };
         let failures = check(&file, &empty, CHECK_TOLERANCE);
         assert!(failures[0].contains("missing"), "{failures:?}");
@@ -1473,6 +1712,45 @@ mod tests {
         let mut nudged = file.clone();
         nudged.serving[0].goodput_gbs *= 1.01;
         assert!(check(&nudged, &file, CHECK_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn tenancy_fairness_drift_and_floor_fail_the_gate() {
+        let file = tiny_file();
+        assert!(check(&file, &file, CHECK_TOLERANCE).is_empty());
+
+        // Drift beyond tolerance fails in either direction.
+        let mut shifted = file.clone();
+        shifted.tenancy[0].ten_fairness_index =
+            (file.tenancy[0].ten_fairness_index - 2.0 * CHECK_TOLERANCE).max(0.0);
+        let failures = check(&file, &shifted, CHECK_TOLERANCE);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("fairness index shifted")),
+            "{failures:?}"
+        );
+
+        // A baseline at the floor pins the candidate to stay there, even
+        // when the drift itself is inside tolerance.
+        let mut base = file.clone();
+        base.tenancy[0].ten_fairness_index = FAIRNESS_FLOOR + 0.005;
+        let mut cand = file.clone();
+        cand.tenancy[0].ten_fairness_index = FAIRNESS_FLOOR - 0.005;
+        let failures = check(&base, &cand, CHECK_TOLERANCE);
+        assert!(
+            failures.iter().any(|f| f.contains("below the 0.95 floor")),
+            "{failures:?}"
+        );
+
+        // Tenancy goodput regressions gate like serving ones.
+        let mut inflated = file.clone();
+        inflated.tenancy[0].ten_goodput_gbs *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert!(
+            failures.iter().any(|f| f.contains("tenancy rows")),
+            "{failures:?}"
+        );
     }
 
     #[test]

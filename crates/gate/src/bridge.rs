@@ -227,6 +227,7 @@ mod tests {
             algorithm: Some(Algorithm::FiveStep),
             priority: Priority::Normal,
             deadline_s: None,
+            tenant: fft_serve::TenantId(0),
             seed,
         }
     }

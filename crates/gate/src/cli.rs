@@ -6,7 +6,7 @@
 //!                [--port-file PATH]
 //! fft-gate bench [--addr HOST:PORT] [--clients N] [--requests N]
 //!                [--rate RPS] [--closed N] [--seed S]
-//!                [--workload rows|mixed] [--gpus N] [--streams N]
+//!                [--workload rows|mixed] [--tenants N] [--gpus N] [--streams N]
 //!                [--window N] [--check-hazards] [--validate-metrics]
 //!                [--compare-local] [--metrics-out PATH]
 //!                [--report-out PATH] [--shutdown]
@@ -44,6 +44,7 @@ struct Cli {
     closed: Option<u64>,
     seed: u64,
     workload: String,
+    tenants: u32,
     count: u64,
     check_hazards: bool,
     validate_metrics: bool,
@@ -68,6 +69,7 @@ impl Default for Cli {
             closed: None,
             seed: 42,
             workload: "mixed".to_string(),
+            tenants: 1,
             count: 3,
             check_hazards: false,
             validate_metrics: false,
@@ -85,7 +87,8 @@ fn usage() {
         "usage: fft-gate serve [--addr HOST:PORT] [--gpus N] [--streams N] [--queue N] \
          [--window N] [--check-hazards] [--metrics-out PATH] [--port-file PATH]\n\
          \u{20}      fft-gate bench [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS] \
-         [--closed N] [--seed S] [--workload rows|mixed] [--gpus N] [--streams N] [--window N] \
+         [--closed N] [--seed S] [--workload rows|mixed] [--tenants N] [--gpus N] [--streams N] \
+         [--window N] \
          [--check-hazards] [--validate-metrics] [--compare-local] [--metrics-out PATH] \
          [--report-out PATH] [--shutdown]\n\
          \u{20}      fft-gate ping [--addr HOST:PORT] [--count N]"
@@ -125,6 +128,9 @@ pub fn cli_main() -> i32 {
             "--closed" => cli.closed = Some(take!("--closed", |v: &str| v.parse().ok())),
             "--seed" => cli.seed = take!("--seed", |v: &str| v.parse().ok()),
             "--workload" => cli.workload = take!("--workload", |v: &str| Some(v.to_string())),
+            "--tenants" => {
+                cli.tenants = take!("--tenants", |v: &str| v.parse().ok().filter(|&n| n > 0));
+            }
             "--count" => cli.count = take!("--count", |v: &str| v.parse().ok()),
             "--check-hazards" => cli.check_hazards = true,
             "--validate-metrics" => cli.validate_metrics = true,
@@ -271,7 +277,7 @@ fn local_report(cli: &Cli, workload: &Workload) -> Result<String, String> {
 }
 
 fn cmd_bench(cli: &Cli) -> i32 {
-    let workload = match cli.workload.as_str() {
+    let mut workload = match cli.workload.as_str() {
         "rows" => Workload::rows(),
         "mixed" => Workload::mixed(),
         other => {
@@ -279,6 +285,9 @@ fn cmd_bench(cli: &Cli) -> i32 {
             return 2;
         }
     };
+    // Tenant tags ride the v1.2 Submit spec; the server accounts each
+    // tenant under the default (equal-share) policy.
+    workload.tenants = cli.tenants;
     // Without --addr, boot a private gateway on an ephemeral port so the
     // bench is self-contained.
     let (addr, local_server) = match &cli.addr {

@@ -1,4 +1,4 @@
-//! `bifft-wire-v1.1`: the versioned, length-prefixed frame protocol the
+//! `bifft-wire-v1.2`: the versioned, length-prefixed frame protocol the
 //! gateway speaks.
 //!
 //! Every frame is a 5-byte header — one type byte, then the body length as
@@ -9,6 +9,12 @@
 //! travels in `Hello` and is matched exactly: any future breaking change
 //! bumps it to `bifft-wire-v2` and old clients get a typed
 //! [`code::PROTO_MISMATCH`] instead of undefined behaviour.
+//!
+//! The v1.1 → v1.2 minor rev added multi-tenant QoS plumbing: `Submit`
+//! specs carry the numeric `tenant` the request is accounted to (decoders
+//! default a missing field to tenant `0`, so v1.1 captures replay
+//! unchanged), and a tenant over its admission quota gets the typed
+//! [`code::QUOTA_EXCEEDED`] rejection.
 //!
 //! The v1 → v1.1 minor rev added latency-attribution plumbing: `Submit`
 //! carries an optional client-chosen `trace` id, and `SubmitAck` echoes it
@@ -27,10 +33,10 @@
 use crate::json::{self, obj, Value};
 use bifft::plan::Algorithm;
 use fft_math::twiddle::Direction;
-use fft_serve::{Priority, Rejection, SeededSpec, Shape};
+use fft_serve::{Priority, Rejection, SeededSpec, Shape, TenantId};
 
 /// The protocol identifier carried in `Hello`/`HelloAck`.
-pub const PROTO: &str = "bifft-wire-v1.1";
+pub const PROTO: &str = "bifft-wire-v1.2";
 
 /// Largest accepted frame body, bytes. Checked against the header length
 /// before any allocation, so a hostile 4 GiB length prefix costs nothing.
@@ -52,6 +58,9 @@ pub mod code {
     pub const OVERSIZED: u16 = 4;
     /// Admission: a volume the whole fleet has proved unallocatable.
     pub const UNALLOCATABLE: u16 = 5;
+    /// Admission: the tenant is over its token-bucket rate or in-flight
+    /// quota (per-tenant backpressure; retry after the bucket refills).
+    pub const QUOTA_EXCEEDED: u16 = 6;
     /// Protocol: unparseable frame header or body.
     pub const BAD_FRAME: u16 = 100;
     /// Protocol: header length exceeds [`super::MAX_FRAME`].
@@ -78,6 +87,7 @@ pub fn rejection_code(r: &Rejection) -> u16 {
         Rejection::Unsupported(_) => code::UNSUPPORTED,
         Rejection::Oversized { .. } => code::OVERSIZED,
         Rejection::Unallocatable(_) => code::UNALLOCATABLE,
+        Rejection::QuotaExceeded { .. } => code::QUOTA_EXCEEDED,
     }
 }
 
@@ -89,6 +99,7 @@ pub fn rejection_kind(r: &Rejection) -> &'static str {
         Rejection::Unsupported(_) => "unsupported",
         Rejection::Oversized { .. } => "oversized",
         Rejection::Unallocatable(_) => "unallocatable",
+        Rejection::QuotaExceeded { .. } => "quota_exceeded",
     }
 }
 
@@ -609,6 +620,7 @@ fn spec_body(spec: &SeededSpec) -> Value {
             ),
         ),
         ("deadline_s", opt_num(spec.deadline_s)),
+        ("tenant", Value::Int(spec.tenant.0)),
         ("seed", Value::Int(spec.seed)),
     ])
 }
@@ -675,12 +687,16 @@ fn spec_decode(v: &Value) -> Result<SeededSpec, String> {
             return Err(format!("deadline_s = {d} must be positive"));
         }
     }
+    // Absent on v1.1 frames: default to the anonymous tenant so recorded
+    // pre-QoS schedules replay bit-identically.
+    let tenant = TenantId(opt_u64(v, "tenant")?.unwrap_or(0));
     Ok(SeededSpec {
         shape,
         direction,
         algorithm,
         priority,
         deadline_s,
+        tenant,
         seed: need_u64(v, "seed")?,
     })
 }
@@ -753,6 +769,7 @@ mod tests {
             algorithm: Some(Algorithm::FiveStep),
             priority: Priority::High,
             deadline_s: Some(2.5e-3),
+            tenant: TenantId(3),
             seed: 0xdead_beef_cafe_f00d,
         }
     }
@@ -893,6 +910,14 @@ mod tests {
                 Rejection::Unallocatable(FftError::UnsupportedSize { axis: 'y', n: 9 }),
                 code::UNALLOCATABLE,
                 "unallocatable",
+            ),
+            (
+                Rejection::QuotaExceeded {
+                    tenant: fft_serve::TenantId(2),
+                    kind: fft_serve::QuotaKind::Rate,
+                },
+                code::QUOTA_EXCEEDED,
+                "quota_exceeded",
             ),
         ];
         for (r, want_code, want_kind) in cases {

@@ -36,6 +36,7 @@ fn sample_spec(seed: u64) -> SeededSpec {
         algorithm: Some(bifft::plan::Algorithm::FiveStep),
         priority: Priority::High,
         deadline_s: Some(0.25),
+        tenant: fft_serve::TenantId(1),
         seed,
     }
 }
@@ -80,6 +81,7 @@ fn exemplar_frames() -> Vec<Frame> {
                 algorithm: None,
                 priority: Priority::Low,
                 deadline_s: None,
+                tenant: fft_serve::TenantId(0),
                 seed: 7,
             },
         },

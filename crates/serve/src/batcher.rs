@@ -222,6 +222,7 @@ mod tests {
             id: RequestId(id),
             spec: RequestSpec::seeded(Shape::Rows1d { n, rows }, Direction::Forward, id),
             arrival_s: id as f64 * 1e-6,
+            vft: id as f64 * 1e-6,
         });
     }
 
@@ -324,6 +325,7 @@ mod tests {
             )
             .priority(Priority::High),
             arrival_s: 0.0,
+            vft: 0.0,
         });
         push_rows(&mut q, 1, 256, 4);
         let est = Estimator::new();

@@ -1,4 +1,4 @@
-//! `fft-prof` — offline analysis of `bifft-attr-v1` attribution documents.
+//! `fft-prof` — offline analysis of `bifft-attr-v2` attribution documents.
 //!
 //! ```text
 //! cargo run --release -p fft-serve --bin fft-serve -- --smoke --attr-out attr.json

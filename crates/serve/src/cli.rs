@@ -5,6 +5,7 @@
 //! ```text
 //! fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS]
 //!           [--seed S] [--workload rows|mixed] [--closed N]
+//!           [--tenants N] [--preempt]
 //!           [--check-hazards] [--json PATH]
 //!           [--metrics-out PATH] [--metrics-format json|prom]
 //!           [--trace PATH] [--attr-out PATH] [--attr-audit]
@@ -21,11 +22,16 @@
 //! re-reads a previously written JSON metrics file and exits 0 only when
 //! the schema validates AND the recorded SLO verdict is ok — the CI gate
 //! (it also surfaces the run's dropped-lifecycle-stamp counter).
-//! `--attr-out` writes the run's `bifft-attr-v1` attribution document
+//! `--attr-out` writes the run's `bifft-attr-v2` attribution document
 //! (what `fft-prof` analyzes) and `--attr-audit` fails the process when
 //! any completed request's ledger breaks the conservation invariant.
+//! `--tenants N` spreads the workload across `N` tenants with weighted
+//! shares `1..=N` (tenant `i` gets share `i + 1`) so the QoS scheduler has
+//! something to arbitrate, and `--preempt` lets high-priority arrivals
+//! abort a dispatched lower-priority batch at the next stream-safe point.
 
 use crate::loadgen::{run_closed_loop, run_open_loop, Workload};
+use crate::qos::{QosConfig, TenantId, TenantPolicy};
 use crate::service::ServeConfig;
 use crate::telemetry::validate_metrics_json;
 
@@ -37,6 +43,8 @@ struct Cli {
     seed: u64,
     workload: String,
     closed: Option<u64>,
+    tenants: u32,
+    preempt: bool,
     check_hazards: bool,
     json_path: Option<String>,
     metrics_out: Option<String>,
@@ -57,6 +65,8 @@ impl Default for Cli {
             seed: 42,
             workload: "mixed".to_string(),
             closed: None,
+            tenants: 1,
+            preempt: false,
             check_hazards: false,
             json_path: None,
             metrics_out: None,
@@ -72,7 +82,8 @@ impl Default for Cli {
 fn usage() {
     eprintln!(
         "usage: fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS] \
-         [--seed S] [--workload rows|mixed] [--closed N] [--check-hazards] [--json PATH] \
+         [--seed S] [--workload rows|mixed] [--closed N] [--tenants N] [--preempt] \
+         [--check-hazards] [--json PATH] \
          [--metrics-out PATH] [--metrics-format json|prom] [--trace PATH] \
          [--attr-out PATH] [--attr-audit]\n\
          \u{20}      fft-serve --validate-metrics PATH"
@@ -111,6 +122,10 @@ pub fn cli_main() -> i32 {
                 cli.workload = take!("--workload", |v: &str| Some(v.to_string()));
             }
             "--closed" => cli.closed = Some(take!("--closed", |v: &str| v.parse().ok())),
+            "--tenants" => {
+                cli.tenants = take!("--tenants", |v: &str| v.parse().ok().filter(|&n| n > 0));
+            }
+            "--preempt" => cli.preempt = true,
             "--json" => cli.json_path = Some(take!("--json", |v: &str| Some(v.to_string()))),
             "--metrics-out" => {
                 cli.metrics_out = Some(take!("--metrics-out", |v: &str| Some(v.to_string())));
@@ -178,7 +193,7 @@ pub fn cli_main() -> i32 {
         };
     }
 
-    let workload = match cli.workload.as_str() {
+    let mut workload = match cli.workload.as_str() {
         "rows" => Workload::rows(),
         "mixed" => Workload::mixed(),
         other => {
@@ -186,11 +201,28 @@ pub fn cli_main() -> i32 {
             return 2;
         }
     };
+    workload.tenants = cli.tenants;
+    // Weighted shares 1..=N give the fair scheduler distinct entitlements
+    // to arbitrate (equal shares would make WFQ look like FIFO).
+    let mut qos = QosConfig {
+        preemption: cli.preempt,
+        ..QosConfig::default()
+    };
+    for t in 0..u64::from(cli.tenants) {
+        qos.tenants.insert(
+            TenantId(t),
+            TenantPolicy {
+                share: (t + 1) as f64,
+                ..TenantPolicy::default()
+            },
+        );
+    }
     let mut svc = match ServeConfig::builder()
         .gpus(cli.gpus)
         .streams(cli.streams)
         .check_hazards(cli.check_hazards)
         .record_trace(cli.trace_path.is_some())
+        .qos(qos)
         .build_service()
     {
         Ok(s) => s,

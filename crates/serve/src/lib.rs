@@ -16,6 +16,8 @@
 //! - [`service`] — admission control, dispatch routing (stream lanes for
 //!   1-D rows, whole-card volumes, whole-fleet sharded volumes) and
 //!   graceful drain;
+//! - [`qos`] — multi-tenant quotas, weighted-fair queueing state and lane
+//!   preemption policy;
 //! - [`loadgen`] — seeded open-loop (Poisson) and closed-loop generators;
 //! - [`report`] — latency percentiles, goodput, queue/batch statistics,
 //!   per-card utilization, rendered as deterministic JSON;
@@ -35,6 +37,7 @@ pub mod batcher;
 pub mod cli;
 pub mod loadgen;
 pub mod prof;
+pub mod qos;
 pub mod queue;
 pub mod report;
 pub mod request;
@@ -43,6 +46,7 @@ pub mod service;
 pub mod telemetry;
 
 pub use loadgen::{open_loop_schedule, run_closed_loop, run_open_loop, OfferedLoad, Workload};
+pub use qos::{jain_index, QosConfig, QuotaKind, TenantId, TenantPolicy};
 pub use report::{LatencyStats, ServeReport};
 pub use request::{
     Completion, PollStatus, Priority, Rejection, RequestId, RequestSpec, SeededSpec, Shape, Ticket,

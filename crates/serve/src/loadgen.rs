@@ -7,6 +7,7 @@
 //! exact same request sequence and, because the service is deterministic,
 //! produce bit-identical [`crate::report::ServeReport`] JSON.
 
+use crate::qos::TenantId;
 use crate::request::{Priority, RequestSpec, SeededSpec, Shape};
 use crate::service::FftService;
 use fft_math::rng::SplitMix64;
@@ -23,6 +24,11 @@ pub struct Workload {
     pub high_pct: u32,
     /// Deadline attached to every request, seconds (`None` = best effort).
     pub deadline_s: Option<f64>,
+    /// Tenants the generator spreads requests across (uniformly). `1`
+    /// leaves every request on the default tenant *and* draws nothing
+    /// extra from the rng, so single-tenant schedules predating QoS
+    /// replay bit-identically.
+    pub tenants: u32,
 }
 
 impl Workload {
@@ -39,6 +45,7 @@ impl Workload {
             inverse_pct: 25,
             high_pct: 10,
             deadline_s: None,
+            tenants: 1,
         }
     }
 
@@ -83,12 +90,18 @@ impl Workload {
         } else {
             Priority::Normal
         };
+        let tenant = if self.tenants > 1 {
+            TenantId(rng.below(self.tenants as usize) as u64)
+        } else {
+            TenantId(0)
+        };
         SeededSpec {
             shape,
             direction: dir,
             algorithm: None,
             priority: prio,
             deadline_s: self.deadline_s,
+            tenant,
             seed: rng.next_u64(),
         }
     }
@@ -221,6 +234,26 @@ mod tests {
             assert_eq!(sa.direction, sb.direction);
             assert_eq!(sa.priority, sb.priority);
             assert_eq!(sa.payload, sb.payload);
+        }
+    }
+
+    #[test]
+    fn multi_tenant_draws_spread_across_tenants() {
+        let mut w = Workload::rows();
+        w.tenants = 3;
+        let mut rng = SplitMix64::new(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..50 {
+            let t = w.draw_template(&mut rng).tenant;
+            assert!(t.0 < 3);
+            seen.insert(t.0);
+        }
+        assert!(seen.len() >= 2, "50 draws hit more than one tenant");
+        // tenants = 1 tags everything with the default tenant.
+        let single = Workload::rows();
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10 {
+            assert_eq!(single.draw_template(&mut rng).tenant, TenantId(0));
         }
     }
 

@@ -1,4 +1,4 @@
-//! The `fft-prof` binary: offline forensics over `bifft-attr-v1`
+//! The `fft-prof` binary: offline forensics over `bifft-attr-v2`
 //! attribution documents ([`crate::telemetry::attribution`]).
 //!
 //! ```text

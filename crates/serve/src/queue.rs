@@ -2,11 +2,18 @@
 //!
 //! Admission control lives in the service (it needs the backlog estimator);
 //! the queue itself enforces the capacity bound, keeps arrivals in
-//! (priority, arrival, id) dispatch order, and tracks the depth statistics
-//! the [`crate::report::ServeReport`] publishes.
+//! (priority, virtual finish time, arrival, id) dispatch order, and tracks
+//! the depth statistics the [`crate::report::ServeReport`] publishes.
+//!
+//! The virtual finish time is the weighted-fair-queueing rank the service
+//! assigns at admission (see [`crate::qos`]): within a priority class,
+//! backlogged tenants drain in proportion to their shares. With one tenant
+//! the vft is strictly increasing in admission order, so the order
+//! degenerates to the historical (priority, arrival, id).
 
 use crate::request::{RequestId, RequestSpec};
 use crate::telemetry::{LifecycleLog, Stage};
+use std::cmp::Ordering;
 
 /// One admitted request waiting for dispatch.
 #[derive(Clone, Debug)]
@@ -17,6 +24,23 @@ pub struct Pending {
     pub spec: RequestSpec,
     /// Simulated arrival time, seconds.
     pub arrival_s: f64,
+    /// Weighted-fair-queueing virtual finish time, assigned once at
+    /// admission and kept across preemption requeues.
+    pub vft: f64,
+}
+
+/// Dispatch order: priority class first, then WFQ virtual finish time,
+/// then arrival, then id. Floats compare via [`f64::total_cmp`] — bit
+/// patterns like `-0.0` and negative arrivals (possible once preemption
+/// requeues relative to virtual time) order totally instead of by their
+/// sign-magnitude bit representation.
+fn rank(a: &Pending, b: &Pending) -> Ordering {
+    a.spec
+        .priority
+        .cmp(&b.spec.priority)
+        .then_with(|| a.vft.total_cmp(&b.vft))
+        .then_with(|| a.arrival_s.total_cmp(&b.arrival_s))
+        .then_with(|| a.id.cmp(&b.id))
 }
 
 /// A bounded FIFO-per-priority queue of admitted requests.
@@ -83,11 +107,24 @@ impl SubmitQueue {
     /// When the queue is already at capacity.
     pub fn push(&mut self, p: Pending) {
         assert!(self.has_room(), "push past capacity — admission bug");
-        // Insertion sort keeps (priority, arrival, id) order; arrivals come
-        // in time order so this is an append except when priorities differ.
-        let rank = |e: &Pending| (e.spec.priority, e.arrival_s.to_bits(), e.id);
-        let key = rank(&p);
-        let at = self.entries.partition_point(|e| rank(e) <= key);
+        self.insert_ranked(p);
+    }
+
+    /// Re-enqueues a preemption victim. Capacity-exempt: the victim held a
+    /// queue slot once and its lane was taken back by the service, so
+    /// bouncing it on a full queue would silently drop admitted work. Keeps
+    /// the original vft/arrival, so the victim resumes at its old rank.
+    pub fn requeue(&mut self, p: Pending) {
+        self.insert_ranked(p);
+    }
+
+    // Insertion sort keeps (priority, vft, arrival, id) order; vfts are
+    // assigned in admission order so this is an append except when
+    // priorities differ or a preemption victim comes back.
+    fn insert_ranked(&mut self, p: Pending) {
+        let at = self
+            .entries
+            .partition_point(|e| rank(e, &p) != Ordering::Greater);
         self.entries.insert(at, p);
         self.max_depth = self.max_depth.max(self.entries.len());
     }
@@ -142,6 +179,7 @@ mod tests {
             spec: RequestSpec::seeded(Shape::Rows1d { n: 64, rows: 1 }, Direction::Forward, id)
                 .priority(prio),
             arrival_s: arrival,
+            vft: arrival,
         }
     }
 
@@ -190,5 +228,75 @@ mod tests {
         let mut q = SubmitQueue::new(1);
         q.push(pending(1, 0.0, Priority::Normal));
         q.push(pending(2, 0.0, Priority::Normal));
+    }
+
+    #[test]
+    fn requeue_is_capacity_exempt_and_rank_preserving() {
+        let mut q = SubmitQueue::new(2);
+        q.push(pending(5, 1.0, Priority::Normal));
+        q.push(pending(6, 2.0, Priority::Normal));
+        assert!(!q.has_room());
+        // A preemption victim admitted before both comes back at the head.
+        q.requeue(pending(4, 0.5, Priority::Normal));
+        assert_eq!(q.depth(), 3);
+        let order: Vec<u64> = q.iter().map(|p| p.id.0).collect();
+        assert_eq!(order, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn total_cmp_orders_negative_and_negative_zero_arrivals() {
+        // The old rank used arrival_s.to_bits(): sign-magnitude bits order
+        // -0.0 and every negative float AFTER all positives. total_cmp
+        // orders them numerically.
+        let mut q = SubmitQueue::new(8);
+        q.push(pending(1, 0.0, Priority::Normal));
+        q.push(pending(2, -1.5, Priority::Normal));
+        q.push(pending(3, -0.0, Priority::Normal));
+        q.push(pending(4, 2.0, Priority::Normal));
+        let order: Vec<u64> = q.iter().map(|p| p.id.0).collect();
+        // -1.5 < -0.0 < 0.0 < 2.0 (and vft mirrors arrival here).
+        assert_eq!(order, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn rank_matches_a_reference_sort_over_seeded_arrivals() {
+        // Property test: pushes in pseudo-random order always land in the
+        // exact order a reference comparator sort produces, including
+        // negative, negative-zero and duplicate arrival/vft values.
+        use fft_math::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x00c0_ffee_0000_0001);
+        for round in 0..50 {
+            let n = 2 + (rng.next_u64() % 14) as usize;
+            let mut entries: Vec<Pending> = (0..n as u64)
+                .map(|id| {
+                    let prio = match rng.next_u64() % 3 {
+                        0 => Priority::High,
+                        1 => Priority::Normal,
+                        _ => Priority::Low,
+                    };
+                    // Arrivals drawn from a small grid so ties are common;
+                    // shifted negative so sign handling is exercised.
+                    let grid = (rng.next_u64() % 7) as f64;
+                    let arrival = if grid == 3.0 { -0.0 } else { grid - 3.0 };
+                    let mut p = pending(id, arrival, prio);
+                    p.vft = ((rng.next_u64() % 5) as f64) - 2.0;
+                    p
+                })
+                .collect();
+            let mut expect = entries.clone();
+            expect.sort_by(rank);
+            let expect_ids: Vec<u64> = expect.iter().map(|p| p.id.0).collect();
+            // Push in a seeded shuffle of admission order.
+            for i in (1..entries.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                entries.swap(i, j);
+            }
+            let mut q = SubmitQueue::new(n);
+            for p in entries {
+                q.push(p);
+            }
+            let got: Vec<u64> = q.iter().map(|p| p.id.0).collect();
+            assert_eq!(got, expect_ids, "round {round} diverged");
+        }
     }
 }

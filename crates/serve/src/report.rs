@@ -11,6 +11,32 @@ use crate::telemetry::{export::render_slo_json, BudgetLine, SloReport};
 use fft_math::stats;
 use std::collections::BTreeMap;
 
+/// Per-tenant accounting the report's tenancy section publishes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantReport {
+    /// The tenant id.
+    pub tenant: u64,
+    /// Configured weighted-fair-queueing share.
+    pub share: f64,
+    /// Submissions attributed to the tenant (admitted + rejected).
+    pub submitted: u64,
+    /// Submissions that entered the queue.
+    pub admitted: u64,
+    /// Submissions bounced by the tenant's quota.
+    pub rejected_quota: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// In-deadline payload bytes both directions (goodput numerator).
+    pub good_bytes: u64,
+    /// Nearest-rank p95 completion latency, seconds.
+    pub p95_s: f64,
+    /// Whether the tenant's p95 met the service SLO latency target
+    /// (vacuously true when no SLO is configured or nothing completed).
+    pub p95_ok: bool,
+    /// Device seconds wasted by preemptions charged to this tenant.
+    pub preempted_s: f64,
+}
+
 /// Nearest-rank latency percentiles over a completion set, seconds.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencyStats {
@@ -86,11 +112,17 @@ pub struct ServeReport {
     /// Requests rejected because a previous attempt proved the fleet cannot
     /// allocate the volume.
     pub rejected_unallocatable: u64,
+    /// Requests rejected because their tenant was over quota.
+    pub rejected_quota: u64,
     /// Admitted requests that failed at dispatch (volumes even the whole
     /// fleet could not allocate).
     pub failed: u64,
     /// Completions that missed their deadline.
     pub timeouts: u64,
+    /// Dispatched batches aborted at a stream-safe point and requeued.
+    pub preemptions: u64,
+    /// Device seconds those aborted dispatch windows wasted.
+    pub preempted_s: f64,
     /// First arrival to last completion, simulated seconds.
     pub makespan_s: f64,
     /// Latency percentiles over all completions.
@@ -114,6 +146,12 @@ pub struct ServeReport {
     /// completed request, one line per ledger category
     /// ([`crate::telemetry::attribution`]); empty when nothing completed.
     pub budget: Vec<BudgetLine>,
+    /// Per-tenant accounting, tenant-id order. A single-tenant run lists
+    /// just the default tenant.
+    pub tenants: Vec<TenantReport>,
+    /// Jain's fairness index over share-weighted tenant goodput (`1.0`
+    /// with at most one active tenant).
+    pub fairness_index: f64,
 }
 
 impl ServeReport {
@@ -193,8 +231,11 @@ impl ServeReport {
             "  \"rejected_unallocatable\": {},\n",
             self.rejected_unallocatable
         ));
+        s.push_str(&format!("  \"rejected_quota\": {},\n", self.rejected_quota));
         s.push_str(&format!("  \"failed\": {},\n", self.failed));
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
+        s.push_str(&format!("  \"preemptions\": {},\n", self.preemptions));
+        s.push_str(&format!("  \"preempted_s\": {},\n", self.preempted_s));
         s.push_str(&format!("  \"makespan_s\": {},\n", self.makespan_s));
         s.push_str(&format!("  \"p50_ms\": {},\n", self.latency.p50_s * 1e3));
         s.push_str(&format!("  \"p95_ms\": {},\n", self.latency.p95_s * 1e3));
@@ -249,6 +290,25 @@ impl ServeReport {
             ));
         }
         s.push_str("  ],\n");
+        s.push_str(&format!("  \"fairness_index\": {},\n", self.fairness_index));
+        s.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"tenant\": {}, \"share\": {}, \"submitted\": {}, \"admitted\": {}, \"rejected_quota\": {}, \"completed\": {}, \"good_bytes\": {}, \"p95_ms\": {}, \"p95_ok\": {}, \"preempted_s\": {}}}{}\n",
+                t.tenant,
+                t.share,
+                t.submitted,
+                t.admitted,
+                t.rejected_quota,
+                t.completed,
+                t.good_bytes,
+                t.p95_s * 1e3,
+                t.p95_ok,
+                t.preempted_s,
+                if i + 1 < self.tenants.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n");
         s.push_str("  \"slo\": ");
         s.push_str(&render_slo_json(&self.slo, "  "));
         s.push_str("\n}\n");
@@ -263,12 +323,13 @@ impl ServeReport {
             self.submitted, self.admitted, self.completed, self.timeouts, self.failed
         ));
         s.push_str(&format!(
-            "rejected: {} queue-full, {} deadline, {} unsupported, {} oversized, {} unallocatable\n",
+            "rejected: {} queue-full, {} deadline, {} unsupported, {} oversized, {} unallocatable, {} quota\n",
             self.rejected_queue_full,
             self.rejected_deadline,
             self.rejected_unsupported,
             self.rejected_oversized,
-            self.rejected_unallocatable
+            self.rejected_unallocatable,
+            self.rejected_quota
         ));
         s.push_str(&format!(
             "latency:  p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms | mean {:.3} ms\n",
@@ -309,6 +370,32 @@ impl ServeReport {
                     b.mean_s * 1e3,
                     b.p95_s * 1e3,
                     b.share * 100.0
+                ));
+            }
+        }
+        if self.preemptions > 0 {
+            s.push_str(&format!(
+                "preempt:  {} lane preemptions | {:.3} ms wasted\n",
+                self.preemptions,
+                self.preempted_s * 1e3
+            ));
+        }
+        if self.tenants.len() > 1 {
+            s.push_str(&format!(
+                "tenants:  {} active | fairness index {:.3}\n",
+                self.tenants.len(),
+                self.fairness_index
+            ));
+            for t in &self.tenants {
+                s.push_str(&format!(
+                    "          tenant{} share {:.1}: {}/{} done | {} quota-rej | p95 {:.3} ms{}\n",
+                    t.tenant,
+                    t.share,
+                    t.completed,
+                    t.submitted,
+                    t.rejected_quota,
+                    t.p95_s * 1e3,
+                    if t.p95_ok { "" } else { " (over SLO)" }
                 ));
             }
         }
@@ -415,6 +502,10 @@ mod tests {
         assert!(a.contains("\"batch_histogram\": {\"1\": 7, \"4\": 2}"));
         assert!(a.contains("\"cards\": ["));
         assert!(a.contains("\"rejected_oversized\": 0"));
+        assert!(a.contains("\"rejected_quota\": 0"));
+        assert!(a.contains("\"preemptions\": 0"));
+        assert!(a.contains("\"fairness_index\": 0"));
+        assert!(a.contains("\"tenants\": ["));
         assert!(a.contains("\"slo\": {"));
     }
 

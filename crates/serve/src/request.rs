@@ -5,6 +5,7 @@
 //! and carries its payload. The service assigns the [`RequestId`] at
 //! submission; everything else is caller-provided.
 
+use crate::qos::{QuotaKind, TenantId};
 use bifft::plan::{Algorithm, FftError};
 use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
@@ -164,6 +165,9 @@ pub struct RequestSpec {
     /// Admission sheds requests whose estimated completion would bust it;
     /// completions past it count as timeouts and are excluded from goodput.
     pub deadline_s: Option<f64>,
+    /// The tenant this request is billed to: its quota bucket, fair-share
+    /// weight and preemption accounting (default tenant 0).
+    pub tenant: TenantId,
     /// The data to transform (`shape.elems()` complex values).
     pub payload: Vec<Complex32>,
 }
@@ -182,6 +186,7 @@ impl RequestSpec {
             algorithm: None,
             priority: Priority::Normal,
             deadline_s: None,
+            tenant: TenantId::default(),
             payload,
         }
     }
@@ -201,6 +206,12 @@ impl RequestSpec {
     /// Sets the algorithm hint (builder style; volumes only).
     pub fn algorithm(mut self, a: Algorithm) -> Self {
         self.algorithm = Some(a);
+        self
+    }
+
+    /// Sets the tenant the request is billed to (builder style).
+    pub fn tenant(mut self, t: TenantId) -> Self {
+        self.tenant = t;
         self
     }
 }
@@ -225,6 +236,8 @@ pub struct SeededSpec {
     pub priority: Priority,
     /// Latency budget, simulated seconds from arrival.
     pub deadline_s: Option<f64>,
+    /// The tenant the request is billed to.
+    pub tenant: TenantId,
     /// The payload seed ([`RequestSpec::seeded`] reproduces the samples).
     pub seed: u64,
 }
@@ -236,6 +249,7 @@ impl SeededSpec {
         spec.priority = self.priority;
         spec.deadline_s = self.deadline_s;
         spec.algorithm = self.algorithm;
+        spec.tenant = self.tenant;
         spec
     }
 }
@@ -268,6 +282,14 @@ pub enum Rejection {
     /// A volume that not even the whole fleet could allocate — known from a
     /// previous sharded attempt on the same shape.
     Unallocatable(FftError),
+    /// The tenant is over its admission quota (token-bucket rate or
+    /// in-flight cap) — per-tenant backpressure, not global.
+    QuotaExceeded {
+        /// The tenant whose quota bounced the request.
+        tenant: TenantId,
+        /// Which quota was exhausted.
+        kind: QuotaKind,
+    },
 }
 
 impl std::fmt::Display for Rejection {
@@ -292,6 +314,9 @@ impl std::fmt::Display for Rejection {
             ),
             Rejection::Unallocatable(e) => {
                 write!(f, "fleet cannot allocate this volume: {e}")
+            }
+            Rejection::QuotaExceeded { tenant, kind } => {
+                write!(f, "{tenant} over its {kind} quota")
             }
         }
     }
@@ -368,6 +393,7 @@ mod tests {
             algorithm: None,
             priority: Priority::High,
             deadline_s: Some(0.5),
+            tenant: TenantId(3),
             seed: 99,
         };
         let a = t.materialize();
@@ -379,6 +405,7 @@ mod tests {
         );
         assert_eq!(a.priority, Priority::High);
         assert_eq!(a.deadline_s, Some(0.5));
+        assert_eq!(a.tenant, TenantId(3));
     }
 
     #[test]

@@ -154,6 +154,7 @@ pub struct Card {
     pub gpu: Gpu,
     cache: PlanCache,
     lanes: Vec<Lane>,
+    slot_elems: usize,
     recorder: Option<Rc<RefCell<Recorder>>>,
 }
 
@@ -189,6 +190,7 @@ impl Card {
             gpu,
             cache: PlanCache::default(),
             lanes,
+            slot_elems,
             recorder: None,
         })
     }
@@ -242,6 +244,50 @@ impl Card {
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> PlanCacheStats {
         self.cache.stats
+    }
+
+    /// Whether this card already memoised the 1-D rows plan for length
+    /// `n` — placement uses this to prefer a warm card over a cold one.
+    pub fn has_rows_plan(&self, n: usize) -> bool {
+        self.cache.one_d.contains_key(&n)
+    }
+
+    /// Aborts the batch occupying lane `lane_idx` at `safe_s`, the next
+    /// stream-safe point (an H2D or kernel phase boundary the dispatch
+    /// already recorded). The lane frees at `safe_s` and gets a **fresh
+    /// stream and staging pair**: the aborted dispatch's remaining
+    /// transfers are still modeled on the old stream/buffers, so reusing
+    /// either would race them. The old buffers stay allocated for the same
+    /// reason — preemption trades a staging slot of device memory for the
+    /// reclaimed lane time.
+    ///
+    /// # Errors
+    /// [`FftError::Alloc`] when the card cannot stage a fresh buffer pair;
+    /// the lane is left untouched and the caller must skip the preemption.
+    ///
+    /// # Panics
+    /// When the lane is synchronous (no stream): there is no safe point to
+    /// abort at on the blocking timeline, and the service never tries.
+    pub fn preempt_lane(&mut self, lane_idx: usize, safe_s: f64) -> Result<(), FftError> {
+        assert!(
+            self.lanes[lane_idx].stream.is_some(),
+            "preempting a synchronous lane"
+        );
+        let src = self.gpu.mem_mut().alloc(self.slot_elems)?;
+        let dst = match self.gpu.mem_mut().alloc(self.slot_elems) {
+            Ok(b) => b,
+            Err(e) => {
+                self.gpu.mem_mut().free(src);
+                return Err(e.into());
+            }
+        };
+        let stream = self.gpu.stream_create();
+        let lane = &mut self.lanes[lane_idx];
+        lane.stream = Some(stream);
+        lane.src = src;
+        lane.dst = dst;
+        lane.busy_until_s = safe_s;
+        Ok(())
     }
 
     /// Compute utilization over `makespan_s` (engine-busy seconds over

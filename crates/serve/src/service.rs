@@ -10,22 +10,32 @@
 //! same request sequence produces bit-identical [`ServeReport`]s.
 //!
 //! Routing rules:
-//! - 1-D row batches go to the least-loaded card with a free stream lane
-//!   (overlapped H2D/compute/D2H via the PR 2 engine model);
+//! - 1-D row batches go to the card with the shortest expected completion
+//!   (EWMA service-time estimate plus a cold-plan penalty) among cards with
+//!   a free stream lane (overlapped H2D/compute/D2H via the PR 2 engine
+//!   model);
 //! - volumes that fit one card run on its synchronous timeline, occupying
 //!   every lane (a volume plan owns card-wide buffers);
 //! - volumes that do not fit any card route to the PR 2 multi-GPU sharder
 //!   and occupy the whole fleet.
+//!
+//! Multi-tenant QoS ([`crate::qos`]): admission enforces per-tenant token
+//! buckets and in-flight caps, dispatch order within a priority class is
+//! weighted-fair over configured shares, and (when enabled) a dispatched
+//! low-priority rows batch is aborted at its next stream-safe point when a
+//! higher-priority arrival needs the lane, requeued, and the wasted device
+//! time charged to its tenant.
 
 use crate::batcher::{
     form_batch, key_of, key_of_spec, rank_algo, Batch, BatchKey, BatchLimits, Estimator,
 };
+use crate::qos::{QosBook, QosConfig};
 use crate::queue::{Pending, SubmitQueue};
-use crate::report::{CardReport, LatencyStats, ServeReport};
+use crate::report::{CardReport, LatencyStats, ServeReport, TenantReport};
 use crate::request::{
     Completion, PollStatus, Rejection, RequestId, RequestSpec, Shape, ShapeKey, Ticket,
 };
-use crate::scheduler::Card;
+use crate::scheduler::{Card, RowsOutcome};
 use crate::telemetry::{self, names, slo, SloPolicy, SloReport, Stage, Telemetry};
 use bifft::multi_gpu::MultiGpuFft3d;
 use bifft::plan::{Algorithm, FftError};
@@ -67,6 +77,10 @@ pub struct ServeConfig {
     /// Record per-card sim-prof traces for the merged Chrome export
     /// ([`FftService::chrome_trace`]).
     pub record_trace: bool,
+    /// Multi-tenant QoS: per-tenant shares, admission quotas and the lane
+    /// preemption switch. The default config (one unlimited tenant, no
+    /// preemption) reproduces single-tenant behaviour exactly.
+    pub qos: QosConfig,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +99,7 @@ impl Default for ServeConfig {
             tick_s: 1e-3,
             slo: SloPolicy::default(),
             record_trace: false,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -139,6 +154,13 @@ impl ServeConfig {
                 param: "tick_s",
                 value: 0,
                 reason: "the telemetry tick must be a positive duration".to_string(),
+            });
+        }
+        if let Err(reason) = self.qos.validate() {
+            return Err(FftError::BadPlanConfig {
+                param: "qos",
+                value: 0,
+                reason,
             });
         }
         Ok(())
@@ -233,6 +255,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the multi-tenant QoS config (shares, quotas, preemption).
+    pub fn qos(mut self, qos: QosConfig) -> Self {
+        self.cfg.qos = qos;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -250,6 +278,32 @@ impl ServeConfigBuilder {
     pub fn build_service(self) -> Result<FftService, FftError> {
         FftService::new(self.build()?)
     }
+}
+
+/// Expected extra service time of a dispatch whose card has not memoised
+/// the 1-D plan yet (placement's cold-plan penalty; roughly a plan build
+/// on the simulated card).
+const COLD_PLAN_PENALTY_S: f64 = 50e-6;
+
+/// One dispatched-but-uncommitted rows batch. The device-side work was
+/// already modeled at dispatch (the outcome's phase times are fixed), but
+/// the lifecycle stamps and completion records are deferred to the batch's
+/// completion instant — so a preemption can abort the batch at a
+/// stream-safe point and requeue its members with their waterfalls still
+/// open.
+struct InFlight {
+    /// Dispatch sequence number (commit tie-break at equal completions).
+    seq: u64,
+    /// Card the batch runs on.
+    ci: usize,
+    /// Lane the batch runs on.
+    li: usize,
+    /// When the batch was dispatched, simulated seconds.
+    dispatched_s: f64,
+    /// The engine model's phase times and outputs.
+    outcome: RowsOutcome,
+    /// Member requests, batch order.
+    members: Vec<Pending>,
 }
 
 /// The FFT-as-a-service front end over a fleet of simulated cards.
@@ -281,6 +335,19 @@ pub struct FftService {
     rejected_unsupported: u64,
     rejected_oversized: u64,
     rejected_unallocatable: u64,
+    rejected_quota: u64,
+    /// Per-tenant quota buckets, WFQ virtual time and run statistics.
+    qos: QosBook,
+    /// Dispatched rows batches whose completion instant has not been
+    /// reached yet (commit happens in [`FftService::advance_to`]).
+    in_flight: Vec<InFlight>,
+    dispatch_seq: u64,
+    preemptions: u64,
+    preempted_wasted_s: f64,
+    /// Safe point of the most recent preemption; until the clock reaches
+    /// it the service won't preempt again (no cascades while the freed
+    /// lane is still in its abort window).
+    preempt_reserved_s: Option<f64>,
     telemetry: Telemetry,
     /// In-deadline payload bytes, both directions (the goodput numerator).
     good_bytes: u64,
@@ -321,8 +388,10 @@ impl FftService {
         let queue = SubmitQueue::new(cfg.queue_capacity);
         let n = cfg.n_gpus;
         let telemetry = Telemetry::new(cfg.tick_s);
+        let qos = QosBook::new(cfg.qos.clone());
         Ok(FftService {
             telemetry,
+            qos,
             cfg,
             cards,
             queue,
@@ -346,6 +415,12 @@ impl FftService {
             rejected_unsupported: 0,
             rejected_oversized: 0,
             rejected_unallocatable: 0,
+            rejected_quota: 0,
+            in_flight: Vec::new(),
+            dispatch_seq: 0,
+            preemptions: 0,
+            preempted_wasted_s: 0.0,
+            preempt_reserved_s: None,
             good_bytes: 0,
             first_arrival_s: f64::INFINITY,
             last_completion_s: 0.0,
@@ -372,7 +447,9 @@ impl FftService {
         self.refresh_gauges();
     }
 
-    /// Completions recorded so far, in dispatch order.
+    /// Completions recorded so far, in record order: rows batches commit
+    /// at their completion instant, whole-card volume dispatches at their
+    /// dispatch instant.
     pub fn completions(&self) -> &[Completion] {
         &self.completions
     }
@@ -390,10 +467,12 @@ impl FftService {
     /// as [`Rejection::Oversized`], volumes a previous attempt proved
     /// unallocatable as [`Rejection::Unallocatable`], a full queue as
     /// [`Rejection::QueueFull`] (backpressure — the caller decides whether
-    /// to retry later), and a deadline the backlog estimator says cannot be
+    /// to retry later), a deadline the backlog estimator says cannot be
     /// met as [`Rejection::DeadlineInfeasible`] (shedding work that would
-    /// only be thrown away). Admitted requests dispatch eagerly onto any
-    /// lane free at `at_s`.
+    /// only be thrown away), and a tenant over its token-bucket rate or
+    /// in-flight quota as [`Rejection::QuotaExceeded`]. Admitted requests
+    /// get a weighted-fair virtual finish time and dispatch eagerly onto
+    /// any lane free at `at_s`.
     ///
     /// Admission hands back a [`Ticket`] — the id it carries doubles as the
     /// wire correlation id, and [`FftService::poll`] resolves it to the
@@ -410,6 +489,7 @@ impl FftService {
         // arrival, id) and therefore dispatch behaviour are unchanged.
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        self.qos.note_submitted(spec.tenant);
         self.telemetry.registry.inc(names::SUBMITTED);
         self.telemetry
             .lifecycle
@@ -478,11 +558,26 @@ impl FftService {
                 ));
             }
         }
+        // Quota is checked last: a submission bounced for any other reason
+        // must not consume the tenant's tokens or an in-flight slot.
+        if let Err(kind) = self.qos.admit(spec.tenant, self.now_s) {
+            return Err(self.reject(
+                id,
+                Rejection::QuotaExceeded {
+                    tenant: spec.tenant,
+                    kind,
+                },
+            ));
+        }
+        let vft = self
+            .qos
+            .assign_vft(spec.tenant, self.now_s, spec.shape.elems() as f64);
         self.queue.push_traced(
             Pending {
                 id,
                 spec,
                 arrival_s: self.now_s,
+                vft,
             },
             &mut self.telemetry.lifecycle,
         );
@@ -549,6 +644,10 @@ impl FftService {
                 self.rejected_unallocatable += 1;
                 ("unallocatable", names::REJECTED_UNALLOCATABLE)
             }
+            Rejection::QuotaExceeded { .. } => {
+                self.rejected_quota += 1;
+                ("quota", names::REJECTED_QUOTA)
+            }
         };
         self.telemetry.registry.inc(counter);
         self.telemetry
@@ -557,15 +656,74 @@ impl FftService {
         r
     }
 
-    /// Moves the service clock to `t_s`, sampling every telemetry tick
-    /// boundary crossed with the pre-advance registry state (discrete-event
-    /// semantics: a sample at tick `t` reflects the last event before `t`).
+    /// Moves the service clock to `t_s`, committing every in-flight rows
+    /// batch whose completion instant falls inside the move (in
+    /// `(completion, dispatch-seq)` order) and sampling every telemetry
+    /// tick boundary crossed with the pre-advance registry state
+    /// (discrete-event semantics: a sample at tick `t` reflects the last
+    /// event before `t`).
     fn advance_to(&mut self, t_s: f64) {
+        loop {
+            let next = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.outcome.completion_s <= t_s)
+                .min_by(|(_, a), (_, b)| {
+                    a.outcome
+                        .completion_s
+                        .total_cmp(&b.outcome.completion_s)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            let at = self.in_flight[i].outcome.completion_s;
+            if at > self.now_s {
+                self.telemetry
+                    .timeline
+                    .advance(at, &self.telemetry.registry);
+                self.now_s = at;
+            }
+            self.commit_in_flight(i);
+        }
         if t_s > self.now_s {
             self.telemetry
                 .timeline
                 .advance(t_s, &self.telemetry.registry);
             self.now_s = t_s;
+        }
+        // A preemption reservation expires once the clock reaches its safe
+        // point: the freed lane is genuinely free from here on.
+        if self.preempt_reserved_s.is_some_and(|s| self.now_s >= s) {
+            self.preempt_reserved_s = None;
+        }
+    }
+
+    /// Commits one in-flight rows batch: stamps the dispatch/phase
+    /// waterfall for every member, cross-links the span, and records the
+    /// completions.
+    fn commit_in_flight(&mut self, idx: usize) {
+        let InFlight {
+            ci,
+            dispatched_s,
+            outcome,
+            members,
+            ..
+        } = self.in_flight.remove(idx);
+        let size = members.len();
+        for p in &members {
+            let log = &mut self.telemetry.lifecycle;
+            log.record(p.id, Stage::Dispatched, dispatched_s);
+            log.record(p.id, Stage::H2d, outcome.h2d_done_s);
+            log.record(p.id, Stage::Compute, outcome.compute_done_s);
+            log.record(p.id, Stage::D2h, outcome.completion_s);
+            log.annotate(p.id, &outcome.span, Some(ci));
+            log.annotate_phases(p.id, outcome.plan_ready_s, outcome.h2d_start_s);
+        }
+        let mut outputs = outcome.outputs;
+        for (i, p) in members.iter().enumerate() {
+            let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
+            self.record(p, outcome.completion_s, Some(ci), size, out);
         }
     }
 
@@ -591,17 +749,47 @@ impl FftService {
             };
             match key.shape {
                 ShapeKey::Rows1d { n } => {
-                    // Least-loaded card (latest lane-free horizon, then
-                    // index) among those with a lane free right now.
+                    // Shortest expected completion among cards with a lane
+                    // free right now: every candidate could start at `now`,
+                    // so the discriminator is the EWMA service estimate
+                    // plus a cold-plan penalty for cards that have not
+                    // memoised this length; ties break on the earliest
+                    // lane-free horizon, then index. (The old comparator
+                    // minimised `all_free_s()` — the *latest* lane-free
+                    // horizon — which systematically preferred idle cold
+                    // cards over warm ones.)
+                    let head_elems = self
+                        .queue
+                        .iter()
+                        .find(|p| key_of(p, self.cfg.default_algorithm) == key)
+                        .map_or(0, |p| p.spec.shape.elems());
+                    let est = self.estimator.estimate_s(key, head_elems);
+                    let expected_done = |ci: usize| {
+                        let plan_s = if self.cards[ci].has_rows_plan(n) {
+                            0.0
+                        } else {
+                            COLD_PLAN_PENALTY_S
+                        };
+                        self.now_s + plan_s + est
+                    };
                     let cand = (0..self.cards.len())
                         .filter_map(|i| self.cards[i].free_lane_at(self.now_s).map(|l| (i, l)))
                         .min_by(|&(a, _), &(b, _)| {
-                            self.cards[a]
-                                .all_free_s()
-                                .total_cmp(&self.cards[b].all_free_s())
+                            expected_done(a)
+                                .total_cmp(&expected_done(b))
+                                .then(
+                                    self.cards[a]
+                                        .earliest_free_s()
+                                        .total_cmp(&self.cards[b].earliest_free_s()),
+                                )
                                 .then(a.cmp(&b))
                         });
                     let Some((ci, li)) = cand else {
+                        if self.try_preempt_for(&key) {
+                            // The freed lane may already be usable (the
+                            // safe point can coincide with `now`).
+                            continue;
+                        }
                         skip.push(key);
                         continue;
                     };
@@ -654,6 +842,94 @@ impl FftService {
             .observe(names::BATCH_SIZE_HIST, size as f64);
     }
 
+    /// Attempts to free a stream lane for the blocked head of `key` by
+    /// aborting a strictly lower-priority in-flight rows batch at its next
+    /// stream-safe point (an H2D or kernel boundary the dispatch already
+    /// recorded). The victim's members are requeued with their original
+    /// stamps and virtual finish times, and the wasted lane-hold time
+    /// (dispatch to safe point) is charged to each member's tenant and
+    /// waterfall. Returns whether a preemption happened.
+    fn try_preempt_for(&mut self, key: &BatchKey) -> bool {
+        if !self.cfg.qos.preemption || self.cfg.streams_per_card == 0 {
+            return false;
+        }
+        if let Some(t) = self.preempt_reserved_s {
+            if self.now_s < t {
+                return false;
+            }
+            self.preempt_reserved_s = None;
+        }
+        let Some(head_priority) = self
+            .queue
+            .iter()
+            .filter(|p| key_of(p, self.cfg.default_algorithm) == *key)
+            .map(|p| p.spec.priority)
+            .min()
+        else {
+            return false;
+        };
+        let fleet_free_s = self.earliest_free_s();
+        // Victim: among in-flight batches whose most important member is
+        // still strictly below the blocked head and whose next safe point
+        // beats simply waiting for the fleet, abort the least important
+        // one, then the one with the most lane time left, then the latest
+        // dispatch.
+        let mut best: Option<(usize, crate::request::Priority, f64, f64, u64)> = None;
+        for (idx, f) in self.in_flight.iter().enumerate() {
+            let batch_priority = f
+                .members
+                .iter()
+                .map(|p| p.spec.priority)
+                .min()
+                .expect("batches are nonempty");
+            if batch_priority <= head_priority {
+                continue;
+            }
+            let safe_s = [f.outcome.h2d_done_s, f.outcome.compute_done_s]
+                .into_iter()
+                .find(|&t| t >= self.now_s && t < f.outcome.completion_s);
+            let Some(safe_s) = safe_s else { continue };
+            if safe_s >= fleet_free_s {
+                continue;
+            }
+            let saved = f.outcome.completion_s - safe_s;
+            let better = match best {
+                None => true,
+                Some((_, bp, bsaved, _, bseq)) => {
+                    (batch_priority, saved, f.seq) > (bp, bsaved, bseq)
+                }
+            };
+            if better {
+                best = Some((idx, batch_priority, saved, safe_s, f.seq));
+            }
+        }
+        let Some((idx, _, _, safe_s, _)) = best else {
+            return false;
+        };
+        let (ci, li) = (self.in_flight[idx].ci, self.in_flight[idx].li);
+        if self.cards[ci].preempt_lane(li, safe_s).is_err() {
+            // The card cannot stage a fresh buffer pair; leave the batch
+            // running rather than risk the aborted transfers' memory.
+            return false;
+        }
+        let victim = self.in_flight.remove(idx);
+        let wasted_s = safe_s - victim.dispatched_s;
+        self.preemptions += 1;
+        self.preempted_wasted_s += wasted_s;
+        self.telemetry.registry.inc(names::PREEMPTIONS);
+        for p in victim.members {
+            self.telemetry.lifecycle.charge_preempt(p.id, wasted_s);
+            self.qos.charge_preempt(p.spec.tenant, wasted_s);
+            // Back into the queue with the original stamps intact: the
+            // `submitted`/`admitted` records and the WFQ virtual finish
+            // time survive; only `Batched`/`Dispatched` move forward when
+            // the request is re-batched.
+            self.queue.requeue(p);
+        }
+        self.preempt_reserved_s = Some(safe_s);
+        true
+    }
+
     fn dispatch_rows_batch(&mut self, ci: usize, li: usize, n: usize, batch: Batch) {
         let dir = direction_of(&batch.key);
         let payloads: Vec<&[fft_math::Complex32]> = batch
@@ -666,22 +942,19 @@ impl FftService {
             .unwrap_or_else(|e| panic!("rows dispatch failed post-validation: {e}"));
         self.estimator
             .observe(batch.key, batch.elems, outcome.completion_s - self.now_s);
-        let size = batch.requests.len();
-        self.count_launch(size);
-        for p in &batch.requests {
-            let log = &mut self.telemetry.lifecycle;
-            log.record(p.id, Stage::Dispatched, self.now_s);
-            log.record(p.id, Stage::H2d, outcome.h2d_done_s);
-            log.record(p.id, Stage::Compute, outcome.compute_done_s);
-            log.record(p.id, Stage::D2h, outcome.completion_s);
-            log.annotate(p.id, &outcome.span, Some(ci));
-            log.annotate_phases(p.id, outcome.plan_ready_s, outcome.h2d_start_s);
-        }
-        let mut outputs = outcome.outputs;
-        for (i, p) in batch.requests.iter().enumerate() {
-            let out = outputs.as_mut().map(|o| std::mem::take(&mut o[i]));
-            self.record(p, outcome.completion_s, Some(ci), size, out);
-        }
+        self.count_launch(batch.requests.len());
+        // Stamps and completion records are deferred to the completion
+        // instant ([`FftService::advance_to`]) so the batch stays
+        // preemptible until then.
+        self.in_flight.push(InFlight {
+            seq: self.dispatch_seq,
+            ci,
+            li,
+            dispatched_s: self.now_s,
+            outcome,
+            members: batch.requests,
+        });
+        self.dispatch_seq += 1;
     }
 
     /// Returns false when the batch could not be placed (oversized volume
@@ -851,6 +1124,11 @@ impl FftService {
             self.good_bytes += 2 * bytes;
             reg.add(names::GOOD_BYTES, 2 * bytes);
         }
+        self.qos.on_complete(
+            p.spec.tenant,
+            completed_s - p.arrival_s,
+            if timed_out { 0 } else { 2 * bytes },
+        );
         self.first_arrival_s = self.first_arrival_s.min(p.arrival_s);
         self.last_completion_s = self.last_completion_s.max(completed_s);
         match card {
@@ -888,6 +1166,7 @@ impl FftService {
                 .lifecycle
                 .record(p.id, Stage::Failed, self.now_s);
             self.telemetry.registry.inc(names::FAILED);
+            self.qos.on_fail(p.spec.tenant);
             self.failures.push((p.id, err.clone()));
         }
     }
@@ -1005,6 +1284,9 @@ impl FftService {
             rejected_unsupported: self.rejected_unsupported,
             rejected_oversized: self.rejected_oversized,
             rejected_unallocatable: self.rejected_unallocatable,
+            rejected_quota: self.rejected_quota,
+            preemptions: self.preemptions,
+            preempted_s: self.preempted_wasted_s,
             failed: self.failures.len() as u64,
             queue_max_depth: self.queue.max_depth(),
             queue_mean_depth: self.queue.mean_depth(),
@@ -1031,6 +1313,26 @@ impl FftService {
         r.slo = self.slo_report();
         let ledgers = telemetry::attribution::collect(&self.telemetry.lifecycle);
         r.budget = telemetry::attribution::budget(&ledgers);
+        r.fairness_index = self.qos.fairness_index();
+        r.tenants = self
+            .qos
+            .tenants()
+            .map(|(t, s)| {
+                let stats = LatencyStats::from_latencies(s.latencies_s.clone());
+                TenantReport {
+                    tenant: t.0,
+                    share: self.cfg.qos.policy(t).share,
+                    submitted: s.submitted,
+                    admitted: s.admitted,
+                    rejected_quota: s.rejected_quota,
+                    completed: s.completed,
+                    good_bytes: s.good_bytes,
+                    p95_s: stats.p95_s,
+                    p95_ok: s.completed == 0 || stats.p95_s * 1e3 <= self.cfg.slo.latency_p95_ms,
+                    preempted_s: s.preempted_s,
+                }
+            })
+            .collect();
         r
     }
 
@@ -1089,7 +1391,7 @@ impl FftService {
         telemetry::attribution::collect(&self.telemetry.lifecycle)
     }
 
-    /// Renders the run's `bifft-attr-v1` attribution document. Call after
+    /// Renders the run's `bifft-attr-v2` attribution document. Call after
     /// [`FftService::drain`] so every completed request is ledgered.
     pub fn attribution_json(&self) -> String {
         telemetry::attribution::render_attr_json(&self.ledgers())
@@ -1197,6 +1499,7 @@ fn validate_spec(spec: &RequestSpec) -> Result<(), FftError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::qos::{QuotaKind, TenantId, TenantPolicy};
     use crate::request::{Priority, Shape};
 
     fn rows_spec(n: usize, rows: usize, seed: u64) -> RequestSpec {
@@ -1412,6 +1715,127 @@ mod tests {
             vec![first.id, high.id, normal.id],
             "high priority dispatches before the earlier normal request"
         );
+    }
+
+    #[test]
+    fn placement_prefers_the_warm_card() {
+        let cfg = ServeConfig {
+            n_gpus: 2,
+            streams_per_card: 1,
+            max_batch_requests: 1,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        // Warm card 0 with a cheap 256-length plan; the expensive 128x64
+        // lands on card 1 because card 0's only lane is still busy.
+        svc.submit(rows_spec(256, 1, 0), 0.0).unwrap();
+        svc.submit(rows_spec(128, 64, 1), 0.0).unwrap();
+        svc.drain();
+        // Both cards are idle now and card 0 freed *first* (its batch was
+        // far cheaper), so the old latest-horizon comparator picked the
+        // cold card 0 and serialized a fresh 128 plan build in front of
+        // the transform. Shortest-expected-completion picks the warm
+        // card 1.
+        let repeat = svc.submit(rows_spec(128, 64, 2), svc.now_s()).unwrap();
+        svc.drain();
+        match svc.poll(repeat) {
+            PollStatus::Done(c) => assert_eq!(c.card, Some(1), "warm card serves the repeat"),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let r = svc.report();
+        assert_eq!(r.cards[1].plan_misses, 1, "no rebuild of the 128 plan");
+        assert_eq!(r.cards[1].plan_hits, 1);
+        assert_eq!(r.cards[0].plan_misses, 1);
+    }
+
+    #[test]
+    fn preemption_aborts_requeues_and_charges_the_victim() {
+        let cfg = ServeConfig {
+            n_gpus: 1,
+            streams_per_card: 1,
+            max_batch_requests: 1,
+            qos: crate::qos::QosConfig {
+                preemption: true,
+                ..crate::qos::QosConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        let low = svc
+            .submit(rows_spec(256, 64, 0).priority(Priority::Low), 0.0)
+            .unwrap();
+        let high = svc
+            .submit(rows_spec(256, 4, 1).priority(Priority::High), 1e-6)
+            .unwrap();
+        svc.drain();
+        // The low batch was aborted at its first stream-safe point, the
+        // high request took the lane, and the victim re-ran afterwards.
+        let order: Vec<RequestId> = svc.completions().iter().map(|c| c.id).collect();
+        assert_eq!(order, vec![high.id, low.id]);
+        let r = svc.report();
+        assert_eq!(r.preemptions, 1);
+        assert!(r.preempted_s > 0.0);
+        assert_eq!(r.completed, 2);
+        // The victim kept its original submission stamps across the
+        // requeue and its waterfall is still a monotone full pipeline.
+        let wf = svc.telemetry().lifecycle.get(low.id).unwrap();
+        assert_eq!(wf.stage_s(Stage::Submitted), Some(0.0));
+        assert_eq!(wf.stage_s(Stage::Admitted), Some(0.0));
+        assert!(wf.is_monotone());
+        assert!(wf.is_complete_pipeline());
+        assert_eq!(wf.preempts, 1);
+        assert!(wf.preempted_s > 0.0);
+        // Makespan is still last-completion minus first-arrival — the
+        // preempt/requeue cycle does not corrupt the tally.
+        let last = svc
+            .completions()
+            .iter()
+            .map(|c| c.completed_s)
+            .fold(0.0, f64::max);
+        assert_eq!(r.makespan_s, last);
+        // Conservation holds with the wasted time in its own category.
+        let audit = svc.attribution_audit();
+        assert!(audit.ok(), "ledger conservation: {audit:?}");
+    }
+
+    #[test]
+    fn quota_rejections_bounce_before_the_queue() {
+        let mut qos = crate::qos::QosConfig::default();
+        qos.tenants.insert(
+            TenantId(1),
+            TenantPolicy {
+                rate_rps: Some(10.0),
+                burst: 1.0,
+                ..TenantPolicy::default()
+            },
+        );
+        let cfg = ServeConfig {
+            qos,
+            ..ServeConfig::default()
+        };
+        let mut svc = tiny_service(cfg);
+        svc.submit(rows_spec(256, 4, 0).tenant(TenantId(1)), 0.0)
+            .unwrap();
+        let err = svc.submit(rows_spec(256, 4, 1).tenant(TenantId(1)), 0.0);
+        assert!(matches!(
+            err,
+            Err(Rejection::QuotaExceeded {
+                tenant: TenantId(1),
+                kind: QuotaKind::Rate,
+            })
+        ));
+        // The default tenant is unlimited and unaffected.
+        svc.submit(rows_spec(256, 4, 2), 0.0).unwrap();
+        let r = svc.finish();
+        assert_eq!(r.rejected_quota, 1);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].tenant, 0);
+        assert_eq!(r.tenants[1].tenant, 1);
+        assert_eq!(r.tenants[1].submitted, 2);
+        assert_eq!(r.tenants[1].admitted, 1);
+        assert_eq!(r.tenants[1].rejected_quota, 1);
+        assert!(r.fairness_index > 0.0);
     }
 
     #[test]

@@ -34,8 +34,9 @@ use crate::request::RequestId;
 use fft_math::stats::{mean, nearest_rank, sort_samples};
 use std::collections::BTreeMap;
 
-/// Schema tag of the attribution JSON document.
-pub const ATTR_SCHEMA: &str = "bifft-attr-v1";
+/// Schema tag of the attribution JSON document. v2 added the `preempted`
+/// category (wasted device time of aborted-and-requeued dispatches).
+pub const ATTR_SCHEMA: &str = "bifft-attr-v2";
 
 /// Largest conservation error a balanced ledger may carry, seconds. The
 /// telescoping construction keeps the true error at exactly zero; the
@@ -69,10 +70,14 @@ pub enum Category {
     /// Gateway network/pacing overhead. Always zero in server-side ledgers;
     /// reconciled client-side from the wire trace stamps.
     Network,
+    /// Device time wasted on dispatches of this request that a lane
+    /// preemption aborted — carved out of the `Queue` share (the requeued
+    /// wait the waterfall already measured), so conservation still holds.
+    Preempted,
 }
 
 /// Every category, in pipeline (and export) order.
-pub const CATEGORIES: [Category; 10] = [
+pub const CATEGORIES: [Category; 11] = [
     Category::Admission,
     Category::Queue,
     Category::Batch,
@@ -83,6 +88,7 @@ pub const CATEGORIES: [Category; 10] = [
     Category::D2h,
     Category::Finalize,
     Category::Network,
+    Category::Preempted,
 ];
 
 impl Category {
@@ -99,6 +105,7 @@ impl Category {
             Category::D2h => "d2h",
             Category::Finalize => "finalize",
             Category::Network => "network",
+            Category::Preempted => "preempted",
         }
     }
 
@@ -163,6 +170,16 @@ impl Ledger {
         }
         // parts_s[Network] stays 0.0: server-side ledgers carry no wall
         // time (see the module docs).
+        //
+        // A preemption victim spent part of its recorded queue time
+        // occupying (and then abandoning) a lane; re-label that slice as
+        // `preempted`. The carve moves time between categories without
+        // changing their sum, so the telescoping conservation is untouched.
+        if wf.preempted_s > 0.0 {
+            let carve = wf.preempted_s.min(parts_s[Category::Queue.index()]);
+            parts_s[Category::Queue.index()] -= carve;
+            parts_s[Category::Preempted.index()] += carve;
+        }
         Some(Ledger {
             id,
             shape: wf.shape().to_string(),
@@ -469,7 +486,7 @@ fn render_profile_group(out: &mut String, name: &str, groups: &BTreeMap<String, 
     out.push_str("    }");
 }
 
-/// Renders the full `bifft-attr-v1` document: conservation audit, overall
+/// Renders the full `bifft-attr-v2` document: conservation audit, overall
 /// e2e and per-category stats, the tail decomposition, and the
 /// shape/algorithm/priority/card profiles. Hand-rolled and deterministic,
 /// like every other document in this repo — same-seed runs are
@@ -542,7 +559,7 @@ pub fn render_attr_json(ledgers: &[Ledger]) -> String {
     s
 }
 
-/// The summary a `bifft-attr-v1` document parses back into — what
+/// The summary a `bifft-attr-v2` document parses back into — what
 /// `fft-prof` shows and diffs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AttrSummary {
@@ -798,6 +815,39 @@ mod tests {
         assert!((l.part_s(Category::H2d) - 0.8).abs() < 1e-12);
         assert_eq!(l.algorithm, "unknown");
         assert_eq!(l.priority, "unknown");
+    }
+
+    #[test]
+    fn preempt_charge_carves_queue_into_preempted_and_conserves() {
+        let (mut log, id) = started(4, "1d256x8");
+        log.annotate_submission(id, "low", "batch-1d");
+        // 0.3 s of queue time (admitted 0.1 → batched 0.4), of which 0.2 s
+        // was a dispatch a preemption threw away.
+        complete(
+            &mut log,
+            id,
+            [0.0, 0.1, 0.4, 0.4, 0.5, 0.6, 0.7, 0.7],
+            Some((0.4, 0.45)),
+        );
+        log.charge_preempt(id, 0.2);
+        let l = Ledger::from_waterfall(id, log.get(id).unwrap()).unwrap();
+        assert!((l.part_s(Category::Preempted) - 0.2).abs() < 1e-12);
+        assert!((l.part_s(Category::Queue) - 0.1).abs() < 1e-12);
+        assert!(l.conservation_error_s() <= CONSERVATION_TOLERANCE_S);
+        // A charge larger than the measured queue time clamps — the ledger
+        // never goes negative and never manufactures time.
+        let (mut log2, id2) = started(5, "1d256x8");
+        complete(
+            &mut log2,
+            id2,
+            [0.0, 0.1, 0.4, 0.4, 0.5, 0.6, 0.7, 0.7],
+            None,
+        );
+        log2.charge_preempt(id2, 9.0);
+        let l2 = Ledger::from_waterfall(id2, log2.get(id2).unwrap()).unwrap();
+        assert!((l2.part_s(Category::Preempted) - 0.3).abs() < 1e-12);
+        assert_eq!(l2.part_s(Category::Queue), 0.0);
+        assert!(l2.conservation_error_s() <= CONSERVATION_TOLERANCE_S);
     }
 
     #[test]

@@ -101,6 +101,12 @@ pub struct Waterfall {
     /// When the dispatch's H2D transfer started moving bytes, simulated
     /// seconds. Splits staging-slot wait out of `Dispatched → H2d`.
     pub h2d_start_s: Option<f64>,
+    /// Device seconds this request's dispatches wasted to lane preemption
+    /// (aborted-and-requeued launches). Attribution carves this out of the
+    /// queue share into its own `preempted` category.
+    pub preempted_s: f64,
+    /// How many times the request was preempted and requeued.
+    pub preempts: u32,
 }
 
 impl Waterfall {
@@ -216,6 +222,20 @@ impl LifecycleLog {
         };
         wf.plan_ready_s = Some(plan_ready_s);
         wf.h2d_start_s = Some(h2d_start_s);
+    }
+
+    /// Charges `wasted_s` seconds of aborted device time to a preemption
+    /// victim. The waterfall's stage stamps are untouched — the original
+    /// `Submitted`/`Admitted` records survive the requeue, and the later
+    /// re-dispatch overwrites `Batched` onward exactly like a volume
+    /// bounce. Unknown ids count as dropped.
+    pub fn charge_preempt(&mut self, id: RequestId, wasted_s: f64) {
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
+        wf.preempted_s += wasted_s;
+        wf.preempts += 1;
     }
 
     /// Stamps and annotations discarded because their request id was never
@@ -343,6 +363,25 @@ mod tests {
         log.record(id, Stage::Batched, 2.1);
         assert_eq!(log.dropped(), 5);
         assert_eq!(log.get(id).unwrap().stage_s(Stage::Batched), Some(2.9));
+    }
+
+    #[test]
+    fn preempt_charges_accumulate_without_touching_stamps() {
+        let mut log = LifecycleLog::default();
+        let id = RequestId(4);
+        log.start(id, "1d256x8".to_string(), 1.0);
+        log.record(id, Stage::Admitted, 1.0);
+        log.record(id, Stage::Batched, 1.2);
+        log.charge_preempt(id, 0.5e-3);
+        log.charge_preempt(id, 0.25e-3);
+        let wf = log.get(id).unwrap();
+        assert!((wf.preempted_s - 0.75e-3).abs() < 1e-12);
+        assert_eq!(wf.preempts, 2);
+        assert_eq!(wf.stage_s(Stage::Submitted), Some(1.0));
+        assert_eq!(wf.stage_s(Stage::Admitted), Some(1.0));
+        assert_eq!(log.dropped(), 0);
+        log.charge_preempt(RequestId(99), 1.0);
+        assert_eq!(log.dropped(), 1);
     }
 
     #[test]

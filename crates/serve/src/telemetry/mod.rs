@@ -23,7 +23,7 @@
 //! - [`attribution`] — the per-request time ledger: e2e latency decomposed
 //!   into exclusive, exhaustive categories with a conservation invariant,
 //!   aggregated into shape/algorithm/priority/card profiles and the
-//!   `bifft-attr-v1` document `fft-prof` analyzes.
+//!   `bifft-attr-v2` document `fft-prof` analyzes.
 
 pub mod attribution;
 pub mod export;
@@ -69,6 +69,11 @@ pub mod names {
     pub const REJECTED_OVERSIZED: &str = "serve_rejected_oversized_total";
     /// Rejections: a volume not even the whole fleet could allocate.
     pub const REJECTED_UNALLOCATABLE: &str = "serve_rejected_unallocatable_total";
+    /// Rejections: the tenant was over its admission quota.
+    pub const REJECTED_QUOTA: &str = "serve_rejected_quota_total";
+    /// Lane preemptions: dispatched batches aborted at a stream-safe point
+    /// and requeued to free a lane for a higher-priority arrival.
+    pub const PREEMPTIONS: &str = "serve_preemptions_total";
     /// Coalesced launches dispatched.
     pub const LAUNCHES: &str = "serve_launches_total";
     /// Requests carried by those launches.
@@ -111,7 +116,7 @@ pub mod names {
     /// Cumulative attributed time per ledger category, microseconds, in
     /// [`super::attribution::CATEGORIES`] order. One counter per category
     /// (`serve_attr_<category>_us_total`), incremented at completion.
-    pub const ATTR_US: [&str; 10] = [
+    pub const ATTR_US: [&str; 11] = [
         "serve_attr_admission_us_total",
         "serve_attr_queue_us_total",
         "serve_attr_batch_us_total",
@@ -122,6 +127,7 @@ pub mod names {
         "serve_attr_d2h_us_total",
         "serve_attr_finalize_us_total",
         "serve_attr_network_us_total",
+        "serve_attr_preempted_us_total",
     ];
     /// Gauge name for card `i`'s compute-engine utilization.
     pub fn card_compute_util(i: usize) -> String {
@@ -159,6 +165,7 @@ impl Telemetry {
         // so a run with no traffic still exports them (and CI's
         // --validate-metrics can require their presence).
         registry.set_counter(names::LIFECYCLE_DROPPED, 0);
+        registry.set_counter(names::PREEMPTIONS, 0);
         for name in names::ATTR_US {
             registry.set_counter(name, 0);
         }

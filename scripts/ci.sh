@@ -19,7 +19,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # the comparison is exact and machine-independent; this also prints the
 # per-kernel roofline + pattern-audit tables. Since bench schema v5 the
 # gate also covers the latency-attribution verdicts (conservation, time
-# shares, tail driver). Refresh the baseline with
+# shares, tail driver); since v6 it also gates the multi-tenant fairness
+# index (absolute drift + the 0.95 floor). Refresh the baseline with
 #   cargo run --release --bin bench -- --quick --out crates/bench/baselines/bench-quick.json
 cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check crates/bench/baselines/bench-quick.json
@@ -56,6 +57,19 @@ cargo run --release -p fft-serve --bin fft-prof --offline -- \
     show target/ci-attr.json
 cargo run --release -p fft-serve --bin fft-prof --offline -- \
     diff target/ci-attr.json target/ci-attr-repeat.json
+# Multi-tenant smoke (DESIGN.md §16): the same smoke workload spread over
+# 3 weighted-share tenants with lane preemption enabled, still under the
+# hazard validator and the conservation audit (which now carries the
+# `preempted` category). Two same-seed runs must render byte-identical
+# reports — QoS arbitration is part of the deterministic surface.
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --smoke --tenants 3 --preempt --check-hazards --attr-audit \
+    --json target/ci-qos-report.json
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --smoke --tenants 3 --preempt --check-hazards --attr-audit \
+    --json target/ci-qos-repeat.json
+cmp target/ci-qos-report.json target/ci-qos-repeat.json \
+    || { echo "ci: same-seed multi-tenant reports diverged" >&2; exit 1; }
 # Gateway smoke: boot fft-gate on an ephemeral port (the bound port comes
 # back through --port-file), replay a seeded workload over 8 concurrent TCP
 # clients, and require (a) the hazard validator to come back clean over the
