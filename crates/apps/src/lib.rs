@@ -6,13 +6,18 @@
 //! * [`docking`] — ZDock-style rigid-body docking on synthetic proteins
 //!   (rotation sweep over one resident receptor),
 //! * [`spectral`] — turbulence-style spectrum synthesis/analysis and a
-//!   spectral Poisson solver.
+//!   spectral Poisson solver,
+//! * [`pipelines`] — the same convolution/docking workloads re-expressed
+//!   as `fft-serve` pipeline DAGs (served with on-card intermediate
+//!   residency instead of driving a card directly).
 
 #![warn(missing_docs)]
 
 pub mod convolution;
 pub mod docking;
+pub mod pipelines;
 pub mod spectral;
 
 pub use convolution::GpuCorrelator;
 pub use docking::{cube_rotations, dock, Molecule};
+pub use pipelines::{convolution_pipeline, convolution_request, docking_request, docking_sweep};

@@ -1,0 +1,114 @@
+//! The §4.4 applications re-expressed as `fft-serve` pipeline DAGs.
+//!
+//! [`crate::convolution::GpuCorrelator`] and [`crate::docking::dock`] drive
+//! a card directly; these builders express the *same* kernel sequence —
+//! two forward transforms, the conjugate spectrum product with `1/N`
+//! folded in, the chained inverse, optionally the on-card argmax — as a
+//! [`PipelineRequest`] the serving stack schedules like any other request,
+//! with every intermediate in a device-resident slot. The served
+//! convolution is bit-for-bit the correlator's output (same kernels, same
+//! order, same buffers), which the `pipeline_serve` integration test
+//! asserts.
+
+use fft_math::Complex32;
+use fft_serve::pipeline::{convolution_stages, docking_stages};
+use fft_serve::{PipelineRequest, Priority, SeededPipeline, TenantId};
+
+use crate::docking::{voxelize_ligand, voxelize_receptor, Molecule};
+
+/// A served correlation `IFFT(F[A] · conj(F[B])) / N` over explicit host
+/// volumes: the [`crate::convolution::GpuCorrelator::correlate`] surface
+/// as one schedulable DAG.
+pub fn convolution_request(
+    dims: (usize, usize, usize),
+    a: Vec<Complex32>,
+    b: Vec<Complex32>,
+) -> PipelineRequest {
+    let elems = dims.0 * dims.1 * dims.2;
+    PipelineRequest {
+        dims,
+        inputs: vec![a, b],
+        stages: convolution_stages(elems),
+        priority: Priority::Normal,
+        deadline_s: None,
+        tenant: TenantId(0),
+    }
+}
+
+/// The seeded (wire-transportable) form of [`convolution_request`]: both
+/// volumes fold into SplitMix64 seeds, so the template replays
+/// bit-identically on either side of `bifft-wire-v1.3`.
+pub fn convolution_pipeline(
+    dims: (usize, usize, usize),
+    seed_a: u64,
+    seed_b: u64,
+) -> SeededPipeline {
+    let elems = dims.0 * dims.1 * dims.2;
+    SeededPipeline {
+        dims,
+        input_seeds: vec![seed_a, seed_b],
+        stages: convolution_stages(elems),
+        priority: Priority::Normal,
+        deadline_s: None,
+        tenant: TenantId(0),
+    }
+}
+
+/// One docking pose as a served DAG: correlate the voxelised receptor
+/// against one ligand rotation and reduce to the best translation on the
+/// card — only `(index, score)` crosses the bus, the §4.4 confinement
+/// argument as a pipeline.
+pub fn docking_request(
+    dims: (usize, usize, usize),
+    receptor: &Molecule,
+    ligand: &Molecule,
+    rotation: &[[f32; 3]; 3],
+) -> PipelineRequest {
+    let elems = dims.0 * dims.1 * dims.2;
+    PipelineRequest {
+        dims,
+        inputs: vec![
+            voxelize_receptor(receptor, dims),
+            voxelize_ligand(&ligand.rotated(rotation), dims),
+        ],
+        stages: docking_stages(elems),
+        priority: Priority::Normal,
+        deadline_s: None,
+        tenant: TenantId(0),
+    }
+}
+
+/// The full rotation sweep as a batch of independent DAGs — one
+/// [`docking_request`] per rotation, ready to submit back-to-back so the
+/// scheduler can pack them across the fleet.
+pub fn docking_sweep(
+    dims: (usize, usize, usize),
+    receptor: &Molecule,
+    ligand: &Molecule,
+    rotations: &[[[f32; 3]; 3]],
+) -> Vec<PipelineRequest> {
+    rotations
+        .iter()
+        .map(|rot| docking_request(dims, receptor, ligand, rot))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docking::cube_rotations;
+
+    #[test]
+    fn builders_produce_valid_dags() {
+        let dims = (16usize, 16, 16);
+        let receptor = Molecule::synthetic_globule(8, 2.5, 5);
+        let ligand = Molecule::synthetic_globule(3, 1.5, 6);
+        let conv = convolution_pipeline(dims, 1, 2).materialize();
+        assert!(conv.validate().is_ok());
+        assert_eq!(conv.stages.len(), 4);
+        for req in docking_sweep(dims, &receptor, &ligand, &cube_rotations()[..3]) {
+            assert!(req.validate().is_ok());
+            assert_eq!(req.stages.len(), 5);
+        }
+    }
+}

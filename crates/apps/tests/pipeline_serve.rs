@@ -1,0 +1,134 @@
+//! Served-pipeline parity and transfer accounting: the convolution DAG
+//! scheduled through `fft-serve` must produce bit-for-bit the surface
+//! [`fft_apps::GpuCorrelator`] computes driving a card directly, and —
+//! because every intermediate stays in a device-resident slot — it must
+//! move strictly fewer PCIe bytes than submitting the same three
+//! transforms as independent single-transform requests.
+
+use fft_apps::pipelines::convolution_request;
+use fft_apps::GpuCorrelator;
+use fft_math::rng::SplitMix64;
+use fft_math::twiddle::Direction;
+use fft_math::Complex32;
+use fft_serve::{Priority, RequestSpec, ServeConfig, Shape, TenantId};
+use gpu_sim::{DeviceSpec, Gpu};
+
+const DIMS: (usize, usize, usize) = (16, 16, 16);
+
+fn volume(seed: u64) -> Vec<Complex32> {
+    let mut rng = SplitMix64::new(seed);
+    (0..DIMS.0 * DIMS.1 * DIMS.2)
+        .map(|_| Complex32::new(rng.uniform_f32(-1.0, 1.0), rng.uniform_f32(-1.0, 1.0)))
+        .collect()
+}
+
+#[test]
+fn served_convolution_pipeline_matches_direct_correlator_bit_for_bit() {
+    let a = volume(101);
+    let b = volume(102);
+
+    // Direct: the correlator driving a lone card (same device model the
+    // service builds its fleet from).
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let mut corr = GpuCorrelator::new(&mut gpu, DIMS.0, DIMS.1, DIMS.2);
+    corr.load_a(&mut gpu, &a);
+    let (want, _) = corr.correlate(&mut gpu, &b);
+
+    // Served: the same math as one pipeline DAG through the full stack.
+    let mut svc = ServeConfig::builder()
+        .gpus(1)
+        .keep_outputs(true)
+        .build_service()
+        .unwrap();
+    svc.submit_pipeline(convolution_request(DIMS, a, b), 0.0)
+        .expect("pipeline admits");
+    svc.drain();
+    let got = svc.completions()[0]
+        .output
+        .as_ref()
+        .expect("keep_outputs retains the surface");
+
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            (g.re.to_bits(), g.im.to_bits()),
+            (w.re.to_bits(), w.im.to_bits()),
+            "voxel {i}: served {g} vs direct {w}"
+        );
+    }
+}
+
+#[test]
+fn served_pipeline_moves_strictly_fewer_pcie_bytes_than_staged_requests() {
+    let a = volume(103);
+    let b = volume(104);
+    let mk = || {
+        ServeConfig::builder()
+            .gpus(1)
+            .keep_outputs(true)
+            .build_service()
+            .unwrap()
+    };
+
+    // One DAG: two volumes up, intermediates resident, one surface down.
+    let mut piped = mk();
+    piped
+        .submit_pipeline(convolution_request(DIMS, a.clone(), b.clone()), 0.0)
+        .unwrap();
+    piped.drain();
+    let piped = piped.finish();
+    assert_eq!(piped.pipelines, 1);
+    assert!(
+        piped.resident_hits > 0,
+        "intermediates were device-resident"
+    );
+
+    // Staged replay: the same three transforms as independent requests,
+    // each shipping its volume both ways (the pointwise product runs on
+    // the host between them, free of PCIe charge — a lower bound on what
+    // a stageless client would really pay).
+    let mut staged = mk();
+    let submit = |svc: &mut fft_serve::FftService, payload: Vec<Complex32>, dir, at| {
+        let spec = RequestSpec {
+            shape: Shape::Volume {
+                nx: DIMS.0,
+                ny: DIMS.1,
+                nz: DIMS.2,
+            },
+            direction: dir,
+            algorithm: None,
+            priority: Priority::Normal,
+            deadline_s: None,
+            tenant: TenantId(0),
+            payload,
+        };
+        svc.submit(spec, at).unwrap();
+    };
+    submit(&mut staged, a, Direction::Forward, 0.0);
+    submit(&mut staged, b, Direction::Forward, 0.0);
+    staged.drain();
+    let vol = DIMS.0 * DIMS.1 * DIMS.2;
+    let scale = 1.0 / vol as f32;
+    let fa = staged.completions()[0].output.clone().unwrap();
+    let fb = staged.completions()[1].output.clone().unwrap();
+    let product: Vec<Complex32> = fa
+        .iter()
+        .zip(&fb)
+        .map(|(x, y)| *x * y.conj() * Complex32::new(scale, 0.0))
+        .collect();
+    let at = staged.now_s();
+    submit(&mut staged, product, Direction::Inverse, at);
+    staged.drain();
+    let staged = staged.finish();
+
+    let piped_bytes = piped.h2d_bytes + piped.d2h_bytes;
+    let staged_bytes = staged.h2d_bytes + staged.d2h_bytes;
+    assert!(
+        piped_bytes < staged_bytes,
+        "pipeline moved {piped_bytes} B, staged replay {staged_bytes} B"
+    );
+    // The saving is structural: 2 volumes up + 1 down versus 3 up + 3 down.
+    let vol_bytes = (vol * 8) as u64;
+    assert_eq!(piped_bytes, 3 * vol_bytes);
+    assert_eq!(staged_bytes, 6 * vol_bytes);
+}

@@ -37,6 +37,16 @@
 //! the share-weighted Jain fairness index `--check` gates (absolute drift
 //! plus a floor the baseline must keep meeting).
 //!
+//! Since v7 the file also carries a `pipeline` section: the `pipeline`
+//! workload mix (roughly a third of draws are convolution / docking-sweep
+//! DAGs with device-resident intermediates) run through the service, each
+//! point recording stage throughput, the resident-hit fraction of
+//! intermediate operand fetches, and the PCIe bytes saved against a staged
+//! replay of the same schedule (every DAG decomposed into independent
+//! single-transform requests). `--check` gates all three: a pipeline
+//! scheduling or residency regression fails CI even while single-request
+//! serving still passes.
+//!
 //! Since v5 the file also carries an `attribution` section: the latency
 //! attribution ledger of each serving workload, collapsed to the verdicts
 //! worth gating. Every point records whether the conservation invariant
@@ -60,14 +70,15 @@ use fft_gate::server::{GateConfig, GateServer};
 use fft_gate::{control, run_open_loop_net};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
-use fft_serve::loadgen::{run_open_loop, Workload};
+use fft_serve::loadgen::{open_loop_templates, run_open_loop, SubmitTemplate, Workload};
+use fft_serve::pipeline::StageKind;
 use fft_serve::qos::{QosConfig, TenantId, TenantPolicy};
 use fft_serve::service::ServeConfig;
 use gpu_sim::analysis::kernel_roofline;
 use gpu_sim::{CheckReport, DeviceSpec, Gpu};
 
 /// Schema tag written into (and required of) every bench file.
-pub const BENCH_SCHEMA: &str = "bifft-bench-v6";
+pub const BENCH_SCHEMA: &str = "bifft-bench-v7";
 
 /// Relative tolerance of `--check`: a tracked metric may drift this far from
 /// the baseline before the gate fails (simulated timings are deterministic,
@@ -280,6 +291,44 @@ pub struct TenancyPoint {
     pub ten_goodput_gbs: f64,
 }
 
+/// One pipeline-serving run: the `pipeline` workload mix (a third of the
+/// draws are convolution / docking-sweep DAGs) through the service, paired
+/// with a staged replay of the same schedule as the PCIe comparator.
+/// Deterministic like the serving section, so the committed baseline
+/// regenerates byte-identically. The `pipe_` prefix keeps the flat-scanner
+/// keys collision-free.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelinePoint {
+    /// Workload name (always `pipeline`).
+    pub pipe_workload: String,
+    /// Fleet size.
+    pub pipe_gpus: usize,
+    /// Stream lanes per card.
+    pub pipe_streams: usize,
+    /// Offered submissions (singles and DAGs together).
+    pub pipe_requests: u64,
+    /// Load-generator seed.
+    pub pipe_seed: u64,
+    /// Pipeline DAGs completed.
+    pub pipe_count: u64,
+    /// Pipeline stages executed.
+    pub pipe_stages: u64,
+    /// Stages executed per simulated second of makespan (tracked by
+    /// `--check`).
+    pub pipe_stages_per_s: f64,
+    /// Fraction of intermediate operand fetches served from a
+    /// device-resident slot, hits over hits+misses (tracked by `--check`:
+    /// a drop beyond tolerance is a residency regression).
+    pub pipe_resident_hit_frac: f64,
+    /// Resident slots spilled to host under memory pressure.
+    pub pipe_evictions: u64,
+    /// PCIe bytes the DAG execution saved against the staged replay of the
+    /// same schedule — every pipeline decomposed into independent
+    /// single-transform requests, pointwise/reduce stages free of PCIe
+    /// charge (tracked by `--check`).
+    pub pipe_saved_bytes: u64,
+}
+
 /// One benchmark document: every section the schema carries, in render
 /// order.
 #[derive(Clone, Debug, PartialEq)]
@@ -298,6 +347,8 @@ pub struct BenchFile {
     pub attribution: Vec<AttributionPoint>,
     /// Multi-tenant QoS runs.
     pub tenancy: Vec<TenancyPoint>,
+    /// Pipeline-serving runs with the staged-replay PCIe comparator.
+    pub pipeline: Vec<PipelinePoint>,
 }
 
 /// The three cards with their short CLI keys, Table 1 order.
@@ -574,6 +625,105 @@ fn tenancy_point(
     }
 }
 
+/// Replays a recorded schedule with every pipeline DAG decomposed into its
+/// transform stages as independent single-transform requests, and returns
+/// the total PCIe bytes the replay moved. Pointwise and reduce stages run
+/// free of PCIe charge (a stageless client could fold them on the host), so
+/// the comparator is a lower bound on what staged submission would really
+/// pay — the saved-bytes figure it yields is conservative.
+fn staged_replay_bytes(schedule: &[(f64, SubmitTemplate)], gpus: usize, streams: usize) -> u64 {
+    let mut svc = ServeConfig::builder()
+        .gpus(gpus)
+        .streams(streams)
+        .build_service()
+        .unwrap_or_else(|e| panic!("bench pipeline: cannot bring staged fleet up: {e}"));
+    for (at_s, template) in schedule {
+        match template {
+            SubmitTemplate::Single(spec) => {
+                let _ = svc.submit(spec.materialize(), *at_s);
+            }
+            SubmitTemplate::Pipeline(pipe) => {
+                for stage in &pipe.stages {
+                    let direction = match stage.kind {
+                        StageKind::Forward => Direction::Forward,
+                        StageKind::Inverse => Direction::Inverse,
+                        _ => continue,
+                    };
+                    let spec = fft_serve::SeededSpec {
+                        shape: fft_serve::Shape::Volume {
+                            nx: pipe.dims.0,
+                            ny: pipe.dims.1,
+                            nz: pipe.dims.2,
+                        },
+                        direction,
+                        algorithm: None,
+                        priority: pipe.priority,
+                        deadline_s: None,
+                        tenant: pipe.tenant,
+                        seed: pipe.input_seeds[0],
+                    };
+                    let _ = svc.submit(spec.materialize(), *at_s);
+                }
+            }
+        }
+    }
+    svc.drain();
+    let r = svc.report();
+    r.h2d_bytes + r.d2h_bytes
+}
+
+/// Runs one pipeline point: the `pipeline` workload mix through the
+/// service (DAG admission, residency ledger, WFQ over whole DAGs), then
+/// the staged replay of the same schedule for the PCIe comparator.
+fn pipeline_point(
+    gpus: usize,
+    streams: usize,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+    check: bool,
+) -> (PipelinePoint, Option<CheckReport>) {
+    let workload = Workload::pipeline();
+    let mut svc = ServeConfig::builder()
+        .gpus(gpus)
+        .streams(streams)
+        .check_hazards(check)
+        .build_service()
+        .unwrap_or_else(|e| panic!("bench pipeline: cannot bring fleet up: {e}"));
+    run_open_loop(&mut svc, &workload, requests, rate_rps, seed);
+    svc.drain();
+    let crep = svc.check_report();
+    let r = svc.report();
+    let piped_bytes = r.h2d_bytes + r.d2h_bytes;
+    let schedule = open_loop_templates(&workload, requests, rate_rps, seed);
+    let staged_bytes = staged_replay_bytes(&schedule, gpus, streams);
+    let fetches = r.resident_hits + r.resident_misses;
+    (
+        PipelinePoint {
+            pipe_workload: "pipeline".to_string(),
+            pipe_gpus: gpus,
+            pipe_streams: streams,
+            pipe_requests: requests,
+            pipe_seed: seed,
+            pipe_count: r.pipelines,
+            pipe_stages: r.pipeline_stages,
+            pipe_stages_per_s: if r.makespan_s > 0.0 {
+                r.pipeline_stages as f64 / r.makespan_s
+            } else {
+                0.0
+            },
+            pipe_resident_hit_frac: if fetches > 0 {
+                r.resident_hits as f64 / fetches as f64
+            } else {
+                0.0
+            },
+            pipe_evictions: r.resident_evictions,
+            pipe_saved_bytes: staged_bytes.saturating_sub(piped_bytes),
+        },
+        crep,
+    )
+}
+
 /// Runs one gateway point: boots `fft-gate` on an ephemeral port, replays
 /// the seeded open-loop schedule over `clients` concurrent TCP
 /// connections, and pins the wire-fetched report against the in-process
@@ -781,6 +931,28 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             t.ten_admitted, t.ten_quota_rejected, t.ten_preemptions, t.ten_goodput_gbs
         ));
     }
+    // Pipeline runs: (gpus, streams, requests, rate, seed).
+    let pipeline_grid: &[(usize, usize, u64, f64, u64)] = if quick {
+        &[(2, 2, 96, 4000.0, 42)]
+    } else {
+        &[(2, 2, 96, 4000.0, 42), (4, 2, 192, 8000.0, 42)]
+    };
+    let pipeline = pipeline_grid
+        .iter()
+        .map(|&(g, st, req, rate, seed)| {
+            let (point, crep) = pipeline_point(g, st, req, rate, seed, check);
+            fold(crep, &mut merged);
+            point
+        })
+        .collect::<Vec<_>>();
+    for p in &pipeline {
+        report.push_str(&format!(
+            "pipeline: {} on {} GPUs x{} streams: {} DAGs / {} stages ({:.0} stages/s), resident hit {:.2}, {} eviction(s), {:.2} MB PCIe saved vs staged\n",
+            p.pipe_workload, p.pipe_gpus, p.pipe_streams, p.pipe_count, p.pipe_stages,
+            p.pipe_stages_per_s, p.pipe_resident_hit_frac, p.pipe_evictions,
+            p.pipe_saved_bytes as f64 / (1024.0 * 1024.0)
+        ));
+    }
     (
         BenchFile {
             quick,
@@ -790,6 +962,7 @@ pub fn run_grid_checked(quick: bool, check: bool) -> (BenchFile, String, Option<
             gateway,
             attribution,
             tenancy,
+            pipeline,
         },
         report,
         merged,
@@ -919,6 +1092,18 @@ pub fn to_json(file: &BenchFile) -> String {
             t.ten_admitted, t.ten_quota_rejected, t.ten_preemptions,
             t.ten_fairness_index, t.ten_goodput_gbs,
             if i + 1 < nt { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"pipeline\": [\n");
+    let npl = file.pipeline.len();
+    for (i, p) in file.pipeline.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"pipe_workload\": \"{}\", \"pipe_gpus\": {}, \"pipe_streams\": {}, \"pipe_requests\": {}, \"pipe_seed\": {}, \"pipe_count\": {}, \"pipe_stages\": {}, \"pipe_stages_per_s\": {}, \"pipe_resident_hit_frac\": {}, \"pipe_evictions\": {}, \"pipe_saved_bytes\": {}}}{}\n",
+            p.pipe_workload, p.pipe_gpus, p.pipe_streams, p.pipe_requests, p.pipe_seed,
+            p.pipe_count, p.pipe_stages, p.pipe_stages_per_s, p.pipe_resident_hit_frac,
+            p.pipe_evictions, p.pipe_saved_bytes,
+            if i + 1 < npl { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1227,6 +1412,58 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         });
         c = sc;
     }
+    let mut pipeline = Vec::new();
+    let mut c = key_pos(text, "pipe_workload", 0).unwrap_or(text.len());
+    while let Some((pipe_workload, sc)) = field(text, "pipe_workload", c) {
+        let (pipe_gpus, sc) = field(text, "pipe_gpus", sc).ok_or("pipeline: missing pipe_gpus")?;
+        let (pipe_streams, sc) =
+            field(text, "pipe_streams", sc).ok_or("pipeline: missing pipe_streams")?;
+        let (pipe_requests, sc) =
+            field(text, "pipe_requests", sc).ok_or("pipeline: missing pipe_requests")?;
+        let (pipe_seed, sc) = field(text, "pipe_seed", sc).ok_or("pipeline: missing pipe_seed")?;
+        let (pipe_count, sc) =
+            field(text, "pipe_count", sc).ok_or("pipeline: missing pipe_count")?;
+        let (pipe_stages, sc) =
+            field(text, "pipe_stages", sc).ok_or("pipeline: missing pipe_stages")?;
+        let (stages_per_s, sc) =
+            field(text, "pipe_stages_per_s", sc).ok_or("pipeline: missing pipe_stages_per_s")?;
+        let (hit_frac, sc) = field(text, "pipe_resident_hit_frac", sc)
+            .ok_or("pipeline: missing pipe_resident_hit_frac")?;
+        let (evictions, sc) =
+            field(text, "pipe_evictions", sc).ok_or("pipeline: missing pipe_evictions")?;
+        let (saved, sc) =
+            field(text, "pipe_saved_bytes", sc).ok_or("pipeline: missing pipe_saved_bytes")?;
+        pipeline.push(PipelinePoint {
+            pipe_workload: pipe_workload.to_string(),
+            pipe_gpus: pipe_gpus
+                .parse()
+                .map_err(|e| format!("bad pipe_gpus '{pipe_gpus}': {e}"))?,
+            pipe_streams: pipe_streams
+                .parse()
+                .map_err(|e| format!("bad pipe_streams '{pipe_streams}': {e}"))?,
+            pipe_requests: pipe_requests
+                .parse()
+                .map_err(|e| format!("bad pipe_requests '{pipe_requests}': {e}"))?,
+            pipe_seed: pipe_seed
+                .parse()
+                .map_err(|e| format!("bad pipe_seed '{pipe_seed}': {e}"))?,
+            pipe_count: pipe_count
+                .parse()
+                .map_err(|e| format!("bad pipe_count '{pipe_count}': {e}"))?,
+            pipe_stages: pipe_stages
+                .parse()
+                .map_err(|e| format!("bad pipe_stages '{pipe_stages}': {e}"))?,
+            pipe_stages_per_s: parse_f64(stages_per_s, "pipe_stages_per_s")?,
+            pipe_resident_hit_frac: parse_f64(hit_frac, "pipe_resident_hit_frac")?,
+            pipe_evictions: evictions
+                .parse()
+                .map_err(|e| format!("bad pipe_evictions '{evictions}': {e}"))?,
+            pipe_saved_bytes: saved
+                .parse()
+                .map_err(|e| format!("bad pipe_saved_bytes '{saved}': {e}"))?,
+        });
+        c = sc;
+    }
     Ok(BenchFile {
         quick,
         runs,
@@ -1235,6 +1472,7 @@ pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
         gateway,
         attribution,
         tenancy,
+        pipeline,
     })
 }
 
@@ -1436,6 +1674,48 @@ pub fn check(baseline: &BenchFile, candidate: &BenchFile, tol: f64) -> Vec<Strin
             ));
         }
     }
+    for base in &baseline.pipeline {
+        let id = format!(
+            "pipeline {}/{}gpu/{}streams",
+            base.pipe_workload, base.pipe_gpus, base.pipe_streams
+        );
+        let Some(cand) = candidate.pipeline.iter().find(|p| {
+            p.pipe_workload == base.pipe_workload
+                && p.pipe_gpus == base.pipe_gpus
+                && p.pipe_streams == base.pipe_streams
+                && p.pipe_requests == base.pipe_requests
+                && p.pipe_seed == base.pipe_seed
+        }) else {
+            failures.push(format!("{id}: missing from candidate run"));
+            continue;
+        };
+        if cand.pipe_stages_per_s < base.pipe_stages_per_s * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: stage throughput regressed {:.0} -> {:.0} stages/s ({:+.1}%)",
+                base.pipe_stages_per_s,
+                cand.pipe_stages_per_s,
+                (cand.pipe_stages_per_s / base.pipe_stages_per_s - 1.0) * 100.0
+            ));
+        }
+        // The hit fraction gates on an absolute drop: intermediates falling
+        // off the card is a residency regression even at low hit counts.
+        if cand.pipe_resident_hit_frac < base.pipe_resident_hit_frac - tol {
+            failures.push(format!(
+                "{id}: resident-hit fraction fell {:.3} -> {:.3} ({:+.3})",
+                base.pipe_resident_hit_frac,
+                cand.pipe_resident_hit_frac,
+                cand.pipe_resident_hit_frac - base.pipe_resident_hit_frac
+            ));
+        }
+        if (cand.pipe_saved_bytes as f64) < base.pipe_saved_bytes as f64 * (1.0 - tol) {
+            failures.push(format!(
+                "{id}: PCIe bytes saved vs staged replay regressed {} -> {} ({:+.1}%)",
+                base.pipe_saved_bytes,
+                cand.pipe_saved_bytes,
+                (cand.pipe_saved_bytes as f64 / base.pipe_saved_bytes as f64 - 1.0) * 100.0
+            ));
+        }
+    }
     failures
 }
 
@@ -1581,6 +1861,7 @@ mod tests {
             gateway: vec![gateway_point("rows", 2, 1, 24, 4000.0, 5, 3)],
             attribution: vec![attribution_point("rows", 2, 1, 24, 4000.0, 5)],
             tenancy: vec![tenancy_point("rows", 2, 1, 24, 4000.0, 5, 2)],
+            pipeline: vec![pipeline_point(2, 1, 24, 4000.0, 5, false).0],
         }
     }
 
@@ -1628,6 +1909,20 @@ mod tests {
         );
         assert!(t.ten_fairness_index > 0.0 && t.ten_fairness_index <= 1.0);
         assert!(t.ten_goodput_gbs > 0.0);
+        let p = &parsed.pipeline[0];
+        assert_eq!(p.pipe_workload, "pipeline");
+        assert!(p.pipe_count > 0, "the mix draws DAGs at 35%");
+        assert!(p.pipe_stages >= p.pipe_count * 4, "every DAG has 4+ stages");
+        assert!(p.pipe_stages_per_s > 0.0);
+        assert!(
+            p.pipe_resident_hit_frac > 0.0 && p.pipe_resident_hit_frac <= 1.0,
+            "intermediates stayed on the card: {}",
+            p.pipe_resident_hit_frac
+        );
+        assert!(
+            p.pipe_saved_bytes > 0,
+            "DAG execution moves strictly fewer PCIe bytes than the staged replay"
+        );
     }
 
     #[test]
@@ -1672,6 +1967,7 @@ mod tests {
             gateway: vec![],
             attribution: vec![],
             tenancy: vec![],
+            pipeline: vec![],
         };
         let failures = check(&file, &empty, CHECK_TOLERANCE);
         assert!(failures[0].contains("missing"), "{failures:?}");
@@ -1749,6 +2045,55 @@ mod tests {
         let failures = check(&inflated, &file, CHECK_TOLERANCE);
         assert!(
             failures.iter().any(|f| f.contains("tenancy rows")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_regressions_fail_the_gate() {
+        let file = tiny_file();
+        assert!(check(&file, &file, CHECK_TOLERANCE).is_empty());
+
+        // Inflated baseline stage throughput reads as a candidate
+        // regression and the diff names the pipeline point.
+        let mut inflated = file.clone();
+        inflated.pipeline[0].pipe_stages_per_s *= 1.10;
+        let failures = check(&inflated, &file, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("pipeline pipeline"), "{failures:?}");
+        assert!(
+            failures[0].contains("stage throughput regressed"),
+            "{failures:?}"
+        );
+
+        // A resident-hit fraction falling beyond tolerance is a residency
+        // regression even while throughput holds.
+        let mut cold = file.clone();
+        cold.pipeline[0].pipe_resident_hit_frac =
+            (file.pipeline[0].pipe_resident_hit_frac - 2.0 * CHECK_TOLERANCE).max(0.0);
+        let failures = check(&file, &cold, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("resident-hit fraction fell"),
+            "{failures:?}"
+        );
+
+        // Shrinking the PCIe savings trips its own check.
+        let mut leaky = file.clone();
+        leaky.pipeline[0].pipe_saved_bytes =
+            (file.pipeline[0].pipe_saved_bytes as f64 * 0.5) as u64;
+        let failures = check(&file, &leaky, CHECK_TOLERANCE);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("PCIe bytes saved"), "{failures:?}");
+
+        // A pipeline point missing from the candidate fails loudly.
+        let mut gone = file.clone();
+        gone.pipeline.clear();
+        let failures = check(&file, &gone, CHECK_TOLERANCE);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("pipeline") && f.contains("missing")),
             "{failures:?}"
         );
     }

@@ -142,6 +142,27 @@ pub fn run_argmax_norm(gpu: &mut Gpu, buf: BufferId, len: usize) -> (usize, f32,
     (best.0, best.1, rep)
 }
 
+/// Device-resident total energy `Σ |v|²` — the Parseval check / spectral
+/// power reduction. Like the argmax kernels, only the 8-byte result crosses
+/// the bus instead of the whole volume.
+pub fn run_energy(gpu: &mut Gpu, buf: BufferId, len: usize) -> (f32, KernelReport) {
+    let res = elementwise_resources();
+    let grid = gpu.fill_grid(&res);
+    let cfg = elementwise_cfg("energy", grid, false, 4 * len as u64);
+    let total = grid * res.threads_per_block;
+    let mut acc = 0.0f64;
+    let rep = gpu.launch(&cfg, |t| {
+        let mut i = t.gid();
+        while i < len {
+            let v = t.ld(buf, i);
+            t.flops(4);
+            acc += v.norm_sqr() as f64;
+            i += total;
+        }
+    });
+    (acc as f32, rep)
+}
+
 /// Device-resident argmax of the *signed real part* — the docking scorer's
 /// reduction (shape-complementarity scores are real, and core clashes are
 /// large negative values that a magnitude argmax would wrongly select).
@@ -210,6 +231,17 @@ mod tests {
         assert_eq!(idx, 321);
         assert!((score - 20000.0).abs() < 1.0);
         assert_eq!(rep.stats.loads, 512);
+    }
+
+    #[test]
+    fn energy_sums_norms() {
+        let vals: Vec<Complex32> = (0..256)
+            .map(|i| c32(if i < 4 { 2.0 } else { 0.0 }, 0.0))
+            .collect();
+        let (mut g, b) = gpu_with(&vals);
+        let (e, rep) = run_energy(&mut g, b, vals.len());
+        assert_eq!(e, 16.0);
+        assert_eq!(rep.stats.loads, 256);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! which is the whole trick behind `--seed`-reproducible network load
 //! tests.
 
-use fft_serve::SeededSpec;
+use fft_serve::SubmitTemplate;
 use std::collections::BTreeMap;
 
 /// What a paced connection has promised about its future arrivals.
@@ -60,8 +60,9 @@ pub struct HeldSubmit {
     /// through the hold so the ack can report the true receive stamp even
     /// when the release happens much later.
     pub recv_s: f64,
-    /// The request template to materialize at release.
-    pub spec: SeededSpec,
+    /// The submission template — a single transform or a whole pipeline
+    /// DAG — to materialize at release.
+    pub spec: SubmitTemplate,
 }
 
 /// The paced-connection merge described in the module docs.
@@ -125,7 +126,7 @@ impl PacedBridge {
         next_s: Option<f64>,
         trace: Option<u64>,
         recv_s: f64,
-        spec: SeededSpec,
+        spec: SubmitTemplate,
     ) -> Result<(), String> {
         let at_bits = time_bits(at_s)?;
         let state = self
@@ -218,10 +219,10 @@ mod tests {
     use super::*;
     use bifft::plan::Algorithm;
     use fft_math::twiddle::Direction;
-    use fft_serve::{Priority, Shape};
+    use fft_serve::{Priority, SeededSpec, Shape};
 
-    fn spec(seed: u64) -> SeededSpec {
-        SeededSpec {
+    fn spec(seed: u64) -> SubmitTemplate {
+        SubmitTemplate::Single(SeededSpec {
             shape: Shape::Rows1d { n: 256, rows: 8 },
             direction: Direction::Forward,
             algorithm: Some(Algorithm::FiveStep),
@@ -229,7 +230,7 @@ mod tests {
             deadline_s: None,
             tenant: fft_serve::TenantId(0),
             seed,
-        }
+        })
     }
 
     /// Two connections delivering out of order still release in global

@@ -6,7 +6,7 @@
 //!                [--port-file PATH]
 //! fft-gate bench [--addr HOST:PORT] [--clients N] [--requests N]
 //!                [--rate RPS] [--closed N] [--seed S]
-//!                [--workload rows|mixed] [--tenants N] [--gpus N] [--streams N]
+//!                [--workload rows|mixed|pipeline] [--tenants N] [--gpus N] [--streams N]
 //!                [--window N] [--check-hazards] [--validate-metrics]
 //!                [--compare-local] [--metrics-out PATH]
 //!                [--report-out PATH] [--shutdown]
@@ -29,7 +29,7 @@
 
 use crate::loadnet::{control, run_closed_loop_net, run_open_loop_net, NetLoad};
 use crate::server::{GateConfig, GateServer};
-use fft_serve::loadgen::open_loop_schedule;
+use fft_serve::loadgen::open_loop_templates;
 use fft_serve::{validate_metrics_json, FftService, ServeConfig, Workload};
 
 struct Cli {
@@ -87,7 +87,8 @@ fn usage() {
         "usage: fft-gate serve [--addr HOST:PORT] [--gpus N] [--streams N] [--queue N] \
          [--window N] [--check-hazards] [--metrics-out PATH] [--port-file PATH]\n\
          \u{20}      fft-gate bench [--addr HOST:PORT] [--clients N] [--requests N] [--rate RPS] \
-         [--closed N] [--seed S] [--workload rows|mixed] [--tenants N] [--gpus N] [--streams N] \
+         [--closed N] [--seed S] [--workload rows|mixed|pipeline] [--tenants N] [--gpus N] \
+         [--streams N] \
          [--window N] \
          [--check-hazards] [--validate-metrics] [--compare-local] [--metrics-out PATH] \
          [--report-out PATH] [--shutdown]\n\
@@ -266,9 +267,9 @@ fn local_report(cli: &Cli, workload: &Workload) -> Result<String, String> {
         }
         None => {
             for (at_s, template) in
-                open_loop_schedule(workload, cli.requests, cli.rate_rps, cli.seed)
+                open_loop_templates(workload, cli.requests, cli.rate_rps, cli.seed)
             {
-                let _ = svc.submit(template.materialize(), at_s);
+                let _ = template.submit(&mut svc, at_s);
             }
         }
     }
@@ -280,8 +281,9 @@ fn cmd_bench(cli: &Cli) -> i32 {
     let mut workload = match cli.workload.as_str() {
         "rows" => Workload::rows(),
         "mixed" => Workload::mixed(),
+        "pipeline" => Workload::pipeline(),
         other => {
-            eprintln!("fft-gate: unknown workload '{other}' (rows|mixed)");
+            eprintln!("fft-gate: unknown workload '{other}' (rows|mixed|pipeline)");
             return 2;
         }
     };

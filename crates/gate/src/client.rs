@@ -1,13 +1,14 @@
-//! `ServeClient`: the blocking client side of `bifft-wire-v1.1`.
+//! `ServeClient`: the blocking client side of `bifft-wire-v1.3`.
 //!
 //! A thin, dependency-free wrapper over one `TcpStream`: it performs the
 //! `Hello` handshake at connect, then exposes the protocol verbs either
 //! as blocking request/reply calls (`ping`, `submit`, `poll`, `drain`,
 //! `report`, …) or as the raw `send`/`recv` pair the windowed load
-//! generator streams through.
+//! generator streams through. Single transforms and pipeline DAGs share
+//! one code path via [`ServeClient::submit_template_traced`].
 
 use crate::proto::{Frame, FrameDecoder, Mode, PROTO};
-use fft_serve::SeededSpec;
+use fft_serve::{SeededSpec, SubmitTemplate};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -242,15 +243,52 @@ impl ServeClient {
         next_s: Option<f64>,
         spec: SeededSpec,
     ) -> std::io::Result<Result<(u64, AckStamps), WireError>> {
-        self.send(&Frame::Submit {
-            seq,
-            at_s,
-            next_s,
-            trace,
-            spec,
-        })?;
+        self.submit_template_traced(seq, trace, at_s, next_s, &SubmitTemplate::Single(spec))
+    }
+
+    /// Submits one template — a single transform (`Submit`, acked with
+    /// `SubmitAck`) or a whole pipeline DAG (`PipelineSubmit`, acked with
+    /// `PipelineAck`) — and returns the correlation id with the gateway's
+    /// [`AckStamps`]. The two ack shapes are identical, so callers stream
+    /// mixed traffic through one loop.
+    ///
+    /// # Errors
+    /// Socket/protocol errors, including an ack whose echoed trace does
+    /// not match what was sent.
+    pub fn submit_template_traced(
+        &mut self,
+        seq: u64,
+        trace: Option<u64>,
+        at_s: Option<f64>,
+        next_s: Option<f64>,
+        template: &SubmitTemplate,
+    ) -> std::io::Result<Result<(u64, AckStamps), WireError>> {
+        match template {
+            SubmitTemplate::Single(spec) => self.send(&Frame::Submit {
+                seq,
+                at_s,
+                next_s,
+                trace,
+                spec: *spec,
+            })?,
+            SubmitTemplate::Pipeline(pipe) => self.send(&Frame::PipelineSubmit {
+                seq,
+                at_s,
+                next_s,
+                trace,
+                pipe: pipe.clone(),
+            })?,
+        }
         match self.recv()? {
             Frame::SubmitAck {
+                seq: got,
+                id,
+                trace: echoed,
+                recv_s,
+                enq_s,
+                ack_s,
+            }
+            | Frame::PipelineAck {
                 seq: got,
                 id,
                 trace: echoed,
@@ -283,7 +321,7 @@ impl ServeClient {
                 kind,
                 message,
             })),
-            other => Err(io_err(format!("expected SubmitAck, got {other:?}"))),
+            other => Err(io_err(format!("expected a submit ack, got {other:?}"))),
         }
     }
 

@@ -2,7 +2,7 @@
 //! `fft_serve::loadgen`, replayed through real TCP connections.
 //!
 //! The open-loop generator records the same Poisson arrival schedule the
-//! in-process generator draws (`open_loop_schedule`), deals it round-robin
+//! in-process generator draws (`open_loop_templates`), deals it round-robin
 //! across `clients` concurrent connections, and streams it windowed
 //! through the paced bridge. Because every submit carries its virtual
 //! `at_s`, global `seq` and the sender's next-arrival watermark, the
@@ -12,8 +12,8 @@
 
 use crate::client::ServeClient;
 use crate::proto::{Frame, Mode};
-use fft_serve::loadgen::open_loop_schedule;
-use fft_serve::{SeededSpec, Workload};
+use fft_serve::loadgen::open_loop_templates;
+use fft_serve::{SubmitTemplate, Workload};
 use std::io::ErrorKind;
 use std::time::Duration;
 
@@ -61,15 +61,17 @@ impl NetLoad {
     }
 }
 
-/// One worker's slice of the schedule: `(global_seq, at_s, next_s, spec)`.
-type Slice = Vec<(u64, f64, Option<f64>, SeededSpec)>;
+/// One worker's slice of the schedule:
+/// `(global_seq, at_s, next_s, template)` — single transforms and whole
+/// pipeline DAGs stream through the same windowed loop.
+type Slice = Vec<(u64, f64, Option<f64>, SubmitTemplate)>;
 
 /// Deals the recorded schedule round-robin across `clients` workers,
 /// computing each worker's own next-arrival watermarks.
-fn deal(schedule: &[(f64, SeededSpec)], clients: usize) -> Vec<Slice> {
+fn deal(schedule: &[(f64, SubmitTemplate)], clients: usize) -> Vec<Slice> {
     let mut slices: Vec<Slice> = vec![Vec::new(); clients.max(1)];
-    for (i, (at_s, spec)) in schedule.iter().enumerate() {
-        slices[i % clients.max(1)].push((i as u64, *at_s, None, *spec));
+    for (i, (at_s, template)) in schedule.iter().enumerate() {
+        slices[i % clients.max(1)].push((i as u64, *at_s, None, template.clone()));
     }
     for slice in &mut slices {
         for i in 0..slice.len() {
@@ -93,20 +95,29 @@ fn stream_slice(addr: &str, name: &str, slice: Slice) -> std::io::Result<NetLoad
     let mut next = 0usize;
     while next < slice.len() || inflight > 0 {
         if next < slice.len() && inflight < window {
-            let (seq, at_s, next_s, spec) = slice[next];
-            client.send(&Frame::Submit {
-                seq,
-                at_s: Some(at_s),
-                next_s,
-                trace: Some(seq),
-                spec,
-            })?;
+            let (seq, at_s, next_s, template) = &slice[next];
+            match template {
+                SubmitTemplate::Single(spec) => client.send(&Frame::Submit {
+                    seq: *seq,
+                    at_s: Some(*at_s),
+                    next_s: *next_s,
+                    trace: Some(*seq),
+                    spec: *spec,
+                })?,
+                SubmitTemplate::Pipeline(pipe) => client.send(&Frame::PipelineSubmit {
+                    seq: *seq,
+                    at_s: Some(*at_s),
+                    next_s: *next_s,
+                    trace: Some(*seq),
+                    pipe: pipe.clone(),
+                })?,
+            }
             next += 1;
             inflight += 1;
             continue;
         }
         match client.recv()? {
-            Frame::SubmitAck { recv_s, ack_s, .. } => {
+            Frame::SubmitAck { recv_s, ack_s, .. } | Frame::PipelineAck { recv_s, ack_s, .. } => {
                 load.accepted += 1;
                 load.traced_acks += 1;
                 load.gate_hold_s += ack_s - recv_s;
@@ -151,7 +162,7 @@ pub fn run_open_loop_net(
     seed: u64,
     clients: usize,
 ) -> std::io::Result<NetLoad> {
-    let schedule = open_loop_schedule(workload, requests, rate_rps, seed);
+    let schedule = open_loop_templates(workload, requests, rate_rps, seed);
     let slices = deal(&schedule, clients);
     let mut handles = Vec::new();
     for (k, slice) in slices.into_iter().enumerate() {
@@ -206,13 +217,13 @@ pub fn run_closed_loop_net(
     while submitted < requests {
         let window = concurrency.min(requests - submitted);
         for i in 0..window {
-            let spec = workload.draw_template(&mut rng);
+            let template = workload.draw_submit(&mut rng);
             let last_overall = submitted + i + 1 == requests;
             // Every future submit arrives at `at` or later (the next
             // window's time comes from the drain, which only moves
             // forward), so `at` itself is a valid watermark.
             let next_s = if last_overall { None } else { Some(at) };
-            match client.submit_traced(seq, Some(seq), Some(at), next_s, spec)? {
+            match client.submit_template_traced(seq, Some(seq), Some(at), next_s, &template)? {
                 Ok((_, stamps)) => {
                     load.accepted += 1;
                     load.traced_acks += 1;

@@ -1,4 +1,4 @@
-//! `bifft-wire-v1.2`: the versioned, length-prefixed frame protocol the
+//! `bifft-wire-v1.3`: the versioned, length-prefixed frame protocol the
 //! gateway speaks.
 //!
 //! Every frame is a 5-byte header — one type byte, then the body length as
@@ -9,6 +9,15 @@
 //! travels in `Hello` and is matched exactly: any future breaking change
 //! bumps it to `bifft-wire-v2` and old clients get a typed
 //! [`code::PROTO_MISMATCH`] instead of undefined behaviour.
+//!
+//! The v1.2 → v1.3 minor rev added pipeline DAGs: `PipelineSubmit` (type
+//! 20) carries a [`fft_serve::SeededPipeline`] — dims, per-input payload
+//! seeds, and the stage list with stable string kinds and `"in{i}"`/
+//! `"s{i}"` operand labels — and is answered by `PipelineAck` (type 21,
+//! the shape of `SubmitAck`). A stage kind this server does not implement
+//! rejects with the new stable [`code::UNSUPPORTED_STAGE`]. v1.2 clients
+//! are unaffected: every v1.2 frame encodes and decodes byte-identically,
+//! and the server still accepts a v1.2 `Hello`.
 //!
 //! The v1.1 → v1.2 minor rev added multi-tenant QoS plumbing: `Submit`
 //! specs carry the numeric `tenant` the request is accounted to (decoders
@@ -33,10 +42,15 @@
 use crate::json::{self, obj, Value};
 use bifft::plan::Algorithm;
 use fft_math::twiddle::Direction;
-use fft_serve::{Priority, Rejection, SeededSpec, Shape, TenantId};
+use fft_serve::pipeline::{PipelineStage, StageKind};
+use fft_serve::{Operand, Priority, Rejection, SeededPipeline, SeededSpec, Shape, TenantId};
 
 /// The protocol identifier carried in `Hello`/`HelloAck`.
-pub const PROTO: &str = "bifft-wire-v1.2";
+pub const PROTO: &str = "bifft-wire-v1.3";
+
+/// The previous minor rev. v1.3 only *adds* frame types, so the server
+/// accepts a v1.2 `Hello` unchanged — pre-pipeline clients keep working.
+pub const PROTO_V12: &str = "bifft-wire-v1.2";
 
 /// Largest accepted frame body, bytes. Checked against the header length
 /// before any allocation, so a hostile 4 GiB length prefix costs nothing.
@@ -61,6 +75,9 @@ pub mod code {
     /// Admission: the tenant is over its token-bucket rate or in-flight
     /// quota (per-tenant backpressure; retry after the bucket refills).
     pub const QUOTA_EXCEEDED: u16 = 6;
+    /// Admission: a pipeline stage kind this server does not implement,
+    /// or a DAG the residency executor cannot run in place.
+    pub const UNSUPPORTED_STAGE: u16 = 7;
     /// Protocol: unparseable frame header or body.
     pub const BAD_FRAME: u16 = 100;
     /// Protocol: header length exceeds [`super::MAX_FRAME`].
@@ -88,6 +105,7 @@ pub fn rejection_code(r: &Rejection) -> u16 {
         Rejection::Oversized { .. } => code::OVERSIZED,
         Rejection::Unallocatable(_) => code::UNALLOCATABLE,
         Rejection::QuotaExceeded { .. } => code::QUOTA_EXCEEDED,
+        Rejection::UnsupportedStage(_) => code::UNSUPPORTED_STAGE,
     }
 }
 
@@ -100,6 +118,7 @@ pub fn rejection_kind(r: &Rejection) -> &'static str {
         Rejection::Oversized { .. } => "oversized",
         Rejection::Unallocatable(_) => "unallocatable",
         Rejection::QuotaExceeded { .. } => "quota_exceeded",
+        Rejection::UnsupportedStage(_) => "unsupported_stage",
     }
 }
 
@@ -273,6 +292,36 @@ pub enum Frame {
     Shutdown,
     /// Either direction: goodbye; the sender closes after flushing.
     Bye,
+    /// Client → server: one pipeline DAG (v1.3). Pacing fields mean what
+    /// they do on `Submit`; the whole DAG is one schedulable unit.
+    PipelineSubmit {
+        /// Client-chosen correlation for the ack.
+        seq: u64,
+        /// Paced connections: explicit virtual arrival time.
+        at_s: Option<f64>,
+        /// Paced connections: the `at_s` of this connection's next submit.
+        next_s: Option<f64>,
+        /// Client-chosen trace id, echoed in the ack.
+        trace: Option<u64>,
+        /// The pipeline template (dims, input seeds, stages).
+        pipe: SeededPipeline,
+    },
+    /// Server → client: the pipeline was admitted (v1.3; the shape of
+    /// `SubmitAck`).
+    PipelineAck {
+        /// Echoed from the submit.
+        seq: u64,
+        /// The service request id — one id for the whole DAG.
+        id: u64,
+        /// Echoed trace id.
+        trace: Option<u64>,
+        /// Gateway wall clock when the frame was decoded.
+        recv_s: f64,
+        /// Gateway wall clock when the DAG entered the service.
+        enq_s: f64,
+        /// Gateway wall clock when this ack was queued for write.
+        ack_s: f64,
+    },
 }
 
 impl Frame {
@@ -298,6 +347,8 @@ impl Frame {
             Frame::CheckReply { .. } => 17,
             Frame::Shutdown => 18,
             Frame::Bye => 19,
+            Frame::PipelineSubmit { .. } => 20,
+            Frame::PipelineAck { .. } => 21,
         }
     }
 
@@ -416,6 +467,34 @@ impl Frame {
                 ("kernels", Value::Int(*kernels)),
                 ("findings", Value::Int(*findings)),
             ]),
+            Frame::PipelineSubmit {
+                seq,
+                at_s,
+                next_s,
+                trace,
+                pipe,
+            } => obj(vec![
+                ("seq", Value::Int(*seq)),
+                ("at_s", opt_num(*at_s)),
+                ("next_s", opt_num(*next_s)),
+                ("trace", trace.map_or(Value::Null, Value::Int)),
+                ("pipe", pipe_body(pipe)),
+            ]),
+            Frame::PipelineAck {
+                seq,
+                id,
+                trace,
+                recv_s,
+                enq_s,
+                ack_s,
+            } => obj(vec![
+                ("seq", Value::Int(*seq)),
+                ("id", Value::Int(*id)),
+                ("trace", trace.map_or(Value::Null, Value::Int)),
+                ("recv_s", Value::Num(*recv_s)),
+                ("enq_s", Value::Num(*enq_s)),
+                ("ack_s", Value::Num(*ack_s)),
+            ]),
         }
     }
 
@@ -522,6 +601,21 @@ impl Frame {
             }),
             18 => Ok(Frame::Shutdown),
             19 => Ok(Frame::Bye),
+            20 => Ok(Frame::PipelineSubmit {
+                seq: need_u64(&v, "seq")?,
+                at_s: opt_f64(&v, "at_s")?,
+                next_s: opt_f64(&v, "next_s")?,
+                trace: opt_u64(&v, "trace")?,
+                pipe: pipe_decode(v.get("pipe").ok_or("missing pipe")?)?,
+            }),
+            21 => Ok(Frame::PipelineAck {
+                seq: need_u64(&v, "seq")?,
+                id: need_u64(&v, "id")?,
+                trace: opt_u64(&v, "trace")?,
+                recv_s: need_f64(&v, "recv_s")?,
+                enq_s: need_f64(&v, "enq_s")?,
+                ack_s: need_f64(&v, "ack_s")?,
+            }),
             other => Err(format!("unknown frame type {other}")),
         }
     }
@@ -701,6 +795,152 @@ fn spec_decode(v: &Value) -> Result<SeededSpec, String> {
     })
 }
 
+/// Renders a pipeline template as its wire body. Stage kinds travel as
+/// their stable string labels and operands as `"in{i}"` / `"s{i}"`, so a
+/// hex dump of a `PipelineSubmit` reads like the DAG it carries.
+fn pipe_body(pipe: &SeededPipeline) -> Value {
+    let stages = pipe
+        .stages
+        .iter()
+        .map(|st| {
+            obj(vec![
+                ("kind", Value::Str(st.kind.label().to_string())),
+                ("src", Value::Str(st.src.label())),
+                (
+                    "src2",
+                    st.src2.map_or(Value::Null, |o| Value::Str(o.label())),
+                ),
+                ("scale", Value::Num(f64::from(st.scale))),
+                ("after", Value::Int(u64::from(st.after_mask))),
+            ])
+        })
+        .collect();
+    obj(vec![
+        (
+            "dims",
+            Value::Arr(vec![
+                Value::Int(pipe.dims.0 as u64),
+                Value::Int(pipe.dims.1 as u64),
+                Value::Int(pipe.dims.2 as u64),
+            ]),
+        ),
+        (
+            "seeds",
+            Value::Arr(pipe.input_seeds.iter().map(|&s| Value::Int(s)).collect()),
+        ),
+        ("stages", Value::Arr(stages)),
+        (
+            "priority",
+            Value::Str(
+                match pipe.priority {
+                    Priority::High => "high",
+                    Priority::Normal => "normal",
+                    Priority::Low => "low",
+                }
+                .to_string(),
+            ),
+        ),
+        ("deadline_s", opt_num(pipe.deadline_s)),
+        ("tenant", Value::Int(pipe.tenant.0)),
+    ])
+}
+
+/// Parses a pipeline template off the wire. An unknown stage kind label
+/// errors with the stable `unsupported stage kind` prefix, which the
+/// decoder maps to [`code::UNSUPPORTED_STAGE`] — a newer client's DAG gets
+/// the typed rejection, not a generic bad-frame. Structural DAG rules
+/// (operand wiring, masks) are *not* checked here; the service validates
+/// at admission so both transports reject identically.
+fn pipe_decode(v: &Value) -> Result<SeededPipeline, String> {
+    let dims_v = v
+        .get("dims")
+        .and_then(Value::as_arr)
+        .ok_or("missing dims")?;
+    if dims_v.len() != 3 {
+        return Err(format!("dims has {} entries, want 3", dims_v.len()));
+    }
+    let dim = |i: usize| -> Result<usize, String> {
+        let d = dims_v[i].as_u64().ok_or("dims must be integers")?;
+        if d == 0 || d > (1 << 24) {
+            return Err(format!("dims[{i}] = {d} out of range"));
+        }
+        Ok(d as usize)
+    };
+    let dims = (dim(0)?, dim(1)?, dim(2)?);
+    let seeds_v = v
+        .get("seeds")
+        .and_then(Value::as_arr)
+        .ok_or("missing seeds")?;
+    let input_seeds = seeds_v
+        .iter()
+        .map(|s| {
+            s.as_u64()
+                .ok_or_else(|| "seeds must be integers".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let stages_v = v
+        .get("stages")
+        .and_then(Value::as_arr)
+        .ok_or("missing stages")?;
+    if stages_v.len() > fft_serve::pipeline::MAX_STAGES {
+        return Err(format!(
+            "{} stages exceeds the {} bound",
+            stages_v.len(),
+            fft_serve::pipeline::MAX_STAGES
+        ));
+    }
+    let mut stages = Vec::with_capacity(stages_v.len());
+    for (i, st) in stages_v.iter().enumerate() {
+        let kind_label = need_str(st, "kind")?;
+        let kind = StageKind::parse(&kind_label)
+            .ok_or_else(|| format!("unsupported stage kind '{kind_label}' (stage {i})"))?;
+        let src = Operand::parse(&need_str(st, "src")?)
+            .ok_or_else(|| format!("stage {i}: bad src operand"))?;
+        let src2 = match st.get("src2") {
+            None | Some(Value::Null) => None,
+            Some(o) => Some(
+                o.as_str()
+                    .and_then(Operand::parse)
+                    .ok_or_else(|| format!("stage {i}: bad src2 operand"))?,
+            ),
+        };
+        let scale = need_f64(st, "scale")? as f32;
+        if !scale.is_finite() {
+            return Err(format!("stage {i}: scale must be finite"));
+        }
+        let after = need_u64(st, "after")?;
+        let after_mask =
+            u32::try_from(after).map_err(|_| format!("stage {i}: after mask out of range"))?;
+        stages.push(PipelineStage {
+            kind,
+            src,
+            src2,
+            scale,
+            after_mask,
+        });
+    }
+    let priority = match need_str(v, "priority")?.as_str() {
+        "high" => Priority::High,
+        "normal" => Priority::Normal,
+        "low" => Priority::Low,
+        other => return Err(format!("unknown priority '{other}'")),
+    };
+    let deadline_s = opt_f64(v, "deadline_s")?;
+    if let Some(d) = deadline_s {
+        if d <= 0.0 || d.is_nan() {
+            return Err(format!("deadline_s = {d} must be positive"));
+        }
+    }
+    Ok(SeededPipeline {
+        dims,
+        input_seeds,
+        stages,
+        priority,
+        deadline_s,
+        tenant: TenantId(opt_u64(v, "tenant")?.unwrap_or(0)),
+    })
+}
+
 /// Incremental frame decoder over a growing byte buffer: feed raw reads in,
 /// take complete frames out.
 #[derive(Debug, Default)]
@@ -749,6 +989,11 @@ impl FrameDecoder {
         let frame = Frame::decode(ty, &self.buf[HEADER_LEN..total]).map_err(|e| {
             if e.starts_with("unknown frame type") {
                 (code::UNKNOWN_TYPE, e)
+            } else if e.starts_with("unsupported stage kind") {
+                // A structurally fine v1.3 pipeline naming a kind this
+                // server does not implement: typed rejection, not a
+                // connection-fatal bad frame.
+                (code::UNSUPPORTED_STAGE, e)
             } else {
                 (code::BAD_FRAME, e)
             }
@@ -771,6 +1016,17 @@ mod tests {
             deadline_s: Some(2.5e-3),
             tenant: TenantId(3),
             seed: 0xdead_beef_cafe_f00d,
+        }
+    }
+
+    fn sample_pipe() -> SeededPipeline {
+        SeededPipeline {
+            dims: (32, 16, 16),
+            input_seeds: vec![u64::MAX, 0xdead_beef],
+            stages: fft_serve::pipeline::docking_stages(32 * 16 * 16),
+            priority: Priority::High,
+            deadline_s: Some(0.125),
+            tenant: TenantId(2),
         }
     }
 
@@ -804,6 +1060,21 @@ mod tests {
                 trace: Some(41),
                 recv_s: 0.125,
                 enq_s: 0.25,
+                ack_s: 0.5,
+            },
+            Frame::PipelineSubmit {
+                seq: 8,
+                at_s: Some(0.375),
+                next_s: Some(0.5),
+                trace: Some(42),
+                pipe: sample_pipe(),
+            },
+            Frame::PipelineAck {
+                seq: 8,
+                id: 4,
+                trace: Some(42),
+                recv_s: 0.375,
+                enq_s: 0.4375,
                 ack_s: 0.5,
             },
             Frame::Poll { id: 3 },
@@ -919,6 +1190,11 @@ mod tests {
                 code::QUOTA_EXCEEDED,
                 "quota_exceeded",
             ),
+            (
+                Rejection::UnsupportedStage("stage 1 reads a reduced value".to_string()),
+                code::UNSUPPORTED_STAGE,
+                "unsupported_stage",
+            ),
         ];
         for (r, want_code, want_kind) in cases {
             assert_eq!(rejection_code(&r), want_code, "{r}");
@@ -947,6 +1223,53 @@ mod tests {
         unknown.extend_from_slice(b"{}");
         dec.feed(&unknown);
         assert_eq!(dec.next_frame().unwrap_err().0, code::UNKNOWN_TYPE);
+    }
+
+    #[test]
+    fn unknown_stage_kind_maps_to_the_stable_unsupported_code() {
+        // A structurally valid v1.3 pipeline naming a kind this build does
+        // not implement: the decoder must answer with the typed code, not
+        // a generic bad frame, and never panic.
+        let mut encoded = Frame::PipelineSubmit {
+            seq: 1,
+            at_s: None,
+            next_s: None,
+            trace: None,
+            pipe: sample_pipe(),
+        }
+        .encode();
+        let body = String::from_utf8(encoded.split_off(HEADER_LEN)).unwrap();
+        let body = body.replacen("\"kind\":\"forward\"", "\"kind\":\"wavelet\"", 1);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[encoded[0]]);
+        dec.feed(&(body.len() as u32).to_le_bytes());
+        dec.feed(body.as_bytes());
+        let (ecode, msg) = dec.next_frame().unwrap_err();
+        assert_eq!(ecode, code::UNSUPPORTED_STAGE);
+        assert!(msg.contains("wavelet"), "names the offending kind: {msg}");
+    }
+
+    #[test]
+    fn pipeline_scale_survives_the_wire_exactly() {
+        // The f32 scale rides the wire as f64; widening and narrowing are
+        // exact, so `1/N` comes back bit-identical.
+        let pipe = sample_pipe();
+        let want: Vec<u32> = pipe.stages.iter().map(|s| s.scale.to_bits()).collect();
+        let f = Frame::PipelineSubmit {
+            seq: 0,
+            at_s: None,
+            next_s: None,
+            trace: None,
+            pipe,
+        };
+        let bytes = f.encode();
+        match Frame::decode(bytes[0], &bytes[HEADER_LEN..]).unwrap() {
+            Frame::PipelineSubmit { pipe, .. } => {
+                let got: Vec<u32> = pipe.stages.iter().map(|s| s.scale.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("expected PipelineSubmit, got {other:?}"),
+        }
     }
 
     #[test]

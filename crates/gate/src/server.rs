@@ -25,8 +25,10 @@
 //! registry, so `--metrics-out` exports one document covering both layers.
 
 use crate::bridge::PacedBridge;
-use crate::proto::{code, rejection_code, rejection_kind, Frame, FrameDecoder, Mode, PROTO};
-use fft_serve::{FftService, Rejection, RequestId, ServeConfig, Ticket};
+use crate::proto::{
+    code, rejection_code, rejection_kind, Frame, FrameDecoder, Mode, PROTO, PROTO_V12,
+};
+use fft_serve::{FftService, Rejection, RequestId, ServeConfig, SubmitTemplate, Ticket};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -105,6 +107,19 @@ impl Conn {
     fn queue_frame(&mut self, f: &Frame) {
         self.out.extend_from_slice(&f.encode());
     }
+}
+
+/// One submit's reply coordinates: the connection it came in on, the
+/// client's frame seq / trace id, the gateway wall stamps taken at decode
+/// (`recv_s`) and service enqueue (`enq_s`), and whether the ack goes out
+/// as a `PipelineAck` instead of a `SubmitAck`.
+struct SubmitReply {
+    conn: u64,
+    seq: u64,
+    trace: Option<u64>,
+    recv_s: f64,
+    enq_s: f64,
+    pipeline: bool,
 }
 
 /// The gateway server. Construct with [`GateServer::bind`], then either
@@ -401,6 +416,7 @@ impl GateServer {
             code::PROTO_MISMATCH => "proto_mismatch",
             code::BAD_REQUEST => "bad_request",
             code::UNKNOWN_TYPE => "unknown_type",
+            code::UNSUPPORTED_STAGE => "unsupported_stage",
             _ => "bad_frame",
         };
         if let Some(conn) = self.conns.get_mut(&id) {
@@ -431,7 +447,9 @@ impl GateServer {
                     mode,
                     first_s,
                 } => {
-                    if proto != PROTO {
+                    // v1.3 only adds frame types, so a v1.2 client is
+                    // served unchanged (it simply never sends type 20).
+                    if proto != PROTO && proto != PROTO_V12 {
                         self.protocol_error(
                             id,
                             None,
@@ -485,7 +503,19 @@ impl GateServer {
                 // The frame-received stamp for the v1.1 ack: gateway wall
                 // clock at the moment the submit was decoded.
                 let recv_s = self.started.elapsed().as_secs_f64();
-                self.handle_submit(id, mode, seq, at_s, next_s, trace, recv_s, spec);
+                let tpl = SubmitTemplate::Single(spec);
+                self.handle_submit(id, mode, seq, at_s, next_s, trace, recv_s, tpl);
+            }
+            Frame::PipelineSubmit {
+                seq,
+                at_s,
+                next_s,
+                trace,
+                pipe,
+            } => {
+                let recv_s = self.started.elapsed().as_secs_f64();
+                let tpl = SubmitTemplate::Pipeline(pipe);
+                self.handle_submit(id, mode, seq, at_s, next_s, trace, recv_s, tpl);
             }
             Frame::Poll { id: rid } => {
                 self.svc.telemetry_mut().registry.inc(names::POLLS);
@@ -576,7 +606,8 @@ impl GateServer {
             | Frame::DrainAck { .. }
             | Frame::ReportReply { .. }
             | Frame::MetricsReply { .. }
-            | Frame::CheckReply { .. } => {
+            | Frame::CheckReply { .. }
+            | Frame::PipelineAck { .. } => {
                 self.protocol_error(id, None, code::BAD_REQUEST, "server-only frame from client");
             }
         }
@@ -592,7 +623,7 @@ impl GateServer {
         next_s: Option<f64>,
         trace: Option<u64>,
         recv_s: f64,
-        spec: fft_serve::SeededSpec,
+        template: SubmitTemplate,
     ) {
         match mode {
             Some(Mode::Paced) => {
@@ -605,7 +636,10 @@ impl GateServer {
                     );
                     return;
                 };
-                if let Err(e) = self.bridge.submit(id, seq, at, next_s, trace, recv_s, spec) {
+                if let Err(e) = self
+                    .bridge
+                    .submit(id, seq, at, next_s, trace, recv_s, template)
+                {
                     self.protocol_error(id, Some(seq), code::BAD_REQUEST, &e);
                     return;
                 }
@@ -625,9 +659,20 @@ impl GateServer {
                 // running virtual time backwards.
                 let wall = self.started.elapsed().as_secs_f64();
                 let at = at_s.unwrap_or(wall).max(self.svc.now_s());
-                let result = self.svc.submit(spec.materialize(), at);
+                let pipeline = matches!(template, SubmitTemplate::Pipeline(_));
+                let result = template.submit(&mut self.svc, at);
                 let enq_s = self.started.elapsed().as_secs_f64();
-                self.answer_submit(id, seq, trace, recv_s, enq_s, &result);
+                self.answer_submit(
+                    SubmitReply {
+                        conn: id,
+                        seq,
+                        trace,
+                        recv_s,
+                        enq_s,
+                        pipeline,
+                    },
+                    &result,
+                );
                 if let Err(r) = &result {
                     if matches!(r, Rejection::QueueFull { .. }) {
                         // The read-pause that turns admission shedding into
@@ -647,30 +692,42 @@ impl GateServer {
     }
 
     /// Queues the ack or typed rejection for one released/admitted submit.
-    /// `recv_s`/`enq_s` are gateway wall stamps (frame decoded, request
-    /// entered the service); the ack stamp is taken here, as the reply is
-    /// queued for write.
-    fn answer_submit(
-        &mut self,
-        id: u64,
-        seq: u64,
-        trace: Option<u64>,
-        recv_s: f64,
-        enq_s: f64,
-        result: &Result<Ticket, Rejection>,
-    ) {
+    /// `reply.recv_s`/`reply.enq_s` are gateway wall stamps (frame decoded,
+    /// request entered the service); the ack stamp is taken here, as the
+    /// reply is queued for write.
+    fn answer_submit(&mut self, reply: SubmitReply, result: &Result<Ticket, Rejection>) {
+        let SubmitReply {
+            conn: id,
+            seq,
+            trace,
+            recv_s,
+            enq_s,
+            pipeline,
+        } = reply;
         let ack_s = self.started.elapsed().as_secs_f64();
         let reg = &mut self.svc.telemetry_mut().registry;
         let reply = match result {
             Ok(ticket) => {
                 reg.inc(names::SUBMITS);
-                Frame::SubmitAck {
-                    seq,
-                    id: ticket.correlation(),
-                    trace,
-                    recv_s,
-                    enq_s,
-                    ack_s,
+                let (id, trace) = (ticket.correlation(), trace);
+                if pipeline {
+                    Frame::PipelineAck {
+                        seq,
+                        id,
+                        trace,
+                        recv_s,
+                        enq_s,
+                        ack_s,
+                    }
+                } else {
+                    Frame::SubmitAck {
+                        seq,
+                        id,
+                        trace,
+                        recv_s,
+                        enq_s,
+                        ack_s,
+                    }
                 }
             }
             Err(r) => {
@@ -698,9 +755,20 @@ impl GateServer {
                 break;
             }
             for held in released {
-                let result = self.svc.submit(held.spec.materialize(), held.at_s);
+                let pipeline = matches!(held.spec, SubmitTemplate::Pipeline(_));
+                let result = held.spec.submit(&mut self.svc, held.at_s);
                 let enq_s = self.started.elapsed().as_secs_f64();
-                self.answer_submit(held.conn, held.seq, held.trace, held.recv_s, enq_s, &result);
+                self.answer_submit(
+                    SubmitReply {
+                        conn: held.conn,
+                        seq: held.seq,
+                        trace: held.trace,
+                        recv_s: held.recv_s,
+                        enq_s,
+                        pipeline,
+                    },
+                    &result,
+                );
             }
         }
         for (&id, conn) in self.conns.iter_mut() {

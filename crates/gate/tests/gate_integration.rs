@@ -10,8 +10,9 @@ use fft_gate::server::{names, GateConfig, GateServer};
 use fft_gate::{control, run_open_loop_net, ServeClient};
 use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
-use fft_serve::loadgen::open_loop_schedule;
-use fft_serve::{FftService, Priority, SeededSpec, ServeConfig, Shape, Workload};
+use fft_serve::loadgen::{open_loop_schedule, open_loop_templates};
+use fft_serve::pipeline::docking_stages;
+use fft_serve::{FftService, Priority, SeededPipeline, SeededSpec, ServeConfig, Shape, Workload};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -94,6 +95,28 @@ fn exemplar_frames() -> Vec<Frame> {
             recv_s: 0.001,
             enq_s: 0.002,
             ack_s: 0.004,
+        },
+        Frame::PipelineSubmit {
+            seq: 4,
+            at_s: Some(0.25),
+            next_s: None,
+            trace: Some(11),
+            pipe: SeededPipeline {
+                dims: (16, 16, 16),
+                input_seeds: vec![u64::MAX, 3],
+                stages: docking_stages(16 * 16 * 16),
+                priority: Priority::Normal,
+                deadline_s: None,
+                tenant: fft_serve::TenantId(0),
+            },
+        },
+        Frame::PipelineAck {
+            seq: 4,
+            id: 10,
+            trace: Some(11),
+            recv_s: 0.002,
+            enq_s: 0.004,
+            ack_s: 0.008,
         },
         Frame::Poll { id: 9 },
         Frame::PollReply {
@@ -212,6 +235,142 @@ fn eight_clients_same_seed_report_matches_in_process() {
     );
 }
 
+/// The same pin with DAG traffic in the mix: a seeded pipeline workload
+/// (convolution and docking DAGs interleaved with single transforms)
+/// replayed over eight concurrent connections must render the
+/// byte-identical `ServeReport` the in-process template run does — the
+/// v1.3 acceptance bar.
+#[test]
+fn eight_clients_pipeline_workload_report_matches_in_process() {
+    let workload = Workload::pipeline();
+    let (requests, rate, seed) = (48u64, 4000.0, 11u64);
+    let cfg = GateConfig {
+        serve: serve_cfg(2, 64),
+        window: 8,
+    };
+    let (addr, handle) = GateServer::spawn("127.0.0.1:0", cfg).expect("spawn gateway");
+    let addr = addr.to_string();
+
+    let load = run_open_loop_net(&addr, &workload, requests, rate, seed, 8).expect("network load");
+    assert_eq!(load.offered, requests);
+    let mut ctl = control(&addr).expect("control connection");
+    ctl.drain().expect("drain");
+    let wire_report = ctl.report().expect("report");
+    ctl.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+
+    let mut svc = FftService::new(serve_cfg(2, 64)).expect("local service");
+    for (at_s, template) in open_loop_templates(&workload, requests, rate, seed) {
+        let _ = template.submit(&mut svc, at_s);
+    }
+    svc.drain();
+    let report = svc.report();
+    assert!(
+        report.pipelines > 0,
+        "the seeded mix must actually carry DAGs"
+    );
+    assert!(
+        report.resident_hits > 0,
+        "served DAGs must hit device-resident intermediates"
+    );
+    assert_eq!(
+        wire_report,
+        report.to_json(),
+        "gateway and in-process pipeline reports must be byte-identical for the same seed"
+    );
+}
+
+/// An otherwise well-formed v1.3 pipeline naming a stage kind this server
+/// does not implement gets the stable typed code — not a generic bad
+/// frame, and never a panic.
+#[test]
+fn unknown_stage_kind_rejects_with_the_stable_wire_code() {
+    let cfg = GateConfig {
+        serve: serve_cfg(1, 16),
+        window: 4,
+    };
+    let (addr, handle) = GateServer::spawn("127.0.0.1:0", cfg).expect("spawn gateway");
+    let addr = addr.to_string();
+
+    // Encode a valid DAG, then rewrite one stage kind to a label from the
+    // future. The frame stays structurally perfect JSON.
+    let mut bytes = Frame::PipelineSubmit {
+        seq: 1,
+        at_s: None,
+        next_s: None,
+        trace: Some(1),
+        pipe: SeededPipeline {
+            dims: (16, 16, 16),
+            input_seeds: vec![1, 2],
+            stages: docking_stages(16 * 16 * 16),
+            priority: Priority::Normal,
+            deadline_s: None,
+            tenant: fft_serve::TenantId(0),
+        },
+    }
+    .encode();
+    let body = String::from_utf8(bytes.split_off(HEADER_LEN)).unwrap();
+    let body = body.replacen(
+        "\"kind\":\"reduce_argmax\"",
+        "\"kind\":\"reduce_median\"",
+        1,
+    );
+    let mut patched = vec![bytes[0]];
+    patched.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    patched.extend_from_slice(body.as_bytes());
+
+    let mut s = TcpStream::connect(&addr).expect("connect");
+    s.set_nodelay(true).ok();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut dec = fft_gate::proto::FrameDecoder::new();
+    let next = |s: &mut TcpStream, dec: &mut fft_gate::proto::FrameDecoder| -> Frame {
+        loop {
+            if let Some(f) = dec.next_frame().expect("client-side decode") {
+                return f;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = s.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed before answering");
+            dec.feed(&chunk[..n]);
+        }
+    };
+    s.write_all(
+        &Frame::Hello {
+            proto: PROTO.to_string(),
+            client: "newer-client".to_string(),
+            mode: Mode::Live,
+            first_s: None,
+        }
+        .encode(),
+    )
+    .expect("hello");
+    assert!(matches!(next(&mut s, &mut dec), Frame::HelloAck { .. }));
+    s.write_all(&patched).expect("patched pipeline submit");
+    match next(&mut s, &mut dec) {
+        Frame::Error {
+            code: ecode,
+            kind,
+            message,
+            ..
+        } => {
+            assert_eq!(ecode, code::UNSUPPORTED_STAGE);
+            assert_eq!(kind, "unsupported_stage");
+            assert!(
+                message.contains("reduce_median"),
+                "names the kind: {message}"
+            );
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    drop(s);
+
+    // The server survives and keeps answering other clients.
+    let mut probe = control(&addr).expect("probe");
+    probe.ping(7).expect("alive after the rejection");
+    probe.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
 /// Raw hostile bytes — truncations, lying length headers, junk JSON, junk
 /// types, mid-handshake garbage — never panic the gateway, and it keeps
 /// serving well-formed clients afterwards.
@@ -256,6 +415,59 @@ fn hostile_bytes_never_panic_the_gateway() {
             b"\x03\x4b\x00\x00\x00{\"seq\":0,\"at_s\":null,\"next_s\":null,\
               \"spec\":{\"kind\":\"rows\",\"n\":99999999999,\"rows\":1}}"
                 .to_vec(),
+        ]
+        .concat(),
+        // A pipeline submit whose body is not JSON.
+        vec![20, 3, 0, 0, 0, 0xde, 0xad, 0xbf],
+        // Hello, then a pipeline with junk everywhere: absurd dims, a
+        // garbage operand, a non-numeric scale.
+        [hello.clone(), {
+            let body = b"{\"seq\":0,\"at_s\":null,\"next_s\":null,\"trace\":null,\
+                  \"pipe\":{\"dims\":[99999999999,0,-3],\"seeds\":[1],\
+                  \"stages\":[{\"kind\":\"forward\",\"src\":\"zz9\",\"src2\":null,\
+                  \"scale\":\"loud\",\"after\":0}],\"priority\":\"normal\",\
+                  \"deadline_s\":null,\"tenant\":0}}"
+                .to_vec();
+            let mut f = vec![20u8];
+            f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            f.extend_from_slice(&body);
+            f
+        }]
+        .concat(),
+        // Hello, then a pipeline claiming thousands of stages (the decoder
+        // must bound the count before allocating).
+        [hello.clone(), {
+            let mut body = b"{\"seq\":0,\"at_s\":null,\"next_s\":null,\"trace\":null,\
+                  \"pipe\":{\"dims\":[16,16,16],\"seeds\":[1,2],\"stages\":["
+                .to_vec();
+            for i in 0..2000 {
+                if i > 0 {
+                    body.push(b',');
+                }
+                body.extend_from_slice(
+                    b"{\"kind\":\"forward\",\"src\":\"in0\",\"src2\":null,\
+                          \"scale\":1.0,\"after\":0}",
+                );
+            }
+            body.extend_from_slice(b"],\"priority\":\"normal\",\"deadline_s\":null,\"tenant\":0}}");
+            let mut f = vec![20u8];
+            f.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            f.extend_from_slice(&body);
+            f
+        }]
+        .concat(),
+        // A client sending the server-only PipelineAck.
+        [
+            hello.clone(),
+            Frame::PipelineAck {
+                seq: 1,
+                id: 2,
+                trace: None,
+                recv_s: 0.1,
+                enq_s: 0.2,
+                ack_s: 0.3,
+            }
+            .encode(),
         ]
         .concat(),
         // A deeply nested body.

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS]
-//!           [--seed S] [--workload rows|mixed] [--closed N]
+//!           [--seed S] [--workload rows|mixed|pipeline] [--closed N]
 //!           [--tenants N] [--preempt]
 //!           [--check-hazards] [--json PATH]
 //!           [--metrics-out PATH] [--metrics-format json|prom]
@@ -82,7 +82,7 @@ impl Default for Cli {
 fn usage() {
     eprintln!(
         "usage: fft-serve [--smoke] [--gpus N] [--streams N] [--requests N] [--rate RPS] \
-         [--seed S] [--workload rows|mixed] [--closed N] [--tenants N] [--preempt] \
+         [--seed S] [--workload rows|mixed|pipeline] [--closed N] [--tenants N] [--preempt] \
          [--check-hazards] [--json PATH] \
          [--metrics-out PATH] [--metrics-format json|prom] [--trace PATH] \
          [--attr-out PATH] [--attr-audit]\n\
@@ -196,8 +196,9 @@ pub fn cli_main() -> i32 {
     let mut workload = match cli.workload.as_str() {
         "rows" => Workload::rows(),
         "mixed" => Workload::mixed(),
+        "pipeline" => Workload::pipeline(),
         other => {
-            eprintln!("fft-serve: unknown workload '{other}' (rows|mixed)");
+            eprintln!("fft-serve: unknown workload '{other}' (rows|mixed|pipeline)");
             return 2;
         }
     };

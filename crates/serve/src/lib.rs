@@ -36,6 +36,7 @@
 pub mod batcher;
 pub mod cli;
 pub mod loadgen;
+pub mod pipeline;
 pub mod prof;
 pub mod qos;
 pub mod queue;
@@ -45,7 +46,14 @@ pub mod scheduler;
 pub mod service;
 pub mod telemetry;
 
-pub use loadgen::{open_loop_schedule, run_closed_loop, run_open_loop, OfferedLoad, Workload};
+pub use loadgen::{
+    open_loop_schedule, open_loop_templates, run_closed_loop, run_open_loop, OfferedLoad,
+    SubmitTemplate, Workload,
+};
+pub use pipeline::{
+    Operand, PipeEstimator, PipelineRequest, PipelineStage, PointwiseOp, ReduceOp, SeededPipeline,
+    StageKind,
+};
 pub use qos::{jain_index, QosConfig, QuotaKind, TenantId, TenantPolicy};
 pub use report::{LatencyStats, ServeReport};
 pub use request::{

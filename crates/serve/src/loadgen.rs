@@ -7,11 +7,35 @@
 //! exact same request sequence and, because the service is deterministic,
 //! produce bit-identical [`crate::report::ServeReport`] JSON.
 
+use crate::pipeline::{convolution_stages, docking_stages, SeededPipeline};
 use crate::qos::TenantId;
-use crate::request::{Priority, RequestSpec, SeededSpec, Shape};
+use crate::request::{Priority, Rejection, SeededSpec, Shape, Ticket};
 use crate::service::FftService;
 use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
+
+/// One submission as a generator draws it: either a single transform or a
+/// whole pipeline DAG. Both variants are wire-transportable seeds-only
+/// templates, so a recorded schedule replays bit-identically on either
+/// side of `bifft-wire-v1.3`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitTemplate {
+    /// A single-transform request ([`FftService::submit`]).
+    Single(SeededSpec),
+    /// A dependency-aware pipeline ([`FftService::submit_pipeline`]).
+    Pipeline(SeededPipeline),
+}
+
+impl SubmitTemplate {
+    /// Materializes the payload(s) and submits to the matching service
+    /// entry point.
+    pub fn submit(&self, svc: &mut FftService, at_s: f64) -> Result<Ticket, Rejection> {
+        match self {
+            SubmitTemplate::Single(spec) => svc.submit(spec.materialize(), at_s),
+            SubmitTemplate::Pipeline(pipe) => svc.submit_pipeline(pipe.materialize(), at_s),
+        }
+    }
+}
 
 /// The shape/urgency mix a generator draws from.
 #[derive(Clone, Debug)]
@@ -29,6 +53,11 @@ pub struct Workload {
     /// extra from the rng, so single-tenant schedules predating QoS
     /// replay bit-identically.
     pub tenants: u32,
+    /// Percent of draws that are pipeline DAGs (a seeded mix of
+    /// convolution and docking-sweep pipelines) instead of single
+    /// transforms. `0` draws nothing extra from the rng, so schedules
+    /// predating pipelines replay bit-identically.
+    pub pipeline_pct: u32,
 }
 
 impl Workload {
@@ -46,6 +75,7 @@ impl Workload {
             high_pct: 10,
             deadline_s: None,
             tenants: 1,
+            pipeline_pct: 0,
         }
     }
 
@@ -61,6 +91,14 @@ impl Workload {
             },
             1,
         ));
+        w
+    }
+
+    /// The mixed workload with roughly a third of draws replaced by
+    /// pipeline DAGs — the `--workload pipeline` mix.
+    pub fn pipeline() -> Self {
+        let mut w = Workload::mixed();
+        w.pipeline_pct = 35;
         w
     }
 
@@ -106,8 +144,47 @@ impl Workload {
         }
     }
 
-    fn draw(&self, rng: &mut SplitMix64) -> RequestSpec {
-        self.draw_template(rng).materialize()
+    /// Draws one pipeline DAG template: a convolution or docking sweep
+    /// over a small seeded volume pair.
+    pub fn draw_pipeline(&self, rng: &mut SplitMix64) -> SeededPipeline {
+        let n = if rng.below(2) == 0 { 16 } else { 32 };
+        let dims = (n, n, n);
+        let elems = n * n * n;
+        let stages = if rng.below(2) == 0 {
+            convolution_stages(elems)
+        } else {
+            docking_stages(elems)
+        };
+        let priority = if (rng.below(100) as u32) < self.high_pct {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        let tenant = if self.tenants > 1 {
+            TenantId(rng.below(self.tenants as usize) as u64)
+        } else {
+            TenantId(0)
+        };
+        SeededPipeline {
+            dims,
+            input_seeds: vec![rng.next_u64(), rng.next_u64()],
+            stages,
+            priority,
+            deadline_s: self.deadline_s,
+            tenant,
+        }
+    }
+
+    /// Draws one submission — a single transform, or (with probability
+    /// `pipeline_pct`) a pipeline DAG. When `pipeline_pct` is zero this
+    /// draws exactly what [`Workload::draw_template`] draws, consuming the
+    /// same rng values, so pre-pipeline schedules replay bit-identically.
+    pub fn draw_submit(&self, rng: &mut SplitMix64) -> SubmitTemplate {
+        if self.pipeline_pct > 0 && (rng.below(100) as u32) < self.pipeline_pct {
+            SubmitTemplate::Pipeline(self.draw_pipeline(rng))
+        } else {
+            SubmitTemplate::Single(self.draw_template(rng))
+        }
     }
 }
 
@@ -123,6 +200,27 @@ pub fn open_loop_schedule(
     rate_rps: f64,
     seed: u64,
 ) -> Vec<(f64, SeededSpec)> {
+    open_loop_templates(workload, requests, rate_rps, seed)
+        .into_iter()
+        .map(|(t, tpl)| match tpl {
+            SubmitTemplate::Single(spec) => (t, spec),
+            SubmitTemplate::Pipeline(_) => {
+                panic!("pipeline workloads need open_loop_templates, not open_loop_schedule")
+            }
+        })
+        .collect()
+}
+
+/// The generalized arrival schedule: `(at_s, template)` pairs where a
+/// template is a single transform *or* a pipeline DAG. For workloads with
+/// `pipeline_pct = 0` this consumes the same rng values as the original
+/// single-only schedule, so pre-pipeline seeds replay bit-identically.
+pub fn open_loop_templates(
+    workload: &Workload,
+    requests: u64,
+    rate_rps: f64,
+    seed: u64,
+) -> Vec<(f64, SubmitTemplate)> {
     assert!(rate_rps > 0.0, "open loop needs a positive arrival rate");
     let mut rng = SplitMix64::new(seed);
     let mut t = 0.0f64;
@@ -131,7 +229,7 @@ pub fn open_loop_schedule(
         // Exponential interarrival gap; (1 - u) keeps ln's argument nonzero.
         let gap = -(1.0 - rng.next_f64()).ln() / rate_rps;
         t += gap;
-        schedule.push((t, workload.draw_template(&mut rng)));
+        schedule.push((t, workload.draw_submit(&mut rng)));
     }
     schedule
 }
@@ -160,12 +258,12 @@ pub fn run_open_loop(
     rate_rps: f64,
     seed: u64,
 ) -> OfferedLoad {
-    let schedule = open_loop_schedule(workload, requests, rate_rps, seed);
+    let schedule = open_loop_templates(workload, requests, rate_rps, seed);
     let mut t = 0.0f64;
     let mut accepted = 0u64;
     for (at_s, template) in schedule {
         t = at_s;
-        if svc.submit(template.materialize(), at_s).is_ok() {
+        if template.submit(svc, at_s).is_ok() {
             accepted += 1;
         }
     }
@@ -196,8 +294,8 @@ pub fn run_closed_loop(
         let window = concurrency.min(requests - submitted);
         let at = svc.now_s();
         for _ in 0..window {
-            let spec = workload.draw(&mut rng);
-            if svc.submit(spec, at).is_ok() {
+            let template = workload.draw_submit(&mut rng);
+            if template.submit(svc, at).is_ok() {
                 accepted += 1;
             }
             submitted += 1;
@@ -228,8 +326,8 @@ mod tests {
         let mut a = SplitMix64::new(5);
         let mut b = SplitMix64::new(5);
         for _ in 0..32 {
-            let sa = w.draw(&mut a);
-            let sb = w.draw(&mut b);
+            let sa = w.draw_template(&mut a).materialize();
+            let sb = w.draw_template(&mut b).materialize();
             assert_eq!(sa.shape, sb.shape);
             assert_eq!(sa.direction, sb.direction);
             assert_eq!(sa.priority, sb.priority);
@@ -281,6 +379,57 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_workload_draws_both_kinds_and_replays() {
+        let w = Workload::pipeline();
+        let mut a = SplitMix64::new(21);
+        let mut b = SplitMix64::new(21);
+        let mut pipes = 0;
+        let mut singles = 0;
+        for _ in 0..64 {
+            let ta = w.draw_submit(&mut a);
+            let tb = w.draw_submit(&mut b);
+            assert_eq!(ta, tb, "same seed, same template");
+            match ta {
+                SubmitTemplate::Pipeline(p) => {
+                    assert!(p.materialize().validate().is_ok());
+                    pipes += 1;
+                }
+                SubmitTemplate::Single(_) => singles += 1,
+            }
+        }
+        assert!(pipes > 0 && singles > 0, "mix draws both kinds");
+    }
+
+    #[test]
+    fn zero_pipeline_pct_preserves_legacy_rng_order() {
+        // A pipeline-disabled draw_submit must consume exactly what
+        // draw_template consumed before pipelines existed.
+        let w = Workload::mixed();
+        let mut a = SplitMix64::new(77);
+        let mut b = SplitMix64::new(77);
+        for _ in 0..32 {
+            match w.draw_submit(&mut a) {
+                SubmitTemplate::Single(spec) => assert_eq!(spec, w.draw_template(&mut b)),
+                SubmitTemplate::Pipeline(_) => panic!("pipeline_pct = 0 never draws a pipeline"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_open_loop_completes_dags() {
+        let mut svc = ServeConfig::builder().build_service().unwrap();
+        let load = run_open_loop(&mut svc, &Workload::pipeline(), 24, 2000.0, 13);
+        assert!(load.accepted > 0);
+        let r = svc.finish();
+        assert!(r.pipelines > 0, "mix produced at least one pipeline DAG");
+        assert!(
+            r.pipeline_stages >= 4 * r.pipelines,
+            "DAGs have >= 4 stages"
+        );
+        assert!(r.resident_hits > 0, "intermediates stayed device-resident");
+    }
+
+    #[test]
     fn schedule_replay_matches_run_open_loop() {
         let run = |mut svc: FftService| {
             run_open_loop(&mut svc, &Workload::mixed(), 24, 2000.0, 11);
@@ -289,6 +438,22 @@ mod tests {
         let replay = |mut svc: FftService| {
             for (at_s, template) in open_loop_schedule(&Workload::mixed(), 24, 2000.0, 11) {
                 let _ = svc.submit(template.materialize(), at_s);
+            }
+            svc.finish().to_json()
+        };
+        let mk = || ServeConfig::builder().build_service().unwrap();
+        assert_eq!(run(mk()), replay(mk()));
+    }
+
+    #[test]
+    fn template_schedule_replay_matches_pipeline_run() {
+        let run = |mut svc: FftService| {
+            run_open_loop(&mut svc, &Workload::pipeline(), 24, 2000.0, 11);
+            svc.finish().to_json()
+        };
+        let replay = |mut svc: FftService| {
+            for (at_s, tpl) in open_loop_templates(&Workload::pipeline(), 24, 2000.0, 11) {
+                let _ = tpl.submit(&mut svc, at_s);
             }
             svc.finish().to_json()
         };

@@ -123,6 +123,26 @@ pub struct ServeReport {
     pub preemptions: u64,
     /// Device seconds those aborted dispatch windows wasted.
     pub preempted_s: f64,
+    /// Pipeline requests completed (each DAG counts once).
+    pub pipelines: u64,
+    /// Stages those pipelines executed on-card.
+    pub pipeline_stages: u64,
+    /// Residency-ledger hits: pipeline operand reads served from a
+    /// device-resident slot (no PCIe trip).
+    pub resident_hits: u64,
+    /// Residency-ledger misses: operand reads that had to upload.
+    pub resident_misses: u64,
+    /// Residency-ledger evictions: slots spilled to host under memory
+    /// pressure.
+    pub resident_evictions: u64,
+    /// Compute seconds pipelines spent over fully device-resident
+    /// operands (the attribution ledger's `resident` category feed).
+    pub resident_s: f64,
+    /// Payload bytes that actually crossed PCIe host-to-device, all
+    /// request kinds.
+    pub h2d_bytes: u64,
+    /// Payload bytes that actually crossed PCIe device-to-host.
+    pub d2h_bytes: u64,
     /// First arrival to last completion, simulated seconds.
     pub makespan_s: f64,
     /// Latency percentiles over all completions.
@@ -236,6 +256,23 @@ impl ServeReport {
         s.push_str(&format!("  \"timeouts\": {},\n", self.timeouts));
         s.push_str(&format!("  \"preemptions\": {},\n", self.preemptions));
         s.push_str(&format!("  \"preempted_s\": {},\n", self.preempted_s));
+        s.push_str(&format!("  \"pipelines\": {},\n", self.pipelines));
+        s.push_str(&format!(
+            "  \"pipeline_stages\": {},\n",
+            self.pipeline_stages
+        ));
+        s.push_str(&format!("  \"resident_hits\": {},\n", self.resident_hits));
+        s.push_str(&format!(
+            "  \"resident_misses\": {},\n",
+            self.resident_misses
+        ));
+        s.push_str(&format!(
+            "  \"resident_evictions\": {},\n",
+            self.resident_evictions
+        ));
+        s.push_str(&format!("  \"resident_s\": {},\n", self.resident_s));
+        s.push_str(&format!("  \"h2d_bytes\": {},\n", self.h2d_bytes));
+        s.push_str(&format!("  \"d2h_bytes\": {},\n", self.d2h_bytes));
         s.push_str(&format!("  \"makespan_s\": {},\n", self.makespan_s));
         s.push_str(&format!("  \"p50_ms\": {},\n", self.latency.p50_s * 1e3));
         s.push_str(&format!("  \"p95_ms\": {},\n", self.latency.p95_s * 1e3));
@@ -378,6 +415,19 @@ impl ServeReport {
                 "preempt:  {} lane preemptions | {:.3} ms wasted\n",
                 self.preemptions,
                 self.preempted_s * 1e3
+            ));
+        }
+        if self.pipelines > 0 {
+            let reads = self.resident_hits + self.resident_misses;
+            s.push_str(&format!(
+                "pipeline: {} DAGs | {} stages | resident {}/{} reads | {} spills | pcie {:.1}/{:.1} MiB up/down\n",
+                self.pipelines,
+                self.pipeline_stages,
+                self.resident_hits,
+                reads,
+                self.resident_evictions,
+                self.h2d_bytes as f64 / (1 << 20) as f64,
+                self.d2h_bytes as f64 / (1 << 20) as f64
             ));
         }
         if self.tenants.len() > 1 {

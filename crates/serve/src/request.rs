@@ -290,6 +290,10 @@ pub enum Rejection {
         /// Which quota was exhausted.
         kind: QuotaKind,
     },
+    /// A pipeline DAG the executor cannot run: an unknown or malformed
+    /// stage (bad operand wiring, a reduce feeding a later stage, an
+    /// in-place stage sharing its operand). Stable wire code 7.
+    UnsupportedStage(String),
 }
 
 impl std::fmt::Display for Rejection {
@@ -317,6 +321,9 @@ impl std::fmt::Display for Rejection {
             }
             Rejection::QuotaExceeded { tenant, kind } => {
                 write!(f, "{tenant} over its {kind} quota")
+            }
+            Rejection::UnsupportedStage(detail) => {
+                write!(f, "unsupported stage kind: {detail}")
             }
         }
     }

@@ -15,7 +15,10 @@
 //! additionally memoises process-wide in [`bifft::wisdom`]), so a hot shape
 //! plans once per card and never again.
 
+use crate::pipeline::{consumer_counts, Operand, PipelineStage, PointwiseOp, ReduceOp, StageKind};
 use bifft::batch::Fft1dBatchGpu;
+use bifft::elementwise::{run_argmax_norm, run_energy, run_pointwise_mul, run_scale};
+use bifft::five_step::FiveStepFft;
 use bifft::plan::{Algorithm, Fft3d, FftError};
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
@@ -34,11 +37,43 @@ pub struct PlanCacheStats {
     pub misses: u64,
 }
 
+/// Counters of one card's residency ledger — how the pipeline executor's
+/// device-resident slots behaved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Operand reads served from a device-resident slot (no transfer).
+    pub hits: u64,
+    /// Operand reads that had to move bytes up first (initial input
+    /// uploads and post-spill reloads).
+    pub misses: u64,
+    /// Slots spilled to host under memory pressure.
+    pub evictions: u64,
+}
+
+impl ResidencyStats {
+    /// Folds another run's counters in.
+    pub fn absorb(&mut self, other: ResidencyStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// A planned pipeline engine for one volume shape: the forward five-step
+/// plan, the split-swapped chained inverse (so forward output feeds the
+/// inverse with no relayout), and a shared scratch buffer.
+struct PipePlan {
+    fwd: FiveStepFft,
+    inv: FiveStepFft,
+    work: BufferId,
+}
+
 /// Per-card memo of built plans, keyed by shape (+ algorithm for volumes).
 #[derive(Default)]
 struct PlanCache {
     one_d: BTreeMap<usize, Fft1dBatchGpu>,
     volumes: BTreeMap<(usize, usize, usize, u8), Fft3d>,
+    pipes: BTreeMap<(usize, usize, usize), PipePlan>,
     /// Volume keys this card could not allocate — route to the sharder
     /// without re-trying the allocation every dispatch.
     oversized: BTreeSet<(usize, usize, usize, u8)>,
@@ -88,6 +123,27 @@ impl PlanCache {
             self.stats.hits += 1;
         }
         Ok(Some(&self.volumes[&key]))
+    }
+
+    /// The pipeline engine for `dims`, planning (and allocating scratch) on
+    /// first use. Unlike single volumes, a pipeline that cannot even stage
+    /// its scratch has nowhere to shard to — the `Alloc` error propagates
+    /// and the service fails the request.
+    fn pipeline<'c>(
+        &'c mut self,
+        gpu: &mut Gpu,
+        dims: (usize, usize, usize),
+    ) -> Result<&'c PipePlan, FftError> {
+        if !self.pipes.contains_key(&dims) {
+            self.stats.misses += 1;
+            let fwd = FiveStepFft::new(gpu, dims.0, dims.1, dims.2);
+            let inv = fwd.inverse_chained(gpu);
+            let work = gpu.mem_mut().alloc(fwd.volume())?;
+            self.pipes.insert(dims, PipePlan { fwd, inv, work });
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok(&self.pipes[&dims])
     }
 }
 
@@ -146,6 +202,152 @@ pub struct VolumesOutcome {
     pub outputs: Option<Vec<Vec<Complex32>>>,
 }
 
+/// What a finished pipeline dispatch reports back. Like the other outcome
+/// structs, every phase time is a pure observation of state the dispatch
+/// already produced.
+pub struct PipelineOutcome {
+    /// When the pipeline engine (both FFT plans + scratch) was ready.
+    pub plan_ready_s: f64,
+    /// When the first input upload began moving bytes.
+    pub h2d_start_s: f64,
+    /// When the last upward transfer (input upload or spill reload) landed.
+    pub h2d_done_s: f64,
+    /// When the last stage's kernels finished.
+    pub compute_done_s: f64,
+    /// When each stage's kernels finished, stage order — the boundaries
+    /// the service's per-stage-kind EWMA estimator learns from.
+    pub stage_done_s: Vec<f64>,
+    /// When the result download landed — the pipeline's completion.
+    pub completion_s: f64,
+    /// Bytes that actually crossed PCIe upward (inputs + spill reloads).
+    pub h2d_bytes: u64,
+    /// Bytes that actually crossed PCIe downward (result + spills).
+    pub d2h_bytes: u64,
+    /// Seconds of stage compute whose operands were *all* served from
+    /// device-resident slots — the attribution ledger's `resident` split.
+    pub resident_s: f64,
+    /// This run's residency counters.
+    pub residency: ResidencyStats,
+    /// The sim-prof span that wraps the run (lifecycle cross-link).
+    pub span: String,
+    /// The final stage's value in natural order — a full volume, or for a
+    /// terminal reduce the 2-element `[(value, 0), (idx_lo, idx_hi)]`
+    /// encoding (16-bit index halves, exact in `f32`).
+    pub output: Vec<Complex32>,
+}
+
+/// One refcounted residency slot: a pipeline value that is device-resident
+/// (`buf`), spilled to host (`host`), or not yet materialised (an input
+/// still waiting for its first read).
+struct Slot {
+    buf: Option<BufferId>,
+    host: Option<Vec<Complex32>>,
+    refs: u32,
+    last_use: u64,
+    /// True when the value sits in the forward plan's *output* layout.
+    out_layout: bool,
+}
+
+/// Transfer/residency bookkeeping one pipeline run threads through the
+/// slot helpers (free functions, so the plan borrow on the cache can stay
+/// alive across them).
+struct PipeRun {
+    vol: usize,
+    bytes: u64,
+    stats: ResidencyStats,
+    h2d_bytes: u64,
+    d2h_bytes: u64,
+    h2d_start_s: Option<f64>,
+    h2d_done_s: f64,
+    tick: u64,
+    label_up: String,
+    label_down: String,
+}
+
+impl PipeRun {
+    /// Ensures slot `i` is device-resident, uploading (and spilling others
+    /// under pressure) as needed; returns its buffer.
+    fn touch(
+        &mut self,
+        gpu: &mut Gpu,
+        slots: &mut [Slot],
+        i: usize,
+        pinned: &[usize],
+    ) -> Result<BufferId, FftError> {
+        self.tick += 1;
+        slots[i].last_use = self.tick;
+        if let Some(b) = slots[i].buf {
+            self.stats.hits += 1;
+            return Ok(b);
+        }
+        self.stats.misses += 1;
+        let b = self.alloc(gpu, slots, pinned)?;
+        let host = slots[i]
+            .host
+            .take()
+            .expect("a non-resident slot holds a host copy");
+        let start = gpu.clock_s().max(gpu.pcie_busy_until_s());
+        self.h2d_start_s.get_or_insert(start);
+        gpu.pcie_transfer(PcieDir::H2D, self.bytes, 1, &self.label_up);
+        gpu.mem_mut().upload(b, 0, &host);
+        self.h2d_done_s = gpu.clock_s();
+        self.h2d_bytes += self.bytes;
+        slots[i].buf = Some(b);
+        Ok(b)
+    }
+
+    /// Allocates a volume-sized buffer, spilling least-recently-used live
+    /// slots to host until the allocation fits (the residency ledger's
+    /// under-pressure path).
+    fn alloc(
+        &mut self,
+        gpu: &mut Gpu,
+        slots: &mut [Slot],
+        pinned: &[usize],
+    ) -> Result<BufferId, FftError> {
+        loop {
+            match gpu.mem_mut().alloc(self.vol) {
+                Ok(b) => return Ok(b),
+                Err(e) => {
+                    let victim = slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, s)| s.buf.is_some() && s.refs > 0 && !pinned.contains(j))
+                        .min_by_key(|(_, s)| s.last_use)
+                        .map(|(j, _)| j);
+                    let Some(j) = victim else {
+                        return Err(e.into());
+                    };
+                    let buf = slots[j].buf.take().expect("victim is resident");
+                    let mut host = vec![Complex32::ZERO; self.vol];
+                    gpu.pcie_transfer(PcieDir::D2H, self.bytes, 1, &self.label_down);
+                    gpu.mem().download(buf, 0, &mut host);
+                    gpu.mem_mut().free(buf);
+                    slots[j].host = Some(host);
+                    self.d2h_bytes += self.bytes;
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops one reference to slot `i`; frees its buffer when it was the
+    /// last **unless** the buffer index is `keep` (it was handed to the
+    /// next stage's value in place).
+    fn release(&mut self, gpu: &mut Gpu, slots: &mut [Slot], i: usize, keep: Option<BufferId>) {
+        slots[i].refs -= 1;
+        if slots[i].refs == 0 {
+            if let Some(b) = slots[i].buf.take() {
+                if keep == Some(b) {
+                    return;
+                }
+                gpu.mem_mut().free(b);
+            }
+            slots[i].host = None;
+        }
+    }
+}
+
 /// One simulated card with its lanes and plan cache.
 pub struct Card {
     /// The card's index in the service.
@@ -155,6 +357,7 @@ pub struct Card {
     cache: PlanCache,
     lanes: Vec<Lane>,
     slot_elems: usize,
+    residency: ResidencyStats,
     recorder: Option<Rc<RefCell<Recorder>>>,
 }
 
@@ -191,8 +394,14 @@ impl Card {
             cache: PlanCache::default(),
             lanes,
             slot_elems,
+            residency: ResidencyStats::default(),
             recorder: None,
         })
+    }
+
+    /// Lifetime residency-ledger counters for this card.
+    pub fn residency_stats(&self) -> ResidencyStats {
+        self.residency
     }
 
     /// Installs a sim-prof recorder on the card's device so kernel, PCIe
@@ -459,6 +668,231 @@ impl Card {
             span,
             outputs,
         }))
+    }
+
+    /// Runs a whole pipeline DAG on the card's synchronous timeline, with
+    /// every intermediate held in a refcounted device-resident slot — the
+    /// caller must [`Card::occupy_all`] with the completion, since the run
+    /// owns the card like a volume batch does.
+    ///
+    /// Stages execute in topological (submission) order, which satisfies
+    /// every `after_mask` by construction: the synchronous timeline is the
+    /// degenerate one-lane case of the stream/event machinery, so the
+    /// hazard checker stays clean — no two stages ever overlap. Inputs
+    /// upload lazily at first read; each value's slot frees the moment its
+    /// last consumer has run (or moves, for in-place stages); under memory
+    /// pressure the least-recently-used live slot spills to host and
+    /// reloads on its next read, both counted by the residency ledger.
+    ///
+    /// # Errors
+    /// [`FftError::Alloc`] when even spilling every other slot cannot make
+    /// room (the card is simply too small for the DAG's live set).
+    ///
+    /// # Panics
+    /// When `stages`/`inputs` violate [`crate::pipeline::validate_dag`] —
+    /// the service validates at admission.
+    pub fn dispatch_pipeline(
+        &mut self,
+        dims: (usize, usize, usize),
+        stages: &[PipelineStage],
+        inputs: &[Vec<Complex32>],
+        now_s: f64,
+    ) -> Result<PipelineOutcome, FftError> {
+        self.gpu.wait_until(now_s);
+        let plan = self.cache.pipeline(&mut self.gpu, dims)?;
+        let plan_ready_s = self.gpu.clock_s();
+        let vol = plan.fwd.volume();
+        let span = format!(
+            "serve_pipe_{}x{}x{}s{}_c{}",
+            dims.0,
+            dims.1,
+            dims.2,
+            stages.len(),
+            self.index
+        );
+        self.gpu.span_begin(&span);
+        let mut run = PipeRun {
+            vol,
+            bytes: vol as u64 * 8,
+            stats: ResidencyStats::default(),
+            h2d_bytes: 0,
+            d2h_bytes: 0,
+            h2d_start_s: None,
+            h2d_done_s: plan_ready_s,
+            tick: 0,
+            label_up: format!("serve_pipe_h2d_c{}", self.index),
+            label_down: format!("serve_pipe_d2h_c{}", self.index),
+        };
+        let (in_refs, st_refs) = consumer_counts(inputs.len(), stages);
+        let mut slots: Vec<Slot> = inputs
+            .iter()
+            .zip(&in_refs)
+            .map(|(v, &refs)| {
+                assert_eq!(v.len(), vol, "input volume mismatch");
+                Slot {
+                    buf: None,
+                    host: Some(plan.fwd.pack_input(v)),
+                    refs,
+                    last_use: 0,
+                    out_layout: false,
+                }
+            })
+            .collect();
+        let slot_of = |op: Operand| match op {
+            Operand::Input(i) => i as usize,
+            Operand::Stage(s) => inputs.len() + s as usize,
+        };
+        let gpu = &mut self.gpu;
+        let mut resident_s = 0.0;
+        let mut stage_done_s = Vec::with_capacity(stages.len());
+        let mut reduce_result: Option<(usize, f32)> = None;
+        for (idx, st) in stages.iter().enumerate() {
+            debug_assert_eq!(st.effective_after() >> idx, 0, "DAG arrives topo-sorted");
+            let si = slot_of(st.src);
+            let s2i = st.src2.map(&slot_of);
+            let all_resident =
+                slots[si].buf.is_some() && s2i.is_none_or(|j| slots[j].buf.is_some());
+            let pinned = [si, s2i.unwrap_or(si)];
+            let a = run.touch(gpu, &mut slots, si, &pinned)?;
+            let b = match s2i {
+                Some(j) => Some(run.touch(gpu, &mut slots, j, &pinned)?),
+                None => None,
+            };
+            let t0 = gpu.clock_s();
+            let (buf, out_layout) = match st.kind {
+                StageKind::Forward => {
+                    plan.fwd.execute(gpu, a, plan.work, Direction::Forward);
+                    run.release(gpu, &mut slots, si, Some(a));
+                    (Some(a), true)
+                }
+                StageKind::Inverse => {
+                    plan.inv.execute(gpu, a, plan.work, Direction::Inverse);
+                    run.release(gpu, &mut slots, si, Some(a));
+                    // The chained inverse lands back in the forward plan's
+                    // *input* layout.
+                    (Some(a), false)
+                }
+                StageKind::Pointwise(PointwiseOp::Scale) => {
+                    run_scale(gpu, a, vol, st.scale);
+                    let layout = slots[si].out_layout;
+                    run.release(gpu, &mut slots, si, Some(a));
+                    (Some(a), layout)
+                }
+                StageKind::Pointwise(op) => {
+                    let conj = op == PointwiseOp::ConjMultiply;
+                    let b = b.expect("validated: multiply has src2");
+                    let j = s2i.expect("validated: multiply has src2");
+                    let layout = slots[si].out_layout;
+                    // Reuse a dying operand's buffer as the destination —
+                    // src2 first, mirroring the correlator's
+                    // `mul(buf_a, buf_b, buf_b)` idiom.
+                    let dst = if si == j {
+                        if slots[si].refs == 2 {
+                            a
+                        } else {
+                            run.alloc(gpu, &mut slots, &pinned)?
+                        }
+                    } else if slots[j].refs == 1 {
+                        b
+                    } else if slots[si].refs == 1 {
+                        a
+                    } else {
+                        run.alloc(gpu, &mut slots, &pinned)?
+                    };
+                    run_pointwise_mul(gpu, a, b, dst, vol, st.scale, conj);
+                    run.release(gpu, &mut slots, si, Some(dst));
+                    run.release(gpu, &mut slots, j, Some(dst));
+                    (Some(dst), layout)
+                }
+                StageKind::Reduce(op) => {
+                    let got = match op {
+                        ReduceOp::ArgMax => {
+                            let (i, score, _) = run_argmax_norm(gpu, a, vol);
+                            (i, score)
+                        }
+                        ReduceOp::Energy => {
+                            let (e, _) = run_energy(gpu, a, vol);
+                            (0, e)
+                        }
+                    };
+                    reduce_result = Some(got);
+                    run.release(gpu, &mut slots, si, None);
+                    (None, false)
+                }
+            };
+            if all_resident {
+                resident_s += gpu.clock_s() - t0;
+            }
+            stage_done_s.push(gpu.clock_s());
+            run.tick += 1;
+            slots.push(Slot {
+                buf,
+                host: None,
+                refs: st_refs[idx],
+                last_use: run.tick,
+                out_layout,
+            });
+        }
+        let compute_done_s = gpu.clock_s();
+
+        // Result download: the final stage's value (8 bytes for a reduce).
+        let last = slots.len() - 1;
+        let output = if let Some((ri, rv)) = reduce_result {
+            gpu.pcie_transfer(PcieDir::D2H, 8, 1, &run.label_down);
+            run.d2h_bytes += 8;
+            slots[last].refs -= 1;
+            vec![
+                Complex32::new(rv, 0.0),
+                Complex32::new((ri & 0xffff) as f32, (ri >> 16) as f32),
+            ]
+        } else {
+            let b = run.touch(gpu, &mut slots, last, &[last])?;
+            let mut packed = vec![Complex32::ZERO; vol];
+            gpu.pcie_transfer(PcieDir::D2H, run.bytes, 1, &run.label_down);
+            gpu.mem().download(b, 0, &mut packed);
+            run.d2h_bytes += run.bytes;
+            let natural = if slots[last].out_layout {
+                plan.fwd.unpack_output(&packed)
+            } else {
+                // Input-layout values (inverse outputs) unpack through the
+                // forward plan's input mapping, like the correlator does.
+                let l = plan.fwd.layout();
+                let mut out = vec![Complex32::ZERO; vol];
+                let mut i = 0;
+                for z in 0..dims.2 {
+                    for y in 0..dims.1 {
+                        for x in 0..dims.0 {
+                            out[i] = packed[l.input_index(x, y, z)];
+                            i += 1;
+                        }
+                    }
+                }
+                out
+            };
+            run.release(gpu, &mut slots, last, None);
+            natural
+        };
+        let completion_s = gpu.clock_s();
+        gpu.span_end(&span);
+        debug_assert!(
+            slots.iter().all(|s| s.refs == 0 && s.buf.is_none()),
+            "every slot released"
+        );
+        self.residency.absorb(run.stats);
+        Ok(PipelineOutcome {
+            plan_ready_s,
+            h2d_start_s: run.h2d_start_s.unwrap_or(plan_ready_s),
+            h2d_done_s: run.h2d_done_s,
+            compute_done_s,
+            stage_done_s,
+            completion_s,
+            h2d_bytes: run.h2d_bytes,
+            d2h_bytes: run.d2h_bytes,
+            resident_s,
+            residency: run.stats,
+            span,
+            output,
+        })
     }
 }
 

@@ -29,6 +29,7 @@
 use crate::batcher::{
     form_batch, key_of, key_of_spec, rank_algo, Batch, BatchKey, BatchLimits, Estimator,
 };
+use crate::pipeline::{PipeEstimator, PipelineRequest};
 use crate::qos::{QosBook, QosConfig};
 use crate::queue::{Pending, SubmitQueue};
 use crate::report::{CardReport, LatencyStats, ServeReport, TenantReport};
@@ -306,6 +307,17 @@ struct InFlight {
     members: Vec<Pending>,
 }
 
+/// One admitted pipeline awaiting whole-card placement. The whole DAG is a
+/// single schedulable unit: it carries one WFQ virtual finish time (costed
+/// at `elems × stages`) and dispatches onto a card with every lane idle,
+/// like a volume batch.
+struct PendingPipe {
+    id: RequestId,
+    pipe: PipelineRequest,
+    arrival_s: f64,
+    vft: f64,
+}
+
 /// The FFT-as-a-service front end over a fleet of simulated cards.
 pub struct FftService {
     cfg: ServeConfig,
@@ -313,6 +325,23 @@ pub struct FftService {
     queue: SubmitQueue,
     limits: BatchLimits,
     estimator: Estimator,
+    /// EWMA per-stage-kind service model for pipeline DAGs — admission
+    /// costs the *whole* DAG against a deadline, never just its first
+    /// stage.
+    pipe_estimator: PipeEstimator,
+    /// Admitted pipelines awaiting a fully idle card, dispatched in
+    /// weighted-fair (priority, vft, arrival, id) order.
+    pipe_queue: Vec<PendingPipe>,
+    pipelines_completed: u64,
+    pipeline_stages_completed: u64,
+    /// Compute seconds pipelines spent over fully device-resident operands.
+    resident_s_total: f64,
+    /// Payload bytes that actually crossed PCIe host-to-device /
+    /// device-to-host, all request kinds. Pipelines move strictly fewer
+    /// than the same work as independent per-transform submissions — this
+    /// pair is what proves it.
+    h2d_bytes: u64,
+    d2h_bytes: u64,
     sharded: BTreeMap<(usize, usize, usize), MultiGpuFft3d>,
     /// Volume dims even the whole fleet could not allocate, with the error
     /// that proved it — admission rejects these outright from then on.
@@ -397,6 +426,13 @@ impl FftService {
             queue,
             limits,
             estimator: Estimator::new(),
+            pipe_estimator: PipeEstimator::new(),
+            pipe_queue: Vec::new(),
+            pipelines_completed: 0,
+            pipeline_stages_completed: 0,
+            resident_s_total: 0.0,
+            h2d_bytes: 0,
+            d2h_bytes: 0,
             sharded: BTreeMap::new(),
             fleet_oversized: BTreeMap::new(),
             next_id: 0,
@@ -432,9 +468,11 @@ impl FftService {
         self.now_s
     }
 
-    /// Requests waiting in the submission queue.
+    /// Requests waiting in the submission queue (pipelines included — a
+    /// waiting DAG is one unit of depth, exactly as it is one unit of
+    /// queue capacity).
     pub fn queue_depth(&self) -> usize {
-        self.queue.depth()
+        self.queue.depth() + self.pipe_queue.len()
     }
 
     /// Moves virtual time forward to `t_s` (backwards moves are ignored)
@@ -527,7 +565,9 @@ impl FftService {
                 return Err(self.reject(id, Rejection::Unallocatable(err)));
             }
         }
-        if !self.queue.has_room() {
+        // Pipelines share the bounded queue's capacity (one DAG = one
+        // entry), so backpressure covers both kinds of admitted work.
+        if self.queue.depth() + self.pipe_queue.len() >= self.queue.capacity() {
             return Err(self.reject(
                 id,
                 Rejection::QueueFull {
@@ -620,6 +660,99 @@ impl FftService {
         }
     }
 
+    /// Submits one pipeline request — a dependency-ordered DAG of
+    /// forward/inverse transforms, pointwise products and reductions over
+    /// one or more input volumes — arriving at `at_s` simulated seconds.
+    ///
+    /// Admission mirrors [`FftService::submit`], in the same order:
+    /// malformed DAGs (bad dims, dangling operands, an unserviceable stage
+    /// combination) reject as [`Rejection::UnsupportedStage`] (stable wire
+    /// code 7), a full queue as [`Rejection::QueueFull`] (pipelines share
+    /// the bounded queue's capacity), an unmeetable deadline as
+    /// [`Rejection::DeadlineInfeasible`] — costed over the **whole DAG**
+    /// through the per-stage-kind EWMA model, never just its first stage —
+    /// and quota last, so bounced submissions never burn tokens.
+    ///
+    /// The admitted pipeline is one schedulable unit: one WFQ virtual
+    /// finish time over `elems × stages`, one whole-card placement, and
+    /// every intermediate held in a device-resident slot between stages so
+    /// only the inputs and the final value cross PCIe.
+    ///
+    /// # Errors
+    /// The [`Rejection`] taxonomy above; a rejected pipeline leaves its
+    /// rejection counter and a terminal lifecycle waterfall, nothing more.
+    pub fn submit_pipeline(
+        &mut self,
+        pipe: PipelineRequest,
+        at_s: f64,
+    ) -> Result<Ticket, Rejection> {
+        self.advance_to(at_s);
+        self.submitted += 1;
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.qos.note_submitted(pipe.tenant);
+        self.telemetry.registry.inc(names::SUBMITTED);
+        self.telemetry.lifecycle.start(id, pipe.label(), self.now_s);
+        self.telemetry
+            .lifecycle
+            .annotate_submission(id, pipe.priority.label(), "pipeline");
+        if let Err(detail) = pipe.validate() {
+            return Err(self.reject(id, Rejection::UnsupportedStage(detail)));
+        }
+        if self.queue.depth() + self.pipe_queue.len() >= self.queue.capacity() {
+            return Err(self.reject(
+                id,
+                Rejection::QueueFull {
+                    capacity: self.queue.capacity(),
+                },
+            ));
+        }
+        if let Some(deadline_s) = pipe.deadline_s {
+            let wait_s = (self.earliest_free_s() - self.now_s).max(0.0);
+            let estimated_s = wait_s + self.pipe_estimator.estimate_s(&pipe.stages, pipe.elems());
+            if estimated_s > deadline_s {
+                return Err(self.reject(
+                    id,
+                    Rejection::DeadlineInfeasible {
+                        estimated_s,
+                        deadline_s,
+                    },
+                ));
+            }
+        }
+        // Quota is checked last, like `submit`: a submission bounced for
+        // any other reason must not consume tokens or an in-flight slot.
+        if let Err(kind) = self.qos.admit(pipe.tenant, self.now_s) {
+            return Err(self.reject(
+                id,
+                Rejection::QuotaExceeded {
+                    tenant: pipe.tenant,
+                    kind,
+                },
+            ));
+        }
+        let vft = self
+            .qos
+            .assign_vft(pipe.tenant, self.now_s, pipe.cost_elems() as f64);
+        self.telemetry
+            .lifecycle
+            .record(id, Stage::Admitted, self.now_s);
+        self.pipe_queue.push(PendingPipe {
+            id,
+            pipe,
+            arrival_s: self.now_s,
+            vft,
+        });
+        self.admitted += 1;
+        self.telemetry.registry.inc(names::ADMITTED);
+        self.pump();
+        self.refresh_gauges();
+        Ok(Ticket {
+            id,
+            at_s: self.now_s,
+        })
+    }
+
     /// Books one rejection: per-reason counter (service field + registry)
     /// and the terminal lifecycle stamp. Returns `r` for the `Err`.
     fn reject(&mut self, id: RequestId, r: Rejection) -> Rejection {
@@ -647,6 +780,10 @@ impl FftService {
             Rejection::QuotaExceeded { .. } => {
                 self.rejected_quota += 1;
                 ("quota", names::REJECTED_QUOTA)
+            }
+            Rejection::UnsupportedStage(_) => {
+                self.rejected_unsupported += 1;
+                ("unsupported_stage", names::REJECTED_UNSUPPORTED)
             }
         };
         self.telemetry.registry.inc(counter);
@@ -737,6 +874,7 @@ impl FftService {
 
     /// Dispatches everything placeable at the current instant.
     fn pump(&mut self) {
+        self.pump_pipes();
         let mut skip: Vec<BatchKey> = Vec::new();
         loop {
             let Some(key) = self
@@ -814,6 +952,159 @@ impl FftService {
                 }
             }
         }
+    }
+
+    /// Dispatches every placeable pipeline at the current instant. A
+    /// pipeline needs a card with every lane idle (its plans and slot
+    /// buffers are card-wide, like a volume's); the waiting pipelines go
+    /// out in the queue's own weighted-fair rank — (priority, virtual
+    /// finish time, arrival, id).
+    fn pump_pipes(&mut self) {
+        while !self.pipe_queue.is_empty() {
+            let Some(ci) =
+                (0..self.cards.len()).find(|&i| self.cards[i].all_free_s() <= self.now_s)
+            else {
+                break;
+            };
+            let bi = self
+                .pipe_queue
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.pipe
+                        .priority
+                        .cmp(&b.pipe.priority)
+                        .then(a.vft.total_cmp(&b.vft))
+                        .then(a.arrival_s.total_cmp(&b.arrival_s))
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|(i, _)| i)
+                .expect("pipe_queue is nonempty");
+            let pp = self.pipe_queue.remove(bi);
+            self.dispatch_pipe(ci, pp);
+        }
+    }
+
+    /// Runs one pipeline on card `ci`: the whole DAG executes on the
+    /// card's synchronous timeline (the degenerate one-lane case of the
+    /// stream/event machinery, so dependency order holds by construction),
+    /// intermediates stay in device-resident slots, and the card is
+    /// occupied until the result lands.
+    fn dispatch_pipe(&mut self, ci: usize, pp: PendingPipe) {
+        let PendingPipe {
+            id,
+            pipe,
+            arrival_s,
+            ..
+        } = pp;
+        // A pipeline is its own "batch of one": the Batched stamp falls at
+        // placement, like a volume's.
+        self.telemetry
+            .lifecycle
+            .record(id, Stage::Batched, self.now_s);
+        let outcome = match self.cards[ci].dispatch_pipeline(
+            pipe.dims,
+            &pipe.stages,
+            &pipe.inputs,
+            self.now_s,
+        ) {
+            Ok(o) => o,
+            Err(err) => {
+                // Post-admission impossibility (the card cannot hold the
+                // DAG's pinned working set even after spilling): fail
+                // gracefully, the `fail_batch` analogue.
+                self.telemetry
+                    .lifecycle
+                    .record(id, Stage::Failed, self.now_s);
+                self.telemetry.registry.inc(names::FAILED);
+                self.qos.on_fail(pipe.tenant);
+                self.failures.push((id, err));
+                return;
+            }
+        };
+        self.cards[ci].occupy_all(outcome.completion_s);
+        self.count_launch(1);
+        // Each stage kind updates its own EWMA service model from this
+        // run's stage boundaries, so admission's whole-DAG costing tracks
+        // the fleet it actually runs on.
+        let mut prev = self.now_s;
+        for (st, &done) in pipe.stages.iter().zip(&outcome.stage_done_s) {
+            self.pipe_estimator
+                .observe(st.kind, done - prev, pipe.elems());
+            prev = done;
+        }
+        let log = &mut self.telemetry.lifecycle;
+        log.record(id, Stage::Dispatched, self.now_s);
+        log.record(id, Stage::H2d, outcome.h2d_done_s);
+        log.record(id, Stage::Compute, outcome.compute_done_s);
+        log.record(id, Stage::D2h, outcome.completion_s);
+        log.annotate(id, &outcome.span, Some(ci));
+        log.annotate_phases(id, outcome.plan_ready_s, outcome.h2d_start_s);
+        log.note_resident(id, outcome.resident_s);
+        let completed_s = outcome.completion_s;
+        let moved = outcome.h2d_bytes + outcome.d2h_bytes;
+        let timed_out = pipe.deadline_s.is_some_and(|d| completed_s - arrival_s > d);
+        self.telemetry
+            .lifecycle
+            .record(id, Stage::Completed, completed_s);
+        let attr_parts = self
+            .telemetry
+            .lifecycle
+            .get(id)
+            .and_then(|wf| telemetry::attribution::Ledger::from_waterfall(id, wf))
+            .map(|ledger| *ledger.parts_s());
+        let reg = &mut self.telemetry.registry;
+        if let Some(parts) = attr_parts {
+            for (name, part) in names::ATTR_US.iter().zip(parts) {
+                reg.add(name, (part * 1e6).round() as u64);
+            }
+        }
+        reg.inc(names::COMPLETED);
+        reg.add(names::PAYLOAD_BYTES, outcome.h2d_bytes);
+        let latency_ms = (completed_s - arrival_s) * 1e3;
+        reg.observe(names::LATENCY_MS_HIST, latency_ms);
+        if latency_ms > self.cfg.slo.latency_p95_ms {
+            reg.inc(names::LATENCY_OVER_SLO);
+        }
+        if timed_out {
+            reg.inc(names::TIMEOUTS);
+        } else {
+            // Goodput counts what actually crossed the bus, both
+            // directions — residency's savings show up here directly.
+            self.good_bytes += moved;
+            reg.add(names::GOOD_BYTES, moved);
+        }
+        self.qos.on_complete(
+            pipe.tenant,
+            completed_s - arrival_s,
+            if timed_out { 0 } else { moved },
+        );
+        self.first_arrival_s = self.first_arrival_s.min(arrival_s);
+        self.last_completion_s = self.last_completion_s.max(completed_s);
+        self.card_requests[ci] += 1;
+        // Per-card and per-completion byte records keep the report's
+        // one-direction convention (tally doubles them for goodput).
+        self.card_bytes[ci] += moved / 2;
+        self.h2d_bytes += outcome.h2d_bytes;
+        self.d2h_bytes += outcome.d2h_bytes;
+        self.resident_s_total += outcome.resident_s;
+        self.pipelines_completed += 1;
+        self.pipeline_stages_completed += pipe.stages.len() as u64;
+        // A terminal reduce's value is 2 elements — always kept; full
+        // volumes obey `keep_outputs` like every other completion.
+        let keep = self.cfg.keep_outputs || outcome.output.len() <= 2;
+        let output = keep.then_some(outcome.output);
+        self.completion_index.insert(id, self.completions.len());
+        self.completions.push(Completion {
+            id,
+            arrival_s,
+            completed_s,
+            card: Some(ci),
+            batch_size: 1,
+            timed_out,
+            output,
+        });
+        self.completion_bytes.push(moved / 2);
     }
 
     fn take_batch(&mut self, skip: &[BatchKey]) -> Batch {
@@ -1131,6 +1422,10 @@ impl FftService {
         );
         self.first_arrival_s = self.first_arrival_s.min(p.arrival_s);
         self.last_completion_s = self.last_completion_s.max(completed_s);
+        // A single-transform request ships its payload up and its result
+        // down, one volume each way.
+        self.h2d_bytes += bytes;
+        self.d2h_bytes += bytes;
         match card {
             Some(ci) => {
                 self.card_requests[ci] += 1;
@@ -1177,7 +1472,7 @@ impl FftService {
         loop {
             self.pump();
             self.refresh_gauges();
-            if self.queue.depth() == 0 {
+            if self.queue.depth() == 0 && self.pipe_queue.is_empty() {
                 break;
             }
             let next = self
@@ -1208,7 +1503,7 @@ impl FftService {
     /// plan-cache hit rate, running goodput) and mirrors the externally
     /// maintained plan-cache counters into the registry.
     fn refresh_gauges(&mut self) {
-        let depth = self.queue.depth() as f64;
+        let depth = (self.queue.depth() + self.pipe_queue.len()) as f64;
         let now = self.now_s;
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -1276,6 +1571,10 @@ impl FftService {
     /// Builds the end-of-run summary. Call after [`FftService::drain`] —
     /// requests still queued are not in the report.
     pub fn report(&self) -> ServeReport {
+        let mut residency = crate::scheduler::ResidencyStats::default();
+        for c in &self.cards {
+            residency.absorb(c.residency_stats());
+        }
         let mut r = ServeReport {
             submitted: self.submitted,
             admitted: self.admitted,
@@ -1287,6 +1586,14 @@ impl FftService {
             rejected_quota: self.rejected_quota,
             preemptions: self.preemptions,
             preempted_s: self.preempted_wasted_s,
+            pipelines: self.pipelines_completed,
+            pipeline_stages: self.pipeline_stages_completed,
+            resident_hits: residency.hits,
+            resident_misses: residency.misses,
+            resident_evictions: residency.evictions,
+            resident_s: self.resident_s_total,
+            h2d_bytes: self.h2d_bytes,
+            d2h_bytes: self.d2h_bytes,
             failed: self.failures.len() as u64,
             queue_max_depth: self.queue.max_depth(),
             queue_mean_depth: self.queue.mean_depth(),
@@ -1927,5 +2234,92 @@ mod tests {
         };
         // ghost happens to name the rejected id (ids are dense): Unknown.
         assert!(matches!(svc.poll(ghost), PollStatus::Unknown));
+    }
+
+    fn conv_pipe(seed_a: u64, seed_b: u64) -> PipelineRequest {
+        crate::pipeline::SeededPipeline {
+            dims: (16, 16, 16),
+            input_seeds: vec![seed_a, seed_b],
+            stages: crate::pipeline::convolution_stages(16 * 16 * 16),
+            priority: Priority::Normal,
+            deadline_s: None,
+            tenant: TenantId::default(),
+        }
+        .materialize()
+    }
+
+    #[test]
+    fn pipeline_deadline_costs_the_whole_dag_not_its_first_stage() {
+        let mut svc = tiny_service(ServeConfig::default());
+        let est = crate::pipeline::PipeEstimator::new();
+        let stages = crate::pipeline::convolution_stages(16 * 16 * 16);
+        let first_s = est.stage_s(stages[0].kind, 16 * 16 * 16);
+        let dag_s = est.estimate_s(&stages, 16 * 16 * 16);
+        // A deadline every individual stage meets but the DAG cannot: a
+        // first-stage-only estimator admits this and blows the deadline
+        // deterministically; whole-DAG costing sheds it at admission.
+        let deadline = first_s * 2.0;
+        assert!(
+            deadline < dag_s,
+            "the probe deadline must sit between one stage and the DAG"
+        );
+        let mut pipe = conv_pipe(1, 2);
+        pipe.deadline_s = Some(deadline);
+        match svc.submit_pipeline(pipe, 0.0) {
+            Err(Rejection::DeadlineInfeasible {
+                estimated_s,
+                deadline_s,
+            }) => {
+                assert!(estimated_s > deadline_s);
+                assert!(estimated_s >= dag_s);
+            }
+            other => panic!("expected DeadlineInfeasible, got {other:?}"),
+        }
+        // The same DAG under a full-cost deadline admits and completes.
+        let mut ok = conv_pipe(1, 2);
+        ok.deadline_s = Some(dag_s * 10.0);
+        svc.submit_pipeline(ok, 0.0).unwrap();
+        let r = svc.finish();
+        assert_eq!(r.rejected_deadline, 1);
+        assert_eq!(r.pipelines, 1);
+    }
+
+    #[test]
+    fn malformed_dags_reject_with_the_typed_stage_error() {
+        let mut svc = tiny_service(ServeConfig::default());
+        let mut pipe = conv_pipe(3, 4);
+        // Dangle the product's second operand off the end of the DAG.
+        pipe.stages[2].src2 = Some(crate::pipeline::Operand::Stage(9));
+        match svc.submit_pipeline(pipe, 0.0) {
+            Err(Rejection::UnsupportedStage(detail)) => {
+                assert!(!detail.is_empty(), "the rejection names the defect")
+            }
+            other => panic!("expected UnsupportedStage, got {other:?}"),
+        }
+        let r = svc.finish();
+        assert_eq!(r.rejected_unsupported, 1);
+        assert_eq!(r.pipelines, 0);
+    }
+
+    #[test]
+    fn pipeline_attribution_conserves_and_replays_bit_identically() {
+        let run = || {
+            let mut svc = tiny_service(ServeConfig::default());
+            for seed in 0..4u64 {
+                svc.submit_pipeline(conv_pipe(seed, seed + 100), seed as f64 * 1e-4)
+                    .unwrap();
+            }
+            // Mixed traffic: a rows request shares the fleet mid-run.
+            svc.submit(rows_spec(256, 16, 9), 2e-4).unwrap();
+            svc.drain();
+            let audit = svc.attribution_audit();
+            assert!(audit.ok(), "conservation with resident holds: {audit:?}");
+            let r = svc.finish();
+            assert_eq!(r.pipelines, 4);
+            assert!(r.resident_hits > 0, "intermediates stayed on the card");
+            assert!(r.resident_s > 0.0, "the resident category accrued time");
+            r.to_json()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -35,8 +35,9 @@ use fft_math::stats::{mean, nearest_rank, sort_samples};
 use std::collections::BTreeMap;
 
 /// Schema tag of the attribution JSON document. v2 added the `preempted`
-/// category (wasted device time of aborted-and-requeued dispatches).
-pub const ATTR_SCHEMA: &str = "bifft-attr-v2";
+/// category (wasted device time of aborted-and-requeued dispatches); v3
+/// added `resident` (pipeline compute over operands already on the card).
+pub const ATTR_SCHEMA: &str = "bifft-attr-v3";
 
 /// Largest conservation error a balanced ledger may carry, seconds. The
 /// telescoping construction keeps the true error at exactly zero; the
@@ -74,10 +75,14 @@ pub enum Category {
     /// preemption aborted — carved out of the `Queue` share (the requeued
     /// wait the waterfall already measured), so conservation still holds.
     Preempted,
+    /// Pipeline compute over operands that were already device-resident
+    /// (intermediates reused without a PCIe trip) — carved out of the
+    /// `Compute` share, so conservation still holds.
+    Resident,
 }
 
 /// Every category, in pipeline (and export) order.
-pub const CATEGORIES: [Category; 11] = [
+pub const CATEGORIES: [Category; 12] = [
     Category::Admission,
     Category::Queue,
     Category::Batch,
@@ -89,6 +94,7 @@ pub const CATEGORIES: [Category; 11] = [
     Category::Finalize,
     Category::Network,
     Category::Preempted,
+    Category::Resident,
 ];
 
 impl Category {
@@ -106,6 +112,7 @@ impl Category {
             Category::Finalize => "finalize",
             Category::Network => "network",
             Category::Preempted => "preempted",
+            Category::Resident => "resident",
         }
     }
 
@@ -179,6 +186,14 @@ impl Ledger {
             let carve = wf.preempted_s.min(parts_s[Category::Queue.index()]);
             parts_s[Category::Queue.index()] -= carve;
             parts_s[Category::Preempted.index()] += carve;
+        }
+        // A pipeline spent part of its compute time on stages whose every
+        // operand was already on the card; re-label that slice as
+        // `resident`. Same move-not-manufacture rule as the preempt carve.
+        if wf.resident_s > 0.0 {
+            let carve = wf.resident_s.min(parts_s[Category::Compute.index()]);
+            parts_s[Category::Compute.index()] -= carve;
+            parts_s[Category::Resident.index()] += carve;
         }
         Some(Ledger {
             id,
@@ -486,7 +501,7 @@ fn render_profile_group(out: &mut String, name: &str, groups: &BTreeMap<String, 
     out.push_str("    }");
 }
 
-/// Renders the full `bifft-attr-v2` document: conservation audit, overall
+/// Renders the full `bifft-attr-v3` document: conservation audit, overall
 /// e2e and per-category stats, the tail decomposition, and the
 /// shape/algorithm/priority/card profiles. Hand-rolled and deterministic,
 /// like every other document in this repo — same-seed runs are
@@ -559,7 +574,7 @@ pub fn render_attr_json(ledgers: &[Ledger]) -> String {
     s
 }
 
-/// The summary a `bifft-attr-v2` document parses back into — what
+/// The summary a `bifft-attr-v3` document parses back into — what
 /// `fft-prof` shows and diffs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AttrSummary {
@@ -847,6 +862,38 @@ mod tests {
         let l2 = Ledger::from_waterfall(id2, log2.get(id2).unwrap()).unwrap();
         assert!((l2.part_s(Category::Preempted) - 0.3).abs() < 1e-12);
         assert_eq!(l2.part_s(Category::Queue), 0.0);
+        assert!(l2.conservation_error_s() <= CONSERVATION_TOLERANCE_S);
+    }
+
+    #[test]
+    fn resident_credit_carves_compute_into_resident_and_conserves() {
+        let (mut log, id) = started(6, "pipe32x32x32s4");
+        log.annotate_submission(id, "normal", "pipeline");
+        // 0.3 s of compute (h2d 0.5 → compute 0.8), of which 0.2 s ran over
+        // operands that were already device-resident.
+        complete(
+            &mut log,
+            id,
+            [0.0, 0.1, 0.4, 0.4, 0.5, 0.8, 0.9, 0.9],
+            Some((0.4, 0.45)),
+        );
+        log.note_resident(id, 0.2);
+        let l = Ledger::from_waterfall(id, log.get(id).unwrap()).unwrap();
+        assert!((l.part_s(Category::Resident) - 0.2).abs() < 1e-12);
+        assert!((l.part_s(Category::Compute) - 0.1).abs() < 1e-12);
+        assert!(l.conservation_error_s() <= CONSERVATION_TOLERANCE_S);
+        // A credit larger than the measured compute time clamps.
+        let (mut log2, id2) = started(7, "pipe32x32x32s4");
+        complete(
+            &mut log2,
+            id2,
+            [0.0, 0.1, 0.4, 0.4, 0.5, 0.8, 0.9, 0.9],
+            None,
+        );
+        log2.note_resident(id2, 9.0);
+        let l2 = Ledger::from_waterfall(id2, log2.get(id2).unwrap()).unwrap();
+        assert!((l2.part_s(Category::Resident) - 0.3).abs() < 1e-12);
+        assert_eq!(l2.part_s(Category::Compute), 0.0);
         assert!(l2.conservation_error_s() <= CONSERVATION_TOLERANCE_S);
     }
 

@@ -107,6 +107,10 @@ pub struct Waterfall {
     pub preempted_s: f64,
     /// How many times the request was preempted and requeued.
     pub preempts: u32,
+    /// Compute seconds spent on pipeline stages whose every operand was
+    /// already device-resident (no upload needed). Attribution carves this
+    /// out of the compute share into its own `resident` category.
+    pub resident_s: f64,
 }
 
 impl Waterfall {
@@ -236,6 +240,18 @@ impl LifecycleLog {
         };
         wf.preempted_s += wasted_s;
         wf.preempts += 1;
+    }
+
+    /// Credits `resident_s` seconds of device-resident compute time to a
+    /// pipeline request — stage executions whose operands were all already
+    /// on the card. Attribution re-labels this slice of the compute share
+    /// as `resident`. Unknown ids count as dropped.
+    pub fn note_resident(&mut self, id: RequestId, resident_s: f64) {
+        let Some(wf) = self.map.get_mut(&id.0) else {
+            self.dropped += 1;
+            return;
+        };
+        wf.resident_s += resident_s;
     }
 
     /// Stamps and annotations discarded because their request id was never

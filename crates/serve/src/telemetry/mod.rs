@@ -23,7 +23,7 @@
 //! - [`attribution`] — the per-request time ledger: e2e latency decomposed
 //!   into exclusive, exhaustive categories with a conservation invariant,
 //!   aggregated into shape/algorithm/priority/card profiles and the
-//!   `bifft-attr-v2` document `fft-prof` analyzes.
+//!   `bifft-attr-v3` document `fft-prof` analyzes.
 
 pub mod attribution;
 pub mod export;
@@ -116,7 +116,7 @@ pub mod names {
     /// Cumulative attributed time per ledger category, microseconds, in
     /// [`super::attribution::CATEGORIES`] order. One counter per category
     /// (`serve_attr_<category>_us_total`), incremented at completion.
-    pub const ATTR_US: [&str; 11] = [
+    pub const ATTR_US: [&str; 12] = [
         "serve_attr_admission_us_total",
         "serve_attr_queue_us_total",
         "serve_attr_batch_us_total",
@@ -128,6 +128,7 @@ pub mod names {
         "serve_attr_finalize_us_total",
         "serve_attr_network_us_total",
         "serve_attr_preempted_us_total",
+        "serve_attr_resident_us_total",
     ];
     /// Gauge name for card `i`'s compute-engine utilization.
     pub fn card_compute_util(i: usize) -> String {

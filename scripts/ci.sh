@@ -20,7 +20,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 # per-kernel roofline + pattern-audit tables. Since bench schema v5 the
 # gate also covers the latency-attribution verdicts (conservation, time
 # shares, tail driver); since v6 it also gates the multi-tenant fairness
-# index (absolute drift + the 0.95 floor). Refresh the baseline with
+# index (absolute drift + the 0.95 floor); since v7 it also gates the
+# pipeline section (stage throughput, resident-hit fraction, PCIe bytes
+# saved vs a staged replay). Refresh the baseline with
 #   cargo run --release --bin bench -- --quick --out crates/bench/baselines/bench-quick.json
 cargo run --release -p fft-bench --bin bifft-bench --offline -- \
     --quick --check crates/bench/baselines/bench-quick.json
@@ -70,6 +72,16 @@ cargo run --release -p fft-serve --bin fft-serve --offline -- \
     --json target/ci-qos-repeat.json
 cmp target/ci-qos-report.json target/ci-qos-repeat.json \
     || { echo "ci: same-seed multi-tenant reports diverged" >&2; exit 1; }
+# Pipeline smoke (DESIGN.md §17): the --workload pipeline mix (roughly a
+# third of draws are convolution/docking DAGs with device-resident
+# intermediates) under the hazard validator and the conservation audit,
+# which carries the `resident` category for pipeline requests. The apps
+# crate's served-pipeline parity tests (bit-for-bit against the direct
+# correlator, strictly fewer PCIe bytes than staged submission) run
+# explicitly here so a pipeline regression names this gate.
+cargo test --release -p fft-apps -q --offline
+cargo run --release -p fft-serve --bin fft-serve --offline -- \
+    --smoke --workload pipeline --check-hazards --attr-audit
 # Gateway smoke: boot fft-gate on an ephemeral port (the bound port comes
 # back through --port-file), replay a seeded workload over 8 concurrent TCP
 # clients, and require (a) the hazard validator to come back clean over the
