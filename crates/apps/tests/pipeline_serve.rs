@@ -10,6 +10,7 @@ use fft_apps::GpuCorrelator;
 use fft_math::rng::SplitMix64;
 use fft_math::twiddle::Direction;
 use fft_math::Complex32;
+use fft_serve::pipeline::{docking_stages, PipelineRequest};
 use fft_serve::{Priority, RequestSpec, ServeConfig, Shape, TenantId};
 use gpu_sim::{DeviceSpec, Gpu};
 
@@ -56,6 +57,55 @@ fn served_convolution_pipeline_matches_direct_correlator_bit_for_bit() {
             "voxel {i}: served {g} vs direct {w}"
         );
     }
+}
+
+#[test]
+fn served_docking_argmax_reports_the_natural_order_index() {
+    let a = volume(105);
+    let b = volume(106);
+
+    // Direct: the correlator's argmax, which unpacks the kernel's packed
+    // buffer index to natural (x, y, z) before reporting.
+    let mut gpu = Gpu::new(DeviceSpec::gts8800());
+    let mut corr = GpuCorrelator::new(&mut gpu, DIMS.0, DIMS.1, DIMS.2);
+    corr.load_a(&mut gpu, &a);
+    let ((x, y, z), want_score, _) = corr.correlate_argmax(&mut gpu, &b);
+
+    // Served: the docking DAG's terminal ArgMax reduce. Its 8-byte result
+    // packs the natural-order linear index into (lo, hi) halves of the
+    // second complex sample — clients must be able to decode it without
+    // knowing the card's internal data layout.
+    let mut svc = ServeConfig::builder()
+        .gpus(1)
+        .keep_outputs(true)
+        .build_service()
+        .unwrap();
+    let req = PipelineRequest {
+        dims: DIMS,
+        inputs: vec![a, b],
+        stages: docking_stages(DIMS.0 * DIMS.1 * DIMS.2),
+        priority: Priority::Normal,
+        deadline_s: None,
+        tenant: TenantId(0),
+    };
+    svc.submit_pipeline(req, 0.0).expect("pipeline admits");
+    svc.drain();
+    let out = svc.completions()[0]
+        .output
+        .as_ref()
+        .expect("keep_outputs retains the reduce result");
+
+    assert_eq!(out.len(), 2);
+    let got_idx = out[1].re as usize | ((out[1].im as usize) << 16);
+    let want_idx = x + DIMS.0 * (y + DIMS.1 * z);
+    assert_eq!(
+        got_idx, want_idx,
+        "served argmax index must be natural-order: got {got_idx}, \
+         correlator found ({x}, {y}, {z})"
+    );
+    // The reduce ships the raw squared magnitude; the correlator reports
+    // its square root. Same kernel, so the bits must agree exactly.
+    assert_eq!(out[0].re.sqrt().to_bits(), want_score.to_bits());
 }
 
 #[test]

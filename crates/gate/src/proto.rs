@@ -850,7 +850,12 @@ fn pipe_body(pipe: &SeededPipeline) -> Value {
 /// decoder maps to [`code::UNSUPPORTED_STAGE`] — a newer client's DAG gets
 /// the typed rejection, not a generic bad-frame. Structural DAG rules
 /// (operand wiring, masks) are *not* checked here; the service validates
-/// at admission so both transports reject identically.
+/// at admission so both transports reject identically. The *resource
+/// envelope* is checked here, though: dims must be powers of two in
+/// `16..=512` (the five-step plan's envelope) and the seed and stage
+/// counts are bounded, so a hostile sub-KiB frame can never name a
+/// template whose expansion would allocate gigabytes or overflow the
+/// `nx*ny*nz` admission arithmetic.
 fn pipe_decode(v: &Value) -> Result<SeededPipeline, String> {
     let dims_v = v
         .get("dims")
@@ -861,8 +866,8 @@ fn pipe_decode(v: &Value) -> Result<SeededPipeline, String> {
     }
     let dim = |i: usize| -> Result<usize, String> {
         let d = dims_v[i].as_u64().ok_or("dims must be integers")?;
-        if d == 0 || d > (1 << 24) {
-            return Err(format!("dims[{i}] = {d} out of range"));
+        if !d.is_power_of_two() || !(16..=512).contains(&d) {
+            return Err(format!("dims[{i}] = {d} not a power of two in 16..=512"));
         }
         Ok(d as usize)
     };
@@ -871,6 +876,13 @@ fn pipe_decode(v: &Value) -> Result<SeededPipeline, String> {
         .get("seeds")
         .and_then(Value::as_arr)
         .ok_or("missing seeds")?;
+    if seeds_v.is_empty() || seeds_v.len() > fft_serve::pipeline::MAX_INPUTS {
+        return Err(format!(
+            "{} seeds outside 1..={}",
+            seeds_v.len(),
+            fft_serve::pipeline::MAX_INPUTS
+        ));
+    }
     let input_seeds = seeds_v
         .iter()
         .map(|s| {

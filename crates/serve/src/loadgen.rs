@@ -27,12 +27,15 @@ pub enum SubmitTemplate {
 }
 
 impl SubmitTemplate {
-    /// Materializes the payload(s) and submits to the matching service
-    /// entry point.
+    /// Submits to the matching service entry point. Pipelines go through
+    /// [`FftService::submit_seeded_pipeline`], which validates the
+    /// template's dims/DAG envelope *before* materializing any payload —
+    /// a hostile wire template cannot force a multi-gigabyte expansion by
+    /// naming absurd dims or seed counts.
     pub fn submit(&self, svc: &mut FftService, at_s: f64) -> Result<Ticket, Rejection> {
         match self {
             SubmitTemplate::Single(spec) => svc.submit(spec.materialize(), at_s),
-            SubmitTemplate::Pipeline(pipe) => svc.submit_pipeline(pipe.materialize(), at_s),
+            SubmitTemplate::Pipeline(pipe) => svc.submit_seeded_pipeline(pipe.clone(), at_s),
         }
     }
 }

@@ -287,6 +287,22 @@ pub struct SeededPipeline {
 }
 
 impl SeededPipeline {
+    /// Human-readable label (`"pipe16x16x16s4"`) — matches
+    /// [`PipelineRequest::label`] so telemetry reads the same either way.
+    pub fn label(&self) -> String {
+        let (nx, ny, nz) = self.dims;
+        format!("pipe{nx}x{ny}x{nz}s{}", self.stages.len())
+    }
+
+    /// Structural validation of the template **before** any payload exists;
+    /// `Err` carries the stable reason detail. Callers must validate before
+    /// [`SeededPipeline::materialize`]: a hostile sub-KiB template can name
+    /// dims/seed counts whose expansion would allocate gigabytes, and the
+    /// envelope check here costs nothing.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_dag(self.dims, self.input_seeds.len(), &self.stages)
+    }
+
     /// Expands the template into a full [`PipelineRequest`] with payloads.
     pub fn materialize(&self) -> PipelineRequest {
         let elems = self.dims.0 * self.dims.1 * self.dims.2;
@@ -324,7 +340,13 @@ impl SeededPipeline {
 /// 4. in-place kinds (FFTs, scale) must be their operand's **sole**
 ///    consumer — they rewrite the slot;
 /// 5. a reduce value never feeds a later stage, and every input and every
-///    stage except the last is consumed by someone (no dead work).
+///    stage except the last is consumed by someone (no dead work);
+/// 6. packed layouts must line up: every value is either *natural*-packed
+///    (inputs, inverse outputs) or *spectrum*-packed (forward outputs) on
+///    the card, a forward transform takes a natural operand, an inverse a
+///    spectrum one, and a two-operand pointwise stage may not mix the two
+///    — elementwise math across different packings is silently
+///    meaningless, so it rejects here instead.
 pub fn validate_dag(
     dims: (usize, usize, usize),
     n_inputs: usize,
@@ -415,6 +437,46 @@ pub fn validate_dag(
         if n == 0 {
             return Err(format!("stage {i} value is never read"));
         }
+    }
+    // Layout audit (rule 6). `true` = the forward plan's spectrum/output
+    // packing, `false` = the natural/input packing — the same flag the
+    // executor tracks per residency slot.
+    let mut spectrum = vec![false; stages.len()];
+    for (idx, st) in stages.iter().enumerate() {
+        let layout_of = |op: Operand| match op {
+            Operand::Input(_) => false,
+            Operand::Stage(s) => spectrum[s as usize],
+        };
+        let src_l = layout_of(st.src);
+        spectrum[idx] = match st.kind {
+            StageKind::Forward => {
+                if src_l {
+                    return Err(format!(
+                        "stage {idx} forward-transforms a spectrum-layout value"
+                    ));
+                }
+                true
+            }
+            StageKind::Inverse => {
+                if !src_l {
+                    return Err(format!(
+                        "stage {idx} inverse-transforms a natural-layout value"
+                    ));
+                }
+                false
+            }
+            StageKind::Pointwise(PointwiseOp::Multiply | PointwiseOp::ConjMultiply) => {
+                let s2_l = layout_of(st.src2.expect("checked: multiply has src2"));
+                if src_l != s2_l {
+                    return Err(format!(
+                        "stage {idx} ({}) mixes operand layouts (natural vs spectrum)",
+                        st.kind.label()
+                    ));
+                }
+                src_l
+            }
+            StageKind::Pointwise(PointwiseOp::Scale) | StageKind::Reduce(_) => src_l,
+        };
     }
     Ok(())
 }
@@ -630,6 +692,76 @@ mod tests {
             .contains("power of two"));
         // Empty DAG.
         assert!(validate_dag(dims, 1, &[]).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_layout_mismatches() {
+        let dims = (16, 16, 16);
+        // Multiply of a natural-layout input against a forward (spectrum)
+        // output: elementwise math across packings is meaningless.
+        let st = vec![
+            PipelineStage::new(StageKind::Forward, Operand::Input(0)),
+            PipelineStage::new(
+                StageKind::Pointwise(PointwiseOp::Multiply),
+                Operand::Input(1),
+            )
+            .src2(Operand::Stage(0)),
+        ];
+        assert!(validate_dag(dims, 2, &st)
+            .unwrap_err()
+            .contains("mixes operand layouts"));
+        // Inverse of a natural-layout input (the chained inverse plan
+        // consumes the forward plan's output packing).
+        let st = vec![PipelineStage::new(StageKind::Inverse, Operand::Input(0))];
+        assert!(validate_dag(dims, 1, &st)
+            .unwrap_err()
+            .contains("inverse-transforms a natural-layout"));
+        // Forward of a forward output.
+        let st = vec![
+            PipelineStage::new(StageKind::Forward, Operand::Input(0)),
+            PipelineStage::new(StageKind::Forward, Operand::Stage(0)),
+        ];
+        assert!(validate_dag(dims, 1, &st)
+            .unwrap_err()
+            .contains("forward-transforms a spectrum-layout"));
+        // Scale preserves its operand's layout: scaling a spectrum then
+        // multiplying against another spectrum stays valid.
+        let st = vec![
+            PipelineStage::new(StageKind::Forward, Operand::Input(0)),
+            PipelineStage::new(StageKind::Forward, Operand::Input(1)),
+            PipelineStage::new(StageKind::Pointwise(PointwiseOp::Scale), Operand::Stage(0))
+                .scale(0.5),
+            PipelineStage::new(
+                StageKind::Pointwise(PointwiseOp::Multiply),
+                Operand::Stage(2),
+            )
+            .src2(Operand::Stage(1)),
+            PipelineStage::new(StageKind::Inverse, Operand::Stage(3)),
+        ];
+        assert!(validate_dag(dims, 2, &st).is_ok());
+    }
+
+    #[test]
+    fn seeded_templates_validate_before_any_payload_exists() {
+        let good = conv_pipe();
+        assert!(good.validate().is_ok());
+        assert_eq!(good.label(), "pipe16x16x16s4");
+        // A hostile template naming multi-gigabyte dims must bounce from
+        // the seeds-only form — validation never materializes.
+        let hostile = SeededPipeline {
+            dims: (1 << 24, 1 << 24, 1 << 24),
+            ..conv_pipe()
+        };
+        assert!(hostile.validate().unwrap_err().contains("power of two"));
+        // Seed counts beyond MAX_INPUTS bounce the same way.
+        let seedy = SeededPipeline {
+            input_seeds: (0..=MAX_INPUTS as u64).collect(),
+            ..conv_pipe()
+        };
+        assert!(seedy
+            .validate()
+            .unwrap_err()
+            .contains(&format!("1..={MAX_INPUTS}")));
     }
 
     #[test]

@@ -232,7 +232,9 @@ pub struct PipelineOutcome {
     pub span: String,
     /// The final stage's value in natural order — a full volume, or for a
     /// terminal reduce the 2-element `[(value, 0), (idx_lo, idx_hi)]`
-    /// encoding (16-bit index halves, exact in `f32`).
+    /// encoding (16-bit index halves, exact in `f32`). An argmax index is
+    /// the **natural-order** linear index, never the card's packed-layout
+    /// one — clients have no way to undo a card-side packing.
     pub output: Vec<Complex32>,
 }
 
@@ -346,6 +348,35 @@ impl PipeRun {
             slots[i].host = None;
         }
     }
+}
+
+/// Maps an index into the five-step plan's packed device layout back to
+/// the natural-order linear index (`x` fastest, then `y`, then `z`) —
+/// the served twin of `apps::GpuCorrelator::unpack_index`, covering both
+/// packings a reduce operand can sit in.
+fn natural_index(
+    l: &fft_math::layout::FiveStepPlanLayout,
+    dims: (usize, usize, usize),
+    packed: usize,
+    out_layout: bool,
+) -> usize {
+    let mut i = 0;
+    for z in 0..dims.2 {
+        for y in 0..dims.1 {
+            for x in 0..dims.0 {
+                let p = if out_layout {
+                    l.output_index(x, y, z)
+                } else {
+                    l.input_index(x, y, z)
+                };
+                if p == packed {
+                    return i;
+                }
+                i += 1;
+            }
+        }
+    }
+    unreachable!("a packed index maps to a voxel")
 }
 
 /// One simulated card with its lanes and plan cache.
@@ -808,7 +839,15 @@ impl Card {
                     let got = match op {
                         ReduceOp::ArgMax => {
                             let (i, score, _) = run_argmax_norm(gpu, a, vol);
-                            (i, score)
+                            // The kernel reports an index into the plan's
+                            // packed device layout — a card-side detail a
+                            // served client cannot interpret. Map it back
+                            // to the natural-order linear index (the same
+                            // mapping apps::GpuCorrelator::unpack_index
+                            // applies) before it crosses the wire.
+                            let natural =
+                                natural_index(plan.fwd.layout(), dims, i, slots[si].out_layout);
+                            (natural, score)
                         }
                         ReduceOp::Energy => {
                             let (e, _) = run_energy(gpu, a, vol);

@@ -29,7 +29,7 @@
 use crate::batcher::{
     form_batch, key_of, key_of_spec, rank_algo, Batch, BatchKey, BatchLimits, Estimator,
 };
-use crate::pipeline::{PipeEstimator, PipelineRequest};
+use crate::pipeline::{PipeEstimator, PipelineRequest, SeededPipeline};
 use crate::qos::{QosBook, QosConfig};
 use crate::queue::{Pending, SubmitQueue};
 use crate::report::{CardReport, LatencyStats, ServeReport, TenantReport};
@@ -316,6 +316,79 @@ struct PendingPipe {
     pipe: PipelineRequest,
     arrival_s: f64,
     vft: f64,
+}
+
+/// A pipeline submission entering admission: either with payloads attached
+/// ([`FftService::submit_pipeline`]) or still folded into its seeds
+/// ([`FftService::submit_seeded_pipeline`]). Admission reads only the
+/// metadata both forms share; the seeded form materializes its inputs
+/// *after* the last admission check, so rejected hostile templates never
+/// allocate a payload.
+enum PipeForm {
+    Full(PipelineRequest),
+    Seeded(SeededPipeline),
+}
+
+impl PipeForm {
+    fn tenant(&self) -> crate::qos::TenantId {
+        match self {
+            PipeForm::Full(p) => p.tenant,
+            PipeForm::Seeded(p) => p.tenant,
+        }
+    }
+
+    fn priority(&self) -> crate::request::Priority {
+        match self {
+            PipeForm::Full(p) => p.priority,
+            PipeForm::Seeded(p) => p.priority,
+        }
+    }
+
+    fn deadline_s(&self) -> Option<f64> {
+        match self {
+            PipeForm::Full(p) => p.deadline_s,
+            PipeForm::Seeded(p) => p.deadline_s,
+        }
+    }
+
+    fn stages(&self) -> &[crate::pipeline::PipelineStage] {
+        match self {
+            PipeForm::Full(p) => &p.stages,
+            PipeForm::Seeded(p) => &p.stages,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            PipeForm::Full(p) => p.label(),
+            PipeForm::Seeded(p) => p.label(),
+        }
+    }
+
+    /// Volume in complex elements. Callers must [`PipeForm::validate`]
+    /// first: the envelope check bounds each axis to 512 before this
+    /// product, so it cannot overflow.
+    fn elems(&self) -> usize {
+        let (nx, ny, nz) = match self {
+            PipeForm::Full(p) => p.dims,
+            PipeForm::Seeded(p) => p.dims,
+        };
+        nx * ny * nz
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match self {
+            PipeForm::Full(p) => p.validate(),
+            PipeForm::Seeded(p) => p.validate(),
+        }
+    }
+
+    fn into_request(self) -> PipelineRequest {
+        match self {
+            PipeForm::Full(p) => p,
+            PipeForm::Seeded(p) => p.materialize(),
+        }
+    }
 }
 
 /// The FFT-as-a-service front end over a fleet of simulated cards.
@@ -686,17 +759,45 @@ impl FftService {
         pipe: PipelineRequest,
         at_s: f64,
     ) -> Result<Ticket, Rejection> {
+        self.submit_pipeline_form(PipeForm::Full(pipe), at_s)
+    }
+
+    /// [`FftService::submit_pipeline`] for a seeds-only template: admission
+    /// runs entirely on the template — dims envelope, DAG structure, queue,
+    /// deadline, quota — and the input volumes are materialized only
+    /// *after* every check passes. A hostile sub-KiB template naming
+    /// multi-gigabyte dims therefore rejects without a single payload
+    /// allocation; for admitted templates the expansion is the same
+    /// [`SeededPipeline::materialize`] a client would run, so reports stay
+    /// byte-identical between the seeded and the full-payload entry points.
+    ///
+    /// # Errors
+    /// The same [`Rejection`] taxonomy as [`FftService::submit_pipeline`].
+    pub fn submit_seeded_pipeline(
+        &mut self,
+        pipe: SeededPipeline,
+        at_s: f64,
+    ) -> Result<Ticket, Rejection> {
+        self.submit_pipeline_form(PipeForm::Seeded(pipe), at_s)
+    }
+
+    /// The shared pipeline admission path. `PipeForm::Seeded` defers
+    /// payload materialization until the whole admission sequence has
+    /// passed; both forms run the identical checks in the identical order,
+    /// so a given DAG admits or rejects the same way regardless of which
+    /// entry point carried it.
+    fn submit_pipeline_form(&mut self, form: PipeForm, at_s: f64) -> Result<Ticket, Rejection> {
         self.advance_to(at_s);
         self.submitted += 1;
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.qos.note_submitted(pipe.tenant);
+        self.qos.note_submitted(form.tenant());
         self.telemetry.registry.inc(names::SUBMITTED);
-        self.telemetry.lifecycle.start(id, pipe.label(), self.now_s);
+        self.telemetry.lifecycle.start(id, form.label(), self.now_s);
         self.telemetry
             .lifecycle
-            .annotate_submission(id, pipe.priority.label(), "pipeline");
-        if let Err(detail) = pipe.validate() {
+            .annotate_submission(id, form.priority().label(), "pipeline");
+        if let Err(detail) = form.validate() {
             return Err(self.reject(id, Rejection::UnsupportedStage(detail)));
         }
         if self.queue.depth() + self.pipe_queue.len() >= self.queue.capacity() {
@@ -707,9 +808,13 @@ impl FftService {
                 },
             ));
         }
-        if let Some(deadline_s) = pipe.deadline_s {
-            let wait_s = (self.earliest_free_s() - self.now_s).max(0.0);
-            let estimated_s = wait_s + self.pipe_estimator.estimate_s(&pipe.stages, pipe.elems());
+        if let Some(deadline_s) = form.deadline_s() {
+            // A pipeline dispatches only onto a card with *every* lane
+            // idle (`pump_pipes`'s predicate), so the queue-wait estimate
+            // uses the whole-card horizon — the earliest any single lane
+            // frees is systematically optimistic under mixed load.
+            let wait_s = (self.earliest_whole_card_free_s() - self.now_s).max(0.0);
+            let estimated_s = wait_s + self.pipe_estimator.estimate_s(form.stages(), form.elems());
             if estimated_s > deadline_s {
                 return Err(self.reject(
                     id,
@@ -722,21 +827,23 @@ impl FftService {
         }
         // Quota is checked last, like `submit`: a submission bounced for
         // any other reason must not consume tokens or an in-flight slot.
-        if let Err(kind) = self.qos.admit(pipe.tenant, self.now_s) {
+        if let Err(kind) = self.qos.admit(form.tenant(), self.now_s) {
             return Err(self.reject(
                 id,
                 Rejection::QuotaExceeded {
-                    tenant: pipe.tenant,
+                    tenant: form.tenant(),
                     kind,
                 },
             ));
         }
-        let vft = self
-            .qos
-            .assign_vft(pipe.tenant, self.now_s, pipe.cost_elems() as f64);
+        let cost = form.elems() * form.stages().len();
+        let vft = self.qos.assign_vft(form.tenant(), self.now_s, cost as f64);
         self.telemetry
             .lifecycle
             .record(id, Stage::Admitted, self.now_s);
+        // Only now — fully admitted — does a seeded template expand into
+        // its input volumes.
+        let pipe = form.into_request();
         self.pipe_queue.push(PendingPipe {
             id,
             pipe,
@@ -872,6 +979,16 @@ impl FftService {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Earliest instant any card has *every* lane free — the horizon a
+    /// whole-card unit (a pipeline DAG) can actually start at, and the
+    /// wait estimate pipeline deadline admission costs against.
+    fn earliest_whole_card_free_s(&self) -> f64 {
+        self.cards
+            .iter()
+            .map(Card::all_free_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
     /// Dispatches everything placeable at the current instant.
     fn pump(&mut self) {
         self.pump_pipes();
@@ -952,13 +1069,20 @@ impl FftService {
                 }
             }
         }
+        // Singles the pipelines had to yield to are placed now; give the
+        // deferred pipelines the cards that are still fully idle.
+        self.pump_pipes();
     }
 
     /// Dispatches every placeable pipeline at the current instant. A
     /// pipeline needs a card with every lane idle (its plans and slot
     /// buffers are card-wide, like a volume's); the waiting pipelines go
     /// out in the queue's own weighted-fair rank — (priority, virtual
-    /// finish time, arrival, id).
+    /// finish time, arrival, id) — and the head pipeline is additionally
+    /// ranked against the head *single* request under the same key, so a
+    /// stream of low-priority DAGs cannot claim every idle card ahead of
+    /// a waiting high-priority transform (`pump` re-runs this after the
+    /// singles pass, so yielded cards that stay idle go back to DAGs).
     fn pump_pipes(&mut self) {
         while !self.pipe_queue.is_empty() {
             let Some(ci) =
@@ -980,6 +1104,18 @@ impl FftService {
                 })
                 .map(|(i, _)| i)
                 .expect("pipe_queue is nonempty");
+            let head = &self.pipe_queue[bi];
+            if self.queue.head().is_some_and(|s| {
+                s.spec
+                    .priority
+                    .cmp(&head.pipe.priority)
+                    .then(s.vft.total_cmp(&head.vft))
+                    .then(s.arrival_s.total_cmp(&head.arrival_s))
+                    .then(s.id.cmp(&head.id))
+                    .is_lt()
+            }) {
+                break;
+            }
             let pp = self.pipe_queue.remove(bi);
             self.dispatch_pipe(ci, pp);
         }
@@ -2281,6 +2417,101 @@ mod tests {
         svc.submit_pipeline(ok, 0.0).unwrap();
         let r = svc.finish();
         assert_eq!(r.rejected_deadline, 1);
+        assert_eq!(r.pipelines, 1);
+    }
+
+    #[test]
+    fn pipeline_deadline_waits_for_a_whole_card_not_a_single_lane() {
+        let cfg = || ServeConfig::builder().gpus(1).streams(2).build().unwrap();
+        // Probe: how long one rows batch holds its lane on this fleet.
+        let mut probe = tiny_service(cfg());
+        probe.submit(rows_spec(256, 16, 7), 0.0).unwrap();
+        probe.drain();
+        let rows_t = probe.completions()[0].completed_s;
+        assert!(rows_t > 0.0);
+
+        // Main run: the same rows batch occupies lane 0; lane 1 idles. A
+        // pipeline needs the *whole* card, so its wait horizon is rows_t —
+        // a single-lane estimate would claim zero wait and admit this.
+        let mut svc = tiny_service(cfg());
+        svc.submit(rows_spec(256, 16, 7), 0.0).unwrap();
+        let stages = crate::pipeline::convolution_stages(16 * 16 * 16);
+        let dag_s = crate::pipeline::PipeEstimator::new().estimate_s(&stages, 16 * 16 * 16);
+        let mut pipe = conv_pipe(1, 2);
+        pipe.deadline_s = Some(dag_s + rows_t / 2.0);
+        match svc.submit_pipeline(pipe, 0.0) {
+            Err(Rejection::DeadlineInfeasible { estimated_s, .. }) => {
+                assert!(
+                    estimated_s >= rows_t + dag_s,
+                    "the estimate charges the whole-card wait: {estimated_s} vs {rows_t}"
+                );
+            }
+            other => panic!("expected DeadlineInfeasible, got {other:?}"),
+        }
+        let r = svc.finish();
+        assert_eq!(r.rejected_deadline, 1);
+    }
+
+    #[test]
+    fn high_priority_singles_outrank_waiting_low_priority_pipelines() {
+        let cfg = ServeConfig::builder().gpus(1).streams(2).build().unwrap();
+        let mut svc = tiny_service(cfg);
+        // Fill the only card with a pipeline, then queue a low-priority
+        // DAG and a high-priority single behind it.
+        svc.submit_pipeline(conv_pipe(1, 2), 0.0).unwrap();
+        let mut low = conv_pipe(3, 4);
+        low.priority = Priority::Low;
+        let low_t = svc.submit_pipeline(low, 1e-6).unwrap();
+        let mut spec = rows_spec(256, 16, 5);
+        spec.priority = Priority::High;
+        let high_t = svc.submit(spec, 2e-6).unwrap();
+        svc.drain();
+        let done = |t: Ticket| {
+            svc.completions()
+                .iter()
+                .find(|c| c.id == t.id)
+                .expect("both complete")
+                .completed_s
+        };
+        assert!(
+            done(high_t) < done(low_t),
+            "the freed card must serve the high-priority single before \
+             the low-priority pipeline"
+        );
+    }
+
+    #[test]
+    fn seeded_submissions_validate_the_envelope_before_materializing() {
+        let mut svc = tiny_service(ServeConfig::default());
+        // Hostile template: in-envelope stage list, grotesque dims. The
+        // admission path must bounce it from the seeds alone — payload
+        // materialization would allocate (2^23)^3 complex samples.
+        let hostile = crate::pipeline::SeededPipeline {
+            dims: (1 << 23, 1 << 23, 1 << 23),
+            input_seeds: vec![1, 2],
+            stages: crate::pipeline::convolution_stages(16 * 16 * 16),
+            priority: Priority::Normal,
+            deadline_s: None,
+            tenant: TenantId::default(),
+        };
+        match svc.submit_seeded_pipeline(hostile, 0.0) {
+            Err(Rejection::UnsupportedStage(detail)) => {
+                assert!(detail.contains("power of two"), "{detail}")
+            }
+            other => panic!("expected UnsupportedStage, got {other:?}"),
+        }
+        // A valid template admits through the same entry point and runs.
+        let ok = crate::pipeline::SeededPipeline {
+            dims: (16, 16, 16),
+            input_seeds: vec![1, 2],
+            stages: crate::pipeline::convolution_stages(16 * 16 * 16),
+            priority: Priority::Normal,
+            deadline_s: None,
+            tenant: TenantId::default(),
+        };
+        svc.submit_seeded_pipeline(ok, 0.0).unwrap();
+        let r = svc.finish();
+        assert_eq!(r.rejected_unsupported, 1);
         assert_eq!(r.pipelines, 1);
     }
 
